@@ -1,0 +1,147 @@
+"""Ablations of the design choices DESIGN.md calls out.
+
+* ordered units array + binary search (Section 4.3) vs a linear scan;
+* the cached per-unit bounding cube (Section 4.2) vs recomputation;
+* the [DG98] inline threshold: where should arrays leave the tuple;
+* R-tree fan-out for the unit index.
+"""
+
+import time
+
+import pytest
+
+from conftest import report, translating_mregion, zigzag_moving_point
+from repro.index.rtree import RTree3D
+from repro.spatial.bbox import Cube
+from repro.storage.tuplestore import TupleStore
+from repro.workloads.trajectories import random_flights
+
+
+def test_ablation_binary_search_vs_scan(benchmark):
+    """Section 4.3 keeps units ordered so lookup is O(log n)."""
+    mp = zigzag_moving_point(4096)
+    t_query = 1234.56
+
+    def linear_scan():
+        for u in mp.units:
+            if u.interval.contains(t_query):
+                return u
+        return None
+
+    def measure():
+        tic = time.perf_counter()
+        for _ in range(2000):
+            mp.unit_at(t_query)
+        binary = (time.perf_counter() - tic) / 2000
+        tic = time.perf_counter()
+        for _ in range(50):
+            linear_scan()
+        linear = (time.perf_counter() - tic) / 50
+        return binary, linear
+
+    binary, linear = benchmark.pedantic(measure, rounds=1, iterations=1)
+    report(
+        "Ablation: unit lookup (n=4096)",
+        [(f"{binary * 1e6:.2f}", f"{linear * 1e6:.2f}", f"{linear / binary:.0f}x")],
+        ("binary search us", "linear scan us", "speedup"),
+    )
+    assert binary * 5 < linear  # binary search must win decisively
+
+
+def test_ablation_bounding_cube_cache(benchmark):
+    """Section 4.2 stores the cube in the unit record; recomputing it
+    costs O(S) per probe and breaks the O(n+m) far-apart bound."""
+    mr = translating_mregion(units=8, sides=256)
+    unit = mr.units[0]
+
+    def measure():
+        unit.bounding_cube()  # warm the cache
+        tic = time.perf_counter()
+        for _ in range(5000):
+            unit.bounding_cube()
+        cached = (time.perf_counter() - tic) / 5000
+        tic = time.perf_counter()
+        for _ in range(200):
+            Cube.from_rect(
+                unit.bounding_rect(), unit.interval.s, unit.interval.e
+            )
+        recomputed = (time.perf_counter() - tic) / 200
+        return cached, recomputed
+
+    cached, recomputed = benchmark.pedantic(measure, rounds=1, iterations=1)
+    report(
+        "Ablation: bounding cube (S=256 msegs)",
+        [
+            (
+                f"{cached * 1e6:.3f}",
+                f"{recomputed * 1e6:.1f}",
+                f"{recomputed / cached:.0f}x",
+            )
+        ],
+        ("cached us", "recomputed us", "ratio"),
+    )
+    assert cached * 10 < recomputed
+
+
+@pytest.mark.parametrize("threshold", [64, 1024, 65536])
+def test_ablation_inline_threshold(benchmark, threshold):
+    """The [DG98] placement knob: tuples bloat when everything inlines,
+    page traffic grows when everything pages out."""
+    flights = random_flights(12, legs=12, seed=77)
+
+    def store():
+        ts = TupleStore(
+            [("id", "string"), ("track", "mpoint")], inline_threshold=threshold
+        )
+        for i, f in enumerate(flights):
+            ts.append([f"F{i}", f])
+        # Read everything back: pays the page I/O for external arrays.
+        for i in range(len(flights)):
+            ts.fetch(i)
+        return ts
+
+    ts = benchmark(store)
+    stats = ts.storage_stats()
+    report(
+        f"Ablation: inline threshold {threshold}",
+        [
+            (
+                threshold,
+                stats["tuple_bytes"],
+                stats["inline_arrays"],
+                stats["external_arrays"],
+                stats["physical_reads"],
+            )
+        ],
+        ("threshold", "tuple bytes", "inline", "paged", "page reads"),
+    )
+
+
+@pytest.mark.parametrize("fanout", [4, 8, 32])
+def test_ablation_rtree_fanout(benchmark, fanout):
+    """R-tree fan-out: small nodes split constantly, huge nodes scan."""
+    flights = random_flights(40, legs=8, seed=31)
+    cubes = []
+    for i, f in enumerate(flights):
+        for u in f.units:
+            cubes.append((u.bounding_cube(), i))
+    probe = Cube(2000, 2000, 0, 6000, 6000, 800)
+
+    def build_and_search():
+        tree = RTree3D(max_entries=fanout)
+        for c, i in cubes:
+            tree.insert(c, i)
+        hits = set()
+        for _ in range(50):
+            hits = set(tree.search(probe))
+        return tree, hits
+
+    tree, hits = benchmark(build_and_search)
+    # Correctness is fan-out independent.
+    expected = {i for c, i in cubes if c.intersects(probe)}
+    assert hits == expected
+    report(
+        f"Ablation: R-tree fanout {fanout}",
+        [(fanout, tree.height(), tree.node_count(), len(hits))],
+        ("fanout", "height", "nodes", "hits"),
+    )

@@ -1,0 +1,132 @@
+"""A2: the inside algorithm of Section 5.2.
+
+Claims under test:
+
+* total running time O(n + m + S) where n, m are the unit counts of the
+  two operands and S the total number of moving segments;
+* when the operands are far apart (disjoint bounding boxes at every
+  refinement piece) the time collapses to O(n + m);
+* the result alternates correctly and merges across refinement pieces
+  (the concat step).
+"""
+
+import time
+
+import pytest
+
+from conftest import report, translating_mregion, zigzag_moving_point
+from repro.ops.inside import inside
+from repro.temporal.mapping import MovingPoint
+
+
+@pytest.mark.parametrize("n_units", [32, 128, 512])
+def test_a2_scaling_in_units(benchmark, n_units):
+    """Time vs n + m with fixed segments per unit."""
+    mp = zigzag_moving_point(n_units, speed=1.0)
+    mr = translating_mregion(units=n_units, sides=8, radius=3.0)
+
+    def run():
+        return inside(mp, mr)
+
+    mb = benchmark(run)
+    assert mb  # defined somewhere
+
+
+@pytest.mark.parametrize("sides", [8, 32, 128])
+def test_a2_scaling_in_segments(benchmark, sides):
+    """Time vs S (total moving segments) at fixed n, m."""
+    mp = zigzag_moving_point(16, speed=1.0)
+    mr = translating_mregion(units=16, sides=sides, radius=3.0)
+
+    def run():
+        return inside(mp, mr)
+
+    mb = benchmark(run)
+    assert mb
+
+
+@pytest.mark.parametrize("n_units", [32, 256])
+def test_a2_far_apart_fast_path(benchmark, n_units):
+    """Disjoint bounding boxes: O(n + m), independent of S."""
+    mp = MovingPoint.from_waypoints(
+        [(0.0, (1e6, 1e6)), (float(n_units), (1e6 + n_units, 1e6))]
+    )
+    # Re-slice the far-away track into n_units units for a fair n + m.
+    mp = zigzag_moving_point(n_units)
+    shifted = MovingPoint(
+        [u.with_interval(u.interval) for u in mp.units], validate=False
+    )
+    far = MovingPoint.from_waypoints(
+        [
+            (float(k), (1e6 + k, 1e6 + (k % 2)))
+            for k in range(n_units + 1)
+        ]
+    )
+    mr = translating_mregion(units=n_units, sides=64, radius=3.0)
+
+    def run():
+        return inside(far, mr)
+
+    mb = benchmark(run)
+    assert not mb.when(True)  # never inside
+    assert mb.when(False).total_length() > 0
+
+
+def test_a2_shape_check(benchmark):
+    """The paper's shape: far-apart cost tracks n+m and stays well below
+    the overlapping cost at large S."""
+
+    def measure():
+        rows = []
+        for sides in (16, 128):
+            mp = zigzag_moving_point(32, speed=1.0)
+            near_mr = translating_mregion(units=32, sides=sides, radius=3.0)
+            tic = time.perf_counter()
+            for _ in range(3):
+                inside(mp, near_mr)
+            near = (time.perf_counter() - tic) / 3
+            far_mp = MovingPoint.from_waypoints(
+                [(float(k), (1e6 + k, 1e6 + (k % 2) * 0.5)) for k in range(33)]
+            )
+            tic = time.perf_counter()
+            for _ in range(3):
+                inside(far_mp, near_mr)
+            far = (time.perf_counter() - tic) / 3
+            rows.append((sides, near, far))
+        return rows
+
+    rows = benchmark.pedantic(measure, rounds=1, iterations=1)
+    report(
+        "A2 inside: overlapping vs far apart",
+        [(s, f"{n * 1000:.2f}", f"{f * 1000:.2f}") for s, n, f in rows],
+        ("msegs/unit", "overlap ms", "far ms"),
+    )
+    # Far-apart cost must be essentially independent of S; the ratio of
+    # far-apart times across an 8x S increase stays near 1.
+    small_s, large_s = rows[0][2], rows[1][2]
+    assert large_s < small_s * 3.0
+    # Overlapping cost grows with S while far-apart does not: at large S
+    # the bbox fast path must win clearly.
+    assert rows[1][2] < rows[1][1] / 2.0
+
+
+def test_a2_correct_alternation(benchmark):
+    """Alternation + concat over a workload with many crossings."""
+    mp = zigzag_moving_point(64, speed=2.0)
+    mr = translating_mregion(units=64, sides=8, radius=2.5)
+
+    def run():
+        return inside(mp, mr)
+
+    mb = benchmark(run)
+    # Pointwise agreement at dense sample times.
+    for k in range(129):
+        t = mb.start_time() + (mb.end_time() - mb.start_time()) * k / 128.0
+        got = mb.value_at(t)
+        if got is None:
+            continue
+        p = mp.value_at(t)
+        r = mr.value_at(t)
+        if p is None or r is None:
+            continue
+        assert bool(got.value) == r.contains_point(p), f"mismatch at t={t}"

@@ -1,0 +1,92 @@
+"""Extension experiments: simplification and overlap area.
+
+Not artifacts of the paper — these benchmark the library's extension
+operations so their cost/quality trade-offs are on record next to the
+reproduction results.
+"""
+
+import math
+import random
+
+import pytest
+
+from conftest import report
+from repro.spatial.region import Region
+from repro.temporal.mapping import MovingPoint, MovingRegion
+from repro.temporal.uregion import URegion
+from repro.ops.overlap import overlap_area
+from repro.ops.simplify import compression_ratio, simplification_error, simplify
+
+
+def dense_track(samples: int, seed: int = 3) -> MovingPoint:
+    rng = random.Random(seed)
+    heading = 0.0
+    x = y = 0.0
+    waypoints = [(0.0, (0.0, 0.0))]
+    for t in range(1, samples + 1):
+        if t % 50 == 0:
+            heading += rng.choice([-1, 1]) * math.pi / 4
+        x += 10.0 * math.cos(heading) + rng.uniform(-1, 1)
+        y += 10.0 * math.sin(heading) + rng.uniform(-1, 1)
+        waypoints.append((float(t), (x, y)))
+    return MovingPoint.from_waypoints(waypoints)
+
+
+@pytest.mark.parametrize("samples", [200, 1000])
+def test_simplify_throughput(benchmark, samples):
+    """Douglas–Peucker under synchronized distance."""
+    track = dense_track(samples)
+
+    def run():
+        return simplify(track, 5.0)
+
+    slim = benchmark(run)
+    assert simplification_error(track, slim) <= 5.0 + 1e-9
+    report(
+        f"Simplify (n={samples}, eps=5)",
+        [(samples, len(slim), f"{compression_ratio(track, slim):.1f}x")],
+        ("samples", "kept units", "compression"),
+    )
+
+
+def test_simplify_quality_curve(benchmark):
+    """Compression vs error bound (the quality trade-off on record)."""
+    track = dense_track(600)
+
+    def run():
+        rows = []
+        for eps in (1.0, 5.0, 25.0, 125.0):
+            slim = simplify(track, eps)
+            rows.append(
+                (eps, len(slim), simplification_error(track, slim))
+            )
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    report(
+        "Simplify quality curve (600 samples)",
+        [(e, n, f"{err:.2f}") for e, n, err in rows],
+        ("epsilon", "units", "max error"),
+    )
+    units = [n for _e, n, _err in rows]
+    assert units == sorted(units, reverse=True)
+
+
+@pytest.mark.parametrize("sides", [4, 16])
+def test_overlap_area_cost(benchmark, sides):
+    """Event detection + quadratic fits for the overlap area."""
+    from repro.workloads.regions import regular_polygon
+
+    r0 = regular_polygon((-8.0, 0.0), 3.0, sides)
+    r1 = regular_polygon((8.0, 0.0), 3.0, sides)
+    mr = MovingRegion([URegion.between_regions(0.0, r0, 10.0, r1)])
+    fixed = Region.box(-2, -4, 2, 4)
+
+    def run():
+        return overlap_area(mr, fixed)
+
+    area = benchmark(run)
+    # Sanity: overlap peaks while crossing the fixed strip and is 0 far out.
+    assert area.maximum() > 0
+    assert area.value_at(0.0).value == pytest.approx(0.0, abs=1e-6)
+    assert area.value_at(10.0).value == pytest.approx(0.0, abs=1e-6)

@@ -1,0 +1,95 @@
+"""F1: Figure 1 — the sliced representation of moving real / moving points.
+
+Rebuilds the figure's two values (a moving real decomposed into simple-
+function slices; a moving points value whose slices hold linearly moving
+point sets), prints the slice tables, and benchmarks construction plus
+instant evaluation over the sliced form.
+"""
+
+import pytest
+
+from conftest import report
+from repro.ranges.interval import Interval
+from repro.temporal.mapping import MovingPoints, MovingReal
+from repro.temporal.mseg import MPoint
+from repro.temporal.upoints import UPoints
+from repro.temporal.ureal import UReal
+
+
+def build_figure1_mreal() -> MovingReal:
+    """A moving real in three slices: rise, plateau via parabola, decay."""
+    return MovingReal(
+        [
+            UReal(Interval(0.0, 4.0, True, False), 0.0, 0.5, 1.0),       # linear
+            UReal(Interval(4.0, 8.0, True, False), -0.25, 3.0, -6.0),    # parabola
+            UReal(Interval(8.0, 12.0, True, True), 0.0, -0.5, 6.0),      # decay
+        ]
+    )
+
+
+def build_figure1_mpoints() -> MovingPoints:
+    """A moving points value: two points, then three, with a gap between."""
+    return MovingPoints(
+        [
+            UPoints(
+                Interval(0.0, 5.0, True, True),
+                [MPoint(0, 1, 0, 0), MPoint(0, 1, 3, 0)],
+            ),
+            UPoints(
+                Interval(7.0, 12.0, True, True),
+                [MPoint(7, 0.5, 0, 0.5), MPoint(0, 1, 3, 0), MPoint(-7, 2, -7, 1)],
+            ),
+        ]
+    )
+
+
+def test_fig1_sliced_mreal(benchmark):
+    """Slice table of the moving real and timed evaluation across slices."""
+    m = build_figure1_mreal()
+    times = [0.5 * k for k in range(25)]
+
+    def evaluate_everywhere():
+        return [m.value_at(t) for t in times]
+
+    values = benchmark(evaluate_everywhere)
+    rows = [
+        (u.interval.pretty(), f"({u.coefficients[0]:g},{u.coefficients[1]:g},"
+         f"{u.coefficients[2]:g},{u.coefficients[3]})")
+        for u in m.units
+    ]
+    report("Figure 1a: moving real slices", rows, ("interval", "(a,b,c,r)"))
+    # Continuity across the slice boundaries of the figure.
+    assert m.value_at(3.999999).value == pytest.approx(3.0, abs=1e-4)
+    assert m.value_at(4.0).value == pytest.approx(2.0)  # jump is allowed
+    assert sum(v is not None for v in values) == len(
+        [t for t in times if m.present(t)]
+    )
+
+
+def test_fig1_sliced_mpoints(benchmark):
+    """Slice table of the moving points value and timed evaluation."""
+    m = build_figure1_mpoints()
+
+    def evaluate():
+        return [m.value_at(t) for t in (0.0, 2.5, 5.0, 6.0, 7.0, 9.5, 12.0)]
+
+    values = benchmark(evaluate)
+    rows = [(u.interval.pretty(), len(u)) for u in m.units]
+    report("Figure 1b: moving points slices", rows, ("interval", "#points"))
+    assert len(values[1]) == 2  # two points in the first slice
+    assert values[3] is None  # the gap
+    assert len(values[5]) == 3  # three points in the second slice
+
+
+def test_fig1_construction_scaling(benchmark):
+    """Cost of assembling a mapping from many slices (sorting + invariants)."""
+    units = [
+        UReal(Interval(float(k), float(k + 1), True, False), 0.0, 1.0, float(k))
+        for k in range(500)
+    ]
+
+    def build():
+        return MovingReal(units)
+
+    m = benchmark(build)
+    assert len(m) == 500

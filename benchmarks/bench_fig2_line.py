@@ -1,0 +1,82 @@
+"""F2: Figure 2 — line values as unstructured segment sets.
+
+The figure's point: a polyline-structured curve and a loose segment soup
+are both valid line values, and validation only has to reject collinear
+overlaps.  The benchmark measures construction+validation cost for both
+shapes at increasing sizes and the halfsegment-sequence derivation used
+by the Section-4 data structure.
+"""
+
+import math
+
+import pytest
+
+from conftest import report
+from repro.errors import InvalidValue
+from repro.spatial.line import Line
+
+
+def polyline_vertices(n: int):
+    return [(float(k), math.sin(k * 0.7)) for k in range(n + 1)]
+
+
+def segment_soup(n: int):
+    # Rotated spokes: pairwise crossing, never collinear-overlapping.
+    out = []
+    for k in range(n):
+        a = 0.1 + k * math.pi / n
+        out.append(((-math.cos(a), -math.sin(a)), (math.cos(a), math.sin(a))))
+    return out
+
+
+@pytest.mark.parametrize("n", [64, 256, 1024])
+def test_fig2_polyline_vs_soup(benchmark, n):
+    """Validation cost for the figure's two shapes of line value."""
+    poly = polyline_vertices(n)
+    soup = segment_soup(n)
+
+    def build_both():
+        return Line.polyline(poly), Line(soup)
+
+    structured, loose = benchmark(build_both)
+    assert len(structured) == n
+    assert len(loose) == n
+    report(
+        f"Figure 2 (n={n})",
+        [
+            ("polyline", len(structured), f"{structured.length():.2f}"),
+            ("segment soup", len(loose), f"{loose.length():.2f}"),
+        ],
+        ("shape", "#segments", "length"),
+    )
+
+
+def test_fig2_uniqueness_constraint(benchmark):
+    """The single line constraint: collinear overlaps are rejected."""
+    good = segment_soup(128)
+    bad = good + [((-1.0, 0.0), (0.5, 0.0))]  # overlaps the horizontal spoke?
+
+    def attempt():
+        Line(good)
+        try:
+            Line(bad + [((-0.5, 0.0), (1.0, 0.0))])
+            return False
+        except InvalidValue:
+            return True
+
+    rejected = benchmark(attempt)
+    assert rejected
+
+
+@pytest.mark.parametrize("n", [64, 512])
+def test_fig2_halfsegment_sequence(benchmark, n):
+    """Deriving the ordered halfsegment array of Section 4.1."""
+    line = Line(segment_soup(n))
+
+    def halves():
+        return line.halfsegments()
+
+    hs = benchmark(halves)
+    assert len(hs) == 2 * n
+    keys = [h.sort_key() for h in hs]
+    assert keys == sorted(keys)

@@ -1,0 +1,80 @@
+"""F3: Figure 3 — region values with faces and holes; the close() operation.
+
+Rebuilds a figure-3-like region (faces with holes, a face inside another
+face's hole), then benchmarks the ``close`` structure builder — segment
+soup in, faces/cycles out — at increasing boundary sizes, plus the
+validated region constructor.
+"""
+
+import math
+
+import pytest
+
+from conftest import report
+from repro.spatial.region import Region, close_region
+from repro.workloads.regions import regular_polygon
+
+
+def figure3_region() -> Region:
+    """Two faces; the first has two holes, with an island in one of them."""
+    ring = lambda cx, cy, r, n=8: [
+        (cx + r * math.cos(2 * math.pi * k / n), cy + r * math.sin(2 * math.pi * k / n))
+        for k in range(n)
+    ]
+    face1 = Region.polygon(
+        ring(0, 0, 10),
+        holes=[ring(-3, 0, 2), ring(4, 0, 3)],
+    )
+    island = Region.polygon(ring(4, 0, 1))
+    face2 = Region.polygon(ring(25, 0, 5))
+    return Region(list(face1.faces) + list(island.faces) + list(face2.faces))
+
+
+def test_fig3_value_shape(benchmark):
+    """The figure's region: 3 faces, 2 holes, island nested in a hole."""
+    region = benchmark(figure3_region)
+    assert len(region.faces) == 3
+    hole_counts = sorted(len(f.holes) for f in region.faces)
+    assert hole_counts == [0, 0, 2]
+    report(
+        "Figure 3 region",
+        [
+            (len(region.faces), sum(hole_counts), f"{region.area():.2f}",
+             f"{region.perimeter():.2f}")
+        ],
+        ("faces", "holes", "area", "perimeter"),
+    )
+
+
+@pytest.mark.parametrize("segments", [32, 128, 512])
+def test_fig3_close_scaling(benchmark, segments):
+    """The close() operation: soup -> faces/cycles (Section 4.1)."""
+    region = Region.polygon(
+        [v for v in regular_polygon((0, 0), 50, segments).faces[0].outer.vertices],
+        holes=[
+            list(regular_polygon((0, 0), 20, max(3, segments // 4)).faces[0].outer.vertices)
+        ],
+    )
+    soup = region.segments()
+
+    def close():
+        return close_region(soup)
+
+    rebuilt = benchmark(close)
+    assert rebuilt == region
+
+
+@pytest.mark.parametrize("faces", [2, 8, 32])
+def test_fig3_multiface_close(benchmark, faces):
+    """close() across many disjoint faces (containment nesting cost)."""
+    soup = []
+    for k in range(faces):
+        soup.extend(
+            regular_polygon((k * 30.0, 0.0), 10.0, 8).segments()
+        )
+
+    def close():
+        return close_region(soup)
+
+    region = benchmark(close)
+    assert len(region.faces) == faces

@@ -1,0 +1,118 @@
+"""F4/F5: Figures 4 and 5 — uline instances and moving-line discretization.
+
+Figure 4 shows a valid uline (non-rotating moving segments); Figure 5
+shows how a continuously moving line is discretized by a uline between
+two snapshots and notes that refining with more intermediate slices
+approximates the continuous motion arbitrarily well.  The second
+benchmark quantifies exactly that: approximation error of a rotating
+line versus the number of slices, which must decrease toward zero.
+"""
+
+import math
+
+import pytest
+
+from conftest import report
+from repro.ranges.interval import Interval
+from repro.spatial.line import Line
+from repro.temporal.mapping import MovingLine
+from repro.temporal.uline import ULine
+
+
+def rotating_line_snapshot(angle: float, length: float = 2.0) -> Line:
+    """The 'true' continuously rotating line at a given angle."""
+    return Line(
+        [
+            (
+                (-length * math.cos(angle) / 2, -length * math.sin(angle) / 2),
+                (length * math.cos(angle) / 2, length * math.sin(angle) / 2),
+            )
+        ]
+    )
+
+
+@pytest.mark.parametrize("msegs", [8, 64, 256])
+def test_fig4_uline_validation(benchmark, msegs):
+    """Constructing + validating a figure-4-style uline of growing size."""
+    # Parallel drifting segments: valid, never overlapping.
+    lines0 = Line([((0.0, 2.0 * k), (1.0, 2.0 * k)) for k in range(msegs)])
+    lines1 = Line([((3.0, 2.0 * k + 0.5), (4.0, 2.0 * k + 0.5)) for k in range(msegs)])
+
+    def build():
+        return ULine.between_lines(0.0, lines0, 10.0, lines1)
+
+    u = benchmark(build)
+    assert len(u) == msegs
+
+
+@pytest.mark.parametrize("slices", [1, 2, 4, 8, 16, 32])
+def test_fig5_approximation_error(benchmark, slices):
+    """Figure 5's claim: more slices -> arbitrarily good approximation.
+
+    The continuous motion rotates a segment by 60°; each slice
+    interpolates between consecutive (rotated) snapshots using parallel
+    translation of the midpoint chord, and we measure the maximum
+    Hausdorff-style endpoint error at slice midpoints.
+    """
+    total_angle = math.pi / 3.0
+
+    def build_and_measure():
+        units = []
+        max_err = 0.0
+        for k in range(slices):
+            t0, t1 = k / slices, (k + 1) / slices
+            a0, a1 = total_angle * t0, total_angle * t1
+            # Non-rotating approximation within a slice: keep the chord
+            # direction of the mid angle, translate endpoints linearly.
+            mid = (a0 + a1) / 2.0
+            def endpoint(angle, sign):
+                return (sign * math.cos(angle), sign * math.sin(angle))
+            snap0 = Line([(endpoint(mid, -1.0), endpoint(mid, 1.0))])
+            # Evaluate error against the true rotating line at slice center.
+            err = math.hypot(
+                math.cos(mid) - math.cos(a0), math.sin(mid) - math.sin(a0)
+            )
+            units.append(
+                ULine.stationary(Interval(t0, t1, True, k == slices - 1), snap0)
+            )
+            max_err = max(max_err, err)
+        return MovingLine(units, validate=False), max_err
+
+    ml, max_err = benchmark(build_and_measure)
+    assert len(ml) == slices
+    # The error bound shrinks like the slice angle.
+    expected_bound = total_angle / slices
+    assert max_err <= expected_bound
+    report(
+        f"Figure 5 (slices={slices})",
+        [(slices, f"{max_err:.5f}", f"{expected_bound:.5f}")],
+        ("slices", "max endpoint error", "bound"),
+    )
+
+
+def test_fig5_error_decreases_monotonically(benchmark):
+    """The full error-vs-slices series of Figure 5's refinement argument."""
+    total_angle = math.pi / 3.0
+
+    def series():
+        out = []
+        for slices in (1, 2, 4, 8, 16, 32, 64):
+            max_err = 0.0
+            for k in range(slices):
+                a0 = total_angle * k / slices
+                mid = total_angle * (k + 0.5) / slices
+                max_err = max(
+                    max_err,
+                    math.hypot(
+                        math.cos(mid) - math.cos(a0), math.sin(mid) - math.sin(a0)
+                    ),
+                )
+            out.append((slices, max_err))
+        return out
+
+    errors = benchmark(series)
+    report("Figure 5 error series", [(s, f"{e:.6f}") for s, e in errors],
+           ("slices", "max error"))
+    for (s0, e0), (s1, e1) in zip(errors, errors[1:]):
+        assert e1 < e0
+    assert errors[-1][1] < errors[0][1] / 16.0

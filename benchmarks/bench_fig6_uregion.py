@@ -1,0 +1,74 @@
+"""F6: Figure 6 — uregion instances and endpoint degeneracies.
+
+The figure shows a moving region unit whose faces deform continuously
+and degenerate at the unit interval's end points.  Benchmarks:
+construction+validation of growing uregions, the interior ι evaluation,
+and the ι_s/ι_e endpoint cleanup (degenerate-segment removal plus the
+odd-parity fragment rule).
+"""
+
+import pytest
+
+from conftest import report, translating_mregion
+from repro.spatial.region import Region
+from repro.temporal.interpolate import collapse_to_point
+from repro.temporal.uregion import URegion
+from repro.workloads.regions import regular_polygon
+
+
+@pytest.mark.parametrize("sides", [8, 32, 128])
+def test_fig6_uregion_validation(benchmark, sides):
+    """Construction + sampled validation cost vs moving-segment count."""
+    r0 = regular_polygon((0.0, 0.0), 10.0, sides)
+    r1 = regular_polygon((5.0, 2.0), 14.0, sides)
+
+    def build():
+        return URegion.between_regions(0.0, r0, 10.0, r1, validate="fast")
+
+    u = benchmark(build)
+    assert len(u.msegs()) == sides
+
+
+@pytest.mark.parametrize("sides", [8, 32])
+def test_fig6_full_validation(benchmark, sides):
+    """The exact pairwise crossing analysis (validate='full')."""
+    r0 = regular_polygon((0.0, 0.0), 10.0, sides)
+    r1 = regular_polygon((5.0, 2.0), 14.0, sides)
+
+    def build():
+        return URegion.between_regions(0.0, r0, 10.0, r1, validate="full")
+
+    u = benchmark(build)
+    assert len(u.msegs()) == sides
+
+
+@pytest.mark.parametrize("sides", [8, 64])
+def test_fig6_endpoint_cleanup(benchmark, sides):
+    """ι_e with a full collapse: the figure's cone-to-apex degeneracy."""
+    r0 = regular_polygon((0.0, 0.0), 10.0, sides)
+    u = collapse_to_point(0.0, r0, 10.0, (0.0, 0.0))
+
+    def evaluate_end():
+        return u.value_at(10.0)
+
+    end = benchmark(evaluate_end)
+    assert end == Region()
+    mid = u.value_at(5.0)
+    report(
+        f"Figure 6 collapse (sides={sides})",
+        [(f"{r0.area():.2f}", f"{mid.area():.2f}", f"{end.area():.2f}")],
+        ("area t=0", "area t=5", "area t=10 (cleanup)"),
+    )
+
+
+def test_fig6_interior_evaluation(benchmark):
+    """Interior ι over a multi-unit moving region (the common hot path)."""
+    mr = translating_mregion(units=20, sides=16)
+    t0, t1 = mr.start_time(), mr.end_time()
+    times = [t0 + (t1 - t0) * k / 50.0 for k in range(51)]
+
+    def evaluate_all():
+        return [mr.value_at(t) for t in times]
+
+    snapshots = benchmark(evaluate_all)
+    assert all(s is not None and s.area() > 0 for s in snapshots[:-1])

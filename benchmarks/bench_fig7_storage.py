@@ -1,0 +1,116 @@
+"""F7: Figure 7 — the mapping data structure with shared subarrays.
+
+Packs mappings of variable-size units into the root-record / units-array
+/ shared-subarray layout of the figure, verifies the structural claims
+(one units array ordered by interval, one shared element array per
+subarray of the unit type, subarray ranges tiling the shared arrays),
+and benchmarks (de)serialization throughput plus the inline-vs-paged
+FLOB placement of the tuple store.
+"""
+
+import struct
+
+import pytest
+
+from conftest import report, translating_mregion, zigzag_moving_point
+from repro.ranges.interval import Interval
+from repro.storage.records import StoredValue, pack_value, unpack_value
+from repro.storage.tuplestore import TupleStore
+from repro.temporal.mapping import MovingPoints
+from repro.temporal.mseg import MPoint
+from repro.temporal.upoints import UPoints
+
+
+def build_mpoints(units: int, points_per_unit: int) -> MovingPoints:
+    out = []
+    for k in range(units):
+        motions = [
+            MPoint(float(j), 0.1 * (k % 3 + 1), float(k), 0.2)
+            for j in range(points_per_unit)
+        ]
+        out.append(
+            UPoints(Interval(float(k), float(k + 1), True, False), motions)
+        )
+    return MovingPoints(out)
+
+
+def test_fig7_layout_structure(benchmark):
+    """The figure's structure: units array + one shared subarray."""
+    m = build_mpoints(units=3, points_per_unit=4)
+
+    def pack():
+        return pack_value("mpoints", m)
+
+    stored = benchmark(pack)
+    units_arr, elems = stored.arrays
+    assert len(units_arr) == 3
+    assert len(elems) == 12  # all units share one MPoint array
+    # Subarray ranges tile the shared array in unit order (Figure 7).
+    ranges = [(rec[4], rec[5]) for rec in units_arr]
+    assert ranges == [(0, 4), (4, 8), (8, 12)]
+    starts = [rec[0] for rec in units_arr]
+    assert starts == sorted(starts)
+    report(
+        "Figure 7 layout (mapping(upoints), 3 units x 4 points)",
+        [
+            ("root record", len(stored.root)),
+            ("units array", units_arr.nbytes),
+            ("shared MPoint array", elems.nbytes),
+        ],
+        ("component", "bytes"),
+    )
+    assert unpack_value(stored) == m
+
+
+@pytest.mark.parametrize("units", [16, 128, 1024])
+def test_fig7_mpoint_serialization_scaling(benchmark, units):
+    """Pack+flatten+unpack throughput for mapping(upoint)."""
+    m = zigzag_moving_point(units)
+
+    def roundtrip():
+        stored = pack_value("mpoint", m)
+        return unpack_value(StoredValue.from_bytes(stored.to_bytes()))
+
+    back = benchmark(roundtrip)
+    assert back == m
+
+
+@pytest.mark.parametrize("units", [4, 32])
+def test_fig7_mregion_serialization_scaling(benchmark, units):
+    """Pack+unpack throughput for mapping(uregion) with its 3 subarrays."""
+    m = translating_mregion(units=units, sides=12)
+
+    def roundtrip():
+        return unpack_value(pack_value("mregion", m))
+
+    back = benchmark(roundtrip)
+    assert back == m
+    stored = pack_value("mregion", m)
+    assert len(stored.arrays) == 4  # units + msegments + mcycles + mfaces
+
+
+def test_fig7_inline_vs_paged_placement(benchmark):
+    """The [DG98] placement decision: small arrays inline, large ones paged."""
+    short = zigzag_moving_point(3)
+    long = zigzag_moving_point(400)
+
+    def store_both():
+        ts = TupleStore(
+            [("name", "string"), ("track", "mpoint")], inline_threshold=512
+        )
+        ts.append(["short", short])
+        ts.append(["long", long])
+        return ts
+
+    ts = benchmark(store_both)
+    stats = ts.storage_stats()
+    assert stats["inline_arrays"] == 1
+    assert stats["external_arrays"] == 1
+    assert ts.fetch(0)[1] == short
+    assert ts.fetch(1)[1] == long
+    report(
+        "Figure 7 / DG98 placement",
+        [(stats["inline_arrays"], stats["external_arrays"],
+          stats["physical_writes"])],
+        ("inline arrays", "paged arrays", "page writes"),
+    )

@@ -1,0 +1,79 @@
+"""F8: Figure 8 — the refinement partition of two unit sequences.
+
+The parallel scan that underlies every binary operation on sliced
+values.  Verifies the figure's property (the partition cuts at every
+interval boundary of either input and is the coarsest such partition)
+and demonstrates the O(n + m) scaling: doubling both inputs roughly
+doubles the running time.
+"""
+
+import time
+
+import pytest
+
+from conftest import report, zigzag_moving_point
+from repro.temporal.refinement import refinement_partition
+
+
+@pytest.mark.parametrize("n", [100, 400, 1600])
+def test_fig8_scan_scaling(benchmark, n):
+    """O(n + m) parallel scan at growing input sizes."""
+    a = zigzag_moving_point(n)
+    b = zigzag_moving_point(n, t0=0.5)  # offset: every unit straddles two
+
+    def scan():
+        return list(refinement_partition(a.units, b.units))
+
+    pieces = benchmark(scan)
+    # Coarsest refinement: piece count is linear in n + m.
+    assert n <= len(pieces) <= 3 * (2 * n + 2)
+
+
+def test_fig8_partition_properties(benchmark):
+    """The partition covers both deftimes exactly and never splits needlessly."""
+    a = zigzag_moving_point(50)
+    b = zigzag_moving_point(30, t0=20.25)
+
+    def scan():
+        return list(refinement_partition(a.units, b.units))
+
+    pieces = benchmark(scan)
+    # Exact coverage of the union of deftimes.
+    from repro.ranges.rangeset import RangeSet
+
+    covered = RangeSet.normalized([p[0] for p in pieces])
+    assert covered == a.deftime().union(b.deftime())
+    # Within a piece the covering units are constant, and consecutive
+    # pieces differ in at least one side (coarsest property).
+    for (iv1, ua1, ub1), (iv2, ua2, ub2) in zip(pieces, pieces[1:]):
+        if iv1.adjacent(iv2):
+            assert ua1 is not ua2 or ub1 is not ub2
+    report(
+        "Figure 8 refinement",
+        [(len(a.units), len(b.units), len(pieces))],
+        ("units a", "units b", "refinement pieces"),
+    )
+
+
+def test_fig8_linear_growth_shape(benchmark):
+    """Empirical shape check: time per piece stays ~constant as n grows."""
+
+    def measure():
+        rates = []
+        for n in (200, 800, 3200):
+            a = zigzag_moving_point(n)
+            b = zigzag_moving_point(n, t0=0.5)
+            tic = time.perf_counter()
+            pieces = list(refinement_partition(a.units, b.units))
+            elapsed = time.perf_counter() - tic
+            rates.append((n, elapsed, elapsed / len(pieces)))
+        return rates
+
+    rates = benchmark.pedantic(measure, rounds=1, iterations=1)
+    report(
+        "Figure 8 scaling",
+        [(n, f"{t * 1000:.2f}", f"{per * 1e6:.2f}") for n, t, per in rates],
+        ("n=m", "total ms", "us/piece"),
+    )
+    # Per-piece cost must not grow superlinearly: allow generous slack.
+    assert rates[-1][2] < rates[0][2] * 4.0

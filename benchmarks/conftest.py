@@ -1,0 +1,103 @@
+"""Shared builders for the benchmark harness.
+
+Every benchmark regenerates one artifact of the paper (a table, a
+figure, or a Section-5 complexity claim); the builders here produce the
+deterministic workloads they run on.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from typing import List
+
+import pytest
+
+from repro.ranges.interval import Interval
+from repro.spatial.region import Region
+from repro.temporal.mapping import MovingPoint, MovingRegion
+from repro.temporal.uregion import URegion
+from repro.workloads.regions import regular_polygon
+from repro.workloads.trajectories import FlightGenerator
+
+
+def zigzag_moving_point(units: int, t0: float = 0.0, speed: float = 1.0) -> MovingPoint:
+    """A moving point with exactly ``units`` units (alternating headings)."""
+    waypoints = [(t0, (0.0, 0.0))]
+    x = y = 0.0
+    t = t0
+    for k in range(units):
+        t += 1.0
+        x += speed
+        y += speed if k % 2 == 0 else -speed
+        waypoints.append((t, (x, y)))
+    return MovingPoint.from_waypoints(waypoints)
+
+
+def translating_mregion(
+    units: int, sides: int = 4, t0: float = 0.0, radius: float = 1.0
+) -> MovingRegion:
+    """A moving region with ``units`` units and ``sides`` msegs per cycle.
+
+    The polygon drifts with alternating headings so that adjacent unit
+    functions always differ (the mapping minimality invariant).
+    """
+    out: List[URegion] = []
+    cx, cy = 0.0, 0.0
+    t = t0
+    for k in range(units):
+        heading = (k % 4) * math.pi / 2.0 + 0.3
+        nx = cx + math.cos(heading)
+        ny = cy + math.sin(heading)
+        r0 = regular_polygon((cx, cy), radius, sides)
+        r1 = regular_polygon((nx, ny), radius, sides)
+        u = URegion.between_regions(t, r0, t + 1.0, r1, validate="none")
+        if k < units - 1:
+            u = u.with_interval(Interval(t, t + 1.0, True, False))
+        out.append(u)
+        cx, cy = nx, ny
+        t += 1.0
+    return MovingRegion(out, validate=False)
+
+
+def big_region(segments: int, radius: float = 100.0) -> Region:
+    """A one-face region whose boundary has ``segments`` segments."""
+    return regular_polygon((0.0, 0.0), radius, sides=segments)
+
+
+def flights_relation(count: int, legs: int = 6, seed: int = 2000, stagger: float = 0.0):
+    """The planes relation of Section 2, at a configurable size.
+
+    ``stagger`` delays each departure — with large values flights stop
+    overlapping in time, the workload shape where the spatio-temporal
+    index filter of the Q2 ablation actually prunes.
+    """
+    from repro.db import Database
+
+    gen = FlightGenerator(seed=seed)
+    db = Database("bench")
+    planes = db.create_relation(
+        "planes", [("airline", "string"), ("id", "string"), ("flight", "mpoint")]
+    )
+    airlines = ["Lufthansa", "AirFrance", "KLM"]
+    for i in range(count):
+        planes.insert(
+            [airlines[i % 3], f"F{i:04d}",
+             gen.flight(legs=legs, start_time=i * stagger)]
+        )
+    return db
+
+
+def report(title: str, rows: List[tuple], header: tuple) -> None:
+    """Print a small results table (the 'rows the paper reports')."""
+    print(f"\n== {title} ==")
+    widths = [max(len(str(h)), 12) for h in header]
+    print("  " + "  ".join(str(h).ljust(w) for h, w in zip(header, widths)))
+    for row in rows:
+        print(
+            "  "
+            + "  ".join(
+                (f"{v:.6g}" if isinstance(v, float) else str(v)).ljust(w)
+                for v, w in zip(row, widths)
+            )
+        )

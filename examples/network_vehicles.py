@@ -1,0 +1,105 @@
+#!/usr/bin/env python3
+"""Vehicles on a road network: dense unit sequences, indexing, storage.
+
+Generates a random city grid (networkx), runs a fleet of shortest-path
+trips over it, then:
+
+* finds near-miss vehicle pairs (lifted distance + atmin),
+* answers a time-slice window query with the per-unit 3-D R-tree and
+  verifies it against a linear scan,
+* materializes the fleet through the Section-4 tuple storage and reports
+  the layout statistics (inline vs paged database arrays).
+
+Run:  python examples/network_vehicles.py
+"""
+
+import time
+
+from repro.db import Database
+from repro.index.unitindex import MovingObjectIndex
+from repro.ops.distance import closest_approach, mpoint_distance
+from repro.spatial.bbox import Rect
+from repro.workloads.network import RoadNetwork
+
+
+def main() -> None:
+    net = RoadNetwork(rows=8, cols=8, spacing=800.0, seed=13)
+    fleet = net.trips(30, speed_range=(8.0, 16.0))
+    print(
+        f"road network: {net.graph.number_of_nodes()} junctions, "
+        f"{net.graph.number_of_edges()} roads; fleet of {len(fleet)} trips, "
+        f"{sum(len(t) for t in fleet)} units total"
+    )
+
+    # ----- near-miss detection ------------------------------------------------
+    print("\nnear misses (closest approach < 50 m):")
+    found = 0
+    for i in range(len(fleet)):
+        for j in range(i + 1, len(fleet)):
+            d = mpoint_distance(fleet[i], fleet[j])
+            if not d.units:
+                continue
+            t, dmin = closest_approach(fleet[i], fleet[j])
+            if dmin < 50.0:
+                found += 1
+                print(f"  trips {i:2d}/{j:2d}: {dmin:6.1f} m at t={t:7.1f}")
+    print(f"  -> {found} pair(s)")
+
+    # ----- window query: R-tree vs linear scan ----------------------------------
+    idx = MovingObjectIndex()
+    for k, trip in enumerate(fleet):
+        idx.add(k, trip)
+    window = Rect(1000.0, 1000.0, 3000.0, 3000.0)
+    t0, t1 = 50.0, 250.0
+
+    tic = time.perf_counter()
+    candidates = idx.candidates_window(window, t0, t1)
+    index_ms = (time.perf_counter() - tic) * 1000
+
+    tic = time.perf_counter()
+    exact = set()
+    for k, trip in enumerate(fleet):
+        for step in range(101):
+            t = t0 + (t1 - t0) * step / 100.0
+            p = trip.value_at(t)
+            if p is not None and window.contains_point(p.vec):
+                exact.add(k)
+                break
+    scan_ms = (time.perf_counter() - tic) * 1000
+
+    assert exact <= candidates, "index must never miss a true hit"
+    print(
+        f"\nwindow query {window} in [{t0}, {t1}]: "
+        f"{len(exact)} true hits, {len(candidates)} index candidates "
+        f"({idx.unit_entries} unit cubes; index {index_ms:.2f} ms, "
+        f"sampled scan {scan_ms:.2f} ms)"
+    )
+
+    # ----- storage layout statistics ----------------------------------------------
+    db = Database("traffic")
+    rel = db.create_relation(
+        "trips",
+        [("vehicle", "string"), ("trip", "mpoint")],
+        materialized=True,
+        inline_threshold=256,
+    )
+    for k, trip in enumerate(fleet):
+        rel.insert([f"car-{k:03d}", trip])
+    stats = rel.storage_stats()
+    print(
+        f"\nmaterialized through the DBMS layout: {stats['tuples']} tuples, "
+        f"{stats['tuple_bytes']} B in tuples; database arrays "
+        f"{stats['inline_arrays']} inline / {stats['external_arrays']} paged; "
+        f"buffer pool {stats['hits']} hits / {stats['misses']} misses"
+    )
+
+    rows = db.query(
+        "SELECT vehicle, length(trajectory(trip)) AS dist FROM trips LIMIT 5"
+    )
+    print("\nfirst trips by SQL:")
+    for r in rows:
+        print(f"  {r['vehicle'].value}: {r['dist']:.0f} m")
+
+
+if __name__ == "__main__":
+    main()

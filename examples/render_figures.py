@@ -1,0 +1,100 @@
+#!/usr/bin/env python3
+"""Regenerate the paper's value-space figures as SVG images.
+
+Writes into ``figures/``:
+
+* ``figure2_line.svg``   — a line value: polyline parts plus loose segments;
+* ``figure3_region.svg`` — a region with holes and an island in a hole;
+* ``figure4_uline.svg``  — film strip of a moving line (drifting segments);
+* ``figure6_uregion.svg``— film strip of a moving region degenerating to a
+  point at its final instant (the Figure-6 cone);
+* ``storm_track.svg``    — a workload storm with a vehicle trajectory.
+
+Run:  python examples/render_figures.py
+"""
+
+import math
+import os
+
+from repro.io.svg import render_film_strip, render_values
+from repro.ranges.interval import Interval
+from repro.spatial.line import Line
+from repro.spatial.region import Region
+from repro.temporal.interpolate import collapse_to_point
+from repro.temporal.mapping import MovingLine, MovingRegion
+from repro.temporal.uline import ULine
+from repro.workloads.network import RoadNetwork
+from repro.workloads.regions import StormGenerator, regular_polygon
+
+
+def main() -> None:
+    os.makedirs("figures", exist_ok=True)
+
+    # Figure 2: a line value is just a set of segments.
+    curvy = Line.polyline([(0, 0), (2, 1.5), (4, 1), (6, 2.5), (8, 2)])
+    loose = Line([((1, 3), (3, 4)), ((5, 3.2), (6.5, 4.2)), ((2, 4.5), (2.5, 3.2))])
+    _write("figures/figure2_line.svg", render_values([curvy, loose]))
+
+    # Figure 3: region with two holes and an island inside a hole.
+    def ring(cx, cy, r, n=10):
+        return [
+            (cx + r * math.cos(2 * math.pi * k / n),
+             cy + r * math.sin(2 * math.pi * k / n))
+            for k in range(n)
+        ]
+    big = Region.polygon(ring(0, 0, 10), holes=[ring(-3, 0, 2), ring(4, 0, 3)])
+    island = Region.polygon(ring(4, 0, 1))
+    second = Region.polygon(ring(16, 2, 4))
+    _write(
+        "figures/figure3_region.svg",
+        render_values([big, island, second]),
+    )
+
+    # Figure 4: a uline of drifting segments, shown as a film strip.
+    l0 = Line([((0, 0), (2, 1)), ((1, 3), (3, 3)), ((4, 1), (5, 2.5))])
+    l1 = Line([((6, 2), (8, 3)), ((7, 5), (9, 5)), ((10, 3), (11, 4.5))])
+    ml = MovingLine([ULine.between_lines(0.0, l0, 10.0, l1)])
+    _write("figures/figure4_uline.svg", _line_strip(ml))
+
+    # Figure 6: a region collapsing to its apex (endpoint degeneracy).
+    cone = collapse_to_point(0.0, regular_polygon((0, 0), 8, 7), 10.0, (12.0, 2.0))
+    _write(
+        "figures/figure6_uregion.svg",
+        render_film_strip(MovingRegion([cone]), frames=5),
+    )
+
+    # A workload scene: storm cell + vehicle trajectory.
+    storm = StormGenerator(seed=4, radius_range=(800.0, 1500.0)).storm(phases=4)
+    trip = RoadNetwork(rows=5, cols=5, spacing=2000.0, seed=4).random_trip()
+    mid = storm.value_at(storm.start_time() + 80.0)
+    _write(
+        "figures/storm_track.svg",
+        render_values([mid, trip.trajectory()]),
+    )
+    print("figures written to figures/")
+
+
+def _line_strip(ml: MovingLine) -> str:
+    """Film strip for a moving line (overlaid snapshots)."""
+    from repro.io.svg import SvgCanvas, _world_of, _PALETTE
+
+    t0, t1 = ml.start_time(), ml.end_time()
+    times = [t0 + (t1 - t0) * k / 4 for k in range(5)]
+    snaps = [(t, ml.value_at(t)) for t in times]
+    world = _world_of([v for _t, v in snaps if v is not None])
+    canvas = SvgCanvas(world, width=720, height=400)
+    for i, (t, v) in enumerate(snaps):
+        if v is None:
+            continue
+        canvas.add_line(v, _PALETTE[i % len(_PALETTE)])
+    return canvas.to_svg()
+
+
+def _write(path: str, svg: str) -> None:
+    with open(path, "w", encoding="utf-8") as f:
+        f.write(svg)
+    print(f"  {path}")
+
+
+if __name__ == "__main__":
+    main()

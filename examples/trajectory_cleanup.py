@@ -1,0 +1,74 @@
+#!/usr/bin/env python3
+"""GPS track cleanup: simplification under the synchronized distance.
+
+A tracker samples once per second; the sliced representation stores one
+upoint unit per sample — wasteful when the vehicle drives straight.
+This example simulates a noisy dense track, simplifies it at several
+error bounds, and shows the effect on unit counts, storage bytes, and
+query results (the answers barely move, the representation shrinks by
+an order of magnitude).
+
+Run:  python examples/trajectory_cleanup.py
+"""
+
+import math
+import random
+
+from repro.ops.simplify import compression_ratio, simplification_error, simplify
+from repro.spatial.region import Region
+from repro.ops.interaction import mpoint_at_region
+from repro.storage.records import pack_value
+
+
+def simulated_gps_track(seconds: int = 600, seed: int = 11):
+    """A drive: long straights, a few turns, per-sample GPS jitter."""
+    rng = random.Random(seed)
+    heading = 0.0
+    speed = 14.0  # m/s
+    x = y = 0.0
+    waypoints = [(0.0, (0.0, 0.0))]
+    for t in range(1, seconds + 1):
+        if t % 120 == 0:  # a turn every two minutes
+            heading += rng.choice([-1.0, 1.0]) * math.pi / 3
+        x += speed * math.cos(heading)
+        y += speed * math.sin(heading)
+        jitter = (rng.uniform(-2.0, 2.0), rng.uniform(-2.0, 2.0))
+        waypoints.append((float(t), (x + jitter[0], y + jitter[1])))
+    from repro.temporal.mapping import MovingPoint
+
+    return MovingPoint.from_waypoints(waypoints)
+
+
+def main() -> None:
+    track = simulated_gps_track()
+    raw_bytes = pack_value("mpoint", track).total_bytes
+    print(
+        f"raw track: {len(track)} units, {raw_bytes} B stored, "
+        f"trajectory {track.trajectory().length() / 1000:.2f} km"
+    )
+
+    zone = Region.box(2000, -3000, 9000, 3000)
+    raw_visit = mpoint_at_region(track, zone).deftime().total_length()
+    print(f"time inside the zone (raw): {raw_visit:.1f} s\n")
+
+    print(f"{'epsilon':>8}  {'units':>6}  {'bytes':>7}  {'ratio':>6}  "
+          f"{'max error':>9}  {'zone time':>9}")
+    for eps in (1.0, 3.0, 10.0, 30.0, 100.0):
+        slim = simplify(track, eps)
+        stored = pack_value("mpoint", slim).total_bytes
+        err = simplification_error(track, slim)
+        visit = mpoint_at_region(slim, zone).deftime().total_length()
+        print(
+            f"{eps:8.1f}  {len(slim):6d}  {stored:7d}  "
+            f"{compression_ratio(track, slim):5.1f}x  {err:9.2f}  {visit:9.1f}"
+        )
+
+    print(
+        "\nNote how a 3 m bound (the GPS noise floor) already removes most "
+        "units while the zone-visit answer stays within seconds of the raw "
+        "track — the synchronized-distance guarantee at work."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,12 @@
+"""Legacy setup shim.
+
+Kept so that ``pip install -e .`` works in offline environments whose
+pip/setuptools cannot build PEP-660 editable wheels (no ``wheel``
+package available): without a [build-system] table, pip falls back to
+the legacy ``setup.py develop`` editable install, which needs nothing
+beyond setuptools itself.
+"""
+
+from setuptools import setup
+
+setup()

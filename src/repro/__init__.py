@@ -1,0 +1,101 @@
+"""repro: moving objects databases — discrete model and data structures.
+
+A faithful, self-contained Python implementation of
+
+    L. Forlizzi, R. H. Güting, E. Nardelli, M. Schneider:
+    "A Data Model and Data Structures for Moving Objects Databases",
+    SIGMOD 2000.
+
+Packages
+--------
+``repro.base``       base types (int/real/string/bool, instant) with ⊥
+``repro.ranges``     interval sets (range types) and intime pairs
+``repro.spatial``    point, points, line, region (cycles/faces/close)
+``repro.temporal``   unit types, the sliced representation (mapping)
+``repro.ops``        the operation algebra incl. Section-5 algorithms
+``repro.storage``    root records, database arrays, pages, FLOBs
+``repro.db``         mini-DBMS: relations, SQL subset, executor
+``repro.index``      3-D R-tree over unit bounding cubes
+``repro.workloads``  synthetic flights, storms, road-network trips
+``repro.typesystem`` executable signatures of Tables 1–3
+"""
+
+from repro.base import BoolVal, Instant, IntVal, RealVal, StringVal
+from repro.ranges import Interval, Intime, RangeSet
+from repro.spatial import Cube, Cycle, Face, Line, Point, Points, Rect, Region
+from repro.temporal import (
+    ConstUnit,
+    Mapping,
+    MovingBool,
+    MovingInt,
+    MovingLine,
+    MovingPoint,
+    MovingPoints,
+    MovingReal,
+    MovingRegion,
+    MovingString,
+    MPoint,
+    MSeg,
+    ULine,
+    UPoint,
+    UPoints,
+    UReal,
+    URegion,
+)
+from repro.errors import (
+    CatalogError,
+    InvalidValue,
+    NotClosed,
+    QueryError,
+    ReproError,
+    StorageError,
+    TypeMismatch,
+    UndefinedValue,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "BoolVal",
+    "Instant",
+    "IntVal",
+    "RealVal",
+    "StringVal",
+    "Interval",
+    "Intime",
+    "RangeSet",
+    "Cube",
+    "Cycle",
+    "Face",
+    "Line",
+    "Point",
+    "Points",
+    "Rect",
+    "Region",
+    "ConstUnit",
+    "Mapping",
+    "MovingBool",
+    "MovingInt",
+    "MovingLine",
+    "MovingPoint",
+    "MovingPoints",
+    "MovingReal",
+    "MovingRegion",
+    "MovingString",
+    "MPoint",
+    "MSeg",
+    "ULine",
+    "UPoint",
+    "UPoints",
+    "UReal",
+    "URegion",
+    "CatalogError",
+    "InvalidValue",
+    "NotClosed",
+    "QueryError",
+    "ReproError",
+    "StorageError",
+    "TypeMismatch",
+    "UndefinedValue",
+    "__version__",
+]

@@ -1,0 +1,26 @@
+"""Base data types of the discrete model (Section 3.2.1).
+
+The carrier sets of ``int``, ``real``, ``string``, ``bool`` and the time
+type ``instant`` are the corresponding programming language types extended
+with an explicit *undefined* value (bottom).
+"""
+
+from repro.base.values import (
+    BaseValue,
+    IntVal,
+    RealVal,
+    StringVal,
+    BoolVal,
+    UNDEFINED,
+)
+from repro.base.instant import Instant
+
+__all__ = [
+    "BaseValue",
+    "IntVal",
+    "RealVal",
+    "StringVal",
+    "BoolVal",
+    "UNDEFINED",
+    "Instant",
+]

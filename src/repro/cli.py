@@ -1,0 +1,182 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+``demo``              build the Section-2 ``planes`` relation and run
+                      both example queries
+``run <script.sql>``  execute a SQL script (CREATE TABLE / INSERT with
+                      text-format values / SELECT / EXPLAIN)
+``figures [dir]``     render the paper's value-space figures as SVG
+``info``              version, type system, and operation inventory
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Any, List, Optional
+
+
+def _format_value(v: Any) -> str:
+    from repro.base.instant import Instant
+    from repro.base.values import BaseValue
+
+    if isinstance(v, BaseValue):
+        return str(v.value) if v.defined else "⊥"
+    if isinstance(v, Instant):
+        return f"{v.value:g}" if v.defined else "⊥"
+    if isinstance(v, float):
+        return f"{v:g}"
+    return str(v)
+
+
+def _print_rows(rows: List[dict]) -> None:
+    if not rows:
+        print("  (no rows)")
+        return
+    headers = list(rows[0])
+    table = [[_format_value(r[h]) for h in headers] for r in rows]
+    widths = [
+        max(len(h), *(len(row[i]) for row in table)) for i, h in enumerate(headers)
+    ]
+    print("  " + " | ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    print("  " + "-+-".join("-" * w for w in widths))
+    for row in table:
+        print("  " + " | ".join(c.ljust(w) for c, w in zip(row, widths)))
+
+
+def cmd_demo(_args: argparse.Namespace) -> int:
+    """Build the Section-2 planes relation and run both example queries."""
+    from repro.db import Database
+    from repro.workloads.trajectories import FlightGenerator
+
+    gen = FlightGenerator(seed=2000)
+    db = Database()
+    planes = db.create_relation(
+        "planes", [("airline", "string"), ("id", "string"), ("flight", "mpoint")]
+    )
+    airlines = ["Lufthansa", "AirFrance", "KLM"]
+    for i in range(18):
+        planes.insert([airlines[i % 3], f"{airlines[i % 3][:2].upper()}{i:03d}",
+                       gen.flight(legs=6)])
+    q1 = ("SELECT airline, id FROM planes "
+          "WHERE airline = 'Lufthansa' AND length(trajectory(flight)) > 5000")
+    q2 = ("SELECT p.id AS a, q.id AS b FROM planes p, planes q "
+          "WHERE p.id < q.id "
+          "AND val(initial(atmin(distance(p.flight, q.flight)))) < 500")
+    print("Q1:", q1)
+    _print_rows(db.query(q1))
+    print("\nQ2:", q2)
+    _print_rows(db.query(q2))
+    return 0
+
+
+def cmd_run(args: argparse.Namespace) -> int:
+    """Execute a SQL script file against a fresh database."""
+    from repro.db import Database
+    from repro.db.script import run_script
+
+    with open(args.script, "r", encoding="utf-8") as f:
+        text = f.read()
+    db = Database()
+    for result in run_script(db, text):
+        first_line = result.statement.strip().splitlines()[0]
+        print(f"> {first_line[:76]}")
+        if result.rows is not None:
+            _print_rows(result.rows)
+        elif result.message:
+            print(f"  {result.message}")
+    return 0
+
+
+def cmd_figures(args: argparse.Namespace) -> int:
+    """Render the paper's value-space figures into a directory."""
+    import math
+    import os
+
+    from repro.io.svg import render_film_strip, render_values
+    from repro.spatial.line import Line
+    from repro.spatial.region import Region
+    from repro.temporal.interpolate import collapse_to_point
+    from repro.temporal.mapping import MovingRegion
+    from repro.workloads.regions import regular_polygon
+
+    os.makedirs(args.dir, exist_ok=True)
+
+    def write(name: str, svg: str) -> None:
+        path = os.path.join(args.dir, name)
+        with open(path, "w", encoding="utf-8") as f:
+            f.write(svg)
+        print(f"  {path}")
+
+    def ring(cx, cy, r, n=10):
+        return [
+            (cx + r * math.cos(2 * math.pi * k / n),
+             cy + r * math.sin(2 * math.pi * k / n))
+            for k in range(n)
+        ]
+
+    # Figure 2: line values are just segment sets.
+    curvy = Line.polyline([(0, 0), (2, 1.5), (4, 1), (6, 2.5), (8, 2)])
+    loose = Line(
+        [((1, 3), (3, 4)), ((5, 3.2), (6.5, 4.2)), ((2, 4.5), (2.5, 3.2))]
+    )
+    write("figure2_line.svg", render_values([curvy, loose]))
+
+    # Figure 3: region with holes and an island inside a hole.
+    big = Region.polygon(ring(0, 0, 10), holes=[ring(-3, 0, 2), ring(4, 0, 3)])
+    island = Region.polygon(ring(4, 0, 1))
+    write("figure3_region.svg", render_values([big, island]))
+
+    # Figure 6: a moving region collapsing to a point.
+    cone = collapse_to_point(
+        0.0, regular_polygon((0, 0), 8, 7), 10.0, (12.0, 2.0)
+    )
+    write(
+        "figure6_uregion.svg",
+        render_film_strip(MovingRegion([cone]), frames=5),
+    )
+    return 0
+
+
+def cmd_info(_args: argparse.Namespace) -> int:
+    """Print version, type-system, and operation inventories."""
+    import repro
+    from repro.ops.signatures import OPERATIONS
+    from repro.typesystem import DISCRETE_SIGNATURE
+
+    print(f"repro {repro.__version__} — moving objects databases (SIGMOD 2000)")
+    types = DISCRETE_SIGNATURE.all_types(max_depth=3)
+    print(f"\ndiscrete type system: {len(types)} types, e.g.:")
+    for t in ("region", "ureal", "mapping(upoint)", "mapping(uregion)"):
+        print(f"  {t}")
+    print(f"\noperations: {len(OPERATIONS)} registered")
+    for op in OPERATIONS[:8]:
+        args = " × ".join(op.args)
+        print(f"  {op.name}: {args} → {op.result}")
+    print(f"  ... and {len(OPERATIONS) - 8} more (see repro.ops.signatures)")
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = argparse.ArgumentParser(
+        prog="repro", description="moving objects databases (SIGMOD 2000 reproduction)"
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+    sub.add_parser("demo", help="run the Section-2 example queries").set_defaults(
+        fn=cmd_demo
+    )
+    run_p = sub.add_parser("run", help="execute a SQL script")
+    run_p.add_argument("script")
+    run_p.set_defaults(fn=cmd_run)
+    fig_p = sub.add_parser("figures", help="render the paper figures as SVG")
+    fig_p.add_argument("dir", nargs="?", default="figures")
+    fig_p.set_defaults(fn=cmd_figures)
+    sub.add_parser("info", help="version and inventory").set_defaults(fn=cmd_info)
+    args = parser.parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

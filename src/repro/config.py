@@ -1,0 +1,68 @@
+"""Numeric configuration shared by the whole library.
+
+All geometric and temporal predicates funnel through the comparison helpers
+defined here so that a single, consistent floating point tolerance governs
+the entire system.  The tolerance is deliberately absolute rather than
+relative: the discrete model of the paper assumes coordinates of bounded
+magnitude (map or airspace extents), for which an absolute epsilon gives
+predictable, symmetric behaviour.
+"""
+
+from __future__ import annotations
+
+import math
+
+#: Absolute tolerance used by all floating point comparisons.
+EPSILON: float = 1e-9
+
+#: Database arrays at most this many bytes are stored inline in the tuple;
+#: larger ones are moved to a separate FLOB (large object) file, following
+#: the placement strategy of Dieker & Gueting [DG98].
+INLINE_THRESHOLD: int = 1024
+
+#: Page size, in bytes, of the storage engine's page manager.
+PAGE_SIZE: int = 4096
+
+
+def feq(a: float, b: float, eps: float = EPSILON) -> bool:
+    """Return True if ``a`` and ``b`` are equal within tolerance."""
+    return abs(a - b) <= eps
+
+
+def fle(a: float, b: float, eps: float = EPSILON) -> bool:
+    """Return True if ``a`` is less than or equal to ``b`` within tolerance."""
+    return a <= b + eps
+
+
+def flt(a: float, b: float, eps: float = EPSILON) -> bool:
+    """Return True if ``a`` is strictly less than ``b`` beyond tolerance."""
+    return a < b - eps
+
+
+def fge(a: float, b: float, eps: float = EPSILON) -> bool:
+    """Return True if ``a`` is greater than or equal to ``b`` within tolerance."""
+    return a >= b - eps
+
+
+def fgt(a: float, b: float, eps: float = EPSILON) -> bool:
+    """Return True if ``a`` is strictly greater than ``b`` beyond tolerance."""
+    return a > b + eps
+
+
+def fzero(a: float, eps: float = EPSILON) -> bool:
+    """Return True if ``a`` is zero within tolerance."""
+    return abs(a) <= eps
+
+
+def fsign(a: float, eps: float = EPSILON) -> int:
+    """Return the sign of ``a`` under tolerance: -1, 0, or +1."""
+    if a > eps:
+        return 1
+    if a < -eps:
+        return -1
+    return 0
+
+
+def is_finite(a: float) -> bool:
+    """Return True if ``a`` is a finite real number (not NaN or infinity)."""
+    return math.isfinite(a)

@@ -1,0 +1,42 @@
+"""A miniature relational DBMS with moving-object attribute types.
+
+The paper's data types are designed to be plugged "as attribute types
+into any DBMS data model" (Section 1).  This package supplies that
+host: relations whose columns may hold ``mpoint``/``mregion``/... values
+(stored through the Section-4 data structures), an expression evaluator
+exposing the operation algebra, and a small SQL subset sufficient to run
+the Section-2 example queries verbatim.
+"""
+
+from repro.db.schema import Schema
+from repro.db.relation import Relation
+from repro.db.catalog import Database
+from repro.db.expressions import (
+    Expr,
+    Column,
+    Literal,
+    Call,
+    Compare,
+    And,
+    Or,
+    Not,
+    register_function,
+)
+from repro.db.sql import parse_query, run_query
+
+__all__ = [
+    "Schema",
+    "Relation",
+    "Database",
+    "Expr",
+    "Column",
+    "Literal",
+    "Call",
+    "Compare",
+    "And",
+    "Or",
+    "Not",
+    "register_function",
+    "parse_query",
+    "run_query",
+]

@@ -1,0 +1,58 @@
+"""The database catalog: named relations."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.db.relation import Relation
+from repro.db.schema import Schema
+from repro.errors import CatalogError
+
+
+class Database:
+    """A collection of named relations plus query entry points."""
+
+    def __init__(self, name: str = "modb"):
+        self.name = name
+        self._relations: Dict[str, Relation] = {}
+
+    def create_relation(
+        self,
+        name: str,
+        attributes: Sequence[Tuple[str, str]],
+        materialized: bool = False,
+        inline_threshold: Optional[int] = None,
+    ) -> Relation:
+        """Create and register a relation; raises on duplicate names."""
+        if name in self._relations:
+            raise CatalogError(f"relation {name!r} already exists")
+        rel = Relation(
+            name, Schema(attributes), materialized, inline_threshold=inline_threshold
+        )
+        self._relations[name] = rel
+        return rel
+
+    def drop_relation(self, name: str) -> None:
+        """Remove a relation; raises on unknown names."""
+        if name not in self._relations:
+            raise CatalogError(f"no relation named {name!r}")
+        del self._relations[name]
+
+    def relation(self, name: str) -> Relation:
+        """Look up a relation by name."""
+        rel = self._relations.get(name)
+        if rel is None:
+            raise CatalogError(f"no relation named {name!r}")
+        return rel
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._relations
+
+    def relation_names(self) -> List[str]:
+        return sorted(self._relations)
+
+    def query(self, sql: str) -> List[dict]:
+        """Parse and execute a SQL query against this database."""
+        from repro.db.sql import run_query
+
+        return run_query(self, sql)

@@ -1,0 +1,415 @@
+"""Query expressions: columns, literals, calls into the operation algebra.
+
+The function registry maps SQL-level names onto the operations of
+:mod:`repro.ops`, dispatching on the runtime types of the arguments —
+the query language sees one overloaded ``distance`` or ``length``, just
+as the abstract model's generic operations do.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, List, Sequence, Tuple
+
+from repro.base.instant import Instant
+from repro.base.values import BaseValue
+from repro.errors import QueryError
+from repro.ranges.intime import Intime
+from repro.ranges.rangeset import RangeSet
+from repro.spatial.line import Line
+from repro.spatial.point import Point
+from repro.spatial.region import Region
+from repro.temporal.mapping import (
+    Mapping,
+    MovingBool,
+    MovingPoint,
+    MovingReal,
+    MovingRegion,
+)
+
+Row = Dict[str, Any]
+
+
+class Expr:
+    """Base class of query expressions."""
+
+    def eval(self, row: Row) -> Any:
+        raise NotImplementedError
+
+    def columns(self) -> List[str]:
+        """All column references in the expression tree."""
+        return []
+
+
+@dataclass(frozen=True)
+class Column(Expr):
+    """A (possibly qualified) column reference."""
+
+    name: str
+
+    def eval(self, row: Row) -> Any:
+        if self.name in row:
+            return row[self.name]
+        # Unqualified lookup over qualified keys (alias.column).
+        matches = [k for k in row if k.endswith("." + self.name)]
+        if len(matches) == 1:
+            return row[matches[0]]
+        if len(matches) > 1:
+            raise QueryError(f"ambiguous column {self.name!r}: {sorted(matches)}")
+        raise QueryError(f"unknown column {self.name!r}")
+
+    def columns(self) -> List[str]:
+        return [self.name]
+
+
+@dataclass(frozen=True)
+class Literal(Expr):
+    """A constant (number, string, or boolean)."""
+
+    value: Any
+
+    def eval(self, row: Row) -> Any:
+        return self.value
+
+
+@dataclass(frozen=True)
+class Call(Expr):
+    """A function application ``f(e1, ..., ek)``."""
+
+    func: str
+    args: Tuple[Expr, ...]
+
+    def eval(self, row: Row) -> Any:
+        fn = _FUNCTIONS.get(self.func.lower())
+        if fn is None:
+            raise QueryError(f"unknown function {self.func!r}")
+        values = [a.eval(row) for a in self.args]
+        try:
+            return fn(*values)
+        except QueryError:
+            raise
+        except Exception as exc:
+            raise QueryError(f"error evaluating {self.func}: {exc}") from exc
+
+    def columns(self) -> List[str]:
+        out: List[str] = []
+        for a in self.args:
+            out.extend(a.columns())
+        return out
+
+
+def _unwrap(v: Any) -> Any:
+    """Strip base-value wrappers for scalar comparisons."""
+    if isinstance(v, BaseValue):
+        return v.value if v.defined else None
+    if isinstance(v, Instant):
+        return v.value if v.defined else None
+    return v
+
+
+@dataclass(frozen=True)
+class Compare(Expr):
+    """A scalar comparison ``left op right``."""
+
+    op: str
+    left: Expr
+    right: Expr
+
+    def eval(self, row: Row) -> bool:
+        lhs = _unwrap(self.left.eval(row))
+        rhs = _unwrap(self.right.eval(row))
+        if lhs is None or rhs is None:
+            return False  # comparisons with undefined are false
+        if self.op == "=":
+            return lhs == rhs
+        if self.op in ("<>", "!="):
+            return lhs != rhs
+        if self.op == "<":
+            return lhs < rhs
+        if self.op == "<=":
+            return lhs <= rhs
+        if self.op == ">":
+            return lhs > rhs
+        if self.op == ">=":
+            return lhs >= rhs
+        raise QueryError(f"unknown comparison operator {self.op!r}")
+
+    def columns(self) -> List[str]:
+        return self.left.columns() + self.right.columns()
+
+
+@dataclass(frozen=True)
+class And(Expr):
+    left: Expr
+    right: Expr
+
+    def eval(self, row: Row) -> bool:
+        return bool(self.left.eval(row)) and bool(self.right.eval(row))
+
+    def columns(self) -> List[str]:
+        return self.left.columns() + self.right.columns()
+
+
+@dataclass(frozen=True)
+class Or(Expr):
+    left: Expr
+    right: Expr
+
+    def eval(self, row: Row) -> bool:
+        return bool(self.left.eval(row)) or bool(self.right.eval(row))
+
+    def columns(self) -> List[str]:
+        return self.left.columns() + self.right.columns()
+
+
+@dataclass(frozen=True)
+class Not(Expr):
+    inner: Expr
+
+    def eval(self, row: Row) -> bool:
+        return not bool(self.inner.eval(row))
+
+    def columns(self) -> List[str]:
+        return self.inner.columns()
+
+
+# ---------------------------------------------------------------------------
+# Function registry: SQL names → operation algebra
+# ---------------------------------------------------------------------------
+
+
+def _fn_trajectory(mp: MovingPoint) -> Line:
+    return mp.trajectory()
+
+
+def _fn_length(arg: Any) -> float:
+    if isinstance(arg, Line):
+        return arg.length()
+    if isinstance(arg, MovingPoint):
+        return arg.length()
+    raise QueryError(f"length() not applicable to {type(arg).__name__}")
+
+
+def _fn_distance(a: Any, b: Any) -> Any:
+    from repro.ops.distance import (
+        mpoint_distance,
+        mpoint_line_distance,
+        mpoint_region_distance,
+        mpoint_static_distance,
+    )
+
+    if isinstance(b, MovingPoint) and not isinstance(a, MovingPoint):
+        a, b = b, a  # the operation is symmetric; normalize dispatch
+    if isinstance(a, MovingPoint) and isinstance(b, MovingPoint):
+        return mpoint_distance(a, b)
+    if isinstance(a, MovingPoint) and isinstance(b, Point):
+        return mpoint_static_distance(a, b)
+    if isinstance(a, MovingPoint) and isinstance(b, Line):
+        return mpoint_line_distance(a, b)
+    if isinstance(a, MovingPoint) and isinstance(b, Region):
+        return mpoint_region_distance(a, b)
+    if isinstance(a, Point) and isinstance(b, Point):
+        return a.distance(b)
+    raise QueryError(
+        f"distance() not applicable to "
+        f"({type(a).__name__}, {type(b).__name__})"
+    )
+
+
+def _fn_atmin(m: MovingReal) -> MovingReal:
+    return m.atmin()
+
+
+def _fn_atmax(m: MovingReal) -> MovingReal:
+    return m.atmax()
+
+
+def _fn_initial(m: Mapping) -> Any:
+    return m.initial()
+
+
+def _fn_final(m: Mapping) -> Any:
+    return m.final()
+
+
+def _fn_val(p: Intime) -> Any:
+    from repro.ops.aggregates import val
+
+    return val(p)
+
+
+def _fn_inst(p: Intime) -> Any:
+    from repro.ops.aggregates import inst
+
+    return inst(p)
+
+
+def _fn_atinstant(m: Mapping, t: Any) -> Any:
+    return m.at_instant(_unwrap_time(t))
+
+
+def _unwrap_time(t: Any) -> float:
+    if isinstance(t, Instant):
+        return t.value
+    if isinstance(t, BaseValue):
+        return float(t.value)
+    return float(t)
+
+
+def _fn_present(m: Mapping, t: Any) -> bool:
+    return m.present(_unwrap_time(t))
+
+
+def _fn_inside(a: Any, b: Any) -> Any:
+    from repro.ops.inside import inside
+    from repro.temporal.uregion import URegion
+
+    if isinstance(a, MovingPoint) and isinstance(b, MovingRegion):
+        return inside(a, b)
+    if isinstance(a, MovingPoint) and isinstance(b, Region):
+        span = a.deftime().span()
+        if span is None:
+            return MovingBool([])
+        return inside(a, MovingRegion([URegion.stationary(span, b)]))
+    if isinstance(a, Point) and isinstance(b, Region):
+        return b.contains_point(a)
+    raise QueryError(
+        f"inside() not applicable to ({type(a).__name__}, {type(b).__name__})"
+    )
+
+
+def _fn_passes(mp: MovingPoint, r: Region) -> bool:
+    from repro.ops.interaction import passes
+
+    return passes(mp, r)
+
+
+def _fn_area(arg: Any) -> Any:
+    if isinstance(arg, Region):
+        return arg.area()
+    if isinstance(arg, MovingRegion):
+        return arg.area()
+    raise QueryError(f"area() not applicable to {type(arg).__name__}")
+
+
+def _fn_perimeter(arg: Any) -> Any:
+    if isinstance(arg, Region):
+        return arg.perimeter()
+    if isinstance(arg, MovingRegion):
+        return arg.perimeter()
+    raise QueryError(f"perimeter() not applicable to {type(arg).__name__}")
+
+
+def _fn_speed(mp: MovingPoint) -> MovingReal:
+    return mp.speed()
+
+
+def _fn_deftime(m: Mapping) -> RangeSet:
+    return m.deftime()
+
+
+def _fn_duration(r: RangeSet) -> float:
+    return float(r.total_length())
+
+
+def _fn_minimum(m: MovingReal) -> float:
+    return m.minimum()
+
+
+def _fn_maximum(m: MovingReal) -> float:
+    return m.maximum()
+
+
+def _fn_when(mb: MovingBool) -> RangeSet:
+    return mb.when(True)
+
+
+def _fn_sometimes(mb: MovingBool) -> bool:
+    return bool(mb.when(True))
+
+
+def _fn_always(mb: MovingBool) -> bool:
+    return bool(mb) and not mb.when(False)
+
+
+def _fn_ever_closer_than(a: MovingPoint, b: MovingPoint, d: Any) -> bool:
+    """Bounding-cube-filtered "came closer than d" predicate.
+
+    Cheap pre-filter before the exact minimum-distance computation —
+    this is the predicate a spatio-temporal join accelerates with the
+    R-tree of :mod:`repro.index`.
+    """
+    threshold = float(_unwrap(d))
+    if not a.units or not b.units:
+        return False
+    ca, cb = a.bounding_cube(), b.bounding_cube()
+    grown = type(ca)(
+        ca.xmin - threshold,
+        ca.ymin - threshold,
+        ca.tmin,
+        ca.xmax + threshold,
+        ca.ymax + threshold,
+        ca.tmax,
+    )
+    if not grown.intersects(cb):
+        return False
+    from repro.ops.distance import mpoint_distance
+
+    dist = mpoint_distance(a, b)
+    if not dist.units:
+        return False
+    return dist.minimum() < threshold
+
+
+def _fn_mmin(a: MovingReal, b: MovingReal) -> MovingReal:
+    from repro.ops.lifted import mreal_min
+
+    return mreal_min(a, b)
+
+
+def _fn_mmax(a: MovingReal, b: MovingReal) -> MovingReal:
+    from repro.ops.lifted import mreal_max
+
+    return mreal_max(a, b)
+
+
+_FUNCTIONS: Dict[str, Callable[..., Any]] = {
+    "trajectory": _fn_trajectory,
+    "length": _fn_length,
+    "distance": _fn_distance,
+    "atmin": _fn_atmin,
+    "atmax": _fn_atmax,
+    "initial": _fn_initial,
+    "final": _fn_final,
+    "val": _fn_val,
+    "inst": _fn_inst,
+    "atinstant": _fn_atinstant,
+    "present": _fn_present,
+    "inside": _fn_inside,
+    "passes": _fn_passes,
+    "area": _fn_area,
+    "perimeter": _fn_perimeter,
+    "speed": _fn_speed,
+    "deftime": _fn_deftime,
+    "duration": _fn_duration,
+    "minimum": _fn_minimum,
+    "maximum": _fn_maximum,
+    "when": _fn_when,
+    "sometimes": _fn_sometimes,
+    "always": _fn_always,
+    "ever_closer_than": _fn_ever_closer_than,
+    "integral": lambda m: m.integral(),
+    "avg_value": lambda m: m.time_weighted_average(),
+    "mmin": _fn_mmin,
+    "mmax": _fn_mmax,
+}
+
+
+def register_function(name: str, fn: Callable[..., Any]) -> None:
+    """Extend the query language with a new function."""
+    _FUNCTIONS[name.lower()] = fn
+
+
+def function_names() -> List[str]:
+    """All registered function names."""
+    return sorted(_FUNCTIONS)

@@ -1,0 +1,76 @@
+"""Relation schemas: attribute names bound to attribute data types."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, List, Sequence, Tuple
+
+from repro.errors import CatalogError
+from repro.storage.records import codec_for
+
+#: Type names accepted in schemas — the storage codec registry is the
+#: single source of truth for what can be a column type.
+def _validate_type(type_name: str) -> str:
+    try:
+        codec_for(type_name)
+    except Exception as exc:
+        raise CatalogError(f"unknown attribute type {type_name!r}") from exc
+    return type_name
+
+
+@dataclass(frozen=True)
+class Attribute:
+    """One column: a name and an attribute data type."""
+
+    name: str
+    type_name: str
+
+
+class Schema:
+    """An ordered list of attributes with unique names."""
+
+    def __init__(self, attributes: Sequence[Tuple[str, str]]):
+        names = [n for n, _ in attributes]
+        if len(set(names)) != len(names):
+            raise CatalogError("duplicate attribute names in schema")
+        self._attrs = [
+            Attribute(name, _validate_type(type_name))
+            for name, type_name in attributes
+        ]
+
+    @property
+    def attributes(self) -> List[Attribute]:
+        return list(self._attrs)
+
+    @property
+    def names(self) -> List[str]:
+        return [a.name for a in self._attrs]
+
+    def __len__(self) -> int:
+        return len(self._attrs)
+
+    def __iter__(self) -> Iterator[Attribute]:
+        return iter(self._attrs)
+
+    def index_of(self, name: str) -> int:
+        """Position of the attribute ``name``; raises on unknown names."""
+        for i, a in enumerate(self._attrs):
+            if a.name == name:
+                return i
+        raise CatalogError(f"no attribute named {name!r}")
+
+    def type_of(self, name: str) -> str:
+        """The type name of the attribute ``name``."""
+        return self._attrs[self.index_of(name)].type_name
+
+    def __contains__(self, name: str) -> bool:
+        return any(a.name == name for a in self._attrs)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Schema):
+            return NotImplemented
+        return self._attrs == other._attrs
+
+    def __repr__(self) -> str:
+        inner = ", ".join(f"{a.name}: {a.type_name}" for a in self._attrs)
+        return f"Schema({inner})"

@@ -1,0 +1,51 @@
+"""Exception hierarchy for the moving objects database library.
+
+Every error raised by the library derives from :class:`ReproError` so that
+callers can catch library failures with a single ``except`` clause while
+still being able to distinguish the individual failure modes.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by this library."""
+
+
+class InvalidValue(ReproError):
+    """A finite representation violates the constraints of its data type.
+
+    Raised by type constructors when the supplied components do not form a
+    valid carrier-set element — e.g. a set of segments with collinear
+    overlaps offered as a ``line`` value, or a ``mapping`` whose unit
+    intervals overlap.
+    """
+
+
+class UndefinedValue(ReproError):
+    """An operation was applied to the undefined value (bottom)."""
+
+
+class TypeMismatch(ReproError):
+    """An operation received arguments of the wrong data type."""
+
+
+class StorageError(ReproError):
+    """A failure in the storage engine (pages, arrays, codecs)."""
+
+
+class CatalogError(ReproError):
+    """A failure in the database catalog (unknown relation, duplicate name)."""
+
+
+class QueryError(ReproError):
+    """A failure while parsing, planning, or executing a query."""
+
+
+class NotClosed(ReproError):
+    """An operation of the abstract model is not closed in the discrete model.
+
+    The paper notes that a few operations (notably ``derivative``) cannot be
+    transferred to the discrete representation because the chosen unit
+    functions are not closed under them.
+    """

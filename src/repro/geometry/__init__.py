@@ -1,0 +1,62 @@
+"""Geometric kernel: points, segments, predicates, and sweep algorithms.
+
+Everything in the library that touches 2-D geometry goes through this
+package, so the floating point tolerance policy of :mod:`repro.config`
+is applied uniformly.
+"""
+
+from repro.geometry.primitives import (
+    Vec,
+    orientation,
+    cross,
+    dot,
+    point_cmp,
+    point_eq,
+    dist,
+    dist_sq,
+)
+from repro.geometry.segment import (
+    Seg,
+    make_seg,
+    collinear,
+    p_intersect,
+    touch,
+    meet,
+    seg_overlap,
+    segs_disjoint,
+    point_on_seg,
+    seg_intersection_point,
+    HalfSegment,
+    halfsegments_of,
+)
+from repro.geometry.mergesegs import merge_segs, parity_fragments
+from repro.geometry.plumbline import point_in_segset, point_on_boundary
+from repro.geometry.splitting import split_at_intersections
+
+__all__ = [
+    "Vec",
+    "orientation",
+    "cross",
+    "dot",
+    "point_cmp",
+    "point_eq",
+    "dist",
+    "dist_sq",
+    "Seg",
+    "make_seg",
+    "collinear",
+    "p_intersect",
+    "touch",
+    "meet",
+    "seg_overlap",
+    "segs_disjoint",
+    "point_on_seg",
+    "seg_intersection_point",
+    "HalfSegment",
+    "halfsegments_of",
+    "merge_segs",
+    "parity_fragments",
+    "point_in_segset",
+    "point_on_boundary",
+    "split_at_intersections",
+]

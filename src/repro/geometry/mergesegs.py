@@ -1,0 +1,186 @@
+"""Normalization of collinear segment collections.
+
+Two operations from the paper live here:
+
+* :func:`merge_segs` — the ``merge-segs`` function used by the degeneracy
+  cleanup of ``uline`` (Section 3.2.6): merge collinear overlapping or
+  adjacent segments into maximal ones, so the result satisfies the
+  ``line`` uniqueness constraint.
+
+* :func:`parity_fragments` — the fragment/parity rule used by the
+  endpoint cleanup of ``uregion``: partition each carrier line into
+  fragments covered by the same set of segments and keep exactly the
+  fragments covered an odd number of times.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from repro.config import EPSILON
+from repro.geometry.primitives import Vec, lerp, point_cmp
+from repro.geometry.segment import Seg, collinear, make_seg, project_param
+
+
+def _group_collinear(segs: list[Seg], eps: float) -> list[list[Seg]]:
+    """Partition segments into groups lying on the same infinite line.
+
+    Each group is represented by its longest member (the carrier):
+    testing new segments against the carrier rather than an arbitrary
+    member prevents near-degenerate segments — collinear with everything
+    within tolerance — from bridging unrelated carriers.
+
+    Quadratic in the number of segments, which is fine for the unit-local
+    cleanups this module serves (units carry few segments compared to
+    whole mappings).
+    """
+    from repro.geometry.primitives import dist_sq
+
+    groups: list[list[Seg]] = []
+    carriers: list[Seg] = []
+    for s in segs:
+        for gi, group in enumerate(groups):
+            if collinear(carriers[gi], s, eps):
+                group.append(s)
+                if dist_sq(s[0], s[1]) > dist_sq(carriers[gi][0], carriers[gi][1]):
+                    carriers[gi] = s
+                break
+        else:
+            groups.append([s])
+            carriers.append(s)
+    return groups
+
+
+def _carrier_point(carrier: Seg, param: float) -> Vec:
+    """Return the point at ``param`` along the carrier segment's line."""
+    return lerp(carrier[0], carrier[1], param)
+
+
+def _carrier_of(group: list[Seg]) -> Seg:
+    """The longest segment of a collinear group (numerically stable carrier)."""
+    from repro.geometry.primitives import dist_sq
+
+    return max(group, key=lambda s: dist_sq(s[0], s[1]))
+
+
+def _carrier_underflows(carrier: Seg) -> bool:
+    """True when the squared carrier length underflows to zero.
+
+    Such segments (length < ~1e-154) are far below any modelling
+    resolution; projection onto them is meaningless, so callers pass
+    the group through unchanged instead of merging.
+    """
+    from repro.geometry.primitives import dist_sq
+
+    return dist_sq(carrier[0], carrier[1]) == 0.0
+
+
+def _events_on_carrier(group: list[Seg]) -> list[tuple[float, int]]:
+    """Project a collinear group onto its carrier line as 1-D intervals.
+
+    Returns sorted events ``(param, delta)`` with delta +1 at a segment
+    start and -1 at a segment end, parameterized along the group's
+    longest segment (a short carrier would lose precision).
+    """
+    carrier = _carrier_of(group)
+    events: list[tuple[float, int]] = []
+    for s in group:
+        t0 = project_param(s[0], carrier)
+        t1 = project_param(s[1], carrier)
+        if t0 > t1:
+            t0, t1 = t1, t0
+        events.append((t0, +1))
+        events.append((t1, -1))
+    events.sort(key=lambda e: (e[0], -e[1]))
+    return events
+
+
+def merge_segs(segs: Iterable[Seg], eps: float = EPSILON) -> list[Seg]:
+    """Merge collinear overlapping/adjacent segments into maximal segments.
+
+    The result covers exactly the union of the input point sets and
+    satisfies the ``line`` constraint that no two collinear segments
+    overlap.  Non-collinear segments pass through unchanged.
+    """
+    seg_list = [make_seg(s[0], s[1]) for s in segs]
+    result: list[Seg] = []
+    param_tol = 1e-9
+    for group in _group_collinear(seg_list, eps):
+        if len(group) == 1:
+            result.append(group[0])
+            continue
+        carrier = _carrier_of(group)
+        if _carrier_underflows(carrier):
+            result.extend(set(group))
+            continue
+        events = _events_on_carrier(group)
+        depth = 0
+        run_start: float | None = None
+        runs: list[tuple[float, float]] = []
+        for param, delta in events:
+            if depth == 0 and delta == +1:
+                run_start = param
+            depth += delta
+            if depth == 0 and delta == -1:
+                assert run_start is not None
+                runs.append((run_start, param))
+        # Coalesce runs that touch end-to-start (adjacent segments).
+        coalesced: list[tuple[float, float]] = []
+        for lo, hi in runs:
+            if coalesced and lo - coalesced[-1][1] <= param_tol:
+                coalesced[-1] = (coalesced[-1][0], hi)
+            else:
+                coalesced.append((lo, hi))
+        for lo, hi in coalesced:
+            p = _carrier_point(carrier, lo)
+            q = _carrier_point(carrier, hi)
+            if point_cmp(p, q) != 0:
+                result.append(make_seg(p, q))
+    return sorted(result)
+
+
+def parity_fragments(segs: Iterable[Seg], eps: float = EPSILON) -> list[Seg]:
+    """Apply the odd-parity fragment rule of the ``uregion`` cleanup.
+
+    Partition every carrier line into fragments belonging to the same set
+    of segments, count for each fragment the number of covering segments,
+    drop even fragments and keep odd ones (Section 3.2.6).  Adjacent odd
+    fragments are merged into maximal segments.
+    """
+    seg_list = [make_seg(s[0], s[1]) for s in segs]
+    result: list[Seg] = []
+    param_tol = 1e-9
+    for group in _group_collinear(seg_list, eps):
+        if len(group) == 1:
+            result.append(group[0])
+            continue
+        carrier = _carrier_of(group)
+        if _carrier_underflows(carrier):
+            result.extend(set(group))
+            continue
+        events = _events_on_carrier(group)
+        depth = 0
+        prev_param: float | None = None
+        odd_runs: list[tuple[float, float]] = []
+        for param, delta in events:
+            if (
+                prev_param is not None
+                and param - prev_param > param_tol
+                and depth % 2 == 1
+            ):
+                odd_runs.append((prev_param, param))
+            depth += delta
+            prev_param = param
+        # Merge adjacent odd fragments.
+        coalesced: list[tuple[float, float]] = []
+        for lo, hi in odd_runs:
+            if coalesced and lo - coalesced[-1][1] <= param_tol:
+                coalesced[-1] = (coalesced[-1][0], hi)
+            else:
+                coalesced.append((lo, hi))
+        for lo, hi in coalesced:
+            p = _carrier_point(carrier, lo)
+            q = _carrier_point(carrier, hi)
+            if point_cmp(p, q) != 0:
+                result.append(make_seg(p, q))
+    return sorted(result)

@@ -1,0 +1,64 @@
+"""Point-in-polygon testing via the plumbline (ray casting) algorithm.
+
+Section 5.2 of the paper invokes "a well-known technique in computational
+geometry, the 'plumbline' algorithm which counts how many segments in 2D
+are above the point".  We cast a vertical ray upward from the query point
+and count proper crossings; an odd count means the point is enclosed.
+
+The functions here operate on raw segment collections; the spatial
+``region`` type wraps them with face/cycle structure.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from repro.config import EPSILON
+from repro.geometry.primitives import Vec
+from repro.geometry.segment import Seg, point_on_seg
+
+
+def point_on_boundary(p: Vec, segs: Iterable[Seg], eps: float = EPSILON) -> bool:
+    """Return True if ``p`` lies on any of the given segments."""
+    return any(point_on_seg(p, s, eps) for s in segs)
+
+
+def crossings_above(p: Vec, segs: Iterable[Seg], eps: float = EPSILON) -> int:
+    """Count segments crossed by the vertical ray going up from ``p``.
+
+    A segment is counted when the ray pierces its interior or its left
+    end point (the half-open rule ``x0 <= px < x1`` makes vertices count
+    exactly once and vertical segments never, giving a consistent parity
+    for points not on the boundary).
+    """
+    x, y = p
+    count = 0
+    for (x0, y0), (x1, y1) in segs:
+        if x0 == x1:
+            continue  # vertical segment: never crossed by the half-open rule
+        if x0 <= x < x1:
+            # y-coordinate of the segment at the ray's x position.
+            t = (x - x0) / (x1 - x0)
+            ys = y0 + t * (y1 - y0)
+            if ys > y + eps:
+                count += 1
+    return count
+
+
+def point_in_segset(
+    p: Vec,
+    segs: Iterable[Seg],
+    eps: float = EPSILON,
+    boundary_counts: bool = True,
+) -> bool:
+    """Return True if ``p`` is enclosed by the closed polygon(s) in ``segs``.
+
+    The segments must form the boundary of a (multi-)polygon, e.g. the
+    segments of a region value: each face boundary is a closed cycle.
+    Points on the boundary are inside iff ``boundary_counts`` (region
+    values of the abstract model include their boundary).
+    """
+    seg_list = list(segs)
+    if point_on_boundary(p, seg_list, eps):
+        return boundary_counts
+    return crossings_above(p, seg_list, eps) % 2 == 1

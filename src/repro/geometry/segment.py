@@ -1,0 +1,250 @@
+"""Line segments and the predicates of Section 3.2.2.
+
+A segment ``Seg`` is an ordered pair ``(u, v)`` of points with ``u < v``
+in lexicographic order, exactly as the paper's ``Seg`` set demands.  The
+predicates *p-intersect*, *touch*, *meet*, *collinear*, and *overlap*
+implement the vocabulary used in the definitions of ``line``, ``Cycle``,
+``Face``, and ``region``.
+
+The :class:`HalfSegment` type implements the plane-sweep-friendly
+representation of Section 4.1: every segment is stored twice, once per
+end point, with the *dominating* point marked, and a total order that
+extends lexicographic point order (following Gueting, de Ridder &
+Schneider [GdRS95]).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Iterable, Optional, Tuple
+
+from repro.config import EPSILON, feq, fzero
+from repro.errors import InvalidValue
+from repro.geometry.primitives import (
+    Vec,
+    cross,
+    dist,
+    dot,
+    orientation,
+    point_cmp,
+    point_eq,
+    sub,
+)
+
+#: A segment as an ordered pair of endpoints, left < right lexicographically.
+Seg = Tuple[Vec, Vec]
+
+
+def make_seg(p: Vec, q: Vec) -> Seg:
+    """Build a canonical segment from two distinct points.
+
+    The smaller point (lexicographically) becomes the left end point.
+    Raises :class:`InvalidValue` for degenerate (zero-length) input.
+    """
+    c = point_cmp(p, q)
+    if c == 0:
+        raise InvalidValue(f"degenerate segment at {p}")
+    return (p, q) if c < 0 else (q, p)
+
+
+def seg_length(s: Seg) -> float:
+    """Return the Euclidean length of segment ``s``."""
+    return dist(s[0], s[1])
+
+
+def collinear(s: Seg, t: Seg, eps: float = EPSILON) -> bool:
+    """Return True if ``s`` and ``t`` lie on the same infinite line.
+
+    The test is symmetric — each segment's endpoints must lie on the
+    other's carrier line.  A one-sided test would classify any segment
+    as collinear with a near-degenerate one.
+    """
+    return (
+        orientation(s[0], s[1], t[0], eps) == 0
+        and orientation(s[0], s[1], t[1], eps) == 0
+        and orientation(t[0], t[1], s[0], eps) == 0
+        and orientation(t[0], t[1], s[1], eps) == 0
+    )
+
+
+def point_on_seg(p: Vec, s: Seg, eps: float = EPSILON) -> bool:
+    """Return True if point ``p`` lies on segment ``s`` (endpoints included)."""
+    if orientation(s[0], s[1], p, eps) != 0:
+        return False
+    minx, maxx = min(s[0][0], s[1][0]), max(s[0][0], s[1][0])
+    miny, maxy = min(s[0][1], s[1][1]), max(s[0][1], s[1][1])
+    return (
+        minx - eps <= p[0] <= maxx + eps and miny - eps <= p[1] <= maxy + eps
+    )
+
+
+def point_in_seg_interior(p: Vec, s: Seg, eps: float = EPSILON) -> bool:
+    """Return True if ``p`` lies on ``s`` but is not one of its endpoints."""
+    return (
+        point_on_seg(p, s, eps)
+        and not point_eq(p, s[0], eps)
+        and not point_eq(p, s[1], eps)
+    )
+
+
+def p_intersect(s: Seg, t: Seg, eps: float = EPSILON) -> bool:
+    """Return True if ``s`` and ``t`` properly intersect.
+
+    Proper intersection means crossing in a point interior to both
+    segments (Section 3.2.2).  Collinear overlap is *not* a proper
+    intersection.
+    """
+    if collinear(s, t, eps):
+        return False
+    o1 = orientation(s[0], s[1], t[0], eps)
+    o2 = orientation(s[0], s[1], t[1], eps)
+    o3 = orientation(t[0], t[1], s[0], eps)
+    o4 = orientation(t[0], t[1], s[1], eps)
+    return o1 * o2 < 0 and o3 * o4 < 0
+
+
+def touch(s: Seg, t: Seg, eps: float = EPSILON) -> bool:
+    """Return True if an endpoint of one segment lies in the interior of the other."""
+    return (
+        point_in_seg_interior(t[0], s, eps)
+        or point_in_seg_interior(t[1], s, eps)
+        or point_in_seg_interior(s[0], t, eps)
+        or point_in_seg_interior(s[1], t, eps)
+    )
+
+
+def meet(s: Seg, t: Seg, eps: float = EPSILON) -> bool:
+    """Return True if ``s`` and ``t`` share a common endpoint."""
+    return (
+        point_eq(s[0], t[0], eps)
+        or point_eq(s[0], t[1], eps)
+        or point_eq(s[1], t[0], eps)
+        or point_eq(s[1], t[1], eps)
+    )
+
+
+def seg_overlap(s: Seg, t: Seg, eps: float = EPSILON) -> bool:
+    """Return True if ``s`` and ``t`` are collinear with more than a point in common."""
+    if not collinear(s, t, eps):
+        return False
+    # Project onto the dominant axis of s to obtain 1-D intervals.
+    dx = abs(s[1][0] - s[0][0])
+    dy = abs(s[1][1] - s[0][1])
+    axis = 0 if dx >= dy else 1
+    a0, a1 = sorted((s[0][axis], s[1][axis]))
+    b0, b1 = sorted((t[0][axis], t[1][axis]))
+    lo = max(a0, b0)
+    hi = min(a1, b1)
+    return hi - lo > eps
+
+
+def segs_disjoint(s: Seg, t: Seg, eps: float = EPSILON) -> bool:
+    """Return True if ``s`` and ``t`` share no point at all."""
+    if p_intersect(s, t, eps) or touch(s, t, eps) or meet(s, t, eps):
+        return False
+    if seg_overlap(s, t, eps):
+        return False
+    return True
+
+
+def seg_intersection_point(s: Seg, t: Seg, eps: float = EPSILON) -> Optional[Vec]:
+    """Return the single intersection point of ``s`` and ``t``, or None.
+
+    Returns None when the segments do not intersect *and* when they
+    overlap in more than one point (collinear overlap has no single
+    intersection point).  Endpoint contacts are reported.
+    """
+    if collinear(s, t, eps):
+        return None
+    d1 = sub(s[1], s[0])
+    d2 = sub(t[1], t[0])
+    denom = cross(d1, d2)
+    if fzero(denom, eps):
+        return None
+    w = sub(t[0], s[0])
+    u = cross(w, d2) / denom
+    v = cross(w, d1) / denom
+    scale1 = max(abs(d1[0]), abs(d1[1]), 1.0)
+    scale2 = max(abs(d2[0]), abs(d2[1]), 1.0)
+    tol1 = eps / scale1 * 10.0
+    tol2 = eps / scale2 * 10.0
+    if -tol1 <= u <= 1.0 + tol1 and -tol2 <= v <= 1.0 + tol2:
+        return (s[0][0] + u * d1[0], s[0][1] + u * d1[1])
+    return None
+
+
+@dataclass(frozen=True, order=False)
+class HalfSegment:
+    """One half of a segment, anchored at its *dominating* end point.
+
+    ``left_dominating`` is True for the half anchored at the (smaller)
+    left end point.  The total order sorts halfsegments by dominating
+    point first, then right halves before left halves at the same point,
+    and finally by the counter-clockwise angle of the segment around the
+    dominating point — the order required by plane-sweep algorithms
+    [GdRS95].
+    """
+
+    seg: Seg
+    left_dominating: bool
+
+    @property
+    def dom(self) -> Vec:
+        """The dominating end point of this halfsegment."""
+        return self.seg[0] if self.left_dominating else self.seg[1]
+
+    @property
+    def sec(self) -> Vec:
+        """The secondary (non-dominating) end point."""
+        return self.seg[1] if self.left_dominating else self.seg[0]
+
+    def sort_key(self) -> tuple:
+        """Key realizing the halfsegment total order."""
+        d = self.dom
+        s = self.sec
+        angle = math.atan2(s[1] - d[1], s[0] - d[0])
+        # Right halfsegments (left_dominating == False) come first at
+        # equal dominating points so that a sweep closes segments before
+        # opening new ones.
+        return (d[0], d[1], self.left_dominating, angle)
+
+    def __lt__(self, other: "HalfSegment") -> bool:
+        return self.sort_key() < other.sort_key()
+
+    def __le__(self, other: "HalfSegment") -> bool:
+        return self.sort_key() <= other.sort_key()
+
+    def __gt__(self, other: "HalfSegment") -> bool:
+        return self.sort_key() > other.sort_key()
+
+    def __ge__(self, other: "HalfSegment") -> bool:
+        return self.sort_key() >= other.sort_key()
+
+
+def halfsegments_of(segs: Iterable[Seg]) -> list[HalfSegment]:
+    """Return the ordered halfsegment sequence for a collection of segments.
+
+    This is the on-disk order of the ``line``/``region`` array
+    representation of Section 4.1.
+    """
+    halves: list[HalfSegment] = []
+    for s in segs:
+        halves.append(HalfSegment(s, True))
+        halves.append(HalfSegment(s, False))
+    halves.sort()
+    return halves
+
+
+def project_param(p: Vec, s: Seg) -> float:
+    """Return the parameter of the projection of ``p`` onto the line of ``s``.
+
+    0 maps to the left end point and 1 to the right end point.
+    """
+    d = sub(s[1], s[0])
+    denom = dot(d, d)
+    # Exact-zero guard only: a valid Seg has distinct endpoints, so the
+    # denominator can vanish only by floating point underflow.
+    if denom == 0.0:
+        return 0.0
+    return dot(sub(p, s[0]), d) / denom

@@ -1,0 +1,14 @@
+"""Spatio-temporal indexing: a 3-D R-tree over unit bounding cubes.
+
+The paper stores a bounding cube with every variable-size unit
+(Section 4.2) precisely so that filter steps — like the bounding-box
+test in the ``inside`` algorithm of Section 5.2 — are cheap.  This
+package extends that idea to collections of moving objects: an R-tree
+over (x, y, t) cubes, the indexing direction the CHOROCHRONOS project
+explored [TSPM98].
+"""
+
+from repro.index.rtree import RTree3D
+from repro.index.unitindex import MovingObjectIndex
+
+__all__ = ["RTree3D", "MovingObjectIndex"]

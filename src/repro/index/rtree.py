@@ -1,0 +1,181 @@
+"""A 3-D R-tree over bounding cubes (x, y, t).
+
+Classic Guttman R-tree with the quadratic split heuristic.  Entries are
+``(cube, payload)`` pairs; searches return payloads of all entries whose
+cube intersects the query cube.  Used by the spatio-temporal join
+benchmarks as the filter step ablation.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterator, List, Optional, Tuple
+
+from repro.errors import InvalidValue
+from repro.spatial.bbox import Cube
+
+
+class _Node:
+    __slots__ = ("leaf", "entries", "cube")
+
+    def __init__(self, leaf: bool):
+        self.leaf = leaf
+        # Leaf entries: (cube, payload); inner entries: (cube, child node).
+        self.entries: List[Tuple[Cube, Any]] = []
+        self.cube: Optional[Cube] = None
+
+    def recompute_cube(self) -> None:
+        cube = None
+        for c, _ in self.entries:
+            cube = c if cube is None else cube.union(c)
+        self.cube = cube
+
+
+class RTree3D:
+    """An R-tree over 3-D cubes with configurable fan-out."""
+
+    def __init__(self, max_entries: int = 8):
+        if max_entries < 4:
+            raise InvalidValue("R-tree needs max_entries >= 4")
+        self._max = max_entries
+        self._min = max(2, max_entries // 3)
+        self._root = _Node(leaf=True)
+        self._size = 0
+
+    def __len__(self) -> int:
+        return self._size
+
+    # -- insertion ----------------------------------------------------------
+
+    def insert(self, cube: Cube, payload: Any) -> None:
+        """Insert one entry."""
+        split = self._insert(self._root, cube, payload)
+        if split is not None:
+            # Root split: grow the tree by one level.
+            old_root = self._root
+            new_root = _Node(leaf=False)
+            old_root.recompute_cube()
+            split.recompute_cube()
+            assert old_root.cube is not None and split.cube is not None
+            new_root.entries = [(old_root.cube, old_root), (split.cube, split)]
+            new_root.recompute_cube()
+            self._root = new_root
+        self._size += 1
+
+    def _insert(self, node: _Node, cube: Cube, payload: Any) -> Optional[_Node]:
+        if node.leaf:
+            node.entries.append((cube, payload))
+            node.recompute_cube()
+            if len(node.entries) > self._max:
+                return self._split(node)
+            return None
+        # Choose the subtree needing least volume enlargement.
+        best_idx = 0
+        best_cost = None
+        for i, (c, _child) in enumerate(node.entries):
+            cost = (c.enlargement(cube), c.volume)
+            if best_cost is None or cost < best_cost:
+                best_cost = cost
+                best_idx = i
+        child_cube, child = node.entries[best_idx]
+        split = self._insert(child, cube, payload)
+        child.recompute_cube()
+        assert child.cube is not None
+        node.entries[best_idx] = (child.cube, child)
+        if split is not None:
+            split.recompute_cube()
+            assert split.cube is not None
+            node.entries.append((split.cube, split))
+        node.recompute_cube()
+        if len(node.entries) > self._max:
+            return self._split(node)
+        return None
+
+    def _split(self, node: _Node) -> _Node:
+        """Quadratic split: seed with the most wasteful pair."""
+        entries = node.entries
+        worst = None
+        seeds = (0, 1)
+        for i in range(len(entries)):
+            for j in range(i + 1, len(entries)):
+                waste = (
+                    entries[i][0].union(entries[j][0]).volume
+                    - entries[i][0].volume
+                    - entries[j][0].volume
+                )
+                if worst is None or waste > worst:
+                    worst = waste
+                    seeds = (i, j)
+        i, j = seeds
+        group_a = [entries[i]]
+        group_b = [entries[j]]
+        cube_a = entries[i][0]
+        cube_b = entries[j][0]
+        rest = [e for k, e in enumerate(entries) if k not in (i, j)]
+        for entry in rest:
+            # Honour the minimum fill requirement.
+            remaining = len(rest) - (len(group_a) + len(group_b) - 2)
+            if len(group_a) + remaining <= self._min:
+                group_a.append(entry)
+                cube_a = cube_a.union(entry[0])
+                continue
+            if len(group_b) + remaining <= self._min:
+                group_b.append(entry)
+                cube_b = cube_b.union(entry[0])
+                continue
+            grow_a = cube_a.enlargement(entry[0])
+            grow_b = cube_b.enlargement(entry[0])
+            if (grow_a, cube_a.volume) <= (grow_b, cube_b.volume):
+                group_a.append(entry)
+                cube_a = cube_a.union(entry[0])
+            else:
+                group_b.append(entry)
+                cube_b = cube_b.union(entry[0])
+        node.entries = group_a
+        node.recompute_cube()
+        sibling = _Node(leaf=node.leaf)
+        sibling.entries = group_b
+        sibling.recompute_cube()
+        return sibling
+
+    # -- search ----------------------------------------------------------------
+
+    def search(self, query: Cube) -> Iterator[Any]:
+        """Yield payloads of all entries whose cube intersects ``query``."""
+        stack = [self._root]
+        while stack:
+            node = stack.pop()
+            if node.cube is not None and not node.cube.intersects(query):
+                continue
+            for cube, item in node.entries:
+                if not cube.intersects(query):
+                    continue
+                if node.leaf:
+                    yield item
+                else:
+                    stack.append(item)
+
+    def search_list(self, query: Cube) -> List[Any]:
+        """Materialized :meth:`search`."""
+        return list(self.search(query))
+
+    # -- introspection ------------------------------------------------------------
+
+    def height(self) -> int:
+        """Tree height (1 = a single leaf)."""
+        h = 1
+        node = self._root
+        while not node.leaf:
+            node = node.entries[0][1]
+            h += 1
+        return h
+
+    def node_count(self) -> int:
+        """Total node count."""
+        count = 0
+        stack = [self._root]
+        while stack:
+            node = stack.pop()
+            count += 1
+            if not node.leaf:
+                stack.extend(child for _c, child in node.entries)
+        return count

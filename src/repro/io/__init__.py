@@ -1,0 +1,5 @@
+"""Import/export of attribute values in a human-readable text format."""
+
+from repro.io.text import to_text, from_text
+
+__all__ = ["to_text", "from_text"]

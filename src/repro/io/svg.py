@@ -1,0 +1,189 @@
+"""SVG rendering of spatial and spatio-temporal values.
+
+Regenerates the paper's figures as actual images: line and region
+values (Figures 2–3), trajectories, and moving-value "film strips"
+(a row of snapshots, the standard way to show Figures 4–6 on paper).
+Pure-stdlib string assembly — no plotting dependency.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Sequence, Tuple, Union
+
+from repro.spatial.bbox import Rect
+from repro.spatial.line import Line
+from repro.spatial.point import Point
+from repro.spatial.points import Points
+from repro.spatial.region import Region
+from repro.temporal.mapping import MovingPoint, MovingRegion
+
+Drawable = Union[Point, Points, Line, Region]
+
+_PALETTE = [
+    "#4c72b0", "#dd8452", "#55a868", "#c44e52",
+    "#8172b3", "#937860", "#da8bc3", "#8c8c8c",
+]
+
+
+class SvgCanvas:
+    """A fixed-viewport SVG document builder with world→screen mapping."""
+
+    def __init__(
+        self,
+        world: Rect,
+        width: int = 480,
+        height: int = 480,
+        margin: int = 20,
+    ):
+        self.world = world
+        self.width = width
+        self.height = height
+        self.margin = margin
+        span_x = max(world.width, 1e-12)
+        span_y = max(world.height, 1e-12)
+        self._scale = min(
+            (width - 2 * margin) / span_x, (height - 2 * margin) / span_y
+        )
+        self._elements: List[str] = []
+
+    def _map(self, p: Tuple[float, float]) -> Tuple[float, float]:
+        x = self.margin + (p[0] - self.world.xmin) * self._scale
+        # SVG y grows downward; the plane's grows upward.
+        y = self.height - self.margin - (p[1] - self.world.ymin) * self._scale
+        return (x, y)
+
+    def _pts(self, ring: Iterable[Tuple[float, float]]) -> str:
+        return " ".join(f"{x:.2f},{y:.2f}" for x, y in (self._map(p) for p in ring))
+
+    # -- drawing -----------------------------------------------------------
+
+    def add_region(self, region: Region, color: str, opacity: float = 0.45) -> None:
+        """Fill a region; holes use the SVG evenodd rule."""
+        for face in region.faces:
+            path_parts = []
+            for cycle in face.cycles:
+                ring = list(cycle.vertices)
+                cmds = [f"M {self._pts(ring[:1])}"]
+                cmds += [f"L {self._pts([v])}" for v in ring[1:]]
+                cmds.append("Z")
+                path_parts.append(" ".join(cmds))
+            self._elements.append(
+                f'<path d="{" ".join(path_parts)}" fill="{color}" '
+                f'fill-opacity="{opacity}" fill-rule="evenodd" '
+                f'stroke="{color}" stroke-width="1.5"/>'
+            )
+
+    def add_line(self, line: Line, color: str, width: float = 2.0) -> None:
+        """Draw every segment of a line value."""
+        for (p, q) in line.segments:
+            (x1, y1), (x2, y2) = self._map(p), self._map(q)
+            self._elements.append(
+                f'<line x1="{x1:.2f}" y1="{y1:.2f}" x2="{x2:.2f}" y2="{y2:.2f}" '
+                f'stroke="{color}" stroke-width="{width}" stroke-linecap="round"/>'
+            )
+
+    def add_points(self, points: Union[Points, Sequence], color: str, r: float = 3.5) -> None:
+        """Mark each point with a dot."""
+        vecs = points.vecs if isinstance(points, Points) else points
+        for v in vecs:
+            x, y = self._map(tuple(v))
+            self._elements.append(
+                f'<circle cx="{x:.2f}" cy="{y:.2f}" r="{r}" fill="{color}"/>'
+            )
+
+    def add_label(self, text: str, at: Tuple[float, float], size: int = 12) -> None:
+        """Place a text label at a world coordinate."""
+        x, y = self._map(at)
+        self._elements.append(
+            f'<text x="{x:.2f}" y="{y:.2f}" font-size="{size}" '
+            f'font-family="sans-serif" fill="#333">{text}</text>'
+        )
+
+    def to_svg(self) -> str:
+        """The complete SVG document."""
+        body = "\n  ".join(self._elements)
+        return (
+            f'<svg xmlns="http://www.w3.org/2000/svg" '
+            f'width="{self.width}" height="{self.height}" '
+            f'viewBox="0 0 {self.width} {self.height}">\n'
+            f'  <rect width="100%" height="100%" fill="white"/>\n'
+            f"  {body}\n</svg>\n"
+        )
+
+    def save(self, path: str) -> None:
+        """Write the document to a file."""
+        with open(path, "w", encoding="utf-8") as f:
+            f.write(self.to_svg())
+
+
+def _world_of(drawables: Sequence[Drawable]) -> Rect:
+    box: Optional[Rect] = None
+    for d in drawables:
+        if isinstance(d, Point) and d.defined:
+            b = Rect(d.x, d.y, d.x, d.y)
+        elif isinstance(d, (Points, Line, Region)) and d:
+            b = d.bbox()
+        else:
+            continue
+        box = b if box is None else box.union(b)
+    if box is None:
+        box = Rect(0, 0, 1, 1)
+    pad_x = max(box.width, 1.0) * 0.05
+    pad_y = max(box.height, 1.0) * 0.05
+    return Rect(box.xmin - pad_x, box.ymin - pad_y, box.xmax + pad_x, box.ymax + pad_y)
+
+
+def render_values(drawables: Sequence[Drawable], width: int = 480) -> str:
+    """Render a collection of static values into one SVG document."""
+    canvas = SvgCanvas(_world_of(drawables), width=width, height=width)
+    for i, d in enumerate(drawables):
+        color = _PALETTE[i % len(_PALETTE)]
+        if isinstance(d, Region):
+            canvas.add_region(d, color)
+        elif isinstance(d, Line):
+            canvas.add_line(d, color)
+        elif isinstance(d, Points):
+            canvas.add_points(d, color)
+        elif isinstance(d, Point) and d.defined:
+            canvas.add_points([d.vec], color)
+    return canvas.to_svg()
+
+
+def render_film_strip(
+    moving: Union[MovingRegion, MovingPoint],
+    frames: int = 5,
+    width: int = 900,
+    trajectory: bool = True,
+) -> str:
+    """Render a moving value as a row of time snapshots.
+
+    For moving points the full trajectory is drawn behind the snapshot
+    markers when ``trajectory`` is set.
+    """
+    t0 = moving.start_time()
+    t1 = moving.end_time()
+    times = [t0 + (t1 - t0) * k / max(frames - 1, 1) for k in range(frames)]
+
+    snapshots = []
+    for t in times:
+        v = moving.value_at(t)
+        if v is not None:
+            snapshots.append((t, v))
+
+    drawables: List[Drawable] = [v for _t, v in snapshots]
+    if isinstance(moving, MovingPoint) and trajectory:
+        drawables.append(moving.trajectory())
+    world = _world_of(drawables)
+    canvas = SvgCanvas(world, width=width, height=max(width // 2, 280))
+    if isinstance(moving, MovingPoint) and trajectory:
+        canvas.add_line(moving.trajectory(), "#cccccc", width=1.5)
+    for i, (t, v) in enumerate(snapshots):
+        color = _PALETTE[i % len(_PALETTE)]
+        if isinstance(v, Region):
+            canvas.add_region(v, color, opacity=0.35)
+            if v.faces:
+                canvas.add_label(f"t={t:g}", v.bbox().center)
+        elif isinstance(v, Point) and v.defined:
+            canvas.add_points([v.vec], color)
+            canvas.add_label(f"t={t:g}", (v.x, v.y))
+    return canvas.to_svg()

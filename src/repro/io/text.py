@@ -1,0 +1,561 @@
+"""A WKT-flavored text format for the moving objects data types.
+
+Every value round-trips through a single line of text, e.g.::
+
+    POINT (1 2)
+    POINTS ((1 2) (3 4))
+    LINE ((0 0, 1 1) (2 2, 3 3))
+    REGION (FACE ((0 0, 4 0, 4 4, 0 4) HOLE (1 1, 2 1, 2 2, 1 2)))
+    RANGE ([1 2] (3 4])
+    MBOOL ([0 5] true; (5 9] false)
+    MREAL ([0 5] quad 0 1 0; (5 9] sqrt 0 0 4)
+    MPOINT ([0 10) 0 1 0 0)                       # x0 x1 y0 y1
+    MREGION ([0 10] FACE ((0 0.5 0 0 | 2 0.5 0 0 | ...)))
+
+The grammar is deliberately small: parenthesized groups, interval
+brackets, numbers, a handful of keywords.  ``to_text``/``from_text``
+dispatch on the value's type / the leading keyword.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Any, Callable, Dict, List, Tuple
+
+from repro.base.values import BoolVal, IntVal, RealVal, StringVal
+from repro.errors import ReproError
+from repro.ranges.interval import Interval
+from repro.ranges.rangeset import RangeSet
+from repro.spatial.line import Line
+from repro.spatial.point import Point
+from repro.spatial.points import Points
+from repro.spatial.region import Cycle, Face, Region
+from repro.temporal.mapping import (
+    MovingBool,
+    MovingInt,
+    MovingLine,
+    MovingPoint,
+    MovingPoints,
+    MovingReal,
+    MovingRegion,
+    MovingString,
+)
+from repro.temporal.mseg import MPoint, MSeg
+from repro.temporal.uconst import ConstUnit
+from repro.temporal.uline import ULine
+from repro.temporal.upoint import UPoint
+from repro.temporal.upoints import UPoints
+from repro.temporal.ureal import UReal
+from repro.temporal.uregion import MCycle, MFace, URegion
+
+
+class TextFormatError(ReproError):
+    """Malformed text representation."""
+
+
+def _num(v: float) -> str:
+    return f"{v:.17g}"
+
+
+def _interval_text(iv: Interval) -> str:
+    lb = "[" if iv.lc else "("
+    rb = "]" if iv.rc else ")"
+    return f"{lb}{_num(iv.s)} {_num(iv.e)}{rb}"
+
+
+# ---------------------------------------------------------------------------
+# Serialization
+# ---------------------------------------------------------------------------
+
+
+def _point_text(v: Point) -> str:
+    if not v.defined:
+        return "POINT EMPTY"
+    return f"POINT ({_num(v.x)} {_num(v.y)})"
+
+
+def _points_text(v: Points) -> str:
+    if not v:
+        return "POINTS EMPTY"
+    inner = " ".join(f"({_num(x)} {_num(y)})" for x, y in v.vecs)
+    return f"POINTS ({inner})"
+
+
+def _line_text(v: Line) -> str:
+    if not v:
+        return "LINE EMPTY"
+    inner = " ".join(
+        f"({_num(p[0])} {_num(p[1])}, {_num(q[0])} {_num(q[1])})"
+        for p, q in v.segments
+    )
+    return f"LINE ({inner})"
+
+
+def _ring_text(cycle: Cycle) -> str:
+    return ", ".join(f"{_num(x)} {_num(y)}" for x, y in cycle.vertices)
+
+
+def _region_text(v: Region) -> str:
+    if not v:
+        return "REGION EMPTY"
+    faces = []
+    for f in v.faces:
+        parts = [f"({_ring_text(f.outer)})"]
+        parts.extend(f"HOLE ({_ring_text(h)})" for h in f.holes)
+        faces.append(f"FACE ({' '.join(parts)})")
+    return f"REGION ({' '.join(faces)})"
+
+
+def _range_text(v: RangeSet) -> str:
+    if not v:
+        return "RANGE EMPTY"
+    return f"RANGE ({' '.join(_interval_text(iv) for iv in v)})"
+
+
+def _const_payload(value: Any) -> str:
+    if isinstance(value, BoolVal):
+        return "true" if value.value else "false"
+    if isinstance(value, IntVal):
+        return str(value.value)
+    if isinstance(value, StringVal):
+        return '"' + value.value.replace('"', '\\"') + '"'
+    raise TextFormatError(f"unsupported const payload {value!r}")
+
+
+def _mapping_text(keyword: str, units: List[str]) -> str:
+    if not units:
+        return f"{keyword} EMPTY"
+    return f"{keyword} ({'; '.join(units)})"
+
+
+def _mbool_like_text(keyword: str, v) -> str:
+    return _mapping_text(
+        keyword,
+        [
+            f"{_interval_text(u.interval)} {_const_payload(u.value)}"
+            for u in v.units
+        ],
+    )
+
+
+def _mreal_text(v: MovingReal) -> str:
+    units = []
+    for u in v.units:
+        assert isinstance(u, UReal)
+        a, b, c, r = u.coefficients
+        form = "sqrt" if r else "quad"
+        units.append(
+            f"{_interval_text(u.interval)} {form} {_num(a)} {_num(b)} {_num(c)}"
+        )
+    return _mapping_text("MREAL", units)
+
+
+def _mpoint_text(v: MovingPoint) -> str:
+    units = []
+    for u in v.units:
+        assert isinstance(u, UPoint)
+        m = u.motion
+        units.append(
+            f"{_interval_text(u.interval)} "
+            f"{_num(m.x0)} {_num(m.x1)} {_num(m.y0)} {_num(m.y1)}"
+        )
+    return _mapping_text("MPOINT", units)
+
+
+def _mpoints_text(v: MovingPoints) -> str:
+    units = []
+    for u in v.units:
+        assert isinstance(u, UPoints)
+        motions = " | ".join(
+            f"{_num(m.x0)} {_num(m.x1)} {_num(m.y0)} {_num(m.y1)}"
+            for m in u.motions
+        )
+        units.append(f"{_interval_text(u.interval)} ({motions})")
+    return _mapping_text("MPOINTS", units)
+
+
+def _mseg_nums(m: MSeg) -> str:
+    return (
+        f"{_num(m.s.x0)} {_num(m.s.x1)} {_num(m.s.y0)} {_num(m.s.y1)} "
+        f"{_num(m.e.x0)} {_num(m.e.x1)} {_num(m.e.y0)} {_num(m.e.y1)}"
+    )
+
+
+def _mline_text(v: MovingLine) -> str:
+    units = []
+    for u in v.units:
+        assert isinstance(u, ULine)
+        msegs = " | ".join(_mseg_nums(m) for m in u.msegs)
+        units.append(f"{_interval_text(u.interval)} ({msegs})")
+    return _mapping_text("MLINE", units)
+
+
+def _mregion_text(v: MovingRegion) -> str:
+    units = []
+    for u in v.units:
+        assert isinstance(u, URegion)
+        faces = []
+        for mf in u.faces:
+            rings = [f"({' | '.join(_mseg_nums(m) for m in mf.outer.msegs)})"]
+            rings.extend(
+                f"HOLE ({' | '.join(_mseg_nums(m) for m in h.msegs)})"
+                for h in mf.holes
+            )
+            faces.append(f"FACE ({' '.join(rings)})")
+        units.append(f"{_interval_text(u.interval)} {' '.join(faces)}")
+    return _mapping_text("MREGION", units)
+
+
+_SERIALIZERS: List[Tuple[type, Callable[[Any], str]]] = [
+    (Point, _point_text),
+    (Points, _points_text),
+    (Line, _line_text),
+    (Region, _region_text),
+    (RangeSet, _range_text),
+    (MovingBool, lambda v: _mbool_like_text("MBOOL", v)),
+    (MovingInt, lambda v: _mbool_like_text("MINT", v)),
+    (MovingString, lambda v: _mbool_like_text("MSTRING", v)),
+    (MovingReal, _mreal_text),
+    (MovingPoint, _mpoint_text),
+    (MovingPoints, _mpoints_text),
+    (MovingLine, _mline_text),
+    (MovingRegion, _mregion_text),
+]
+
+
+def to_text(value: Any) -> str:
+    """Serialize a value into the text format."""
+    for cls, fn in _SERIALIZERS:
+        if type(value) is cls:
+            return fn(value)
+    raise TextFormatError(f"no text form for {type(value).__name__}")
+
+
+# ---------------------------------------------------------------------------
+# Parsing
+# ---------------------------------------------------------------------------
+
+_TOKEN = re.compile(
+    r"""
+    (?P<num>-?(?:\d+\.?\d*|\.\d+)(?:[eE][+-]?\d+)?)
+  | (?P<str>"(?:[^"\\]|\\.)*")
+  | (?P<word>[A-Za-z_]+)
+  | (?P<punct>[()\[\],;|])
+  | (?P<ws>\s+)
+    """,
+    re.VERBOSE,
+)
+
+
+class _Scanner:
+    def __init__(self, text: str):
+        self.tokens: List[Tuple[str, str]] = []
+        pos = 0
+        while pos < len(text):
+            m = _TOKEN.match(text, pos)
+            if m is None:
+                raise TextFormatError(f"bad token at: {text[pos:pos+15]!r}")
+            pos = m.end()
+            kind = m.lastgroup
+            if kind != "ws":
+                self.tokens.append((kind, m.group()))
+        self.pos = 0
+
+    def peek(self) -> Tuple[str, str]:
+        if self.pos >= len(self.tokens):
+            return ("eof", "")
+        return self.tokens[self.pos]
+
+    def next(self) -> Tuple[str, str]:
+        tok = self.peek()
+        self.pos += 1
+        return tok
+
+    def expect(self, text: str) -> None:
+        kind, got = self.next()
+        if got != text:
+            raise TextFormatError(f"expected {text!r}, got {got!r}")
+
+    def accept(self, text: str) -> bool:
+        if self.peek()[1] == text:
+            self.pos += 1
+            return True
+        return False
+
+    def number(self) -> float:
+        kind, got = self.next()
+        if kind != "num":
+            raise TextFormatError(f"expected a number, got {got!r}")
+        return float(got)
+
+    def numbers_until(self, stops: set) -> List[float]:
+        out = []
+        while self.peek()[1] not in stops and self.peek()[0] == "num":
+            out.append(self.number())
+        return out
+
+
+def _parse_interval(sc: _Scanner) -> Interval:
+    kind, tok = sc.next()
+    if tok not in ("[", "("):
+        raise TextFormatError(f"expected an interval, got {tok!r}")
+    lc = tok == "["
+    s = sc.number()
+    e = sc.number()
+    kind, tok = sc.next()
+    if tok not in ("]", ")"):
+        raise TextFormatError(f"malformed interval close {tok!r}")
+    rc = tok == "]"
+    return Interval(s, e, lc, rc)
+
+
+def _parse_ring(sc: _Scanner) -> List[Tuple[float, float]]:
+    sc.expect("(")
+    ring = []
+    while True:
+        x = sc.number()
+        y = sc.number()
+        ring.append((x, y))
+        if not sc.accept(","):
+            break
+    sc.expect(")")
+    return ring
+
+
+def _parse_point(sc: _Scanner) -> Point:
+    if sc.accept("EMPTY"):
+        return Point()
+    sc.expect("(")
+    x, y = sc.number(), sc.number()
+    sc.expect(")")
+    return Point(x, y)
+
+
+def _parse_points(sc: _Scanner) -> Points:
+    if sc.accept("EMPTY"):
+        return Points()
+    sc.expect("(")
+    pts = []
+    while sc.accept("("):
+        pts.append((sc.number(), sc.number()))
+        sc.expect(")")
+    sc.expect(")")
+    return Points(pts)
+
+
+def _parse_line(sc: _Scanner) -> Line:
+    if sc.accept("EMPTY"):
+        return Line()
+    sc.expect("(")
+    segs = []
+    while sc.accept("("):
+        x1, y1 = sc.number(), sc.number()
+        sc.expect(",")
+        x2, y2 = sc.number(), sc.number()
+        sc.expect(")")
+        segs.append(((x1, y1), (x2, y2)))
+    sc.expect(")")
+    return Line(segs)
+
+
+def _parse_region(sc: _Scanner) -> Region:
+    if sc.accept("EMPTY"):
+        return Region()
+    sc.expect("(")
+    faces = []
+    while sc.accept("FACE"):
+        sc.expect("(")
+        outer = Cycle.from_vertices(_parse_ring(sc))
+        holes = []
+        while sc.accept("HOLE"):
+            holes.append(Cycle.from_vertices(_parse_ring(sc)))
+        sc.expect(")")
+        faces.append(Face(outer, holes))
+    sc.expect(")")
+    return Region(faces)
+
+
+def _parse_range(sc: _Scanner) -> RangeSet:
+    if sc.accept("EMPTY"):
+        return RangeSet()
+    sc.expect("(")
+    ivs = []
+    while sc.peek()[1] in ("[", "("):
+        # Disambiguate closing paren of the RANGE group from an opening
+        # interval: an interval always starts with a number next.
+        save = sc.pos
+        tok = sc.next()[1]
+        if sc.peek()[0] != "num":
+            sc.pos = save
+            break
+        sc.pos = save
+        ivs.append(_parse_interval(sc))
+    sc.expect(")")
+    return RangeSet(ivs)
+
+
+def _parse_const_mapping(sc: _Scanner, cls, payload_parser):
+    if sc.accept("EMPTY"):
+        return cls()
+    sc.expect("(")
+    units = []
+    while True:
+        iv = _parse_interval(sc)
+        units.append(ConstUnit(iv, payload_parser(sc)))
+        if not sc.accept(";"):
+            break
+    sc.expect(")")
+    return cls(units)
+
+
+def _parse_bool_payload(sc: _Scanner) -> BoolVal:
+    kind, tok = sc.next()
+    if tok == "true":
+        return BoolVal(True)
+    if tok == "false":
+        return BoolVal(False)
+    raise TextFormatError(f"expected true/false, got {tok!r}")
+
+
+def _parse_int_payload(sc: _Scanner) -> IntVal:
+    return IntVal(int(sc.number()))
+
+
+def _parse_string_payload(sc: _Scanner) -> StringVal:
+    kind, tok = sc.next()
+    if kind != "str":
+        raise TextFormatError(f"expected a string literal, got {tok!r}")
+    return StringVal(tok[1:-1].replace('\\"', '"'))
+
+
+def _parse_mreal(sc: _Scanner) -> MovingReal:
+    if sc.accept("EMPTY"):
+        return MovingReal()
+    sc.expect("(")
+    units = []
+    while True:
+        iv = _parse_interval(sc)
+        kind, form = sc.next()
+        if form not in ("quad", "sqrt"):
+            raise TextFormatError(f"expected quad/sqrt, got {form!r}")
+        a, b, c = sc.number(), sc.number(), sc.number()
+        units.append(UReal(iv, a, b, c, form == "sqrt"))
+        if not sc.accept(";"):
+            break
+    sc.expect(")")
+    return MovingReal(units)
+
+
+def _parse_mpoint(sc: _Scanner) -> MovingPoint:
+    if sc.accept("EMPTY"):
+        return MovingPoint()
+    sc.expect("(")
+    units = []
+    while True:
+        iv = _parse_interval(sc)
+        nums = [sc.number() for _ in range(4)]
+        units.append(UPoint(iv, MPoint(*nums)))
+        if not sc.accept(";"):
+            break
+    sc.expect(")")
+    return MovingPoint(units)
+
+
+def _parse_motion_group(sc: _Scanner, per_item: int) -> List[List[float]]:
+    sc.expect("(")
+    groups = []
+    while True:
+        groups.append([sc.number() for _ in range(per_item)])
+        if not sc.accept("|"):
+            break
+    sc.expect(")")
+    return groups
+
+
+def _parse_mpoints(sc: _Scanner) -> MovingPoints:
+    if sc.accept("EMPTY"):
+        return MovingPoints()
+    sc.expect("(")
+    units = []
+    while True:
+        iv = _parse_interval(sc)
+        motions = [MPoint(*g) for g in _parse_motion_group(sc, 4)]
+        units.append(UPoints(iv, motions))
+        if not sc.accept(";"):
+            break
+    sc.expect(")")
+    return MovingPoints(units)
+
+
+def _mseg_from(nums: List[float]) -> MSeg:
+    return MSeg(MPoint(*nums[:4]), MPoint(*nums[4:]))
+
+
+def _parse_mline(sc: _Scanner) -> MovingLine:
+    if sc.accept("EMPTY"):
+        return MovingLine()
+    sc.expect("(")
+    units = []
+    while True:
+        iv = _parse_interval(sc)
+        msegs = [_mseg_from(g) for g in _parse_motion_group(sc, 8)]
+        units.append(ULine(iv, msegs))
+        if not sc.accept(";"):
+            break
+    sc.expect(")")
+    return MovingLine(units)
+
+
+def _parse_mregion(sc: _Scanner) -> MovingRegion:
+    if sc.accept("EMPTY"):
+        return MovingRegion()
+    sc.expect("(")
+    units = []
+    while True:
+        iv = _parse_interval(sc)
+        faces = []
+        while sc.accept("FACE"):
+            sc.expect("(")
+            outer = MCycle([_mseg_from(g) for g in _parse_motion_group(sc, 8)])
+            holes = []
+            while sc.accept("HOLE"):
+                holes.append(
+                    MCycle([_mseg_from(g) for g in _parse_motion_group(sc, 8)])
+                )
+            sc.expect(")")
+            faces.append(MFace(outer, holes))
+        units.append(URegion(iv, faces, validate="fast"))
+        if not sc.accept(";"):
+            break
+    sc.expect(")")
+    return MovingRegion(units)
+
+
+_PARSERS: Dict[str, Callable[[_Scanner], Any]] = {
+    "POINT": _parse_point,
+    "POINTS": _parse_points,
+    "LINE": _parse_line,
+    "REGION": _parse_region,
+    "RANGE": _parse_range,
+    "MBOOL": lambda sc: _parse_const_mapping(sc, MovingBool, _parse_bool_payload),
+    "MINT": lambda sc: _parse_const_mapping(sc, MovingInt, _parse_int_payload),
+    "MSTRING": lambda sc: _parse_const_mapping(sc, MovingString, _parse_string_payload),
+    "MREAL": _parse_mreal,
+    "MPOINT": _parse_mpoint,
+    "MPOINTS": _parse_mpoints,
+    "MLINE": _parse_mline,
+    "MREGION": _parse_mregion,
+}
+
+
+def from_text(text: str) -> Any:
+    """Parse a value from its text form (dispatching on the keyword)."""
+    sc = _Scanner(text.strip())
+    kind, keyword = sc.next()
+    parser = _PARSERS.get(keyword)
+    if parser is None:
+        raise TextFormatError(f"unknown type keyword {keyword!r}")
+    value = parser(sc)
+    if sc.peek()[0] != "eof":
+        raise TextFormatError(f"trailing input after value: {sc.peek()[1]!r}")
+    return value

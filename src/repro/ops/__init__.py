@@ -1,0 +1,106 @@
+"""Operations of the discrete model.
+
+The abstract model's operations, realized on the sliced representation:
+
+* :mod:`repro.ops.interaction` — ``atinstant`` (Section 5.1),
+  ``atperiods``, ``present``, ``at``, ``passes``;
+* :mod:`repro.ops.inside` — the ``inside`` algorithm of Section 5.2;
+* :mod:`repro.ops.distance` — the lifted Euclidean ``distance``;
+* :mod:`repro.ops.lifted` — lifted arithmetic and comparisons;
+* :mod:`repro.ops.aggregates` — ``atmin``, ``atmax``, ``initial``,
+  ``final``, ``val``, ``inst``;
+* :mod:`repro.ops.numeric` — lifted ``size`` (area), ``perimeter``,
+  ``length``;
+* :mod:`repro.ops.projection` — ``trajectory``, ``traversed``,
+  ``deftime``, ``rangevalues``.
+"""
+
+from repro.ops.interaction import (
+    atinstant,
+    atperiods,
+    present,
+    mregion_atinstant,
+    mpoint_at_region,
+    passes,
+)
+from repro.ops.inside import inside, upoint_uregion_inside
+from repro.ops.distance import mpoint_distance, mpoint_static_distance
+from repro.ops.lifted import (
+    mreal_add,
+    mreal_sub,
+    mreal_compare,
+    mbool_and,
+    mbool_or,
+    mbool_not,
+)
+from repro.ops.aggregates import (
+    mreal_atmin,
+    mreal_atmax,
+    initial,
+    final,
+    val,
+    inst,
+)
+from repro.ops.numeric import mregion_area, mregion_perimeter, mline_length
+from repro.ops.projection import trajectory, traversed, deftime
+from repro.ops.motion import velocity, heading, turning_points
+from repro.ops.interaction2 import mregion_intersects, mpoint_intersection
+from repro.ops.simplify import simplify, simplification_error, compression_ratio
+from repro.ops.window import WindowQueryEngine, mpoint_within_rect_times
+from repro.ops.joins import closest_pairs, inside_pairs
+from repro.ops.analytics import (
+    presence_count,
+    occupancy,
+    total_travelled,
+    peak_presence,
+)
+from repro.ops.overlap import overlap_area, overlap_fraction
+
+__all__ = [
+    "atinstant",
+    "atperiods",
+    "present",
+    "mregion_atinstant",
+    "mpoint_at_region",
+    "passes",
+    "inside",
+    "upoint_uregion_inside",
+    "mpoint_distance",
+    "mpoint_static_distance",
+    "mreal_add",
+    "mreal_sub",
+    "mreal_compare",
+    "mbool_and",
+    "mbool_or",
+    "mbool_not",
+    "mreal_atmin",
+    "mreal_atmax",
+    "initial",
+    "final",
+    "val",
+    "inst",
+    "mregion_area",
+    "mregion_perimeter",
+    "mline_length",
+    "trajectory",
+    "traversed",
+    "deftime",
+    "velocity",
+    "heading",
+    "turning_points",
+    "mregion_intersects",
+    "mpoint_intersection",
+    "simplify",
+    "simplification_error",
+    "compression_ratio",
+    "WindowQueryEngine",
+    "mpoint_within_rect_times",
+    "closest_pairs",
+    "inside_pairs",
+    "presence_count",
+    "occupancy",
+    "total_travelled",
+    "peak_presence",
+    "overlap_area",
+    "overlap_fraction",
+]

@@ -1,0 +1,93 @@
+"""Aggregate-style operations on moving reals: ``atmin``, ``atmax``,
+``initial``, ``final``, and the intime projections ``val`` and ``inst``.
+
+``atmin`` restricts a moving real to exactly the instants at which it
+attains its global minimum (Section 2); the result is again a moving
+real (typically a set of degenerate or short units).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, TypeVar, Union
+
+from repro.base.instant import Instant
+from repro.config import EPSILON
+from repro.errors import UndefinedValue
+from repro.ranges.interval import Interval, interval_at
+from repro.ranges.intime import Intime
+from repro.temporal.mapping import Mapping, MovingReal
+from repro.temporal.ureal import UReal
+
+V = TypeVar("V")
+
+
+def _restrict_to_extremum(m: MovingReal, target: float, kind: str) -> MovingReal:
+    """Restrict ``m`` to the instants where its value equals ``target``.
+
+    ``kind`` ('min' or 'max') selects the fallback instant when root
+    finding narrowly misses the extremum (a square-root unit grazing its
+    vertex): the attaining unit's own argmin/argmax, which is where the
+    target value was measured from in the first place.
+    """
+    units: List[UReal] = []
+    tol = max(abs(target), 1.0) * 1e-9
+    for u in m.units:
+        assert isinstance(u, UReal)
+        mn, mx = u.range_on_interval()
+        if mn > target + tol or mx < target - tol:
+            continue
+        if mx - mn <= tol:
+            units.append(u)  # constantly at the target over the whole unit
+            continue
+        for t in u.times_at_value(target):
+            if u.interval.contains(t) and abs(u.eval(t) - target) <= max(tol, 1e-7):
+                units.append(u.with_interval(interval_at(t)))
+    if not units:
+        attaining = min(
+            m.units,
+            key=lambda u: abs(
+                (u.minimum() if kind == "min" else u.maximum()) - target  # type: ignore[union-attr]
+            ),
+        )
+        assert isinstance(attaining, UReal)
+        t = attaining.argmin() if kind == "min" else attaining.argmax()
+        units.append(attaining.with_interval(interval_at(t)))
+    return MovingReal.normalized(units)
+
+
+def mreal_atmin(m: MovingReal) -> MovingReal:
+    """``atmin``: restrict to the instants attaining the global minimum."""
+    if not m.units:
+        return MovingReal([])
+    return _restrict_to_extremum(m, m.minimum(), "min")
+
+
+def mreal_atmax(m: MovingReal) -> MovingReal:
+    """``atmax``: restrict to the instants attaining the global maximum."""
+    if not m.units:
+        return MovingReal([])
+    return _restrict_to_extremum(m, m.maximum(), "max")
+
+
+def initial(m: Mapping[V]) -> Optional[Intime[V]]:
+    """``initial``: the (instant, value) pair at the earliest defined time."""
+    return m.initial()
+
+
+def final(m: Mapping[V]) -> Optional[Intime[V]]:
+    """``final``: the (instant, value) pair at the latest defined time."""
+    return m.final()
+
+
+def val(pair: Optional[Intime[V]]) -> V:
+    """``val``: project an intime pair onto its value component."""
+    if pair is None:
+        raise UndefinedValue("val of an undefined intime value")
+    return pair.val
+
+
+def inst(pair: Optional[Intime[V]]) -> Instant:
+    """``inst``: project an intime pair onto its instant component."""
+    if pair is None:
+        raise UndefinedValue("inst of an undefined intime value")
+    return pair.inst

@@ -1,0 +1,94 @@
+"""Fleet-level temporal analytics.
+
+Aggregations *across* a collection of moving objects, producing moving
+values again:
+
+* :func:`presence_count` — how many objects are defined at each instant
+  (a moving int, computed by an event sweep over deftime boundaries);
+* :func:`occupancy` — how many moving points are inside a region over
+  time (inside + summed moving bools);
+* :func:`total_travelled` — aggregate distance travelled by a fleet.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence, Tuple
+
+from repro.base.values import IntVal
+from repro.ranges.interval import Interval
+from repro.spatial.region import Region
+from repro.temporal.mapping import Mapping, MovingInt, MovingPoint, MovingRegion
+from repro.temporal.uconst import ConstUnit
+from repro.temporal.uregion import URegion
+from repro.ops.inside import inside
+
+
+def _count_sweep(interval_sets: Sequence[Iterable[Interval]]) -> MovingInt:
+    """Sweep interval boundaries, counting how many sets cover each piece."""
+    events: List[Tuple[float, bool, int]] = []  # (time, closed_at_time, delta)
+    points: set = set()
+    intervals: List[Interval] = []
+    for ivs in interval_sets:
+        for iv in ivs:
+            intervals.append(iv)
+            points.add(iv.s)
+            points.add(iv.e)
+    if not intervals:
+        return MovingInt()
+    cuts = sorted(points)
+    # Elementary pieces: degenerate at cuts, open between them.
+    pieces: List[Interval] = []
+    for i, t in enumerate(cuts):
+        pieces.append(Interval(t, t))
+        if i + 1 < len(cuts):
+            pieces.append(Interval(t, cuts[i + 1], False, False))
+    units: List[ConstUnit] = []
+    for piece in pieces:
+        probe = piece.sample_inside()
+        count = sum(1 for iv in intervals if iv.contains(probe))
+        if count > 0:
+            units.append(ConstUnit(piece, IntVal(count)))
+    return MovingInt.normalized(units)
+
+
+def presence_count(objects: Sequence[Mapping]) -> MovingInt:
+    """How many of the moving values are defined at each instant."""
+    return _count_sweep([list(obj.deftime()) for obj in objects])
+
+
+def occupancy(points: Sequence[MovingPoint], region: Region) -> MovingInt:
+    """How many moving points are inside the (static) region over time.
+
+    Undefined where no point is inside (count 0 with at least one point
+    defined is *not* distinguished from nobody-defined; callers needing
+    that distinction can compare against :func:`presence_count`).
+    """
+    interval_sets = []
+    for mp in points:
+        if not mp:
+            continue
+        span = mp.deftime().span()
+        assert span is not None
+        mr = MovingRegion([URegion.stationary(span, region)])
+        mb = inside(mp, mr)
+        interval_sets.append(list(mb.when(True)))
+    return _count_sweep(interval_sets)
+
+
+def total_travelled(points: Sequence[MovingPoint]) -> float:
+    """Aggregate distance travelled by the whole fleet."""
+    return sum(mp.length() for mp in points)
+
+
+def peak_presence(objects: Sequence[Mapping]) -> Tuple[int, float]:
+    """The maximum simultaneous presence and an instant attaining it."""
+    counts = presence_count(objects)
+    if not counts:
+        return (0, float("nan"))
+    best_unit = max(
+        counts.units, key=lambda u: int(u.value.value)  # type: ignore[union-attr]
+    )
+    return (
+        int(best_unit.value.value),  # type: ignore[union-attr]
+        best_unit.interval.sample_inside(),
+    )

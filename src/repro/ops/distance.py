@@ -1,0 +1,193 @@
+"""The lifted Euclidean ``distance`` operation.
+
+The distance between two linearly moving points is the square root of a
+quadratic in time — precisely the reason the ``ureal`` unit carries the
+``r`` flag (Section 3.2.5).  The mapping-level operation pairs units via
+the refinement partition and is defined on the intersection of the two
+deftimes.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Union
+
+from repro.geometry.primitives import Vec
+from repro.spatial.point import Point
+from repro.temporal.mapping import MovingPoint, MovingReal
+from repro.temporal.mseg import MPoint
+from repro.temporal.refinement import refinement_partition
+from repro.temporal.ureal import UReal
+from repro.temporal.upoint import UPoint
+
+
+def mpoint_distance(a: MovingPoint, b: MovingPoint) -> MovingReal:
+    """``distance : moving(point) × moving(point) → moving(real)``.
+
+    Defined wherever both points are defined; each refinement piece
+    yields one square-root ``ureal`` unit whose radicand is the squared
+    coordinate difference.
+    """
+    units: List[UReal] = []
+    for piece, ua, ub in refinement_partition(a.units, b.units):
+        if ua is None or ub is None:
+            continue
+        assert isinstance(ua, UPoint) and isinstance(ub, UPoint)
+        q = ua.motion.distance_sq_quad(ub.motion)
+        units.append(UReal(piece, q[0], q[1], q[2], True))
+    return MovingReal.normalized(units)
+
+
+def mpoint_static_distance(a: MovingPoint, p: Union[Point, Vec]) -> MovingReal:
+    """Lifted ``distance`` between a moving point and a fixed point."""
+    fixed = p.vec if isinstance(p, Point) else (float(p[0]), float(p[1]))
+    anchor = MPoint.stationary(fixed)
+    units: List[UReal] = []
+    for u in a.units:
+        assert isinstance(u, UPoint)
+        q = u.motion.distance_sq_quad(anchor)
+        units.append(UReal(u.interval, q[0], q[1], q[2], True))
+    return MovingReal.normalized(units)
+
+
+def _upoint_seg_distance_units(
+    motion: MPoint, seg, interval
+) -> List[UReal]:
+    """Distance from a linearly moving point to a fixed segment.
+
+    The projection parameter of the point onto the segment's carrier is
+    linear in time, so the interval splits at (at most two) instants
+    where it crosses 0 or 1.  On each piece the distance is either the
+    distance to one end point or the perpendicular distance to the
+    carrier — in every case the square root of a quadratic, i.e. a
+    valid ``ureal``.
+    """
+    from repro.temporal.quadratics import mul_linear
+
+    (ax, ay), (bx, by) = seg
+    ux, uy = bx - ax, by - ay
+    len_sq = ux * ux + uy * uy
+    # lambda(t) = ((P(t) - A) · u) / |u|², linear in t: (slope, intercept).
+    lam_slope = (motion.x1 * ux + motion.y1 * uy) / len_sq
+    lam_icept = ((motion.x0 - ax) * ux + (motion.y0 - ay) * uy) / len_sq
+
+    def lam(t: float) -> float:
+        return lam_icept + lam_slope * t
+
+    cuts = {interval.s, interval.e}
+    if lam_slope != 0.0:
+        for target in (0.0, 1.0):
+            t = (target - lam_icept) / lam_slope
+            if interval.s < t < interval.e:
+                cuts.add(t)
+    ordered = sorted(cuts)
+
+    def endpoint_quad(px: float, py: float):
+        dx = (motion.x1, motion.x0 - px)
+        dy = (motion.y1, motion.y0 - py)
+        return tuple(
+            p + q for p, q in zip(mul_linear(dx, dx), mul_linear(dy, dy))
+        )
+
+    # Perpendicular distance²: (cross(P(t) − A, u))² / |u|².
+    cross_lin = (
+        (motion.x1 * uy - motion.y1 * ux),
+        ((motion.x0 - ax) * uy - (motion.y0 - ay) * ux),
+    )
+    perp = mul_linear(cross_lin, cross_lin)
+    perp_quad = (perp[0] / len_sq, perp[1] / len_sq, perp[2] / len_sq)
+
+    units: List[UReal] = []
+    for j, (t0, t1) in enumerate(zip(ordered, ordered[1:])):
+        mid_lam = lam((t0 + t1) / 2.0)
+        if mid_lam < 0.0:
+            q = endpoint_quad(ax, ay)
+        elif mid_lam > 1.0:
+            q = endpoint_quad(bx, by)
+        else:
+            q = perp_quad
+        lc = interval.lc if j == 0 else True
+        rc = interval.rc if j == len(ordered) - 2 else False
+        from repro.ranges.interval import Interval
+
+        units.append(UReal(Interval(t0, t1, lc, rc), q[0], q[1], q[2], True))
+    if not units and interval.is_degenerate:
+        p = motion.at(interval.s)
+        from repro.geometry.segment import point_on_seg, project_param
+
+        lam_v = lam(interval.s)
+        if lam_v < 0.0:
+            q = endpoint_quad(ax, ay)
+        elif lam_v > 1.0:
+            q = endpoint_quad(bx, by)
+        else:
+            q = perp_quad
+        units.append(UReal(interval, q[0], q[1], q[2], True))
+    return units
+
+
+def mpoint_line_distance(mp: MovingPoint, line) -> MovingReal:
+    """Lifted ``distance`` between a moving point and a fixed line value.
+
+    Pointwise minimum over the per-segment distances — each a moving
+    real of square-root units, folded with the lifted ``min``.
+    """
+    from repro.ops.lifted import mreal_min
+    from repro.spatial.line import Line
+
+    assert isinstance(line, Line)
+    if not line or not mp:
+        return MovingReal([])
+    result: MovingReal | None = None
+    for seg in line.segments:
+        units: List[UReal] = []
+        for u in mp.units:
+            assert isinstance(u, UPoint)
+            units.extend(_upoint_seg_distance_units(u.motion, seg, u.interval))
+        per_seg = MovingReal.normalized(units)
+        result = per_seg if result is None else mreal_min(result, per_seg)
+    assert result is not None
+    return result
+
+
+def mpoint_region_distance(mp: MovingPoint, region) -> MovingReal:
+    """Lifted ``distance`` between a moving point and a fixed region.
+
+    Zero while the point is inside (regions are closed point sets);
+    the distance to the boundary otherwise.
+    """
+    from repro.ops.interaction import mpoint_at_region
+    from repro.spatial.line import Line
+    from repro.spatial.region import Region
+
+    assert isinstance(region, Region)
+    if not mp or not region:
+        return MovingReal([])
+    boundary = Line(region.segments(), validate=False)
+    boundary_dist = mpoint_line_distance(mp, boundary)
+    inside_part = mpoint_at_region(mp, region)
+    inside_times = inside_part.deftime()
+    outside_times = mp.deftime().difference(inside_times)
+    units: List[UReal] = [
+        u
+        for u in boundary_dist.at_periods(outside_times).units
+        if isinstance(u, UReal)
+    ]
+    units.extend(UReal.constant(iv, 0.0) for iv in inside_times)
+    return MovingReal.normalized(units)
+
+
+def closest_approach(a: MovingPoint, b: MovingPoint) -> tuple[float, float]:
+    """The minimum distance between two moving points and when it occurs.
+
+    Returns ``(t_min, d_min)``; raises when the deftimes are disjoint.
+    The composition ``val(initial(atmin(distance(a, b))))`` of the
+    Section 2 join query computes exactly ``d_min`` at the earliest such
+    instant.
+    """
+    d = mpoint_distance(a, b)
+    restricted = d.atmin()
+    first = restricted.initial()
+    if first is None:
+        raise ValueError("moving points are never simultaneously defined")
+    return (first.time, float(first.val.value))

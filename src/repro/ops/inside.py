@@ -1,0 +1,224 @@
+"""The lifted ``inside`` operation (Section 5.2).
+
+``inside(mp, mr)`` computes a moving bool describing when a moving point
+was inside a moving region.  The outer algorithm scans the two unit
+lists in parallel, forming the refinement partition of the time axis
+(Figure 8); for each refinement interval where both operands are
+defined, ``upoint_uregion_inside`` solves the unit-level problem:
+
+* the moving point is a 3-D line segment; each moving segment of the
+  region unit is a planar trapezium in 3-D;
+* their intersection instants are roots of a quadratic (the moving
+  orientation test of the point against the segment);
+* between consecutive transversal crossings the answer is constant and
+  alternates, starting from a single point-in-region test ("plumbline").
+
+One deliberate deviation from the paper's pseudo-code: when the 3-D
+bounding boxes do not intersect, the paper returns the empty unit set,
+which would leave the moving bool *undefined* on that interval; since
+both operands are defined and the point is certainly not inside, we
+return a single ``false`` unit instead (still O(1) work, preserving the
+O(n+m) far-apart complexity).
+
+Robustness: crossings through cycle vertices (two moving segments hit at
+the same instant) and tangential touches break the alternation argument.
+These cases are detected (duplicate or non-transversal roots) and the
+affected refinement interval falls back to midpoint sampling with a full
+point-in-region test per piece, which is always correct.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from repro.base.values import BoolVal
+from repro.config import EPSILON
+from repro.errors import InvalidValue
+from repro.geometry.segment import point_on_seg
+from repro.ranges.interval import Interval
+from repro.temporal.mapping import MovingBool, MovingPoint, MovingRegion
+from repro.temporal.mseg import MPoint, MSeg
+from repro.temporal.quadratics import (
+    Quad,
+    eval_quad,
+    is_zero_quad,
+    mul_linear,
+    roots_in_interval,
+)
+from repro.temporal.refinement import refinement_partition
+from repro.temporal.uconst import ConstUnit
+from repro.temporal.unit import UnitInterval
+from repro.temporal.upoint import UPoint
+from repro.temporal.uregion import URegion
+
+
+def inside(mp: MovingPoint, mr: MovingRegion) -> MovingBool:
+    """When was the moving point inside the moving region?
+
+    Linear parallel scan over both unit lists; unit-pair work delegated
+    to :func:`upoint_uregion_inside`; adjacent equal-valued bool units
+    merged (the ``concat`` of the paper) by the normalizing constructor.
+    """
+    out: List[ConstUnit] = []
+    for piece, up, ur in refinement_partition(mp.units, mr.units):
+        if up is None or ur is None:
+            continue
+        assert isinstance(up, UPoint) and isinstance(ur, URegion)
+        out.extend(upoint_uregion_inside(up, ur, piece))
+    return MovingBool.normalized(out)
+
+
+def _crossing_quad(mpo: MPoint, mseg: MSeg) -> Quad:
+    """Orientation of the moving point against the moving segment.
+
+    ``cross(P(t) − s(t), e(t) − s(t))`` as a quadratic in t: zero exactly
+    when the point lies on the segment's carrier line at time t.
+    """
+    ux = (mpo.x1 - mseg.s.x1, mpo.x0 - mseg.s.x0)
+    uy = (mpo.y1 - mseg.s.y1, mpo.y0 - mseg.s.y0)
+    vx = (mseg.e.x1 - mseg.s.x1, mseg.e.x0 - mseg.s.x0)
+    vy = (mseg.e.y1 - mseg.s.y1, mseg.e.y0 - mseg.s.y0)
+    p1 = mul_linear(ux, vy)
+    p2 = mul_linear(uy, vx)
+    return (p1[0] - p2[0], p1[1] - p2[1], p1[2] - p2[2])
+
+
+def _find_crossings(
+    mpo: MPoint, ur: URegion, lo: float, hi: float
+) -> Tuple[List[float], bool]:
+    """All boundary-hit instants of the moving point in the open ``(lo, hi)``.
+
+    Returns ``(times, clean)`` where ``clean`` is False when a
+    degenerate configuration (vertex hit, tangential touch, riding along
+    a boundary line) was detected and alternation cannot be trusted.
+    """
+    hits: List[Tuple[float, bool]] = []  # (time, transversal)
+    clean = True
+    span = hi - lo
+    for mseg in ur.msegs():
+        q = _crossing_quad(mpo, mseg)
+        if is_zero_quad(q):
+            # The point rides along the carrier line of this segment.
+            clean = False
+            continue
+        for t in roots_in_interval(q, lo, hi, open_ends=True):
+            p = mpo.at(t)
+            seg = mseg.seg_at(t)
+            if seg is None:
+                continue
+            if not point_on_seg(p, seg, 1e-7):
+                continue
+            delta = max(span * 1e-7, 1e-12)
+            before = eval_quad(q, t - delta)
+            after = eval_quad(q, t + delta)
+            transversal = before * after < 0
+            if not transversal:
+                clean = False
+            hits.append((t, transversal))
+    times = sorted(t for t, transversal in hits if transversal)
+    # Duplicate instants (vertex passages) break parity.
+    for a, b in zip(times, times[1:]):
+        if b - a <= max(span * 1e-9, 1e-12):
+            clean = False
+    return times, clean
+
+
+def _point_in_region_at(mpo: MPoint, ur: URegion, t: float) -> bool:
+    """Full point-in-region test at one instant (the plumbline check)."""
+    region = ur.value_at(t)
+    if region is None:
+        region = ur._iota(t)
+    return region.contains_point(mpo.at(t))
+
+
+def _pieces_to_units(
+    cuts: List[float],
+    states: List[bool],
+    interval: UnitInterval,
+) -> List[ConstUnit]:
+    """Assemble alternating bool pieces into const units.
+
+    True pieces are closed at crossing instants (the point is on the
+    boundary there and region values include their boundary); false
+    pieces are open at crossing instants.
+    """
+    units: List[ConstUnit] = []
+    n = len(states)
+    for j in range(n):
+        a, b = cuts[j], cuts[j + 1]
+        v = states[j]
+        lc = interval.lc if j == 0 else v
+        rc = interval.rc if j == n - 1 else v
+        if a == b and not (lc and rc):
+            continue
+        if a == b:
+            units.append(ConstUnit(Interval(a, b, True, True), BoolVal(v)))
+        else:
+            units.append(ConstUnit(Interval(a, b, lc, rc), BoolVal(v)))
+    return units
+
+
+def upoint_uregion_inside(
+    up: UPoint, ur: URegion, refinement: Optional[UnitInterval] = None
+) -> List[ConstUnit]:
+    """The unit-level ``inside`` algorithm of Section 5.2.
+
+    Returns const(bool) units covering the common time interval of the
+    two units (intersected with ``refinement`` when given).
+    """
+    common = up.interval.intersection(ur.interval)
+    if common is None:
+        return []
+    if refinement is not None:
+        common = common.intersection(refinement)
+        if common is None:
+            return []
+
+    # Fast path: disjoint bounding cubes — never inside.
+    if not up.bounding_cube().intersects(ur.bounding_cube()):
+        return [ConstUnit(common, BoolVal(False))]
+
+    mpo = up.motion
+    if common.is_degenerate:
+        v = _point_in_region_at(mpo, ur, common.s)
+        return [ConstUnit(common, BoolVal(v))]
+
+    lo, hi = common.s, common.e
+    times, clean = _find_crossings(mpo, ur, lo, hi)
+    cuts = [lo] + times + [hi]
+
+    if clean and times:
+        first_mid = (cuts[0] + cuts[1]) / 2.0
+        state = _point_in_region_at(mpo, ur, first_mid)
+        states = []
+        for j in range(len(cuts) - 1):
+            states.append(state if j % 2 == 0 else not state)
+        return _pieces_to_units(cuts, states, common)
+    if clean:
+        # No crossings at all: constant answer, one plumbline test.
+        state = _point_in_region_at(mpo, ur, common.midpoint())
+        return [ConstUnit(common, BoolVal(state))]
+
+    # Degenerate configuration: sample every piece (always correct).
+    dedup: List[float] = [lo]
+    for t in times:
+        if t - dedup[-1] > max((hi - lo) * 1e-9, 1e-12):
+            dedup.append(t)
+    if dedup[-1] < hi:
+        dedup.append(hi)
+    states = []
+    for a, b in zip(dedup, dedup[1:]):
+        states.append(_point_in_region_at(mpo, ur, (a + b) / 2.0))
+    if not states:
+        states = [_point_in_region_at(mpo, ur, common.midpoint())]
+        dedup = [lo, hi]
+    # Merge consecutive equal states so the produced units never overlap.
+    merged_cuts = [dedup[0]]
+    merged_states: List[bool] = []
+    for j, s in enumerate(states):
+        if merged_states and merged_states[-1] == s:
+            merged_cuts[-1] = dedup[j + 1]
+        else:
+            merged_states.append(s)
+            merged_cuts.append(dedup[j + 1])
+    return _pieces_to_units(merged_cuts, merged_states, common)

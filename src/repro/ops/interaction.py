@@ -1,0 +1,177 @@
+"""Domain/range interaction operations: ``atinstant`` and friends.
+
+``mregion_atinstant`` is the algorithm of Section 5.1: binary search for
+the unit containing the argument instant, then evaluation of every
+moving segment, then (optionally) construction of the proper region data
+structure by sorting halfsegments — the O(log n + r log r) variant; with
+``structured=False`` the function returns the raw segment evaluation in
+O(log n + r), sufficient "for output", exactly as the paper observes.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Union
+
+from repro.base.instant import Instant, as_time
+from repro.ranges.intime import Intime
+from repro.ranges.rangeset import RangeSet
+from repro.spatial.region import Region, close_region
+from repro.temporal.mapping import Mapping, MovingBool, MovingPoint, MovingRegion
+from repro.temporal.uregion import URegion
+
+
+def atinstant(m: Mapping, t: Union[Instant, float]) -> Optional[Intime]:
+    """Generic ``atinstant``: the timestamped value of ``m`` at ``t``.
+
+    The generic algorithm of Section 5.1: binary search over the ordered
+    unit array, then evaluation of the unit function via ι.
+    """
+    return m.at_instant(t)
+
+
+def atperiods(m: Mapping, periods: RangeSet[float]) -> Mapping:
+    """Generic ``atperiods``: restrict ``m`` to a set of time intervals."""
+    return m.at_periods(periods)
+
+
+def present(m: Mapping, t: Union[Instant, float]) -> bool:
+    """Generic ``present``: is ``m`` defined at instant ``t``?"""
+    return m.present(t)
+
+
+def mregion_atinstant(
+    mr: MovingRegion, t: Union[Instant, float], structured: bool = True
+) -> Region:
+    """The ``atinstant`` algorithm for moving regions (Section 5.1).
+
+    1. binary search the units array for the unit containing ``t``
+       — O(log n);
+    2. evaluate each moving segment at ``t`` — O(r);
+    3. with ``structured=True``, build the proper region representation
+       (faces/cycles via ``close``, which sorts halfsegments) —
+       O(r log r); with ``structured=False`` return the unchecked direct
+       evaluation, enough for display purposes — O(r).
+
+    At the end points of a unit interval the degeneracy cleanup of
+    Section 3.2.6 applies (handled by the unit's ι_s/ι_e).
+    """
+    tt = as_time(t)
+    unit = mr.unit_at(tt)
+    if unit is None:
+        return Region([])
+    assert isinstance(unit, URegion)
+    iv = unit.interval
+    if not iv.is_degenerate and iv.s < tt < iv.e:
+        if structured:
+            # Rebuild the canonical structure from the evaluated segments.
+            segs = []
+            for m in unit.msegs():
+                s = m.seg_at(tt)
+                if s is not None:
+                    segs.append(s)
+            return close_region(segs)
+        return unit._iota(tt)
+    # Interval end point (or instant unit): cleanup path.
+    value = unit.value_at(tt)
+    assert value is not None
+    return value
+
+
+def mpoint_at_region(mp: MovingPoint, region: Region) -> MovingPoint:
+    """The ``at`` operation: restrict a moving point to a region.
+
+    Returns the moving point defined exactly when it lies inside the
+    region, computed by lifting the static region to a stationary moving
+    region over the point's deftime and running the ``inside`` algorithm
+    of Section 5.2.
+    """
+    from repro.ops.inside import inside
+
+    if not mp or not region:
+        return MovingPoint([])
+    span = mp.deftime().span()
+    assert span is not None
+    stationary = MovingRegion([URegion.stationary(span, region)])
+    mb = inside(mp, stationary)
+    return mp.at_periods(mb.when(True))  # type: ignore[return-value]
+
+
+def passes(mp: MovingPoint, region: Region) -> bool:
+    """The ``passes`` predicate: does the moving point ever enter the region?"""
+    return bool(mpoint_at_region(mp, region))
+
+
+def mreal_at_range(m, value_range) -> "MovingReal":
+    """The ``at`` operation on moving reals: restrict to a set of values.
+
+    ``value_range`` is a ``RangeSet`` over the reals (or a single
+    ``Interval``); the result is defined exactly at the instants where
+    the moving real's value lies in it.  Within a unit, the boundary
+    crossings are roots of ``f(t) = bound`` — quadratics — so the time
+    set is computed exactly.
+    """
+    from repro.ranges.interval import Interval
+    from repro.temporal.mapping import MovingReal
+    from repro.temporal.ureal import UReal
+
+    if isinstance(value_range, Interval):
+        value_range = RangeSet([value_range])
+    units = []
+    for u in m.units:
+        assert isinstance(u, UReal)
+        iv = u.interval
+        cuts = {iv.s, iv.e}
+        for viv in value_range:
+            for bound in (viv.s, viv.e):
+                for t in u.times_at_value(float(bound)):
+                    if iv.contains(t):
+                        cuts.add(t)
+        ordered = sorted(cuts)
+        prev_kept = False
+        for j, (a, b) in enumerate(zip(ordered, ordered[1:])):
+            mid = (a + b) / 2.0
+            if not value_range.contains(u.eval(mid)):
+                prev_kept = False
+                continue
+            # A cut instant is claimed by at most one piece (the earlier
+            # one), so consecutive kept pieces stay disjoint and merge
+            # cleanly in the normalizing constructor.
+            if a == iv.s:
+                lc = iv.lc
+            else:
+                lc = not prev_kept and value_range.contains(u.eval(a))
+            rc = iv.rc if b == iv.e else value_range.contains(u.eval(b))
+            units.append(u.with_interval(Interval(a, b, lc, rc)))
+            prev_kept = rc
+        if iv.is_degenerate and value_range.contains(u.eval(iv.s)):
+            units.append(u)
+    return MovingReal.normalized(units)
+
+
+def mpoint_at_point(mp: MovingPoint, target) -> MovingPoint:
+    """The ``at`` operation on moving points: restrict to a fixed point.
+
+    Defined at the instants where the moving point is exactly at
+    ``target`` — whole units when it parks there, single instants when
+    it passes through (two linear equations).
+    """
+    from repro.ranges.interval import interval_at
+    from repro.spatial.point import Point
+    from repro.temporal.mseg import MPoint as MotionPoint
+    from repro.temporal.upoint import UPoint
+
+    vec = target.vec if isinstance(target, Point) else (
+        float(target[0]), float(target[1])
+    )
+    anchor = MotionPoint.stationary(vec)
+    units = []
+    for u in mp.units:
+        assert isinstance(u, UPoint)
+        times = u.motion.coincidence_times(anchor)
+        if times is None:
+            units.append(u)  # parked at the target for the whole unit
+            continue
+        for t in times:
+            if u.interval.contains(t):
+                units.append(u.with_interval(interval_at(t)))
+    return MovingPoint.normalized(units)

@@ -1,0 +1,172 @@
+"""Further binary operations on moving values.
+
+These follow the template the paper establishes in Section 5.2: scan
+the two unit lists in parallel over the refinement partition, solve the
+unit-level problem by root analysis of low-degree polynomials, and
+reassemble the result with merging ``concat``.
+
+* :func:`mregion_intersects` — lifted ``intersects`` between two moving
+  regions (a moving bool).  Within a refinement piece the answer can
+  only flip when the two boundaries touch, and every touch instant is a
+  root of one of the pairwise moving-segment orientation quadratics;
+  the status between consecutive candidate instants is decided by a
+  static test at the midpoint.
+
+* :func:`mpoint_intersection` — lifted ``intersection`` of two moving
+  points: the moving point defined exactly when the operands coincide
+  (whole pieces for identical motions, degenerate instants for
+  transversal meetings).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.base.values import BoolVal
+from repro.geometry.segment import meet, p_intersect, seg_overlap, touch
+from repro.ranges.interval import Interval, interval_at
+from repro.temporal.mapping import MovingBool, MovingPoint, MovingRegion
+from repro.temporal.mseg import MSeg
+from repro.temporal.quadratics import is_zero_quad, roots_in_interval
+from repro.temporal.refinement import refinement_partition
+from repro.temporal.uconst import ConstUnit
+from repro.temporal.uline import orientation_quad
+from repro.temporal.unit import UnitInterval
+from repro.temporal.upoint import UPoint
+from repro.temporal.uregion import URegion
+
+
+def _boundary_event_times(
+    a: URegion, b: URegion, lo: float, hi: float
+) -> List[float]:
+    """Candidate instants at which the boundaries of a and b may touch."""
+    times: set[float] = set()
+    for ma in a.msegs():
+        for mb in b.msegs():
+            for quad in (
+                orientation_quad(ma.s, ma.e, mb.s),
+                orientation_quad(ma.s, ma.e, mb.e),
+                orientation_quad(mb.s, mb.e, ma.s),
+                orientation_quad(mb.s, mb.e, ma.e),
+            ):
+                if is_zero_quad(quad):
+                    continue
+                times.update(roots_in_interval(quad, lo, hi, open_ends=True))
+    return sorted(times)
+
+
+def _static_intersects(a: URegion, b: URegion, t: float) -> bool:
+    """Do the two region values intersect at instant ``t``?
+
+    Cheap test: boundary contact (pairwise segments) or containment of
+    one region's sample point in the other — sufficient for closed
+    regions, avoids building the full overlay.
+    """
+    ra = a._iota(t)
+    rb = b._iota(t)
+    for sa in ra.segments():
+        for sb in rb.segments():
+            if (
+                p_intersect(sa, sb)
+                or touch(sa, sb)
+                or meet(sa, sb)
+                or seg_overlap(sa, sb)
+            ):
+                return True
+    # No boundary contact: either disjoint or one inside the other.
+    pa = ra.faces[0].outer.interior_sample() if ra.faces else None
+    pb = rb.faces[0].outer.interior_sample() if rb.faces else None
+    if pa is not None and rb.contains_point(pa):
+        return True
+    if pb is not None and ra.contains_point(pb):
+        return True
+    return False
+
+
+def uregion_uregion_intersects(
+    ua: URegion, ub: URegion, refinement: Optional[UnitInterval] = None
+) -> List[ConstUnit]:
+    """Unit-level lifted ``intersects``: const(bool) units over the overlap."""
+    common = ua.interval.intersection(ub.interval)
+    if common is None:
+        return []
+    if refinement is not None:
+        common = common.intersection(refinement)
+        if common is None:
+            return []
+    if not ua.bounding_cube().intersects(ub.bounding_cube()):
+        return [ConstUnit(common, BoolVal(False))]
+    if common.is_degenerate:
+        return [ConstUnit(common, BoolVal(_static_intersects(ua, ub, common.s)))]
+    lo, hi = common.s, common.e
+    cuts = [lo] + _boundary_event_times(ua, ub, lo, hi) + [hi]
+    units: List[ConstUnit] = []
+    prev_state: Optional[bool] = None
+    run_start = lo
+    for j, (a, b) in enumerate(zip(cuts, cuts[1:])):
+        state = _static_intersects(ua, ub, (a + b) / 2.0)
+        if prev_state is None:
+            prev_state = state
+        elif state != prev_state:
+            units.append(
+                ConstUnit(
+                    _piece(run_start, a, common, prev_state), BoolVal(prev_state)
+                )
+            )
+            run_start = a
+            prev_state = state
+    if prev_state is not None:
+        units.append(
+            ConstUnit(_piece(run_start, hi, common, prev_state), BoolVal(prev_state))
+        )
+    return units
+
+
+def _piece(a: float, b: float, common: UnitInterval, state: bool) -> Interval:
+    """A sub-interval of ``common`` with closures from the parent at its ends.
+
+    At interior flip instants the boundaries touch, so the regions *do*
+    intersect there: true pieces claim their interior cut instants.
+    """
+    lc = common.lc if a == common.s else state
+    rc = common.rc if b == common.e else state
+    if a == b:
+        return interval_at(a)
+    return Interval(a, b, lc, rc)
+
+
+def mregion_intersects(a: MovingRegion, b: MovingRegion) -> MovingBool:
+    """Lifted ``intersects`` between two moving regions.
+
+    Defined on the common deftime; O(Σ S_a·S_b) root extractions per
+    refinement piece plus one static test per status run.
+    """
+    out: List[ConstUnit] = []
+    for piece, ua, ub in refinement_partition(a.units, b.units):
+        if ua is None or ub is None:
+            continue
+        assert isinstance(ua, URegion) and isinstance(ub, URegion)
+        out.extend(uregion_uregion_intersects(ua, ub, piece))
+    return MovingBool.normalized(out)
+
+
+def mpoint_intersection(a: MovingPoint, b: MovingPoint) -> MovingPoint:
+    """Lifted ``intersection`` of two moving points.
+
+    The result is defined exactly when the two points coincide: whole
+    refinement pieces when the motions are identical, single instants
+    when the trajectories cross transversally.
+    """
+    out: List[UPoint] = []
+    for piece, ua, ub in refinement_partition(a.units, b.units):
+        if ua is None or ub is None:
+            continue
+        assert isinstance(ua, UPoint) and isinstance(ub, UPoint)
+        times = ua.motion.coincidence_times(ub.motion)
+        if times is None:
+            out.append(ua.with_interval(piece))
+            continue
+        for t in times:
+            if piece.contains(t):
+                out.append(ua.with_interval(interval_at(t)))
+    return MovingPoint.normalized(out)

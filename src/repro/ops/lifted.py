@@ -1,0 +1,216 @@
+"""Temporally lifted arithmetic, comparisons, and boolean connectives.
+
+Lifting (Section 2) makes every static operation applicable to moving
+operands by applying it at each instant.  On the sliced representation
+this becomes: refine the two unit sequences to a common partition, apply
+the static operation per unit pair, and reassemble.
+
+Closure limits of the ``ureal`` representation surface here: sums of
+square-root units are not representable (``NotClosed``), exactly as
+discussed in Section 3.2.5.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Union
+
+from repro.base.values import BoolVal
+from repro.config import EPSILON
+from repro.errors import NotClosed, TypeMismatch
+from repro.ranges.interval import Interval
+from repro.temporal.mapping import MovingBool, MovingReal
+from repro.temporal.quadratics import sub_quad
+from repro.temporal.refinement import refinement_partition
+from repro.temporal.uconst import ConstUnit
+from repro.temporal.ureal import UReal
+
+_COMPARATORS: dict[str, Callable[[float, float], bool]] = {
+    "<": lambda x, y: x < y,
+    "<=": lambda x, y: x <= y,
+    ">": lambda x, y: x > y,
+    ">=": lambda x, y: x >= y,
+    "==": lambda x, y: abs(x - y) <= EPSILON,
+    "!=": lambda x, y: abs(x - y) > EPSILON,
+}
+
+
+def mreal_add(a: MovingReal, b: MovingReal) -> MovingReal:
+    """Lifted ``+`` on moving reals (polynomial units only)."""
+    units: List[UReal] = []
+    for piece, ua, ub in refinement_partition(a.units, b.units):
+        if ua is None or ub is None:
+            continue
+        assert isinstance(ua, UReal) and isinstance(ub, UReal)
+        units.append(ua.with_interval(piece).plus(ub.with_interval(piece)))
+    return MovingReal.normalized(units)
+
+
+def mreal_sub(a: MovingReal, b: MovingReal) -> MovingReal:
+    """Lifted ``−`` on moving reals (polynomial units only)."""
+    units: List[UReal] = []
+    for piece, ua, ub in refinement_partition(a.units, b.units):
+        if ua is None or ub is None:
+            continue
+        assert isinstance(ua, UReal) and isinstance(ub, UReal)
+        units.append(ua.with_interval(piece).minus(ub.with_interval(piece)))
+    return MovingReal.normalized(units)
+
+
+def mreal_scale(a: MovingReal, k: float) -> MovingReal:
+    """Lifted multiplication by a constant."""
+    return MovingReal.normalized(
+        [u.scaled(k) for u in a.units]  # type: ignore[union-attr]
+    )
+
+
+def _unit_compare(u: UReal, op: str, v: UReal) -> List[ConstUnit]:
+    """Compare two ureal units over their (identical) interval.
+
+    The sign of the difference changes only at equality instants.  The
+    interval is cut at those instants; each open piece gets its midpoint
+    truth value, and every cut instant is assigned to the neighbouring
+    piece whose value matches — or becomes a degenerate single-instant
+    unit when it matches neither (e.g. ``(t−5)² > 0`` is false exactly
+    at t = 5).
+    """
+    cmp = _COMPARATORS[op]
+    iv = u.interval
+    if iv.is_degenerate:
+        holds = cmp(u.eval(iv.s), v.eval(iv.s))
+        return [ConstUnit(iv, BoolVal(holds))]
+    interior = sorted(
+        {t for t in u.compare_times(v) if iv.s < t < iv.e}
+    )
+    cuts = [iv.s] + interior + [iv.e]
+    piece_vals = [
+        cmp(u.eval((a + b) / 2.0), v.eval((a + b) / 2.0))
+        for a, b in zip(cuts, cuts[1:])
+    ]
+    cut_vals = {t: cmp(u.eval(t), v.eval(t)) for t in cuts}
+
+    out: List[ConstUnit] = []
+    n = len(piece_vals)
+    for j in range(n):
+        a, b = cuts[j], cuts[j + 1]
+        holds = piece_vals[j]
+        # Left closure: the unit's own closure at the interval start,
+        # else claim the cut instant iff its value matches this piece
+        # and the previous piece did not already claim it.
+        if j == 0:
+            lc = iv.lc
+        else:
+            lc = cut_vals[a] == holds and piece_vals[j - 1] != cut_vals[a]
+        if j == n - 1:
+            rc = iv.rc
+        else:
+            rc = cut_vals[b] == holds
+        out.append(ConstUnit(Interval(a, b, lc, rc), BoolVal(holds)))
+        # Orphaned instant: the cut value matches neither neighbour.
+        if j < n - 1 and cut_vals[b] != holds and cut_vals[b] != piece_vals[j + 1]:
+            out.append(
+                ConstUnit(Interval(b, b, True, True), BoolVal(cut_vals[b]))
+            )
+    return out
+
+
+def mreal_compare(
+    a: MovingReal, op: str, b: Union[MovingReal, float, int]
+) -> MovingBool:
+    """Lifted comparison of moving reals, yielding a moving bool.
+
+    ``op`` is one of ``< <= > >= == !=``; ``b`` may be a constant.
+    """
+    if op not in _COMPARATORS:
+        raise TypeMismatch(f"unknown comparison operator {op!r}")
+    if isinstance(b, (int, float)):
+        const = float(b)
+        units: List[ConstUnit] = []
+        for u in a.units:
+            assert isinstance(u, UReal)
+            rhs = UReal.constant(u.interval, const)
+            units.extend(_unit_compare(u, op, rhs))
+        return MovingBool.normalized(units)
+    units = []
+    for piece, ua, ub in refinement_partition(a.units, b.units):
+        if ua is None or ub is None:
+            continue
+        assert isinstance(ua, UReal) and isinstance(ub, UReal)
+        units.extend(
+            _unit_compare(ua.with_interval(piece), op, ub.with_interval(piece))
+        )
+    return MovingBool.normalized(units)
+
+
+def _unit_pointwise_extreme(u: UReal, v: UReal, take_min: bool) -> List[UReal]:
+    """Pointwise min/max of two ureal units over their common interval.
+
+    The winner can only change at equality instants, so the interval is
+    cut there and each piece keeps whichever unit wins at its midpoint.
+    Closed for every form combination the comparison itself supports.
+    """
+    iv = u.interval
+    if iv.is_degenerate:
+        winner = u if (u.eval(iv.s) <= v.eval(iv.s)) == take_min else v
+        return [winner.with_interval(iv)]
+    cuts = [iv.s] + [t for t in u.compare_times(v) if iv.s < t < iv.e] + [iv.e]
+    cuts = sorted(set(cuts))
+    out: List[UReal] = []
+    for j, (a, b) in enumerate(zip(cuts, cuts[1:])):
+        mid = (a + b) / 2.0
+        winner = u if (u.eval(mid) <= v.eval(mid)) == take_min else v
+        lc = iv.lc if j == 0 else True
+        rc = iv.rc if j == len(cuts) - 2 else False
+        out.append(winner.with_interval(Interval(a, b, lc, rc)))
+    return out
+
+
+def _mreal_extreme(a: MovingReal, b: MovingReal, take_min: bool) -> MovingReal:
+    units: List[UReal] = []
+    for piece, ua, ub in refinement_partition(a.units, b.units):
+        if ua is None or ub is None:
+            continue
+        assert isinstance(ua, UReal) and isinstance(ub, UReal)
+        units.extend(
+            _unit_pointwise_extreme(
+                ua.with_interval(piece), ub.with_interval(piece), take_min
+            )
+        )
+    return MovingReal.normalized(units)
+
+
+def mreal_min(a: MovingReal, b: MovingReal) -> MovingReal:
+    """Lifted pointwise minimum of two moving reals."""
+    return _mreal_extreme(a, b, take_min=True)
+
+
+def mreal_max(a: MovingReal, b: MovingReal) -> MovingReal:
+    """Lifted pointwise maximum of two moving reals."""
+    return _mreal_extreme(a, b, take_min=False)
+
+
+def _mbool_combine(
+    a: MovingBool, b: MovingBool, fn: Callable[[bool, bool], bool]
+) -> MovingBool:
+    units: List[ConstUnit] = []
+    for piece, ua, ub in refinement_partition(a.units, b.units):
+        if ua is None or ub is None:
+            continue
+        assert isinstance(ua, ConstUnit) and isinstance(ub, ConstUnit)
+        value = fn(bool(ua.value.value), bool(ub.value.value))
+        units.append(ConstUnit(piece, BoolVal(value)))
+    return MovingBool.normalized(units)
+
+
+def mbool_and(a: MovingBool, b: MovingBool) -> MovingBool:
+    """Lifted conjunction (defined on the common deftime)."""
+    return _mbool_combine(a, b, lambda x, y: x and y)
+
+
+def mbool_or(a: MovingBool, b: MovingBool) -> MovingBool:
+    """Lifted disjunction (defined on the common deftime)."""
+    return _mbool_combine(a, b, lambda x, y: x or y)
+
+
+def mbool_not(a: MovingBool) -> MovingBool:
+    """Lifted negation."""
+    return a.negated()

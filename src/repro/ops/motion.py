@@ -1,0 +1,77 @@
+"""Rate-of-change operations on moving points.
+
+The abstract model offers ``derivative``, ``speed``, and direction
+observations.  For the *discrete* ``upoint`` representation the velocity
+within a unit is constant (motion is linear), so — unlike the ureal
+``derivative``, which is not closed — the moving point's velocity,
+speed, and heading are exactly representable as piecewise-constant
+moving reals.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Tuple
+
+from repro.temporal.mapping import MovingPoint, MovingReal
+from repro.temporal.upoint import UPoint
+from repro.temporal.ureal import UReal
+
+
+def velocity(mp: MovingPoint) -> Tuple[MovingReal, MovingReal]:
+    """The velocity vector as two piecewise-constant moving reals.
+
+    This is the ``derivative`` of a moving point — closed in the
+    discrete model because upoint units move linearly.
+    """
+    vx_units: List[UReal] = []
+    vy_units: List[UReal] = []
+    for u in mp.units:
+        assert isinstance(u, UPoint)
+        vx, vy = u.motion.velocity
+        vx_units.append(UReal.constant(u.interval, vx))
+        vy_units.append(UReal.constant(u.interval, vy))
+    return (
+        MovingReal.normalized(vx_units),
+        MovingReal.normalized(vy_units),
+    )
+
+
+def speed(mp: MovingPoint) -> MovingReal:
+    """The scalar speed (also available as ``MovingPoint.speed``)."""
+    return mp.speed()
+
+
+def heading(mp: MovingPoint) -> MovingReal:
+    """The direction of motion in radians, piecewise constant.
+
+    Units where the point is stationary contribute no heading (the
+    moving real is undefined there) — direction of a zero vector has no
+    value, matching the abstract model's partial-function semantics.
+    """
+    units: List[UReal] = []
+    for u in mp.units:
+        assert isinstance(u, UPoint)
+        vx, vy = u.motion.velocity
+        if vx == 0.0 and vy == 0.0:
+            continue
+        units.append(UReal.constant(u.interval, math.atan2(vy, vx)))
+    return MovingReal.normalized(units)
+
+
+def turning_points(mp: MovingPoint) -> List[float]:
+    """Instants at which the direction of motion changes.
+
+    These are exactly the unit boundaries where consecutive units have
+    non-parallel velocities.
+    """
+    out: List[float] = []
+    units = [u for u in mp.units if isinstance(u, UPoint)]
+    for a, b in zip(units, units[1:]):
+        if not a.interval.adjacent(b.interval) and a.interval.e != b.interval.s:
+            continue
+        ax, ay = a.motion.velocity
+        bx, by = b.motion.velocity
+        if abs(ax * by - ay * bx) > 1e-12 or (ax * bx + ay * by) < 0:
+            out.append(b.interval.s)
+    return out

@@ -1,0 +1,110 @@
+"""Lifted numeric operations: ``size`` (area), ``perimeter``, ``length``.
+
+The no-rotation (coplanarity) constraint on moving segments is exactly
+what makes these operations closed in the ``ureal`` representation
+(Section 3.2.5):
+
+* a moving segment's direction is constant, so its *length* is the
+  absolute value of a linear function of time — linear on the open unit
+  interval where it cannot degenerate; sums stay linear;
+* the *area* swept by faces whose vertices move linearly is, by the
+  shoelace formula over linear coordinate functions, a quadratic in
+  time; signs cannot flip inside the open interval (the region would be
+  invalid there), so the unsigned area is quadratic per unit.
+
+Both facts let us recover exact polynomial coefficients from a few
+point evaluations (two for linear, three for quadratic — polynomial
+interpolation is exact, not an approximation).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List
+
+from repro.temporal.mapping import MovingLine, MovingReal, MovingRegion
+from repro.temporal.uline import ULine
+from repro.temporal.unit import Unit, UnitInterval
+from repro.temporal.ureal import UReal
+from repro.temporal.uregion import URegion
+
+
+def _snap(value: float, scale: float) -> float:
+    """Zero out interpolation noise far below the quantity's magnitude."""
+    if abs(value) <= 1e-9 * max(scale, 1e-300):
+        return 0.0
+    return value
+
+
+def _fit_linear(iv: UnitInterval, f: Callable[[float], float]) -> UReal:
+    """The ureal unit interpolating a linear quantity on ``iv``."""
+    if iv.is_degenerate:
+        return UReal.constant(iv, f(iv.s))
+    span = iv.e - iv.s
+    t0 = iv.s + 0.25 * span
+    t1 = iv.s + 0.75 * span
+    if t1 <= t0:  # span below float resolution at this magnitude
+        return UReal.constant(iv, f(iv.midpoint()))
+    v0, v1 = f(t0), f(t1)
+    scale = max(abs(v0), abs(v1))
+    slope = _snap((v1 - v0) / (t1 - t0), scale / max(span, 1e-300))
+    return UReal(iv, 0.0, slope, v0 - slope * t0, False)
+
+
+def _fit_quadratic(iv: UnitInterval, f: Callable[[float], float]) -> UReal:
+    """The ureal unit interpolating a quadratic quantity on ``iv``.
+
+    Lagrange interpolation through three interior sample instants —
+    exact for genuinely quadratic quantities.
+    """
+    if iv.is_degenerate:
+        return UReal.constant(iv, f(iv.s))
+    span = iv.e - iv.s
+    t0 = iv.s + 0.25 * span
+    t1 = iv.s + 0.50 * span
+    t2 = iv.s + 0.75 * span
+    if t1 <= t0 or t2 <= t1:  # span below float resolution
+        return UReal.constant(iv, f(iv.midpoint()))
+    v0, v1, v2 = f(t0), f(t1), f(t2)
+    # Divided differences for the Newton form, expanded to monomials.
+    d01 = (v1 - v0) / (t1 - t0)
+    d12 = (v2 - v1) / (t2 - t1)
+    scale = max(abs(v0), abs(v1), abs(v2))
+    a = _snap((d12 - d01) / (t2 - t0), scale / max(span * span, 1e-300))
+    b = _snap(d01 - a * (t0 + t1), scale / max(span, 1e-300))
+    c = v0 - (a * t0 + b) * t0
+    return UReal(iv, a, b, c, False)
+
+
+def mregion_area(mr: MovingRegion) -> MovingReal:
+    """Lifted ``size``: the area of a moving region as a moving real.
+
+    Reads the per-unit summary quadruple (computed once and cached in
+    the unit record, per the Section 4.2 suggestion).
+    """
+    units: List[UReal] = []
+    for u in mr.units:
+        assert isinstance(u, URegion)
+        a, b, c, r = u.area_summary()
+        units.append(UReal(u.interval, a, b, c, r))
+    return MovingReal.normalized(units)
+
+
+def mregion_perimeter(mr: MovingRegion) -> MovingReal:
+    """Lifted ``perimeter`` of a moving region as a moving real."""
+    units: List[UReal] = []
+    for u in mr.units:
+        assert isinstance(u, URegion)
+        a, b, c, r = u.perimeter_summary()
+        units.append(UReal(u.interval, a, b, c, r))
+    return MovingReal.normalized(units)
+
+
+def mline_length(ml: MovingLine) -> MovingReal:
+    """Lifted ``length`` of a moving line as a moving real."""
+    units: List[UReal] = []
+    for u in ml.units:
+        assert isinstance(u, ULine)
+        units.append(
+            _fit_linear(u.interval, lambda t, u=u: u._iota(t).length())
+        )
+    return MovingReal.normalized(units)

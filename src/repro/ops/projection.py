@@ -1,0 +1,81 @@
+"""Projections of moving values into their domain and range.
+
+* ``deftime`` — projection into the time domain;
+* ``trajectory`` — the 1-D spatial projection of a moving point
+  (Section 2);
+* ``traversed`` — the 2-D spatial projection (swept area) of a moving
+  region, computed exactly: with linearly moving, non-rotating
+  segments, the projection of each moving segment's swept trapezium is
+  a planar trapezoid, so the traversed area is the union of the start
+  snapshot, the end snapshot, and those trapezoids.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.errors import InvalidValue
+from repro.geometry.primitives import orientation, point_eq
+from repro.ranges.rangeset import RangeSet
+from repro.spatial.line import Line
+from repro.spatial.region import Region
+from repro.temporal.mapping import Mapping, MovingPoint, MovingRegion
+from repro.temporal.uregion import URegion
+
+
+def deftime(m: Mapping) -> RangeSet[float]:
+    """Projection into the time domain."""
+    return m.deftime()
+
+
+def trajectory(mp: MovingPoint) -> Line:
+    """``trajectory``: the line parts of a moving point's spatial projection."""
+    return mp.trajectory()
+
+
+def _mseg_footprint(mseg, t0: float, t1: float) -> Region:
+    """The spatial trapezoid swept by a moving segment between two instants."""
+    a, b = mseg.at(t0)
+    d, c = mseg.at(t1)
+    # Drop duplicate consecutive corners (degenerate ends make triangles).
+    ring = []
+    for p in (a, b, c, d):
+        if not ring or not point_eq(ring[-1], p):
+            ring.append(p)
+    if len(ring) >= 3 and point_eq(ring[0], ring[-1]):
+        ring.pop()
+    if len(ring) < 3:
+        return Region([])
+    # All-collinear footprints (sliding along the carrier line) sweep no area.
+    if all(orientation(ring[0], ring[1], p) == 0 for p in ring[2:]):
+        return Region([])
+    try:
+        return Region.polygon(ring)
+    except InvalidValue:
+        return Region([])
+
+
+def traversed(mr: MovingRegion) -> Region:
+    """``traversed``: the exact area covered by the moving region over time.
+
+    Collects the start/end snapshots of every unit plus the planar
+    trapezoid each moving segment sweeps, then overlays them all at once
+    (one n-ary union, which is where the robustness lives).
+    """
+    from repro.spatial.region import union_all
+
+    contributions: List[Region] = []
+    for u in mr.units:
+        assert isinstance(u, URegion)
+        iv = u.interval
+        for t in (iv.s, iv.e):
+            snapshot = u.value_at(t)
+            if snapshot is None and not iv.is_degenerate:
+                snapshot = u._iota(t)
+            if snapshot:
+                contributions.append(snapshot)
+        for mseg in u.msegs():
+            footprint = _mseg_footprint(mseg, iv.s, iv.e)
+            if footprint:
+                contributions.append(footprint)
+    return union_all(contributions)

@@ -1,0 +1,208 @@
+"""Executable operation signatures.
+
+Section 2 of the paper presents operations as a signature table
+(``trajectory: moving(point) → line``, ``distance: moving(point) ×
+moving(point) → moving(real)``, ...).  This module records the
+operations this library implements in exactly that style: names,
+argument type terms, result type terms, the implementing callable, and
+whether the operation is a *lifted* version of a static one.
+
+It is used by tests to verify that (a) every signature names valid
+type terms of the discrete type system, (b) every operation is callable
+under its declared name in the query language where applicable, and
+(c) the known non-closed operations (``derivative`` on square-root
+ureals) are flagged rather than silently wrong.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, List, Optional, Tuple
+
+from repro.typesystem import DISCRETE_SIGNATURE, TypeTerm, parse_type
+
+
+@dataclass(frozen=True)
+class OperationSignature:
+    """One operation: name, argument types, result type."""
+
+    name: str
+    args: Tuple[str, ...]
+    result: str
+    lifted: bool = False
+    sql_name: Optional[str] = None  # name in the query language, if exposed
+    notes: str = ""
+
+    def arg_terms(self) -> List[TypeTerm]:
+        """The argument types as parsed type terms."""
+        return [parse_type(a) for a in self.args]
+
+    def result_term(self) -> TypeTerm:
+        """The result type as a parsed type term."""
+        return parse_type(self.result)
+
+
+#: The operation table.  Type terms use the discrete vocabulary of
+#: Table 2 (``mapping(upoint)`` etc.); ``real``/``bool`` denote scalars.
+OPERATIONS: List[OperationSignature] = [
+    # -- projections into domain and range --------------------------------
+    OperationSignature(
+        "deftime", ("mapping(upoint)",), "range(instant)", sql_name="deftime"
+    ),
+    OperationSignature(
+        "trajectory", ("mapping(upoint)",), "line", sql_name="trajectory",
+        notes="Section 2: the line parts of the spatial projection",
+    ),
+    OperationSignature(
+        "traversed", ("mapping(uregion)",), "region",
+        notes="spatial projection of a moving region (exact overlay)",
+    ),
+    OperationSignature(
+        "rangevalues", ("mapping(ureal)",), "range(real)",
+    ),
+    # -- interaction with domain and range ---------------------------------
+    OperationSignature(
+        "atinstant", ("mapping(uregion)", "instant"), "intime(region)",
+        sql_name="atinstant",
+        notes="Section 5.1: O(log n + r) / O(log n + r log r)",
+    ),
+    OperationSignature(
+        "atperiods", ("mapping(upoint)", "range(instant)"), "mapping(upoint)",
+    ),
+    OperationSignature(
+        "present", ("mapping(upoint)", "instant"), "bool", sql_name="present"
+    ),
+    OperationSignature(
+        "at", ("mapping(upoint)", "region"), "mapping(upoint)",
+        notes="restriction of a moving point to a region",
+    ),
+    OperationSignature(
+        "passes", ("mapping(upoint)", "region"), "bool", sql_name="passes"
+    ),
+    OperationSignature(
+        "initial", ("mapping(ureal)",), "intime(real)", sql_name="initial"
+    ),
+    OperationSignature(
+        "final", ("mapping(ureal)",), "intime(real)", sql_name="final"
+    ),
+    OperationSignature("val", ("intime(real)",), "real", sql_name="val"),
+    OperationSignature("inst", ("intime(real)",), "instant", sql_name="inst"),
+    OperationSignature(
+        "atmin", ("mapping(ureal)",), "mapping(ureal)", sql_name="atmin"
+    ),
+    OperationSignature(
+        "atmax", ("mapping(ureal)",), "mapping(ureal)", sql_name="atmax"
+    ),
+    # -- lifted predicates and numerics -------------------------------------
+    OperationSignature(
+        "inside", ("mapping(upoint)", "mapping(uregion)"),
+        "mapping(const(bool))", lifted=True, sql_name="inside",
+        notes="Section 5.2: O(n + m + S); O(n + m) far apart",
+    ),
+    OperationSignature(
+        "distance", ("mapping(upoint)", "mapping(upoint)"), "mapping(ureal)",
+        lifted=True, sql_name="distance",
+        notes="square-root ureal units (the reason for the r flag)",
+    ),
+    OperationSignature(
+        "distance", ("mapping(upoint)", "line"), "mapping(ureal)", lifted=True,
+        sql_name="distance",
+    ),
+    OperationSignature(
+        "distance", ("mapping(upoint)", "region"), "mapping(ureal)", lifted=True,
+        sql_name="distance",
+    ),
+    OperationSignature(
+        "length", ("line",), "real", sql_name="length",
+        notes="Section 2's length operation",
+    ),
+    OperationSignature(
+        "length", ("mapping(uline)",), "mapping(ureal)", lifted=True,
+        notes="linear per unit: non-rotating segments have linear length",
+    ),
+    OperationSignature(
+        "size", ("mapping(uregion)",), "mapping(ureal)", lifted=True,
+        sql_name="area",
+        notes="quadratic per unit (shoelace over linear coordinates)",
+    ),
+    OperationSignature(
+        "perimeter", ("mapping(uregion)",), "mapping(ureal)", lifted=True,
+        sql_name="perimeter",
+    ),
+    OperationSignature(
+        "speed", ("mapping(upoint)",), "mapping(ureal)", sql_name="speed"
+    ),
+    OperationSignature(
+        "velocity", ("mapping(upoint)",), "mapping(ureal)",
+        notes="the derivative of a moving point — closed (linear motion); "
+        "returned as one moving real per coordinate",
+    ),
+    OperationSignature(
+        "derivative", ("mapping(ureal)",), "mapping(ureal)",
+        notes="NOT closed for square-root units; raises NotClosed "
+        "(the paper's footnote 2)",
+    ),
+    OperationSignature(
+        "min", ("mapping(ureal)", "mapping(ureal)"), "mapping(ureal)",
+        lifted=True, sql_name="mmin",
+    ),
+    OperationSignature(
+        "max", ("mapping(ureal)", "mapping(ureal)"), "mapping(ureal)",
+        lifted=True, sql_name="mmax",
+    ),
+    OperationSignature(
+        "integral", ("mapping(ureal)",), "real", sql_name="integral"
+    ),
+    OperationSignature(
+        "avg", ("mapping(ureal)",), "real", sql_name="avg_value"
+    ),
+    # -- further lifted operations beyond the paper's examples ---------------
+    OperationSignature(
+        "intersects", ("mapping(uregion)", "mapping(uregion)"),
+        "mapping(const(bool))", lifted=True,
+        notes="status flips only at boundary-contact instants (roots of "
+        "the pairwise orientation quadratics)",
+    ),
+    OperationSignature(
+        "intersection", ("mapping(upoint)", "mapping(upoint)"),
+        "mapping(upoint)", lifted=True,
+        notes="defined when the operands coincide",
+    ),
+    OperationSignature(
+        "overlap_area", ("mapping(uregion)", "region"), "mapping(ureal)",
+        lifted=True,
+        notes="piecewise quadratic between combinatorial events",
+    ),
+    OperationSignature(
+        "heading", ("mapping(upoint)",), "mapping(ureal)",
+        notes="piecewise constant; undefined while stationary",
+    ),
+    OperationSignature(
+        "simplify", ("mapping(upoint)", "real"), "mapping(upoint)",
+        notes="Douglas–Peucker under synchronized Euclidean distance",
+    ),
+    OperationSignature(
+        "count", ("mapping(upoints)",), "mapping(const(int))", lifted=True,
+    ),
+]
+
+
+def well_formed() -> List[str]:
+    """Validate every signature against the discrete type system.
+
+    Returns a list of error strings (empty when all signatures check).
+    Scalar results (``real``/``bool``/``instant``) are atomic types of
+    the signature; everything else must be a generated term.
+    """
+    errors = []
+    for op in OPERATIONS:
+        for term_text in (*op.args, op.result):
+            term = parse_type(term_text)
+            if not DISCRETE_SIGNATURE.is_well_formed(term):
+                errors.append(f"{op.name}: bad type term {term_text!r}")
+    return errors
+
+
+def sql_exposed() -> List[OperationSignature]:
+    """Operations reachable from the query language."""
+    return [op for op in OPERATIONS if op.sql_name is not None]

@@ -1,0 +1,107 @@
+"""Trajectory simplification for moving points.
+
+Tracking devices sample far more densely than the motion warrants; a
+moving objects database wants the *minimal* sliced representation that
+stays within a spatial error bound.  This module implements
+Douglas–Peucker simplification under the **synchronized Euclidean
+distance**: the error of dropping a waypoint is the distance between
+the original position and the simplified position *at the same
+instant* — the right metric for spatio-temporal data (plain geometric
+DP would misplace the object in time).
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+from repro.errors import InvalidValue
+from repro.geometry.primitives import Vec, dist
+from repro.temporal.mapping import MovingPoint
+from repro.temporal.upoint import UPoint
+
+Sample = Tuple[float, Vec]
+
+
+def _waypoints_of(mp: MovingPoint) -> List[Sample]:
+    """The waypoint sequence of a gap-free moving point."""
+    samples: List[Sample] = []
+    units = list(mp.units)
+    if not units:
+        return samples
+    for i, u in enumerate(units):
+        assert isinstance(u, UPoint)
+        if i > 0 and units[i - 1].interval.e != u.interval.s:
+            raise InvalidValue(
+                "simplification requires a gap-free moving point; "
+                "split at gaps with atperiods first"
+            )
+        samples.append((u.interval.s, u.start_point()))
+    samples.append((units[-1].interval.e, units[-1].end_point()))
+    return samples
+
+
+def _synchronized_error(samples: Sequence[Sample], lo: int, hi: int) -> Tuple[float, int]:
+    """Max synchronized distance of interior samples to the chord lo→hi."""
+    t0, p0 = samples[lo]
+    t1, p1 = samples[hi]
+    span = t1 - t0
+    worst = -1.0
+    worst_idx = lo
+    for k in range(lo + 1, hi):
+        tk, pk = samples[k]
+        f = (tk - t0) / span if span > 0 else 0.0
+        interp = (p0[0] + f * (p1[0] - p0[0]), p0[1] + f * (p1[1] - p0[1]))
+        err = dist(pk, interp)
+        if err > worst:
+            worst = err
+            worst_idx = k
+    return worst, worst_idx
+
+
+def simplify(mp: MovingPoint, epsilon: float) -> MovingPoint:
+    """Simplify a gap-free moving point within synchronized error ``epsilon``.
+
+    Douglas–Peucker on the waypoint sequence: a chord replaces a span of
+    waypoints when every dropped waypoint's synchronized distance stays
+    within ``epsilon``.  The result is defined on the same time interval
+    and deviates from the original by at most ``epsilon`` at any instant
+    (the error at non-waypoint instants is bounded by the waypoint error
+    because both motions are piecewise linear between kept waypoints).
+    """
+    if epsilon < 0:
+        raise InvalidValue("epsilon must be nonnegative")
+    samples = _waypoints_of(mp)
+    if len(samples) <= 2:
+        return mp
+    keep = [False] * len(samples)
+    keep[0] = keep[-1] = True
+    stack = [(0, len(samples) - 1)]
+    while stack:
+        lo, hi = stack.pop()
+        if hi - lo < 2:
+            continue
+        worst, idx = _synchronized_error(samples, lo, hi)
+        if worst > epsilon:
+            keep[idx] = True
+            stack.append((lo, idx))
+            stack.append((idx, hi))
+    kept = [s for s, k in zip(samples, keep) if k]
+    return MovingPoint.from_waypoints(kept)
+
+
+def simplification_error(original: MovingPoint, simplified: MovingPoint) -> float:
+    """Max synchronized distance between the two tracks at original waypoints."""
+    worst = 0.0
+    for t, p in _waypoints_of(original):
+        q = simplified.value_at(t)
+        if q is None:
+            continue
+        worst = max(worst, dist(p, q.vec))
+    return worst
+
+
+def compression_ratio(original: MovingPoint, simplified: MovingPoint) -> float:
+    """Unit-count ratio original/simplified (>= 1)."""
+    if not simplified.units:
+        return float("inf")
+    return len(original.units) / len(simplified.units)

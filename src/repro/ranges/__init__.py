@@ -1,0 +1,14 @@
+"""Interval and range types (Section 3.2.3) plus the ``intime`` pairs."""
+
+from repro.ranges.interval import Interval, interval_at, closed, open_interval
+from repro.ranges.rangeset import RangeSet
+from repro.ranges.intime import Intime
+
+__all__ = [
+    "Interval",
+    "interval_at",
+    "closed",
+    "open_interval",
+    "RangeSet",
+    "Intime",
+]

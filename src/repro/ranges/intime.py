@@ -1,0 +1,59 @@
+"""The ``intime(α)`` type constructor (Section 3.2.3).
+
+A value of ``intime(α)`` pairs a time instant with a value of α; it is
+the result type of operations such as ``initial`` and ``final`` and the
+argument type of the projections ``inst`` and ``val``.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Generic, TypeVar, Union
+
+from repro.base.instant import Instant, as_time
+
+T = TypeVar("T")
+
+
+class Intime(Generic[T]):
+    """A timestamped value: the pair ``(instant, value)``."""
+
+    __slots__ = ("_t", "_v")
+
+    def __init__(self, t: Union[Instant, int, float], v: T):
+        object.__setattr__(self, "_t", as_time(t))
+        object.__setattr__(self, "_v", v)
+
+    def __setattr__(self, name, value):
+        raise AttributeError("Intime values are immutable")
+
+    @property
+    def inst(self) -> Instant:
+        """The time component (operation ``inst`` of the abstract model)."""
+        return Instant(self._t)
+
+    @property
+    def val(self) -> T:
+        """The value component (operation ``val`` of the abstract model)."""
+        return self._v
+
+    @property
+    def time(self) -> float:
+        """The raw float time coordinate."""
+        return self._t
+
+    def __iter__(self):
+        return iter((self.inst, self._v))
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Intime):
+            return NotImplemented
+        return self._t == other._t and self._v == other._v
+
+    def __hash__(self) -> int:
+        try:
+            return hash((self._t, self._v))
+        except TypeError:
+            return hash(self._t)
+
+    def __repr__(self) -> str:
+        return f"Intime(t={self._t:g}, {self._v!r})"

@@ -1,0 +1,218 @@
+"""Finite sets of pairwise disjoint, non-adjacent intervals (Section 3.2.3).
+
+``RangeSet`` realizes the ``range(α)`` type constructor: its value is a
+canonical, minimal set of intervals — pairwise disjoint and never
+adjacent, so every point set over the ordered domain has exactly one
+representation.  Construction either *validates* a given interval set
+(``RangeSet(intervals)``) or *normalizes* arbitrary input
+(``RangeSet.normalized(intervals)``) by sorting and merging.
+
+The type provides the full 1-D boolean algebra (union, intersection,
+difference, complement within a frame), membership, and aggregates —
+these back the ``deftime``/``atperiods``/``present`` operations of the
+temporal algebra.
+"""
+
+from __future__ import annotations
+
+from typing import Generic, Iterable, Iterator, List, Optional, Sequence, TypeVar
+
+from repro.errors import InvalidValue
+from repro.ranges.interval import Interval
+
+T = TypeVar("T")
+
+
+class RangeSet(Generic[T]):
+    """A value of type ``range(α)``: ordered disjoint non-adjacent intervals."""
+
+    __slots__ = ("_intervals",)
+
+    def __init__(self, intervals: Iterable[Interval[T]] = ()):
+        ivs = sorted(intervals, key=lambda i: (i.s, not i.lc, i.e, i.rc))
+        for a, b in zip(ivs, ivs[1:]):
+            if not a.disjoint(b):
+                raise InvalidValue(f"intervals {a!r} and {b!r} overlap")
+            if a.adjacent(b):
+                raise InvalidValue(
+                    f"intervals {a!r} and {b!r} are adjacent; merge them "
+                    "for the canonical representation"
+                )
+        object.__setattr__(self, "_intervals", tuple(ivs))
+
+    def __setattr__(self, name, value):
+        raise AttributeError("RangeSet values are immutable")
+
+    @classmethod
+    def normalized(cls, intervals: Iterable[Interval[T]]) -> "RangeSet[T]":
+        """Build a range set from arbitrary intervals, merging as needed."""
+        ivs = sorted(intervals, key=lambda i: (i.s, not i.lc, i.e, i.rc))
+        merged: List[Interval[T]] = []
+        for iv in ivs:
+            if merged and (not merged[-1].disjoint(iv) or merged[-1].adjacent(iv)):
+                merged[-1] = merged[-1].merge(iv)
+            else:
+                merged.append(iv)
+        return cls(merged)
+
+    # -- container protocol ----------------------------------------------
+
+    @property
+    def intervals(self) -> Sequence[Interval[T]]:
+        """The ordered interval tuple (the canonical array representation)."""
+        return self._intervals
+
+    def __iter__(self) -> Iterator[Interval[T]]:
+        return iter(self._intervals)
+
+    def __len__(self) -> int:
+        return len(self._intervals)
+
+    def __bool__(self) -> bool:
+        return bool(self._intervals)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, RangeSet):
+            return NotImplemented
+        return self._intervals == other._intervals
+
+    def __hash__(self) -> int:
+        return hash(self._intervals)
+
+    def __repr__(self) -> str:
+        inner = ", ".join(iv.pretty() for iv in self._intervals)
+        return f"RangeSet({{{inner}}})"
+
+    # -- queries -----------------------------------------------------------
+
+    def contains(self, v: T) -> bool:
+        """True iff the domain value ``v`` belongs to some interval.
+
+        Binary search over the ordered interval array.
+        """
+        lo, hi = 0, len(self._intervals) - 1
+        while lo <= hi:
+            mid = (lo + hi) // 2
+            iv = self._intervals[mid]
+            if iv.contains(v):
+                return True
+            if v < iv.s or (v == iv.s and not iv.lc):
+                hi = mid - 1
+            else:
+                lo = mid + 1
+        return False
+
+    def interval_containing(self, v: T) -> Optional[Interval[T]]:
+        """Return the interval containing ``v``, or None."""
+        lo, hi = 0, len(self._intervals) - 1
+        while lo <= hi:
+            mid = (lo + hi) // 2
+            iv = self._intervals[mid]
+            if iv.contains(v):
+                return iv
+            if v < iv.s or (v == iv.s and not iv.lc):
+                hi = mid - 1
+            else:
+                lo = mid + 1
+        return None
+
+    @property
+    def minimum(self) -> T:
+        """The smallest value present; raises on the empty set."""
+        if not self._intervals:
+            raise InvalidValue("minimum of an empty range set")
+        return self._intervals[0].s
+
+    @property
+    def maximum(self) -> T:
+        """The largest value present; raises on the empty set."""
+        if not self._intervals:
+            raise InvalidValue("maximum of an empty range set")
+        return self._intervals[-1].e
+
+    def total_length(self):
+        """Sum of interval extents (numeric domains)."""
+        return sum(iv.length for iv in self._intervals)
+
+    def span(self) -> Optional[Interval[T]]:
+        """The smallest single interval covering the whole set, or None."""
+        if not self._intervals:
+            return None
+        first, last = self._intervals[0], self._intervals[-1]
+        return Interval(first.s, last.e, first.lc, last.rc)
+
+    # -- boolean algebra ----------------------------------------------------
+
+    def union(self, other: "RangeSet[T]") -> "RangeSet[T]":
+        """Set union of the two ranges."""
+        return RangeSet.normalized(list(self._intervals) + list(other._intervals))
+
+    def intersection(self, other: "RangeSet[T]") -> "RangeSet[T]":
+        """Set intersection, via an ordered merge scan."""
+        out: List[Interval[T]] = []
+        i = j = 0
+        a, b = self._intervals, other._intervals
+        while i < len(a) and j < len(b):
+            common = a[i].intersection(b[j])
+            if common is not None:
+                out.append(common)
+            # Advance whichever interval ends first.
+            if (a[i].e, a[i].rc) <= (b[j].e, b[j].rc):
+                i += 1
+            else:
+                j += 1
+        return RangeSet.normalized(out)
+
+    def difference(self, other: "RangeSet[T]") -> "RangeSet[T]":
+        """Set difference ``self \\ other``."""
+        out: List[Interval[T]] = []
+        for iv in self._intervals:
+            pieces = [iv]
+            for cut in other._intervals:
+                nxt: List[Interval[T]] = []
+                for piece in pieces:
+                    nxt.extend(_interval_minus(piece, cut))
+                pieces = nxt
+                if not pieces:
+                    break
+            out.extend(pieces)
+        return RangeSet.normalized(out)
+
+    def intersects(self, other: "RangeSet[T]") -> bool:
+        """True iff the two ranges share any value."""
+        i = j = 0
+        a, b = self._intervals, other._intervals
+        while i < len(a) and j < len(b):
+            if a[i].intersects(b[j]):
+                return True
+            if (a[i].e, a[i].rc) <= (b[j].e, b[j].rc):
+                i += 1
+            else:
+                j += 1
+        return False
+
+
+def _interval_minus(iv: Interval[T], cut: Interval[T]) -> List[Interval[T]]:
+    """Subtract ``cut`` from ``iv``, yielding 0, 1, or 2 intervals."""
+    if iv.disjoint(cut):
+        return [iv]
+    out: List[Interval[T]] = []
+    # Left remainder: values of iv before cut starts.
+    if iv.s < cut.s or (iv.s == cut.s and iv.lc and not cut.lc):
+        if iv.s == cut.s:
+            out.append(Interval(iv.s, iv.s, True, True))
+        else:
+            out.append(Interval(iv.s, cut.s, iv.lc, not cut.lc))
+    # Right remainder: values of iv after cut ends.
+    if iv.e > cut.e or (iv.e == cut.e and iv.rc and not cut.rc):
+        if iv.e == cut.e:
+            out.append(Interval(iv.e, iv.e, True, True))
+        else:
+            out.append(Interval(cut.e, iv.e, not cut.rc, iv.rc))
+    # Drop malformed empties that the closure flags can produce.
+    cleaned: List[Interval[T]] = []
+    for piece in out:
+        if piece.s == piece.e and not (piece.lc and piece.rc):
+            continue
+        cleaned.append(piece)
+    return cleaned

@@ -1,0 +1,25 @@
+"""Spatial data types of the discrete model (Section 3.2.2).
+
+``point`` and ``points`` are exact; ``line`` and ``region`` are the
+linear approximations (segment sets, polygons with polygonal holes) the
+paper defines, with their uniqueness constraints enforced at
+construction.
+"""
+
+from repro.spatial.bbox import Rect, Cube
+from repro.spatial.point import Point
+from repro.spatial.points import Points
+from repro.spatial.line import Line
+from repro.spatial.region import Cycle, Face, Region, close_region
+
+__all__ = [
+    "Rect",
+    "Cube",
+    "Point",
+    "Points",
+    "Line",
+    "Cycle",
+    "Face",
+    "Region",
+    "close_region",
+]

@@ -1,0 +1,197 @@
+"""The ``line`` data type: a finite set of line segments (Section 3.2.2).
+
+The paper deliberately takes the *unstructured* view: any set of segments
+is a valid line value as long as no two collinear segments overlap (that
+pair could be merged, so forbidding it makes representations unique).
+The value is stored canonically as a sorted tuple of segments, and the
+halfsegment sequence of Section 4.1 is derivable on demand for
+plane-sweep consumers.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, Sequence, Union
+
+from repro.config import EPSILON
+from repro.errors import InvalidValue
+from repro.geometry.mergesegs import merge_segs
+from repro.geometry.primitives import Vec, dist
+from repro.geometry.segment import (
+    HalfSegment,
+    Seg,
+    collinear,
+    halfsegments_of,
+    make_seg,
+    point_on_seg,
+    seg_length,
+    seg_overlap,
+)
+from repro.geometry.splitting import segment_midpoint, split_at_intersections
+from repro.spatial.bbox import Rect
+from repro.spatial.point import Point
+
+
+def _as_seg(s: Union[Seg, tuple]) -> Seg:
+    (p, q) = s
+    return make_seg((float(p[0]), float(p[1])), (float(q[0]), float(q[1])))
+
+
+class Line:
+    """A value of type ``line``: segments with no collinear overlaps."""
+
+    __slots__ = ("_segs",)
+
+    def __init__(self, segments: Iterable[Seg] = (), validate: bool = True):
+        segs = sorted({_as_seg(s) for s in segments})
+        if validate:
+            _check_no_collinear_overlap(segs)
+        object.__setattr__(self, "_segs", tuple(segs))
+
+    def __setattr__(self, name, value):
+        raise AttributeError("Line values are immutable")
+
+    @classmethod
+    def from_unmerged(cls, segments: Iterable[Seg]) -> "Line":
+        """Build a line value from arbitrary segments, merging overlaps.
+
+        This applies ``merge-segs`` so the uniqueness constraint holds by
+        construction; it is the constructor used by ``trajectory``.
+        """
+        return cls(merge_segs([_as_seg(s) for s in segments]), validate=False)
+
+    @classmethod
+    def polyline(cls, vertices: Sequence[Vec]) -> "Line":
+        """Build a line value from a vertex chain."""
+        segs = [
+            make_seg(tuple(map(float, a)), tuple(map(float, b)))
+            for a, b in zip(vertices, vertices[1:])
+        ]
+        return cls(segs)
+
+    # -- container protocol --------------------------------------------------
+
+    @property
+    def segments(self) -> Sequence[Seg]:
+        """The ordered segment tuple (canonical representation)."""
+        return self._segs
+
+    def halfsegments(self) -> list[HalfSegment]:
+        """The ordered halfsegment sequence of Section 4.1."""
+        return halfsegments_of(self._segs)
+
+    def __iter__(self) -> Iterator[Seg]:
+        return iter(self._segs)
+
+    def __len__(self) -> int:
+        return len(self._segs)
+
+    def __bool__(self) -> bool:
+        return bool(self._segs)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Line):
+            return NotImplemented
+        return self._segs == other._segs
+
+    def __hash__(self) -> int:
+        return hash(self._segs)
+
+    def __repr__(self) -> str:
+        return f"Line({len(self._segs)} segments)"
+
+    # -- numeric operations -----------------------------------------------------
+
+    def length(self) -> float:
+        """Total Euclidean length (the ``length`` operation of Section 2)."""
+        return sum(seg_length(s) for s in self._segs)
+
+    def bbox(self) -> Rect:
+        """The bounding rectangle; raises on the empty line."""
+        if not self._segs:
+            raise InvalidValue("bounding box of an empty line value")
+        pts = [p for s in self._segs for p in s]
+        return Rect.around(pts)
+
+    # -- predicates -------------------------------------------------------------
+
+    def contains_point(self, p: Union[Point, Vec]) -> bool:
+        """True iff the point lies on some segment."""
+        v = p.vec if isinstance(p, Point) else (float(p[0]), float(p[1]))
+        return any(point_on_seg(v, s) for s in self._segs)
+
+    def intersects(self, other: "Line") -> bool:
+        """True iff the two lines share at least one point."""
+        from repro.geometry.segment import segs_disjoint
+
+        for s in self._segs:
+            for t in other._segs:
+                if not segs_disjoint(s, t):
+                    return True
+        return False
+
+    # -- set operations -----------------------------------------------------------
+
+    def union(self, other: "Line") -> "Line":
+        """Point-set union of two lines, renormalized."""
+        return Line.from_unmerged(list(self._segs) + list(other._segs))
+
+    def intersection(self, other: "Line") -> "Line":
+        """The 1-D part of the point-set intersection.
+
+        Isolated crossing points are dimension-0 and therefore not part
+        of a ``line`` value; only collinear overlaps survive.
+        """
+        out: list[Seg] = []
+        a, b = split_at_intersections(self._segs, other._segs)
+        bset = list(other._segs)
+        for piece in a:
+            mid = segment_midpoint(piece)
+            if any(point_on_seg(mid, t) for t in bset):
+                out.append(piece)
+        return Line.from_unmerged(out)
+
+    def difference(self, other: "Line") -> "Line":
+        """The part of this line not covered by the other."""
+        out: list[Seg] = []
+        a, _b = split_at_intersections(self._segs, other._segs)
+        bset = list(other._segs)
+        for piece in a:
+            mid = segment_midpoint(piece)
+            if not any(point_on_seg(mid, t) for t in bset):
+                out.append(piece)
+        return Line.from_unmerged(out)
+
+    def crossings(self, other: "Line") -> "list[Vec]":
+        """Proper crossing points between the two lines."""
+        from repro.geometry.segment import p_intersect, seg_intersection_point
+
+        pts: set[Vec] = set()
+        for s in self._segs:
+            for t in other._segs:
+                if p_intersect(s, t):
+                    ip = seg_intersection_point(s, t)
+                    if ip is not None:
+                        pts.add(ip)
+        return sorted(pts)
+
+
+def _check_no_collinear_overlap(segs: Sequence[Seg]) -> None:
+    """Enforce the line uniqueness constraint of Section 3.2.2.
+
+    Collinear overlap is only possible among segments whose bounding
+    intervals overlap; a sort-based sweep over x keeps the check near
+    O(k) for typical inputs while remaining O(k^2) in the worst case.
+    """
+    n = len(segs)
+    for i in range(n):
+        s = segs[i]
+        s_xmax = max(s[0][0], s[1][0])
+        for j in range(i + 1, n):
+            t = segs[j]
+            if t[0][0] > s_xmax + EPSILON:
+                break  # segments are sorted by left endpoint; no overlap possible
+            if collinear(s, t) and seg_overlap(s, t):
+                raise InvalidValue(
+                    f"line value contains collinear overlapping segments "
+                    f"{s} and {t}; merge them for the canonical representation"
+                )

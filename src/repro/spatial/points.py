@@ -1,0 +1,104 @@
+"""The ``points`` data type: a finite set of points in the plane.
+
+Stored as a canonically (lexicographically) sorted tuple of coordinate
+pairs so that, as Section 4 requires, two values are equal iff their
+array representations are equal.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, Sequence, Tuple, Union
+
+from repro.errors import InvalidValue
+from repro.geometry.primitives import Vec, dist
+from repro.spatial.bbox import Rect
+from repro.spatial.point import Point
+
+
+def _as_vec(p: Union[Point, Vec]) -> Vec:
+    if isinstance(p, Point):
+        return p.vec
+    return (float(p[0]), float(p[1]))
+
+
+class Points:
+    """A value of type ``points``: a finite set of 2-D points.
+
+    The empty set is a valid value (it plays the role of ⊥ for set
+    types, per the ``D'`` convention of Section 3.2.1).
+    """
+
+    __slots__ = ("_pts",)
+
+    def __init__(self, points: Iterable[Union[Point, Vec]] = ()):
+        vecs = sorted({_as_vec(p) for p in points})
+        object.__setattr__(self, "_pts", tuple(vecs))
+
+    def __setattr__(self, name, value):
+        raise AttributeError("Points values are immutable")
+
+    # -- container protocol -------------------------------------------------
+
+    @property
+    def vecs(self) -> Sequence[Vec]:
+        """The ordered coordinate tuples (the array representation)."""
+        return self._pts
+
+    def __iter__(self) -> Iterator[Point]:
+        return (Point.from_vec(v) for v in self._pts)
+
+    def __len__(self) -> int:
+        return len(self._pts)
+
+    def __bool__(self) -> bool:
+        return bool(self._pts)
+
+    def __contains__(self, p: Union[Point, Vec]) -> bool:
+        return _as_vec(p) in set(self._pts)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Points):
+            return NotImplemented
+        return self._pts == other._pts
+
+    def __hash__(self) -> int:
+        return hash(self._pts)
+
+    def __repr__(self) -> str:
+        inner = ", ".join(f"({x:g}, {y:g})" for x, y in self._pts[:8])
+        suffix = ", ..." if len(self._pts) > 8 else ""
+        return f"Points({{{inner}{suffix}}})"
+
+    # -- set operations -------------------------------------------------------
+
+    def union(self, other: "Points") -> "Points":
+        return Points(set(self._pts) | set(other._pts))
+
+    def intersection(self, other: "Points") -> "Points":
+        return Points(set(self._pts) & set(other._pts))
+
+    def difference(self, other: "Points") -> "Points":
+        return Points(set(self._pts) - set(other._pts))
+
+    # -- numeric operations -----------------------------------------------------
+
+    def bbox(self) -> Rect:
+        """The bounding rectangle; raises on the empty set."""
+        if not self._pts:
+            raise InvalidValue("bounding box of an empty points value")
+        return Rect.around(self._pts)
+
+    def min_distance(self, other: "Points") -> float:
+        """Smallest pairwise distance between the two sets."""
+        if not self._pts or not other._pts:
+            raise InvalidValue("distance involving an empty points value")
+        return min(dist(p, q) for p in self._pts for q in other._pts)
+
+    def center(self) -> Point:
+        """The centroid of the point set."""
+        if not self._pts:
+            raise InvalidValue("center of an empty points value")
+        n = len(self._pts)
+        return Point(
+            sum(p[0] for p in self._pts) / n, sum(p[1] for p in self._pts) / n
+        )

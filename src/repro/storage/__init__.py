@@ -1,0 +1,39 @@
+"""The storage engine: Section 4 made concrete.
+
+Attribute data types are stored as a *root record* (fixed size, always
+inside the tuple) plus zero or more *database arrays* (variable size,
+stored inline in the tuple when small, or in separate pages when large,
+following Dieker & Güting [DG98]).  Pointers are integer indices into
+companion arrays — never memory pointers.
+
+Modules:
+
+* :mod:`repro.storage.darray` — database arrays and subarrays;
+* :mod:`repro.storage.pages` — the page file;
+* :mod:`repro.storage.buffer` — the buffer pool (LRU, pin counts);
+* :mod:`repro.storage.flob` — inline-or-paged large object placement;
+* :mod:`repro.storage.records` — per-type codecs (pack/unpack);
+* :mod:`repro.storage.tuplestore` — heap files of tuples with embedded
+  attribute values.
+"""
+
+from repro.storage.darray import DatabaseArray, SubArray
+from repro.storage.pages import PageFile
+from repro.storage.buffer import BufferPool
+from repro.storage.flob import FlobStore, FlobRef
+from repro.storage.records import StoredValue, codec_for, pack_value, unpack_value
+from repro.storage.tuplestore import TupleStore
+
+__all__ = [
+    "DatabaseArray",
+    "SubArray",
+    "PageFile",
+    "BufferPool",
+    "FlobStore",
+    "FlobRef",
+    "StoredValue",
+    "codec_for",
+    "pack_value",
+    "unpack_value",
+    "TupleStore",
+]

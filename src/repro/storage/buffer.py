@@ -1,0 +1,105 @@
+"""A buffer pool over a page file: LRU replacement with pin counts.
+
+The DBMS "places values under control of the DBMS into memory"
+(Section 4); this pool is that control point.  It exposes hit/miss
+statistics so the benchmarks can report logical vs physical I/O.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+from repro.errors import StorageError
+from repro.storage.pages import PageFile
+
+
+@dataclass
+class _Frame:
+    data: bytearray
+    pin_count: int = 0
+    dirty: bool = False
+
+
+class BufferPool:
+    """Caches up to ``capacity`` pages of a :class:`PageFile`."""
+
+    def __init__(self, pagefile: PageFile, capacity: int = 64):
+        if capacity < 1:
+            raise StorageError("buffer pool needs capacity >= 1")
+        self._pf = pagefile
+        self._capacity = capacity
+        self._frames: "OrderedDict[int, _Frame]" = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+
+    @property
+    def page_size(self) -> int:
+        return self._pf.page_size
+
+    # -- pin/unpin protocol -------------------------------------------------
+
+    def pin(self, page_no: int) -> bytearray:
+        """Fetch a page into the pool and pin it; returns its mutable frame."""
+        frame = self._frames.get(page_no)
+        if frame is not None:
+            self.hits += 1
+            self._frames.move_to_end(page_no)
+        else:
+            self.misses += 1
+            self._evict_if_needed()
+            frame = _Frame(bytearray(self._pf.read_page(page_no)))
+            self._frames[page_no] = frame
+        frame.pin_count += 1
+        return frame.data
+
+    def unpin(self, page_no: int, dirty: bool = False) -> None:
+        """Release a pin; mark the frame dirty if the caller modified it."""
+        frame = self._frames.get(page_no)
+        if frame is None or frame.pin_count == 0:
+            raise StorageError(f"unpin of page {page_no} that is not pinned")
+        frame.pin_count -= 1
+        if dirty:
+            frame.dirty = True
+
+    def new_page(self) -> int:
+        """Allocate a fresh page in the file (not yet resident)."""
+        return self._pf.allocate()
+
+    # -- maintenance --------------------------------------------------------
+
+    def _evict_if_needed(self) -> None:
+        while len(self._frames) >= self._capacity:
+            victim_no = None
+            for page_no, frame in self._frames.items():  # LRU order
+                if frame.pin_count == 0:
+                    victim_no = page_no
+                    break
+            if victim_no is None:
+                raise StorageError("buffer pool exhausted: all frames pinned")
+            frame = self._frames.pop(victim_no)
+            if frame.dirty:
+                self._pf.write_page(victim_no, bytes(frame.data))
+
+    def flush(self) -> None:
+        """Write back all dirty frames (keeps them resident)."""
+        for page_no, frame in self._frames.items():
+            if frame.dirty:
+                self._pf.write_page(page_no, bytes(frame.data))
+                frame.dirty = False
+
+    @property
+    def resident_pages(self) -> int:
+        return len(self._frames)
+
+    def stats(self) -> Dict[str, int]:
+        """Hit/miss counters plus the page file's physical I/O counts."""
+        reads, writes = self._pf.io_stats
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "physical_reads": reads,
+            "physical_writes": writes,
+            "resident": len(self._frames),
+        }

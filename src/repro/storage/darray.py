@@ -1,0 +1,136 @@
+"""Database arrays (Section 4): the varying-size components of a value.
+
+A :class:`DatabaseArray` is an array "with any desired field size and
+number of fields" — a contiguous byte buffer of fixed-size records.  The
+SECONDO concept the paper builds on stores such arrays inline in the
+tuple when small and in a separate page list when large; that placement
+decision is made by :mod:`repro.storage.flob`, this module only provides
+the array itself.
+
+A :class:`SubArray` (Section 4.2) is a reference to a range of fields
+within a database array; all units of a ``mapping`` value share the
+mapping's database arrays through subarray references.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass
+from typing import Iterable, Iterator, List, Tuple
+
+from repro.errors import StorageError
+
+
+class DatabaseArray:
+    """A growable array of fixed-size binary records."""
+
+    __slots__ = ("_fmt", "_size", "_buf", "_count")
+
+    def __init__(self, record_format: str):
+        self._fmt = record_format
+        self._size = struct.calcsize(record_format)
+        self._buf = bytearray()
+        self._count = 0
+
+    @property
+    def record_format(self) -> str:
+        """The struct format of one record."""
+        return self._fmt
+
+    @property
+    def record_size(self) -> int:
+        """Bytes per record."""
+        return self._size
+
+    def __len__(self) -> int:
+        return self._count
+
+    @property
+    def nbytes(self) -> int:
+        """Total payload size in bytes."""
+        return len(self._buf)
+
+    def append(self, *fields) -> int:
+        """Append one record; returns its index."""
+        self._buf.extend(struct.pack(self._fmt, *fields))
+        self._count += 1
+        return self._count - 1
+
+    def extend(self, records: Iterable[tuple]) -> None:
+        """Append many records."""
+        for rec in records:
+            self.append(*rec)
+
+    def get(self, index: int) -> tuple:
+        """Read the record at ``index``."""
+        if not 0 <= index < self._count:
+            raise StorageError(f"array index {index} out of range 0..{self._count - 1}")
+        off = index * self._size
+        return struct.unpack(self._fmt, bytes(self._buf[off : off + self._size]))
+
+    def set(self, index: int, *fields) -> None:
+        """Overwrite the record at ``index``."""
+        if not 0 <= index < self._count:
+            raise StorageError(f"array index {index} out of range 0..{self._count - 1}")
+        off = index * self._size
+        self._buf[off : off + self._size] = struct.pack(self._fmt, *fields)
+
+    def __iter__(self) -> Iterator[tuple]:
+        for i in range(self._count):
+            yield self.get(i)
+
+    def to_bytes(self) -> bytes:
+        """Serialize: record format descriptor + count + payload."""
+        fmt_bytes = self._fmt.encode("ascii")
+        header = struct.pack("<HI", len(fmt_bytes), self._count)
+        return header + fmt_bytes + bytes(self._buf)
+
+    @classmethod
+    def from_bytes(cls, data: bytes) -> "DatabaseArray":
+        """Deserialize an array written by :meth:`to_bytes`."""
+        if len(data) < 6:
+            raise StorageError("truncated database array")
+        fmt_len, count = struct.unpack("<HI", data[:6])
+        fmt = data[6 : 6 + fmt_len].decode("ascii")
+        arr = cls(fmt)
+        payload = data[6 + fmt_len :]
+        expected = count * arr.record_size
+        if len(payload) < expected:
+            raise StorageError("database array payload shorter than its count")
+        arr._buf = bytearray(payload[:expected])
+        arr._count = count
+        return arr
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, DatabaseArray):
+            return NotImplemented
+        return self._fmt == other._fmt and self._buf == other._buf
+
+    def __repr__(self) -> str:
+        return f"DatabaseArray({self._fmt!r}, {self._count} records)"
+
+
+@dataclass(frozen=True)
+class SubArray:
+    """A reference to the field range ``[lo, hi)`` of a database array.
+
+    ``array_id`` indexes the owning structure's array list; subarrays of
+    all units in a mapping refer into the mapping's shared arrays
+    (Section 4.2 / Figure 7).
+    """
+
+    array_id: int
+    lo: int
+    hi: int
+
+    def __post_init__(self):
+        if self.lo < 0 or self.hi < self.lo:
+            raise StorageError(f"malformed subarray range [{self.lo}, {self.hi})")
+
+    def __len__(self) -> int:
+        return self.hi - self.lo
+
+    def read(self, arrays: List[DatabaseArray]) -> List[tuple]:
+        """Materialize the referenced records."""
+        arr = arrays[self.array_id]
+        return [arr.get(i) for i in range(self.lo, self.hi)]

@@ -1,0 +1,98 @@
+"""FLOBs: inline-or-paged placement of variable-size byte strings.
+
+Dieker & Güting [DG98] ("Efficient Handling of Tuples with Embedded
+Large Objects", cited in Section 4) store a tuple's variable-size
+components inline inside the tuple representation when they are small,
+and in a separate list of pages when they are large.  The database
+arrays of every attribute value go through this placement decision.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from repro.config import INLINE_THRESHOLD
+from repro.errors import StorageError
+from repro.storage.buffer import BufferPool
+
+
+@dataclass(frozen=True)
+class FlobRef:
+    """Reference to an externally stored FLOB: its page chain and length."""
+
+    first_page: int
+    length: int
+
+
+class FlobStore:
+    """Stores large byte strings in chained pages via a buffer pool.
+
+    Each page holds ``page_size - 8`` payload bytes plus a next-page
+    pointer (−1 terminates the chain) — integer indices, no pointers,
+    per the Section 4 ground rules.
+    """
+
+    _HEADER = struct.Struct("<q")  # next page number
+
+    def __init__(self, pool: BufferPool, inline_threshold: int = INLINE_THRESHOLD):
+        self._pool = pool
+        self.inline_threshold = inline_threshold
+
+    @property
+    def payload_per_page(self) -> int:
+        return self._pool.page_size - self._HEADER.size
+
+    # -- placement decision ----------------------------------------------------
+
+    def place(self, data: bytes) -> Tuple[bool, bytes | FlobRef]:
+        """Decide inline vs external placement for ``data``.
+
+        Returns ``(True, data)`` for inline placement or
+        ``(False, FlobRef)`` after writing the bytes to pages.
+        """
+        if len(data) <= self.inline_threshold:
+            return (True, data)
+        return (False, self.write(data))
+
+    def fetch(self, placed: Tuple[bool, bytes | FlobRef]) -> bytes:
+        """Materialize a placement produced by :meth:`place`."""
+        inline, payload = placed
+        if inline:
+            assert isinstance(payload, bytes)
+            return payload
+        assert isinstance(payload, FlobRef)
+        return self.read(payload)
+
+    # -- paged storage --------------------------------------------------------------
+
+    def write(self, data: bytes) -> FlobRef:
+        """Write ``data`` to a fresh page chain."""
+        chunk = self.payload_per_page
+        chunks = [data[i : i + chunk] for i in range(0, len(data), chunk)] or [b""]
+        page_nos = [self._pool.new_page() for _ in chunks]
+        for idx, (page_no, piece) in enumerate(zip(page_nos, chunks)):
+            nxt = page_nos[idx + 1] if idx + 1 < len(page_nos) else -1
+            frame = self._pool.pin(page_no)
+            frame[: self._HEADER.size] = self._HEADER.pack(nxt)
+            frame[self._HEADER.size : self._HEADER.size + len(piece)] = piece
+            self._pool.unpin(page_no, dirty=True)
+        return FlobRef(page_nos[0], len(data))
+
+    def read(self, ref: FlobRef) -> bytes:
+        """Read a page chain back into one byte string."""
+        out = bytearray()
+        page_no = ref.first_page
+        remaining = ref.length
+        while remaining > 0:
+            if page_no < 0:
+                raise StorageError("FLOB chain ended before its declared length")
+            frame = self._pool.pin(page_no)
+            (nxt,) = self._HEADER.unpack(bytes(frame[: self._HEADER.size]))
+            take = min(remaining, self.payload_per_page)
+            out.extend(frame[self._HEADER.size : self._HEADER.size + take])
+            self._pool.unpin(page_no)
+            remaining -= take
+            page_no = nxt
+        return bytes(out)

@@ -1,0 +1,101 @@
+"""The page file: fixed-size pages, file-backed or in memory.
+
+The unit of transfer between secondary and main memory.  Representations
+of attribute values must "consist of a small number of memory blocks
+that can be moved efficiently" (Section 4); pages are those blocks.
+"""
+
+from __future__ import annotations
+
+import io
+import os
+from typing import BinaryIO, Optional
+
+from repro.config import PAGE_SIZE
+from repro.errors import StorageError
+
+
+class PageFile:
+    """A sequence of fixed-size pages, addressed by page number.
+
+    With ``path=None`` the file lives in memory (handy for tests and
+    benchmarks); otherwise it is backed by a real file.
+    """
+
+    def __init__(self, path: Optional[str] = None, page_size: int = PAGE_SIZE):
+        self.page_size = page_size
+        self._path = path
+        if path is None:
+            self._file: BinaryIO = io.BytesIO()
+        else:
+            mode = "r+b" if os.path.exists(path) else "w+b"
+            self._file = open(path, mode)
+        self._file.seek(0, io.SEEK_END)
+        size = self._file.tell()
+        if size % page_size != 0:
+            raise StorageError("page file size is not a multiple of the page size")
+        self._page_count = size // page_size
+        self._reads = 0
+        self._writes = 0
+
+    # -- lifecycle --------------------------------------------------------
+
+    def close(self) -> None:
+        """Flush and close the underlying file."""
+        self._file.close()
+
+    def __enter__(self) -> "PageFile":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+
+    # -- page operations -----------------------------------------------------
+
+    @property
+    def page_count(self) -> int:
+        """Number of allocated pages."""
+        return self._page_count
+
+    @property
+    def io_stats(self) -> tuple[int, int]:
+        """(physical reads, physical writes) performed so far."""
+        return (self._reads, self._writes)
+
+    def allocate(self) -> int:
+        """Append a zeroed page; returns its page number."""
+        page_no = self._page_count
+        self._file.seek(page_no * self.page_size)
+        self._file.write(b"\0" * self.page_size)
+        self._page_count += 1
+        self._writes += 1
+        return page_no
+
+    def read_page(self, page_no: int) -> bytes:
+        """Read one full page."""
+        self._check(page_no)
+        self._file.seek(page_no * self.page_size)
+        data = self._file.read(self.page_size)
+        if len(data) != self.page_size:
+            raise StorageError(f"short read on page {page_no}")
+        self._reads += 1
+        return data
+
+    def write_page(self, page_no: int, data: bytes) -> None:
+        """Overwrite one full page."""
+        self._check(page_no)
+        if len(data) > self.page_size:
+            raise StorageError(
+                f"page payload of {len(data)} bytes exceeds page size {self.page_size}"
+            )
+        if len(data) < self.page_size:
+            data = data + b"\0" * (self.page_size - len(data))
+        self._file.seek(page_no * self.page_size)
+        self._file.write(data)
+        self._writes += 1
+
+    def _check(self, page_no: int) -> None:
+        if not 0 <= page_no < self._page_count:
+            raise StorageError(
+                f"page {page_no} out of range 0..{self._page_count - 1}"
+            )

@@ -1,0 +1,150 @@
+"""Heap files of tuples with embedded attribute values.
+
+A tuple is a sequence of attribute values; each value's root record is
+stored inside the tuple, and each of its database arrays goes through
+the FLOB placement decision (inline when small, separate pages when
+large), following [DG98] as described in Section 4.
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import Iterator, List, Optional, Sequence, Tuple
+
+from repro.errors import StorageError
+from repro.storage.buffer import BufferPool
+from repro.storage.darray import DatabaseArray
+from repro.storage.flob import FlobRef, FlobStore
+from repro.storage.pages import PageFile
+from repro.storage.records import StoredValue, codec_for, pack_value
+
+
+class TupleStore:
+    """An append-only heap of tuples, each a list of typed attribute values.
+
+    Tuples are serialized as: per attribute, the type name, the root
+    record, and per database array either the inline bytes or a FLOB
+    reference.  The serialized tuples themselves are kept in an
+    in-memory directory of byte strings plus the shared page file for
+    externalized arrays — the aspect under study (Section 4) is the
+    *value* representation, not the slotted-page tuple layout.
+    """
+
+    def __init__(
+        self,
+        schema: Sequence[Tuple[str, str]],
+        pagefile: Optional[PageFile] = None,
+        buffer_capacity: int = 64,
+        inline_threshold: Optional[int] = None,
+    ):
+        self.schema = list(schema)
+        for _name, type_name in self.schema:
+            codec_for(type_name)  # fail fast on unknown types
+        self._pf = pagefile if pagefile is not None else PageFile()
+        self._pool = BufferPool(self._pf, buffer_capacity)
+        kwargs = {}
+        if inline_threshold is not None:
+            kwargs["inline_threshold"] = inline_threshold
+        self._flobs = FlobStore(self._pool, **kwargs)
+        self._tuples: List[bytes] = []
+        self.inline_arrays = 0
+        self.external_arrays = 0
+
+    @property
+    def buffer_pool(self) -> BufferPool:
+        return self._pool
+
+    def __len__(self) -> int:
+        return len(self._tuples)
+
+    # -- write path -----------------------------------------------------------
+
+    def append(self, values: Sequence) -> int:
+        """Pack and append one tuple; returns its tuple id."""
+        if len(values) != len(self.schema):
+            raise StorageError(
+                f"tuple arity {len(values)} does not match schema "
+                f"arity {len(self.schema)}"
+            )
+        out = bytearray()
+        for (name, type_name), value in zip(self.schema, values):
+            if isinstance(value, (bool, int, float, str)):
+                from repro.base.values import wrap
+
+                value = wrap(value)
+            stored = pack_value(type_name, value)
+            tname = stored.type_name.encode("ascii")
+            out.extend(struct.pack("<H", len(tname)))
+            out.extend(tname)
+            out.extend(struct.pack("<I", len(stored.root)))
+            out.extend(stored.root)
+            out.extend(struct.pack("<H", len(stored.arrays)))
+            for arr in stored.arrays:
+                blob = arr.to_bytes()
+                inline, payload = self._flobs.place(blob)
+                if inline:
+                    self.inline_arrays += 1
+                    out.extend(struct.pack("<BI", 1, len(blob)))
+                    out.extend(blob)
+                else:
+                    self.external_arrays += 1
+                    assert isinstance(payload, FlobRef)
+                    out.extend(
+                        struct.pack("<Bqq", 0, payload.first_page, payload.length)
+                    )
+        self._tuples.append(bytes(out))
+        return len(self._tuples) - 1
+
+    # -- read path ---------------------------------------------------------------
+
+    def fetch(self, tuple_id: int) -> List:
+        """Read one tuple back, unpacking every attribute value."""
+        if not 0 <= tuple_id < len(self._tuples):
+            raise StorageError(f"tuple id {tuple_id} out of range")
+        data = self._tuples[tuple_id]
+        off = 0
+        values = []
+        for _name, _type in self.schema:
+            (tname_len,) = struct.unpack_from("<H", data, off)
+            off += 2
+            tname = data[off : off + tname_len].decode("ascii")
+            off += tname_len
+            (root_len,) = struct.unpack_from("<I", data, off)
+            off += 4
+            root = data[off : off + root_len]
+            off += root_len
+            (narrays,) = struct.unpack_from("<H", data, off)
+            off += 2
+            arrays = []
+            for _ in range(narrays):
+                (inline,) = struct.unpack_from("<B", data, off)
+                if inline:
+                    (blob_len,) = struct.unpack_from("<I", data, off + 1)
+                    off += 5
+                    blob = data[off : off + blob_len]
+                    off += blob_len
+                else:
+                    first_page, length = struct.unpack_from("<qq", data, off + 1)
+                    off += 17
+                    blob = self._flobs.read(FlobRef(first_page, length))
+                arrays.append(DatabaseArray.from_bytes(blob))
+            codec = codec_for(tname)
+            values.append(codec.unpack(StoredValue(tname, bytes(root), arrays)))
+        return values
+
+    def scan(self) -> Iterator[List]:
+        """Iterate over all tuples in insertion order."""
+        for tid in range(len(self._tuples)):
+            yield self.fetch(tid)
+
+    # -- statistics -----------------------------------------------------------------
+
+    def storage_stats(self) -> dict:
+        """Layout statistics: tuple bytes, placement counts, pool stats."""
+        return {
+            "tuples": len(self._tuples),
+            "tuple_bytes": sum(len(t) for t in self._tuples),
+            "inline_arrays": self.inline_arrays,
+            "external_arrays": self.external_arrays,
+            **self._pool.stats(),
+        }

@@ -1,0 +1,64 @@
+"""Temporal types: units and the sliced representation (Sections 3.2.4–3.2.6).
+
+A *unit* pairs a time interval with a "simple" function describing the
+value inside that interval; the ``mapping`` constructor assembles units
+into a complete moving value.  Unit types:
+
+==============  =======================================  ==================
+unit type       unit function                            moving type
+==============  =======================================  ==================
+``const(α)``    a constant of α                          moving(int/string/bool)
+``ureal``       (a,b,c,r): quadratic or its square root  moving(real)
+``upoint``      a linearly moving point                  moving(point)
+``upoints``     a set of linearly moving points          moving(points)
+``uline``       a set of non-rotating moving segments    moving(line)
+``uregion``     moving faces of non-rotating msegments   moving(region)
+==============  =======================================  ==================
+"""
+
+from repro.temporal.unit import Unit, UnitInterval, as_interval
+from repro.temporal.uconst import ConstUnit
+from repro.temporal.ureal import UReal
+from repro.temporal.mseg import MPoint, MSeg
+from repro.temporal.upoint import UPoint
+from repro.temporal.upoints import UPoints
+from repro.temporal.uline import ULine
+from repro.temporal.uregion import MCycle, MFace, URegion
+from repro.temporal.mapping import (
+    Mapping,
+    MovingBool,
+    MovingInt,
+    MovingString,
+    MovingReal,
+    MovingPoint,
+    MovingPoints,
+    MovingLine,
+    MovingRegion,
+)
+from repro.temporal.refinement import refinement_partition
+
+__all__ = [
+    "Unit",
+    "UnitInterval",
+    "as_interval",
+    "ConstUnit",
+    "UReal",
+    "MPoint",
+    "MSeg",
+    "UPoint",
+    "UPoints",
+    "ULine",
+    "URegion",
+    "MCycle",
+    "MFace",
+    "Mapping",
+    "MovingBool",
+    "MovingInt",
+    "MovingString",
+    "MovingReal",
+    "MovingPoint",
+    "MovingPoints",
+    "MovingLine",
+    "MovingRegion",
+    "refinement_partition",
+]

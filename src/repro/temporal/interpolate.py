@@ -1,0 +1,125 @@
+"""Shape interpolation between convex region snapshots.
+
+``URegion.between_regions`` requires structurally matched snapshots with
+parallel edges.  For *free* deformation between two convex snapshots we
+use a geometric fact: the lateral facets of the 3-D convex hull of
+(snapshot A placed at time t0) ∪ (snapshot B placed at t1) are planar
+polygons, and each facet's boundary decomposes into coplanar moving
+segments — triangles and trapezia, exactly the MSeg shapes the model
+permits (Section 3.2.6 notes that MSeg members "can be triangles",
+enabling flexible correspondences between snapshots).
+
+The same construction underlies later snapshot-interpolation work for
+moving regions (e.g. Tøssebro & Güting); here it serves as the library's
+"free morph" constructor and as the generator of uregions with endpoint
+degeneracies (interpolating to a point collapses the region).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Sequence, Tuple
+
+from repro.errors import InvalidValue
+from repro.geometry.primitives import Vec, convex_hull, orientation
+from repro.ranges.interval import Interval
+from repro.spatial.region import Region
+from repro.temporal.mseg import MPoint, MSeg
+from repro.temporal.uregion import MCycle, MFace, URegion
+
+
+def _convex_ring(region: Region) -> List[Vec]:
+    """The CCW vertex ring of a one-face convex region (validated)."""
+    if len(region.faces) != 1 or region.faces[0].holes:
+        raise InvalidValue("interpolation needs a single convex face without holes")
+    ring = list(region.faces[0].outer.vertices)
+    hull = convex_hull(ring)
+    if len(hull) != len(set(ring)):
+        raise InvalidValue("interpolation needs a convex snapshot")
+    return hull
+
+
+def _edges_of(ring: Sequence[Vec]) -> List[Tuple[Vec, Vec]]:
+    return [(ring[i], ring[(i + 1) % len(ring)]) for i in range(len(ring))]
+
+
+def _angle(p: Vec, q: Vec) -> float:
+    return math.atan2(q[1] - p[1], q[0] - p[0]) % (2.0 * math.pi)
+
+
+def interpolate_convex(
+    t0: float, r0: Region, t1: float, r1: Region
+) -> URegion:
+    """A uregion morphing convex snapshot ``r0`` (at t0) into ``r1`` (at t1).
+
+    Implementation: a rotating-sweep merge of the two edge rings by edge
+    direction (the standard construction of the lateral hull facets of
+    two convex polygons in parallel planes).  Every edge of ``r0`` is
+    matched with the vertex of ``r1`` lying between its neighbouring
+    edge directions and vice versa, producing triangle MSegs; pairs of
+    parallel edges produce trapezium MSegs.  All resulting moving
+    segments are coplanar by construction.
+    """
+    if t1 <= t0:
+        raise InvalidValue("interpolation needs t0 < t1")
+    ring0 = _convex_ring(r0)
+    ring1 = _convex_ring(r1)
+
+    # Merge edges of both rings by direction angle (rotating sweep).
+    # Sorting by raw angle makes the sweep start at the globally smallest
+    # edge direction; within each ring the angular order of a convex CCW
+    # polygon's edges equals its traversal order, so tracking a "current
+    # vertex" per ring stays consistent.
+    edges0 = _edges_of(ring0)
+    edges1 = _edges_of(ring1)
+    tagged = [(_angle(p, q), 0, (p, q)) for p, q in edges0]
+    tagged += [(_angle(p, q), 1, (p, q)) for p, q in edges1]
+    tagged.sort(key=lambda e: (e[0], e[1]))
+
+    # Start vertices: the source of each ring's first edge in sweep order.
+    first0 = next(e for e in tagged if e[1] == 0)
+    first1 = next(e for e in tagged if e[1] == 1)
+
+    msegs: List[MSeg] = []
+    cur0 = first0[2][0]  # current vertex on ring0
+    cur1 = first1[2][0]  # current vertex on ring1
+    for _angle_v, which, (p, q) in tagged:
+        if which == 0:
+            # Edge advances on ring0; ring1 stays at cur1 → triangle.
+            msegs.append(
+                MSeg(
+                    MPoint.linear_between(t0, p, t1, cur1),
+                    MPoint.linear_between(t0, q, t1, cur1),
+                )
+            )
+            cur0 = q
+        else:
+            msegs.append(
+                MSeg(
+                    MPoint.linear_between(t0, cur0, t1, p),
+                    MPoint.linear_between(t0, cur0, t1, q),
+                )
+            )
+            cur1 = q
+    return URegion(
+        Interval(t0, t1), [MFace(MCycle(msegs), [])], validate="fast"
+    )
+
+
+def collapse_to_point(
+    t0: float, r0: Region, t1: float, target: Vec
+) -> URegion:
+    """A uregion shrinking a convex snapshot to a single point at ``t1``.
+
+    The resulting unit is degenerate at its right end: ι_e evaluates to
+    the empty region after cleanup — the canonical Figure-6 situation.
+    """
+    ring0 = _convex_ring(r0)
+    msegs = [
+        MSeg(
+            MPoint.linear_between(t0, p, t1, target),
+            MPoint.linear_between(t0, q, t1, target),
+        )
+        for p, q in _edges_of(ring0)
+    ]
+    return URegion(Interval(t0, t1), [MFace(MCycle(msegs), [])], validate="fast")

@@ -1,0 +1,177 @@
+"""Quadratic polynomial utilities shared by the unit types.
+
+Every "simple function" of the discrete model reduces to polynomials of
+degree at most two in time: the ``ureal`` unit function itself, the
+coordinate differences of moving points, and the orientation tests
+between moving segments.  This module centralizes root finding and
+sign analysis for them.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Sequence, Tuple
+
+from repro.config import EPSILON, fzero
+
+#: Coefficients (a, b, c) of  a·t² + b·t + c.
+Quad = Tuple[float, float, float]
+
+
+def eval_quad(q: Quad, t: float) -> float:
+    """Evaluate ``a t^2 + b t + c`` at ``t``."""
+    a, b, c = q
+    return (a * t + b) * t + c
+
+
+def add_quad(p: Quad, q: Quad) -> Quad:
+    """Coefficient-wise sum."""
+    return (p[0] + q[0], p[1] + q[1], p[2] + q[2])
+
+
+def sub_quad(p: Quad, q: Quad) -> Quad:
+    """Coefficient-wise difference."""
+    return (p[0] - q[0], p[1] - q[1], p[2] - q[2])
+
+
+def scale_quad(q: Quad, k: float) -> Quad:
+    """Coefficient-wise scaling."""
+    return (q[0] * k, q[1] * k, q[2] * k)
+
+
+def mul_linear(p: Tuple[float, float], q: Tuple[float, float]) -> Quad:
+    """Product of two linear polynomials ``p1 t + p0`` (given as (p1, p0))."""
+    return (p[0] * q[0], p[0] * q[1] + p[1] * q[0], p[1] * q[1])
+
+
+def is_zero_quad(q: Quad, eps: float = EPSILON) -> bool:
+    """True iff the polynomial is identically zero (within tolerance)."""
+    return fzero(q[0], eps) and fzero(q[1], eps) and fzero(q[2], eps)
+
+
+def solve_quadratic(a: float, b: float, c: float, eps: float = EPSILON) -> List[float]:
+    """Real roots of ``a t^2 + b t + c = 0``, ascending; [] if none.
+
+    An identically zero polynomial returns [] — callers must test
+    :func:`is_zero_quad` first when "everywhere zero" matters.
+    Uses the numerically stable citardauq formulation for the smaller
+    root.
+    """
+    scale = max(abs(a), abs(b), abs(c), 1.0)
+    if fzero(a, eps * scale):
+        if fzero(b, eps * scale):
+            return []
+        return [-c / b]
+    disc = b * b - 4.0 * a * c
+    # Clamp to a double root only when the discriminant is negative by an
+    # amount that is tiny *relative to its own terms* — an absolute
+    # threshold would manufacture wildly wrong roots for small coefficients.
+    disc_scale = b * b + abs(4.0 * a * c)
+    if disc < -eps * disc_scale:
+        return []
+    if disc < 0.0:
+        disc = 0.0
+    sq = math.sqrt(disc)
+    if b >= 0.0:
+        q = -(b + sq) / 2.0
+    else:
+        q = -(b - sq) / 2.0
+    roots = set()
+    if not fzero(q, 0.0):
+        roots.add(q / a)
+        roots.add(c / q)
+    else:
+        roots.add(0.0)
+        roots.add(-b / a)
+    return sorted(roots)
+
+
+def roots_in_interval(
+    q: Quad, lo: float, hi: float, open_ends: bool = True, eps: float = EPSILON
+) -> List[float]:
+    """Roots of the quadratic within ``(lo, hi)`` (or ``[lo, hi]``)."""
+    out = []
+    for r in solve_quadratic(q[0], q[1], q[2], eps):
+        if open_ends:
+            if lo + eps < r < hi - eps:
+                out.append(r)
+        else:
+            if lo - eps <= r <= hi + eps:
+                out.append(min(max(r, lo), hi))
+    return out
+
+
+def quad_extremum(q: Quad) -> Tuple[float, float] | None:
+    """The vertex ``(t*, f(t*))`` of a proper quadratic, else None."""
+    a, b, _c = q
+    if fzero(a):
+        return None
+    t = -b / (2.0 * a)
+    return (t, eval_quad(q, t))
+
+
+def quad_range_on(q: Quad, lo: float, hi: float) -> Tuple[float, float]:
+    """Minimum and maximum of the quadratic on the closed interval."""
+    candidates = [eval_quad(q, lo), eval_quad(q, hi)]
+    vertex = quad_extremum(q)
+    if vertex is not None and lo <= vertex[0] <= hi:
+        candidates.append(vertex[1])
+    return (min(candidates), max(candidates))
+
+
+def quad_nonnegative_on(q: Quad, lo: float, hi: float, eps: float = 1e-7) -> bool:
+    """True iff the quadratic is >= 0 (within tolerance) on [lo, hi]."""
+    mn, _ = quad_range_on(q, lo, hi)
+    span = max(abs(v) for v in (q[0], q[1], q[2], 1.0))
+    return mn >= -eps * span
+
+
+def sign_intervals(
+    q: Quad, lo: float, hi: float, eps: float = EPSILON
+) -> List[Tuple[float, float, int]]:
+    """Partition ``[lo, hi]`` into maximal sub-intervals of constant sign.
+
+    Returns triples ``(a, b, sign)`` with sign in {-1, 0, +1} evaluated
+    at each sub-interval's midpoint.  An identically zero quadratic
+    yields a single zero-sign interval.
+    """
+    if is_zero_quad(q, eps):
+        return [(lo, hi, 0)]
+    cuts = [lo] + roots_in_interval(q, lo, hi, open_ends=True, eps=eps) + [hi]
+    cuts = sorted(set(cuts))
+    out: List[Tuple[float, float, int]] = []
+    for a, b in zip(cuts, cuts[1:]):
+        mid = (a + b) / 2.0
+        v = eval_quad(q, mid)
+        span = max(abs(q[0]), abs(q[1]), abs(q[2]), 1.0)
+        if abs(v) <= eps * span:
+            s = 0
+        else:
+            s = 1 if v > 0 else -1
+        out.append((a, b, s))
+    return out
+
+
+def common_roots(
+    quads: Sequence[Quad], lo: float, hi: float, eps: float = 1e-9
+) -> List[float] | None:
+    """Times in the open ``(lo, hi)`` at which *all* quadratics vanish.
+
+    Returns None when all quadratics are identically zero (the condition
+    holds everywhere).  Uses a relative tolerance per polynomial.
+    """
+    nonzero = [q for q in quads if not is_zero_quad(q, eps)]
+    if not nonzero:
+        return None
+    candidates = roots_in_interval(nonzero[0], lo, hi, open_ends=True, eps=eps)
+    out = []
+    for t in candidates:
+        ok = True
+        for q in nonzero[1:]:
+            span = max(abs(q[0]) * t * t if t else abs(q[0]), abs(q[1] * t), abs(q[2]), 1.0)
+            if abs(eval_quad(q, t)) > 1e-6 * span:
+                ok = False
+                break
+        if ok:
+            out.append(t)
+    return out

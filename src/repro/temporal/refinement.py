@@ -1,0 +1,92 @@
+"""The refinement partition of two unit sequences (Section 5.2, Figure 8).
+
+Given two moving values in sliced representation, binary operations need
+to pair up the pieces of both values that are valid at the same time.
+The *refinement partition* of the time axis is the coarsest partition
+such that within each piece both operands are described by (at most) one
+unit each.  It is computed by a parallel scan over the two ordered unit
+sequences in O(n + m) time.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, List, Optional, Sequence, Tuple
+
+from repro.ranges.interval import Interval
+from repro.temporal.unit import Unit, UnitInterval
+
+
+def _boundaries(units_a: Sequence[Unit], units_b: Sequence[Unit]) -> List[Tuple[float, bool]]:
+    """Collect all interval end points as (time, closed-at-that-side) cuts."""
+    points = set()
+    for u in list(units_a) + list(units_b):
+        iv = u.interval
+        points.add(iv.s)
+        points.add(iv.e)
+    return sorted(points)  # type: ignore[return-value]
+
+
+def refinement_partition(
+    a: Sequence[Unit], b: Sequence[Unit]
+) -> Iterator[Tuple[UnitInterval, Optional[Unit], Optional[Unit]]]:
+    """Yield ``(interval, unit_a, unit_b)`` triples of the refinement partition.
+
+    The two inputs must be ordered by time interval (as mapping unit
+    sequences are).  Every yielded interval is maximal such that the set
+    of covering units on both sides is constant; ``unit_a``/``unit_b``
+    is None where the respective value is undefined.  Intervals at which
+    neither value is defined are skipped.
+
+    The scan materializes each elementary interval of the merged end
+    point grid, including the degenerate single-instant intervals at
+    closed end points, so closure flags are honoured exactly.
+    """
+    cuts = _boundaries(a, b)
+    if not cuts:
+        return
+    ia = ib = 0
+    a = list(a)
+    b = list(b)
+
+    def advance(units: List[Unit], idx: int, t: float) -> int:
+        while idx < len(units) and (
+            units[idx].interval.e < t
+            or (units[idx].interval.e == t and not units[idx].interval.rc)
+        ):
+            idx += 1
+        return idx
+
+    def covering(units: List[Unit], idx: int, iv: Interval) -> Optional[Unit]:
+        for k in (idx, idx + 1):
+            if k < len(units) and units[k].interval.contains_interval(iv):
+                return units[k]
+        return None
+
+    # Elementary intervals: degenerate [t, t] at every cut, open (t, t')
+    # between consecutive cuts.
+    elementary: List[Interval] = []
+    for i, t in enumerate(cuts):
+        elementary.append(Interval(t, t, True, True))
+        if i + 1 < len(cuts):
+            elementary.append(Interval(t, cuts[i + 1], False, False))
+
+    pending: Optional[Tuple[Interval, Optional[Unit], Optional[Unit]]] = None
+    for iv in elementary:
+        ia = advance(a, ia, iv.s)
+        ib = advance(b, ib, iv.s)
+        ua = covering(a, ia, iv)
+        ub = covering(b, ib, iv)
+        if ua is None and ub is None:
+            if pending is not None:
+                yield pending
+                pending = None
+            continue
+        if pending is not None and pending[1] is ua and pending[2] is ub:
+            merged = pending[0].merge(iv)
+            pending = (merged, ua, ub)
+        else:
+            if pending is not None:
+                yield pending
+            pending = (iv, ua, ub)
+    if pending is not None:
+        yield pending

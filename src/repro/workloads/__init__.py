@@ -1,0 +1,29 @@
+"""Synthetic workload generators.
+
+The paper's motivating applications — air traffic, vehicles, weather
+phenomena — drive three generators:
+
+* :mod:`repro.workloads.trajectories` — random-waypoint flights
+  (moving points with many units);
+* :mod:`repro.workloads.regions` — storm cells: polygonal regions under
+  piecewise translation and linear scaling (valid ``uregion`` motion);
+* :mod:`repro.workloads.network` — trips constrained to a random road
+  network (networkx), producing dense, realistic unit sequences.
+
+All generators take an explicit seed; identical seeds reproduce
+identical workloads, which the benchmarks rely on.
+"""
+
+from repro.workloads.trajectories import FlightGenerator, random_flights
+from repro.workloads.regions import StormGenerator, random_storms, regular_polygon
+from repro.workloads.network import RoadNetwork, network_trips
+
+__all__ = [
+    "FlightGenerator",
+    "random_flights",
+    "StormGenerator",
+    "random_storms",
+    "regular_polygon",
+    "RoadNetwork",
+    "network_trips",
+]

@@ -1,0 +1,112 @@
+"""Road-network-constrained vehicle trips.
+
+Builds a random planar-ish road network (a grid with perturbed node
+positions and random extra edges, via networkx) and generates vehicle
+trips as shortest paths traversed at constant speed per edge — producing
+moving points whose units are dense and short, the workload shape where
+the sliced representation and the refinement-partition algorithms earn
+their keep.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import networkx as nx
+
+from repro.errors import InvalidValue
+from repro.spatial.bbox import Rect
+from repro.temporal.mapping import MovingPoint
+
+
+@dataclass
+class RoadNetwork:
+    """A random road network with Euclidean edge lengths."""
+
+    rows: int = 10
+    cols: int = 10
+    spacing: float = 1000.0
+    jitter: float = 200.0
+    extra_edges: int = 20
+    seed: int = 0
+
+    def __post_init__(self):
+        rng = random.Random(self.seed)
+        g = nx.Graph()
+        pos: Dict[Tuple[int, int], Tuple[float, float]] = {}
+        for r in range(self.rows):
+            for c in range(self.cols):
+                pos[(r, c)] = (
+                    c * self.spacing + rng.uniform(-self.jitter, self.jitter),
+                    r * self.spacing + rng.uniform(-self.jitter, self.jitter),
+                )
+        for r in range(self.rows):
+            for c in range(self.cols):
+                if c + 1 < self.cols:
+                    g.add_edge((r, c), (r, c + 1))
+                if r + 1 < self.rows:
+                    g.add_edge((r, c), (r + 1, c))
+        nodes = list(pos)
+        for _ in range(self.extra_edges):
+            a, b = rng.sample(nodes, 2)
+            g.add_edge(a, b)
+        for a, b in g.edges:
+            pa, pb = pos[a], pos[b]
+            g.edges[a, b]["length"] = math.hypot(pb[0] - pa[0], pb[1] - pa[1])
+        self.graph = g
+        self.positions = pos
+        self._rng = rng
+
+    def bbox(self) -> Rect:
+        """The bounding rectangle of all road nodes."""
+        return Rect.around(list(self.positions.values()))
+
+    def shortest_path(self, a, b) -> List[Tuple[float, float]]:
+        """Node positions along the shortest path from ``a`` to ``b``."""
+        path = nx.shortest_path(self.graph, a, b, weight="length")
+        return [self.positions[n] for n in path]
+
+    def random_trip(
+        self, speed: float = 12.0, start_time: float = 0.0
+    ) -> MovingPoint:
+        """A vehicle trip between two random nodes at constant speed."""
+        nodes = list(self.positions)
+        for _ in range(32):
+            a, b = self._rng.sample(nodes, 2)
+            try:
+                route = self.shortest_path(a, b)
+            except nx.NetworkXNoPath:  # pragma: no cover - grid is connected
+                continue
+            if len(route) >= 2:
+                break
+        else:  # pragma: no cover
+            raise InvalidValue("could not sample a trip on this network")
+        t = start_time
+        waypoints = [(t, route[0])]
+        for p, q in zip(route, route[1:]):
+            dist = math.hypot(q[0] - p[0], q[1] - p[1])
+            if dist <= 0.0:
+                continue
+            t += dist / speed
+            waypoints.append((t, q))
+        return MovingPoint.from_waypoints(waypoints)
+
+    def trips(
+        self, count: int, speed_range: Tuple[float, float] = (8.0, 16.0)
+    ) -> List[MovingPoint]:
+        """A reproducible set of trips with varying speeds."""
+        out = []
+        for _ in range(count):
+            speed = self._rng.uniform(*speed_range)
+            out.append(self.random_trip(speed=speed))
+        return out
+
+
+def network_trips(
+    count: int, rows: int = 10, cols: int = 10, seed: int = 0
+) -> List[MovingPoint]:
+    """Convenience wrapper: trips on a fresh random network."""
+    return RoadNetwork(rows=rows, cols=cols, seed=seed).trips(count)

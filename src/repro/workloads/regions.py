@@ -1,0 +1,153 @@
+"""Storm-cell workloads: moving regions under translation and scaling.
+
+A vertex under simultaneous linear translation and linearly changing
+uniform scale moves *linearly* in time, and every polygon edge keeps its
+direction — so each storm phase is a valid ``uregion`` (coplanar moving
+segments) by construction.  This is the natural generator for moving
+regions in the paper's model, which excludes rotation within a unit.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple
+
+from repro.spatial.bbox import Rect
+from repro.spatial.region import Region
+from repro.temporal.mapping import MovingRegion
+from repro.temporal.uregion import URegion
+
+
+def regular_polygon(
+    center: Tuple[float, float], radius: float, sides: int = 8, phase: float = 0.0
+) -> Region:
+    """A regular polygon region (convex, any number of sides >= 3)."""
+    cx, cy = center
+    verts = []
+    for k in range(sides):
+        angle = phase + 2.0 * math.pi * k / sides
+        verts.append((cx + radius * math.cos(angle), cy + radius * math.sin(angle)))
+    return Region.polygon(verts)
+
+
+def _transform_region(
+    base: Region, center: Tuple[float, float], offset: Tuple[float, float], scale: float
+) -> Region:
+    """Translate by ``offset`` and scale about ``center`` by ``scale``."""
+    from repro.spatial.region import Cycle, Face
+
+    cx, cy = center
+    ox, oy = offset
+
+    def tx(p):
+        return (cx + (p[0] - cx) * scale + ox, cy + (p[1] - cy) * scale + oy)
+
+    faces = []
+    for f in base.faces:
+        outer = Cycle([(tx(s[0]), tx(s[1])) for s in f.outer.segments], validate=False)
+        holes = [
+            Cycle([(tx(s[0]), tx(s[1])) for s in h.segments], validate=False)
+            for h in f.holes
+        ]
+        faces.append(Face(outer, holes, validate=False))
+    return Region(faces, validate=False)
+
+
+@dataclass
+class StormGenerator:
+    """Deterministic generator of drifting, growing/shrinking storm cells."""
+
+    area: Rect = field(default_factory=lambda: Rect(0.0, 0.0, 10000.0, 10000.0))
+    radius_range: Tuple[float, float] = (100.0, 400.0)
+    drift_speed_range: Tuple[float, float] = (1.0, 5.0)
+    sides: int = 8
+    seed: int = 0
+
+    def __post_init__(self):
+        self._rng = random.Random(self.seed)
+
+    def storm(
+        self,
+        phases: int = 6,
+        phase_duration: float = 50.0,
+        start_time: float = 0.0,
+        with_hole: bool = False,
+    ) -> MovingRegion:
+        """One storm: ``phases`` uregion units chained in time.
+
+        Each phase drifts the cell with a fresh wind vector and scales it
+        by a fresh growth factor; consecutive phases share the boundary
+        snapshot, so the moving region is continuous across units.
+        """
+        rng = self._rng
+        cx = rng.uniform(self.area.xmin + 500, self.area.xmax - 500)
+        cy = rng.uniform(self.area.ymin + 500, self.area.ymax - 500)
+        radius = rng.uniform(*self.radius_range)
+        if with_hole:
+            # An eye at one third of the radius (hurricane-like cell).
+            outer_ring = _ring_of(regular_polygon((cx, cy), radius, self.sides))
+            hole_ring = _ring_of(regular_polygon((cx, cy), radius / 3.0, self.sides))
+            base = Region.polygon(outer_ring, holes=[hole_ring])
+        else:
+            base = regular_polygon((cx, cy), radius, self.sides)
+
+        units: List[URegion] = []
+        current = base
+        offset = (0.0, 0.0)
+        scale = 1.0
+        t = start_time
+        for _ in range(phases):
+            angle = rng.uniform(0.0, 2.0 * math.pi)
+            speed = rng.uniform(*self.drift_speed_range)
+            d_off = (
+                speed * phase_duration * math.cos(angle),
+                speed * phase_duration * math.sin(angle),
+            )
+            d_scale = rng.uniform(0.8, 1.25)
+            next_offset = (offset[0] + d_off[0], offset[1] + d_off[1])
+            next_scale = scale * d_scale
+            nxt = _transform_region(base, (cx, cy), next_offset, next_scale)
+            units.append(
+                URegion.between_regions(t, current, t + phase_duration, nxt,
+                                        validate="none")
+            )
+            current = nxt
+            offset = next_offset
+            scale = next_scale
+            t += phase_duration
+        return _chain_units(units)
+
+    def storms(self, count: int, phases: int = 6) -> List[MovingRegion]:
+        """A reproducible collection of storms."""
+        return [self.storm(phases=phases) for _ in range(count)]
+
+
+def _ring_of(region: Region) -> List[Tuple[float, float]]:
+    """The vertex ring of a one-face, hole-free region."""
+    return list(region.faces[0].outer.vertices)
+
+
+def _chain_units(units: List[URegion]) -> MovingRegion:
+    """Chain consecutive units into a mapping with half-open interiors.
+
+    Consecutive units share their boundary instant; giving every unit
+    except the last a right-open interval keeps the mapping invariant
+    (disjoint intervals) intact.
+    """
+    from repro.ranges.interval import Interval
+
+    adjusted: List[URegion] = []
+    for k, u in enumerate(units):
+        iv = u.interval
+        if k < len(units) - 1:
+            adjusted.append(u.with_interval(Interval(iv.s, iv.e, iv.lc, False)))
+        else:
+            adjusted.append(u)
+    return MovingRegion(adjusted, validate=False)
+
+
+def random_storms(count: int, phases: int = 6, seed: int = 0) -> List[MovingRegion]:
+    """Convenience wrapper: a reproducible set of storm cells."""
+    return StormGenerator(seed=seed).storms(count, phases=phases)

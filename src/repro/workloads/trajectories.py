@@ -1,0 +1,77 @@
+"""Random-waypoint flight trajectories (moving points).
+
+A flight picks waypoints uniformly in a rectangular airspace and flies
+between them at a per-flight cruise speed, yielding a ``moving(point)``
+with one upoint unit per leg — the shape of data the ``planes`` relation
+of Section 2 holds.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple
+
+from repro.spatial.bbox import Rect
+from repro.temporal.mapping import MovingPoint
+
+
+@dataclass
+class FlightGenerator:
+    """Deterministic generator of random-waypoint flights."""
+
+    airspace: Rect = field(default_factory=lambda: Rect(0.0, 0.0, 10000.0, 10000.0))
+    speed_range: Tuple[float, float] = (5.0, 15.0)  # distance units per time unit
+    seed: int = 0
+
+    def __post_init__(self):
+        self._rng = random.Random(self.seed)
+
+    def _random_point(self) -> Tuple[float, float]:
+        return (
+            self._rng.uniform(self.airspace.xmin, self.airspace.xmax),
+            self._rng.uniform(self.airspace.ymin, self.airspace.ymax),
+        )
+
+    def flight(
+        self,
+        legs: int = 10,
+        start_time: float = 0.0,
+        origin: Optional[Tuple[float, float]] = None,
+    ) -> MovingPoint:
+        """Generate one flight with ``legs`` waypoint-to-waypoint units."""
+        speed = self._rng.uniform(*self.speed_range)
+        pos = origin if origin is not None else self._random_point()
+        t = start_time
+        waypoints: List[Tuple[float, Tuple[float, float]]] = [(t, pos)]
+        for _ in range(legs):
+            nxt = self._random_point()
+            dist = math.hypot(nxt[0] - pos[0], nxt[1] - pos[1])
+            if dist <= 0.0:
+                continue
+            t += dist / speed
+            waypoints.append((t, nxt))
+            pos = nxt
+        return MovingPoint.from_waypoints(waypoints)
+
+    def fleet(
+        self, count: int, legs: int = 10, stagger: float = 0.0
+    ) -> List[MovingPoint]:
+        """Generate ``count`` flights, optionally staggering departures."""
+        return [
+            self.flight(legs=legs, start_time=i * stagger) for i in range(count)
+        ]
+
+
+def random_flights(
+    count: int,
+    legs: int = 10,
+    seed: int = 0,
+    airspace: Optional[Rect] = None,
+) -> List[MovingPoint]:
+    """Convenience wrapper: a reproducible fleet of flights."""
+    gen = FlightGenerator(seed=seed) if airspace is None else FlightGenerator(
+        airspace=airspace, seed=seed
+    )
+    return gen.fleet(count, legs=legs)

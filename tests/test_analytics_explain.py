@@ -1,0 +1,105 @@
+"""Tests for fleet analytics and the EXPLAIN plan printer."""
+
+import pytest
+
+from repro.base.values import IntVal
+from repro.db import Database
+from repro.db.sql import explain
+from repro.ranges.interval import closed
+from repro.spatial.region import Region
+from repro.temporal.mapping import MovingPoint
+from repro.ops.analytics import (
+    occupancy,
+    peak_presence,
+    presence_count,
+    total_travelled,
+)
+
+
+def track(t0, t1, y):
+    return MovingPoint.from_waypoints([(t0, (0.0, y)), (t1, (10.0, y))])
+
+
+class TestPresenceCount:
+    def test_staggered_fleet(self):
+        fleet = [track(0, 10, 0), track(5, 15, 1), track(20, 25, 2)]
+        counts = presence_count(fleet)
+        assert counts.value_at(2.0) == IntVal(1)
+        assert counts.value_at(7.0) == IntVal(2)
+        assert counts.value_at(12.0) == IntVal(1)
+        assert counts.value_at(17.0) is None  # nobody defined
+        assert counts.value_at(22.0) == IntVal(1)
+
+    def test_boundary_instants(self):
+        fleet = [track(0, 10, 0), track(10, 20, 1)]
+        # Both tracks are defined exactly at t=10 (closed ends).
+        counts = presence_count(fleet)
+        assert counts.value_at(10.0) == IntVal(2)
+
+    def test_empty(self):
+        assert len(presence_count([])) == 0
+
+    def test_peak(self):
+        fleet = [track(0, 10, 0), track(2, 8, 1), track(4, 6, 2)]
+        peak, when = peak_presence(fleet)
+        assert peak == 3
+        assert 4.0 <= when <= 6.0
+
+
+class TestOccupancy:
+    def test_zone_occupancy(self):
+        zone = Region.box(4, -1, 6, 3)
+        # Both tracks cross x in [4, 6] during t in [4, 6].
+        fleet = [track(0, 10, 0), track(0, 10, 1), track(0, 10, 100)]
+        occ = occupancy(fleet, zone)
+        assert occ.value_at(5.0) == IntVal(2)
+        assert occ.value_at(1.0) is None  # nobody inside
+
+    def test_total_travelled(self):
+        fleet = [track(0, 10, 0), track(0, 10, 1)]
+        assert total_travelled(fleet) == pytest.approx(20.0)
+
+
+class TestExplain:
+    @pytest.fixture
+    def db(self):
+        db = Database()
+        planes = db.create_relation(
+            "planes", [("airline", "string"), ("id", "string"), ("flight", "mpoint")]
+        )
+        airlines = db.create_relation(
+            "airlines", [("code", "string"), ("country", "string")]
+        )
+        planes.insert(["LH", "LH1", track(0, 10, 0)])
+        airlines.insert(["LH", "Germany"])
+        return db
+
+    def test_scan_filter_project(self, db):
+        text = explain(db, "SELECT id FROM planes WHERE airline = 'LH'")
+        assert "Project(id)" in text
+        assert "Select(" in text
+        assert "SeqScan(planes AS planes)" in text
+        # Indentation reflects nesting.
+        lines = text.splitlines()
+        assert lines[0].startswith("Project")
+        assert lines[-1].strip().startswith("SeqScan")
+
+    def test_hash_join_plan(self, db):
+        text = explain(
+            db,
+            "SELECT p.id FROM planes p JOIN airlines a ON p.airline = a.code",
+        )
+        assert "HashJoin" in text
+
+    def test_aggregate_sort_limit(self, db):
+        text = explain(
+            db,
+            "SELECT airline, count(*) AS n FROM planes "
+            "GROUP BY airline ORDER BY airline LIMIT 3",
+        )
+        assert "Aggregate" in text and "Sort" in text and "Limit(3)" in text
+
+    def test_plan_executes_same_rows(self, db):
+        sql = "SELECT id FROM planes WHERE airline = 'LH'"
+        assert db.query(sql)  # plan built by explain is the same shape
+        assert "SeqScan" in explain(db, sql)

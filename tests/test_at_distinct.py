@@ -1,0 +1,101 @@
+"""Tests for the extra `at` restrictions and SQL DISTINCT."""
+
+import pytest
+
+from repro.db import Database
+from repro.ranges.interval import Interval, closed
+from repro.ranges.rangeset import RangeSet
+from repro.spatial.point import Point
+from repro.temporal.mapping import MovingPoint, MovingReal
+from repro.temporal.ureal import UReal
+from repro.ops.interaction import mpoint_at_point, mreal_at_range
+
+
+class TestMRealAtRange:
+    def test_linear_through_bands(self):
+        m = MovingReal([UReal(closed(0.0, 10.0), 0, 1, 0)])  # t
+        got = mreal_at_range(m, RangeSet([closed(2.0, 4.0), closed(7.0, 8.0)]))
+        assert got.deftime() == RangeSet([closed(2.0, 4.0), closed(7.0, 8.0)])
+        assert got.value_at(3.0).value == pytest.approx(3.0)
+        assert got.value_at(5.0) is None
+
+    def test_parabola_band(self):
+        m = MovingReal([UReal(closed(0.0, 10.0), 1, -10, 25)])  # (t-5)²
+        got = mreal_at_range(m, RangeSet([closed(0.0, 4.0)]))
+        assert got.deftime() == RangeSet([closed(3.0, 7.0)])
+
+    def test_single_interval_argument(self):
+        m = MovingReal([UReal(closed(0.0, 10.0), 0, 1, 0)])
+        got = mreal_at_range(m, closed(1.0, 2.0))
+        assert got.deftime() == RangeSet([closed(1.0, 2.0)])
+
+    def test_open_band_end(self):
+        m = MovingReal([UReal(closed(0.0, 10.0), 0, 1, 0)])
+        got = mreal_at_range(m, RangeSet([Interval(2.0, 4.0, True, False)]))
+        assert not got.deftime().contains(4.0)
+        assert got.deftime().contains(2.0)
+
+    def test_never_in_range(self):
+        m = MovingReal([UReal(closed(0.0, 10.0), 0, 0, 100.0)])
+        assert not mreal_at_range(m, RangeSet([closed(0.0, 1.0)]))
+
+    def test_whole_unit_in_range(self):
+        m = MovingReal([UReal(closed(0.0, 10.0), 0, 0, 0.5)])
+        got = mreal_at_range(m, RangeSet([closed(0.0, 1.0)]))
+        assert got.deftime() == RangeSet([closed(0.0, 10.0)])
+
+    def test_sqrt_form(self):
+        m = MovingReal([UReal(closed(0.0, 10.0), 0, 1, 0, r=True)])  # sqrt(t)
+        got = mreal_at_range(m, RangeSet([closed(2.0, 3.0)]))
+        assert got.deftime() == RangeSet([closed(4.0, 9.0)])
+
+
+class TestMPointAtPoint:
+    def test_pass_through_twice(self):
+        mp = MovingPoint.from_waypoints([(0, (0, 0)), (10, (10, 0)), (20, (0, 0))])
+        got = mpoint_at_point(mp, Point(5, 0))
+        assert got.deftime() == RangeSet(
+            [Interval(5.0, 5.0), Interval(15.0, 15.0)]
+        )
+
+    def test_parked_unit_kept_whole(self):
+        mp = MovingPoint.from_waypoints(
+            [(0, (0, 0)), (10, (5, 5)), (20, (5, 5)), (30, (9, 9))]
+        )
+        got = mpoint_at_point(mp, (5.0, 5.0))
+        assert got.deftime().total_length() == pytest.approx(10.0)
+
+    def test_never_there(self):
+        mp = MovingPoint.from_waypoints([(0, (0, 0)), (10, (10, 0))])
+        assert not mpoint_at_point(mp, (5.0, 1.0))
+
+    def test_tuple_target(self):
+        mp = MovingPoint.from_waypoints([(0, (0, 0)), (10, (10, 10))])
+        got = mpoint_at_point(mp, (5.0, 5.0))
+        assert got.value_at(5.0) == Point(5, 5)
+
+
+class TestDistinct:
+    @pytest.fixture
+    def db(self):
+        db = Database()
+        t = db.create_relation("t", [("a", "string"), ("b", "int")])
+        for row in [["x", 1], ["x", 1], ["y", 2], ["x", 3], ["y", 2]]:
+            t.insert(row)
+        return db
+
+    def test_distinct_single_column(self, db):
+        rows = db.query("SELECT DISTINCT a FROM t ORDER BY a")
+        assert [r["a"].value for r in rows] == ["x", "y"]
+
+    def test_distinct_multi_column(self, db):
+        rows = db.query("SELECT DISTINCT a, b FROM t")
+        assert len(rows) == 3
+
+    def test_distinct_with_limit(self, db):
+        rows = db.query("SELECT DISTINCT a FROM t ORDER BY a LIMIT 1")
+        assert len(rows) == 1
+
+    def test_without_distinct_keeps_duplicates(self, db):
+        rows = db.query("SELECT a FROM t")
+        assert len(rows) == 5

@@ -1,0 +1,134 @@
+"""Tests for the base types (Section 3.2.1): int, real, string, bool with ⊥."""
+
+import pytest
+
+from repro.base.values import (
+    FALSE,
+    MAX_STRING,
+    TRUE,
+    BoolVal,
+    IntVal,
+    RealVal,
+    StringVal,
+    wrap,
+)
+from repro.errors import TypeMismatch, UndefinedValue
+
+
+class TestDefinedValues:
+    def test_int_holds_value(self):
+        assert IntVal(42).value == 42
+
+    def test_real_holds_value(self):
+        assert RealVal(3.5).value == 3.5
+
+    def test_real_coerces_int(self):
+        v = RealVal(3)
+        assert v.value == 3.0
+        assert isinstance(v.value, float)
+
+    def test_string_holds_value(self):
+        assert StringVal("hello").value == "hello"
+
+    def test_bool_holds_value(self):
+        assert BoolVal(True).value is True
+
+    def test_defined_flag(self):
+        assert IntVal(0).defined
+        assert RealVal(0.0).defined
+        assert StringVal("").defined
+        assert BoolVal(False).defined
+
+
+class TestUndefined:
+    def test_default_is_undefined(self):
+        for cls in (IntVal, RealVal, StringVal, BoolVal):
+            assert not cls().defined
+
+    def test_value_raises_on_undefined(self):
+        with pytest.raises(UndefinedValue):
+            IntVal().value
+
+    def test_value_or_default(self):
+        assert IntVal().value_or(7) == 7
+        assert IntVal(3).value_or(7) == 3
+
+    def test_undefined_sorts_first(self):
+        assert IntVal() < IntVal(-(10**9))
+        assert RealVal() < RealVal(float("-inf"))
+
+    def test_undefined_equals_undefined(self):
+        assert IntVal() == IntVal()
+
+    def test_repr_marks_bottom(self):
+        assert "⊥" in repr(IntVal())
+
+
+class TestTypeDiscipline:
+    def test_int_rejects_bool(self):
+        with pytest.raises(TypeMismatch):
+            IntVal(True)
+
+    def test_int_rejects_float(self):
+        with pytest.raises(TypeMismatch):
+            IntVal(3.5)
+
+    def test_bool_rejects_int(self):
+        with pytest.raises(TypeMismatch):
+            BoolVal(1)
+
+    def test_string_rejects_number(self):
+        with pytest.raises(TypeMismatch):
+            StringVal(42)
+
+    def test_string_length_bound(self):
+        StringVal("x" * MAX_STRING)  # at the limit: fine
+        with pytest.raises(TypeMismatch):
+            StringVal("x" * (MAX_STRING + 1))
+
+    def test_cross_type_equality_not_implemented(self):
+        assert IntVal(1) != RealVal(1.0)
+
+
+class TestOrderingAndHashing:
+    def test_total_order(self):
+        assert IntVal(1) < IntVal(2)
+        assert IntVal(2) <= IntVal(2)
+        assert IntVal(3) > IntVal(2)
+        assert IntVal(3) >= IntVal(3)
+
+    def test_string_order(self):
+        assert StringVal("abc") < StringVal("abd")
+
+    def test_hashable(self):
+        s = {IntVal(1), IntVal(1), IntVal(2), IntVal()}
+        assert len(s) == 3
+
+    def test_immutable(self):
+        v = IntVal(5)
+        with pytest.raises(AttributeError):
+            v._value = 6
+
+
+class TestWrap:
+    def test_wrap_dispatch(self):
+        assert isinstance(wrap(True), BoolVal)
+        assert isinstance(wrap(3), IntVal)
+        assert isinstance(wrap(2.5), RealVal)
+        assert isinstance(wrap("s"), StringVal)
+
+    def test_wrap_passthrough(self):
+        v = IntVal(1)
+        assert wrap(v) is v
+
+    def test_wrap_rejects_other(self):
+        with pytest.raises(TypeMismatch):
+            wrap([1, 2])
+
+    def test_singletons(self):
+        assert TRUE.value is True
+        assert FALSE.value is False
+
+    def test_bool_truthiness(self):
+        assert bool(BoolVal(True))
+        assert not bool(BoolVal(False))

@@ -1,0 +1,119 @@
+"""const(α) applied to spatial types: discretely changing spatial values.
+
+The paper introduces ``const`` for int/string/bool but notes it "can
+nevertheless be applied also to other types ... for applications where
+values of such types change only in discrete steps" (Section 3.2.5).
+This is exactly the older Worboys-style stepwise model embedded in the
+sliced representation: ``mapping(const(region))``.
+"""
+
+import pytest
+
+from repro.errors import InvalidValue
+from repro.ranges.interval import Interval, closed
+from repro.spatial.line import Line
+from repro.spatial.points import Points
+from repro.spatial.region import Region
+from repro.temporal.mapping import Mapping
+from repro.temporal.uconst import ConstUnit
+
+
+def land_parcel_history():
+    """A cadastral parcel changing shape at discrete transaction dates."""
+    shapes = [
+        Region.box(0, 0, 10, 10),
+        Region.box(0, 0, 10, 14),  # extension bought in year 3
+        Region.polygon([(0, 0), (10, 0), (10, 14), (4, 14), (0, 8)]),  # partial sale
+    ]
+    units = [
+        ConstUnit(Interval(0.0, 3.0, True, False), shapes[0]),
+        ConstUnit(Interval(3.0, 7.0, True, False), shapes[1]),
+        ConstUnit(Interval(7.0, 20.0, True, True), shapes[2]),
+    ]
+    return Mapping(units), shapes
+
+
+class TestStepwiseRegion:
+    def test_value_at_steps(self):
+        parcel, shapes = land_parcel_history()
+        assert parcel.value_at(1.0) == shapes[0]
+        assert parcel.value_at(3.0) == shapes[1]
+        assert parcel.value_at(10.0) == shapes[2]
+        assert parcel.value_at(25.0) is None
+
+    def test_area_changes_discretely(self):
+        parcel, _shapes = land_parcel_history()
+        assert parcel.value_at(2.9).area() == pytest.approx(100.0)
+        assert parcel.value_at(3.1).area() == pytest.approx(140.0)
+
+    def test_adjacent_equal_regions_rejected(self):
+        r = Region.box(0, 0, 5, 5)
+        with pytest.raises(InvalidValue):
+            Mapping(
+                [
+                    ConstUnit(Interval(0.0, 1.0, True, False), r),
+                    ConstUnit(closed(1.0, 2.0), r),
+                ]
+            )
+
+    def test_adjacent_distinct_same_repr_accepted(self):
+        # Two different unit squares share their repr ("1 faces, 4
+        # segments"); value-based function comparison must see them as
+        # distinct.
+        a = Region.box(0, 0, 5, 5)
+        b = Region.box(1, 1, 6, 6)
+        assert repr(a) == repr(b)
+        m = Mapping(
+            [
+                ConstUnit(Interval(0.0, 1.0, True, False), a),
+                ConstUnit(closed(1.0, 2.0), b),
+            ]
+        )
+        assert len(m) == 2
+
+    def test_normalized_merges_equal_adjacent(self):
+        r = Region.box(0, 0, 5, 5)
+        m = Mapping.normalized(
+            [
+                ConstUnit(Interval(0.0, 1.0, True, False), r),
+                ConstUnit(closed(1.0, 2.0), r),
+            ]
+        )
+        assert len(m) == 1
+        assert m.units[0].interval == closed(0.0, 2.0)
+
+    def test_deftime_and_restriction(self):
+        parcel, _shapes = land_parcel_history()
+        clipped = parcel.restricted_to(closed(2.0, 5.0))
+        assert clipped.deftime().total_length() == pytest.approx(3.0)
+        assert clipped.value_at(2.5).area() == pytest.approx(100.0)
+
+
+class TestStepwiseOtherSpatial:
+    def test_const_line(self):
+        routes = Mapping(
+            [
+                ConstUnit(
+                    Interval(0.0, 5.0, True, False),
+                    Line.polyline([(0, 0), (5, 5)]),
+                ),
+                ConstUnit(closed(5.0, 9.0), Line.polyline([(0, 0), (5, 0), (5, 5)])),
+            ]
+        )
+        assert routes.value_at(2.0).length() == pytest.approx(50**0.5)
+        assert routes.value_at(6.0).length() == pytest.approx(10.0)
+
+    def test_const_points(self):
+        stations = Mapping(
+            [
+                ConstUnit(Interval(0.0, 1.0, True, False), Points([(0, 0)])),
+                ConstUnit(closed(1.0, 2.0), Points([(0, 0), (5, 5)])),
+            ]
+        )
+        assert len(stations.value_at(0.5)) == 1
+        assert len(stations.value_at(1.5)) == 2
+
+    def test_initial_final(self):
+        parcel, shapes = land_parcel_history()
+        assert parcel.initial().val == shapes[0]
+        assert parcel.final().val == shapes[2]

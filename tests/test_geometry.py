@@ -1,0 +1,205 @@
+"""Tests for the geometric kernel: primitives and segment predicates."""
+
+import math
+
+import pytest
+
+from repro.errors import InvalidValue
+from repro.geometry.primitives import (
+    convex_hull,
+    cross,
+    dist,
+    dist_sq,
+    dot,
+    lerp,
+    midpoint,
+    orientation,
+    point_cmp,
+    point_eq,
+    polygon_area,
+    unit_normal,
+)
+from repro.geometry.segment import (
+    HalfSegment,
+    Seg,
+    collinear,
+    halfsegments_of,
+    make_seg,
+    meet,
+    p_intersect,
+    point_on_seg,
+    project_param,
+    seg_intersection_point,
+    seg_length,
+    seg_overlap,
+    segs_disjoint,
+    touch,
+)
+
+
+class TestPrimitives:
+    def test_cross_sign(self):
+        assert cross((1, 0), (0, 1)) == 1.0
+        assert cross((0, 1), (1, 0)) == -1.0
+
+    def test_dot(self):
+        assert dot((1, 2), (3, 4)) == 11.0
+
+    def test_dist(self):
+        assert dist((0, 0), (3, 4)) == 5.0
+        assert dist_sq((0, 0), (3, 4)) == 25.0
+
+    def test_orientation(self):
+        assert orientation((0, 0), (1, 0), (1, 1)) == 1  # CCW
+        assert orientation((0, 0), (1, 0), (1, -1)) == -1  # CW
+        assert orientation((0, 0), (1, 0), (2, 0)) == 0  # collinear
+
+    def test_orientation_near_collinear_with_large_coords(self):
+        # Perpendicular offsets far below the tolerance read as collinear
+        # even at large coordinates; clear offsets never do.
+        p = (1e6, 1e6)
+        q = (2e6, 2e6)
+        assert orientation(p, q, (3e6, 3e6 + 1e-10)) == 0
+        assert orientation(p, q, (3e6, 3e6 + 1.0)) == 1
+
+    def test_point_cmp_lexicographic(self):
+        assert point_cmp((0, 5), (1, 0)) < 0
+        assert point_cmp((1, 0), (1, 1)) < 0
+        assert point_cmp((1, 1), (1, 1)) == 0
+
+    def test_point_eq_tolerance(self):
+        assert point_eq((0, 0), (1e-12, -1e-12))
+        assert not point_eq((0, 0), (1e-3, 0))
+
+    def test_midpoint_lerp(self):
+        assert midpoint((0, 0), (2, 4)) == (1, 2)
+        assert lerp((0, 0), (10, 0), 0.3) == (3, 0)
+
+    def test_unit_normal(self):
+        n = unit_normal((0, 0), (2, 0))
+        assert n == (0.0, 1.0)
+
+    def test_unit_normal_degenerate_raises(self):
+        with pytest.raises(ZeroDivisionError):
+            unit_normal((1, 1), (1, 1))
+
+    def test_polygon_area_signed(self):
+        square = [(0, 0), (2, 0), (2, 2), (0, 2)]
+        assert polygon_area(square) == 4.0  # CCW positive
+        assert polygon_area(list(reversed(square))) == -4.0
+
+    def test_convex_hull(self):
+        pts = [(0, 0), (2, 0), (2, 2), (0, 2), (1, 1), (1, 0)]
+        hull = convex_hull(pts)
+        assert set(hull) == {(0, 0), (2, 0), (2, 2), (0, 2)}
+        assert polygon_area(hull) > 0  # CCW
+
+
+class TestSegConstruction:
+    def test_make_seg_orders_endpoints(self):
+        assert make_seg((5, 0), (1, 0)) == ((1, 0), (5, 0))
+
+    def test_make_seg_rejects_degenerate(self):
+        with pytest.raises(InvalidValue):
+            make_seg((1, 1), (1, 1))
+
+    def test_seg_length(self):
+        assert seg_length(make_seg((0, 0), (3, 4))) == 5.0
+
+    def test_project_param(self):
+        s = make_seg((0, 0), (10, 0))
+        assert project_param((3, 5), s) == pytest.approx(0.3)
+
+
+class TestPredicates:
+    def test_collinear(self):
+        assert collinear(make_seg((0, 0), (1, 1)), make_seg((2, 2), (3, 3)))
+        assert not collinear(make_seg((0, 0), (1, 1)), make_seg((0, 1), (1, 0)))
+
+    def test_p_intersect_crossing(self):
+        assert p_intersect(make_seg((0, 0), (2, 2)), make_seg((0, 2), (2, 0)))
+
+    def test_p_intersect_endpoint_contact_is_not_proper(self):
+        assert not p_intersect(make_seg((0, 0), (1, 1)), make_seg((1, 1), (2, 0)))
+
+    def test_p_intersect_touch_is_not_proper(self):
+        # Endpoint of one in the interior of the other: touch, not p-intersect.
+        assert not p_intersect(make_seg((0, 0), (2, 0)), make_seg((1, 0), (1, 1)))
+
+    def test_touch(self):
+        assert touch(make_seg((0, 0), (2, 0)), make_seg((1, 0), (1, 1)))
+        assert not touch(make_seg((0, 0), (1, 0)), make_seg((1, 0), (2, 0)))
+
+    def test_meet(self):
+        assert meet(make_seg((0, 0), (1, 0)), make_seg((1, 0), (2, 5)))
+        assert not meet(make_seg((0, 0), (1, 0)), make_seg((2, 0), (3, 0)))
+
+    def test_overlap(self):
+        assert seg_overlap(make_seg((0, 0), (2, 0)), make_seg((1, 0), (3, 0)))
+        # Touching at one point only: no overlap.
+        assert not seg_overlap(make_seg((0, 0), (1, 0)), make_seg((1, 0), (2, 0)))
+        # Parallel but distinct lines: no overlap.
+        assert not seg_overlap(make_seg((0, 0), (2, 0)), make_seg((0, 1), (2, 1)))
+
+    def test_vertical_overlap(self):
+        assert seg_overlap(make_seg((0, 0), (0, 2)), make_seg((0, 1), (0, 3)))
+
+    def test_segs_disjoint(self):
+        assert segs_disjoint(make_seg((0, 0), (1, 0)), make_seg((2, 2), (3, 3)))
+        assert not segs_disjoint(make_seg((0, 0), (2, 2)), make_seg((0, 2), (2, 0)))
+
+    def test_point_on_seg(self):
+        s = make_seg((0, 0), (2, 2))
+        assert point_on_seg((1, 1), s)
+        assert point_on_seg((0, 0), s)
+        assert not point_on_seg((1, 1.1), s)
+        assert not point_on_seg((3, 3), s)
+
+
+class TestIntersectionPoint:
+    def test_crossing(self):
+        got = seg_intersection_point(make_seg((0, 0), (2, 2)), make_seg((0, 2), (2, 0)))
+        assert got == pytest.approx((1.0, 1.0))
+
+    def test_none_for_parallel(self):
+        assert (
+            seg_intersection_point(make_seg((0, 0), (1, 0)), make_seg((0, 1), (1, 1)))
+            is None
+        )
+
+    def test_none_for_collinear_overlap(self):
+        assert (
+            seg_intersection_point(make_seg((0, 0), (2, 0)), make_seg((1, 0), (3, 0)))
+            is None
+        )
+
+    def test_endpoint_contact_reported(self):
+        got = seg_intersection_point(make_seg((0, 0), (1, 1)), make_seg((1, 1), (2, 0)))
+        assert got == pytest.approx((1.0, 1.0))
+
+
+class TestHalfSegments:
+    def test_two_halves_per_segment(self):
+        halves = halfsegments_of([make_seg((0, 0), (1, 0))])
+        assert len(halves) == 2
+        assert halves[0].left_dominating and not halves[1].left_dominating
+
+    def test_dominating_point(self):
+        s = make_seg((0, 0), (1, 0))
+        assert HalfSegment(s, True).dom == (0, 0)
+        assert HalfSegment(s, False).dom == (1, 0)
+
+    def test_global_order_by_dominating_point(self):
+        segs = [make_seg((2, 0), (3, 0)), make_seg((0, 0), (1, 0))]
+        halves = halfsegments_of(segs)
+        doms = [h.dom for h in halves]
+        assert doms == sorted(doms)
+
+    def test_right_halves_sort_before_left_at_same_point(self):
+        # Segment ending at (1,0) and segment starting at (1,0):
+        a = make_seg((0, 0), (1, 0))
+        b = make_seg((1, 0), (2, 0))
+        halves = halfsegments_of([a, b])
+        at_point = [h for h in halves if h.dom == (1, 0)]
+        assert not at_point[0].left_dominating  # right half first
+        assert at_point[1].left_dominating

@@ -1,0 +1,149 @@
+"""Adversarial configurations for the Section-5.2 inside algorithm."""
+
+import pytest
+
+from repro.base.values import BoolVal
+from repro.ranges.interval import closed
+from repro.spatial.region import Region
+from repro.temporal.mapping import MovingPoint, MovingRegion
+from repro.temporal.upoint import UPoint
+from repro.temporal.uregion import URegion
+from repro.ops.inside import inside, upoint_uregion_inside
+
+
+def stationary(region, t0=0.0, t1=10.0):
+    return URegion.stationary(closed(t0, t1), region)
+
+
+class TestBoundaryRiding:
+    def test_point_rides_along_edge(self):
+        # Moves exactly along the bottom edge: region values include
+        # their boundary, so inside is true throughout.
+        up = UPoint.between(0.0, (0.0, 0.0), 10.0, (4.0, 0.0))
+        ur = stationary(Region.box(0, 0, 4, 4))
+        units = upoint_uregion_inside(up, ur)
+        true_time = sum(
+            u.interval.length for u in units if bool(u.value.value)
+        )
+        assert true_time == pytest.approx(10.0)
+
+    def test_point_rides_outside_carrier(self):
+        # Moves along the carrier line of an edge but beyond the region.
+        up = UPoint.between(0.0, (6.0, 0.0), 10.0, (16.0, 0.0))
+        ur = stationary(Region.box(0, 0, 4, 4))
+        units = upoint_uregion_inside(up, ur)
+        assert all(not bool(u.value.value) for u in units)
+
+
+class TestVertexConfigurations:
+    def test_corner_graze(self):
+        # Passes exactly through the corner (4, 4), never entering.
+        up = UPoint.between(0.0, (3.0, 5.0), 10.0, (5.0, 3.0))
+        ur = stationary(Region.box(0, 0, 4, 4))
+        units = upoint_uregion_inside(up, ur)
+        true_time = sum(
+            u.interval.length for u in units if bool(u.value.value)
+        )
+        assert true_time == pytest.approx(0.0, abs=1e-6)
+
+    def test_diagonal_through_corner_into_region(self):
+        # Enters exactly through a corner along the diagonal.
+        up = UPoint.between(0.0, (-2.0, -2.0), 10.0, (2.0, 2.0))
+        ur = stationary(Region.box(0, 0, 4, 4))
+        units = upoint_uregion_inside(up, ur)
+        # Inside from t=5 (corner) onward.
+        true_time = sum(
+            u.interval.length for u in units if bool(u.value.value)
+        )
+        assert true_time == pytest.approx(5.0, abs=1e-3)
+
+    def test_exit_through_corner(self):
+        up = UPoint.between(0.0, (2.0, 2.0), 10.0, (6.0, 6.0))
+        ur = stationary(Region.box(0, 0, 4, 4))
+        units = upoint_uregion_inside(up, ur)
+        true_time = sum(
+            u.interval.length for u in units if bool(u.value.value)
+        )
+        assert true_time == pytest.approx(5.0, abs=1e-3)
+
+
+class TestMovingHoles:
+    def moving_donut(self):
+        r0 = Region.polygon(
+            [(0, 0), (12, 0), (12, 12), (0, 12)],
+            holes=[[(4, 4), (8, 4), (8, 8), (4, 8)]],
+        )
+        r1 = Region.polygon(
+            [(10, 0), (22, 0), (22, 12), (10, 12)],
+            holes=[[(14, 4), (18, 4), (18, 8), (14, 8)]],
+        )
+        return MovingRegion([URegion.between_regions(0.0, r0, 10.0, r1)])
+
+    def test_stationary_point_sees_hole_pass_over(self):
+        # Point at (11, 6): starts inside the solid part, the hole
+        # passes over it, then solid again... compute expectations:
+        # hole spans x in [4+t, 8+t]; contains 11 for t in [3, 7].
+        # outer spans x in [0+t, 12+t]; contains 11 for t in [0, 10] (t<=11).
+        mp = MovingPoint.from_waypoints([(0.0, (11.0, 6.0)), (10.0, (11.0, 6.0))])
+        mb = inside(mp, self.moving_donut())
+        on = mb.when(True)
+        off = mb.when(False)
+        assert on.total_length() == pytest.approx(10.0 - 4.0, abs=1e-6)
+        # The hole interior excludes the point during (3, 7).
+        assert off.contains(5.0)
+        assert on.contains(1.0) and on.contains(9.0)
+
+    def test_point_crossing_hole(self):
+        mp = MovingPoint.from_waypoints([(0.0, (0.5, 6.0)), (10.0, (20.5, 6.0))])
+        mb = inside(mp, self.moving_donut())
+        # Relative to the region the point moves 1 unit/time while the
+        # region moves 1 as well... verify against dense sampling.
+        donut = self.moving_donut()
+        for k in range(101):
+            t = 10.0 * k / 100.0
+            got = mb.value_at(t)
+            if got is None:
+                continue
+            p = mp.value_at(t)
+            r = donut.value_at(t)
+            if p is None or r is None:
+                continue
+            # Skip instants within tolerance of boundary contact.
+            expected = r.contains_point(p.vec)
+            boundary = any(
+                abs(p.x - xb) < 1e-6
+                for xb in (0 + t, 4 + t, 8 + t, 12 + t)
+            )
+            if not boundary:
+                assert bool(got.value) == expected, f"t={t}"
+
+
+class TestMultiUnitEdgeCases:
+    def test_point_defined_only_at_single_instants(self):
+        from repro.ranges.interval import Interval
+
+        mp = MovingPoint(
+            [
+                UPoint.stationary(Interval(2.0, 2.0), (1.0, 1.0)),
+                UPoint.stationary(Interval(5.0, 5.0), (100.0, 100.0)),
+            ]
+        )
+        mr = MovingRegion([stationary(Region.box(0, 0, 4, 4))])
+        mb = inside(mp, mr)
+        assert mb.value_at(2.0) == BoolVal(True)
+        assert mb.value_at(5.0) == BoolVal(False)
+        assert mb.value_at(3.0) is None
+
+    def test_region_with_many_faces(self):
+        faces = Region(
+            [
+                f
+                for k in range(5)
+                for f in Region.box(k * 10.0, 0.0, k * 10.0 + 4.0, 4.0).faces
+            ]
+        )
+        mp = MovingPoint.from_waypoints([(0.0, (-2.0, 2.0)), (50.0, (48.0, 2.0))])
+        mr = MovingRegion([stationary(faces, 0.0, 50.0)])
+        mb = inside(mp, mr)
+        assert len(mb.when(True)) == 5
+        assert mb.when(True).total_length() == pytest.approx(20.0, abs=1e-6)

@@ -1,0 +1,85 @@
+"""Tests for the instant time type (Section 3.2.1)."""
+
+import math
+
+import pytest
+
+from repro.base.instant import Instant, as_time
+from repro.errors import TypeMismatch, UndefinedValue
+
+
+class TestConstruction:
+    def test_from_float(self):
+        assert Instant(2.5).value == 2.5
+
+    def test_from_int(self):
+        assert Instant(3).value == 3.0
+
+    def test_undefined(self):
+        t = Instant()
+        assert not t.defined
+        with pytest.raises(UndefinedValue):
+            t.value
+
+    def test_rejects_bool(self):
+        with pytest.raises(TypeMismatch):
+            Instant(True)
+
+    def test_rejects_nan(self):
+        with pytest.raises(TypeMismatch):
+            Instant(float("nan"))
+
+    def test_rejects_infinity(self):
+        with pytest.raises(TypeMismatch):
+            Instant(math.inf)
+
+    def test_immutable(self):
+        t = Instant(1.0)
+        with pytest.raises(AttributeError):
+            t._t = 2.0
+
+
+class TestArithmetic:
+    def test_add_duration(self):
+        assert (Instant(1.0) + 2.5).value == 3.5
+
+    def test_radd(self):
+        assert (2.5 + Instant(1.0)).value == 3.5
+
+    def test_difference_of_instants_is_duration(self):
+        assert Instant(5.0) - Instant(2.0) == 3.0
+
+    def test_sub_duration(self):
+        assert (Instant(5.0) - 2.0).value == 3.0
+
+
+class TestOrder:
+    def test_total_order(self):
+        assert Instant(1.0) < Instant(2.0)
+        assert Instant(2.0) <= Instant(2.0)
+        assert Instant(3.0) > Instant(2.0)
+
+    def test_compare_with_raw_number(self):
+        assert Instant(1.0) < 2.0
+        assert Instant(1.0) == 1.0
+
+    def test_undefined_sorts_first(self):
+        assert Instant() < Instant(-1e18)
+
+    def test_float_conversion(self):
+        assert float(Instant(4.0)) == 4.0
+
+    def test_hash_consistent(self):
+        assert hash(Instant(1.0)) == hash(Instant(1.0))
+
+
+class TestAsTime:
+    def test_instant_passthrough(self):
+        assert as_time(Instant(2.0)) == 2.0
+
+    def test_number_passthrough(self):
+        assert as_time(3) == 3.0
+
+    def test_rejects_strings(self):
+        with pytest.raises(TypeMismatch):
+            as_time("now")

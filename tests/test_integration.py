@@ -1,0 +1,147 @@
+"""End-to-end integration tests across the whole stack.
+
+Workload generators → operation algebra → storage → SQL: the paths a
+real moving objects database exercises together.
+"""
+
+import pytest
+
+from repro.base.values import StringVal
+from repro.db import Database
+from repro.db.executor import CrossProduct, IndexFilteredProduct, Select, SeqScan
+from repro.db.expressions import Call, Column, Compare, Literal
+from repro.index.unitindex import MovingObjectIndex
+from repro.ops.distance import closest_approach, mpoint_distance
+from repro.ops.inside import inside
+from repro.spatial.bbox import Rect
+from repro.spatial.region import Region
+from repro.storage.records import StoredValue, pack_value, unpack_value
+from repro.temporal.mapping import MovingPoint
+from repro.workloads.network import RoadNetwork
+from repro.workloads.regions import StormGenerator
+from repro.workloads.trajectories import FlightGenerator, random_flights
+
+
+class TestFlightsPipeline:
+    def test_fleet_through_storage_and_queries(self):
+        flights = random_flights(8, legs=5, seed=42)
+        db = Database()
+        rel = db.create_relation(
+            "planes",
+            [("airline", "string"), ("id", "string"), ("flight", "mpoint")],
+            materialized=True,
+        )
+        for i, f in enumerate(flights):
+            airline = "Lufthansa" if i % 2 == 0 else "AirFrance"
+            rel.insert([StringVal(airline), StringVal(f"F{i}"), f])
+
+        rows = db.query(
+            "SELECT id, length(trajectory(flight)) AS dist FROM planes "
+            "WHERE airline = 'Lufthansa'"
+        )
+        assert len(rows) == 4
+        for r in rows:
+            assert r["dist"] > 0
+
+        stats = rel.storage_stats()
+        assert stats["tuples"] == 8
+
+    def test_join_results_match_with_and_without_index(self):
+        flights = random_flights(10, legs=4, seed=7)
+        db = Database()
+        rel = db.create_relation("f", [("id", "string"), ("flight", "mpoint")])
+        for i, f in enumerate(flights):
+            rel.insert([StringVal(f"F{i:02d}"), f])
+
+        predicate = Compare(
+            "<",
+            Column("a.id"),
+            Column("b.id"),
+        )
+        close_pred = Call(
+            "ever_closer_than",
+            (Column("a.flight"), Column("b.flight"), Literal(500.0)),
+        )
+        from repro.db.expressions import And
+
+        where = And(predicate, close_pred)
+
+        plain = Select(
+            CrossProduct(SeqScan(rel, "a"), SeqScan(rel, "b")), where
+        ).execute()
+        indexed = Select(
+            IndexFilteredProduct(
+                SeqScan(rel, "a"), SeqScan(rel, "b"), "a.flight", "b.flight",
+                slack=500.0,
+            ),
+            where,
+        ).execute()
+
+        def key(rows):
+            return sorted((r["a.id"].value, r["b.id"].value) for r in rows)
+
+        assert key(plain) == key(indexed)
+
+
+class TestStormPipeline:
+    def test_storm_inside_and_storage(self):
+        storms = StormGenerator(seed=3).storms(2, phases=4)
+        trips = RoadNetwork(rows=5, cols=5, seed=3, spacing=2000.0).trips(3)
+        hits = 0
+        for storm in storms:
+            for trip in trips:
+                mb = inside(trip, storm)
+                for u in mb.units:
+                    assert u.interval.length >= 0
+                hits += len(mb.when(True))
+        # Deterministic workload: the count is stable across runs.
+        stored = pack_value("mregion", storms[0])
+        assert unpack_value(StoredValue.from_bytes(stored.to_bytes())) == storms[0]
+
+    def test_storm_area_perimeter_consistency(self):
+        storm = StormGenerator(seed=9).storm(phases=3)
+        area = storm.area()
+        for iv in storm.deftime():
+            t = iv.midpoint()
+            direct = storm.value_at(t).area()
+            lifted = area.value_at(t).value
+            assert lifted == pytest.approx(direct, rel=1e-6)
+
+
+class TestClosestApproachConsistency:
+    def test_min_distance_matches_dense_sampling(self):
+        a = random_flights(1, legs=4, seed=100)[0]
+        b = random_flights(1, legs=4, seed=101)[0]
+        d = mpoint_distance(a, b)
+        if not d.units:
+            pytest.skip("flights never co-exist in time")
+        t_min, d_min = closest_approach(a, b)
+        # Dense sampling can only find distances >= the true minimum.
+        lo, hi = d.start_time(), d.end_time()
+        sampled = min(
+            d.value_at(lo + (hi - lo) * k / 400.0).value for k in range(401)
+            if d.value_at(lo + (hi - lo) * k / 400.0) is not None
+        )
+        assert d_min <= sampled + 1e-6
+        assert d.value_at(t_min).value == pytest.approx(d_min, abs=1e-6)
+
+
+class TestUnitIndexConsistency:
+    def test_index_filter_never_loses_true_hits(self):
+        flights = random_flights(20, legs=4, seed=55)
+        idx = MovingObjectIndex()
+        for i, f in enumerate(flights):
+            idx.add(i, f)
+        window = Rect(1000, 1000, 6000, 6000)
+        t0, t1 = 100.0, 800.0
+        candidates = idx.candidates_window(window, t0, t1)
+        for i, f in enumerate(flights):
+            truly = False
+            for k in range(201):
+                t = t0 + (t1 - t0) * k / 200.0
+                p = f.value_at(t)
+                if p is not None and window.contains_point(p.vec):
+                    truly = True
+                    break
+            if truly:
+                assert i in candidates

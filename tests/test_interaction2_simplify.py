@@ -1,0 +1,152 @@
+"""Tests for mregion×mregion intersects, mpoint intersection, simplification."""
+
+import math
+import random
+
+import pytest
+
+from repro.errors import InvalidValue
+from repro.ranges.interval import closed
+from repro.ranges.rangeset import RangeSet
+from repro.spatial.region import Region
+from repro.temporal.mapping import MovingPoint, MovingRegion
+from repro.temporal.uregion import URegion
+from repro.ops.interaction2 import (
+    mpoint_intersection,
+    mregion_intersects,
+    uregion_uregion_intersects,
+)
+from repro.ops.simplify import compression_ratio, simplification_error, simplify
+
+
+def translating(t0, t1, x0, x1, y=0.0, size=2.0):
+    return URegion.between_regions(
+        t0,
+        Region.box(x0, y, x0 + size, y + size),
+        t1,
+        Region.box(x1, y, x1 + size, y + size),
+    )
+
+
+class TestMRegionIntersects:
+    def test_pass_through(self):
+        # A moves right through stationary B.
+        a = MovingRegion([translating(0.0, 10.0, -10.0, 10.0)])
+        b = MovingRegion([URegion.stationary(closed(0.0, 10.0), Region.box(0, 0, 2, 2))])
+        mb = mregion_intersects(a, b)
+        on = mb.when(True)
+        assert len(on) == 1
+        # A spans [x, x+2] with x(t) = -10 + 2t; contact while x ∈ [-2, 2].
+        assert on.intervals[0].s == pytest.approx(4.0, abs=0.01)
+        assert on.intervals[0].e == pytest.approx(6.0, abs=0.01)
+
+    def test_never_touching(self):
+        a = MovingRegion([translating(0.0, 10.0, 0.0, 5.0, y=0.0)])
+        b = MovingRegion([translating(0.0, 10.0, 0.0, 5.0, y=100.0)])
+        mb = mregion_intersects(a, b)
+        assert not mb.when(True)
+        assert mb.when(False).total_length() == pytest.approx(10.0)
+
+    def test_containment_counts(self):
+        outer = MovingRegion(
+            [URegion.stationary(closed(0.0, 10.0), Region.box(-10, -10, 10, 10))]
+        )
+        inner = MovingRegion([translating(0.0, 10.0, -2.0, 2.0)])
+        mb = mregion_intersects(outer, inner)
+        assert mb.when(True).total_length() == pytest.approx(10.0)
+
+    def test_disjoint_time(self):
+        a = MovingRegion([translating(0.0, 1.0, 0.0, 1.0)])
+        b = MovingRegion([translating(5.0, 6.0, 0.0, 1.0)])
+        assert not mregion_intersects(a, b)
+
+    def test_unit_level_touch_instant_is_true(self):
+        # Boxes that touch exactly at one instant: intersects true there.
+        ua = translating(0.0, 10.0, -12.0, 8.0)  # right edge at -10+2t... compute below
+        ub = URegion.stationary(closed(0.0, 10.0), Region.box(0, 0, 2, 2))
+        units = uregion_uregion_intersects(ua, ub)
+        on = [u for u in units if bool(u.value.value)]
+        assert on  # there is a true stretch (or instant)
+
+
+class TestMPointIntersection:
+    def test_transversal_crossing(self):
+        a = MovingPoint.from_waypoints([(0, (0, 0)), (10, (10, 10))])
+        b = MovingPoint.from_waypoints([(0, (10, 0)), (10, (0, 10))])
+        got = mpoint_intersection(a, b)
+        assert got.deftime() == RangeSet([closed(5.0, 5.0)])
+        assert got.value_at(5.0).vec == pytest.approx((5.0, 5.0))
+
+    def test_identical_tracks(self):
+        a = MovingPoint.from_waypoints([(0, (0, 0)), (10, (10, 0))])
+        b = MovingPoint.from_waypoints([(0, (0, 0)), (10, (10, 0))])
+        got = mpoint_intersection(a, b)
+        assert got.deftime().total_length() == pytest.approx(10.0)
+
+    def test_parallel_tracks_empty(self):
+        a = MovingPoint.from_waypoints([(0, (0, 0)), (10, (10, 0))])
+        b = MovingPoint.from_waypoints([(0, (0, 1)), (10, (10, 1))])
+        assert not mpoint_intersection(a, b)
+
+    def test_partial_identity(self):
+        a = MovingPoint.from_waypoints([(0, (0, 0)), (10, (10, 0)), (20, (10, 10))])
+        b = MovingPoint.from_waypoints([(0, (0, 0)), (10, (10, 0)), (20, (20, 0))])
+        got = mpoint_intersection(a, b)
+        assert got.deftime().total_length() == pytest.approx(10.0)
+
+
+class TestSimplify:
+    def noisy_track(self, n=100, seed=5):
+        rng = random.Random(seed)
+        waypoints = []
+        for k in range(n + 1):
+            t = float(k)
+            x = k * 10.0 + rng.uniform(-0.5, 0.5)
+            y = rng.uniform(-0.5, 0.5)
+            waypoints.append((t, (x, y)))
+        return MovingPoint.from_waypoints(waypoints)
+
+    def test_error_bound_respected(self):
+        mp = self.noisy_track()
+        for eps in (0.5, 2.0, 10.0):
+            slim = simplify(mp, eps)
+            assert simplification_error(mp, slim) <= eps + 1e-9
+
+    def test_compression_grows_with_epsilon(self):
+        mp = self.noisy_track()
+        r1 = compression_ratio(mp, simplify(mp, 0.1))
+        r2 = compression_ratio(mp, simplify(mp, 2.0))
+        assert r2 >= r1 >= 1.0
+        assert r2 > 5.0  # the noise is sub-unit: a loose bound compresses hard
+
+    def test_time_span_preserved(self):
+        mp = self.noisy_track()
+        slim = simplify(mp, 1.0)
+        assert slim.start_time() == mp.start_time()
+        assert slim.end_time() == mp.end_time()
+
+    def test_straight_line_collapses_to_one_unit(self):
+        mp = MovingPoint.from_waypoints([(float(k), (k * 5.0, 0.0)) for k in range(20)])
+        slim = simplify(mp, 1e-9)
+        assert len(slim) == 1
+
+    def test_zero_epsilon_keeps_shape(self):
+        mp = self.noisy_track(n=20)
+        slim = simplify(mp, 0.0)
+        assert simplification_error(mp, slim) <= 1e-12
+
+    def test_negative_epsilon_rejected(self):
+        with pytest.raises(InvalidValue):
+            simplify(self.noisy_track(n=5), -1.0)
+
+    def test_gap_rejected(self):
+        from repro.temporal.upoint import UPoint
+
+        gappy = MovingPoint(
+            [
+                UPoint.between(0.0, (0, 0), 1.0, (1, 0)),
+                UPoint.between(5.0, (5, 0), 6.0, (6, 0)),
+            ]
+        )
+        with pytest.raises(InvalidValue):
+            simplify(gappy, 1.0)

@@ -1,0 +1,142 @@
+"""Tests for SQL JOIN ... ON and the spatio-temporal join APIs."""
+
+import pytest
+
+from repro.db import Database
+from repro.errors import QueryError
+from repro.spatial.region import Region
+from repro.temporal.mapping import MovingPoint, MovingRegion
+from repro.temporal.uregion import URegion
+from repro.ranges.interval import closed
+from repro.ops.joins import closest_pairs, inside_pairs
+from repro.workloads.trajectories import random_flights
+
+
+@pytest.fixture
+def join_db():
+    db = Database()
+    planes = db.create_relation(
+        "planes", [("airline", "string"), ("id", "string"), ("flight", "mpoint")]
+    )
+    airlines = db.create_relation(
+        "airlines", [("code", "string"), ("country", "string")]
+    )
+    planes.insert(["LH", "LH1", MovingPoint.from_waypoints([(0, (0, 0)), (10, (9, 0))])])
+    planes.insert(["LH", "LH2", MovingPoint.from_waypoints([(0, (0, 5)), (10, (9, 5))])])
+    planes.insert(["AF", "AF1", MovingPoint.from_waypoints([(0, (0, 9)), (10, (9, 9))])])
+    planes.insert(["XX", "XX1", MovingPoint.from_waypoints([(0, (0, 1)), (10, (9, 1))])])
+    airlines.insert(["LH", "Germany"])
+    airlines.insert(["AF", "France"])
+    return db
+
+
+class TestSQLJoin:
+    def test_hash_join(self, join_db):
+        rows = join_db.query(
+            "SELECT p.id, a.country FROM planes p "
+            "JOIN airlines a ON p.airline = a.code ORDER BY p.id"
+        )
+        assert [(r["p.id"].value, r["a.country"].value) for r in rows] == [
+            ("AF1", "France"), ("LH1", "Germany"), ("LH2", "Germany"),
+        ]
+
+    def test_join_is_inner(self, join_db):
+        # XX has no airline row: dropped.
+        rows = join_db.query(
+            "SELECT p.id FROM planes p JOIN airlines a ON p.airline = a.code"
+        )
+        ids = {r["p.id"].value for r in rows}
+        assert "XX1" not in ids and len(ids) == 3
+
+    def test_join_key_order_irrelevant(self, join_db):
+        a = join_db.query(
+            "SELECT p.id FROM planes p JOIN airlines a ON p.airline = a.code"
+        )
+        b = join_db.query(
+            "SELECT p.id FROM planes p JOIN airlines a ON a.code = p.airline"
+        )
+        assert sorted(r["p.id"].value for r in a) == sorted(
+            r["p.id"].value for r in b
+        )
+
+    def test_non_equi_join_condition(self, join_db):
+        rows = join_db.query(
+            "SELECT p.id FROM planes p "
+            "JOIN airlines a ON a.country = 'France' AND p.airline = a.code"
+        )
+        assert [r["p.id"].value for r in rows] == ["AF1"]
+
+    def test_join_then_where_and_aggregate(self, join_db):
+        rows = join_db.query(
+            "SELECT a.country, count(*) AS n FROM planes p "
+            "JOIN airlines a ON p.airline = a.code "
+            "GROUP BY a.country ORDER BY a.country"
+        )
+        assert [(r["a.country"], r["n"]) for r in rows] == [
+            ("France", 1), ("Germany", 2),
+        ]
+
+    def test_join_missing_on_rejected(self, join_db):
+        with pytest.raises(QueryError):
+            join_db.query("SELECT p.id FROM planes p JOIN airlines a")
+
+
+class TestClosestPairs:
+    def test_index_matches_nested(self):
+        flights = {f"F{i}": f for i, f in enumerate(random_flights(12, legs=4, seed=3))}
+        with_index = closest_pairs(flights, threshold=800.0, use_index=True)
+        without = closest_pairs(flights, threshold=800.0, use_index=False)
+        assert with_index == without
+
+    def test_threshold_respected(self):
+        flights = {f"F{i}": f for i, f in enumerate(random_flights(10, legs=4, seed=8))}
+        for _a, _b, _t, d in closest_pairs(flights, threshold=500.0):
+            assert d < 500.0
+
+    def test_simple_pair(self):
+        a = MovingPoint.from_waypoints([(0, (0, 0)), (10, (10, 0))])
+        b = MovingPoint.from_waypoints([(0, (10, 0)), (10, (0, 0))])
+        got = closest_pairs({"a": a, "b": b}, threshold=1.0)
+        assert len(got) == 1
+        key_a, key_b, t, d = got[0]
+        assert (key_a, key_b) == ("a", "b")
+        assert t == pytest.approx(5.0)
+        assert d == pytest.approx(0.0)
+
+
+class TestInsidePairs:
+    def test_simple_hit(self):
+        mp = MovingPoint.from_waypoints([(0, (-5, 1)), (10, (15, 1))])
+        mr = MovingRegion(
+            [URegion.stationary(closed(0.0, 10.0), Region.box(0, 0, 4, 4))]
+        )
+        got = inside_pairs({"p": mp}, {"r": mr})
+        assert len(got) == 1
+        pk, rk, times = got[0]
+        assert (pk, rk) == ("p", "r")
+        assert times.total_length() == pytest.approx(2.0)
+
+    def test_index_matches_nested(self):
+        points = {
+            f"P{i}": f for i, f in enumerate(random_flights(6, legs=3, seed=21))
+        }
+        regions = {}
+        for k in range(3):
+            x = 2000.0 + k * 2500.0
+            regions[f"R{k}"] = MovingRegion(
+                [
+                    URegion.stationary(
+                        closed(0.0, 2000.0), Region.box(x, 2000, x + 2000, 6000)
+                    )
+                ]
+            )
+        assert inside_pairs(points, regions, use_index=True) == inside_pairs(
+            points, regions, use_index=False
+        )
+
+    def test_miss(self):
+        mp = MovingPoint.from_waypoints([(0, (100, 100)), (10, (110, 100))])
+        mr = MovingRegion(
+            [URegion.stationary(closed(0.0, 10.0), Region.box(0, 0, 4, 4))]
+        )
+        assert inside_pairs({"p": mp}, {"r": mr}) == []

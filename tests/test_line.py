@@ -1,0 +1,127 @@
+"""Tests for the line type (Section 3.2.2, Figure 2)."""
+
+import pytest
+
+from repro.errors import InvalidValue
+from repro.geometry.segment import make_seg
+from repro.spatial.line import Line
+
+
+class TestConstruction:
+    def test_empty(self):
+        l = Line()
+        assert len(l) == 0 and not l
+
+    def test_any_segment_set_is_a_line(self):
+        # Figure 2 (c): any set of (non-overlapping) segments is a line value.
+        l = Line([((0, 0), (1, 1)), ((5, 5), (6, 5)), ((0, 1), (1, 0))])
+        assert len(l) == 3
+
+    def test_rejects_collinear_overlap(self):
+        with pytest.raises(InvalidValue):
+            Line([((0, 0), (2, 0)), ((1, 0), (3, 0))])
+
+    def test_accepts_crossing_segments(self):
+        # Proper crossings are fine; only collinear overlap is forbidden.
+        l = Line([((0, 0), (2, 2)), ((0, 2), (2, 0))])
+        assert len(l) == 2
+
+    def test_accepts_touching_collinear(self):
+        # Sharing one endpoint is not an overlap.
+        l = Line([((0, 0), (1, 0)), ((1, 0), (2, 0))])
+        assert len(l) == 2
+
+    def test_from_unmerged_normalizes(self):
+        l = Line.from_unmerged([((0, 0), (2, 0)), ((1, 0), (3, 0))])
+        assert l == Line([((0, 0), (3, 0))])
+
+    def test_polyline(self):
+        l = Line.polyline([(0, 0), (1, 0), (1, 1)])
+        assert len(l) == 2
+
+    def test_canonical_order_and_equality(self):
+        a = Line([((0, 0), (1, 0)), ((5, 5), (6, 6))])
+        b = Line([((5, 5), (6, 6)), ((0, 0), (1, 0))])
+        assert a == b and hash(a) == hash(b)
+
+    def test_segments_canonicalized(self):
+        l = Line([((1, 1), (0, 0))])  # endpoints get swapped
+        assert l.segments[0] == ((0.0, 0.0), (1.0, 1.0))
+
+
+class TestNumeric:
+    def test_length(self):
+        assert Line.polyline([(0, 0), (3, 4), (3, 10)]).length() == pytest.approx(11.0)
+
+    def test_length_empty(self):
+        assert Line().length() == 0.0
+
+    def test_bbox(self):
+        bb = Line.polyline([(0, 0), (4, 2)]).bbox()
+        assert (bb.xmin, bb.ymin, bb.xmax, bb.ymax) == (0, 0, 4, 2)
+
+    def test_bbox_empty_raises(self):
+        with pytest.raises(InvalidValue):
+            Line().bbox()
+
+
+class TestPredicates:
+    def test_contains_point(self):
+        l = Line.polyline([(0, 0), (2, 2)])
+        assert l.contains_point((1, 1))
+        assert not l.contains_point((1, 0))
+
+    def test_intersects(self):
+        a = Line.polyline([(0, 0), (2, 2)])
+        b = Line.polyline([(0, 2), (2, 0)])
+        c = Line.polyline([(5, 5), (6, 6)])
+        assert a.intersects(b)
+        assert not a.intersects(c)
+
+    def test_crossings(self):
+        a = Line.polyline([(0, 0), (2, 2)])
+        b = Line.polyline([(0, 2), (2, 0)])
+        assert a.crossings(b) == [(1.0, 1.0)]
+
+
+class TestSetOps:
+    def test_union_merges_overlaps(self):
+        a = Line([((0, 0), (2, 0))])
+        b = Line([((1, 0), (3, 0))])
+        assert a.union(b) == Line([((0, 0), (3, 0))])
+
+    def test_intersection_keeps_overlap_only(self):
+        a = Line([((0, 0), (2, 0))])
+        b = Line([((1, 0), (3, 0))])
+        assert a.intersection(b) == Line([((1, 0), (2, 0))])
+
+    def test_intersection_drops_isolated_crossings(self):
+        # A crossing point is 0-dimensional: not part of a line value.
+        a = Line.polyline([(0, 0), (2, 2)])
+        b = Line.polyline([(0, 2), (2, 0)])
+        assert not a.intersection(b)
+
+    def test_difference(self):
+        a = Line([((0, 0), (3, 0))])
+        b = Line([((1, 0), (2, 0))])
+        d = a.difference(b)
+        assert d.length() == pytest.approx(2.0)
+        assert d.contains_point((0.5, 0))
+        assert not d.contains_point((1.5, 0))
+
+    def test_difference_disjoint(self):
+        a = Line([((0, 0), (1, 0))])
+        b = Line([((5, 5), (6, 5))])
+        assert a.difference(b) == a
+
+
+class TestHalfsegments:
+    def test_count(self):
+        l = Line.polyline([(0, 0), (1, 0), (2, 0)])
+        assert len(l.halfsegments()) == 4
+
+    def test_sorted(self):
+        l = Line([((3, 3), (4, 4)), ((0, 0), (1, 1))])
+        halves = l.halfsegments()
+        keys = [h.sort_key() for h in halves]
+        assert keys == sorted(keys)

@@ -1,0 +1,154 @@
+"""Tests for merge-segs, parity fragments, splitting, and the plumbline."""
+
+import pytest
+
+from repro.geometry.mergesegs import merge_segs, parity_fragments
+from repro.geometry.plumbline import crossings_above, point_in_segset
+from repro.geometry.segment import make_seg, seg_length
+from repro.geometry.splitting import split_at_intersections, split_segment
+
+
+def total_length(segs):
+    return sum(seg_length(s) for s in segs)
+
+
+class TestMergeSegs:
+    def test_disjoint_pass_through(self):
+        segs = [make_seg((0, 0), (1, 0)), make_seg((0, 1), (1, 1))]
+        assert sorted(merge_segs(segs)) == sorted(segs)
+
+    def test_overlapping_merge(self):
+        got = merge_segs([make_seg((0, 0), (2, 0)), make_seg((1, 0), (3, 0))])
+        assert got == [make_seg((0, 0), (3, 0))]
+
+    def test_adjacent_merge(self):
+        got = merge_segs([make_seg((0, 0), (1, 0)), make_seg((1, 0), (2, 0))])
+        assert got == [make_seg((0, 0), (2, 0))]
+
+    def test_contained_merge(self):
+        got = merge_segs([make_seg((0, 0), (4, 0)), make_seg((1, 0), (2, 0))])
+        assert got == [make_seg((0, 0), (4, 0))]
+
+    def test_collinear_with_gap_stays_split(self):
+        segs = [make_seg((0, 0), (1, 0)), make_seg((2, 0), (3, 0))]
+        assert merge_segs(segs) == sorted(segs)
+
+    def test_diagonal_merge(self):
+        got = merge_segs([make_seg((0, 0), (2, 2)), make_seg((1, 1), (3, 3))])
+        assert len(got) == 1
+        assert total_length(got) == pytest.approx(3 * 2**0.5)
+
+    def test_duplicates_merge(self):
+        s = make_seg((0, 0), (1, 1))
+        assert merge_segs([s, s]) == [s]
+
+    def test_many_pieces_one_carrier(self):
+        segs = [make_seg((float(i), 0), (float(i) + 1.5, 0)) for i in range(5)]
+        got = merge_segs(segs)
+        assert got == [make_seg((0, 0), (5.5, 0))]
+
+
+class TestParityFragments:
+    def test_single_segment_passes(self):
+        s = make_seg((0, 0), (1, 0))
+        assert parity_fragments([s]) == [s]
+
+    def test_double_coverage_cancels(self):
+        s = make_seg((0, 0), (1, 0))
+        assert parity_fragments([s, s]) == []
+
+    def test_partial_overlap_keeps_odd_parts(self):
+        # (0..2) and (1..3): (1..2) covered twice drops, rest stays.
+        got = parity_fragments(
+            [make_seg((0, 0), (2, 0)), make_seg((1, 0), (3, 0))]
+        )
+        assert got == [make_seg((0, 0), (1, 0)), make_seg((2, 0), (3, 0))]
+
+    def test_paper_example(self):
+        # Points ordered <p, r, q, s>: fragments (p,r),(r,q),(q,s); (r,q)
+        # has even coverage and is removed.
+        pq = make_seg((0, 0), (2, 0))
+        rs = make_seg((1, 0), (3, 0))
+        got = parity_fragments([pq, rs])
+        assert total_length(got) == pytest.approx(2.0)
+
+    def test_triple_coverage_is_odd(self):
+        s = make_seg((0, 0), (1, 0))
+        assert parity_fragments([s, s, s]) == [s]
+
+
+class TestSplitting:
+    def test_split_segment_at_interior_points(self):
+        s = make_seg((0, 0), (4, 0))
+        pieces = split_segment(s, [(1, 0), (3, 0)])
+        assert len(pieces) == 3
+        assert total_length(pieces) == pytest.approx(4.0)
+
+    def test_split_ignores_out_of_range_cuts(self):
+        s = make_seg((0, 0), (4, 0))
+        assert split_segment(s, [(5, 0), (0, 1)]) == [s]
+
+    def test_split_at_crossing(self):
+        a = [make_seg((0, 0), (2, 2))]
+        b = [make_seg((0, 2), (2, 0))]
+        ra, rb = split_at_intersections(a, b)
+        assert len(ra) == 2 and len(rb) == 2
+        assert total_length(ra) == pytest.approx(total_length(a))
+
+    def test_split_preserves_length(self):
+        a = [make_seg((0, 0), (10, 0)), make_seg((0, 5), (10, 5))]
+        b = [make_seg((5, -1), (5, 6))]
+        ra, rb = split_at_intersections(a, b)
+        assert total_length(ra) == pytest.approx(total_length(a))
+        assert total_length(rb) == pytest.approx(total_length(b))
+
+    def test_collinear_overlap_split(self):
+        a = [make_seg((0, 0), (2, 0))]
+        b = [make_seg((1, 0), (3, 0))]
+        ra, rb = split_at_intersections(a, b)
+        assert make_seg((1, 0), (2, 0)) in ra
+        assert make_seg((1, 0), (2, 0)) in rb
+
+
+SQUARE = [
+    make_seg((0, 0), (4, 0)),
+    make_seg((4, 0), (4, 4)),
+    make_seg((0, 4), (4, 4)),
+    make_seg((0, 0), (0, 4)),
+]
+
+
+class TestPlumbline:
+    def test_inside(self):
+        assert point_in_segset((2, 2), SQUARE)
+
+    def test_outside(self):
+        assert not point_in_segset((5, 2), SQUARE)
+        assert not point_in_segset((2, 5), SQUARE)
+
+    def test_boundary_counts_by_default(self):
+        assert point_in_segset((0, 2), SQUARE)
+        assert point_in_segset((2, 0), SQUARE)
+
+    def test_boundary_excluded_when_asked(self):
+        assert not point_in_segset((0, 2), SQUARE, boundary_counts=False)
+
+    def test_vertex_point(self):
+        assert point_in_segset((0, 0), SQUARE)
+
+    def test_crossings_count(self):
+        assert crossings_above((2, 2), SQUARE) == 1
+        assert crossings_above((2, -1), SQUARE) == 2
+        assert crossings_above((5, 2), SQUARE) == 0
+
+    def test_ray_through_vertex_counts_once(self):
+        # Diamond: ray from below its bottom vertex crosses the boundary an
+        # even number of times; parity must still classify correctly.
+        diamond = [
+            make_seg((0, 0), (2, 2)),
+            make_seg((2, 2), (4, 0)),
+            make_seg((2, -2), (4, 0)),
+            make_seg((0, 0), (2, -2)),
+        ]
+        assert point_in_segset((2, 0), diamond)
+        assert not point_in_segset((2, 3), diamond)

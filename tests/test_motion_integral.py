@@ -1,0 +1,106 @@
+"""Tests for motion derivatives (velocity/heading) and moving-real integrals."""
+
+import math
+
+import pytest
+
+from repro.errors import UndefinedValue
+from repro.ranges.interval import Interval, closed
+from repro.temporal.mapping import MovingPoint, MovingReal
+from repro.temporal.ureal import UReal
+from repro.ops.motion import heading, turning_points, velocity
+
+
+class TestVelocity:
+    def test_piecewise_constant(self):
+        mp = MovingPoint.from_waypoints([(0, (0, 0)), (10, (10, 0)), (20, (10, 20))])
+        vx, vy = velocity(mp)
+        assert vx.value_at(5.0).value == pytest.approx(1.0)
+        assert vy.value_at(5.0).value == pytest.approx(0.0)
+        assert vx.value_at(15.0).value == pytest.approx(0.0)
+        assert vy.value_at(15.0).value == pytest.approx(2.0)
+
+    def test_speed_consistency(self):
+        mp = MovingPoint.from_waypoints([(0, (0, 0)), (10, (30, 40))])
+        vx, vy = velocity(mp)
+        sp = mp.speed()
+        t = 5.0
+        assert sp.value_at(t).value == pytest.approx(
+            math.hypot(vx.value_at(t).value, vy.value_at(t).value)
+        )
+
+
+class TestHeading:
+    def test_heading_values(self):
+        mp = MovingPoint.from_waypoints([(0, (0, 0)), (10, (10, 0)), (20, (10, 10))])
+        h = heading(mp)
+        assert h.value_at(5.0).value == pytest.approx(0.0)
+        assert h.value_at(15.0).value == pytest.approx(math.pi / 2)
+
+    def test_stationary_heading_undefined(self):
+        mp = MovingPoint.from_waypoints([(0, (0, 0)), (10, (5, 0)), (20, (5, 0))])
+        h = heading(mp)
+        assert h.value_at(15.0) is None
+        assert h.value_at(5.0) is not None
+
+    def test_turning_points(self):
+        mp = MovingPoint.from_waypoints(
+            [(0, (0, 0)), (10, (10, 0)), (20, (10, 10)), (30, (20, 20))]
+        )
+        assert turning_points(mp) == [10.0, 20.0]
+
+    def test_no_turning_on_straight_track(self):
+        mp = MovingPoint.from_waypoints([(0, (0, 0)), (10, (5, 5)), (20, (10, 10))])
+        assert turning_points(mp) == []
+
+
+class TestIntegral:
+    def test_constant(self):
+        m = MovingReal([UReal.constant(closed(0.0, 4.0), 2.5)])
+        assert m.integral() == pytest.approx(10.0)
+
+    def test_linear(self):
+        m = MovingReal([UReal(closed(0.0, 10.0), 0, 1, 0)])  # t
+        assert m.integral() == pytest.approx(50.0)
+
+    def test_quadratic(self):
+        m = MovingReal([UReal(closed(0.0, 3.0), 1, 0, 0)])  # t²
+        assert m.integral() == pytest.approx(9.0)
+
+    def test_sqrt_exact_case(self):
+        # sqrt((t)²) = |t| = t on [0, 4]: integral 8.
+        m = MovingReal([UReal(closed(0.0, 4.0), 1, 0, 0, r=True)])
+        assert m.integral() == pytest.approx(8.0, rel=1e-9)
+
+    def test_sqrt_circle_quarter(self):
+        # sqrt(1 - t²) over [0, 1] integrates to pi/4.
+        m = MovingReal([UReal(closed(0.0, 1.0), -1, 0, 1, r=True)])
+        assert m.integral() == pytest.approx(math.pi / 4, rel=1e-5)
+
+    def test_multi_unit_sum(self):
+        m = MovingReal(
+            [
+                UReal(Interval(0.0, 1.0, True, False), 0, 0, 1.0),
+                UReal(closed(1.0, 2.0), 0, 0, 3.0),
+            ]
+        )
+        assert m.integral() == pytest.approx(4.0)
+
+    def test_average(self):
+        m = MovingReal([UReal(closed(0.0, 10.0), 0, 1, 0)])
+        assert m.time_weighted_average() == pytest.approx(5.0)
+
+    def test_average_zero_duration_raises(self):
+        m = MovingReal([UReal(Interval(1.0, 1.0), 0, 0, 5.0)])
+        with pytest.raises(UndefinedValue):
+            m.time_weighted_average()
+
+    def test_distance_integral_is_path_area(self):
+        # Average distance of two points moving apart at speed 1 from 0:
+        # d(t) = t, average over [0, 10] = 5.
+        from repro.ops.distance import mpoint_distance
+
+        a = MovingPoint.from_waypoints([(0, (0, 0)), (10, (10, 0))])
+        b = MovingPoint.from_waypoints([(0, (0, 0)), (10, (10, 10))])
+        d = mpoint_distance(a, b)
+        assert d.time_weighted_average() == pytest.approx(5.0, rel=1e-6)

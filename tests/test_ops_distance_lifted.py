@@ -1,0 +1,163 @@
+"""Tests for lifted distance, arithmetic, comparisons, and boolean ops."""
+
+import math
+
+import pytest
+
+from repro.base.values import BoolVal
+from repro.errors import NotClosed
+from repro.ranges.interval import Interval, closed
+from repro.ranges.rangeset import RangeSet
+from repro.spatial.point import Point
+from repro.temporal.mapping import MovingBool, MovingPoint, MovingReal
+from repro.temporal.ureal import UReal
+from repro.ops.distance import closest_approach, mpoint_distance, mpoint_static_distance
+from repro.ops.lifted import (
+    mbool_and,
+    mbool_not,
+    mbool_or,
+    mreal_add,
+    mreal_compare,
+    mreal_scale,
+    mreal_sub,
+)
+
+
+class TestDistance:
+    def test_head_on(self):
+        a = MovingPoint.from_waypoints([(0, (0, 0)), (10, (10, 0))])
+        b = MovingPoint.from_waypoints([(0, (10, 0)), (10, (0, 0))])
+        d = mpoint_distance(a, b)
+        assert d.value_at(0.0).value == pytest.approx(10.0)
+        assert d.value_at(5.0).value == pytest.approx(0.0)
+        assert d.minimum() == pytest.approx(0.0)
+
+    def test_sqrt_units(self):
+        a = MovingPoint.from_waypoints([(0, (0, 0)), (10, (10, 0))])
+        b = MovingPoint.from_waypoints([(0, (0, 1)), (10, (10, 1))])
+        d = mpoint_distance(a, b)
+        assert all(u.is_sqrt for u in d.units)
+        assert d.value_at(3.0).value == pytest.approx(1.0)
+
+    def test_defined_on_common_time_only(self):
+        a = MovingPoint.from_waypoints([(0, (0, 0)), (10, (10, 0))])
+        b = MovingPoint.from_waypoints([(5, (0, 1)), (20, (10, 1))])
+        d = mpoint_distance(a, b)
+        assert d.deftime() == RangeSet([closed(5.0, 10.0)])
+
+    def test_static_distance(self):
+        a = MovingPoint.from_waypoints([(0, (0, 0)), (10, (10, 0))])
+        d = mpoint_static_distance(a, Point(5, 0))
+        assert d.minimum() == pytest.approx(0.0)
+        assert d.value_at(0.0).value == pytest.approx(5.0)
+
+    def test_closest_approach(self):
+        a = MovingPoint.from_waypoints([(0, (0, 0)), (10, (10, 10))])
+        b = MovingPoint.from_waypoints([(0, (10, 0)), (10, (0, 10))])
+        t, dmin = closest_approach(a, b)
+        assert t == pytest.approx(5.0)
+        assert dmin == pytest.approx(0.0)
+
+    def test_closest_approach_parallel(self):
+        a = MovingPoint.from_waypoints([(0, (0, 0)), (10, (10, 0))])
+        b = MovingPoint.from_waypoints([(0, (0, 3)), (10, (10, 3))])
+        t, dmin = closest_approach(a, b)
+        assert dmin == pytest.approx(3.0)
+        assert t == pytest.approx(0.0)  # earliest minimal instant
+
+
+class TestLiftedArithmetic:
+    def test_add(self):
+        iv = closed(0.0, 10.0)
+        a = MovingReal([UReal(iv, 0, 1, 0)])
+        b = MovingReal([UReal(iv, 0, 0, 5)])
+        s = mreal_add(a, b)
+        assert s.value_at(3.0).value == pytest.approx(8.0)
+
+    def test_sub(self):
+        iv = closed(0.0, 10.0)
+        a = MovingReal([UReal(iv, 0, 2, 0)])
+        b = MovingReal([UReal(iv, 0, 1, 0)])
+        d = mreal_sub(a, b)
+        assert d.value_at(4.0).value == pytest.approx(4.0)
+
+    def test_add_refines_intervals(self):
+        a = MovingReal([UReal(closed(0.0, 10.0), 0, 1, 0)])
+        b = MovingReal([UReal(closed(5.0, 15.0), 0, 0, 1)])
+        s = mreal_add(a, b)
+        assert s.deftime() == RangeSet([closed(5.0, 10.0)])
+
+    def test_add_sqrt_not_closed(self):
+        iv = closed(0.0, 10.0)
+        a = MovingReal([UReal(iv, 0, 0, 4, r=True)])
+        b = MovingReal([UReal(iv, 0, 0, 1)])
+        with pytest.raises(NotClosed):
+            mreal_add(a, b)
+
+    def test_scale(self):
+        a = MovingReal([UReal(closed(0.0, 10.0), 0, 1, 0)])
+        assert mreal_scale(a, 3.0).value_at(2.0).value == pytest.approx(6.0)
+
+
+class TestLiftedComparison:
+    def test_compare_with_constant(self):
+        m = MovingReal([UReal(closed(0.0, 10.0), 0, 1, 0)])  # f(t) = t
+        mb = mreal_compare(m, "<", 4.0)
+        assert mb.when(True) == RangeSet([Interval(0.0, 4.0, True, False)])
+
+    def test_compare_two_movings(self):
+        iv = closed(0.0, 10.0)
+        a = MovingReal([UReal(iv, 0, 1, 0)])  # t
+        b = MovingReal([UReal(iv, 0, -1, 10)])  # 10 - t
+        mb = mreal_compare(a, ">", b)
+        assert mb.when(True) == RangeSet([Interval(5.0, 10.0, False, True)])
+
+    def test_equality_instant(self):
+        iv = closed(0.0, 10.0)
+        a = MovingReal([UReal(iv, 0, 1, 0)])
+        mb = mreal_compare(a, "==", 5.0)
+        on = mb.when(True)
+        assert len(on) == 1 and on.intervals[0].is_degenerate
+
+    def test_touching_parabola(self):
+        # (t-5)² > 0 everywhere except exactly t=5.
+        m = MovingReal([UReal(closed(0.0, 10.0), 1, -10, 25)])
+        mb = mreal_compare(m, ">", 0.0)
+        off = mb.when(False)
+        assert len(off) == 1
+        assert off.intervals[0].is_degenerate
+        assert off.intervals[0].s == pytest.approx(5.0)
+
+    def test_sqrt_vs_constant(self):
+        m = MovingReal([UReal(closed(0.0, 10.0), 0, 1, 0, r=True)])  # sqrt(t)
+        mb = mreal_compare(m, ">=", 2.0)
+        assert mb.when(True) == RangeSet([closed(4.0, 10.0)])
+
+
+class TestMovingBoolOps:
+    def mb(self, pieces):
+        return MovingBool.piecewise(pieces)
+
+    def test_and(self):
+        a = self.mb([(closed(0.0, 10.0), True)])
+        b = self.mb(
+            [(closed(0.0, 4.0), True), (Interval(4.0, 10.0, False, True), False)]
+        )
+        got = mbool_and(a, b)
+        assert got.when(True) == RangeSet([closed(0.0, 4.0)])
+
+    def test_or(self):
+        a = self.mb([(closed(0.0, 4.0), True), (Interval(4.0, 10.0, False, True), False)])
+        b = self.mb([(closed(0.0, 2.0), False), (Interval(2.0, 10.0, False, True), True)])
+        got = mbool_or(a, b)
+        assert got.when(True) == RangeSet([closed(0.0, 10.0)])
+
+    def test_not(self):
+        a = self.mb([(closed(0.0, 4.0), True)])
+        assert mbool_not(a).when(False) == RangeSet([closed(0.0, 4.0)])
+
+    def test_and_defined_on_common_time(self):
+        a = self.mb([(closed(0.0, 4.0), True)])
+        b = self.mb([(closed(2.0, 8.0), True)])
+        got = mbool_and(a, b)
+        assert got.deftime() == RangeSet([closed(2.0, 4.0)])

@@ -1,0 +1,186 @@
+"""Tests for the extended operations: pointwise min/max, static-target
+distances, SQL aggregation/ordering, and the operation signature table."""
+
+import math
+
+import pytest
+
+from repro.db import Database
+from repro.db.expressions import function_names
+from repro.errors import QueryError
+from repro.ranges.interval import Interval, closed
+from repro.spatial.line import Line
+from repro.spatial.region import Region
+from repro.temporal.mapping import MovingPoint, MovingReal
+from repro.temporal.ureal import UReal
+from repro.ops.distance import mpoint_line_distance, mpoint_region_distance
+from repro.ops.lifted import mreal_max, mreal_min
+from repro.ops.signatures import OPERATIONS, sql_exposed, well_formed
+
+
+class TestPointwiseMinMax:
+    def test_crossing_lines(self):
+        iv = closed(0.0, 10.0)
+        a = MovingReal([UReal(iv, 0, 1, 0)])  # t
+        b = MovingReal([UReal(iv, 0, -1, 10)])  # 10 - t
+        mn, mx = mreal_min(a, b), mreal_max(a, b)
+        for t in (0.0, 2.0, 5.0, 8.0, 10.0):
+            assert mn.value_at(t).value == pytest.approx(min(t, 10 - t))
+            assert mx.value_at(t).value == pytest.approx(max(t, 10 - t))
+
+    def test_sqrt_forms(self):
+        iv = closed(0.0, 10.0)
+        a = MovingReal([UReal(iv, 1, -10, 26, r=True)])  # sqrt((t-5)²+1)
+        b = MovingReal([UReal(iv, 0, 0, 9, r=True)])  # 3
+        mn = mreal_min(a, b)
+        assert mn.value_at(5.0).value == pytest.approx(1.0)
+        assert mn.value_at(0.0).value == pytest.approx(3.0)
+
+    def test_min_respects_deftime(self):
+        a = MovingReal([UReal(closed(0.0, 4.0), 0, 0, 1)])
+        b = MovingReal([UReal(closed(2.0, 8.0), 0, 0, 2)])
+        mn = mreal_min(a, b)
+        assert mn.deftime().minimum == 2.0
+        assert mn.deftime().maximum == 4.0
+
+    def test_min_max_complement(self):
+        iv = closed(0.0, 6.0)
+        a = MovingReal([UReal(iv, 1, -6, 8)])
+        b = MovingReal([UReal(iv, 0, 0, 2)])
+        mn, mx = mreal_min(a, b), mreal_max(a, b)
+        for t in (0.0, 1.5, 3.0, 4.5, 6.0):
+            total = mn.value_at(t).value + mx.value_at(t).value
+            expected = a.value_at(t).value + b.value_at(t).value
+            assert total == pytest.approx(expected)
+
+
+class TestStaticTargetDistance:
+    def test_line_distance_matches_pointwise(self):
+        mp = MovingPoint.from_waypoints([(0, (-5, 3)), (10, (15, 3))])
+        line = Line([((0, 0), (4, 0)), ((10, -2), (10, 2))])
+        d = mpoint_line_distance(mp, line)
+
+        def expected(px, py):
+            best = math.inf
+            for (ax, ay), (bx, by) in line.segments:
+                ux, uy = bx - ax, by - ay
+                lam = ((px - ax) * ux + (py - ay) * uy) / (ux * ux + uy * uy)
+                lam = min(max(lam, 0.0), 1.0)
+                best = min(best, math.hypot(px - ax - lam * ux, py - ay - lam * uy))
+            return best
+
+        for k in range(21):
+            t = k / 2.0
+            p = mp.value_at(t)
+            assert d.value_at(t).value == pytest.approx(expected(p.x, p.y), abs=1e-8)
+
+    def test_region_distance_zero_inside(self):
+        mp = MovingPoint.from_waypoints([(0, (-5, 2)), (10, (15, 2))])
+        reg = Region.box(0, 0, 4, 4)
+        d = mpoint_region_distance(mp, reg)
+        assert d.value_at(3.0).value == pytest.approx(0.0)  # inside
+        assert d.value_at(0.0).value == pytest.approx(5.0)
+        assert d.value_at(10.0).value == pytest.approx(11.0)
+
+    def test_region_distance_continuous_at_boundary(self):
+        mp = MovingPoint.from_waypoints([(0, (-5, 2)), (10, (15, 2))])
+        reg = Region.box(0, 0, 4, 4)
+        d = mpoint_region_distance(mp, reg)
+        enter_t = 2.5  # x(t) = -5 + 2t = 0
+        assert d.value_at(enter_t - 1e-6).value == pytest.approx(0.0, abs=1e-4)
+
+    def test_empty_inputs(self):
+        assert not mpoint_line_distance(MovingPoint([]), Line())
+        assert not mpoint_region_distance(MovingPoint([]), Region())
+
+
+@pytest.fixture
+def stats_db():
+    db = Database()
+    rel = db.create_relation(
+        "planes", [("airline", "string"), ("id", "string"), ("flight", "mpoint")]
+    )
+    rel.insert(["LH", "A", MovingPoint.from_waypoints([(0, (0, 0)), (10, (600, 0))])])
+    rel.insert(["LH", "B", MovingPoint.from_waypoints([(0, (0, 0)), (10, (300, 0))])])
+    rel.insert(["AF", "C", MovingPoint.from_waypoints([(0, (0, 0)), (10, (100, 0))])])
+    return db
+
+
+class TestSQLAggregation:
+    def test_group_by_count_avg(self, stats_db):
+        rows = stats_db.query(
+            "SELECT airline, count(*) AS n, avg(length(trajectory(flight))) AS m "
+            "FROM planes GROUP BY airline ORDER BY airline"
+        )
+        assert [(r["airline"], r["n"], r["m"]) for r in rows] == [
+            ("AF", 1, 100.0),
+            ("LH", 2, 450.0),
+        ]
+
+    def test_global_aggregates(self, stats_db):
+        rows = stats_db.query(
+            "SELECT count(*) AS n, max(length(trajectory(flight))) AS longest "
+            "FROM planes"
+        )
+        assert rows == [{"n": 3, "longest": 600.0}]
+
+    def test_sum_min(self, stats_db):
+        rows = stats_db.query(
+            "SELECT sum(length(trajectory(flight))) AS s, "
+            "min(length(trajectory(flight))) AS lo FROM planes"
+        )
+        assert rows[0]["s"] == pytest.approx(1000.0)
+        assert rows[0]["lo"] == pytest.approx(100.0)
+
+    def test_order_by_expression_desc(self, stats_db):
+        rows = stats_db.query(
+            "SELECT id FROM planes ORDER BY length(trajectory(flight)) DESC"
+        )
+        assert [r["id"].value for r in rows] == ["A", "B", "C"]
+
+    def test_order_by_multiple_keys(self, stats_db):
+        rows = stats_db.query(
+            "SELECT airline, id FROM planes ORDER BY airline ASC, id DESC"
+        )
+        assert [(r["airline"].value, r["id"].value) for r in rows] == [
+            ("AF", "C"), ("LH", "B"), ("LH", "A"),
+        ]
+
+    def test_nonaggregate_output_must_be_grouped(self, stats_db):
+        with pytest.raises(QueryError):
+            stats_db.query("SELECT id, count(*) AS n FROM planes GROUP BY airline")
+
+    def test_aggregate_without_group_rejects_plain_column(self, stats_db):
+        with pytest.raises(QueryError):
+            stats_db.query("SELECT id, count(*) AS n FROM planes")
+
+    def test_integral_in_sql(self, stats_db):
+        rows = stats_db.query(
+            "SELECT id, integral(speed(flight)) AS travelled FROM planes "
+            "WHERE id = 'A'"
+        )
+        assert rows[0]["travelled"] == pytest.approx(600.0)
+
+
+class TestSignatureTable:
+    def test_all_signatures_well_formed(self):
+        assert well_formed() == []
+
+    def test_sql_exposed_functions_registered(self):
+        available = set(function_names())
+        for op in sql_exposed():
+            assert op.sql_name in available, f"{op.sql_name} missing from registry"
+
+    def test_section2_table_present(self):
+        # The exact six operations of the paper's Section-2 table.
+        names = {(op.name, op.args, op.result) for op in OPERATIONS}
+        assert ("trajectory", ("mapping(upoint)",), "line") in names
+        assert ("length", ("line",), "real") in names
+        assert (
+            "distance",
+            ("mapping(upoint)", "mapping(upoint)"),
+            "mapping(ureal)",
+        ) in names
+        assert ("atmin", ("mapping(ureal)",), "mapping(ureal)") in names
+        assert ("initial", ("mapping(ureal)",), "intime(real)") in names
+        assert ("val", ("intime(real)",), "real") in names

@@ -1,0 +1,149 @@
+"""Tests for the Section 5.2 inside algorithm."""
+
+import pytest
+
+from repro.base.values import BoolVal
+from repro.ranges.interval import Interval, closed
+from repro.ranges.rangeset import RangeSet
+from repro.spatial.region import Region
+from repro.temporal.mapping import MovingPoint, MovingRegion
+from repro.temporal.uconst import ConstUnit
+from repro.temporal.upoint import UPoint
+from repro.temporal.uregion import URegion
+from repro.ops.inside import inside, upoint_uregion_inside
+
+
+def stationary_region(x0, y0, x1, y1, t0=0.0, t1=100.0):
+    return MovingRegion(
+        [URegion.stationary(closed(t0, t1), Region.box(x0, y0, x1, y1))]
+    )
+
+
+class TestUnitLevel:
+    def test_pass_through(self):
+        up = UPoint.between(0.0, (-5, 2), 10.0, (15, 2))
+        ur = URegion.stationary(closed(0.0, 10.0), Region.box(0, 0, 4, 4))
+        units = upoint_uregion_inside(up, ur)
+        values = [(u.interval.s, u.interval.e, bool(u.value.value)) for u in units]
+        assert values == [
+            (0.0, 2.5, False),
+            (2.5, 4.5, True),
+            (4.5, 10.0, False),
+        ]
+
+    def test_true_pieces_closed_false_pieces_open(self):
+        up = UPoint.between(0.0, (-5, 2), 10.0, (15, 2))
+        ur = URegion.stationary(closed(0.0, 10.0), Region.box(0, 0, 4, 4))
+        units = upoint_uregion_inside(up, ur)
+        # At the crossing instant the point is on the boundary → inside.
+        middle = units[1]
+        assert middle.interval.lc and middle.interval.rc
+        assert not units[0].interval.rc
+        assert not units[2].interval.lc
+
+    def test_never_inside(self):
+        up = UPoint.between(0.0, (0, 10), 10.0, (10, 10))
+        ur = URegion.stationary(closed(0.0, 10.0), Region.box(0, 0, 4, 4))
+        units = upoint_uregion_inside(up, ur)
+        assert len(units) == 1 and units[0].value == BoolVal(False)
+
+    def test_always_inside(self):
+        up = UPoint.between(0.0, (1, 1), 10.0, (3, 3))
+        ur = URegion.stationary(closed(0.0, 10.0), Region.box(0, 0, 4, 4))
+        units = upoint_uregion_inside(up, ur)
+        assert len(units) == 1 and units[0].value == BoolVal(True)
+
+    def test_far_apart_bbox_shortcut_reports_false(self):
+        up = UPoint.between(0.0, (100, 100), 10.0, (110, 100))
+        ur = URegion.stationary(closed(0.0, 10.0), Region.box(0, 0, 4, 4))
+        units = upoint_uregion_inside(up, ur)
+        assert len(units) == 1 and units[0].value == BoolVal(False)
+
+    def test_disjoint_time_intervals(self):
+        up = UPoint.between(0.0, (0, 0), 1.0, (1, 0))
+        ur = URegion.stationary(closed(5.0, 6.0), Region.box(0, 0, 4, 4))
+        assert upoint_uregion_inside(up, ur) == []
+
+    def test_enter_only(self):
+        up = UPoint.between(0.0, (-5, 2), 10.0, (2, 2))
+        ur = URegion.stationary(closed(0.0, 10.0), Region.box(0, 0, 4, 4))
+        units = upoint_uregion_inside(up, ur)
+        assert [bool(u.value.value) for u in units] == [False, True]
+
+    def test_point_in_hole(self):
+        holed = Region.polygon(
+            [(0, 0), (10, 0), (10, 10), (0, 10)],
+            holes=[[(4, 4), (6, 4), (6, 6), (4, 6)]],
+        )
+        # Travels through the hole: inside, outside (hole), inside.
+        up = UPoint.between(0.0, (1, 5), 10.0, (9, 5))
+        ur = URegion.stationary(closed(0.0, 10.0), holed)
+        units = upoint_uregion_inside(up, ur)
+        assert [bool(u.value.value) for u in units] == [True, False, True]
+
+    def test_moving_region_crossing(self):
+        # Region moves right over a stationary point.
+        r0, r1 = Region.box(10, 0, 14, 4), Region.box(-14, 0, -10, 4)
+        ur = URegion.between_regions(0.0, r0, 10.0, r1)
+        up = UPoint.stationary(closed(0.0, 10.0), (0, 2))
+        units = upoint_uregion_inside(up, ur)
+        assert [bool(u.value.value) for u in units] == [False, True, False]
+
+    def test_degenerate_instant_interval(self):
+        up = UPoint.stationary(Interval(5.0, 5.0), (2, 2))
+        ur = URegion.stationary(closed(0.0, 10.0), Region.box(0, 0, 4, 4))
+        units = upoint_uregion_inside(up, ur)
+        assert len(units) == 1
+        assert units[0].interval.is_degenerate
+        assert units[0].value == BoolVal(True)
+
+    def test_vertex_grazing_falls_back_to_sampling(self):
+        # The point passes exactly through the corner (4, 4): a vertex
+        # hit touches two boundary segments at once.
+        up = UPoint.between(0.0, (3, 5), 10.0, (5, 3))
+        ur = URegion.stationary(closed(0.0, 10.0), Region.box(0, 0, 4, 4))
+        units = upoint_uregion_inside(up, ur)
+        # Inside only at the touch instant or never properly inside;
+        # whatever the slicing, it must never report a long inside piece.
+        true_time = sum(
+            u.interval.length for u in units if bool(u.value.value)
+        )
+        assert true_time == pytest.approx(0.0, abs=1e-6)
+
+
+class TestMappingLevel:
+    def test_multi_unit_point(self):
+        mp = MovingPoint.from_waypoints(
+            [(0, (-5, 2)), (10, (15, 2)), (20, (-5, 2))]
+        )
+        mr = stationary_region(0, 0, 4, 4, 0.0, 20.0)
+        mb = inside(mp, mr)
+        on = mb.when(True)
+        assert len(on) == 2
+        assert on.total_length() == pytest.approx(4.0)
+
+    def test_result_defined_only_on_common_time(self):
+        mp = MovingPoint.from_waypoints([(0, (1, 1)), (10, (1, 1.5))])
+        mr = stationary_region(0, 0, 4, 4, 5.0, 20.0)
+        mb = inside(mp, mr)
+        assert mb.deftime() == RangeSet([closed(5.0, 10.0)])
+
+    def test_concat_merges_across_refinement(self):
+        # Point sits inside; region is described by two distinct adjacent
+        # units (different extents), so the refinement partition cuts at
+        # t=5 — yet the resulting bool units merge back into one.
+        mr = MovingRegion(
+            [
+                URegion.stationary(
+                    Interval(0.0, 5.0, True, False), Region.box(0, 0, 4, 4)
+                ),
+                URegion.stationary(closed(5.0, 10.0), Region.box(0, 0, 5, 5)),
+            ]
+        )
+        mp = MovingPoint.from_waypoints([(0, (1, 1)), (10, (2, 2))])
+        mb = inside(mp, mr)
+        assert len(mb) == 1  # merged into a single true unit
+        assert mb.when(True).total_length() == pytest.approx(10.0)
+
+    def test_empty_inputs(self):
+        assert inside(MovingPoint([]), MovingRegion([])).units == ()

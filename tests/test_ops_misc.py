@@ -1,0 +1,185 @@
+"""Tests for atinstant, aggregates, numeric lifts, and projections."""
+
+import math
+
+import pytest
+
+from repro.base.values import RealVal
+from repro.errors import UndefinedValue
+from repro.ranges.interval import Interval, closed
+from repro.ranges.rangeset import RangeSet
+from repro.spatial.line import Line
+from repro.spatial.region import Region
+from repro.temporal.mapping import (
+    MovingLine,
+    MovingPoint,
+    MovingReal,
+    MovingRegion,
+)
+from repro.temporal.uline import ULine
+from repro.temporal.ureal import UReal
+from repro.temporal.uregion import URegion
+from repro.ops.aggregates import final, initial, inst, mreal_atmax, mreal_atmin, val
+from repro.ops.interaction import mpoint_at_region, mregion_atinstant, passes
+from repro.ops.numeric import mline_length, mregion_area, mregion_perimeter
+from repro.ops.projection import traversed
+
+
+def translating_region(t0=0.0, t1=10.0):
+    return MovingRegion(
+        [URegion.between_regions(t0, Region.box(0, 0, 4, 4), t1, Region.box(6, 0, 10, 4))]
+    )
+
+
+class TestMRegionAtInstant:
+    def test_interior_structured(self):
+        mr = translating_region()
+        r = mregion_atinstant(mr, 5.0)
+        assert r.area() == pytest.approx(16.0)
+        assert len(r.faces) == 1
+
+    def test_interior_unstructured_fast_path(self):
+        mr = translating_region()
+        r = mregion_atinstant(mr, 5.0, structured=False)
+        assert r.area() == pytest.approx(16.0)
+
+    def test_outside_returns_empty(self):
+        mr = translating_region()
+        assert mregion_atinstant(mr, 99.0) == Region()
+
+    def test_endpoint_cleanup_path(self):
+        from repro.temporal.interpolate import collapse_to_point
+
+        u = collapse_to_point(0.0, Region.box(0, 0, 4, 4), 10.0, (2, 2))
+        mr = MovingRegion([u])
+        assert mregion_atinstant(mr, 10.0) == Region()
+        assert mregion_atinstant(mr, 0.0).area() == pytest.approx(16.0)
+
+    def test_binary_search_over_many_units(self):
+        # Zig-zag motion so adjacent unit functions genuinely differ.
+        units = []
+        for k in range(50):
+            t0, t1 = float(k), float(k + 1)
+            y0 = float(k % 2)
+            y1 = float((k + 1) % 2)
+            units.append(
+                URegion.between_regions(
+                    t0,
+                    Region.box(k, y0, k + 2, y0 + 2),
+                    t1,
+                    Region.box(k + 1, y1, k + 3, y1 + 2),
+                ).with_interval(Interval(t0, t1, True, False))
+            )
+        mr = MovingRegion(units)
+        r = mregion_atinstant(mr, 25.5)
+        assert r.area() == pytest.approx(4.0)
+        assert r.bbox().xmin == pytest.approx(25.5)
+
+
+class TestAggregates:
+    def test_atmin_restricts(self):
+        m = MovingReal([UReal(closed(0.0, 10.0), 1, -10, 25)])  # (t-5)²
+        got = mreal_atmin(m)
+        assert got.deftime() == RangeSet([Interval(5.0, 5.0)])
+        assert got.value_at(5.0).value == pytest.approx(0.0)
+
+    def test_atmin_across_units(self):
+        m = MovingReal(
+            [
+                UReal(closed(0.0, 1.0), 0, 0, 3.0),
+                UReal(Interval(1.0, 2.0, False, True), 0, -1, 3.0),  # down to 1
+            ]
+        )
+        got = mreal_atmin(m)
+        assert got.deftime() == RangeSet([Interval(2.0, 2.0)])
+
+    def test_atmin_constant_keeps_whole_unit(self):
+        m = MovingReal([UReal(closed(0.0, 10.0), 0, 0, 7.0)])
+        got = mreal_atmin(m)
+        assert got.deftime() == RangeSet([closed(0.0, 10.0)])
+
+    def test_atmax(self):
+        m = MovingReal([UReal(closed(0.0, 10.0), 0, 1, 0)])
+        got = mreal_atmax(m)
+        assert got.deftime() == RangeSet([Interval(10.0, 10.0)])
+
+    def test_initial_final_val_inst(self):
+        m = MovingReal([UReal(closed(2.0, 10.0), 0, 1, 0)])
+        first = initial(m)
+        assert val(first).value == pytest.approx(2.0)
+        assert inst(first).value == pytest.approx(2.0)
+        assert val(final(m)).value == pytest.approx(10.0)
+
+    def test_val_of_none_raises(self):
+        with pytest.raises(UndefinedValue):
+            val(None)
+
+    def test_empty_atmin(self):
+        assert len(mreal_atmin(MovingReal([]))) == 0
+
+
+class TestNumericLifts:
+    def test_area_constant(self):
+        mr = translating_region()
+        a = mregion_area(mr)
+        assert a.value_at(3.0).value == pytest.approx(16.0)
+
+    def test_area_quadratic_under_scaling(self):
+        mr = MovingRegion(
+            [
+                URegion.between_regions(
+                    0.0, Region.box(-1, -1, 1, 1), 10.0, Region.box(-3, -3, 3, 3)
+                )
+            ]
+        )
+        a = mregion_area(mr)
+        # side(t) = 2 + 0.4 t, area = (2 + 0.4t)²: check at several times.
+        for t in (0.0, 2.5, 5.0, 7.5, 10.0):
+            assert a.value_at(t).value == pytest.approx((2 + 0.4 * t) ** 2, rel=1e-6)
+
+    def test_perimeter_linear(self):
+        mr = MovingRegion(
+            [
+                URegion.between_regions(
+                    0.0, Region.box(-1, -1, 1, 1), 10.0, Region.box(-3, -3, 3, 3)
+                )
+            ]
+        )
+        p = mregion_perimeter(mr)
+        for t in (0.0, 5.0, 10.0):
+            assert p.value_at(t).value == pytest.approx(4 * (2 + 0.4 * t), rel=1e-6)
+
+    def test_mline_length(self):
+        u = ULine.between_lines(
+            0.0, Line([((0, 0), (2, 0))]), 10.0, Line([((0, 5), (6, 5))])
+        )
+        ml = MovingLine([u])
+        ln = mline_length(ml)
+        assert ln.value_at(0.0).value == pytest.approx(2.0)
+        assert ln.value_at(5.0).value == pytest.approx(4.0)
+        assert ln.value_at(10.0).value == pytest.approx(6.0)
+
+
+class TestProjectionAndAt:
+    def test_traversed_translation(self):
+        mr = translating_region()
+        tr = traversed(mr)
+        # 4x4 square sweeping from x∈[0,4] to x∈[6,10]: covers [0,10]×[0,4].
+        assert tr.area() == pytest.approx(40.0)
+
+    def test_traversed_stationary(self):
+        r = Region.box(0, 0, 2, 2)
+        mr = MovingRegion([URegion.stationary(closed(0.0, 5.0), r)])
+        assert traversed(mr).area() == pytest.approx(4.0)
+
+    def test_at_region(self):
+        mp = MovingPoint.from_waypoints([(0, (-5, 1)), (10, (15, 1))])
+        got = mpoint_at_region(mp, Region.box(0, 0, 4, 4))
+        assert got.deftime().total_length() == pytest.approx(2.0)
+        # While defined, the point is inside the region.
+        assert got.value_at(3.5).x == pytest.approx(2.0)
+
+    def test_passes(self):
+        mp = MovingPoint.from_waypoints([(0, (-5, 1)), (10, (15, 1))])
+        assert passes(mp, Region.box(0, 0, 4, 4))
+        assert not passes(mp, Region.box(0, 10, 4, 14))

@@ -1,0 +1,100 @@
+"""Tests for the time-dependent overlap area."""
+
+import pytest
+
+from repro.ranges.interval import closed
+from repro.spatial.region import Region
+from repro.temporal.mapping import MovingRegion
+from repro.temporal.uregion import URegion
+from repro.ops.overlap import overlap_area, overlap_fraction
+
+
+def sliding_square(t0=0.0, t1=10.0, x0=-6.0, x1=6.0, size=4.0, y=0.0):
+    return MovingRegion(
+        [
+            URegion.between_regions(
+                t0,
+                Region.box(x0, y, x0 + size, y + size),
+                t1,
+                Region.box(x1, y, x1 + size, y + size),
+            )
+        ]
+    )
+
+
+class TestOverlapArea:
+    def test_horizontal_slide_piecewise_linear(self):
+        # 4x4 square slides from x=[-6,-2] to [6,10] over a fixed [0,4]² box:
+        # overlap width is piecewise linear, area = 4·width.
+        mr = sliding_square()
+        fixed = Region.box(0, 0, 4, 4)
+        area = overlap_area(mr, fixed)
+
+        def expected(t):
+            x_left = -6.0 + 1.2 * t
+            lo = max(x_left, 0.0)
+            hi = min(x_left + 4.0, 4.0)
+            return 4.0 * max(hi - lo, 0.0)
+
+        for k in range(41):
+            t = 10.0 * k / 40.0
+            got = area.value_at(t)
+            assert got is not None
+            assert got.value == pytest.approx(expected(t), abs=1e-6), f"t={t}"
+
+    def test_diagonal_slide_quadratic(self):
+        # Diagonal motion: overlap = width(t)·height(t), both linear.
+        mr = MovingRegion(
+            [
+                URegion.between_regions(
+                    0.0, Region.box(-4, -4, 0, 0), 10.0, Region.box(4, 4, 8, 8)
+                )
+            ]
+        )
+        fixed = Region.box(0, 0, 4, 4)
+        area = overlap_area(mr, fixed)
+
+        def expected(t):
+            x0 = -4 + 0.8 * t
+            w = max(min(x0 + 4, 4) - max(x0, 0), 0.0)
+            return w * w  # symmetric in x and y
+
+        for k in range(21):
+            t = 10.0 * k / 20.0
+            got = area.value_at(t)
+            assert got.value == pytest.approx(expected(t), abs=1e-5), f"t={t}"
+
+    def test_never_overlapping(self):
+        mr = sliding_square(y=100.0)
+        area = overlap_area(mr, Region.box(0, 0, 4, 4))
+        assert area.maximum() == pytest.approx(0.0, abs=1e-9)
+
+    def test_fully_contained(self):
+        mr = sliding_square(x0=10.0, x1=30.0, size=2.0, y=10.0)
+        fixed = Region.box(0, 0, 50, 50)
+        area = overlap_area(mr, fixed)
+        assert area.minimum() == pytest.approx(4.0, rel=1e-6)
+        assert area.maximum() == pytest.approx(4.0, rel=1e-6)
+
+    def test_fraction(self):
+        mr = sliding_square()
+        fixed = Region.box(0, 0, 4, 4)
+        frac = overlap_fraction(mr, fixed)
+        # At full overlap the square covers the fixed box entirely.
+        assert frac.maximum() == pytest.approx(1.0, abs=1e-6)
+        # Interpolation noise may dip microscopically below zero.
+        assert frac.minimum() >= -1e-6
+
+    def test_empty_fixed(self):
+        assert not overlap_area(sliding_square(), Region())
+
+    def test_continuity_at_events(self):
+        mr = sliding_square()
+        fixed = Region.box(0, 0, 4, 4)
+        area = overlap_area(mr, fixed)
+        # Consecutive units agree at shared boundaries (continuity).
+        for a, b in zip(area.units, area.units[1:]):
+            t = b.interval.s
+            va = a.eval(t)
+            vb = b.eval(t)
+            assert va == pytest.approx(vb, abs=1e-6)

@@ -1,0 +1,104 @@
+"""Tests for the point and points spatial types (Section 3.2.2)."""
+
+import pytest
+
+from repro.errors import InvalidValue, TypeMismatch, UndefinedValue
+from repro.spatial.point import Point
+from repro.spatial.points import Points
+
+
+class TestPoint:
+    def test_coordinates(self):
+        p = Point(1.0, 2.0)
+        assert p.x == 1.0 and p.y == 2.0 and p.vec == (1.0, 2.0)
+
+    def test_undefined(self):
+        p = Point()
+        assert not p.defined
+        with pytest.raises(UndefinedValue):
+            p.vec
+
+    def test_partial_coordinates_rejected(self):
+        with pytest.raises(TypeMismatch):
+            Point(1.0, None)
+
+    def test_nonfinite_rejected(self):
+        with pytest.raises(InvalidValue):
+            Point(float("nan"), 0.0)
+
+    def test_lexicographic_order(self):
+        # The order of Section 3.2.2: by x, then by y.
+        assert Point(0, 5) < Point(1, 0)
+        assert Point(1, 0) < Point(1, 1)
+        assert not Point(1, 1) < Point(1, 1)
+
+    def test_undefined_sorts_first(self):
+        assert Point() < Point(-1e9, -1e9)
+
+    def test_distance(self):
+        assert Point(0, 0).distance(Point(3, 4)) == 5.0
+
+    def test_hash_eq(self):
+        assert Point(1, 2) == Point(1.0, 2.0)
+        assert len({Point(1, 2), Point(1, 2), Point()}) == 2
+
+    def test_from_vec(self):
+        assert Point.from_vec((3, 4)) == Point(3, 4)
+
+    def test_immutable(self):
+        p = Point(1, 2)
+        with pytest.raises(AttributeError):
+            p._xy = (0, 0)
+
+
+class TestPoints:
+    def test_empty_is_valid(self):
+        ps = Points()
+        assert len(ps) == 0 and not ps
+
+    def test_deduplication(self):
+        ps = Points([(1, 2), (1, 2), (3, 4)])
+        assert len(ps) == 2
+
+    def test_canonical_order(self):
+        ps = Points([(3, 4), (1, 2), (1, 0)])
+        assert list(ps.vecs) == [(1.0, 0.0), (1.0, 2.0), (3.0, 4.0)]
+
+    def test_equality_is_array_equality(self):
+        assert Points([(1, 2), (3, 4)]) == Points([(3, 4), (1, 2)])
+
+    def test_accepts_point_objects(self):
+        ps = Points([Point(1, 2), (3, 4)])
+        assert (1.0, 2.0) in ps
+
+    def test_contains(self):
+        ps = Points([(1, 2)])
+        assert (1, 2) in ps and Point(1, 2) in ps
+        assert (9, 9) not in ps
+
+    def test_union_intersection_difference(self):
+        a = Points([(0, 0), (1, 1)])
+        b = Points([(1, 1), (2, 2)])
+        assert a.union(b) == Points([(0, 0), (1, 1), (2, 2)])
+        assert a.intersection(b) == Points([(1, 1)])
+        assert a.difference(b) == Points([(0, 0)])
+
+    def test_bbox(self):
+        bb = Points([(0, 1), (4, 3)]).bbox()
+        assert (bb.xmin, bb.ymin, bb.xmax, bb.ymax) == (0, 1, 4, 3)
+
+    def test_bbox_of_empty_raises(self):
+        with pytest.raises(InvalidValue):
+            Points().bbox()
+
+    def test_min_distance(self):
+        a = Points([(0, 0)])
+        b = Points([(3, 4), (10, 0)])
+        assert a.min_distance(b) == 5.0
+
+    def test_center(self):
+        assert Points([(0, 0), (2, 2)]).center() == Point(1, 1)
+
+    def test_iter_yields_points(self):
+        ps = Points([(1, 2)])
+        assert list(ps) == [Point(1, 2)]

@@ -1,0 +1,159 @@
+"""Property-based tests, round two: window refinement, simplification,
+text round-trips, lifted min/max, and the inside algorithm vs sampling."""
+
+import math
+
+from hypothesis import assume, given, settings
+from hypothesis import strategies as st
+
+from repro.io.text import from_text, to_text
+from repro.ranges.interval import Interval, closed
+from repro.spatial.bbox import Rect
+from repro.spatial.region import Region
+from repro.temporal.mapping import MovingPoint, MovingReal
+from repro.temporal.uregion import URegion
+from repro.temporal.ureal import UReal
+from repro.ops.inside import inside
+from repro.ops.lifted import mreal_max, mreal_min
+from repro.ops.simplify import simplification_error, simplify
+from repro.ops.window import mpoint_within_rect_times
+
+small = st.floats(min_value=-100.0, max_value=100.0, allow_nan=False)
+coords = st.tuples(small, small)
+
+
+@st.composite
+def tracks(draw, max_legs=5):
+    n = draw(st.integers(min_value=2, max_value=max_legs + 1))
+    start = draw(st.floats(min_value=0.0, max_value=10.0, allow_nan=False))
+    gaps = draw(
+        st.lists(
+            st.floats(min_value=0.1, max_value=20.0, allow_nan=False),
+            min_size=n - 1,
+            max_size=n - 1,
+        )
+    )
+    times = [start]
+    for g in gaps:
+        times.append(times[-1] + g)
+    pts = draw(st.lists(coords, min_size=n, max_size=n))
+    return MovingPoint.from_waypoints(list(zip(times, pts)))
+
+
+@st.composite
+def rects(draw):
+    x0, y0 = draw(coords)
+    w = draw(st.floats(min_value=1.0, max_value=100.0, allow_nan=False))
+    h = draw(st.floats(min_value=1.0, max_value=100.0, allow_nan=False))
+    return Rect(x0, y0, x0 + w, y0 + h)
+
+
+@st.composite
+def polyreals(draw, units=3):
+    n = draw(st.integers(min_value=1, max_value=units))
+    out = []
+    t = 0.0
+    for _ in range(n):
+        span = draw(st.floats(min_value=0.5, max_value=5.0, allow_nan=False))
+        a = draw(st.floats(min_value=-3.0, max_value=3.0, allow_nan=False))
+        b = draw(st.floats(min_value=-3.0, max_value=3.0, allow_nan=False))
+        c = draw(st.floats(min_value=-10.0, max_value=10.0, allow_nan=False))
+        out.append(UReal(Interval(t, t + span, True, False), a, b, c))
+        t += span
+    # Adjacent units may randomly share coefficients: normalize merges them.
+    return MovingReal.normalized(out)
+
+
+class TestWindowProperties:
+    @given(tracks(), rects(), st.floats(min_value=0.0, max_value=1.0))
+    @settings(max_examples=60)
+    def test_window_times_match_pointwise(self, mp, rect, frac):
+        t = mp.start_time() + frac * (mp.end_time() - mp.start_time())
+        times = mpoint_within_rect_times(mp, rect)
+        p = mp.value_at(t)
+        assume(p is not None)
+        # Tolerance-free equivalence except exactly on the window border.
+        on_border = (
+            abs(p.x - rect.xmin) < 1e-9
+            or abs(p.x - rect.xmax) < 1e-9
+            or abs(p.y - rect.ymin) < 1e-9
+            or abs(p.y - rect.ymax) < 1e-9
+        )
+        if not on_border:
+            assert times.contains(t) == rect.contains_point(p.vec)
+
+
+class TestSimplifyProperties:
+    @given(tracks(max_legs=8), st.floats(min_value=0.01, max_value=50.0))
+    @settings(max_examples=60)
+    def test_error_bound(self, mp, eps):
+        slim = simplify(mp, eps)
+        assert simplification_error(mp, slim) <= eps + 1e-9
+        assert len(slim) <= len(mp)
+        assert slim.start_time() == mp.start_time()
+        assert slim.end_time() == mp.end_time()
+
+
+class TestTextProperties:
+    @given(tracks())
+    @settings(max_examples=60)
+    def test_mpoint_text_roundtrip(self, mp):
+        assert from_text(to_text(mp)) == mp
+
+    @given(polyreals())
+    @settings(max_examples=60)
+    def test_mreal_text_roundtrip(self, m):
+        assert from_text(to_text(m)) == m
+
+
+class TestMinMaxProperties:
+    @given(polyreals(), polyreals(), st.floats(min_value=0.0, max_value=1.0))
+    @settings(max_examples=60)
+    def test_min_max_pointwise(self, a, b, frac):
+        mn = mreal_min(a, b)
+        mx = mreal_max(a, b)
+        common = a.deftime().intersection(b.deftime())
+        assume(common)
+        lo, hi = common.minimum, common.maximum
+        t = lo + frac * (hi - lo)
+        assume(common.contains(t))
+        va = a.value_at(t).value
+        vb = b.value_at(t).value
+        got_min = mn.value_at(t)
+        got_max = mx.value_at(t)
+        assume(got_min is not None and got_max is not None)
+        tol = 1e-6 * max(abs(va), abs(vb), 1.0)
+        assert abs(got_min.value - min(va, vb)) <= tol
+        assert abs(got_max.value - max(va, vb)) <= tol
+
+
+class TestInsideProperties:
+    @given(
+        tracks(max_legs=4),
+        st.floats(min_value=1.0, max_value=50.0),
+        coords,
+        st.floats(min_value=0.0, max_value=1.0),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_inside_matches_pointwise(self, mp, size, corner, frac):
+        region = Region.box(corner[0], corner[1], corner[0] + size, corner[1] + size)
+        span = mp.deftime().span()
+        mr = None
+        from repro.temporal.mapping import MovingRegion
+
+        mr = MovingRegion([URegion.stationary(span, region)])
+        mb = inside(mp, mr)
+        t = mp.start_time() + frac * (mp.end_time() - mp.start_time())
+        p = mp.value_at(t)
+        got = mb.value_at(t)
+        assume(p is not None and got is not None)
+        # Skip instants on the region boundary (closure choices differ
+        # legitimately at tolerance scale).
+        d = min(
+            abs(p.x - region.bbox().xmin),
+            abs(p.x - region.bbox().xmax),
+            abs(p.y - region.bbox().ymin),
+            abs(p.y - region.bbox().ymax),
+        )
+        assume(d > 1e-6)
+        assert bool(got.value) == region.contains_point(p.vec)

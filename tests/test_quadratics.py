@@ -1,0 +1,116 @@
+"""Tests for the quadratic polynomial utilities."""
+
+import pytest
+
+from repro.temporal.quadratics import (
+    add_quad,
+    common_roots,
+    eval_quad,
+    is_zero_quad,
+    mul_linear,
+    quad_extremum,
+    quad_nonnegative_on,
+    quad_range_on,
+    roots_in_interval,
+    sign_intervals,
+    solve_quadratic,
+    sub_quad,
+)
+
+
+class TestBasics:
+    def test_eval(self):
+        assert eval_quad((1, 2, 3), 2.0) == 11.0
+
+    def test_add_sub_scale(self):
+        assert add_quad((1, 2, 3), (4, 5, 6)) == (5, 7, 9)
+        assert sub_quad((4, 5, 6), (1, 2, 3)) == (3, 3, 3)
+
+    def test_mul_linear(self):
+        # (2t + 1)(3t + 4) = 6t² + 11t + 4
+        assert mul_linear((2, 1), (3, 4)) == (6, 11, 4)
+
+    def test_is_zero(self):
+        assert is_zero_quad((0.0, 0.0, 0.0))
+        assert not is_zero_quad((0.0, 0.0, 1e-3))
+
+
+class TestRoots:
+    def test_two_roots(self):
+        assert solve_quadratic(1, -3, 2) == pytest.approx([1.0, 2.0])
+
+    def test_double_root(self):
+        assert solve_quadratic(1, -2, 1) == pytest.approx([1.0])
+
+    def test_no_real_roots(self):
+        assert solve_quadratic(1, 0, 1) == []
+
+    def test_linear_case(self):
+        assert solve_quadratic(0, 2, -4) == [2.0]
+
+    def test_constant_case(self):
+        assert solve_quadratic(0, 0, 5) == []
+        assert solve_quadratic(0, 0, 0) == []
+
+    def test_numerically_tough(self):
+        # Large b: the citardauq form keeps the small root accurate.
+        roots = solve_quadratic(1.0, -1e8, 1.0)
+        assert len(roots) == 2
+        assert roots[0] == pytest.approx(1e-8, rel=1e-6)
+
+    def test_roots_in_interval_open(self):
+        got = roots_in_interval((1, -3, 2), 1.0, 3.0, open_ends=True)
+        assert got == [2.0]  # root at 1.0 excluded by openness
+
+    def test_roots_in_interval_closed(self):
+        got = roots_in_interval((1, -3, 2), 1.0, 3.0, open_ends=False)
+        assert got == pytest.approx([1.0, 2.0])
+
+
+class TestAnalysis:
+    def test_extremum(self):
+        t, v = quad_extremum((1, -4, 5))
+        assert (t, v) == (2.0, 1.0)
+
+    def test_extremum_of_linear_is_none(self):
+        assert quad_extremum((0, 2, 1)) is None
+
+    def test_range_on_interval_with_vertex(self):
+        mn, mx = quad_range_on((1, -4, 5), 0.0, 4.0)
+        assert mn == 1.0 and mx == 5.0
+
+    def test_range_on_interval_without_vertex(self):
+        mn, mx = quad_range_on((1, -4, 5), 3.0, 4.0)
+        assert mn == 2.0 and mx == 5.0
+
+    def test_nonnegative(self):
+        assert quad_nonnegative_on((1, 0, 0), -1.0, 1.0)
+        assert not quad_nonnegative_on((1, 0, -1), -1.0, 1.0)
+
+    def test_sign_intervals(self):
+        got = sign_intervals((1, -3, 2), 0.0, 3.0)
+        signs = [s for _a, _b, s in got]
+        assert signs == [1, -1, 1]
+
+    def test_sign_intervals_identically_zero(self):
+        assert sign_intervals((0, 0, 0), 0.0, 1.0) == [(0.0, 1.0, 0)]
+
+
+class TestCommonRoots:
+    def test_shared_root(self):
+        q1 = (1, -3, 2)  # roots 1, 2
+        q2 = (1, -4, 4)  # root 2
+        assert common_roots([q1, q2], 0.0, 5.0) == [2.0]
+
+    def test_no_shared_root(self):
+        q1 = (1, -3, 2)
+        q2 = (0, 1, -10)
+        assert common_roots([q1, q2], 0.0, 5.0) == []
+
+    def test_all_zero_returns_none(self):
+        assert common_roots([(0, 0, 0), (0, 0, 0)], 0.0, 1.0) is None
+
+    def test_zero_member_ignored(self):
+        q1 = (0, 0, 0)
+        q2 = (0, 1, -2)
+        assert common_roots([q1, q2], 0.0, 5.0) == [2.0]

@@ -1,0 +1,143 @@
+"""Tests for range sets (the range(α) constructor, Section 3.2.3)."""
+
+import pytest
+
+from repro.errors import InvalidValue
+from repro.ranges.interval import Interval, closed, interval_at, open_interval
+from repro.ranges.rangeset import RangeSet
+
+
+class TestConstruction:
+    def test_empty(self):
+        rs = RangeSet()
+        assert len(rs) == 0 and not rs
+
+    def test_valid_set(self):
+        rs = RangeSet([closed(0.0, 1.0), closed(3.0, 4.0)])
+        assert len(rs) == 2
+
+    def test_rejects_overlap(self):
+        with pytest.raises(InvalidValue):
+            RangeSet([closed(0.0, 2.0), closed(1.0, 3.0)])
+
+    def test_rejects_adjacent(self):
+        # Adjacency violates minimality: the canonical form merges them.
+        with pytest.raises(InvalidValue):
+            RangeSet([closed(0.0, 1.0), Interval(1.0, 2.0, False, True)])
+
+    def test_normalized_merges(self):
+        rs = RangeSet.normalized([closed(0.0, 2.0), closed(1.0, 3.0), closed(5.0, 6.0)])
+        assert list(rs) == [closed(0.0, 3.0), closed(5.0, 6.0)]
+
+    def test_normalized_merges_adjacent(self):
+        rs = RangeSet.normalized([closed(0.0, 1.0), Interval(1.0, 2.0, False, True)])
+        assert list(rs) == [closed(0.0, 2.0)]
+
+    def test_intervals_sorted(self):
+        rs = RangeSet([closed(3.0, 4.0), closed(0.0, 1.0)])
+        assert [iv.s for iv in rs] == [0.0, 3.0]
+
+    def test_immutable(self):
+        rs = RangeSet([closed(0.0, 1.0)])
+        with pytest.raises(AttributeError):
+            rs._intervals = ()
+
+    def test_canonical_equality(self):
+        a = RangeSet([closed(0.0, 1.0), closed(2.0, 3.0)])
+        b = RangeSet([closed(2.0, 3.0), closed(0.0, 1.0)])
+        assert a == b and hash(a) == hash(b)
+
+
+class TestQueries:
+    def setup_method(self):
+        self.rs = RangeSet(
+            [closed(0.0, 1.0), open_interval(3.0, 4.0), closed(6.0, 8.0)]
+        )
+
+    def test_contains(self):
+        assert self.rs.contains(0.5)
+        assert self.rs.contains(0.0)
+        assert not self.rs.contains(3.0)  # open end
+        assert self.rs.contains(3.5)
+        assert not self.rs.contains(5.0)
+        assert self.rs.contains(8.0)
+
+    def test_interval_containing(self):
+        assert self.rs.interval_containing(7.0) == closed(6.0, 8.0)
+        assert self.rs.interval_containing(5.0) is None
+
+    def test_min_max(self):
+        assert self.rs.minimum == 0.0
+        assert self.rs.maximum == 8.0
+
+    def test_min_of_empty_raises(self):
+        with pytest.raises(InvalidValue):
+            RangeSet().minimum
+
+    def test_total_length(self):
+        assert self.rs.total_length() == pytest.approx(1.0 + 1.0 + 2.0)
+
+    def test_span(self):
+        span = self.rs.span()
+        assert span.s == 0.0 and span.e == 8.0
+
+    def test_span_of_empty(self):
+        assert RangeSet().span() is None
+
+
+class TestBooleanAlgebra:
+    def test_union(self):
+        a = RangeSet([closed(0.0, 2.0)])
+        b = RangeSet([closed(1.0, 3.0), closed(5.0, 6.0)])
+        assert list(a.union(b)) == [closed(0.0, 3.0), closed(5.0, 6.0)]
+
+    def test_intersection(self):
+        a = RangeSet([closed(0.0, 2.0), closed(4.0, 6.0)])
+        b = RangeSet([closed(1.0, 5.0)])
+        assert list(a.intersection(b)) == [closed(1.0, 2.0), closed(4.0, 5.0)]
+
+    def test_intersection_empty(self):
+        a = RangeSet([closed(0.0, 1.0)])
+        b = RangeSet([closed(2.0, 3.0)])
+        assert not a.intersection(b)
+
+    def test_difference_splits(self):
+        a = RangeSet([closed(0.0, 10.0)])
+        b = RangeSet([open_interval(3.0, 4.0)])
+        assert list(a.difference(b)) == [closed(0.0, 3.0), closed(4.0, 10.0)]
+
+    def test_difference_closed_cut_leaves_open_ends(self):
+        a = RangeSet([closed(0.0, 10.0)])
+        b = RangeSet([closed(3.0, 4.0)])
+        got = list(a.difference(b))
+        assert got == [Interval(0.0, 3.0, True, False), Interval(4.0, 10.0, False, True)]
+
+    def test_difference_removes_all(self):
+        a = RangeSet([closed(1.0, 2.0)])
+        b = RangeSet([closed(0.0, 3.0)])
+        assert not a.difference(b)
+
+    def test_difference_single_point_remainder(self):
+        a = RangeSet([closed(0.0, 2.0)])
+        b = RangeSet([open_interval(0.0, 2.0)])
+        got = list(a.difference(b))
+        assert got == [interval_at(0.0), interval_at(2.0)]
+
+    def test_intersects(self):
+        a = RangeSet([closed(0.0, 1.0), closed(4.0, 5.0)])
+        b = RangeSet([closed(2.0, 4.5)])
+        assert a.intersects(b)
+        assert not a.intersects(RangeSet([closed(6.0, 7.0)]))
+
+    def test_union_with_empty(self):
+        a = RangeSet([closed(0.0, 1.0)])
+        assert a.union(RangeSet()) == a
+
+    def test_demorgan_on_frame(self):
+        # (A ∪ B) ∩ frame == frame \ ((frame \ A) ∩ (frame \ B))
+        frame = RangeSet([closed(0.0, 10.0)])
+        a = RangeSet([closed(1.0, 3.0)])
+        b = RangeSet([closed(2.0, 5.0), closed(7.0, 8.0)])
+        lhs = a.union(b)
+        rhs = frame.difference(frame.difference(a).intersection(frame.difference(b)))
+        assert lhs == rhs

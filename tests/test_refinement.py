@@ -1,0 +1,91 @@
+"""Tests for the refinement partition (Section 5.2, Figure 8)."""
+
+import pytest
+
+from repro.base.values import IntVal
+from repro.ranges.interval import Interval, closed, interval_at
+from repro.temporal.refinement import refinement_partition
+from repro.temporal.uconst import ConstUnit
+
+
+def cu(s, e, v=0, lc=True, rc=True):
+    return ConstUnit(Interval(s, e, lc, rc), IntVal(v))
+
+
+def parts(a, b):
+    return [
+        (iv.s, iv.e, ua is not None, ub is not None)
+        for iv, ua, ub in refinement_partition(a, b)
+    ]
+
+
+class TestRefinement:
+    def test_identical_intervals(self):
+        got = parts([cu(0.0, 10.0)], [cu(0.0, 10.0)])
+        assert got == [(0.0, 10.0, True, True)]
+
+    def test_partial_overlap(self):
+        got = parts([cu(0.0, 6.0)], [cu(4.0, 10.0)])
+        assert got == [
+            (0.0, 4.0, True, False),
+            (4.0, 6.0, True, True),
+            (6.0, 10.0, False, True),
+        ]
+
+    def test_disjoint(self):
+        got = parts([cu(0.0, 1.0)], [cu(5.0, 6.0)])
+        assert got == [(0.0, 1.0, True, False), (5.0, 6.0, False, True)]
+
+    def test_nested(self):
+        got = parts([cu(0.0, 10.0)], [cu(3.0, 4.0)])
+        assert got == [
+            (0.0, 3.0, True, False),
+            (3.0, 4.0, True, True),
+            (4.0, 10.0, True, False),
+        ]
+
+    def test_multi_unit_scan(self):
+        a = [cu(0.0, 2.0, 1), cu(2.0, 4.0, 2, lc=False)]
+        b = [cu(1.0, 3.0)]
+        got = parts(a, b)
+        assert got == [
+            (0.0, 1.0, True, False),
+            (1.0, 2.0, True, True),
+            (2.0, 3.0, True, True),
+            (3.0, 4.0, True, False),
+        ]
+
+    def test_empty_side(self):
+        got = parts([cu(0.0, 1.0)], [])
+        assert got == [(0.0, 1.0, True, False)]
+
+    def test_both_empty(self):
+        assert parts([], []) == []
+
+    def test_open_closure_respected(self):
+        # a is right-open at 5: the instant 5 belongs only to b.
+        a = [cu(0.0, 5.0, rc=False)]
+        b = [cu(5.0, 6.0)]
+        got = list(refinement_partition(a, b))
+        pieces = [(iv.pretty(), ua is not None, ub is not None) for iv, ua, ub in got]
+        assert pieces == [("[0, 5)", True, False), ("[5, 6]", False, True)]
+
+    def test_units_passed_through(self):
+        ua_in = cu(0.0, 2.0, 42)
+        got = list(refinement_partition([ua_in], []))
+        assert got[0][1] is ua_in
+
+    def test_degenerate_meeting_point(self):
+        # Both defined exactly at the shared closed instant 5.
+        a = [cu(0.0, 5.0)]
+        b = [cu(5.0, 9.0)]
+        got = parts(a, b)
+        assert (5.0, 5.0, True, True) in got
+
+    def test_paper_figure8_shape(self):
+        # Two interval lists; their refinement has cuts at every boundary.
+        a = [cu(0.0, 3.0), cu(4.0, 8.0)]
+        b = [cu(2.0, 5.0), cu(7.0, 9.0)]
+        got = parts(a, b)
+        cut_points = sorted({p for piece in got for p in (piece[0], piece[1])})
+        assert cut_points == [0.0, 2.0, 3.0, 4.0, 5.0, 7.0, 8.0, 9.0]

@@ -1,0 +1,219 @@
+"""Tests for cycles, faces, regions, and close() (Section 3.2.2, Figure 3)."""
+
+import pytest
+
+from repro.errors import InvalidValue
+from repro.geometry.segment import make_seg
+from repro.spatial.region import Cycle, Face, Region, close_region
+
+
+def square_cycle(x0=0.0, y0=0.0, size=4.0):
+    return Cycle.from_vertices(
+        [(x0, y0), (x0 + size, y0), (x0 + size, y0 + size), (x0, y0 + size)]
+    )
+
+
+class TestCycle:
+    def test_from_vertices(self):
+        c = square_cycle()
+        assert len(c) == 4
+        assert len(c.vertices) == 4
+
+    def test_from_vertices_closed_ring_accepted(self):
+        c = Cycle.from_vertices([(0, 0), (1, 0), (1, 1), (0, 0)])
+        assert len(c) == 3
+
+    def test_needs_three_segments(self):
+        with pytest.raises(InvalidValue):
+            Cycle([make_seg((0, 0), (1, 0)), make_seg((1, 0), (0, 0.5))])
+
+    def test_rejects_self_intersection(self):
+        # Bowtie: two edges properly cross.
+        with pytest.raises(InvalidValue):
+            Cycle.from_vertices([(0, 0), (2, 2), (2, 0), (0, 2)])
+
+    def test_rejects_touch(self):
+        # A vertex touching the interior of another edge.
+        with pytest.raises(InvalidValue):
+            Cycle.from_vertices([(0, 0), (4, 0), (4, 4), (2, 0)])
+
+    def test_rejects_disconnected(self):
+        segs = list(square_cycle().segments) + list(square_cycle(10, 10).segments)
+        with pytest.raises(InvalidValue):
+            Cycle(segs)
+
+    def test_rejects_wrong_degree(self):
+        segs = list(square_cycle().segments) + [make_seg((0, 0), (2, 2))]
+        with pytest.raises(InvalidValue):
+            Cycle(segs)
+
+    def test_area_perimeter(self):
+        c = square_cycle(size=4.0)
+        assert c.area() == pytest.approx(16.0)
+        assert c.perimeter() == pytest.approx(16.0)
+
+    def test_contains_point(self):
+        c = square_cycle()
+        assert c.contains_point((2, 2))
+        assert c.contains_point((0, 2))  # boundary
+        assert not c.contains_point((0, 2), boundary_counts=False)
+        assert not c.contains_point((5, 2))
+
+    def test_interior_sample(self):
+        c = square_cycle()
+        p = c.interior_sample()
+        assert c.contains_point(p, boundary_counts=False)
+
+    def test_edge_inside(self):
+        outer = square_cycle(0, 0, 10)
+        inner = square_cycle(2, 2, 2)
+        assert inner.edge_inside(outer)
+        assert not outer.edge_inside(inner)
+
+    def test_edge_inside_rejects_overlapping_edges(self):
+        outer = square_cycle(0, 0, 10)
+        flush = square_cycle(0, 0, 4)  # shares boundary segments with outer
+        assert not flush.edge_inside(outer)
+
+    def test_edge_disjoint(self):
+        a = square_cycle(0, 0, 2)
+        b = square_cycle(5, 5, 2)
+        assert a.edge_disjoint(b)
+
+    def test_edge_disjoint_fails_for_nested(self):
+        outer = square_cycle(0, 0, 10)
+        inner = square_cycle(2, 2, 2)
+        assert not outer.edge_disjoint(inner)
+
+    def test_touch_at_point_is_edge_disjoint(self):
+        # Two squares sharing exactly one corner: allowed.
+        a = square_cycle(0, 0, 2)
+        b = square_cycle(2, 2, 2)
+        assert a.edge_disjoint(b)
+
+
+class TestFace:
+    def test_face_with_hole(self):
+        f = Face(square_cycle(0, 0, 10), [square_cycle(4, 4, 2)])
+        assert f.area() == pytest.approx(100 - 4)
+        assert f.perimeter() == pytest.approx(40 + 8)
+
+    def test_hole_outside_rejected(self):
+        with pytest.raises(InvalidValue):
+            Face(square_cycle(0, 0, 4), [square_cycle(10, 10, 2)])
+
+    def test_overlapping_holes_rejected(self):
+        with pytest.raises(InvalidValue):
+            Face(
+                square_cycle(0, 0, 10),
+                [square_cycle(2, 2, 3), square_cycle(3, 3, 3)],
+            )
+
+    def test_contains_point_semantics(self):
+        # closure(outer \ holes): hole boundary in, hole interior out.
+        f = Face(square_cycle(0, 0, 10), [square_cycle(4, 4, 2)])
+        assert f.contains_point((1, 1))
+        assert f.contains_point((4, 5))  # on hole boundary
+        assert not f.contains_point((5, 5))  # inside the hole
+
+    def test_cycles_property(self):
+        hole = square_cycle(4, 4, 2)
+        f = Face(square_cycle(0, 0, 10), [hole])
+        assert f.cycles[0] == f.outer
+        assert hole in f.cycles
+
+
+class TestRegion:
+    def test_empty(self):
+        r = Region()
+        assert not r and len(r) == 0
+        assert r.area() == 0.0
+
+    def test_polygon_constructor(self):
+        r = Region.polygon([(0, 0), (4, 0), (4, 4), (0, 4)])
+        assert r.area() == pytest.approx(16.0)
+
+    def test_box_constructor(self):
+        r = Region.box(1, 1, 3, 5)
+        assert r.area() == pytest.approx(8.0)
+
+    def test_multi_face(self):
+        r = Region(
+            [
+                Face(square_cycle(0, 0, 2)),
+                Face(square_cycle(10, 10, 3)),
+            ]
+        )
+        assert len(r) == 2
+        assert r.area() == pytest.approx(4 + 9)
+
+    def test_overlapping_faces_rejected(self):
+        with pytest.raises(InvalidValue):
+            Region([Face(square_cycle(0, 0, 4)), Face(square_cycle(2, 2, 4))])
+
+    def test_face_inside_hole_allowed(self):
+        # An island within a lake within an island.
+        outer = Face(square_cycle(0, 0, 10), [square_cycle(2, 2, 6)])
+        island = Face(square_cycle(4, 4, 2))
+        r = Region([outer, island])
+        assert len(r) == 2
+        assert r.contains_point((5, 5))  # on the island
+        assert not r.contains_point((3, 5))  # in the lake
+
+    def test_contains_point_multi(self):
+        r = Region([Face(square_cycle(0, 0, 2)), Face(square_cycle(10, 0, 2))])
+        assert r.contains_point((1, 1))
+        assert r.contains_point((11, 1))
+        assert not r.contains_point((5, 1))
+
+    def test_bbox(self):
+        r = Region([Face(square_cycle(0, 0, 2)), Face(square_cycle(10, 10, 2))])
+        bb = r.bbox()
+        assert (bb.xmin, bb.ymin, bb.xmax, bb.ymax) == (0, 0, 12, 12)
+
+    def test_bbox_empty_raises(self):
+        with pytest.raises(InvalidValue):
+            Region().bbox()
+
+    def test_equality_canonical(self):
+        a = Region([Face(square_cycle(0, 0, 2)), Face(square_cycle(5, 5, 2))])
+        b = Region([Face(square_cycle(5, 5, 2)), Face(square_cycle(0, 0, 2))])
+        assert a == b
+
+    def test_halfsegments_sorted(self):
+        r = Region.polygon([(0, 0), (4, 0), (4, 4), (0, 4)])
+        keys = [h.sort_key() for h in r.halfsegments()]
+        assert keys == sorted(keys)
+
+
+class TestCloseRegion:
+    def test_close_simple(self):
+        r = Region.polygon([(0, 0), (4, 0), (4, 4), (0, 4)])
+        assert close_region(r.segments()) == r
+
+    def test_close_with_hole(self):
+        r = Region.polygon(
+            [(0, 0), (10, 0), (10, 10), (0, 10)], holes=[[(4, 4), (6, 4), (6, 6), (4, 6)]]
+        )
+        rebuilt = close_region(r.segments())
+        assert rebuilt == r
+        assert len(rebuilt.faces[0].holes) == 1
+
+    def test_close_multi_face(self):
+        r = Region([Face(square_cycle(0, 0, 2)), Face(square_cycle(5, 5, 2))])
+        assert close_region(r.segments()) == r
+
+    def test_close_nested_island(self):
+        outer = Face(square_cycle(0, 0, 10), [square_cycle(2, 2, 6)])
+        island = Face(square_cycle(4, 4, 2))
+        r = Region([outer, island])
+        rebuilt = close_region(r.segments())
+        assert rebuilt.area() == pytest.approx(r.area())
+        assert len(rebuilt.faces) == 2
+
+    def test_close_empty(self):
+        assert close_region([]) == Region()
+
+    def test_close_odd_degree_rejected(self):
+        with pytest.raises(InvalidValue):
+            close_region([make_seg((0, 0), (1, 0))])

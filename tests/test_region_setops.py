@@ -1,0 +1,111 @@
+"""Tests for the regularized boolean set operations on regions."""
+
+import pytest
+
+from repro.spatial.region import Region
+
+
+class TestUnion:
+    def test_disjoint(self):
+        a, b = Region.box(0, 0, 2, 2), Region.box(5, 5, 7, 7)
+        u = a.union(b)
+        assert len(u) == 2
+        assert u.area() == pytest.approx(8.0)
+
+    def test_overlapping(self):
+        a, b = Region.box(0, 0, 4, 4), Region.box(2, 2, 6, 6)
+        u = a.union(b)
+        assert len(u) == 1
+        assert u.area() == pytest.approx(16 + 16 - 4)
+
+    def test_contained(self):
+        a, b = Region.box(0, 0, 10, 10), Region.box(2, 2, 4, 4)
+        assert a.union(b).area() == pytest.approx(100.0)
+
+    def test_with_empty(self):
+        a = Region.box(0, 0, 2, 2)
+        assert a.union(Region()) == a
+        assert Region().union(a) == a
+
+    def test_union_fills_hole(self):
+        holed = Region.polygon(
+            [(0, 0), (10, 0), (10, 10), (0, 10)],
+            holes=[[(4, 4), (6, 4), (6, 6), (4, 6)]],
+        )
+        plug = Region.box(4, 4, 6, 6)
+        u = holed.union(plug)
+        assert u.area() == pytest.approx(100.0)
+        assert not u.faces[0].holes
+
+    def test_shared_edge_merges(self):
+        a, b = Region.box(0, 0, 2, 2), Region.box(2, 0, 4, 2)
+        u = a.union(b)
+        assert u.area() == pytest.approx(8.0)
+        assert len(u) == 1
+
+
+class TestIntersection:
+    def test_overlap(self):
+        a, b = Region.box(0, 0, 4, 4), Region.box(2, 2, 6, 6)
+        i = a.intersection(b)
+        assert i.area() == pytest.approx(4.0)
+
+    def test_disjoint_is_empty(self):
+        a, b = Region.box(0, 0, 1, 1), Region.box(5, 5, 6, 6)
+        assert not a.intersection(b)
+
+    def test_edge_touch_is_regularized_away(self):
+        # Sharing only a boundary edge: interior intersection is empty.
+        a, b = Region.box(0, 0, 2, 2), Region.box(2, 0, 4, 2)
+        assert not a.intersection(b)
+
+    def test_hole_excluded(self):
+        holed = Region.polygon(
+            [(0, 0), (10, 0), (10, 10), (0, 10)],
+            holes=[[(4, 4), (6, 4), (6, 6), (4, 6)]],
+        )
+        probe = Region.box(3, 3, 7, 7)
+        i = holed.intersection(probe)
+        assert i.area() == pytest.approx(16 - 4)
+
+
+class TestDifference:
+    def test_bite(self):
+        a, b = Region.box(0, 0, 4, 4), Region.box(2, 2, 6, 6)
+        d = a.difference(b)
+        assert d.area() == pytest.approx(12.0)
+
+    def test_hole_punch(self):
+        a, b = Region.box(0, 0, 10, 10), Region.box(4, 4, 6, 6)
+        d = a.difference(b)
+        assert d.area() == pytest.approx(96.0)
+        assert len(d.faces[0].holes) == 1
+
+    def test_full_cover_empty(self):
+        a, b = Region.box(2, 2, 3, 3), Region.box(0, 0, 10, 10)
+        assert not a.difference(b)
+
+    def test_split_into_two_faces(self):
+        a = Region.box(0, 0, 10, 2)
+        b = Region.box(4, -1, 6, 3)  # vertical cut through the strip
+        d = a.difference(b)
+        assert len(d) == 2
+        assert d.area() == pytest.approx(20 - 4)
+
+    def test_inclusion_exclusion(self):
+        a, b = Region.box(0, 0, 5, 5), Region.box(3, 1, 8, 4)
+        total = a.union(b).area()
+        assert total == pytest.approx(
+            a.area() + b.area() - a.intersection(b).area()
+        )
+
+
+class TestIntersects:
+    def test_overlapping(self):
+        assert Region.box(0, 0, 4, 4).intersects(Region.box(2, 2, 6, 6))
+
+    def test_disjoint(self):
+        assert not Region.box(0, 0, 1, 1).intersects(Region.box(5, 5, 6, 6))
+
+    def test_boundary_touch_counts(self):
+        assert Region.box(0, 0, 2, 2).intersects(Region.box(2, 0, 4, 2))

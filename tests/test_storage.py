@@ -1,0 +1,200 @@
+"""Tests for the storage engine: arrays, pages, buffer pool, FLOBs."""
+
+import pytest
+
+from repro.config import PAGE_SIZE
+from repro.errors import StorageError
+from repro.storage.buffer import BufferPool
+from repro.storage.darray import DatabaseArray, SubArray
+from repro.storage.flob import FlobRef, FlobStore
+from repro.storage.pages import PageFile
+
+
+class TestDatabaseArray:
+    def test_append_get(self):
+        arr = DatabaseArray("<dd")
+        idx = arr.append(1.0, 2.0)
+        assert idx == 0
+        assert arr.get(0) == (1.0, 2.0)
+
+    def test_set(self):
+        arr = DatabaseArray("<i")
+        arr.append(1)
+        arr.set(0, 42)
+        assert arr.get(0) == (42,)
+
+    def test_out_of_range(self):
+        arr = DatabaseArray("<i")
+        with pytest.raises(StorageError):
+            arr.get(0)
+        arr.append(1)
+        with pytest.raises(StorageError):
+            arr.set(1, 2)
+
+    def test_iteration_order(self):
+        arr = DatabaseArray("<i")
+        arr.extend([(1,), (2,), (3,)])
+        assert list(arr) == [(1,), (2,), (3,)]
+
+    def test_nbytes(self):
+        arr = DatabaseArray("<dd")
+        arr.append(0.0, 0.0)
+        assert arr.nbytes == 16
+
+    def test_serialization_roundtrip(self):
+        arr = DatabaseArray("<di")
+        arr.extend([(1.5, 2), (3.5, 4)])
+        back = DatabaseArray.from_bytes(arr.to_bytes())
+        assert back == arr
+        assert list(back) == [(1.5, 2), (3.5, 4)]
+
+    def test_truncated_deserialization_rejected(self):
+        arr = DatabaseArray("<d")
+        arr.append(1.0)
+        blob = arr.to_bytes()
+        with pytest.raises(StorageError):
+            DatabaseArray.from_bytes(blob[:-4])
+
+    def test_subarray_read(self):
+        arr = DatabaseArray("<i")
+        arr.extend([(10,), (20,), (30,), (40,)])
+        sub = SubArray(0, 1, 3)
+        assert sub.read([arr]) == [(20,), (30,)]
+        assert len(sub) == 2
+
+    def test_subarray_malformed(self):
+        with pytest.raises(StorageError):
+            SubArray(0, 3, 1)
+
+
+class TestPageFile:
+    def test_allocate_read_write(self):
+        pf = PageFile()
+        n = pf.allocate()
+        pf.write_page(n, b"hello")
+        data = pf.read_page(n)
+        assert data.startswith(b"hello")
+        assert len(data) == pf.page_size
+
+    def test_out_of_range(self):
+        pf = PageFile()
+        with pytest.raises(StorageError):
+            pf.read_page(0)
+
+    def test_oversized_payload_rejected(self):
+        pf = PageFile(page_size=64)
+        n = pf.allocate()
+        with pytest.raises(StorageError):
+            pf.write_page(n, b"x" * 65)
+
+    def test_file_backed(self, tmp_path):
+        path = str(tmp_path / "pages.dat")
+        pf = PageFile(path)
+        n = pf.allocate()
+        pf.write_page(n, b"persisted")
+        pf.close()
+        pf2 = PageFile(path)
+        assert pf2.read_page(n).startswith(b"persisted")
+        pf2.close()
+
+    def test_io_stats(self):
+        pf = PageFile()
+        n = pf.allocate()
+        pf.write_page(n, b"x")
+        pf.read_page(n)
+        reads, writes = pf.io_stats
+        assert reads == 1 and writes == 2  # allocate + write
+
+
+class TestBufferPool:
+    def test_hit_miss_accounting(self):
+        pf = PageFile()
+        pool = BufferPool(pf, capacity=2)
+        n = pool.new_page()
+        pool.pin(n)
+        pool.unpin(n)
+        pool.pin(n)
+        pool.unpin(n)
+        assert pool.misses == 1 and pool.hits == 1
+
+    def test_lru_eviction(self):
+        pf = PageFile()
+        pool = BufferPool(pf, capacity=2)
+        pages = [pool.new_page() for _ in range(3)]
+        for p in pages:
+            pool.pin(p)
+            pool.unpin(p)
+        assert pool.resident_pages == 2
+        # Page 0 was least recently used and must have been evicted.
+        pool.pin(pages[0])
+        assert pool.misses == 4
+
+    def test_dirty_writeback_on_eviction(self):
+        pf = PageFile()
+        pool = BufferPool(pf, capacity=1)
+        a = pool.new_page()
+        frame = pool.pin(a)
+        frame[:5] = b"dirty"
+        pool.unpin(a, dirty=True)
+        b = pool.new_page()
+        pool.pin(b)  # evicts a, forcing write-back
+        pool.unpin(b)
+        assert pf.read_page(a).startswith(b"dirty")
+
+    def test_pinned_pages_not_evicted(self):
+        pf = PageFile()
+        pool = BufferPool(pf, capacity=1)
+        a = pool.new_page()
+        pool.pin(a)
+        b = pool.new_page()
+        with pytest.raises(StorageError):
+            pool.pin(b)
+
+    def test_unpin_unpinned_rejected(self):
+        pf = PageFile()
+        pool = BufferPool(pf, capacity=2)
+        n = pool.new_page()
+        with pytest.raises(StorageError):
+            pool.unpin(n)
+
+    def test_flush(self):
+        pf = PageFile()
+        pool = BufferPool(pf, capacity=4)
+        n = pool.new_page()
+        frame = pool.pin(n)
+        frame[:4] = b"data"
+        pool.unpin(n, dirty=True)
+        pool.flush()
+        assert pf.read_page(n).startswith(b"data")
+
+
+class TestFlobStore:
+    def make_store(self, threshold=64, page_size=128):
+        pf = PageFile(page_size=page_size)
+        return FlobStore(BufferPool(pf, capacity=8), inline_threshold=threshold)
+
+    def test_small_goes_inline(self):
+        store = self.make_store()
+        inline, payload = store.place(b"tiny")
+        assert inline and payload == b"tiny"
+
+    def test_large_goes_external(self):
+        store = self.make_store()
+        data = b"z" * 1000
+        inline, ref = store.place(data)
+        assert not inline
+        assert isinstance(ref, FlobRef)
+        assert store.read(ref) == data
+
+    def test_fetch_inverts_place(self):
+        store = self.make_store()
+        for size in (0, 10, 64, 65, 500, 5000):
+            data = bytes(range(256)) * (size // 256 + 1)
+            data = data[:size]
+            assert store.fetch(store.place(data)) == data
+
+    def test_chain_spans_pages(self):
+        store = self.make_store(threshold=8, page_size=64)
+        data = b"q" * 300  # needs several 56-byte payload pages
+        _inline, ref = store.place(data)
+        assert store.read(ref) == data

@@ -1,0 +1,239 @@
+"""Round-trip tests for every storage codec (Section 4 layouts)."""
+
+import pytest
+
+from repro.base.instant import Instant
+from repro.base.values import BoolVal, IntVal, RealVal, StringVal
+from repro.errors import StorageError
+from repro.ranges.interval import Interval, closed
+from repro.ranges.intime import Intime
+from repro.ranges.rangeset import RangeSet
+from repro.spatial.line import Line
+from repro.spatial.point import Point
+from repro.spatial.points import Points
+from repro.spatial.region import Region
+from repro.storage.records import (
+    StoredValue,
+    codec_for,
+    pack_value,
+    unpack_value,
+)
+from repro.temporal.mapping import (
+    MovingBool,
+    MovingInt,
+    MovingLine,
+    MovingPoint,
+    MovingPoints,
+    MovingReal,
+    MovingRegion,
+    MovingString,
+)
+from repro.temporal.mseg import MPoint, MSeg
+from repro.temporal.uconst import ConstUnit
+from repro.temporal.uline import ULine
+from repro.temporal.upoints import UPoints
+from repro.temporal.ureal import UReal
+from repro.temporal.uregion import URegion
+
+
+def roundtrip(type_name, value):
+    stored = pack_value(type_name, value)
+    # Also exercise the byte-level flattening.
+    back = StoredValue.from_bytes(stored.to_bytes())
+    return unpack_value(back)
+
+
+class TestBaseCodecs:
+    @pytest.mark.parametrize(
+        "type_name,value",
+        [
+            ("int", IntVal(42)),
+            ("int", IntVal(-1)),
+            ("int", IntVal()),
+            ("real", RealVal(3.25)),
+            ("real", RealVal()),
+            ("bool", BoolVal(True)),
+            ("bool", BoolVal()),
+            ("string", StringVal("hello")),
+            ("string", StringVal("")),
+            ("string", StringVal()),
+            ("instant", Instant(12.5)),
+            ("instant", Instant()),
+            ("point", Point(1.5, -2.5)),
+            ("point", Point()),
+        ],
+    )
+    def test_roundtrip(self, type_name, value):
+        assert roundtrip(type_name, value) == value
+
+    def test_unicode_string(self):
+        assert roundtrip("string", StringVal("héllo")) == StringVal("héllo")
+
+    def test_unknown_type_rejected(self):
+        with pytest.raises(StorageError):
+            codec_for("nonsense")
+
+
+class TestSpatialCodecs:
+    def test_points(self):
+        v = Points([(1, 2), (3, 4), (0, 0)])
+        assert roundtrip("points", v) == v
+
+    def test_points_empty(self):
+        assert roundtrip("points", Points()) == Points()
+
+    def test_line(self):
+        v = Line.polyline([(0, 0), (2, 2), (4, 0)])
+        assert roundtrip("line", v) == v
+
+    def test_line_empty(self):
+        assert roundtrip("line", Line()) == Line()
+
+    def test_line_root_carries_length(self):
+        v = Line.polyline([(0, 0), (3, 4)])
+        stored = pack_value("line", v)
+        import struct
+
+        count, _x0, _y0, _x1, _y1, length = struct.unpack("<Iddddd", stored.root)
+        assert count == 1 and length == pytest.approx(5.0)
+
+    def test_region_simple(self):
+        v = Region.box(0, 0, 4, 4)
+        assert roundtrip("region", v) == v
+
+    def test_region_with_holes(self):
+        v = Region.polygon(
+            [(0, 0), (10, 0), (10, 10), (0, 10)],
+            holes=[[(2, 2), (4, 2), (4, 4), (2, 4)], [(6, 6), (8, 6), (8, 8), (6, 8)]],
+        )
+        back = roundtrip("region", v)
+        assert back == v
+        assert len(back.faces[0].holes) == 2
+
+    def test_region_multi_face(self):
+        from repro.spatial.region import Face, Cycle
+
+        v = Region(
+            [
+                Face(Cycle.from_vertices([(0, 0), (2, 0), (2, 2), (0, 2)])),
+                Face(Cycle.from_vertices([(5, 5), (7, 5), (7, 7), (5, 7)])),
+            ]
+        )
+        assert roundtrip("region", v) == v
+
+    def test_region_empty(self):
+        assert roundtrip("region", Region()) == Region()
+
+    def test_region_halfsegment_array_ordered(self):
+        v = Region.box(0, 0, 4, 4)
+        stored = pack_value("region", v)
+        hs = list(stored.arrays[0])
+        doms = [(r[0], r[1]) if r[4] else (r[2], r[3]) for r in hs]
+        assert doms == sorted(doms)
+
+
+class TestRangeIntimeCodecs:
+    def test_rangeset(self):
+        v = RangeSet([closed(0.0, 1.0), Interval(3.0, 4.0, False, True)])
+        assert roundtrip("range", v) == v
+
+    def test_rangeset_empty(self):
+        assert roundtrip("range", RangeSet()) == RangeSet()
+
+    def test_intime_real(self):
+        v = Intime(5.0, RealVal(2.5))
+        assert roundtrip("intime(real)", v) == v
+
+    def test_intime_point(self):
+        v = Intime(5.0, Point(1, 2))
+        assert roundtrip("intime(point)", v) == v
+
+
+class TestMappingCodecs:
+    def test_mbool(self):
+        v = MovingBool.piecewise(
+            [(closed(0.0, 1.0), True), (Interval(1.0, 2.0, False, True), False)]
+        )
+        assert roundtrip("mbool", v) == v
+
+    def test_mint(self):
+        v = MovingInt(
+            [
+                ConstUnit(closed(0.0, 1.0), IntVal(1)),
+                ConstUnit(Interval(1.0, 2.0, False, True), IntVal(2)),
+            ]
+        )
+        assert roundtrip("mint", v) == v
+
+    def test_mstring(self):
+        v = MovingString([ConstUnit(closed(0.0, 1.0), StringVal("go"))])
+        assert roundtrip("mstring", v) == v
+
+    def test_mreal(self):
+        v = MovingReal(
+            [
+                UReal(closed(0.0, 1.0), 1, 2, 3),
+                UReal(Interval(1.0, 2.0, False, True), 0, 0, 4, r=True),
+            ]
+        )
+        assert roundtrip("mreal", v) == v
+
+    def test_mpoint(self):
+        v = MovingPoint.from_waypoints([(0, (0, 0)), (5, (3, 4)), (9, (0, 0))])
+        assert roundtrip("mpoint", v) == v
+
+    def test_mpoints_shared_subarray(self):
+        v = MovingPoints(
+            [
+                UPoints(closed(0.0, 1.0), [MPoint(0, 1, 0, 0), MPoint(5, 0, 5, 0)]),
+                UPoints(
+                    Interval(1.0, 2.0, False, True),
+                    [MPoint(1, 0, 0, 0)],
+                ),
+            ]
+        )
+        stored = pack_value("mpoints", v)
+        # One shared element array holding all three MPoints (Figure 7).
+        assert len(stored.arrays) == 2
+        assert len(stored.arrays[1]) == 3
+        assert unpack_value(stored) == v
+
+    def test_mline(self):
+        u = ULine.between_lines(
+            0.0, Line([((0, 0), (1, 0))]), 5.0, Line([((2, 2), (3, 2))])
+        )
+        v = MovingLine([u])
+        assert roundtrip("mline", v) == v
+
+    def test_mregion(self):
+        u = URegion.between_regions(
+            0.0, Region.box(0, 0, 2, 2), 5.0, Region.box(4, 0, 6, 2)
+        )
+        v = MovingRegion([u])
+        assert roundtrip("mregion", v) == v
+
+    def test_mregion_with_holes(self):
+        r0 = Region.polygon(
+            [(0, 0), (10, 0), (10, 10), (0, 10)],
+            holes=[[(4, 4), (6, 4), (6, 6), (4, 6)]],
+        )
+        u = URegion.stationary(closed(0.0, 1.0), r0)
+        v = MovingRegion([u])
+        back = roundtrip("mregion", v)
+        assert back == v
+        assert len(back.units[0].faces[0].holes) == 1
+
+    def test_table3_aliases(self):
+        v = MovingBool.piecewise([(closed(0.0, 1.0), True)])
+        stored = pack_value("mapping(const(bool))", v)
+        assert stored.type_name == "mbool"
+        assert unpack_value(stored) == v
+
+    def test_empty_mappings(self):
+        for name, cls in [
+            ("mbool", MovingBool),
+            ("mreal", MovingReal),
+            ("mpoint", MovingPoint),
+            ("mregion", MovingRegion),
+        ]:
+            assert roundtrip(name, cls([])) == cls([])

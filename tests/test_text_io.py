@@ -1,0 +1,155 @@
+"""Round-trip tests for the text serialization format."""
+
+import pytest
+
+from repro.base.values import BoolVal, IntVal, StringVal
+from repro.io.text import TextFormatError, from_text, to_text
+from repro.ranges.interval import Interval, closed
+from repro.ranges.rangeset import RangeSet
+from repro.spatial.line import Line
+from repro.spatial.point import Point
+from repro.spatial.points import Points
+from repro.spatial.region import Region
+from repro.temporal.mapping import (
+    MovingBool,
+    MovingInt,
+    MovingLine,
+    MovingPoint,
+    MovingPoints,
+    MovingReal,
+    MovingRegion,
+    MovingString,
+)
+from repro.temporal.mseg import MPoint
+from repro.temporal.uconst import ConstUnit
+from repro.temporal.uline import ULine
+from repro.temporal.upoints import UPoints
+from repro.temporal.ureal import UReal
+from repro.temporal.uregion import URegion
+
+
+def roundtrip(value):
+    text = to_text(value)
+    back = from_text(text)
+    assert back == value, f"text was: {text}"
+    return text
+
+
+class TestSpatialText:
+    def test_point(self):
+        assert roundtrip(Point(1.5, -2.0)) == "POINT (1.5 -2)"
+
+    def test_point_empty(self):
+        assert roundtrip(Point()) == "POINT EMPTY"
+
+    def test_points(self):
+        roundtrip(Points([(0, 0), (1.25, 3)]))
+        assert roundtrip(Points()) == "POINTS EMPTY"
+
+    def test_line(self):
+        roundtrip(Line.polyline([(0, 0), (1, 1), (2, 0)]))
+        assert roundtrip(Line()) == "LINE EMPTY"
+
+    def test_region_with_hole(self):
+        roundtrip(
+            Region.polygon(
+                [(0, 0), (10, 0), (10, 10), (0, 10)],
+                holes=[[(4, 4), (6, 4), (6, 6), (4, 6)]],
+            )
+        )
+
+    def test_region_multiface(self):
+        roundtrip(
+            Region(
+                list(Region.box(0, 0, 1, 1).faces)
+                + list(Region.box(5, 5, 6, 6).faces)
+            )
+        )
+
+    def test_range(self):
+        roundtrip(RangeSet([closed(0.0, 1.0), Interval(2.0, 3.0, False, True)]))
+        assert roundtrip(RangeSet()) == "RANGE EMPTY"
+
+
+class TestTemporalText:
+    def test_mbool(self):
+        roundtrip(
+            MovingBool.piecewise(
+                [(closed(0.0, 1.0), True), (Interval(1.0, 2.0, False, True), False)]
+            )
+        )
+
+    def test_mint(self):
+        roundtrip(MovingInt([ConstUnit(closed(0.0, 1.0), IntVal(-3))]))
+
+    def test_mstring_with_escapes(self):
+        roundtrip(
+            MovingString([ConstUnit(closed(0.0, 1.0), StringVal('say "hi"'))])
+        )
+
+    def test_mreal(self):
+        roundtrip(
+            MovingReal(
+                [
+                    UReal(closed(0.0, 1.0), 1, -2, 3),
+                    UReal(Interval(1.0, 2.0, False, True), 0, 0, 4, r=True),
+                ]
+            )
+        )
+
+    def test_mpoint(self):
+        roundtrip(MovingPoint.from_waypoints([(0, (0, 0)), (5, (3, 4)), (8, (3, 0))]))
+
+    def test_mpoints(self):
+        roundtrip(
+            MovingPoints(
+                [UPoints(closed(0.0, 1.0), [MPoint(0, 1, 0, 0), MPoint(5, 0, 5, 0)])]
+            )
+        )
+
+    def test_mline(self):
+        u = ULine.between_lines(
+            0.0, Line([((0, 0), (1, 0))]), 5.0, Line([((2, 2), (3, 2))])
+        )
+        roundtrip(MovingLine([u]))
+
+    def test_mregion(self):
+        u = URegion.between_regions(
+            0.0, Region.box(0, 0, 2, 2), 5.0, Region.box(4, 1, 6, 3)
+        )
+        roundtrip(MovingRegion([u]))
+
+    def test_mregion_with_hole(self):
+        r = Region.polygon(
+            [(0, 0), (10, 0), (10, 10), (0, 10)],
+            holes=[[(4, 4), (6, 4), (6, 6), (4, 6)]],
+        )
+        roundtrip(MovingRegion([URegion.stationary(closed(0.0, 1.0), r)]))
+
+    def test_empty_mappings(self):
+        for cls in (MovingBool, MovingReal, MovingPoint, MovingRegion):
+            roundtrip(cls())
+
+
+class TestErrors:
+    def test_unknown_keyword(self):
+        with pytest.raises(TextFormatError):
+            from_text("WIDGET (1 2)")
+
+    def test_trailing_garbage(self):
+        with pytest.raises(TextFormatError):
+            from_text("POINT (1 2) extra")
+
+    def test_bad_interval(self):
+        with pytest.raises(TextFormatError):
+            from_text("MREAL ([0 abc] quad 0 0 1)")
+
+    def test_unsupported_type(self):
+        with pytest.raises(TextFormatError):
+            to_text(object())
+
+    def test_precision_survives(self):
+        mp = MovingPoint.from_waypoints(
+            [(0.1, (1 / 3, 2 / 7)), (0.9, (5 / 11, 1 / 13))]
+        )
+        assert from_text(to_text(mp)) == mp

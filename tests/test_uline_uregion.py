@@ -1,0 +1,204 @@
+"""Tests for uline and uregion (Section 3.2.6, Figures 4–6)."""
+
+import pytest
+
+from repro.errors import InvalidValue
+from repro.ranges.interval import Interval, closed, interval_at
+from repro.spatial.line import Line
+from repro.spatial.region import Region
+from repro.temporal.mseg import MPoint, MSeg
+from repro.temporal.uline import ULine, orientation_quad
+from repro.temporal.uregion import MCycle, MFace, URegion, _msegs_cross_inside
+
+
+def translating_mseg(seg0, offset, t0=0.0, t1=10.0):
+    seg1 = (
+        (seg0[0][0] + offset[0], seg0[0][1] + offset[1]),
+        (seg0[1][0] + offset[0], seg0[1][1] + offset[1]),
+    )
+    return MSeg.between_segments(t0, seg0, t1, seg1)
+
+
+class TestOrientationQuad:
+    def test_static_collinear(self):
+        a = MPoint.stationary((0, 0))
+        b = MPoint.stationary((1, 0))
+        c = MPoint.stationary((2, 0))
+        q = orientation_quad(a, b, c)
+        assert q == (0.0, 0.0, 0.0)
+
+    def test_becomes_collinear_at_root(self):
+        a = MPoint.stationary((0, 0))
+        b = MPoint.stationary((1, 0))
+        c = MPoint(2, 0, 5, -1)  # y = 5 - t: collinear at t = 5
+        q = orientation_quad(a, b, c)
+        from repro.temporal.quadratics import solve_quadratic
+
+        assert solve_quadratic(*q) == [5.0]
+
+
+class TestULine:
+    def test_stationary(self):
+        line = Line.polyline([(0, 0), (1, 0), (1, 1)])
+        u = ULine.stationary(closed(0.0, 10.0), line)
+        assert u.value_at(5.0) == line
+
+    def test_translation(self):
+        u = ULine(
+            closed(0.0, 10.0),
+            [translating_mseg(((0, 0), (1, 0)), (5, 0))],
+        )
+        assert u.value_at(10.0) == Line([((5, 0), (6, 0))])
+
+    def test_needs_at_least_one(self):
+        with pytest.raises(InvalidValue):
+            ULine(closed(0.0, 1.0), [])
+
+    def test_degeneracy_inside_open_interval_rejected(self):
+        # Collapses to a point at t = 5, inside (0, 10).
+        m = MSeg.between_segments(0.0, ((0, 0), (2, 0)), 5.0, ((1, 0), (1, 0)))
+        with pytest.raises(InvalidValue):
+            ULine(closed(0.0, 10.0), [m])
+
+    def test_degeneracy_at_endpoint_allowed(self):
+        m = MSeg.between_segments(0.0, ((0, 0), (2, 0)), 10.0, ((1, 0), (1, 0)))
+        u = ULine(closed(0.0, 10.0), [m])
+        # ι_e cleanup drops the collapsed segment.
+        assert u.value_at(10.0) == Line()
+        assert u.value_at(5.0).length() == pytest.approx(1.0)
+
+    def test_overlap_inside_open_interval_rejected(self):
+        # Two horizontal segments slide onto the same carrier and overlap
+        # at t = 5: one moves up to y=0, starting below.
+        a = MSeg.stationary(((0, 0), (2, 0)))
+        b = MSeg.between_segments(0.0, ((1, -5), (3, -5)), 5.0, ((1, 0), (3, 0)))
+        with pytest.raises(InvalidValue):
+            ULine(closed(0.0, 10.0), [a, b])
+
+    def test_touching_at_instant_allowed(self):
+        # b crosses a's carrier line but never overlaps it (no collinear
+        # overlap, just crossing carriers at distinct x ranges).
+        a = MSeg.stationary(((0, 0), (2, 0)))
+        b = MSeg.between_segments(0.0, ((5, -5), (7, -5)), 5.0, ((5, 0), (7, 0)))
+        u = ULine(closed(0.0, 10.0), [a, b])
+        assert len(u) == 2
+
+    def test_endpoint_overlap_merged_by_cleanup(self):
+        # At t=10 the two segments become collinear and overlapping;
+        # ι_e merges them into one maximal segment.
+        a = MSeg.stationary(((0, 0), (2, 0)))
+        b = MSeg.between_segments(0.0, ((1, -5), (3, -5)), 10.0, ((1, 0), (3, 0)))
+        u = ULine(closed(0.0, 10.0), [a, b])
+        end = u.value_at(10.0)
+        assert end == Line([((0, 0), (3, 0))])
+
+    def test_between_lines(self):
+        l0 = Line([((0, 0), (1, 0))])
+        l1 = Line([((4, 4), (5, 4))])
+        u = ULine.between_lines(0.0, l0, 10.0, l1)
+        assert u.value_at(5.0) == Line([((2, 2), (3, 2))])
+
+    def test_bounding_cube(self):
+        u = ULine(closed(0.0, 10.0), [translating_mseg(((0, 0), (1, 0)), (5, 5))])
+        c = u.bounding_cube()
+        assert (c.xmin, c.ymin, c.xmax, c.ymax) == (0, 0, 6, 5)
+
+
+def square_uregion(t0=0.0, t1=10.0, offset=(5.0, 0.0), size=2.0):
+    r0 = Region.box(0, 0, size, size)
+    r1 = Region.box(offset[0], offset[1], offset[0] + size, offset[1] + size)
+    return URegion.between_regions(t0, r0, t1, r1)
+
+
+class TestURegion:
+    def test_translation_evaluates(self):
+        u = square_uregion()
+        r = u.value_at(5.0)
+        assert r.area() == pytest.approx(4.0)
+        assert r.bbox().xmin == pytest.approx(2.5)
+
+    def test_needs_a_face(self):
+        with pytest.raises(InvalidValue):
+            URegion(closed(0.0, 1.0), [])
+
+    def test_mcycle_needs_three(self):
+        with pytest.raises(InvalidValue):
+            MCycle([MSeg.stationary(((0, 0), (1, 0)))])
+
+    def test_structure_preserved(self):
+        r0 = Region.polygon(
+            [(0, 0), (10, 0), (10, 10), (0, 10)],
+            holes=[[(4, 4), (6, 4), (6, 6), (4, 6)]],
+        )
+        u = URegion.stationary(closed(0.0, 1.0), r0)
+        got = u.value_at(0.5)
+        assert len(got.faces[0].holes) == 1
+        assert got.area() == pytest.approx(96.0)
+
+    def test_invalid_midway_rejected(self):
+        # Two faces translate towards each other and overlap mid-interval.
+        r0 = Region([f for f in Region.box(0, 0, 2, 2).faces] +
+                    [f for f in Region.box(8, 0, 10, 2).faces])
+        r1 = Region([f for f in Region.box(8, 0, 10, 2).faces] +
+                    [f for f in Region.box(0, 0, 2, 2).faces])
+        # Match faces crosswise so they pass through each other.
+        from repro.temporal.uregion import MFace as MF
+
+        f0a, f0b = r0.faces
+        mfaces = [
+            MF(MCycle.between_cycles(0.0, f0a.outer, 10.0, f0b.outer)),
+            MF(MCycle.between_cycles(0.0, f0b.outer, 10.0, f0a.outer)),
+        ]
+        with pytest.raises(InvalidValue):
+            URegion(closed(0.0, 10.0), mfaces, validate="full")
+
+    def test_collapse_to_point_cleanup(self):
+        from repro.temporal.interpolate import collapse_to_point
+
+        u = collapse_to_point(0.0, Region.box(0, 0, 4, 4), 10.0, (2.0, 2.0))
+        assert u.value_at(10.0) == Region()
+        assert u.value_at(9.0).area() > 0
+
+    def test_collapse_to_segment_cleanup(self):
+        # Square flattens to a horizontal segment at t=10: the two
+        # vertical edges degenerate, the two horizontal edges coincide
+        # (even parity) — everything cleans away.
+        r0 = Region.box(0, 0, 4, 4)
+        r1_segs = [
+            MSeg.between_segments(0.0, s, 10.0, ((s[0][0], 0.0), (s[1][0], 0.0)))
+            if s[0][0] != s[1][0]
+            else MSeg.between_segments(
+                0.0, s, 10.0, ((s[0][0], 0.0), (s[0][0], 0.0))
+            )
+            for s in r0.faces[0].outer.segments
+        ]
+        u = URegion(closed(0.0, 10.0), [MFace(MCycle(r1_segs), [])])
+        assert u.value_at(10.0) == Region()
+
+    def test_msegs_cross_detection(self):
+        a = MSeg.stationary(((0, 0), (4, 0)))
+        # b sweeps across a's interior between t=0 and t=10.
+        b = MSeg.between_segments(0.0, ((2, -2), (2, -1)), 10.0, ((2, 1), (2, 2)))
+        assert _msegs_cross_inside(a, b, 0.0, 10.0)
+
+    def test_msegs_no_cross(self):
+        a = MSeg.stationary(((0, 0), (4, 0)))
+        b = MSeg.stationary(((0, 5), (4, 5)))
+        assert not _msegs_cross_inside(a, b, 0.0, 10.0)
+
+    def test_bounding_cube_covers_motion(self):
+        u = square_uregion(offset=(5.0, 3.0))
+        c = u.bounding_cube()
+        assert c.xmax == pytest.approx(7.0)
+        assert c.ymax == pytest.approx(5.0)
+
+    def test_scaling_region(self):
+        r0 = Region.box(-2, -2, 2, 2)
+        r1 = Region.box(-4, -4, 4, 4)
+        u = URegion.between_regions(0.0, r0, 10.0, r1)
+        assert u.value_at(5.0).area() == pytest.approx(36.0)
+
+    def test_with_interval_restriction(self):
+        u = square_uregion()
+        r = u.restricted(closed(2.0, 3.0))
+        assert r.value_at(2.5).area() == pytest.approx(4.0)

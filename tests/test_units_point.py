@@ -1,0 +1,217 @@
+"""Tests for const units, MPoint/MSeg, upoint, and upoints (Section 3.2.6)."""
+
+import pytest
+
+from repro.base.values import BoolVal, IntVal, StringVal
+from repro.errors import InvalidValue
+from repro.ranges.interval import Interval, closed, interval_at
+from repro.spatial.point import Point
+from repro.spatial.points import Points
+from repro.temporal.mseg import MPoint, MSeg
+from repro.temporal.uconst import ConstUnit
+from repro.temporal.upoint import UPoint
+from repro.temporal.upoints import UPoints
+
+
+class TestConstUnit:
+    def test_constant_function(self):
+        u = ConstUnit(closed(0.0, 10.0), IntVal(7))
+        assert u.value_at(5.0) == IntVal(7)
+        assert u.value_at(0.0) == IntVal(7)
+
+    def test_outside_interval_none(self):
+        u = ConstUnit(closed(0.0, 10.0), IntVal(7))
+        assert u.value_at(11.0) is None
+
+    def test_rejects_undefined(self):
+        # Units never carry ⊥: absence of a unit encodes undefined.
+        with pytest.raises(InvalidValue):
+            ConstUnit(closed(0.0, 1.0), IntVal())
+        with pytest.raises(InvalidValue):
+            ConstUnit(closed(0.0, 1.0), None)
+
+    def test_of_wraps_scalars(self):
+        u = ConstUnit.of(closed(0.0, 1.0), True)
+        assert isinstance(u.value, BoolVal)
+
+    def test_same_function(self):
+        a = ConstUnit(closed(0.0, 1.0), IntVal(1))
+        b = ConstUnit(closed(5.0, 6.0), IntVal(1))
+        c = ConstUnit(closed(5.0, 6.0), IntVal(2))
+        assert a.same_function(b)
+        assert not a.same_function(c)
+
+    def test_restriction(self):
+        u = ConstUnit(closed(0.0, 10.0), StringVal("x"))
+        r = u.restricted(closed(2.0, 3.0))
+        assert r.interval == closed(2.0, 3.0) and r.value == StringVal("x")
+
+
+class TestMPoint:
+    def test_evaluation(self):
+        m = MPoint(1.0, 2.0, 3.0, -1.0)
+        assert m.at(0.0) == (1.0, 3.0)
+        assert m.at(2.0) == (5.0, 1.0)
+
+    def test_linear_between(self):
+        m = MPoint.linear_between(0.0, (0, 0), 10.0, (10, 20))
+        assert m.at(5.0) == pytest.approx((5.0, 10.0))
+
+    def test_linear_between_zero_span_same_point(self):
+        m = MPoint.linear_between(1.0, (2, 3), 1.0, (2, 3))
+        assert m.is_stationary()
+
+    def test_linear_between_zero_span_distinct_rejected(self):
+        with pytest.raises(InvalidValue):
+            MPoint.linear_between(1.0, (0, 0), 1.0, (1, 1))
+
+    def test_stationary(self):
+        m = MPoint.stationary((4, 5))
+        assert m.is_stationary() and m.at(100.0) == (4.0, 5.0)
+
+    def test_speed(self):
+        m = MPoint(0, 3, 0, 4)
+        assert m.speed == 5.0
+
+    def test_coincidence_identical(self):
+        m = MPoint(0, 1, 0, 1)
+        assert m.coincidence_times(MPoint(0, 1, 0, 1)) is None
+
+    def test_coincidence_crossing(self):
+        a = MPoint(0, 1, 0, 0)  # (t, 0)
+        b = MPoint(10, -1, 0, 0)  # (10 - t, 0)
+        assert a.coincidence_times(b) == [5.0]
+
+    def test_coincidence_parallel_never(self):
+        a = MPoint(0, 1, 0, 0)
+        b = MPoint(1, 1, 0, 0)
+        assert a.coincidence_times(b) == []
+
+    def test_coincidence_mismatched_times(self):
+        a = MPoint(0, 1, 0, 0)  # x = t, y = 0
+        b = MPoint(10, -1, 1, 0)  # x = 10 - t, y = 1
+        assert a.coincidence_times(b) == []
+
+    def test_distance_sq_quad(self):
+        a = MPoint(0, 1, 0, 0)
+        b = MPoint(0, 0, 0, 0)
+        # distance² = t²
+        assert a.distance_sq_quad(b) == pytest.approx((1.0, 0.0, 0.0))
+
+
+class TestMSeg:
+    def test_valid_translation(self):
+        m = MSeg.between_segments(0.0, ((0, 0), (1, 0)), 10.0, ((5, 5), (6, 5)))
+        assert m.seg_at(0.0) == ((0.0, 0.0), (1.0, 0.0))
+
+    def test_rotation_rejected(self):
+        # The segment turns 90 degrees: trajectories are not coplanar.
+        with pytest.raises(InvalidValue):
+            MSeg.between_segments(0.0, ((0, 0), (2, 0)), 10.0, ((10, 0), (10, 2)))
+
+    def test_scaling_is_coplanar(self):
+        m = MSeg.between_segments(0.0, ((0, 0), (2, 0)), 10.0, ((0, 0), (6, 0)))
+        assert m.seg_at(5.0) == ((0.0, 0.0), (4.0, 0.0))
+
+    def test_triangle_degeneracy(self):
+        m = MSeg.between_segments(0.0, ((0, 0), (2, 0)), 10.0, ((1, 5), (1, 5)))
+        assert m.seg_at(10.0) is None
+        assert m.degenerate_times() == [10.0]
+
+    def test_identical_endpoints_rejected(self):
+        p = MPoint(0, 1, 0, 1)
+        with pytest.raises(InvalidValue):
+            MSeg(p, p)
+
+    def test_stationary(self):
+        m = MSeg.stationary(((0, 0), (1, 1)))
+        assert m.seg_at(42.0) == ((0.0, 0.0), (1.0, 1.0))
+
+
+class TestUPoint:
+    def test_between(self):
+        u = UPoint.between(0.0, (0, 0), 10.0, (10, 0))
+        assert u.value_at(5.0) == Point(5, 0)
+
+    def test_outside_none(self):
+        u = UPoint.between(0.0, (0, 0), 10.0, (10, 0))
+        assert u.value_at(-1.0) is None
+
+    def test_start_end_points(self):
+        u = UPoint.between(0.0, (0, 0), 10.0, (10, 4))
+        assert u.start_point() == (0.0, 0.0)
+        assert u.end_point() == (10.0, 4.0)
+
+    def test_speed(self):
+        u = UPoint.between(0.0, (0, 0), 1.0, (3, 4))
+        assert u.speed == 5.0
+
+    def test_bounding_cube(self):
+        u = UPoint.between(2.0, (0, 1), 6.0, (4, 3))
+        c = u.bounding_cube()
+        assert (c.xmin, c.ymin, c.tmin, c.xmax, c.ymax, c.tmax) == (0, 1, 2, 4, 3, 6)
+
+    def test_stationary(self):
+        u = UPoint.stationary(closed(0.0, 5.0), (1, 2))
+        assert u.value_at(3.0) == Point(1, 2)
+
+    def test_restriction_keeps_motion(self):
+        u = UPoint.between(0.0, (0, 0), 10.0, (10, 0))
+        r = u.restricted(closed(4.0, 6.0))
+        assert r.value_at(5.0) == Point(5, 0)
+
+
+class TestUPoints:
+    def test_evaluation_is_points(self):
+        u = UPoints(
+            closed(0.0, 10.0),
+            [MPoint(0, 1, 0, 0), MPoint(0, 1, 5, 0)],
+        )
+        assert u.value_at(2.0) == Points([(2, 0), (2, 5)])
+
+    def test_needs_at_least_one(self):
+        with pytest.raises(InvalidValue):
+            UPoints(closed(0.0, 1.0), [])
+
+    def test_identical_motions_deduplicated(self):
+        # M is a set: listing the same moving point twice is one element.
+        u = UPoints(closed(0.0, 1.0), [MPoint(0, 1, 0, 0), MPoint(0, 1, 0, 0)])
+        assert len(u) == 1
+
+    def test_crossing_inside_open_interval_rejected(self):
+        # Paths cross at t=5, interior to [0, 10].
+        with pytest.raises(InvalidValue):
+            UPoints(
+                closed(0.0, 10.0),
+                [MPoint(0, 1, 0, 0), MPoint(10, -1, 0, 0)],
+            )
+
+    def test_crossing_at_endpoint_allowed(self):
+        # Collapse exactly at the interval end: condition (i) only
+        # constrains the open interval.
+        u = UPoints(
+            closed(0.0, 5.0),
+            [MPoint(0, 1, 0, 0), MPoint(10, -1, 0, 0)],
+        )
+        # At the endpoint the two coincide; the set collapses to one point.
+        assert len(u.value_at(5.0)) == 1
+        assert len(u.value_at(2.0)) == 2
+
+    def test_instant_unit_distinctness(self):
+        # Condition (ii): a single-instant unit needs distinct points there.
+        with pytest.raises(InvalidValue):
+            UPoints(
+                interval_at(5.0),
+                [MPoint(0, 1, 0, 0), MPoint(10, -1, 0, 0)],
+            )
+
+    def test_instant_unit_valid(self):
+        u = UPoints(interval_at(1.0), [MPoint(0, 1, 0, 0), MPoint(5, 0, 5, 0)])
+        assert len(u.value_at(1.0)) == 2
+
+    def test_motions_sorted(self):
+        u = UPoints(
+            closed(0.0, 1.0), [MPoint(5, 0, 5, 0), MPoint(0, 0, 0, 0)]
+        )
+        keys = [m.sort_key() for m in u.motions]
+        assert keys == sorted(keys)

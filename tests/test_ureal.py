@@ -1,0 +1,190 @@
+"""Tests for the ureal unit type (Section 3.2.5)."""
+
+import math
+
+import pytest
+
+from repro.errors import InvalidValue, NotClosed
+from repro.ranges.interval import Interval, closed, interval_at
+from repro.temporal.ureal import UReal
+
+
+class TestConstruction:
+    def test_polynomial(self):
+        u = UReal(closed(0.0, 10.0), 1, 2, 3)
+        assert u.coefficients == (1.0, 2.0, 3.0, False)
+
+    def test_sqrt_form(self):
+        u = UReal(closed(0.0, 10.0), 0, 0, 4, r=True)
+        assert u.is_sqrt
+
+    def test_sqrt_negative_radicand_rejected(self):
+        with pytest.raises(InvalidValue):
+            UReal(closed(0.0, 10.0), 0, 0, -1, r=True)
+
+    def test_sqrt_radicand_dips_negative_rejected(self):
+        # t² - 1 is negative inside (-1, 1).
+        with pytest.raises(InvalidValue):
+            UReal(closed(-2.0, 2.0), 1, 0, -1, r=True)
+
+    def test_nonfinite_rejected(self):
+        with pytest.raises(InvalidValue):
+            UReal(closed(0.0, 1.0), float("nan"), 0, 0)
+
+    def test_constant_helper(self):
+        u = UReal.constant(closed(0.0, 5.0), 7.5)
+        assert u.eval(3.0) == 7.5
+
+    def test_linear_between(self):
+        u = UReal.linear_between(closed(2.0, 4.0), 10.0, 20.0)
+        assert u.eval(2.0) == pytest.approx(10.0)
+        assert u.eval(3.0) == pytest.approx(15.0)
+        assert u.eval(4.0) == pytest.approx(20.0)
+
+    def test_interval_tuple_coercion(self):
+        u = UReal((0.0, 1.0), 0, 0, 1)
+        assert u.interval == closed(0.0, 1.0)
+
+
+class TestEvaluation:
+    def test_polynomial_eval(self):
+        u = UReal(closed(0.0, 10.0), 1, -2, 1)  # (t-1)²
+        assert u.eval(3.0) == 4.0
+
+    def test_sqrt_eval(self):
+        u = UReal(closed(0.0, 10.0), 0, 0, 9, r=True)
+        assert u.eval(5.0) == 3.0
+
+    def test_value_at_inside(self):
+        u = UReal(closed(0.0, 10.0), 0, 1, 0)
+        assert u.value_at(4.0).value == 4.0
+
+    def test_value_at_outside_is_none(self):
+        u = UReal(closed(0.0, 10.0), 0, 1, 0)
+        assert u.value_at(11.0) is None
+
+    def test_value_at_open_end_is_none(self):
+        u = UReal(Interval(0.0, 10.0, True, False), 0, 1, 0)
+        assert u.value_at(10.0) is None
+        assert u.value_at(0.0) is not None
+
+
+class TestAnalysis:
+    def test_range_polynomial(self):
+        u = UReal(closed(0.0, 4.0), 1, -4, 5)  # vertex at t=2, v=1
+        assert u.minimum() == 1.0
+        assert u.maximum() == 5.0
+
+    def test_range_sqrt(self):
+        u = UReal(closed(0.0, 4.0), 1, -4, 5, r=True)
+        assert u.minimum() == 1.0
+        assert u.maximum() == pytest.approx(math.sqrt(5.0))
+
+    def test_argmin_vertex(self):
+        u = UReal(closed(0.0, 4.0), 1, -4, 5)
+        assert u.argmin() == 2.0
+
+    def test_argmin_endpoint(self):
+        u = UReal(closed(0.0, 4.0), 0, 1, 0)
+        assert u.argmin() == 0.0
+        assert u.argmax() == 4.0
+
+    def test_times_at_value(self):
+        u = UReal(closed(0.0, 4.0), 1, -4, 5)
+        assert u.times_at_value(2.0) == pytest.approx([1.0, 3.0])
+
+    def test_times_at_value_sqrt(self):
+        u = UReal(closed(0.0, 4.0), 1, -4, 5, r=True)  # sqrt((t-2)²+1)
+        assert u.times_at_value(math.sqrt(2.0)) == pytest.approx([1.0, 3.0])
+
+    def test_times_at_value_constant(self):
+        u = UReal.constant(closed(0.0, 4.0), 3.0)
+        assert u.times_at_value(3.0) == [0.0, 4.0]
+
+
+class TestArithmetic:
+    def test_plus(self):
+        iv = closed(0.0, 1.0)
+        got = UReal(iv, 1, 0, 0).plus(UReal(iv, 0, 1, 2))
+        assert got.quad == (1.0, 1.0, 2.0)
+
+    def test_plus_needs_same_interval(self):
+        with pytest.raises(InvalidValue):
+            UReal(closed(0.0, 1.0), 0, 0, 1).plus(UReal(closed(0.0, 2.0), 0, 0, 1))
+
+    def test_sqrt_plus_not_closed(self):
+        iv = closed(0.0, 1.0)
+        with pytest.raises(NotClosed):
+            UReal(iv, 0, 0, 1, r=True).plus(UReal(iv, 0, 0, 1))
+
+    def test_minus(self):
+        iv = closed(0.0, 1.0)
+        got = UReal(iv, 1, 1, 1).minus(UReal(iv, 1, 0, 0))
+        assert got.quad == (0.0, 1.0, 1.0)
+
+    def test_negate_polynomial(self):
+        u = -UReal(closed(0.0, 1.0), 1, 2, 3)
+        assert u.quad == (-1.0, -2.0, -3.0)
+
+    def test_negate_sqrt_not_closed(self):
+        with pytest.raises(NotClosed):
+            -UReal(closed(0.0, 1.0), 0, 0, 1, r=True)
+
+    def test_squared_of_linear(self):
+        u = UReal(closed(0.0, 1.0), 0, 2, 1).squared()  # (2t+1)²
+        assert u.quad == (4.0, 4.0, 1.0)
+
+    def test_squared_of_sqrt_drops_root(self):
+        u = UReal(closed(0.0, 1.0), 1, 2, 3, r=True).squared()
+        assert u.quad == (1.0, 2.0, 3.0) and not u.is_sqrt
+
+    def test_squared_of_quadratic_not_closed(self):
+        with pytest.raises(NotClosed):
+            UReal(closed(0.0, 1.0), 1, 0, 0).squared()
+
+    def test_sqrt_of_polynomial(self):
+        u = UReal(closed(0.0, 1.0), 0, 0, 4).sqrt()
+        assert u.is_sqrt and u.eval(0.5) == 2.0
+
+    def test_nested_sqrt_not_closed(self):
+        with pytest.raises(NotClosed):
+            UReal(closed(0.0, 1.0), 0, 0, 4, r=True).sqrt()
+
+    def test_derivative_polynomial(self):
+        u = UReal(closed(0.0, 1.0), 3, 2, 1).derivative()
+        assert u.quad == (0.0, 6.0, 2.0)
+
+    def test_derivative_sqrt_not_closed(self):
+        # The paper: derivative cannot be transferred to the discrete model.
+        with pytest.raises(NotClosed):
+            UReal(closed(0.0, 1.0), 0, 0, 1, r=True).derivative()
+
+
+class TestCompareTimes:
+    def test_poly_poly(self):
+        iv = closed(0.0, 5.0)
+        a = UReal(iv, 0, 1, 0)  # t
+        b = UReal(iv, 0, 0, 2)  # 2
+        assert a.compare_times(b) == [2.0]
+
+    def test_sqrt_sqrt(self):
+        iv = closed(0.0, 5.0)
+        a = UReal(iv, 0, 1, 0, r=True)
+        b = UReal(iv, 0, 0, 2, r=True)
+        assert a.compare_times(b) == [2.0]
+
+    def test_linear_vs_sqrt(self):
+        iv = closed(0.0, 5.0)
+        a = UReal(iv, 0, 1, 0)  # t
+        b = UReal(iv, 0, 0, 4, r=True)  # 2
+        assert a.compare_times(b) == [2.0]
+
+    def test_restriction(self):
+        u = UReal(closed(0.0, 10.0), 0, 1, 0)
+        r = u.restricted(closed(2.0, 4.0))
+        assert r.interval == closed(2.0, 4.0)
+        assert r.eval(3.0) == 3.0
+
+    def test_restriction_disjoint_is_none(self):
+        u = UReal(closed(0.0, 1.0), 0, 1, 0)
+        assert u.restricted(closed(5.0, 6.0)) is None

@@ -1,0 +1,142 @@
+"""Tests for exact window queries and the SVG renderer."""
+
+import pytest
+
+from repro.ranges.interval import Interval, closed
+from repro.ranges.rangeset import RangeSet
+from repro.spatial.bbox import Rect
+from repro.spatial.line import Line
+from repro.spatial.point import Point
+from repro.spatial.points import Points
+from repro.spatial.region import Region
+from repro.temporal.mapping import MovingPoint, MovingRegion
+from repro.temporal.upoint import UPoint
+from repro.temporal.uregion import URegion
+from repro.ops.window import (
+    WindowQueryEngine,
+    mpoint_within_rect_times,
+    upoint_within_rect_times,
+)
+from repro.io.svg import SvgCanvas, render_film_strip, render_values
+from repro.workloads.trajectories import random_flights
+
+
+class TestUnitWindow:
+    def test_pass_through(self):
+        u = UPoint.between(0.0, (-5.0, 1.0), 10.0, (15.0, 1.0))
+        iv = upoint_within_rect_times(u, Rect(0, 0, 4, 4))
+        # x(t) = -5 + 2t in [0, 4] -> t in [2.5, 4.5].
+        assert iv.s == pytest.approx(2.5)
+        assert iv.e == pytest.approx(4.5)
+
+    def test_never_inside(self):
+        u = UPoint.between(0.0, (0.0, 10.0), 10.0, (10.0, 10.0))
+        assert upoint_within_rect_times(u, Rect(0, 0, 4, 4)) is None
+
+    def test_always_inside(self):
+        u = UPoint.between(0.0, (1.0, 1.0), 10.0, (3.0, 3.0))
+        iv = upoint_within_rect_times(u, Rect(0, 0, 4, 4))
+        assert (iv.s, iv.e) == (0.0, 10.0)
+
+    def test_stationary_outside(self):
+        u = UPoint.stationary(closed(0.0, 5.0), (100.0, 100.0))
+        assert upoint_within_rect_times(u, Rect(0, 0, 4, 4)) is None
+
+    def test_diagonal_corner_clip(self):
+        u = UPoint.between(0.0, (0.0, 0.0), 10.0, (10.0, 10.0))
+        iv = upoint_within_rect_times(u, Rect(4, 6, 8, 8))
+        # x in [4,8] -> t in [4,8]; y in [6,8] -> t in [6,8]; joint [6,8].
+        assert (iv.s, iv.e) == (6.0, 8.0)
+
+    def test_mapping_level_multiple_visits(self):
+        mp = MovingPoint.from_waypoints(
+            [(0, (-5, 1)), (10, (15, 1)), (20, (-5, 1))]
+        )
+        times = mpoint_within_rect_times(mp, Rect(0, 0, 4, 4))
+        assert len(times) == 2
+        assert times.total_length() == pytest.approx(4.0)
+
+    def test_matches_dense_sampling(self):
+        for seed in range(5):
+            mp = random_flights(1, legs=5, seed=seed)[0]
+            rect = Rect(2000, 2000, 7000, 7000)
+            times = mpoint_within_rect_times(mp, rect)
+            t0, t1 = mp.start_time(), mp.end_time()
+            for k in range(200):
+                t = t0 + (t1 - t0) * k / 199.0
+                p = mp.value_at(t)
+                inside = p is not None and rect.contains_point(p.vec)
+                assert times.contains(t) == inside, f"seed {seed}, t={t}"
+
+
+class TestWindowEngine:
+    def build(self, n=20, seed=9):
+        engine = WindowQueryEngine()
+        for i, f in enumerate(random_flights(n, legs=5, seed=seed)):
+            engine.add(i, f)
+        return engine
+
+    def test_filtered_equals_naive(self):
+        engine = self.build()
+        rect = Rect(1000, 1000, 6000, 6000)
+        got = engine.query(rect, 100.0, 900.0)
+        naive = engine.query_naive(rect, 100.0, 900.0)
+        assert got == naive
+
+    def test_results_within_window(self):
+        engine = self.build()
+        rect = Rect(1000, 1000, 6000, 6000)
+        for _key, times in engine.query(rect, 100.0, 900.0):
+            assert times.minimum >= 100.0
+            assert times.maximum <= 900.0
+
+    def test_empty_window(self):
+        engine = self.build()
+        assert engine.query(Rect(1e7, 1e7, 1e7 + 1, 1e7 + 1), 0.0, 1.0) == []
+
+
+class TestSvg:
+    def test_render_static_values(self):
+        region = Region.polygon(
+            [(0, 0), (10, 0), (10, 10), (0, 10)],
+            holes=[[(4, 4), (6, 4), (6, 6), (4, 6)]],
+        )
+        line = Line.polyline([(0, 0), (5, 12)])
+        pts = Points([(2, 2), (8, 8)])
+        svg = render_values([region, line, pts, Point(1, 9)])
+        assert svg.startswith("<svg")
+        assert svg.count("<path") == 1  # one region
+        assert svg.count("<line") == 1
+        assert svg.count("<circle") == 3  # two points + one point value
+        assert "evenodd" in svg  # hole rendering
+
+    def test_film_strip_region(self):
+        mr = MovingRegion(
+            [
+                URegion.between_regions(
+                    0.0, Region.box(0, 0, 2, 2), 10.0, Region.box(8, 0, 10, 2)
+                )
+            ]
+        )
+        svg = render_film_strip(mr, frames=4)
+        assert svg.count("<path") == 4
+        assert "t=0" in svg and "t=10" in svg
+
+    def test_film_strip_point_with_trajectory(self):
+        mp = MovingPoint.from_waypoints([(0, (0, 0)), (10, (10, 5))])
+        svg = render_film_strip(mp, frames=3)
+        assert svg.count("<circle") == 3
+        assert "<line" in svg  # the trajectory backdrop
+
+    def test_canvas_save(self, tmp_path):
+        canvas = SvgCanvas(Rect(0, 0, 10, 10))
+        canvas.add_points([(5, 5)], "#000000")
+        path = tmp_path / "out.svg"
+        canvas.save(str(path))
+        assert path.read_text().startswith("<svg")
+
+    def test_y_axis_flipped(self):
+        canvas = SvgCanvas(Rect(0, 0, 10, 10), width=100, height=100, margin=0)
+        low = canvas._map((5, 0))
+        high = canvas._map((5, 10))
+        assert low[1] > high[1]  # larger world y is higher on screen

@@ -1,0 +1,169 @@
+"""Tests for the workload generators and the executable type system."""
+
+import pytest
+
+from repro.errors import TypeMismatch
+from repro.spatial.region import Region
+from repro.temporal.interpolate import collapse_to_point, interpolate_convex
+from repro.temporal.mapping import MovingPoint, MovingRegion
+from repro.typesystem import (
+    ABSTRACT_SIGNATURE,
+    DISCRETE_SIGNATURE,
+    TypeTerm,
+    discrete_of,
+    implementation_of,
+    parse_type,
+)
+from repro.workloads.network import RoadNetwork
+from repro.workloads.regions import StormGenerator, random_storms, regular_polygon
+from repro.workloads.trajectories import FlightGenerator, random_flights
+
+
+class TestFlights:
+    def test_reproducible(self):
+        a = random_flights(3, legs=4, seed=9)
+        b = random_flights(3, legs=4, seed=9)
+        assert a == b
+
+    def test_different_seeds_differ(self):
+        assert random_flights(1, seed=1) != random_flights(1, seed=2)
+
+    def test_unit_count(self):
+        f = FlightGenerator(seed=0).flight(legs=7)
+        assert 1 <= len(f) <= 7
+
+    def test_within_airspace(self):
+        gen = FlightGenerator(seed=3)
+        f = gen.flight(legs=5)
+        for u in f.units:
+            for p in (u.start_point(), u.end_point()):
+                assert gen.airspace.contains_point(p)
+
+    def test_stagger(self):
+        fleet = FlightGenerator(seed=0).fleet(3, legs=2, stagger=100.0)
+        starts = [f.start_time() for f in fleet]
+        assert starts == [0.0, 100.0, 200.0]
+
+
+class TestStorms:
+    def test_reproducible(self):
+        assert random_storms(2, phases=3, seed=5) == random_storms(2, phases=3, seed=5)
+
+    def test_valid_region_at_all_times(self):
+        storm = StormGenerator(seed=1).storm(phases=4)
+        t0, t1 = storm.start_time(), storm.end_time()
+        for k in range(9):
+            t = t0 + (t1 - t0) * k / 8.0
+            r = storm.value_at(t)
+            assert r is not None and r.area() > 0
+
+    def test_continuity_across_units(self):
+        storm = StormGenerator(seed=2).storm(phases=3)
+        for a, b in zip(storm.units, storm.units[1:]):
+            t = b.interval.s
+            ra = a._iota(t)
+            rb = b.value_at(t)
+            assert ra.area() == pytest.approx(rb.area(), rel=1e-9)
+
+    def test_with_hole(self):
+        storm = StormGenerator(seed=3).storm(phases=2, with_hole=True)
+        r = storm.value_at(storm.start_time() + 1.0)
+        assert len(r.faces[0].holes) == 1
+
+    def test_regular_polygon(self):
+        r = regular_polygon((0, 0), 10.0, sides=64)
+        import math
+
+        assert r.area() == pytest.approx(math.pi * 100.0, rel=0.01)
+
+
+class TestNetwork:
+    def test_reproducible(self):
+        a = RoadNetwork(rows=4, cols=4, seed=1).trips(3)
+        b = RoadNetwork(rows=4, cols=4, seed=1).trips(3)
+        assert a == b
+
+    def test_trips_follow_edges(self):
+        net = RoadNetwork(rows=4, cols=4, seed=2)
+        trip = net.random_trip()
+        node_positions = set(net.positions.values())
+        assert trip.units[0].start_point() in node_positions
+        assert trip.units[-1].end_point() in node_positions
+
+    def test_constant_speed(self):
+        net = RoadNetwork(rows=3, cols=3, seed=4)
+        trip = net.random_trip(speed=10.0)
+        for u in trip.units:
+            assert u.speed == pytest.approx(10.0)
+
+
+class TestInterpolation:
+    def test_area_continuity(self):
+        r0 = regular_polygon((0, 0), 10, 5)
+        r1 = regular_polygon((8, 3), 4, 7)
+        u = interpolate_convex(0.0, r0, 10.0, r1)
+        assert u._iota(1e-9).area() == pytest.approx(r0.area(), rel=1e-3)
+        assert u._iota(10 - 1e-9).area() == pytest.approx(r1.area(), rel=1e-3)
+
+    def test_collapse(self):
+        u = collapse_to_point(0.0, regular_polygon((0, 0), 5, 6), 4.0, (0, 0))
+        assert u.value_at(4.0) == Region()
+        assert u.value_at(2.0).area() > 0
+
+    def test_non_convex_rejected(self):
+        from repro.errors import InvalidValue
+
+        concave = Region.polygon([(0, 0), (4, 0), (4, 4), (2, 1), (0, 4)])
+        with pytest.raises(InvalidValue):
+            interpolate_convex(0.0, concave, 1.0, regular_polygon((0, 0), 1, 4))
+
+
+class TestTypeSystem:
+    def test_table1_atoms(self):
+        names = {str(t) for t in ABSTRACT_SIGNATURE.atomic_types()}
+        assert names == {
+            "int", "real", "string", "bool",
+            "point", "points", "line", "region", "instant",
+        }
+
+    def test_table1_constructors(self):
+        assert ABSTRACT_SIGNATURE.is_well_formed(parse_type("moving(point)"))
+        assert ABSTRACT_SIGNATURE.is_well_formed(parse_type("range(instant)"))
+        assert not ABSTRACT_SIGNATURE.is_well_formed(parse_type("moving(instant)"))
+        assert not ABSTRACT_SIGNATURE.is_well_formed(parse_type("range(region)"))
+
+    def test_table2_units(self):
+        for u in ("ureal", "upoint", "upoints", "uline", "uregion"):
+            assert DISCRETE_SIGNATURE.is_well_formed(parse_type(u))
+        assert DISCRETE_SIGNATURE.is_well_formed(parse_type("mapping(upoint)"))
+        assert DISCRETE_SIGNATURE.is_well_formed(parse_type("mapping(const(int))"))
+        assert not DISCRETE_SIGNATURE.is_well_formed(parse_type("mapping(point)"))
+        assert not DISCRETE_SIGNATURE.is_well_formed(parse_type("moving(point)"))
+
+    def test_table3_correspondence(self):
+        cases = {
+            "moving(int)": "mapping(const(int))",
+            "moving(string)": "mapping(const(string))",
+            "moving(bool)": "mapping(const(bool))",
+            "moving(real)": "mapping(ureal)",
+            "moving(point)": "mapping(upoint)",
+            "moving(points)": "mapping(upoints)",
+            "moving(line)": "mapping(uline)",
+            "moving(region)": "mapping(uregion)",
+        }
+        for abstract, discrete in cases.items():
+            assert str(discrete_of(parse_type(abstract))) == discrete
+
+    def test_non_moving_passes_through(self):
+        assert str(discrete_of(parse_type("range(instant)"))) == "range(instant)"
+        assert str(discrete_of(parse_type("region"))) == "region"
+
+    def test_every_discrete_type_has_an_implementation(self):
+        for term in DISCRETE_SIGNATURE.all_types(max_depth=3):
+            kind = DISCRETE_SIGNATURE.kind_of(term)
+            impl = implementation_of(term)
+            assert impl is not None, f"no implementation for {term} ({kind})"
+
+    def test_kind_of_rejects_garbage(self):
+        with pytest.raises(TypeMismatch):
+            DISCRETE_SIGNATURE.kind_of(parse_type("mapping(mapping(upoint))"))
