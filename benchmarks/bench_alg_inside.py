@@ -15,6 +15,7 @@ import time
 import pytest
 
 from conftest import report, translating_mregion, zigzag_moving_point
+from repro import obs
 from repro.ops.inside import inside
 from repro.temporal.mapping import MovingPoint
 
@@ -130,3 +131,68 @@ def test_a2_correct_alternation(benchmark):
         if p is None or r is None:
             continue
         assert bool(got.value) == r.contains_point(p), f"mismatch at t={t}"
+
+
+def test_a2_counter_refinement_linear():
+    """The O(n + m + S) claim by operation count instead of wall-clock.
+
+    The refinement scan must touch every unit exactly once
+    (``refinement.unit_visits == n + m``) and the geometric work must be
+    proportional to S (= pairs x msegs/unit), never to n x m.  Runs
+    without pytest-benchmark (check.sh smoke).
+    """
+    rows = []
+    for n in (32, 128, 512):
+        mp = zigzag_moving_point(n, speed=1.0)
+        mr = translating_mregion(units=n, sides=8, radius=3.0)
+        with obs.capture() as c:
+            inside(mp, mr)
+        rows.append(
+            (
+                n,
+                c.get("refinement.unit_visits"),
+                c.get("inside.unit_pairs"),
+                c.get("inside.crossing_quads"),
+                c.get("inside.plumbline_tests"),
+            )
+        )
+    report(
+        "A2 inside op counts vs n (= m, fixed 8 msegs/unit)",
+        rows,
+        ("units n", "unit visits", "pairs", "quads", "plumblines"),
+    )
+    for n, visits, pairs, quads, plumbs in rows:
+        assert visits == 2 * n  # each unit visited once: O(n + m)
+        assert 0 < pairs <= 2 * (2 * n)  # refinement pieces, not n*m
+        assert quads <= 8 * pairs  # geometric work bounded by S
+        assert plumbs < n * n  # nowhere near quadratic
+    # 16x the input must cost ~16x the quads (linear in S), not 256x.
+    assert rows[-1][3] <= 32 * rows[0][3]
+
+
+def test_a2_counter_far_apart_skips_geometry():
+    """Disjoint bounding cubes: every unit pair short-circuits, so the
+    counters prove the O(n + m) fast path does zero geometric work."""
+    n = 64
+    far_mp = MovingPoint.from_waypoints(
+        [(float(k), (1e6 + k, 1e6 + (k % 2))) for k in range(n + 1)]
+    )
+    mr = translating_mregion(units=n, sides=64, radius=3.0)
+    with obs.capture() as c:
+        mb = inside(far_mp, mr)
+    assert not mb.when(True)
+    pairs = c.get("inside.unit_pairs")
+    assert pairs > 0
+    assert c.get("inside.bbox_fast_path") == pairs
+    assert c.get("inside.crossing_quads") == 0
+    assert c.get("inside.plumbline_tests") == 0
+    report(
+        "A2 inside far-apart op counts (n = m = 64, 64 msegs/unit)",
+        [
+            ("unit pairs", pairs),
+            ("bbox fast path", c.get("inside.bbox_fast_path")),
+            ("crossing quads", c.get("inside.crossing_quads")),
+            ("plumbline tests", c.get("inside.plumbline_tests")),
+        ],
+        ("counter", "value"),
+    )

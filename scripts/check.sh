@@ -1,0 +1,20 @@
+#!/usr/bin/env bash
+# Tier-1 verification: the full test suite plus a fast operation-counter
+# smoke of the Section-5.1 benchmark (asserts the O(log n) probe claim
+# by exact count, no wall-clock flakiness, no pytest-benchmark flags).
+#
+# Usage: scripts/check.sh  (from the repository root)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+export PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}"
+
+echo "== tier-1: test suite =="
+python -m pytest -x -q
+
+echo
+echo "== tier-1: counter-assertion smoke (benchmarks, -k counter) =="
+python -m pytest -q -p no:cacheprovider benchmarks/bench_alg_atinstant.py -k counter
+
+echo
+echo "check.sh: all green"

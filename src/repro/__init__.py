@@ -18,6 +18,7 @@ Packages
 ``repro.index``      3-D R-tree over unit bounding cubes
 ``repro.workloads``  synthetic flights, storms, road-network trips
 ``repro.typesystem`` executable signatures of Tables 1–3
+``repro.obs``        operation counters/timers for the Section-5 claims
 """
 
 from repro.base import BoolVal, Instant, IntVal, RealVal, StringVal
@@ -42,6 +43,7 @@ from repro.temporal import (
     UReal,
     URegion,
 )
+from repro import obs
 from repro.errors import (
     CatalogError,
     InvalidValue,
@@ -97,5 +99,6 @@ __all__ = [
     "StorageError",
     "TypeMismatch",
     "UndefinedValue",
+    "obs",
     "__version__",
 ]

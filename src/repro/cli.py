@@ -163,6 +163,12 @@ def main(argv: Optional[List[str]] = None) -> int:
     parser = argparse.ArgumentParser(
         prog="repro", description="moving objects databases (SIGMOD 2000 reproduction)"
     )
+    parser.add_argument(
+        "--profile",
+        action="store_true",
+        help="collect operation counters (repro.obs) and print a report "
+        "after the command finishes",
+    )
     sub = parser.add_subparsers(dest="command", required=True)
     sub.add_parser("demo", help="run the Section-2 example queries").set_defaults(
         fn=cmd_demo
@@ -175,7 +181,19 @@ def main(argv: Optional[List[str]] = None) -> int:
     fig_p.set_defaults(fn=cmd_figures)
     sub.add_parser("info", help="version and inventory").set_defaults(fn=cmd_info)
     args = parser.parse_args(argv)
-    return args.fn(args)
+    if not args.profile:
+        return args.fn(args)
+    from repro import obs
+
+    obs.reset()
+    obs.enable()
+    try:
+        rc = args.fn(args)
+    finally:
+        obs.disable()
+    print("\n== operation counters (--profile) ==")
+    print(obs.report())
+    return rc
 
 
 if __name__ == "__main__":  # pragma: no cover

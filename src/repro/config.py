@@ -15,6 +15,11 @@ import math
 #: Absolute tolerance used by all floating point comparisons.
 EPSILON: float = 1e-9
 
+#: Default state of the operation-counting observability layer
+#: (:mod:`repro.obs`).  Off by default: instrumented hot paths then cost
+#: exactly one branch.  Flip at runtime with ``repro.obs.enable()``.
+OBS_ENABLED: bool = False
+
 #: Database arrays at most this many bytes are stored inline in the tuple;
 #: larger ones are moved to a separate FLOB (large object) file, following
 #: the placement strategy of Dieker & Gueting [DG98].

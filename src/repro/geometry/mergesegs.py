@@ -75,24 +75,35 @@ def _carrier_underflows(carrier: Seg) -> bool:
     return dist_sq(carrier[0], carrier[1]) == 0.0
 
 
-def _events_on_carrier(group: list[Seg]) -> list[tuple[float, int]]:
+def _events_on_carrier(
+    group: list[Seg], param_tol: float = 1e-12
+) -> tuple[list[tuple[float, int]], list[Seg]]:
     """Project a collinear group onto its carrier line as 1-D intervals.
 
     Returns sorted events ``(param, delta)`` with delta +1 at a segment
     start and -1 at a segment end, parameterized along the group's
-    longest segment (a short carrier would lose precision).
+    longest segment (a short carrier would lose precision), plus the
+    members whose projection *degenerates* to a single parameter.  Such
+    a member is a sub-tolerance segment lying (near-)orthogonal to the
+    carrier — the eps-tolerant collinearity test groups it with
+    anything — and merging it would silently delete it from the union;
+    callers must emit those members unchanged.
     """
     carrier = _carrier_of(group)
     events: list[tuple[float, int]] = []
+    passthrough: list[Seg] = []
     for s in group:
         t0 = project_param(s[0], carrier)
         t1 = project_param(s[1], carrier)
         if t0 > t1:
             t0, t1 = t1, t0
+        if t1 - t0 <= param_tol:
+            passthrough.append(s)
+            continue
         events.append((t0, +1))
         events.append((t1, -1))
     events.sort(key=lambda e: (e[0], -e[1]))
-    return events
+    return events, passthrough
 
 
 def merge_segs(segs: Iterable[Seg], eps: float = EPSILON) -> list[Seg]:
@@ -113,7 +124,8 @@ def merge_segs(segs: Iterable[Seg], eps: float = EPSILON) -> list[Seg]:
         if _carrier_underflows(carrier):
             result.extend(set(group))
             continue
-        events = _events_on_carrier(group)
+        events, passthrough = _events_on_carrier(group)
+        result.extend(set(passthrough))
         depth = 0
         run_start: float | None = None
         runs: list[tuple[float, float]] = []
@@ -158,7 +170,8 @@ def parity_fragments(segs: Iterable[Seg], eps: float = EPSILON) -> list[Seg]:
         if _carrier_underflows(carrier):
             result.extend(set(group))
             continue
-        events = _events_on_carrier(group)
+        events, passthrough = _events_on_carrier(group)
+        result.extend(set(passthrough))
         depth = 0
         prev_param: float | None = None
         odd_runs: list[tuple[float, float]] = []

@@ -13,6 +13,7 @@ from __future__ import annotations
 
 from typing import Iterable
 
+from repro import obs
 from repro.config import EPSILON
 from repro.geometry.primitives import Vec
 from repro.geometry.segment import Seg, point_on_seg
@@ -27,21 +28,46 @@ def crossings_above(p: Vec, segs: Iterable[Seg], eps: float = EPSILON) -> int:
     """Count segments crossed by the vertical ray going up from ``p``.
 
     A segment is counted when the ray pierces its interior or its left
-    end point (the half-open rule ``x0 <= px < x1`` makes vertices count
+    end point: the half-open rule ``x0 <= px < x1`` makes vertices count
     exactly once and vertical segments never, giving a consistent parity
-    for points not on the boundary).
+    for points not on the boundary.
+
+    Every comparison is eps-tolerant, with one *shifted* half-open
+    window per segment: a segment is treated as vertical when its
+    x-extent is within ``eps`` (the exact ``x0 == x1`` test would let a
+    near-vertical segment through to the interpolation below, where the
+    tiny denominator turns rounding noise into an arbitrary height), and
+    the ray hits the segment when ``x0 - eps <= px < x1 - eps``.  The
+    shifted windows of a segment chain tile the x-axis exactly like the
+    exact rule's windows do, so points within ``eps`` of a shared vertex
+    are claimed by exactly one of the two incident segments and the
+    parity stays stable under vertex perturbation.
     """
     x, y = p
     count = 0
+    tested = 0
     for (x0, y0), (x1, y1) in segs:
-        if x0 == x1:
-            continue  # vertical segment: never crossed by the half-open rule
-        if x0 <= x < x1:
-            # y-coordinate of the segment at the ray's x position.
+        tested += 1
+        if x0 > x1:  # tolerate unnormalized input
+            x0, y0, x1, y1 = x1, y1, x0, y0
+        if x1 - x0 <= eps:
+            continue  # (near-)vertical segment: never crossed
+        if x0 - eps <= x < x1 - eps:
+            # y-coordinate of the segment at the ray's x position; the
+            # eps-widened window may put x a hair outside [x0, x1], so
+            # clamp the parameter to the segment.
             t = (x - x0) / (x1 - x0)
+            if t < 0.0:
+                t = 0.0
+            elif t > 1.0:
+                t = 1.0
             ys = y0 + t * (y1 - y0)
             if ys > y + eps:
                 count += 1
+    if obs.enabled:
+        obs.counters.add("plumbline.calls")
+        obs.counters.add("plumbline.segments", tested)
+        obs.counters.add("plumbline.crossings", count)
     return count
 
 
@@ -59,6 +85,8 @@ def point_in_segset(
     values of the abstract model include their boundary).
     """
     seg_list = list(segs)
+    if obs.enabled:
+        obs.counters.add("plumbline.point_tests")
     if point_on_boundary(p, seg_list, eps):
         return boundary_counts
     return crossings_above(p, seg_list, eps) % 2 == 1

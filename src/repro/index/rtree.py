@@ -10,6 +10,7 @@ from __future__ import annotations
 
 from typing import Any, Iterator, List, Optional, Tuple
 
+from repro import obs
 from repro.errors import InvalidValue
 from repro.spatial.bbox import Cube
 
@@ -144,6 +145,8 @@ class RTree3D:
         stack = [self._root]
         while stack:
             node = stack.pop()
+            if obs.enabled:
+                obs.counters.add("rtree.nodes_visited")
             if node.cube is not None and not node.cube.intersects(query):
                 continue
             for cube, item in node.entries:

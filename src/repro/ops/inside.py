@@ -31,6 +31,7 @@ from __future__ import annotations
 
 from typing import List, Optional, Tuple
 
+from repro import obs
 from repro.base.values import BoolVal
 from repro.config import EPSILON
 from repro.errors import InvalidValue
@@ -59,13 +60,15 @@ def inside(mp: MovingPoint, mr: MovingRegion) -> MovingBool:
     to :func:`upoint_uregion_inside`; adjacent equal-valued bool units
     merged (the ``concat`` of the paper) by the normalizing constructor.
     """
-    out: List[ConstUnit] = []
-    for piece, up, ur in refinement_partition(mp.units, mr.units):
-        if up is None or ur is None:
-            continue
-        assert isinstance(up, UPoint) and isinstance(ur, URegion)
-        out.extend(upoint_uregion_inside(up, ur, piece))
-    return MovingBool.normalized(out)
+    with obs.scope("inside") as s:
+        out: List[ConstUnit] = []
+        for piece, up, ur in refinement_partition(mp.units, mr.units):
+            if up is None or ur is None:
+                continue
+            assert isinstance(up, UPoint) and isinstance(ur, URegion)
+            s.add("unit_pairs")
+            out.extend(upoint_uregion_inside(up, ur, piece))
+        return MovingBool.normalized(out)
 
 
 def _crossing_quad(mpo: MPoint, mseg: MSeg) -> Quad:
@@ -95,7 +98,9 @@ def _find_crossings(
     hits: List[Tuple[float, bool]] = []  # (time, transversal)
     clean = True
     span = hi - lo
+    n_quads = 0
     for mseg in ur.msegs():
+        n_quads += 1
         q = _crossing_quad(mpo, mseg)
         if is_zero_quad(q):
             # The point rides along the carrier line of this segment.
@@ -120,11 +125,16 @@ def _find_crossings(
     for a, b in zip(times, times[1:]):
         if b - a <= max(span * 1e-9, 1e-12):
             clean = False
+    if obs.enabled:
+        obs.counters.add("inside.crossing_quads", n_quads)
+        obs.counters.add("inside.crossings", len(times))
     return times, clean
 
 
 def _point_in_region_at(mpo: MPoint, ur: URegion, t: float) -> bool:
     """Full point-in-region test at one instant (the plumbline check)."""
+    if obs.enabled:
+        obs.counters.add("inside.plumbline_tests")
     region = ur.value_at(t)
     if region is None:
         region = ur._iota(t)
@@ -176,6 +186,8 @@ def upoint_uregion_inside(
 
     # Fast path: disjoint bounding cubes — never inside.
     if not up.bounding_cube().intersects(ur.bounding_cube()):
+        if obs.enabled:
+            obs.counters.add("inside.bbox_fast_path")
         return [ConstUnit(common, BoolVal(False))]
 
     mpo = up.motion

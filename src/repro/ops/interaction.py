@@ -12,6 +12,7 @@ from __future__ import annotations
 
 from typing import Optional, Union
 
+from repro import obs
 from repro.base.instant import Instant, as_time
 from repro.ranges.intime import Intime
 from repro.ranges.rangeset import RangeSet
@@ -55,26 +56,33 @@ def mregion_atinstant(
     At the end points of a unit interval the degeneracy cleanup of
     Section 3.2.6 applies (handled by the unit's ι_s/ι_e).
     """
-    tt = as_time(t)
-    unit = mr.unit_at(tt)
-    if unit is None:
-        return Region([])
-    assert isinstance(unit, URegion)
-    iv = unit.interval
-    if not iv.is_degenerate and iv.s < tt < iv.e:
-        if structured:
-            # Rebuild the canonical structure from the evaluated segments.
-            segs = []
-            for m in unit.msegs():
-                s = m.seg_at(tt)
-                if s is not None:
-                    segs.append(s)
-            return close_region(segs)
-        return unit._iota(tt)
-    # Interval end point (or instant unit): cleanup path.
-    value = unit.value_at(tt)
-    assert value is not None
-    return value
+    with obs.scope("atinstant") as sc:
+        tt = as_time(t)
+        unit = mr.unit_at(tt)
+        if unit is None:
+            return Region([])
+        assert isinstance(unit, URegion)
+        iv = unit.interval
+        if not iv.is_degenerate and iv.s < tt < iv.e:
+            if structured:
+                # Rebuild the canonical structure from the evaluated segments.
+                segs = []
+                msegs = unit.msegs()
+                sc.add("msegs_evaluated", len(msegs))
+                for m in msegs:
+                    s = m.seg_at(tt)
+                    if s is not None:
+                        segs.append(s)
+                return close_region(segs)
+            if obs.enabled:
+                obs.counters.add(
+                    "atinstant.msegs_evaluated", len(unit.msegs())
+                )
+            return unit._iota(tt)
+        # Interval end point (or instant unit): cleanup path.
+        value = unit.value_at(tt)
+        assert value is not None
+        return value
 
 
 def mpoint_at_region(mp: MovingPoint, region: Region) -> MovingPoint:

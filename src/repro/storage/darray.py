@@ -18,6 +18,7 @@ import struct
 from dataclasses import dataclass
 from typing import Iterable, Iterator, List, Tuple
 
+from repro import obs
 from repro.errors import StorageError
 
 
@@ -65,6 +66,8 @@ class DatabaseArray:
         """Read the record at ``index``."""
         if not 0 <= index < self._count:
             raise StorageError(f"array index {index} out of range 0..{self._count - 1}")
+        if obs.enabled:
+            obs.counters.add("storage.darray_reads")
         off = index * self._size
         return struct.unpack(self._fmt, bytes(self._buf[off : off + self._size]))
 

@@ -13,6 +13,7 @@ import struct
 from dataclasses import dataclass
 from typing import List, Optional, Tuple
 
+from repro import obs
 from repro.config import INLINE_THRESHOLD
 from repro.errors import StorageError
 from repro.storage.buffer import BufferPool
@@ -71,6 +72,9 @@ class FlobStore:
         """Write ``data`` to a fresh page chain."""
         chunk = self.payload_per_page
         chunks = [data[i : i + chunk] for i in range(0, len(data), chunk)] or [b""]
+        if obs.enabled:
+            obs.counters.add("storage.flob_writes")
+            obs.counters.add("storage.flob_pages_written", len(chunks))
         page_nos = [self._pool.new_page() for _ in chunks]
         for idx, (page_no, piece) in enumerate(zip(page_nos, chunks)):
             nxt = page_nos[idx + 1] if idx + 1 < len(page_nos) else -1
@@ -85,9 +89,13 @@ class FlobStore:
         out = bytearray()
         page_no = ref.first_page
         remaining = ref.length
+        if obs.enabled:
+            obs.counters.add("storage.flob_reads")
         while remaining > 0:
             if page_no < 0:
                 raise StorageError("FLOB chain ended before its declared length")
+            if obs.enabled:
+                obs.counters.add("storage.flob_pages_read")
             frame = self._pool.pin(page_no)
             (nxt,) = self._HEADER.unpack(bytes(frame[: self._HEADER.size]))
             take = min(remaining, self.payload_per_page)

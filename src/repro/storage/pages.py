@@ -11,6 +11,7 @@ import io
 import os
 from typing import BinaryIO, Optional
 
+from repro import obs
 from repro.config import PAGE_SIZE
 from repro.errors import StorageError
 
@@ -79,6 +80,8 @@ class PageFile:
         if len(data) != self.page_size:
             raise StorageError(f"short read on page {page_no}")
         self._reads += 1
+        if obs.enabled:
+            obs.counters.add("storage.page_reads")
         return data
 
     def write_page(self, page_no: int, data: bytes) -> None:
@@ -93,6 +96,8 @@ class PageFile:
         self._file.seek(page_no * self.page_size)
         self._file.write(data)
         self._writes += 1
+        if obs.enabled:
+            obs.counters.add("storage.page_writes")
 
     def _check(self, page_no: int) -> None:
         if not 0 <= page_no < self._page_count:

@@ -12,6 +12,7 @@ from __future__ import annotations
 
 from typing import Iterator, List, Optional, Sequence, Tuple
 
+from repro import obs
 from repro.ranges.interval import Interval
 from repro.temporal.unit import Unit, UnitInterval
 
@@ -47,6 +48,10 @@ def refinement_partition(
     ia = ib = 0
     a = list(a)
     b = list(b)
+    if obs.enabled:
+        obs.counters.add("refinement.calls")
+        obs.counters.add("refinement.unit_visits", len(a) + len(b))
+        obs.counters.add("refinement.boundaries", len(cuts))
 
     def advance(units: List[Unit], idx: int, t: float) -> int:
         while idx < len(units) and (
@@ -72,12 +77,18 @@ def refinement_partition(
 
     pending: Optional[Tuple[Interval, Optional[Unit], Optional[Unit]]] = None
     for iv in elementary:
+        if obs.enabled:
+            # Each elementary interval is one O(1) step of the parallel
+            # scan: the Section-5.2 O(n + m) refinement claim.
+            obs.counters.add("refinement.visits")
         ia = advance(a, ia, iv.s)
         ib = advance(b, ib, iv.s)
         ua = covering(a, ia, iv)
         ub = covering(b, ib, iv)
         if ua is None and ub is None:
             if pending is not None:
+                if obs.enabled:
+                    obs.counters.add("refinement.pieces")
                 yield pending
                 pending = None
             continue
@@ -86,7 +97,11 @@ def refinement_partition(
             pending = (merged, ua, ub)
         else:
             if pending is not None:
+                if obs.enabled:
+                    obs.counters.add("refinement.pieces")
                 yield pending
             pending = (iv, ua, ub)
     if pending is not None:
+        if obs.enabled:
+            obs.counters.add("refinement.pieces")
         yield pending

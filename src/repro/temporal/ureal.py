@@ -102,17 +102,45 @@ class UReal(Unit[RealVal]):
 
     # -- evaluation ------------------------------------------------------------
 
+    def _checked_radicand(self, v: float, t: float) -> float:
+        """Clamp a radicand to zero only within tolerance of zero.
+
+        Rounding can push the radicand of a valid square-root unit a
+        hair below zero near its roots; that noise is clamped.  A
+        radicand *beyond* the tolerance is a genuinely invalid
+        evaluation (e.g. ``eval`` outside the unit interval, where the
+        constructor's nonnegativity check does not reach) and raises
+        instead of fabricating a zero.  The tolerance is the same
+        coefficient-scaled one the constructor's ``quad_nonnegative_on``
+        check uses, so every constructible unit evaluates cleanly on its
+        own interval.
+        """
+        if v >= 0.0:
+            return v
+        tol = 1e-7 * max(abs(self._a), abs(self._b), abs(self._c), 1.0)
+        if v < -tol:
+            raise InvalidValue(
+                f"negative radicand {v:g} of square-root ureal at t={t:g} "
+                "(beyond rounding tolerance)"
+            )
+        return 0.0
+
     def _iota(self, t: float) -> RealVal:
         v = eval_quad(self.quad, t)
         if self._r:
-            v = math.sqrt(max(v, 0.0))
+            v = math.sqrt(self._checked_radicand(v, t))
         return RealVal(v)
 
     def eval(self, t: float) -> float:
-        """Raw float evaluation (no interval check)."""
+        """Raw float evaluation (no interval check).
+
+        For the square-root form a radicand that is negative beyond
+        rounding tolerance raises :class:`InvalidValue` rather than
+        silently evaluating to zero.
+        """
         v = eval_quad(self.quad, t)
         if self._r:
-            v = math.sqrt(max(v, 0.0))
+            v = math.sqrt(self._checked_radicand(v, t))
         return v
 
     def with_interval(self, interval) -> "UReal":

@@ -1,0 +1,280 @@
+"""Regression tests for the PR-1 kernel bugfixes.
+
+* ``crossings_above`` now applies one eps-consistent half-open rule, so
+  near-vertical segments and query points within EPSILON of a vertex get
+  a stable crossing parity;
+* ``UReal.eval``/``_iota`` clamp a negative sqrt radicand only within
+  rounding tolerance of zero and raise ``InvalidValue`` beyond it;
+* ``Mapping.at_periods`` is a linear merge-scan that must agree exactly
+  with the old nested loop;
+* ``Mapping.unit_at`` at open/closed boundaries between adjacent units;
+* ``RTree3D._split`` leaves both groups at or above the minimum fill.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.config import EPSILON
+from repro.errors import InvalidValue
+from repro.geometry.plumbline import crossings_above, point_in_segset
+from repro.geometry.segment import make_seg
+from repro.index.rtree import RTree3D, _Node
+from repro.ranges.interval import Interval
+from repro.ranges.rangeset import RangeSet
+from repro.spatial.bbox import Cube
+from repro.temporal.mapping import MovingReal
+from repro.temporal.ureal import UReal
+
+
+def polygon_segs(pts):
+    """Close a vertex list into its boundary segments."""
+    return [
+        make_seg(pts[i], pts[(i + 1) % len(pts)]) for i in range(len(pts))
+    ]
+
+
+class TestPlumblineEpsConsistency:
+    def test_near_vertical_segment_below_polygon(self):
+        """A point under a near-vertical edge must stay outside.
+
+        The old exact ``x0 == x1`` test let a segment with x-extent
+        1e-12 through to the interpolation, whose ~0 denominator turned
+        the height test into noise and produced a bogus crossing.
+        """
+        square = polygon_segs(
+            [(0.0, 0.0), (10.0, 0.0), (10.0 + 1e-12, 10.0), (0.0, 10.0)]
+        )
+        assert not point_in_segset((10.0, -5.0), square)
+        assert crossings_above((10.0, -5.0), square) == 0
+        # The polygon itself still works.
+        assert point_in_segset((5.0, 5.0), square)
+        assert not point_in_segset((11.0, 5.0), square)
+
+    def test_parity_stable_within_epsilon_of_vertex(self):
+        """Query x within EPSILON of a vertex x: exactly one incident
+        segment is counted, never zero or two."""
+        diamond = polygon_segs(
+            [(0.0, 0.0), (5.0, -5.0), (10.0, 0.0), (5.0, 5.0)]
+        )
+        for k in range(-8, 9):
+            x = 5.0 + k * EPSILON / 4.0
+            assert point_in_segset((x, 0.0), diamond), f"x={x!r}"
+            assert not point_in_segset((x, 6.0), diamond), f"x={x!r}"
+            assert not point_in_segset((x, -6.0), diamond), f"x={x!r}"
+
+    def test_parity_stable_under_vertex_perturbation(self):
+        """Perturbing polygon vertices by sub-eps noise must not flip
+        the classification of points well away from the boundary."""
+        rng = random.Random(71)
+        base = [
+            (
+                5.0 + 4.0 * math.cos(2 * math.pi * k / 12),
+                5.0 + 4.0 * math.sin(2 * math.pi * k / 12),
+            )
+            for k in range(12)
+        ]
+        inside_pts = [(5.0, 5.0), (6.5, 5.0), (5.0, 3.5), (4.0, 6.0)]
+        outside_pts = [(0.0, 0.0), (5.0, 9.9), (9.9, 5.0), (-1.0, 5.0)]
+        for _ in range(25):
+            noisy = [
+                (
+                    x + rng.uniform(-EPSILON / 3, EPSILON / 3),
+                    y + rng.uniform(-EPSILON / 3, EPSILON / 3),
+                )
+                for x, y in base
+            ]
+            segs = polygon_segs(noisy)
+            for p in inside_pts:
+                assert point_in_segset(p, segs), f"{p} flipped outside"
+            for p in outside_pts:
+                assert not point_in_segset(p, segs), f"{p} flipped inside"
+
+    def test_unnormalized_segment_orientation(self):
+        """Right-to-left segment tuples count the same as normalized."""
+        seg_lr = [((0.0, 5.0), (10.0, 5.0))]
+        seg_rl = [((10.0, 5.0), (0.0, 5.0))]
+        p = (4.0, 0.0)
+        assert crossings_above(p, seg_lr) == crossings_above(p, seg_rl) == 1
+
+
+class TestURealRadicand:
+    def test_valid_sqrt_unit_evaluates_on_interval(self):
+        # radicand (t - 0.5)^2: nonnegative, touching zero at t = 0.5.
+        u = UReal(Interval(0.0, 1.0), 1.0, -1.0, 0.25, r=True)
+        assert u.eval(0.5) == 0.0
+        assert u.eval(0.0) == pytest.approx(0.5)
+        assert u.eval(1.0) == pytest.approx(0.5)
+
+    def test_tiny_negative_radicand_clamps_to_zero(self):
+        u = UReal(Interval(0.0, 1.0), 0.0, 1.0, 0.0, r=True)  # sqrt(t)
+        assert u.eval(-1e-12) == 0.0
+        assert u._iota(-1e-12).value == 0.0
+
+    def test_genuinely_negative_radicand_raises(self):
+        u = UReal(Interval(0.0, 1.0), 0.0, 1.0, 0.0, r=True)  # sqrt(t)
+        with pytest.raises(InvalidValue):
+            u.eval(-1.0)
+        with pytest.raises(InvalidValue):
+            u._iota(-1.0)
+
+    def test_tolerance_scales_with_coefficients(self):
+        # radicand 1e6 * t: at t = -1e-9 the radicand is -1e-3 in
+        # absolute terms but within rounding tolerance of the
+        # coefficient scale, so it clamps rather than raises.
+        u = UReal(Interval(0.0, 1.0), 0.0, 1e6, 0.0, r=True)
+        assert u.eval(-1e-9) == 0.0
+        with pytest.raises(InvalidValue):
+            u.eval(-1.0)
+
+    def test_value_at_still_none_outside_interval(self):
+        u = UReal(Interval(0.0, 1.0), 0.0, 1.0, 0.0, r=True)
+        assert u.value_at(-1.0) is None
+
+
+def stepped_mreal(n: int, t0: float = 0.0, gap: float = 0.0) -> MovingReal:
+    units = []
+    t = t0
+    for k in range(n):
+        units.append(
+            UReal.constant(Interval(t, t + 1.0, True, True), float(k))
+        )
+        t += 1.0 + gap
+    return MovingReal(units, validate=False)
+
+
+class TestAtPeriodsEquivalence:
+    def brute_force(self, m: MovingReal, periods) -> MovingReal:
+        out = []
+        for u in m.units:
+            for iv in periods:
+                piece = u.restricted(iv)
+                if piece is not None:
+                    out.append(piece)
+        return MovingReal(out, validate=False)
+
+    def test_matches_nested_loop_with_boundary_cases(self):
+        m = stepped_mreal(6, gap=0.5)  # units [0,1], [1.5,2.5], ...
+        periods = RangeSet(
+            [
+                Interval(0.25, 1.5, True, False),  # spans a gap, open end
+                Interval(2.5, 2.5, True, True),  # degenerate instant
+                Interval(3.0, 5.9, False, True),  # open start mid-unit
+                Interval(100.0, 101.0, True, True),  # beyond the deftime
+            ]
+        )
+        assert m.at_periods(periods) == self.brute_force(m, periods)
+
+    def test_matches_nested_loop_randomized(self):
+        rng = random.Random(2000)
+        for _ in range(40):
+            n = rng.randint(1, 12)
+            m = stepped_mreal(n, t0=rng.uniform(-5, 5), gap=rng.random())
+            ivs = []
+            t = rng.uniform(-8.0, 0.0)
+            for _k in range(rng.randint(1, 10)):
+                t += rng.random() * 2 + 1e-3
+                e = t + rng.random() * 2
+                lc, rc = rng.random() < 0.5, rng.random() < 0.5
+                if t == e:
+                    lc = rc = True
+                ivs.append(Interval(t, e, lc, rc))
+                t = e + 1e-3
+            periods = RangeSet.normalized(ivs)
+            assert m.at_periods(periods) == self.brute_force(m, periods)
+
+    def test_empty_operands(self):
+        m = stepped_mreal(3)
+        assert len(m.at_periods(RangeSet([]))) == 0
+        assert len(MovingReal([]).at_periods(RangeSet([Interval(0, 1)]))) == 0
+
+
+class TestUnitAtBoundaries:
+    def test_closed_start_takes_the_instant_from_open_end(self):
+        a = UReal.constant(Interval(0.0, 1.0, True, False), 1.0)
+        b = UReal.constant(Interval(1.0, 2.0, True, True), 2.0)
+        m = MovingReal([a, b])
+        assert m.unit_at(1.0) is m.units[1]
+        assert m.unit_at(1.0 - 1e-9) is m.units[0]
+        assert m.unit_at(2.0) is m.units[1]
+        assert m.unit_at(2.0 + 1e-9) is None
+
+    def test_closed_end_takes_the_instant_from_open_start(self):
+        a = UReal.constant(Interval(0.0, 1.0, True, True), 1.0)
+        b = UReal.constant(Interval(1.0, 2.0, False, True), 2.0)
+        m = MovingReal([a, b])
+        # The successor starts at 1.0 but is open there: the instant
+        # belongs to the predecessor (the bisect idx-2 probe).
+        assert m.unit_at(1.0) is m.units[0]
+        assert m.unit_at(1.0 + 1e-9) is m.units[1]
+
+    def test_instant_gap_between_open_ends(self):
+        a = UReal.constant(Interval(0.0, 1.0, True, False), 1.0)
+        b = UReal.constant(Interval(1.0, 2.0, False, True), 1.0)
+        m = MovingReal([a, b])  # {1.0} is undefined: not adjacent units
+        assert m.unit_at(1.0) is None
+        assert not m.present(1.0)
+
+    def test_degenerate_unit_at_the_seam(self):
+        a = UReal.constant(Interval(0.0, 1.0, True, False), 1.0)
+        mid = UReal.constant(Interval(1.0, 1.0, True, True), 5.0)
+        b = UReal.constant(Interval(1.0, 2.0, False, True), 2.0)
+        m = MovingReal([a, mid, b])
+        assert m.unit_at(1.0) is m.units[1]
+        assert m.value_at(1.0).value == 5.0
+
+
+cube_strategy = st.builds(
+    lambda x, y, t, dx, dy, dt: Cube(x, y, t, x + dx, y + dy, t + dt),
+    st.floats(-100, 100),
+    st.floats(-100, 100),
+    st.floats(0, 100),
+    st.floats(0, 20),
+    st.floats(0, 20),
+    st.floats(0, 5),
+)
+
+
+class TestRTreeSplitMinimumFill:
+    @settings(max_examples=30, deadline=None)
+    @given(
+        st.lists(cube_strategy, min_size=20, max_size=64),
+        st.sampled_from([4, 6, 8]),
+    )
+    def test_every_node_respects_fill_bounds(self, cubes, fanout):
+        tree = RTree3D(max_entries=fanout)
+        for i, c in enumerate(cubes):
+            tree.insert(c, i)
+        stack = [(tree._root, True)]
+        while stack:
+            node, is_root = stack.pop()
+            assert len(node.entries) <= tree._max
+            if not is_root:
+                assert len(node.entries) >= tree._min
+            if not node.leaf:
+                stack.extend((child, False) for _c, child in node.entries)
+        universe = Cube(-1e9, -1e9, -1e9, 1e9, 1e9, 1e9)
+        assert sorted(tree.search_list(universe)) == list(range(len(cubes)))
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.data(), st.sampled_from([4, 6, 8, 12]))
+    def test_split_directly_fills_both_groups(self, data, fanout):
+        tree = RTree3D(max_entries=fanout)
+        overflow = data.draw(
+            st.lists(
+                cube_strategy, min_size=fanout + 1, max_size=fanout + 1
+            )
+        )
+        node = _Node(leaf=True)
+        node.entries = [(c, i) for i, c in enumerate(overflow)]
+        sibling = tree._split(node)
+        assert len(node.entries) >= tree._min
+        assert len(sibling.entries) >= tree._min
+        assert len(node.entries) + len(sibling.entries) == fanout + 1
+        merged = sorted(i for _c, i in node.entries + sibling.entries)
+        assert merged == list(range(fanout + 1))
