@@ -1,0 +1,22 @@
+#!/usr/bin/env bash
+# Scalar-vs-vector benchmarks: runs the repro.vector fleet kernels
+# against their scalar reference loops (equivalence asserted in the same
+# run) and writes the timings to BENCH_vector.json in the repo root.
+#
+# Usage: scripts/bench.sh [fleet_size]  (from the repository root)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+export PYTHONPATH="src${PYTHONPATH:+:$PYTHONPATH}"
+
+OBJECTS="${1:-10000}"
+
+echo "== vector backend: pytest assertions (equivalence + speedup) =="
+python -m pytest -q -p no:cacheprovider benchmarks/bench_vector.py
+
+echo
+echo "== vector backend: timings -> BENCH_vector.json =="
+python benchmarks/bench_vector.py --objects "$OBJECTS" --json BENCH_vector.json
+
+echo
+echo "bench.sh: done"

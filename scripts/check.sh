@@ -17,4 +17,12 @@ echo "== tier-1: counter-assertion smoke (benchmarks, -k counter) =="
 python -m pytest -q -p no:cacheprovider benchmarks/bench_alg_atinstant.py -k counter
 
 echo
+echo "== lint (ruff, skipped when not installed) =="
+if command -v ruff >/dev/null 2>&1; then
+    ruff check src tests benchmarks
+else
+    echo "ruff not installed; skipping lint"
+fi
+
+echo
 echo "check.sh: all green"

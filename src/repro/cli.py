@@ -8,6 +8,13 @@ Commands
                       text-format values / SELECT / EXPLAIN)
 ``figures [dir]``     render the paper's value-space figures as SVG
 ``info``              version, type system, and operation inventory
+``snapshot``          evaluate a generated fleet at one instant
+                      (exercises the ``--backend`` switch fleet-wide)
+
+Global flags: ``--profile`` collects the :mod:`repro.obs` counters and
+prints the report even when the command fails; ``--backend`` selects
+the scalar reference loops or the columnar numpy kernels
+(:mod:`repro.vector`).
 """
 
 from __future__ import annotations
@@ -139,6 +146,40 @@ def cmd_figures(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_snapshot(args: argparse.Namespace) -> int:
+    """Evaluate a generated fleet at one instant, fleet-wide.
+
+    This is the columnar showcase: one ``atinstant`` over every object
+    (and one batched point-in-region test) through whichever backend
+    ``--backend`` selected.
+    """
+    from repro.vector.fleet import fleet_atinstant, fleet_count_inside, get_backend
+    from repro.workloads.regions import regular_polygon
+    from repro.workloads.trajectories import FlightGenerator
+
+    gen = FlightGenerator(seed=args.seed)
+    fleet = [gen.flight(legs=4) for _ in range(args.objects)]
+    t0 = min(m.deftime().minimum for m in fleet)
+    t1 = max(m.deftime().maximum for m in fleet)
+    t = args.instant if args.instant is not None else 0.5 * (t0 + t1)
+
+    positions = fleet_atinstant(fleet, t)
+    defined = [p for p in positions if p is not None]
+    xs = [p.x for p in defined]
+    ys = [p.y for p in defined]
+    print(f"backend: {get_backend()}")
+    print(f"fleet: {len(fleet)} objects over [{t0:g}, {t1:g}]")
+    print(f"snapshot at t={t:g}: {len(defined)} defined, "
+          f"{len(fleet) - len(defined)} ⊥")
+    if defined:
+        cx, cy = sum(xs) / len(xs), sum(ys) / len(ys)
+        print(f"centroid of defined positions: ({cx:g}, {cy:g})")
+        region = regular_polygon((cx, cy), args.radius, sides=12)
+        count, _mask = fleet_count_inside(fleet, t, region)
+        print(f"inside {args.radius:g}-radius 12-gon around centroid: {count}")
+    return 0
+
+
 def cmd_info(_args: argparse.Namespace) -> int:
     """Print version, type-system, and operation inventories."""
     import repro
@@ -167,7 +208,14 @@ def main(argv: Optional[List[str]] = None) -> int:
         "--profile",
         action="store_true",
         help="collect operation counters (repro.obs) and print a report "
-        "after the command finishes",
+        "after the command finishes (even when it fails)",
+    )
+    parser.add_argument(
+        "--backend",
+        choices=["scalar", "vector"],
+        default=None,
+        help="evaluation backend for fleet-level operations: scalar "
+        "reference loops or columnar numpy kernels (repro.vector)",
     )
     sub = parser.add_subparsers(dest="command", required=True)
     sub.add_parser("demo", help="run the Section-2 example queries").set_defaults(
@@ -180,7 +228,24 @@ def main(argv: Optional[List[str]] = None) -> int:
     fig_p.add_argument("dir", nargs="?", default="figures")
     fig_p.set_defaults(fn=cmd_figures)
     sub.add_parser("info", help="version and inventory").set_defaults(fn=cmd_info)
+    snap_p = sub.add_parser(
+        "snapshot", help="evaluate a generated fleet at one instant"
+    )
+    snap_p.add_argument("--objects", type=int, default=1000,
+                        help="fleet size (default 1000)")
+    snap_p.add_argument("--instant", type=float, default=None,
+                        help="query instant (default: midpoint of the "
+                        "fleet's combined lifetime)")
+    snap_p.add_argument("--radius", type=float, default=2000.0,
+                        help="radius of the counting region (default 2000)")
+    snap_p.add_argument("--seed", type=int, default=2000,
+                        help="fleet generator seed (default 2000)")
+    snap_p.set_defaults(fn=cmd_snapshot)
     args = parser.parse_args(argv)
+    if args.backend is not None:
+        from repro.vector.fleet import set_backend
+
+        set_backend(args.backend)
     if not args.profile:
         return args.fn(args)
     from repro import obs
@@ -188,12 +253,13 @@ def main(argv: Optional[List[str]] = None) -> int:
     obs.reset()
     obs.enable()
     try:
-        rc = args.fn(args)
+        return args.fn(args)
     finally:
+        # The report must survive a failing command — that is the whole
+        # point of profiling a crash — so it prints on the way out.
         obs.disable()
-    print("\n== operation counters (--profile) ==")
-    print(obs.report())
-    return rc
+        print("\n== operation counters (--profile) ==")
+        print(obs.report())
 
 
 if __name__ == "__main__":  # pragma: no cover

@@ -28,6 +28,12 @@ INLINE_THRESHOLD: int = 1024
 #: Page size, in bytes, of the storage engine's page manager.
 PAGE_SIZE: int = 4096
 
+#: Default evaluation backend for fleet-level operations: ``"scalar"``
+#: (per-object reference loops) or ``"vector"`` (columnar numpy kernels,
+#: :mod:`repro.vector`).  Flip at runtime with
+#: ``repro.vector.set_backend`` or the CLI's ``--backend`` flag.
+DEFAULT_BACKEND: str = "scalar"
+
 
 def feq(a: float, b: float, eps: float = EPSILON) -> bool:
     """Return True if ``a`` and ``b`` are equal within tolerance."""

@@ -38,6 +38,66 @@ class SeqScan(Operator):
             yield {f"{self.alias}.{k}": v for k, v in row.items()}
 
 
+class VectorScan(SeqScan):
+    """A scan that additionally exposes its moving-point attribute as a
+    columnar batch (Section-4 layout, :mod:`repro.vector.columns`).
+
+    Behaves exactly like :class:`SeqScan` when iterated; on top of that
+    it materializes the relation once and caches the attribute's
+    :class:`~repro.vector.columns.UPointColumn` and per-mapping
+    :class:`~repro.vector.columns.BBoxColumn`, so a parent
+    :class:`Select` whose predicate compiles to a batch kernel can
+    evaluate it fleet-wide in one call.
+    """
+
+    def __init__(self, relation: Relation, alias: Optional[str] = None,
+                 attr: Optional[str] = None):
+        super().__init__(relation, alias)
+        self.attr = attr
+        self._rows: Optional[List[Row]] = None
+        self._mappings: Optional[List[Any]] = None
+        self._column: Any = None
+        self._bbox_column: Any = None
+
+    def materialized_rows(self) -> List[Row]:
+        """The qualified rows, scanned once and cached."""
+        if self._rows is None:
+            self._rows = [
+                {f"{self.alias}.{k}": v for k, v in row.items()}
+                for row in self.relation.scan()
+            ]
+        return self._rows
+
+    def mappings(self) -> List[Any]:
+        """The moving-point attribute values, aligned with the rows."""
+        if self._mappings is None:
+            if self.attr is None:
+                raise QueryError(f"VectorScan over {self.alias!r} has no "
+                                 "moving-point attribute")
+            key = f"{self.alias}.{self.attr}"
+            self._mappings = [row[key] for row in self.materialized_rows()]
+        return self._mappings
+
+    def column(self):
+        """The attribute's unit column (built lazily, cached)."""
+        if self._column is None:
+            from repro.vector.columns import UPointColumn
+
+            self._column = UPointColumn.from_mappings(self.mappings())
+        return self._column
+
+    def bbox_column(self):
+        """Per-mapping bounding cubes of the attribute (lazily, cached)."""
+        if self._bbox_column is None:
+            from repro.vector.columns import BBoxColumn
+
+            self._bbox_column = BBoxColumn.from_mappings(self.mappings())
+        return self._bbox_column
+
+    def rows(self) -> Iterator[Row]:
+        return iter(self.materialized_rows())
+
+
 class CrossProduct(Operator):
     """Nested-loop cross product of two inputs (the spatio-temporal join
     of Section 2 is a cross product plus a lifted selection)."""
@@ -94,13 +154,39 @@ class HashJoin(Operator):
 
 
 class Select(Operator):
-    """Filter rows by a boolean expression."""
+    """Filter rows by a boolean expression.
+
+    When the child is a :class:`VectorScan` and the predicate compiles
+    to a batch kernel (see ``compile_batch_predicate``), the filter runs
+    fleet-wide in one mask evaluation instead of once per row; a
+    non-compilable predicate over a VectorScan falls back to the scalar
+    row loop and counts the event.
+    """
 
     def __init__(self, child: Operator, predicate: Expr):
         self.child = child
         self.predicate = predicate
 
     def rows(self) -> Iterator[Row]:
+        if isinstance(self.child, VectorScan) and self.child.attr is not None:
+            from repro import obs
+            from repro.db.expressions import compile_batch_predicate
+
+            compiled = compile_batch_predicate(
+                self.predicate, self.child.alias, self.child.attr
+            )
+            if compiled is not None:
+                mask = compiled(self.child)
+                if obs.enabled:
+                    obs.counters.add("vector.batch_select.calls")
+                    obs.counters.add("vector.batch_select.rows", len(mask))
+                for row, hit in zip(self.child.materialized_rows(), mask):
+                    if hit:
+                        yield row
+                return
+            if obs.enabled:
+                obs.counters.add("vector.fallback_to_scalar")
+                obs.counters.add("vector.fallback_to_scalar.predicate")
         for row in self.child.rows():
             if self.predicate.eval(row):
                 yield row

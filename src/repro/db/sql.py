@@ -347,12 +347,39 @@ def _substitute_aliases(expr: Expr, aliases: dict) -> Expr:
     return expr
 
 
+def _make_scan(db: Database, name: str, alias: Optional[str]) -> Operator:
+    """Build the scan for one relation, honouring the backend switch.
+
+    Under the ``vector`` backend, a relation with exactly one
+    moving-point attribute is scanned by :class:`~repro.db.executor.
+    VectorScan`, which exposes the attribute columnarly so a selection
+    above it can run as one batch kernel; everything else stays a plain
+    :class:`SeqScan` (VectorScan degrades to one when no batch path
+    applies, so results never change).
+    """
+    relation = db.relation(name)
+    from repro.vector.fleet import get_backend
+
+    if get_backend() == "vector":
+        from repro.db.executor import VectorScan
+        from repro.storage.records import codec_for
+
+        mpoint_attrs = [
+            a.name
+            for a in relation.schema
+            if codec_for(a.type_name).type_name == "mpoint"
+        ]
+        if len(mpoint_attrs) == 1:
+            return VectorScan(relation, alias, attr=mpoint_attrs[0])
+    return SeqScan(relation, alias)
+
+
 def _plan_join(plan: Operator, db: Database, join: JoinClause) -> Operator:
     """Attach a JOIN clause: hash join for a simple column equality,
     otherwise a cross product plus a selection."""
     from repro.db.executor import HashJoin
 
-    right = SeqScan(db.relation(join.table), join.alias)
+    right = _make_scan(db, join.table, join.alias)
     cond = join.condition
     if (
         isinstance(cond, Compare)
@@ -381,9 +408,9 @@ def plan_query(db: Database, parsed: ParsedQuery) -> Operator:
 
     if not parsed.tables:
         raise QueryError("query needs at least one relation in FROM")
-    plan: Operator = SeqScan(db.relation(parsed.tables[0][0]), parsed.tables[0][1])
+    plan: Operator = _make_scan(db, parsed.tables[0][0], parsed.tables[0][1])
     for name, alias in parsed.tables[1:]:
-        plan = CrossProduct(plan, SeqScan(db.relation(name), alias))
+        plan = CrossProduct(plan, _make_scan(db, name, alias))
     for join in parsed.joins:
         plan = _plan_join(plan, db, join)
     if parsed.where is not None:
@@ -476,8 +503,14 @@ def explain(db: Database, sql: str) -> str:
             Select,
             SeqScan,
             Sort,
+            VectorScan,
         )
 
+        if isinstance(node, VectorScan):
+            return (
+                f"VectorScan({node.relation.name} AS {node.alias}, "
+                f"attr={node.attr})"
+            )
         if isinstance(node, SeqScan):
             return f"SeqScan({node.relation.name} AS {node.alias})"
         if isinstance(node, CrossProduct):

@@ -21,11 +21,20 @@ from repro.temporal.uregion import URegion
 
 
 class MovingObjectIndex:
-    """A per-unit spatio-temporal index over moving points/regions."""
+    """A per-unit spatio-temporal index over moving points/regions.
+
+    Filtering can run through either backend: the R-tree descent
+    (``scalar``) or a columnar sweep over the same per-unit cubes
+    (``vector``, :class:`~repro.vector.columns.BBoxColumn`).  Both see
+    identical cube sets, so their candidate sets are identical; the
+    column is rebuilt lazily after every ``add``.
+    """
 
     def __init__(self, max_entries: int = 8):
         self._tree = RTree3D(max_entries)
         self._count = 0
+        self._entries: List[Tuple[Hashable, Cube]] = []
+        self._column: Optional[Any] = None
 
     def __len__(self) -> int:
         """Number of indexed objects (not units)."""
@@ -40,13 +49,30 @@ class MovingObjectIndex:
         """Index every unit of ``moving`` under ``key``."""
         for u in moving.units:
             assert isinstance(u, (UPoint, URegion))
-            self._tree.insert(u.bounding_cube(), key)
+            cube = u.bounding_cube()
+            self._tree.insert(cube, key)
+            self._entries.append((key, cube))
         self._count += 1
+        self._column = None  # stale: rebuilt on the next vector query
+
+    def _unit_column(self):
+        """The per-unit cube column (lazily built, invalidated by ``add``)."""
+        if self._column is None:
+            from repro.vector.columns import BBoxColumn
+
+            self._column = BBoxColumn.from_cubes(self._entries)
+        return self._column
 
     # -- queries -----------------------------------------------------------
 
-    def candidates_in_cube(self, cube: Cube) -> Set[Hashable]:
+    def candidates_in_cube(
+        self, cube: Cube, backend: Optional[str] = None
+    ) -> Set[Hashable]:
         """Keys of objects with at least one unit cube intersecting ``cube``."""
+        from repro.vector.fleet import _resolve
+
+        if _resolve(backend) == "vector":
+            return set(self._unit_column().candidates(cube))
         return set(self._tree.search(cube))
 
     def candidates_at(self, rect: Rect, t: Union[Instant, float]) -> Set[Hashable]:

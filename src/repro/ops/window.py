@@ -15,7 +15,7 @@ from typing import Dict, Hashable, Iterable, List, Optional, Tuple
 from repro.index.unitindex import MovingObjectIndex
 from repro.ranges.interval import Interval
 from repro.ranges.rangeset import RangeSet
-from repro.spatial.bbox import Rect
+from repro.spatial.bbox import Cube, Rect
 from repro.temporal.mapping import MovingPoint
 from repro.temporal.upoint import UPoint
 
@@ -88,14 +88,20 @@ class WindowQueryEngine:
         return len(self._objects)
 
     def query(
-        self, rect: Rect, t0: float, t1: float
+        self, rect: Rect, t0: float, t1: float, backend: Optional[str] = None
     ) -> List[Tuple[Hashable, RangeSet[float]]]:
         """Objects inside ``rect`` at some instant of [t0, t1], with the
-        exact time sets of their presence (restricted to the window)."""
+        exact time sets of their presence (restricted to the window).
+
+        The filter step is backend-switched: R-tree descent (scalar) or
+        the columnar per-unit cube sweep (vector); both yield the same
+        candidate set, and the exact per-unit refinement is shared.
+        """
         window_times = RangeSet([Interval(t0, t1)])
         results: List[Tuple[Hashable, RangeSet[float]]] = []
+        cube = Cube(rect.xmin, rect.ymin, t0, rect.xmax, rect.ymax, t1)
         for key in sorted(
-            self._index.candidates_window(rect, t0, t1), key=str
+            self._index.candidates_in_cube(cube, backend=backend), key=str
         ):
             times = mpoint_within_rect_times(self._objects[key], rect)
             clipped = times.intersection(window_times)

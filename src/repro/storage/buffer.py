@@ -3,6 +3,11 @@
 The DBMS "places values under control of the DBMS into memory"
 (Section 4); this pool is that control point.  It exposes hit/miss
 statistics so the benchmarks can report logical vs physical I/O.
+Hit/miss bookkeeping is unified with :mod:`repro.obs`: the pool's own
+``hits``/``misses`` attributes stay authoritative (and always on), and
+when the observability layer is enabled the same events also land in
+the global counters (``buffer.hits`` / ``buffer.misses``) so one
+``--profile`` report covers kernels and I/O alike.
 """
 
 from __future__ import annotations
@@ -11,6 +16,7 @@ from collections import OrderedDict
 from dataclasses import dataclass
 from typing import Dict, Optional
 
+from repro import obs
 from repro.errors import StorageError
 from repro.storage.pages import PageFile
 
@@ -45,9 +51,13 @@ class BufferPool:
         frame = self._frames.get(page_no)
         if frame is not None:
             self.hits += 1
+            if obs.enabled:
+                obs.counters.add("buffer.hits")
             self._frames.move_to_end(page_no)
         else:
             self.misses += 1
+            if obs.enabled:
+                obs.counters.add("buffer.misses")
             self._evict_if_needed()
             frame = _Frame(bytearray(self._pf.read_page(page_no)))
             self._frames[page_no] = frame

@@ -51,6 +51,31 @@ class DatabaseArray:
         """Total payload size in bytes."""
         return len(self._buf)
 
+    @property
+    def payload(self) -> bytes:
+        """The raw record payload (``count × record_size`` bytes).
+
+        This is the bulk-transfer face of the array: columnar views
+        (:mod:`repro.vector.columns`) reinterpret it with a numpy dtype
+        of identical layout instead of unpacking record by record.
+        """
+        return bytes(self._buf)
+
+    def extend_packed(self, data: bytes, count: int) -> None:
+        """Append ``count`` already-packed records in one buffer copy.
+
+        ``data`` must be exactly ``count`` records in this array's
+        struct layout (e.g. the ``tobytes()`` of a matching numpy record
+        array) — the inverse of :attr:`payload`.
+        """
+        if len(data) != count * self._size:
+            raise StorageError(
+                f"packed payload is {len(data)} bytes, expected "
+                f"{count} × {self._size}"
+            )
+        self._buf.extend(data)
+        self._count += count
+
     def append(self, *fields) -> int:
         """Append one record; returns its index."""
         self._buf.extend(struct.pack(self._fmt, *fields))

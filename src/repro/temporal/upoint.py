@@ -40,6 +40,12 @@ class UPoint(Unit[Point]):
         """The MPoint quadruple (the unit function)."""
         return self._motion
 
+    @property
+    def coefficients(self) -> Tuple[float, float, float, float]:
+        """The raw quadruple ``(x0, x1, y0, y1)`` — the columnar unit fields."""
+        m = self._motion
+        return (m.x0, m.x1, m.y0, m.y1)
+
     def unit_function(self) -> MPoint:
         return self._motion
 

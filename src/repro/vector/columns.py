@@ -1,0 +1,388 @@
+"""Structure-of-Arrays columns over the units of many moving objects.
+
+The Section-4 representation of one ``mapping`` value is a *root record*
+(count + bounding box) pointing into *database arrays* of fixed-size
+unit records.  A column generalizes that layout to a whole fleet: the
+unit fields of every object live in contiguous numpy arrays, and a
+CSR-style ``offsets`` array (the stacked root records) says which slice
+of those arrays belongs to which object.  Batched kernels
+(:mod:`repro.vector.kernels`) then evaluate all objects per call instead
+of interpreting one unit at a time.
+
+Columns are built from, and convert back to, the existing ``Mapping``
+objects, and bridge losslessly to :class:`repro.storage.darray.
+DatabaseArray` records (same field layout, bulk-packed), so a column is
+just another view of the Section-4 on-disk structure.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from repro.errors import InvalidValue
+from repro.ranges.interval import Interval
+from repro.spatial.bbox import Cube
+from repro.storage.darray import DatabaseArray
+from repro.temporal.mapping import Mapping, MovingPoint, MovingReal
+from repro.temporal.upoint import UPoint
+from repro.temporal.ureal import UReal
+
+
+def _as_offsets(counts: List[int]) -> np.ndarray:
+    """Cumulative unit counts → CSR offsets (the stacked root records)."""
+    offsets = np.zeros(len(counts) + 1, dtype=np.int64)
+    np.cumsum(counts, out=offsets[1:])
+    return offsets
+
+
+class UnitColumn:
+    """Shared interval columns: ``starts``/``ends``/``lc``/``rc`` + offsets."""
+
+    __slots__ = ("offsets", "starts", "ends", "lc", "rc")
+
+    def __init__(
+        self,
+        offsets: np.ndarray,
+        starts: np.ndarray,
+        ends: np.ndarray,
+        lc: np.ndarray,
+        rc: np.ndarray,
+    ):
+        self.offsets = np.ascontiguousarray(offsets, dtype=np.int64)
+        self.starts = np.ascontiguousarray(starts, dtype=np.float64)
+        self.ends = np.ascontiguousarray(ends, dtype=np.float64)
+        self.lc = np.ascontiguousarray(lc, dtype=np.bool_)
+        self.rc = np.ascontiguousarray(rc, dtype=np.bool_)
+        if self.offsets.ndim != 1 or len(self.offsets) == 0:
+            raise InvalidValue("offsets must be a 1-D array of length n+1")
+        if int(self.offsets[-1]) != len(self.starts):
+            raise InvalidValue("offsets do not cover the unit arrays")
+
+    @property
+    def n_objects(self) -> int:
+        """Number of objects (root records) in the column."""
+        return len(self.offsets) - 1
+
+    @property
+    def n_units(self) -> int:
+        """Total number of units across all objects."""
+        return len(self.starts)
+
+    def units_of(self, i: int) -> slice:
+        """The slice of the unit arrays belonging to object ``i``."""
+        return slice(int(self.offsets[i]), int(self.offsets[i + 1]))
+
+    def __len__(self) -> int:
+        return self.n_objects
+
+
+class UPointColumn(UnitColumn):
+    """Columnar ``mapping(upoint)`` fleet: motion coefficients per unit.
+
+    The per-unit fields mirror the ``upoint`` unit record of Section 4.2
+    — interval ``(s, e, lc, rc)`` plus the MPoint quadruple
+    ``(x0, x1, y0, y1)`` with position ``(x0 + x1·t, y0 + y1·t)``.
+    """
+
+    __slots__ = ("x0", "x1", "y0", "y1")
+
+    #: struct layout of one unit record in a database array.
+    UNIT_FORMAT = "<dd??dddd"
+    #: numpy layout with identical bytes (bulk pack/unpack bridge).
+    UNIT_DTYPE = np.dtype(
+        [
+            ("s", "<f8"),
+            ("e", "<f8"),
+            ("lc", "?"),
+            ("rc", "?"),
+            ("x0", "<f8"),
+            ("x1", "<f8"),
+            ("y0", "<f8"),
+            ("y1", "<f8"),
+        ]
+    )
+    #: struct layout of one root record (a unit-count offset).
+    ROOT_FORMAT = "<q"
+
+    def __init__(self, offsets, starts, ends, lc, rc, x0, x1, y0, y1):
+        super().__init__(offsets, starts, ends, lc, rc)
+        self.x0 = np.ascontiguousarray(x0, dtype=np.float64)
+        self.x1 = np.ascontiguousarray(x1, dtype=np.float64)
+        self.y0 = np.ascontiguousarray(y0, dtype=np.float64)
+        self.y1 = np.ascontiguousarray(y1, dtype=np.float64)
+
+    @classmethod
+    def from_mappings(cls, mappings: Sequence[MovingPoint]) -> "UPointColumn":
+        """Transcribe a fleet of moving points into one column."""
+        counts: List[int] = []
+        rows: List[Tuple[float, float, bool, bool, float, float, float, float]] = []
+        for m in mappings:
+            if not isinstance(m, Mapping):
+                raise InvalidValue(
+                    f"UPointColumn holds mappings, got {type(m).__name__}"
+                )
+            for u in m.units:
+                if not isinstance(u, UPoint):
+                    raise InvalidValue(
+                        f"UPointColumn holds upoint units, got {type(u).__name__}"
+                    )
+                iv, mo = u.interval, u.motion
+                rows.append(
+                    (iv.s, iv.e, iv.lc, iv.rc, mo.x0, mo.x1, mo.y0, mo.y1)
+                )
+            counts.append(len(m.units))
+        rec = np.array(rows, dtype=cls.UNIT_DTYPE) if rows else np.empty(
+            0, dtype=cls.UNIT_DTYPE
+        )
+        return cls(
+            _as_offsets(counts),
+            rec["s"], rec["e"], rec["lc"], rec["rc"],
+            rec["x0"], rec["x1"], rec["y0"], rec["y1"],
+        )
+
+    def to_mappings(self) -> List[MovingPoint]:
+        """Materialize the column back into ``MovingPoint`` objects."""
+        from repro.temporal.mseg import MPoint
+
+        out: List[MovingPoint] = []
+        for i in range(self.n_objects):
+            sl = self.units_of(i)
+            units = [
+                UPoint(
+                    Interval(
+                        float(self.starts[j]), float(self.ends[j]),
+                        bool(self.lc[j]), bool(self.rc[j]),
+                    ),
+                    MPoint(
+                        float(self.x0[j]), float(self.x1[j]),
+                        float(self.y0[j]), float(self.y1[j]),
+                    ),
+                )
+                for j in range(sl.start, sl.stop)
+            ]
+            out.append(MovingPoint(units, validate=False))
+        return out
+
+    def _unit_records(self) -> np.ndarray:
+        rec = np.empty(self.n_units, dtype=self.UNIT_DTYPE)
+        rec["s"], rec["e"] = self.starts, self.ends
+        rec["lc"], rec["rc"] = self.lc, self.rc
+        rec["x0"], rec["x1"] = self.x0, self.x1
+        rec["y0"], rec["y1"] = self.y0, self.y1
+        return rec
+
+    def to_darrays(self) -> Tuple[DatabaseArray, DatabaseArray]:
+        """Serialize as Section-4 database arrays ``(root, units)``.
+
+        ``root`` holds the offsets array (one record per object plus the
+        final sentinel); ``units`` holds the fixed-size unit records.
+        Packing is a single buffer copy — the numpy record layout is
+        byte-identical to the struct format.
+        """
+        root = DatabaseArray(self.ROOT_FORMAT)
+        root.extend_packed(self.offsets.astype("<i8").tobytes(), len(self.offsets))
+        units = DatabaseArray(self.UNIT_FORMAT)
+        units.extend_packed(self._unit_records().tobytes(), self.n_units)
+        return root, units
+
+    @classmethod
+    def from_darrays(
+        cls, root: DatabaseArray, units: DatabaseArray
+    ) -> "UPointColumn":
+        """Rebuild a column from database arrays written by :meth:`to_darrays`."""
+        offsets = np.frombuffer(root.payload, dtype="<i8").astype(np.int64)
+        rec = np.frombuffer(units.payload, dtype=cls.UNIT_DTYPE)
+        return cls(
+            offsets,
+            rec["s"], rec["e"], rec["lc"], rec["rc"],
+            rec["x0"], rec["x1"], rec["y0"], rec["y1"],
+        )
+
+
+class URealColumn(UnitColumn):
+    """Columnar ``mapping(ureal)`` fleet: ``(a, b, c, r)`` per unit."""
+
+    __slots__ = ("a", "b", "c", "r")
+
+    UNIT_FORMAT = "<dd??ddd?"
+    UNIT_DTYPE = np.dtype(
+        [
+            ("s", "<f8"),
+            ("e", "<f8"),
+            ("lc", "?"),
+            ("rc", "?"),
+            ("a", "<f8"),
+            ("b", "<f8"),
+            ("c", "<f8"),
+            ("r", "?"),
+        ]
+    )
+    ROOT_FORMAT = "<q"
+
+    def __init__(self, offsets, starts, ends, lc, rc, a, b, c, r):
+        super().__init__(offsets, starts, ends, lc, rc)
+        self.a = np.ascontiguousarray(a, dtype=np.float64)
+        self.b = np.ascontiguousarray(b, dtype=np.float64)
+        self.c = np.ascontiguousarray(c, dtype=np.float64)
+        self.r = np.ascontiguousarray(r, dtype=np.bool_)
+
+    @classmethod
+    def from_mappings(cls, mappings: Sequence[MovingReal]) -> "URealColumn":
+        """Transcribe a fleet of moving reals into one column."""
+        counts: List[int] = []
+        rows: List[tuple] = []
+        for m in mappings:
+            if not isinstance(m, Mapping):
+                raise InvalidValue(
+                    f"URealColumn holds mappings, got {type(m).__name__}"
+                )
+            for u in m.units:
+                if not isinstance(u, UReal):
+                    raise InvalidValue(
+                        f"URealColumn holds ureal units, got {type(u).__name__}"
+                    )
+                iv = u.interval
+                a, b, c, r = u.coefficients
+                rows.append((iv.s, iv.e, iv.lc, iv.rc, a, b, c, r))
+            counts.append(len(m.units))
+        rec = np.array(rows, dtype=cls.UNIT_DTYPE) if rows else np.empty(
+            0, dtype=cls.UNIT_DTYPE
+        )
+        return cls(
+            _as_offsets(counts),
+            rec["s"], rec["e"], rec["lc"], rec["rc"],
+            rec["a"], rec["b"], rec["c"], rec["r"],
+        )
+
+    def to_mappings(self) -> List[MovingReal]:
+        """Materialize the column back into ``MovingReal`` objects."""
+        out: List[MovingReal] = []
+        for i in range(self.n_objects):
+            sl = self.units_of(i)
+            units = [
+                UReal(
+                    Interval(
+                        float(self.starts[j]), float(self.ends[j]),
+                        bool(self.lc[j]), bool(self.rc[j]),
+                    ),
+                    float(self.a[j]), float(self.b[j]), float(self.c[j]),
+                    bool(self.r[j]),
+                )
+                for j in range(sl.start, sl.stop)
+            ]
+            out.append(MovingReal(units, validate=False))
+        return out
+
+    def to_darrays(self) -> Tuple[DatabaseArray, DatabaseArray]:
+        """Serialize as Section-4 database arrays ``(root, units)``."""
+        root = DatabaseArray(self.ROOT_FORMAT)
+        root.extend_packed(self.offsets.astype("<i8").tobytes(), len(self.offsets))
+        rec = np.empty(self.n_units, dtype=self.UNIT_DTYPE)
+        rec["s"], rec["e"] = self.starts, self.ends
+        rec["lc"], rec["rc"] = self.lc, self.rc
+        rec["a"], rec["b"], rec["c"], rec["r"] = self.a, self.b, self.c, self.r
+        units = DatabaseArray(self.UNIT_FORMAT)
+        units.extend_packed(rec.tobytes(), self.n_units)
+        return root, units
+
+    @classmethod
+    def from_darrays(
+        cls, root: DatabaseArray, units: DatabaseArray
+    ) -> "URealColumn":
+        """Rebuild a column from database arrays written by :meth:`to_darrays`."""
+        offsets = np.frombuffer(root.payload, dtype="<i8").astype(np.int64)
+        rec = np.frombuffer(units.payload, dtype=cls.UNIT_DTYPE)
+        return cls(
+            offsets,
+            rec["s"], rec["e"], rec["lc"], rec["rc"],
+            rec["a"], rec["b"], rec["c"], rec["r"],
+        )
+
+
+class BBoxColumn:
+    """Columnar bounding cubes: one ``(x, y, t)`` box per entry.
+
+    Entries carry opaque ``keys`` (object identities).  Built either one
+    cube per *object* (whole-trajectory boxes, the coarse filter) or one
+    cube per *unit* (the tight per-slice boxes the Section-4.2 unit
+    records store, exactly what the R-tree indexes).
+    """
+
+    __slots__ = ("keys", "xmin", "ymin", "tmin", "xmax", "ymax", "tmax")
+
+    def __init__(self, keys, xmin, ymin, tmin, xmax, ymax, tmax):
+        self.keys = list(keys)
+        self.xmin = np.ascontiguousarray(xmin, dtype=np.float64)
+        self.ymin = np.ascontiguousarray(ymin, dtype=np.float64)
+        self.tmin = np.ascontiguousarray(tmin, dtype=np.float64)
+        self.xmax = np.ascontiguousarray(xmax, dtype=np.float64)
+        self.ymax = np.ascontiguousarray(ymax, dtype=np.float64)
+        self.tmax = np.ascontiguousarray(tmax, dtype=np.float64)
+        if len(self.keys) != len(self.xmin):
+            raise InvalidValue("BBoxColumn keys and coordinates disagree in length")
+
+    @classmethod
+    def from_cubes(cls, entries: Sequence[Tuple[object, Cube]]) -> "BBoxColumn":
+        """Build from ``(key, cube)`` pairs."""
+        keys = [k for k, _c in entries]
+        cubes = [c for _k, c in entries]
+        return cls(
+            keys,
+            [c.xmin for c in cubes],
+            [c.ymin for c in cubes],
+            [c.tmin for c in cubes],
+            [c.xmax for c in cubes],
+            [c.ymax for c in cubes],
+            [c.tmax for c in cubes],
+        )
+
+    @classmethod
+    def from_mappings(
+        cls,
+        mappings: Sequence[Union[MovingPoint, Mapping]],
+        keys: Optional[Sequence[object]] = None,
+        per_unit: bool = False,
+    ) -> "BBoxColumn":
+        """One box per object (default) or per unit (``per_unit=True``).
+
+        Empty mappings contribute no entry (they have no bounding cube);
+        their keys simply never appear in filter results, matching the
+        scalar path, which skips empty operands.
+        """
+        if keys is None:
+            keys = list(range(len(mappings)))
+        entries: List[Tuple[object, Cube]] = []
+        for key, m in zip(keys, mappings):
+            if not m.units:
+                continue
+            if per_unit:
+                for u in m.units:
+                    entries.append((key, u.bounding_cube()))
+            else:
+                entries.append((key, m.bounding_cube()))
+        return cls.from_cubes(entries)
+
+    def __len__(self) -> int:
+        return len(self.keys)
+
+    def overlap_mask(self, cube: Cube) -> np.ndarray:
+        """Boolean mask of entries whose box intersects ``cube``.
+
+        Delegates to :func:`repro.vector.kernels.bbox_filter_batch`.
+        """
+        from repro.vector.kernels import bbox_filter_batch
+
+        return bbox_filter_batch(self, cube)
+
+    def candidates(self, cube: Cube) -> List[object]:
+        """Keys of entries whose box intersects ``cube`` (with duplicates
+        collapsed, preserving first-seen order)."""
+        seen = set()
+        out: List[object] = []
+        for key, hit in zip(self.keys, self.overlap_mask(cube)):
+            if hit and key not in seen:
+                seen.add(key)
+                out.append(key)
+        return out

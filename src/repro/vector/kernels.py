@@ -1,0 +1,305 @@
+"""Batched numpy kernels over columnar unit storage.
+
+Each kernel evaluates *all* objects of a column per call, replacing the
+scalar one-object-at-a-time loops of :mod:`repro.temporal` /
+:mod:`repro.ops` on fleet-scale workloads.  The kernels are exact
+transcriptions of the scalar reference algorithms — same binary-search
+semantics as ``Mapping.unit_at``, same closedness handling as
+``Interval.contains``, same eps-shifted half-open rule as
+``crossings_above`` — so their results are asserted equivalent unit for
+unit (see ``tests/test_vector_properties.py``).
+
+Observability: every kernel counts its calls and the rows it processed
+(``vector.<kernel>.calls`` / ``.rows``) and raises the high-water gauge
+``vector.rows_per_call`` — the fleet-scale analogue of the Section-5
+per-operation counters.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence, Tuple, Union
+
+import numpy as np
+
+from repro import obs
+from repro.config import EPSILON
+from repro.errors import InvalidValue
+from repro.geometry.segment import Seg
+from repro.spatial.bbox import Cube
+from repro.spatial.region import Region
+from repro.vector.columns import BBoxColumn, UnitColumn, UPointColumn, URealColumn
+
+
+def _record_rows(kernel: str, rows: int) -> None:
+    if obs.enabled:
+        obs.counters.add(f"vector.{kernel}.calls")
+        obs.counters.add(f"vector.{kernel}.rows", rows)
+        obs.counters.high_water("vector.rows_per_call", rows)
+
+
+# ---------------------------------------------------------------------------
+# Unit location: simultaneous per-object binary search
+# ---------------------------------------------------------------------------
+
+
+def locate_units(col: UnitColumn, t: float) -> Tuple[np.ndarray, np.ndarray]:
+    """Find, for every object at once, the unit whose interval contains ``t``.
+
+    Vectorized transcription of ``Mapping.unit_at``: a bisect-right over
+    each object's (sorted) unit start times, run simultaneously for all
+    objects — each halving pass is one numpy sweep, so the pass count is
+    O(log max-units) while the per-object work is the same O(log n)
+    probe sequence the Section-5.1 claim counts.  As in the scalar code,
+    the containing unit is among the last *two* units starting at or
+    before ``t``, and containment honours the closedness flags.
+
+    Returns ``(unit_index, defined)``; ``unit_index`` is meaningful only
+    where ``defined`` is True.
+    """
+    t = float(t)
+    n = col.n_objects
+    lo = col.offsets[:-1].copy()
+    if col.n_units == 0:
+        _record_rows("locate_units", n)
+        return np.zeros(n, dtype=np.int64), np.zeros(n, dtype=np.bool_)
+    hi = col.offsets[1:].copy()
+    starts = col.starts
+    passes = 0
+    while True:
+        active = lo < hi
+        if not active.any():
+            break
+        passes += 1
+        mid = (lo + hi) >> 1
+        mid_safe = np.where(active, mid, 0)
+        go_right = active & (starts[mid_safe] <= t)
+        hi = np.where(active & ~go_right, mid, hi)
+        lo = np.where(go_right, mid + 1, lo)
+
+    base = col.offsets[:-1]
+
+    def contained(idx: np.ndarray) -> np.ndarray:
+        valid = idx >= base
+        j = np.maximum(idx, 0)
+        s, e = starts[j], col.ends[j]
+        return (
+            valid
+            & (t >= s)
+            & (t <= e)
+            & ((t != s) | col.lc[j])
+            & ((t != e) | col.rc[j])
+        )
+
+    idx1, idx2 = lo - 1, lo - 2
+    hit1 = contained(idx1)
+    hit2 = contained(idx2)
+    unit = np.where(hit1, np.maximum(idx1, 0), np.maximum(idx2, 0))
+    defined = hit1 | hit2
+    _record_rows("locate_units", n)
+    if obs.enabled:
+        obs.counters.add("vector.locate_units.passes", passes)
+    return unit.astype(np.int64), defined
+
+
+# ---------------------------------------------------------------------------
+# atinstant, batched
+# ---------------------------------------------------------------------------
+
+
+def atinstant_batch(
+    col: UPointColumn, t: float
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """``atinstant`` over a whole moving-point fleet in one call.
+
+    Returns ``(x, y, defined)``: positions of every object at instant
+    ``t`` with NaN in undefined lanes.  The evaluation is the fused
+    linear form ``x0 + x1·t`` of the located units — identical
+    arithmetic to ``MPoint.at``, so defined lanes match the scalar
+    ``Mapping.value_at`` bit for bit.
+    """
+    t = float(t)
+    unit, defined = locate_units(col, t)
+    if col.n_units == 0:  # nothing to index: every lane is ⊥
+        nan = np.full(col.n_objects, np.nan)
+        _record_rows("atinstant_batch", col.n_objects)
+        return nan, nan.copy(), defined
+    x = col.x0[unit] + col.x1[unit] * t
+    y = col.y0[unit] + col.y1[unit] * t
+    x = np.where(defined, x, np.nan)
+    y = np.where(defined, y, np.nan)
+    _record_rows("atinstant_batch", col.n_objects)
+    return x, y, defined
+
+
+def ureal_atinstant_batch(
+    col: URealColumn, t: float
+) -> Tuple[np.ndarray, np.ndarray]:
+    """``atinstant`` over a fleet of moving reals in one call.
+
+    Returns ``(value, defined)`` with NaN in undefined lanes.  The
+    quadratic is evaluated in the same Horner form as the scalar
+    ``eval_quad``; square-root lanes clamp tiny negative radicands
+    exactly like ``UReal._checked_radicand`` (coefficient-scaled
+    tolerance) and raise :class:`InvalidValue` beyond it.
+    """
+    t = float(t)
+    unit, defined = locate_units(col, t)
+    if col.n_units == 0:  # nothing to index: every lane is ⊥
+        _record_rows("ureal_atinstant_batch", col.n_objects)
+        return np.full(col.n_objects, np.nan), defined
+    a, b, c = col.a[unit], col.b[unit], col.c[unit]
+    v = (a * t + b) * t + c
+    sqrt_lane = defined & col.r[unit]
+    if sqrt_lane.any():
+        rad = v[sqrt_lane]
+        tol = 1e-7 * np.maximum.reduce(
+            [np.abs(a[sqrt_lane]), np.abs(b[sqrt_lane]), np.abs(c[sqrt_lane]),
+             np.ones_like(rad)]
+        )
+        beyond = rad < -tol
+        if beyond.any():
+            worst = float(rad[beyond].min())
+            raise InvalidValue(
+                f"negative radicand {worst:g} of square-root ureal at t={t:g} "
+                "(beyond rounding tolerance)"
+            )
+        v[sqrt_lane] = np.sqrt(np.maximum(rad, 0.0))
+    v = np.where(defined, v, np.nan)
+    _record_rows("ureal_atinstant_batch", col.n_objects)
+    return v, defined
+
+
+# ---------------------------------------------------------------------------
+# Bounding-box filtering, batched
+# ---------------------------------------------------------------------------
+
+
+def bbox_filter_batch(col: BBoxColumn, cube: Cube) -> np.ndarray:
+    """Vectorized 3-D bounding-cube overlap against one query cube.
+
+    Boolean mask over the column's entries, by the same closed-box
+    inequalities as ``Cube.intersects``.  This is the *filter* step: the
+    exact R-tree/refinement path still decides the survivors.
+    """
+    mask = (
+        (col.xmin <= cube.xmax)
+        & (cube.xmin <= col.xmax)
+        & (col.ymin <= cube.ymax)
+        & (cube.ymin <= col.ymax)
+        & (col.tmin <= cube.tmax)
+        & (cube.tmin <= col.tmax)
+    )
+    _record_rows("bbox_filter", len(col))
+    if obs.enabled:
+        obs.counters.add("vector.bbox_filter.hits", int(mask.sum()))
+    return mask
+
+
+# ---------------------------------------------------------------------------
+# Plumbline, batched: N query points against one region
+# ---------------------------------------------------------------------------
+
+
+def segs_to_array(segs: Iterable[Seg]) -> np.ndarray:
+    """Segment tuples → an ``(S, 4)`` float array ``(x0, y0, x1, y1)``."""
+    arr = np.asarray(
+        [(s[0][0], s[0][1], s[1][0], s[1][1]) for s in segs], dtype=np.float64
+    )
+    return arr.reshape(-1, 4)
+
+
+def _points_to_arrays(points: Union[np.ndarray, Sequence]) -> Tuple[np.ndarray, np.ndarray]:
+    pts = np.asarray(points, dtype=np.float64).reshape(-1, 2)
+    return pts[:, 0], pts[:, 1]
+
+
+def crossings_above_batch(
+    points: Union[np.ndarray, Sequence],
+    segs: Union[np.ndarray, Iterable[Seg]],
+    eps: float = EPSILON,
+) -> np.ndarray:
+    """Count, for N points at once, the segments crossed by each upward ray.
+
+    Vectorized transcription of :func:`repro.geometry.plumbline.
+    crossings_above`, including its eps-shifted half-open window
+    ``x0 - eps <= px < x1 - eps``, the (near-)vertical exclusion
+    ``x1 - x0 <= eps``, and the clamped interpolation parameter — so the
+    counts agree with the scalar loop point for point.
+    """
+    px, py = _points_to_arrays(points)
+    arr = segs if isinstance(segs, np.ndarray) else segs_to_array(segs)
+    if arr.size == 0 or px.size == 0:
+        _record_rows("plumbline", len(px))
+        return np.zeros(len(px), dtype=np.int64)
+    x0, y0, x1, y1 = arr[:, 0].copy(), arr[:, 1].copy(), arr[:, 2].copy(), arr[:, 3].copy()
+    swap = x0 > x1  # tolerate unnormalized input, like the scalar loop
+    x0[swap], x1[swap] = x1[swap], x0[swap].copy()
+    y0[swap], y1[swap] = y1[swap], y0[swap].copy()
+    span = x1 - x0
+    crossable = span > eps  # (near-)vertical segments: never crossed
+    window = crossable & (x0 - eps <= px[:, None]) & (px[:, None] < x1 - eps)
+    denom = np.where(crossable, span, 1.0)
+    tpar = np.clip((px[:, None] - x0) / denom, 0.0, 1.0)
+    ys = y0 + tpar * (y1 - y0)
+    counts = np.sum(window & (ys > py[:, None] + eps), axis=1)
+    _record_rows("plumbline", len(px))
+    if obs.enabled:
+        obs.counters.add("vector.plumbline.segments", int(len(px) * len(x0)))
+    return counts.astype(np.int64)
+
+
+def on_boundary_batch(
+    points: Union[np.ndarray, Sequence],
+    segs: Union[np.ndarray, Iterable[Seg]],
+    eps: float = EPSILON,
+) -> np.ndarray:
+    """For N points at once: does each lie on any of the segments?
+
+    Vectorized transcription of ``point_on_seg`` (span-scaled collinear
+    tolerance + eps-widened bounding box) any-reduced over segments.
+    """
+    px, py = _points_to_arrays(points)
+    arr = segs if isinstance(segs, np.ndarray) else segs_to_array(segs)
+    if arr.size == 0 or px.size == 0:
+        return np.zeros(len(px), dtype=np.bool_)
+    x0, y0, x1, y1 = arr[:, 0], arr[:, 1], arr[:, 2], arr[:, 3]
+    dqx, dqy = x1 - x0, y1 - y0
+    drx = px[:, None] - x0
+    dry = py[:, None] - y0
+    val = dqx * dry - dqy * drx
+    scale = np.maximum.reduce(
+        [np.broadcast_to(np.abs(dqx), val.shape),
+         np.broadcast_to(np.abs(dqy), val.shape),
+         np.abs(drx), np.abs(dry), np.ones_like(val)]
+    )
+    collinear = np.abs(val) <= eps * scale
+    in_box = (
+        (np.minimum(x0, x1) - eps <= px[:, None])
+        & (px[:, None] <= np.maximum(x0, x1) + eps)
+        & (np.minimum(y0, y1) - eps <= py[:, None])
+        & (py[:, None] <= np.maximum(y0, y1) + eps)
+    )
+    return np.any(collinear & in_box, axis=1)
+
+
+def inside_prefilter(
+    points: Union[np.ndarray, Sequence],
+    region: Region,
+    eps: float = EPSILON,
+    boundary_counts: bool = True,
+) -> np.ndarray:
+    """Batched point-in-region test: N query points against one region.
+
+    Equivalent to ``point_in_segset(p, region.segments())`` per point —
+    odd parity of upward-ray crossings over *all* boundary segments
+    (parity handles holes and islands-in-holes alike), with boundary
+    points decided by ``boundary_counts``.  Used as the set-at-a-time
+    prefilter in fleet snapshot queries before any per-object exact
+    work.
+    """
+    px, py = _points_to_arrays(points)
+    arr = segs_to_array(region.segments())
+    odd = crossings_above_batch(np.column_stack([px, py]), arr, eps) % 2 == 1
+    on = on_boundary_batch(np.column_stack([px, py]), arr, eps)
+    _record_rows("inside_prefilter", len(px))
+    return np.where(on, boundary_counts, odd)

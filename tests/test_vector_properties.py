@@ -1,0 +1,205 @@
+"""Property tests: vectorized kernels ≡ scalar reference algorithms.
+
+The batch kernels of :mod:`repro.vector` are transcriptions of the
+scalar unit-at-a-time code; these properties pin them together over
+randomly generated fleets, including ⊥/gap instants and closed/open unit
+boundaries, and query instants biased onto the boundaries themselves.
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.geometry.plumbline import crossings_above, point_in_segset
+from repro.ranges.interval import Interval
+from repro.spatial.region import Region
+from repro.temporal.mapping import MovingPoint, MovingReal
+from repro.temporal.upoint import UPoint
+from repro.temporal.ureal import UReal
+from repro.vector.columns import UPointColumn, URealColumn
+from repro.vector.kernels import (
+    atinstant_batch,
+    crossings_above_batch,
+    inside_prefilter,
+    segs_to_array,
+    ureal_atinstant_batch,
+)
+
+coord = st.floats(min_value=-100.0, max_value=100.0, allow_nan=False)
+coef = st.floats(min_value=-10.0, max_value=10.0, allow_nan=False)
+
+
+@st.composite
+def gapped_intervals(draw, max_units=4):
+    """Sorted intervals with strict gaps and random closedness flags."""
+    n = draw(st.integers(min_value=0, max_value=max_units))
+    t = draw(st.floats(min_value=-50.0, max_value=50.0, allow_nan=False))
+    out = []
+    for _ in range(n):
+        t += draw(st.floats(min_value=0.1, max_value=10.0, allow_nan=False))
+        s = t
+        t += draw(st.floats(min_value=0.1, max_value=10.0, allow_nan=False))
+        out.append(
+            Interval(s, t, draw(st.booleans()), draw(st.booleans()))
+        )
+    return out
+
+
+@st.composite
+def moving_points(draw):
+    units = [
+        UPoint.between(
+            iv.s,
+            (draw(coord), draw(coord)),
+            iv.e,
+            (draw(coord), draw(coord)),
+            lc=iv.lc,
+            rc=iv.rc,
+        )
+        for iv in draw(gapped_intervals())
+    ]
+    return MovingPoint(units)
+
+
+@st.composite
+def moving_reals(draw):
+    # Non-sqrt quadratics: any coefficients are legal.
+    units = [
+        UReal(iv, draw(coef), draw(coef), draw(coef))
+        for iv in draw(gapped_intervals())
+    ]
+    return MovingReal(units)
+
+
+def probe_instants(draw, fleet, k=3):
+    """Query instants biased onto unit boundaries (the sharp cases)."""
+    boundaries = [u.interval.s for m in fleet for u in m.units] + [
+        u.interval.e for m in fleet for u in m.units
+    ]
+    out = [draw(st.floats(min_value=-80.0, max_value=80.0, allow_nan=False))]
+    for _ in range(k):
+        if boundaries and draw(st.booleans()):
+            out.append(
+                boundaries[draw(st.integers(0, len(boundaries) - 1))]
+            )
+        else:
+            out.append(
+                draw(st.floats(min_value=-80.0, max_value=80.0, allow_nan=False))
+            )
+    return out
+
+
+@st.composite
+def point_fleets_with_instants(draw):
+    fleet = draw(st.lists(moving_points(), min_size=1, max_size=6))
+    return fleet, probe_instants(draw, fleet)
+
+
+@st.composite
+def real_fleets_with_instants(draw):
+    fleet = draw(st.lists(moving_reals(), min_size=1, max_size=6))
+    return fleet, probe_instants(draw, fleet)
+
+
+class TestAtinstantEquivalence:
+    @given(point_fleets_with_instants())
+    @settings(max_examples=150, deadline=None)
+    def test_matches_scalar_atinstant(self, fleet_and_ts):
+        fleet, instants = fleet_and_ts
+        col = UPointColumn.from_mappings(fleet)
+        for t in instants:
+            xs, ys, defined = atinstant_batch(col, t)
+            for i, m in enumerate(fleet):
+                p = m.value_at(t)
+                if p is None:
+                    assert not defined[i], (i, t)
+                    assert np.isnan(xs[i]) and np.isnan(ys[i])
+                else:
+                    assert defined[i], (i, t)
+                    assert xs[i] == p.x and ys[i] == p.y
+
+    @given(real_fleets_with_instants())
+    @settings(max_examples=150, deadline=None)
+    def test_matches_scalar_ureal(self, fleet_and_ts):
+        fleet, instants = fleet_and_ts
+        col = URealColumn.from_mappings(fleet)
+        for t in instants:
+            vs, defined = ureal_atinstant_batch(col, t)
+            for i, m in enumerate(fleet):
+                v = m.value_at(t)
+                if v is None:
+                    assert not defined[i], (i, t)
+                else:
+                    assert defined[i], (i, t)
+                    assert vs[i] == v.value
+
+    @given(st.lists(moving_points(), min_size=1, max_size=6))
+    @settings(max_examples=60, deadline=None)
+    def test_column_round_trip(self, fleet):
+        assert UPointColumn.from_mappings(fleet).to_mappings() == fleet
+
+
+@st.composite
+def simple_regions(draw):
+    """A convex-ish polygon: a radial perturbation of a regular n-gon."""
+    import math
+
+    n = draw(st.integers(min_value=3, max_value=8))
+    cx = draw(st.floats(min_value=-20.0, max_value=20.0, allow_nan=False))
+    cy = draw(st.floats(min_value=-20.0, max_value=20.0, allow_nan=False))
+    radii = draw(
+        st.lists(
+            st.floats(min_value=2.0, max_value=20.0, allow_nan=False),
+            min_size=n,
+            max_size=n,
+        )
+    )
+    verts = [
+        (
+            cx + r * math.cos(2 * math.pi * k / n),
+            cy + r * math.sin(2 * math.pi * k / n),
+        )
+        for k, r in enumerate(radii)
+    ]
+    return Region.polygon(verts)
+
+
+class TestPlumblineEquivalence:
+    @given(
+        simple_regions(),
+        st.lists(st.tuples(coord, coord), min_size=1, max_size=12),
+    )
+    @settings(max_examples=150, deadline=None)
+    def test_crossings_match_scalar(self, region, pts):
+        segs = list(region.segments())
+        counts = crossings_above_batch(pts, segs)
+        for p, n in zip(pts, counts):
+            assert n == crossings_above(p, segs)
+
+    @given(
+        simple_regions(),
+        st.lists(st.tuples(coord, coord), min_size=1, max_size=12),
+    )
+    @settings(max_examples=150, deadline=None)
+    def test_inside_matches_point_in_segset(self, region, pts):
+        segs = list(region.segments())
+        inside = inside_prefilter(pts, region)
+        for p, got in zip(pts, inside):
+            assert bool(got) == point_in_segset(p, segs)
+
+    @given(simple_regions(), st.lists(st.tuples(coord, coord), min_size=1, max_size=8))
+    @settings(max_examples=60, deadline=None)
+    def test_boundary_vertices_hit_scalar_verdict(self, region, pts):
+        # Probe the region's own vertices: the sharpest boundary cases.
+        segs = list(region.segments())
+        vertices = [tuple(s[0]) for s in segs][:8]
+        probes = vertices + list(pts)
+        inside = inside_prefilter(probes, region)
+        for p, got in zip(probes, inside):
+            assert bool(got) == point_in_segset(p, segs)
+
+    @given(st.lists(st.tuples(coord, coord), min_size=1, max_size=6))
+    @settings(max_examples=30, deadline=None)
+    def test_empty_segment_set(self, pts):
+        counts = crossings_above_batch(pts, segs_to_array([]))
+        assert not counts.any()
