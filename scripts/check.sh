@@ -17,11 +17,23 @@ echo "== tier-1: counter-assertion smoke (benchmarks, -k counter) =="
 python -m pytest -q -p no:cacheprovider benchmarks/bench_alg_atinstant.py -k counter
 
 echo
+echo "== repro-lint (stdlib AST checker, always on) =="
+python -m repro.analysis src
+
+echo
 echo "== lint (ruff, skipped when not installed) =="
 if command -v ruff >/dev/null 2>&1; then
     ruff check src tests benchmarks
 else
     echo "ruff not installed; skipping lint"
+fi
+
+echo
+echo "== types (mypy --strict on the gated packages, skipped when not installed) =="
+if command -v mypy >/dev/null 2>&1; then
+    mypy --strict -p repro.temporal -p repro.ranges -p repro.geometry -p repro.vector
+else
+    echo "mypy not installed; skipping type check"
 fi
 
 echo

@@ -21,6 +21,8 @@ Packages
 ``repro.obs``        operation counters/timers for the Section-5 claims
 """
 
+from __future__ import annotations
+
 from repro.base import BoolVal, Instant, IntVal, RealVal, StringVal
 from repro.ranges import Interval, Intime, RangeSet
 from repro.spatial import Cube, Cycle, Face, Line, Point, Points, Rect, Region

@@ -1,0 +1,304 @@
+"""Engine of ``repro-lint``: file discovery, suppressions, reporting.
+
+The linter walks Python sources with the stdlib :mod:`ast` module only —
+no third-party dependency — and applies the paper-specific rules of
+:mod:`repro.analysis.rules`.  Everything here is rule-agnostic:
+
+* :class:`Violation` — one finding, with a code and a fix-it message;
+* :class:`SourceModule` — a parsed file plus its suppression comments;
+* :class:`Project` — the full file set a run sees (rules that check
+  cross-file invariants, e.g. scalar↔vector parity, read it);
+* :func:`lint_paths` — collect files, run rules, filter suppressions.
+
+Suppression syntax (the escape hatch)::
+
+    risky_compare = a == b  # modlint: disable=MOD001 canonical ordering
+
+The comment suppresses the listed codes on its own line (or, when the
+comment stands alone on a line, on the following line).  The text after
+the code list is the *justification* and is mandatory: a suppression
+without one is itself reported as ``MOD000`` — the policy is that every
+escape from a representation invariant names its reason in place.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Tuple
+
+#: Matches ``# modlint: disable=MOD001,MOD002 <justification...>``.
+_SUPPRESS_RE = re.compile(
+    r"#\s*modlint:\s*disable=([A-Za-z0-9_,]+)(?:\s+(.*\S))?\s*$"
+)
+
+#: Code used for suppression-policy violations (not a real rule).
+POLICY_CODE = "MOD000"
+
+
+@dataclass(frozen=True)
+class Violation:
+    """One linter finding."""
+
+    path: str
+    line: int
+    col: int
+    code: str
+    message: str
+
+    def format(self) -> str:
+        return f"{self.path}:{self.line}:{self.col}: {self.code} {self.message}"
+
+    def sort_key(self) -> Tuple[str, int, int, str]:
+        return (self.path, self.line, self.col, self.code)
+
+
+@dataclass(frozen=True)
+class Suppression:
+    """A parsed ``modlint: disable`` comment."""
+
+    line: int
+    codes: frozenset
+    justification: Optional[str]
+    standalone: bool
+
+    @property
+    def justified(self) -> bool:
+        return bool(self.justification)
+
+    def applies_to(self, line: int, code: str) -> bool:
+        if code == POLICY_CODE:
+            return False  # the policy rule cannot be silenced
+        if "all" not in self.codes and code not in self.codes:
+            return False
+        if line == self.line:
+            return True
+        return self.standalone and line == self.line + 1
+
+
+@dataclass
+class SourceModule:
+    """One parsed Python file with its suppression table."""
+
+    path: Path
+    relpath: str
+    text: str
+    tree: ast.Module
+    suppressions: List[Suppression] = field(default_factory=list)
+    #: Parent links for every AST node (filled lazily, used by rules
+    #: that need the enclosing statement/function of an expression).
+    _parents: Optional[Dict[ast.AST, ast.AST]] = None
+
+    @classmethod
+    def parse(cls, path: Path, root: Path) -> "SourceModule":
+        text = path.read_text(encoding="utf-8")
+        tree = ast.parse(text, filename=str(path))
+        try:
+            rel = path.relative_to(root).as_posix()
+        except ValueError:
+            rel = path.as_posix()
+        mod = cls(path=path, relpath=rel, text=text, tree=tree)
+        mod.suppressions = list(_parse_suppressions(text))
+        return mod
+
+    def suppressed(self, line: int, code: str) -> bool:
+        return any(s.applies_to(line, code) for s in self.suppressions)
+
+    def parents(self) -> Dict[ast.AST, ast.AST]:
+        if self._parents is None:
+            table: Dict[ast.AST, ast.AST] = {}
+            for parent in ast.walk(self.tree):
+                for child in ast.iter_child_nodes(parent):
+                    table[child] = parent
+            self._parents = table
+        return self._parents
+
+    def enclosing(self, node: ast.AST, *kinds) -> Optional[ast.AST]:
+        """Nearest ancestor of ``node`` that is an instance of ``kinds``."""
+        table = self.parents()
+        cur = table.get(node)
+        while cur is not None:
+            if isinstance(cur, kinds):
+                return cur
+            cur = table.get(cur)
+        return None
+
+    def violation(self, node: ast.AST, code: str, message: str) -> Violation:
+        return Violation(
+            path=self.relpath,
+            line=getattr(node, "lineno", 1),
+            col=getattr(node, "col_offset", 0) + 1,
+            code=code,
+            message=message,
+        )
+
+
+def _parse_suppressions(text: str) -> Iterator[Suppression]:
+    for lineno, line in enumerate(text.splitlines(), start=1):
+        m = _SUPPRESS_RE.search(line)
+        if m is None:
+            continue
+        codes = frozenset(
+            c.strip() for c in m.group(1).split(",") if c.strip()
+        )
+        yield Suppression(
+            line=lineno,
+            codes=codes,
+            justification=m.group(2),
+            standalone=line.lstrip().startswith("#"),
+        )
+
+
+@dataclass
+class Project:
+    """Everything one lint run sees: the parsed modules plus the roots.
+
+    ``root`` is the repository root (parent of ``src``) when it can be
+    inferred, so cross-file rules can locate companion files such as
+    ``tests/test_vector_properties.py`` even when only ``src`` was
+    passed on the command line.
+    """
+
+    root: Path
+    modules: List[SourceModule]
+
+    def module(self, relpath_suffix: str) -> Optional[SourceModule]:
+        """The module whose relative path ends with ``relpath_suffix``."""
+        for mod in self.modules:
+            if mod.relpath.endswith(relpath_suffix):
+                return mod
+        return None
+
+    def companion(self, relative: str) -> Optional[Path]:
+        """A repo file outside the linted set (e.g. a test module)."""
+        candidate = self.root / relative
+        return candidate if candidate.is_file() else None
+
+
+def collect_files(paths: Sequence[Path]) -> List[Path]:
+    """All ``.py`` files under ``paths`` (files are taken verbatim)."""
+    out: List[Path] = []
+    for p in paths:
+        if p.is_dir():
+            out.extend(sorted(p.rglob("*.py")))
+        elif p.suffix == ".py":
+            out.append(p)
+    # De-duplicate while preserving order.
+    seen = set()
+    unique = []
+    for p in out:
+        rp = p.resolve()
+        if rp not in seen:
+            seen.add(rp)
+            unique.append(p)
+    return unique
+
+
+def _infer_root(paths: Sequence[Path]) -> Path:
+    """The repository root: the parent of a ``src`` dir when present."""
+    for p in paths:
+        cur = p.resolve()
+        if cur.is_file():
+            cur = cur.parent
+        while cur != cur.parent:
+            if (cur / "src" / "repro").is_dir():
+                return cur
+            cur = cur.parent
+    return Path.cwd()
+
+
+def _policy_violations(mod: SourceModule) -> Iterator[Violation]:
+    """MOD000: suppressions must carry a justification and known codes."""
+    from repro.analysis.rules import KNOWN_CODES
+
+    for s in mod.suppressions:
+        if not s.justified:
+            yield Violation(
+                path=mod.relpath,
+                line=s.line,
+                col=1,
+                code=POLICY_CODE,
+                message=(
+                    "suppression lacks a justification; append the "
+                    "reason after the code list: "
+                    "'modlint: disable=MODNNN <why this invariant does "
+                    "not apply here>'"
+                ),
+            )
+        unknown = s.codes - KNOWN_CODES - {"all"}
+        if unknown:
+            yield Violation(
+                path=mod.relpath,
+                line=s.line,
+                col=1,
+                code=POLICY_CODE,
+                message=(
+                    f"suppression names unknown rule(s) "
+                    f"{sorted(unknown)}; known codes: "
+                    f"{sorted(KNOWN_CODES)}"
+                ),
+            )
+
+
+def lint_paths(
+    paths: Sequence[Path], select: Optional[Iterable[str]] = None
+) -> List[Violation]:
+    """Run every rule over ``paths`` and return unsuppressed findings.
+
+    ``select`` restricts the run to the given rule codes (the policy
+    rule MOD000 always runs: an unjustified suppression is a finding
+    regardless of which rules were selected).
+    """
+    from repro.analysis.rules import RULES
+
+    root = _infer_root(paths)
+    modules: List[SourceModule] = []
+    violations: List[Violation] = []
+    for path in collect_files(paths):
+        try:
+            modules.append(SourceModule.parse(path, root))
+        except SyntaxError as exc:
+            violations.append(
+                Violation(
+                    path=str(path),
+                    line=exc.lineno or 1,
+                    col=(exc.offset or 0) + 1,
+                    code=POLICY_CODE,
+                    message=f"file does not parse: {exc.msg}",
+                )
+            )
+    project = Project(root=root, modules=modules)
+
+    wanted = set(select) if select is not None else None
+    for rule in RULES:
+        if wanted is not None and rule.code not in wanted:
+            continue
+        for mod in modules:
+            violations.extend(rule.check(mod, project))
+        violations.extend(rule.check_project(project))
+    for mod in modules:
+        violations.extend(_policy_violations(mod))
+
+    kept = []
+    for v in violations:
+        mod = next((m for m in modules if m.relpath == v.path), None)
+        if mod is not None and mod.suppressed(v.line, v.code):
+            continue
+        kept.append(v)
+    return sorted(set(kept), key=lambda v: v.sort_key())
+
+
+def render_report(violations: Sequence[Violation]) -> str:
+    """Human-readable report: one line per finding plus a summary."""
+    lines = [v.format() for v in violations]
+    if violations:
+        by_code: Dict[str, int] = {}
+        for v in violations:
+            by_code[v.code] = by_code.get(v.code, 0) + 1
+        summary = ", ".join(f"{c}: {n}" for c, n in sorted(by_code.items()))
+        lines.append(f"repro-lint: {len(violations)} finding(s) ({summary})")
+    else:
+        lines.append("repro-lint: clean")
+    return "\n".join(lines)

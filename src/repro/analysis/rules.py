@@ -1,0 +1,779 @@
+"""The paper-specific lint rules (MOD001–MOD005).
+
+Each rule enforces one *representation invariant* of the discrete model
+(see DESIGN.md, "Static analysis"): these are properties the sliced
+representation must hold structurally for the algebra's closure
+arguments to go through, not style preferences.
+
+=======  ==========================================================
+code     invariant
+=======  ==========================================================
+MOD001   eps discipline: float comparisons on coordinates, instants
+         and radicands go through ``repro.config``'s eps helpers
+MOD002   unit/interval hygiene: no ``validate=False`` construction
+         or private unit-array mutation outside the owning modules
+MOD003   scalar↔vector parity: every batched kernel names its scalar
+         twin in ``repro.vector.parity`` and has an equivalence
+         property test
+MOD004   obs-counter discipline: counter/timer/gauge names are
+         literal and declared in the ``repro.obs`` registry
+MOD005   backend-dispatch completeness: every ``--backend`` branch
+         has a scalar arm and routes failures through the counted
+         fallback
+=======  ==========================================================
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterator, List, Optional, Set, Tuple
+
+from repro.analysis.core import Project, SourceModule, Violation
+
+KNOWN_CODES = frozenset({"MOD001", "MOD002", "MOD003", "MOD004", "MOD005"})
+
+
+class Rule:
+    """Base class: per-module and whole-project check hooks."""
+
+    code: str = ""
+    name: str = ""
+
+    def check(
+        self, mod: SourceModule, project: Project
+    ) -> Iterator[Violation]:
+        return iter(())
+
+    def check_project(self, project: Project) -> Iterator[Violation]:
+        return iter(())
+
+
+def _call_name(node: ast.Call) -> str:
+    """The trailing identifier of a call's function expression."""
+    func = node.func
+    if isinstance(func, ast.Name):
+        return func.id
+    if isinstance(func, ast.Attribute):
+        return func.attr
+    return ""
+
+
+def _dotted(node: ast.AST) -> str:
+    """``obs.counters.add`` → ``"obs.counters.add"`` (best effort)."""
+    parts: List[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return ""
+
+
+def _str_const(node: ast.AST) -> Optional[str]:
+    if isinstance(node, ast.Constant) and isinstance(node.value, str):
+        return node.value
+    return None
+
+
+# ---------------------------------------------------------------------------
+# MOD001 — eps discipline
+# ---------------------------------------------------------------------------
+
+#: Identifiers that mark a comparison as already eps-mediated.
+_MEDIATORS = {
+    "eps", "EPS", "epsilon", "EPSILON", "tol", "tolerance", "param_tol",
+    "atol", "rtol", "delta",
+}
+
+#: Local names that (in the geometric kernels) denote coordinates,
+#: instants, interpolation parameters, or radicands.
+_COORD_NAMES = {
+    "x", "y", "t", "tt", "a", "b",
+    "x0", "x1", "y0", "y1", "t0", "t1", "ta", "tb",
+    "px", "py", "qx", "qy", "vx", "vy", "ax", "ay", "bx", "by",
+    "cx", "cy", "dx", "dy", "ux", "uy", "c0", "c1",
+    "lam", "lam_v", "lam_slope", "lam_icept", "mid_lam",
+    "rad", "radicand", "param", "prev_param", "dist", "d2",
+}
+
+#: Attribute names that denote coordinates or interval end points.
+_COORD_ATTRS = {
+    "x", "y", "s", "e", "x0", "x1", "y0", "y1",
+    "xmin", "xmax", "ymin", "ymax", "tmin", "tmax",
+}
+
+#: Calls whose result is a continuous quantity.
+_CONTINUOUS_FUNCS = {
+    "sqrt", "hypot", "atan2", "fabs", "dist", "dist_sq", "norm",
+    "cross", "dot", "eval_quad", "lam", "project_param", "at",
+}
+
+_CMP_OPS = (ast.Eq, ast.NotEq, ast.Lt, ast.LtE, ast.Gt, ast.GtE)
+
+
+def _is_continuous(node: ast.AST) -> bool:
+    if isinstance(node, ast.Constant):
+        return isinstance(node.value, float)
+    if isinstance(node, ast.Name):
+        return node.id in _COORD_NAMES
+    if isinstance(node, ast.Attribute):
+        return node.attr in _COORD_ATTRS
+    if isinstance(node, ast.BinOp):
+        return _is_continuous(node.left) or _is_continuous(node.right)
+    if isinstance(node, ast.UnaryOp):
+        return _is_continuous(node.operand)
+    if isinstance(node, ast.Call):
+        name = _call_name(node)
+        if name == "abs":
+            return any(_is_continuous(a) for a in node.args)
+        return name in _CONTINUOUS_FUNCS
+    return False
+
+
+def _is_mediator(name: str) -> bool:
+    return (
+        name in _MEDIATORS
+        or name.startswith(("tol", "eps"))
+        or name.endswith("_tol")
+    )
+
+
+def _mentions_mediator(node: ast.AST) -> bool:
+    for sub in ast.walk(node):
+        if isinstance(sub, ast.Name) and _is_mediator(sub.id):
+            return True
+        if isinstance(sub, ast.Attribute) and _is_mediator(sub.attr):
+            return True
+    return False
+
+
+class EpsDiscipline(Rule):
+    """MOD001: raw float comparisons on continuous quantities.
+
+    Scope: the geometric kernels (``repro.ops``, ``repro.geometry``),
+    where every coordinate/instant comparison must either go through the
+    sanctioned helpers of :mod:`repro.config` (``feq``/``fle``/…) or
+    mention an explicit tolerance.  ``repro.geometry.primitives``
+    *defines* the sanctioned vocabulary and is exempt.
+    """
+
+    code = "MOD001"
+    name = "eps-discipline"
+
+    _SCOPE = ("repro/ops/", "repro/geometry/")
+    _EXEMPT = ("repro/geometry/primitives.py",)
+
+    def check(
+        self, mod: SourceModule, project: Project
+    ) -> Iterator[Violation]:
+        if not any(p in mod.relpath for p in self._SCOPE):
+            return
+        if any(mod.relpath.endswith(e) for e in self._EXEMPT):
+            return
+        for node in ast.walk(mod.tree):
+            if not isinstance(node, ast.Compare):
+                continue
+            if not all(isinstance(op, _CMP_OPS) for op in node.ops):
+                continue
+            operands = [node.left, *node.comparators]
+            if any(isinstance(o, (ast.Tuple, ast.List)) for o in operands):
+                continue
+            if not any(_is_continuous(o) for o in operands):
+                continue
+            if _mentions_mediator(node):
+                continue
+            snippet = ast.unparse(node)
+            if len(snippet) > 60:
+                snippet = snippet[:57] + "..."
+            yield mod.violation(
+                node,
+                self.code,
+                f"raw float comparison `{snippet}` on a continuous "
+                "quantity; route it through the eps helpers of "
+                "repro.config (feq/fle/flt/fge/fgt/fzero) or name an "
+                "explicit tolerance",
+            )
+
+
+# ---------------------------------------------------------------------------
+# MOD002 — unit/interval hygiene
+# ---------------------------------------------------------------------------
+
+
+class UnitHygiene(Rule):
+    """MOD002: validation bypass and private unit-state mutation.
+
+    ``validate=False`` construction of sortedness-checked values and
+    direct access to ``Mapping``'s private unit arrays are only legal in
+    the modules that own the invariant (temporal/spatial constructors
+    and the storage deserializers, which re-validate by construction).
+    """
+
+    code = "MOD002"
+    name = "unit-hygiene"
+
+    _VALIDATED_TYPES = {
+        "Line", "Region", "Cycle", "Face", "Mapping", "MovingPoint",
+        "MovingReal", "MovingBool", "MovingRegion", "MovingString",
+        "ULine", "UPoints", "URegion",
+    }
+    _OWNERS = ("repro/temporal/", "repro/spatial/", "repro/storage/")
+    _PRIVATE_ATTRS = {"_units", "_starts"}
+    _PRIVATE_OWNER = "repro/temporal/mapping.py"
+
+    def check(
+        self, mod: SourceModule, project: Project
+    ) -> Iterator[Violation]:
+        if "repro/analysis/" in mod.relpath:
+            return
+        owner = any(p in mod.relpath for p in self._OWNERS)
+        private_owner = mod.relpath.endswith(self._PRIVATE_OWNER)
+        for node in ast.walk(mod.tree):
+            if isinstance(node, ast.Call) and not owner:
+                ctor = _call_name(node)
+                is_type_self = (
+                    isinstance(node.func, ast.Call)
+                    and _call_name(node.func) == "type"
+                )
+                if ctor in self._VALIDATED_TYPES or is_type_self:
+                    for kw in node.keywords:
+                        if (
+                            kw.arg == "validate"
+                            and isinstance(kw.value, ast.Constant)
+                            and kw.value.value is False
+                        ):
+                            # Anchor at the call so a suppression on the
+                            # constructor line covers multi-line calls.
+                            yield mod.violation(
+                                node,
+                                self.code,
+                                f"`{ctor or 'type(...)'}(..., "
+                                "validate=False)` bypasses the sorted/"
+                                "disjoint unit invariant outside its "
+                                "owning module; construct validated or "
+                                "move the construction into repro."
+                                "temporal/repro.spatial",
+                            )
+            if isinstance(node, ast.Attribute) and not private_owner:
+                if node.attr in self._PRIVATE_ATTRS:
+                    yield mod.violation(
+                        node,
+                        self.code,
+                        f"direct access to Mapping private state "
+                        f"`.{node.attr}` outside repro.temporal.mapping; "
+                        "use the public `.units` view",
+                    )
+            if isinstance(node, ast.Call) and not private_owner:
+                if _dotted(node.func) == "object.__setattr__" and any(
+                    _str_const(a) in self._PRIVATE_ATTRS for a in node.args
+                ):
+                    yield mod.violation(
+                        node,
+                        self.code,
+                        "object.__setattr__ on Mapping private unit state "
+                        "outside repro.temporal.mapping bypasses "
+                        "_check_invariants",
+                    )
+
+
+# ---------------------------------------------------------------------------
+# MOD003 — scalar↔vector parity
+# ---------------------------------------------------------------------------
+
+
+class VectorParity(Rule):
+    """MOD003: every batched kernel has a registered scalar twin + test.
+
+    The parity registry is ``KERNEL_PARITY`` in
+    :mod:`repro.vector.parity`; each public function of
+    :mod:`repro.vector.kernels` must appear in it, naming the scalar
+    algorithm it transcribes and an equivalence property test defined in
+    ``tests/test_vector_properties.py``.
+    """
+
+    code = "MOD003"
+    name = "vector-parity"
+
+    _KERNELS = "repro/vector/kernels.py"
+    _REGISTRY = "repro/vector/parity.py"
+    _TESTS = "tests/test_vector_properties.py"
+
+    def _registry_entries(
+        self, mod: SourceModule
+    ) -> Tuple[Dict[str, Tuple[str, str]], List[Violation]]:
+        entries: Dict[str, Tuple[str, str]] = {}
+        problems: List[Violation] = []
+        for node in ast.walk(mod.tree):
+            targets: List[ast.expr] = []
+            if isinstance(node, ast.Assign):
+                targets, value = node.targets, node.value
+            elif isinstance(node, ast.AnnAssign) and node.value is not None:
+                targets, value = [node.target], node.value
+            else:
+                continue
+            if not any(
+                isinstance(t, ast.Name) and t.id == "KERNEL_PARITY"
+                for t in targets
+            ):
+                continue
+            if not isinstance(value, ast.Dict):
+                problems.append(mod.violation(
+                    value, self.code,
+                    "KERNEL_PARITY must be a literal dict so the parity "
+                    "checker can read it statically",
+                ))
+                continue
+            for key, val in zip(value.keys, value.values):
+                kname = _str_const(key) if key is not None else None
+                if kname is None:
+                    problems.append(mod.violation(
+                        key or value, self.code,
+                        "KERNEL_PARITY keys must be literal kernel names",
+                    ))
+                    continue
+                scalar = test = None
+                if isinstance(val, ast.Call):
+                    for kw in val.keywords:
+                        if kw.arg == "scalar":
+                            scalar = _str_const(kw.value)
+                        elif kw.arg == "test":
+                            test = _str_const(kw.value)
+                if not scalar or not test:
+                    problems.append(mod.violation(
+                        val, self.code,
+                        f"parity entry for `{kname}` must name literal "
+                        "`scalar=` and `test=` strings",
+                    ))
+                    continue
+                entries[kname] = (scalar, test)
+        return entries, problems
+
+    def check_project(self, project: Project) -> Iterator[Violation]:
+        kernels_mod = project.module(self._KERNELS)
+        if kernels_mod is None:
+            return
+        kernels = [
+            stmt for stmt in kernels_mod.tree.body
+            if isinstance(stmt, ast.FunctionDef)
+            and not stmt.name.startswith("_")
+        ]
+        registry_mod = project.module(self._REGISTRY)
+        if registry_mod is None:
+            yield kernels_mod.violation(
+                kernels_mod.tree, self.code,
+                "repro.vector.parity (the KERNEL_PARITY registry) is "
+                "missing; every batched kernel must name its scalar twin",
+            )
+            return
+        entries, problems = self._registry_entries(registry_mod)
+        for p in problems:
+            yield p
+
+        test_names: Optional[Set[str]] = None
+        test_path = project.companion(self._TESTS)
+        if test_path is not None:
+            try:
+                test_tree = ast.parse(
+                    test_path.read_text(encoding="utf-8")
+                )
+            except SyntaxError:
+                test_tree = None
+            if test_tree is not None:
+                test_names = {
+                    n.name
+                    for n in ast.walk(test_tree)
+                    if isinstance(n, (ast.FunctionDef, ast.AsyncFunctionDef))
+                }
+
+        kernel_names = {k.name for k in kernels}
+        for k in kernels:
+            if k.name not in entries:
+                yield kernels_mod.violation(
+                    k, self.code,
+                    f"batched kernel `{k.name}` has no entry in "
+                    "repro.vector.parity.KERNEL_PARITY; register its "
+                    "scalar twin and equivalence test",
+                )
+                continue
+            _scalar, test = entries[k.name]
+            if test_names is not None and test not in test_names:
+                yield kernels_mod.violation(
+                    k, self.code,
+                    f"parity test `{test}` for kernel `{k.name}` is not "
+                    f"defined in {self._TESTS}",
+                )
+        for name in sorted(set(entries) - kernel_names):
+            yield registry_mod.violation(
+                registry_mod.tree, self.code,
+                f"KERNEL_PARITY entry `{name}` does not match any public "
+                "kernel in repro.vector.kernels",
+            )
+
+
+# ---------------------------------------------------------------------------
+# MOD004 — obs-counter discipline
+# ---------------------------------------------------------------------------
+
+
+class ObsDiscipline(Rule):
+    """MOD004: every counter/timer/gauge name is literal and registered.
+
+    The registries are ``COUNTER_NAMES`` / ``TIMER_NAMES`` /
+    ``GAUGE_NAMES`` in :mod:`repro.obs`.  Two wrapper functions are
+    allowed to build names dynamically (their call sites are resolved
+    instead): ``_record_rows`` in the vector kernels and ``_fallback``
+    in the fleet dispatcher.
+    """
+
+    code = "MOD004"
+    name = "obs-discipline"
+
+    _OBS = "repro/obs.py"
+    _WRAPPER_BODIES = {
+        ("repro/vector/kernels.py", "_record_rows"),
+        ("repro/vector/fleet.py", "_fallback"),
+    }
+
+    def _registry(
+        self, mod: SourceModule
+    ) -> Optional[Dict[str, Set[str]]]:
+        out: Dict[str, Set[str]] = {}
+        for node in ast.walk(mod.tree):
+            targets: List[ast.expr] = []
+            if isinstance(node, ast.Assign):
+                targets, value = node.targets, node.value
+            elif isinstance(node, ast.AnnAssign) and node.value is not None:
+                targets, value = [node.target], node.value
+            else:
+                continue
+            for t in targets:
+                if not isinstance(t, ast.Name):
+                    continue
+                if t.id not in ("COUNTER_NAMES", "TIMER_NAMES", "GAUGE_NAMES"):
+                    continue
+                names: Set[str] = set()
+                for sub in ast.walk(value):
+                    s = _str_const(sub)
+                    if s is not None:
+                        names.add(s)
+                out[t.id] = names
+        if len(out) < 3:
+            return None
+        return out
+
+    def _scope_prefixes(self, tree: ast.AST) -> Dict[ast.With, Dict[str, str]]:
+        """Per-With mapping of as-variable → scope name prefix."""
+        table: Dict[ast.With, Dict[str, str]] = {}
+        for node in ast.walk(tree):
+            if not isinstance(node, ast.With):
+                continue
+            for item in node.items:
+                ctx = item.context_expr
+                if not (isinstance(ctx, ast.Call) and _call_name(ctx) == "scope"):
+                    continue
+                if not (
+                    isinstance(ctx.func, ast.Attribute)
+                    or isinstance(ctx.func, ast.Name)
+                ):
+                    continue
+                if isinstance(item.optional_vars, ast.Name):
+                    name = _str_const(ctx.args[0]) if ctx.args else None
+                    if name is not None:
+                        table.setdefault(node, {})[
+                            item.optional_vars.id
+                        ] = name
+        return table
+
+    def check_project(self, project: Project) -> Iterator[Violation]:
+        obs_mod = project.module(self._OBS)
+        if obs_mod is None:
+            return
+        registry = self._registry(obs_mod)
+        if registry is None:
+            yield obs_mod.violation(
+                obs_mod.tree, self.code,
+                "repro.obs must declare COUNTER_NAMES, TIMER_NAMES and "
+                "GAUGE_NAMES literal registries",
+            )
+            return
+        counters, timers, gauges = (
+            registry["COUNTER_NAMES"],
+            registry["TIMER_NAMES"],
+            registry["GAUGE_NAMES"],
+        )
+
+        written: Dict[str, Set[str]] = {
+            "counter": set(), "timer": set(), "gauge": set(),
+        }
+
+        def record(
+            mod: SourceModule, node: ast.AST, kind: str, name: Optional[str]
+        ) -> Optional[Violation]:
+            registry_for = {
+                "counter": counters, "timer": timers, "gauge": gauges,
+            }[kind]
+            if name is None:
+                return mod.violation(
+                    node, self.code,
+                    f"obs {kind} name must be a literal string (or go "
+                    "through a registered wrapper) so the registry check "
+                    "can see it",
+                )
+            written[kind].add(name)
+            if name not in registry_for:
+                return mod.violation(
+                    node, self.code,
+                    f"obs {kind} `{name}` is not declared in the "
+                    f"repro.obs {kind.upper()}_NAMES registry",
+                )
+            return None
+
+        src_mods = [
+            m for m in project.modules
+            if "repro/" in m.relpath
+            and not m.relpath.endswith(self._OBS)
+            and "repro/analysis/" not in m.relpath
+        ]
+        for mod in src_mods:
+            wrapper_bodies = {
+                fn for (suffix, fn) in self._WRAPPER_BODIES
+                if mod.relpath.endswith(suffix)
+            }
+            scope_table = self._scope_prefixes(mod.tree)
+            scope_vars: Dict[str, str] = {}
+            for per_with in scope_table.values():
+                scope_vars.update(per_with)
+
+            for node in ast.walk(mod.tree):
+                if not isinstance(node, ast.Call):
+                    continue
+                fn = mod.enclosing(
+                    node, ast.FunctionDef, ast.AsyncFunctionDef
+                )
+                in_wrapper = (
+                    fn is not None and fn.name in wrapper_bodies
+                )
+                dotted = _dotted(node.func)
+                arg0 = _str_const(node.args[0]) if node.args else None
+
+                # Wrapper call sites expand to their derived names.
+                if isinstance(node.func, ast.Name):
+                    if node.func.id == "_record_rows":
+                        if arg0 is None:
+                            v = record(mod, node, "counter", None)
+                            if v:
+                                yield v
+                        else:
+                            for derived in (
+                                ("counter", f"vector.{arg0}.calls"),
+                                ("counter", f"vector.{arg0}.rows"),
+                                ("gauge", "vector.rows_per_call"),
+                            ):
+                                v = record(mod, node, *derived)
+                                if v:
+                                    yield v
+                        continue
+                    if node.func.id == "_fallback":
+                        if arg0 is None:
+                            v = record(mod, node, "counter", None)
+                            if v:
+                                yield v
+                        else:
+                            for name in (
+                                "vector.fallback_to_scalar",
+                                f"vector.fallback_to_scalar.{arg0}",
+                            ):
+                                v = record(mod, node, "counter", name)
+                                if v:
+                                    yield v
+                        continue
+
+                if in_wrapper:
+                    continue  # dynamic names allowed inside the wrappers
+
+                if dotted in ("obs.add", "obs.counters.add"):
+                    v = record(mod, node, "counter", arg0)
+                    if v:
+                        yield v
+                elif dotted in ("obs.high_water", "obs.counters.high_water"):
+                    v = record(mod, node, "gauge", arg0)
+                    if v:
+                        yield v
+                elif dotted in ("obs.add_time", "obs.counters.add_time"):
+                    v = record(mod, node, "timer", arg0)
+                    if v:
+                        yield v
+                elif _call_name(node) == "scope" and isinstance(
+                    node.func, ast.Attribute
+                ) and _dotted(node.func) == "obs.scope":
+                    v = record(mod, node, "timer", arg0)
+                    if v:
+                        yield v
+                elif (
+                    isinstance(node.func, ast.Attribute)
+                    and isinstance(node.func.value, ast.Name)
+                    and node.func.value.id in scope_vars
+                    and node.func.attr in ("add", "high_water")
+                ):
+                    prefix = scope_vars[node.func.value.id]
+                    kind = (
+                        "counter" if node.func.attr == "add" else "gauge"
+                    )
+                    full = f"{prefix}.{arg0}" if arg0 is not None else None
+                    v = record(mod, node, kind, full)
+                    if v:
+                        yield v
+
+        # Registered-but-never-written names: only meaningful on a
+        # full-source run (the write sites span the whole package).
+        full_run = (
+            project.module("repro/temporal/mapping.py") is not None
+            and project.module("repro/vector/kernels.py") is not None
+        )
+        if full_run:
+            for kind, declared in (
+                ("counter", counters), ("timer", timers), ("gauge", gauges),
+            ):
+                for name in sorted(declared - written[kind]):
+                    yield obs_mod.violation(
+                        obs_mod.tree, self.code,
+                        f"registered obs {kind} `{name}` is never "
+                        "written anywhere in repro; delete it from the "
+                        "registry or wire it up",
+                    )
+
+
+# ---------------------------------------------------------------------------
+# MOD005 — backend-dispatch completeness
+# ---------------------------------------------------------------------------
+
+
+class BackendDispatch(Rule):
+    """MOD005: backend branches are resolved, two-armed, and fall back.
+
+    * comparisons against the backend literals go through
+      ``_resolve``/``get_backend`` (never a raw parameter — a raw
+      compare silently treats ``None`` as scalar);
+    * an ``if backend == "vector":`` must leave a scalar arm (an
+      ``else`` or fall-through code);
+    * exception handlers inside the vector arm must count the event via
+      ``_fallback``;
+    * column construction (``*.from_mappings``) inside a vector arm
+      must be guarded by try/except — it raises ``InvalidValue`` on
+      inputs only the scalar path can evaluate.
+    """
+
+    code = "MOD005"
+    name = "backend-dispatch"
+
+    _RESOLVERS = {"_resolve", "get_backend"}
+    _LITERALS = {"scalar", "vector"}
+
+    def _backend_compare(self, node: ast.AST) -> Optional[ast.Compare]:
+        """The Compare against a backend literal inside ``node``, if any."""
+        for sub in ast.walk(node):
+            if not isinstance(sub, ast.Compare):
+                continue
+            operands = [sub.left, *sub.comparators]
+            if any(_str_const(o) in self._LITERALS for o in operands):
+                return sub
+        return None
+
+    def check(
+        self, mod: SourceModule, project: Project
+    ) -> Iterator[Violation]:
+        if "repro/analysis/" in mod.relpath:
+            return
+        for node in ast.walk(mod.tree):
+            if isinstance(node, ast.Compare):
+                operands = [node.left, *node.comparators]
+                literal = any(
+                    _str_const(o) in self._LITERALS for o in operands
+                )
+                if not literal:
+                    continue
+                if not all(
+                    isinstance(op, (ast.Eq, ast.NotEq)) for op in node.ops
+                ):
+                    continue
+                resolved = any(
+                    isinstance(o, ast.Call)
+                    and _call_name(o) in self._RESOLVERS
+                    for o in operands
+                )
+                if not resolved:
+                    yield mod.violation(
+                        node, self.code,
+                        "backend literal compared without going through "
+                        "_resolve()/get_backend(); a raw parameter "
+                        "compare misreads backend=None",
+                    )
+            if isinstance(node, ast.If):
+                cmp_node = self._backend_compare(node.test)
+                if cmp_node is None:
+                    continue
+                operands = [cmp_node.left, *cmp_node.comparators]
+                if "vector" not in {
+                    _str_const(o) for o in operands
+                }:
+                    continue
+                yield from self._check_vector_arm(mod, node)
+
+    def _check_vector_arm(
+        self, mod: SourceModule, if_node: ast.If
+    ) -> Iterator[Violation]:
+        # A scalar arm must exist: an else branch or fall-through code.
+        if not if_node.orelse:
+            parent = mod.parents().get(if_node)
+            trailing = False
+            for attr in ("body", "orelse", "finalbody"):
+                stmts = getattr(parent, attr, None)
+                if isinstance(stmts, list) and if_node in stmts:
+                    trailing = stmts.index(if_node) < len(stmts) - 1
+                    break
+            if not trailing:
+                yield mod.violation(
+                    if_node, self.code,
+                    "vector-backend branch has no scalar arm (no else "
+                    "and nothing after the if); every dispatch must "
+                    "handle both backends",
+                )
+
+        for sub in ast.walk(if_node):
+            if isinstance(sub, ast.ExceptHandler):
+                calls_fallback = any(
+                    isinstance(c, ast.Call)
+                    and _call_name(c) == "_fallback"
+                    for c in ast.walk(sub)
+                )
+                if not calls_fallback:
+                    yield mod.violation(
+                        sub, self.code,
+                        "exception handler inside a vector-backend arm "
+                        "must count the event via _fallback(reason) "
+                        "before falling back to scalar",
+                    )
+            if (
+                isinstance(sub, ast.Call)
+                and isinstance(sub.func, ast.Attribute)
+                and sub.func.attr == "from_mappings"
+            ):
+                guarded = mod.enclosing(sub, ast.Try) is not None
+                if not guarded:
+                    yield mod.violation(
+                        sub, self.code,
+                        "column construction inside a vector-backend arm "
+                        "must be try/except-guarded with a counted "
+                        "_fallback — from_mappings raises InvalidValue "
+                        "on inputs only the scalar path can handle",
+                    )
+
+
+RULES: List[Rule] = [
+    EpsDiscipline(),
+    UnitHygiene(),
+    VectorParity(),
+    ObsDiscipline(),
+    BackendDispatch(),
+]

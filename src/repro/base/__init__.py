@@ -5,6 +5,8 @@ type ``instant`` are the corresponding programming language types extended
 with an explicit *undefined* value (bottom).
 """
 
+from __future__ import annotations
+
 from repro.base.values import (
     BaseValue,
     IntVal,

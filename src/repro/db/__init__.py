@@ -8,6 +8,8 @@ exposing the operation algebra, and a small SQL subset sufficient to run
 the Section-2 example queries verbatim.
 """
 
+from __future__ import annotations
+
 from repro.db.schema import Schema
 from repro.db.relation import Relation
 from repro.db.catalog import Database

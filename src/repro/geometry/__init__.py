@@ -5,6 +5,8 @@ package, so the floating point tolerance policy of :mod:`repro.config`
 is applied uniformly.
 """
 
+from __future__ import annotations
+
 from repro.geometry.primitives import (
     Vec,
     orientation,

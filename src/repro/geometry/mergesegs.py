@@ -15,6 +15,7 @@ Two operations from the paper live here:
 
 from __future__ import annotations
 
+import math
 from typing import Iterable
 
 from repro.config import EPSILON
@@ -42,7 +43,11 @@ def _group_collinear(segs: list[Seg], eps: float) -> list[list[Seg]]:
         for gi, group in enumerate(groups):
             if collinear(carriers[gi], s, eps):
                 group.append(s)
-                if dist_sq(s[0], s[1]) > dist_sq(carriers[gi][0], carriers[gi][1]):
+                # Exact longest-member selection: near-ties pick either
+                # carrier and both are equally good parameterizations.
+                if dist_sq(s[0], s[1]) > dist_sq(  # modlint: disable=MOD001 see comment above
+                    carriers[gi][0], carriers[gi][1]
+                ):
                     carriers[gi] = s
                 break
         else:
@@ -72,7 +77,9 @@ def _carrier_underflows(carrier: Seg) -> bool:
     """
     from repro.geometry.primitives import dist_sq
 
-    return dist_sq(carrier[0], carrier[1]) == 0.0
+    # Exact-zero underflow guard, not a tolerance test: only a true
+    # floating-point underflow makes projection onto the carrier undefined.
+    return dist_sq(carrier[0], carrier[1]) == 0.0  # modlint: disable=MOD001 see comment above
 
 
 def _events_on_carrier(
@@ -95,7 +102,7 @@ def _events_on_carrier(
     for s in group:
         t0 = project_param(s[0], carrier)
         t1 = project_param(s[1], carrier)
-        if t0 > t1:
+        if t0 > t1:  # modlint: disable=MOD001 ordering swap, not a tolerance decision
             t0, t1 = t1, t0
         if t1 - t0 <= param_tol:
             passthrough.append(s)
@@ -115,7 +122,6 @@ def merge_segs(segs: Iterable[Seg], eps: float = EPSILON) -> list[Seg]:
     """
     seg_list = [make_seg(s[0], s[1]) for s in segs]
     result: list[Seg] = []
-    param_tol = 1e-9
     for group in _group_collinear(seg_list, eps):
         if len(group) == 1:
             result.append(group[0])
@@ -124,6 +130,12 @@ def merge_segs(segs: Iterable[Seg], eps: float = EPSILON) -> list[Seg]:
         if _carrier_underflows(carrier):
             result.extend(set(group))
             continue
+        # Carrier parameters are real-space distance divided by carrier
+        # length, so a fixed parameter tolerance would grow with the
+        # carrier (on a length-2000 carrier a 1e-9 parameter gap is a
+        # 2e-6 real gap) and silently bridge genuine gaps.  Scale it so
+        # the coalescing tolerance is ``eps`` in real space.
+        param_tol = eps / math.dist(carrier[0], carrier[1])
         events, passthrough = _events_on_carrier(group)
         result.extend(set(passthrough))
         depth = 0
@@ -161,7 +173,6 @@ def parity_fragments(segs: Iterable[Seg], eps: float = EPSILON) -> list[Seg]:
     """
     seg_list = [make_seg(s[0], s[1]) for s in segs]
     result: list[Seg] = []
-    param_tol = 1e-9
     for group in _group_collinear(seg_list, eps):
         if len(group) == 1:
             result.append(group[0])
@@ -170,6 +181,9 @@ def parity_fragments(segs: Iterable[Seg], eps: float = EPSILON) -> list[Seg]:
         if _carrier_underflows(carrier):
             result.extend(set(group))
             continue
+        # Same real-space scaling as in merge_segs: the parity tolerance
+        # must not depend on how long the carrier happens to be.
+        param_tol = eps / math.dist(carrier[0], carrier[1])
         events, passthrough = _events_on_carrier(group)
         result.extend(set(passthrough))
         depth = 0

@@ -48,7 +48,7 @@ def crossings_above(p: Vec, segs: Iterable[Seg], eps: float = EPSILON) -> int:
     tested = 0
     for (x0, y0), (x1, y1) in segs:
         tested += 1
-        if x0 > x1:  # tolerate unnormalized input
+        if x0 > x1:  # modlint: disable=MOD001 ordering swap tolerating unnormalized input
             x0, y0, x1, y1 = x1, y1, x0, y0
         if x1 - x0 <= eps:
             continue  # (near-)vertical segment: never crossed
@@ -56,11 +56,7 @@ def crossings_above(p: Vec, segs: Iterable[Seg], eps: float = EPSILON) -> int:
             # y-coordinate of the segment at the ray's x position; the
             # eps-widened window may put x a hair outside [x0, x1], so
             # clamp the parameter to the segment.
-            t = (x - x0) / (x1 - x0)
-            if t < 0.0:
-                t = 0.0
-            elif t > 1.0:
-                t = 1.0
+            t = min(1.0, max(0.0, (x - x0) / (x1 - x0)))
             ys = y0 + t * (y1 - y0)
             if ys > y + eps:
                 count += 1

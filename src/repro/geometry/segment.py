@@ -131,7 +131,9 @@ def seg_overlap(s: Seg, t: Seg, eps: float = EPSILON) -> bool:
     # Project onto the dominant axis of s to obtain 1-D intervals.
     dx = abs(s[1][0] - s[0][0])
     dy = abs(s[1][1] - s[0][1])
-    axis = 0 if dx >= dy else 1
+    # Either axis works at a near-45° tie; the choice only needs to be
+    # deterministic, not tolerance-aware.
+    axis = 0 if dx >= dy else 1  # modlint: disable=MOD001 see comment above
     a0, a1 = sorted((s[0][axis], s[1][axis]))
     b0, b1 = sorted((t[0][axis], t[1][axis]))
     lo = max(a0, b0)
@@ -245,6 +247,6 @@ def project_param(p: Vec, s: Seg) -> float:
     denom = dot(d, d)
     # Exact-zero guard only: a valid Seg has distinct endpoints, so the
     # denominator can vanish only by floating point underflow.
-    if denom == 0.0:
+    if denom == 0.0:  # modlint: disable=MOD001 see comment above
         return 0.0
     return dot(sub(p, s[0]), d) / denom

@@ -60,7 +60,9 @@ def split_segment(s: Seg, cuts: Iterable[Vec], eps: float = EPSILON) -> list[Seg
             s[0][0] + t * (s[1][0] - s[0][0]),
             s[0][1] + t * (s[1][1] - s[0][1]),
         )
-        if t == 1.0:
+        # Exact sentinel membership: params may contain the literal 1.0
+        # appended by the caller, and only that exact value means "end".
+        if t == 1.0:  # modlint: disable=MOD001 see comment above
             nxt = s[1]
         if point_cmp(prev, nxt) != 0 and not point_eq(prev, nxt, eps):
             pieces.append(make_seg(prev, nxt))

@@ -8,6 +8,8 @@ over (x, y, t) cubes, the indexing direction the CHOROCHRONOS project
 explored [TSPM98].
 """
 
+from __future__ import annotations
+
 from repro.index.rtree import RTree3D
 from repro.index.unitindex import MovingObjectIndex
 

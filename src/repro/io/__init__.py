@@ -1,5 +1,7 @@
 """Import/export of attribute values in a human-readable text format."""
 
+from __future__ import annotations
+
 from repro.io.text import to_text, from_text
 
 __all__ = ["to_text", "from_text"]

@@ -37,11 +37,14 @@ The CLI exposes the same data via ``python -m repro --profile <cmd>``.
 from __future__ import annotations
 
 import time
-from typing import Dict, Iterator, Optional, Tuple
+from typing import Dict, FrozenSet, Iterator, Optional, Tuple
 
 from repro.config import OBS_ENABLED
 
 __all__ = [
+    "COUNTER_NAMES",
+    "GAUGE_NAMES",
+    "TIMER_NAMES",
     "Counters",
     "add",
     "capture",
@@ -60,6 +63,90 @@ __all__ = [
 #: Global collection switch.  Instrumented code guards every recording
 #: with ``if obs.enabled:`` so the disabled fast path costs one branch.
 enabled: bool = OBS_ENABLED
+
+# ---------------------------------------------------------------------------
+# Name registries (MOD004)
+# ---------------------------------------------------------------------------
+# Every counter/timer/gauge name written anywhere in repro must be
+# declared here.  ``repro-lint`` (rule MOD004) cross-checks the two
+# directions statically: a write site using an unregistered name is a
+# typo'd write-only counter; a registered name never written is dead
+# weight.  Keep the literals AST-parseable (no comprehensions, no
+# concatenation).  Readers need no registration: ``report()`` and the
+# CLI's ``--profile`` dump whatever was recorded.
+
+#: Every monotone counter name in the codebase.
+COUNTER_NAMES: FrozenSet[str] = frozenset({
+    # temporal kernels (Section 5.1)
+    "mapping.unit_at.calls",
+    "mapping.unit_at.probes",
+    "mapping.at_periods.calls",
+    "mapping.at_periods.steps",
+    "refinement.calls",
+    "refinement.unit_visits",
+    "refinement.boundaries",
+    "refinement.visits",
+    "refinement.pieces",
+    # geometric kernels (Section 5.2)
+    "plumbline.calls",
+    "plumbline.segments",
+    "plumbline.crossings",
+    "plumbline.point_tests",
+    "inside.unit_pairs",
+    "inside.crossing_quads",
+    "inside.crossings",
+    "inside.plumbline_tests",
+    "inside.bbox_fast_path",
+    "atinstant.msegs_evaluated",
+    # storage layer (Section 4)
+    "storage.page_reads",
+    "storage.page_writes",
+    "storage.flob_writes",
+    "storage.flob_pages_written",
+    "storage.flob_reads",
+    "storage.flob_pages_read",
+    "storage.darray_reads",
+    "buffer.hits",
+    "buffer.misses",
+    "rtree.nodes_visited",
+    # columnar backend (per-kernel calls/rows via _record_rows)
+    "vector.locate_units.calls",
+    "vector.locate_units.rows",
+    "vector.locate_units.passes",
+    "vector.atinstant_batch.calls",
+    "vector.atinstant_batch.rows",
+    "vector.ureal_atinstant_batch.calls",
+    "vector.ureal_atinstant_batch.rows",
+    "vector.bbox_filter.calls",
+    "vector.bbox_filter.rows",
+    "vector.bbox_filter.hits",
+    "vector.plumbline.calls",
+    "vector.plumbline.rows",
+    "vector.plumbline.segments",
+    "vector.on_boundary.calls",
+    "vector.on_boundary.rows",
+    "vector.inside_prefilter.calls",
+    "vector.inside_prefilter.rows",
+    "vector.batch_select.calls",
+    "vector.batch_select.rows",
+    # backend dispatch fallbacks (via _fallback(reason))
+    "vector.fallback_to_scalar",
+    "vector.fallback_to_scalar.upoint_column",
+    "vector.fallback_to_scalar.ureal_column",
+    "vector.fallback_to_scalar.bbox_column",
+    "vector.fallback_to_scalar.predicate",
+})
+
+#: Every timed-scope name (``obs.scope(name)`` / ``add_time``).
+TIMER_NAMES: FrozenSet[str] = frozenset({
+    "inside",
+    "atinstant",
+})
+
+#: Every high-water gauge name.
+GAUGE_NAMES: FrozenSet[str] = frozenset({
+    "vector.rows_per_call",
+})
 
 
 class Counters:

@@ -15,6 +15,8 @@ The abstract model's operations, realized on the sliced representation:
   ``deftime``, ``rangevalues``.
 """
 
+from __future__ import annotations
+
 from repro.ops.interaction import (
     atinstant,
     atperiods,

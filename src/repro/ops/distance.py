@@ -12,6 +12,7 @@ from __future__ import annotations
 import math
 from typing import List, Union
 
+from repro.config import fgt, flt, fzero
 from repro.geometry.primitives import Vec
 from repro.spatial.point import Point
 from repro.temporal.mapping import MovingPoint, MovingReal
@@ -75,10 +76,12 @@ def _upoint_seg_distance_units(
         return lam_icept + lam_slope * t
 
     cuts = {interval.s, interval.e}
-    if lam_slope != 0.0:
+    if not fzero(lam_slope):
         for target in (0.0, 1.0):
             t = (target - lam_icept) / lam_slope
-            if interval.s < t < interval.e:
+            # Strict-beyond-eps: a cut within eps of an end point would
+            # create a sliver unit whose midpoint classification is noise.
+            if flt(interval.s, t) and flt(t, interval.e):
                 cuts.add(t)
     ordered = sorted(cuts)
 
@@ -100,9 +103,9 @@ def _upoint_seg_distance_units(
     units: List[UReal] = []
     for j, (t0, t1) in enumerate(zip(ordered, ordered[1:])):
         mid_lam = lam((t0 + t1) / 2.0)
-        if mid_lam < 0.0:
+        if flt(mid_lam, 0.0):
             q = endpoint_quad(ax, ay)
-        elif mid_lam > 1.0:
+        elif fgt(mid_lam, 1.0):
             q = endpoint_quad(bx, by)
         else:
             q = perp_quad
@@ -116,9 +119,9 @@ def _upoint_seg_distance_units(
         from repro.geometry.segment import point_on_seg, project_param
 
         lam_v = lam(interval.s)
-        if lam_v < 0.0:
+        if flt(lam_v, 0.0):
             q = endpoint_quad(ax, ay)
-        elif lam_v > 1.0:
+        elif fgt(lam_v, 1.0):
             q = endpoint_quad(bx, by)
         else:
             q = perp_quad
@@ -163,7 +166,10 @@ def mpoint_region_distance(mp: MovingPoint, region) -> MovingReal:
     assert isinstance(region, Region)
     if not mp or not region:
         return MovingReal([])
-    boundary = Line(region.segments(), validate=False)
+    # A region boundary is a valid line value (no collinear overlaps),
+    # so full validation is both cheap to satisfy and worth keeping: a
+    # malformed region surfaces here instead of as a wrong distance.
+    boundary = Line(region.segments())
     boundary_dist = mpoint_line_distance(mp, boundary)
     inside_part = mpoint_at_region(mp, region)
     inside_times = inside_part.deftime()

@@ -122,8 +122,9 @@ def _find_crossings(
             hits.append((t, transversal))
     times = sorted(t for t, transversal in hits if transversal)
     # Duplicate instants (vertex passages) break parity.
+    dup_tol = max(span * EPSILON, 1e-12)
     for a, b in zip(times, times[1:]):
-        if b - a <= max(span * 1e-9, 1e-12):
+        if b - a <= dup_tol:
             clean = False
     if obs.enabled:
         obs.counters.add("inside.crossing_quads", n_quads)
@@ -159,9 +160,11 @@ def _pieces_to_units(
         v = states[j]
         lc = interval.lc if j == 0 else v
         rc = interval.rc if j == n - 1 else v
-        if a == b and not (lc and rc):
+        # Exact degenerate checks: cuts repeat the same stored float at a
+        # collapsed piece, matching Interval.is_degenerate's exact test.
+        if a == b and not (lc and rc):  # modlint: disable=MOD001 see comment above
             continue
-        if a == b:
+        if a == b:  # modlint: disable=MOD001 see comment above
             units.append(ConstUnit(Interval(a, b, True, True), BoolVal(v)))
         else:
             units.append(ConstUnit(Interval(a, b, lc, rc), BoolVal(v)))
@@ -213,8 +216,9 @@ def upoint_uregion_inside(
 
     # Degenerate configuration: sample every piece (always correct).
     dedup: List[float] = [lo]
+    sep_tol = max((hi - lo) * EPSILON, 1e-12)
     for t in times:
-        if t - dedup[-1] > max((hi - lo) * 1e-9, 1e-12):
+        if t - dedup[-1] > sep_tol:
             dedup.append(t)
     if dedup[-1] < hi:
         dedup.append(hi)

@@ -63,7 +63,10 @@ def mregion_atinstant(
             return Region([])
         assert isinstance(unit, URegion)
         iv = unit.interval
-        if not iv.is_degenerate and iv.s < tt < iv.e:
+        # Exact interior-vs-endpoint dispatch: instants equal to a stored
+        # end point must take the ι cleanup path below, and both paths
+        # agree arbitrarily close to the end points.
+        if not iv.is_degenerate and iv.s < tt < iv.e:  # modlint: disable=MOD001 see comment above
             if structured:
                 # Rebuild the canonical structure from the evaluated segments.
                 segs = []
@@ -144,11 +147,13 @@ def mreal_at_range(m, value_range) -> "MovingReal":
             # A cut instant is claimed by at most one piece (the earlier
             # one), so consecutive kept pieces stay disjoint and merge
             # cleanly in the normalizing constructor.
-            if a == iv.s:
+            # Exact: cuts is seeded with iv.s/iv.e verbatim, so matching
+            # a cut against them is same-stored-float equality.
+            if a == iv.s:  # modlint: disable=MOD001 see comment above
                 lc = iv.lc
             else:
                 lc = not prev_kept and value_range.contains(u.eval(a))
-            rc = iv.rc if b == iv.e else value_range.contains(u.eval(b))
+            rc = iv.rc if b == iv.e else value_range.contains(u.eval(b))  # modlint: disable=MOD001 see comment above
             units.append(u.with_interval(Interval(a, b, lc, rc)))
             prev_kept = rc
         if iv.is_degenerate and value_range.contains(u.eval(iv.s)):

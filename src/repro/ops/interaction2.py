@@ -128,9 +128,11 @@ def _piece(a: float, b: float, common: UnitInterval, state: bool) -> Interval:
     At interior flip instants the boundaries touch, so the regions *do*
     intersect there: true pieces claim their interior cut instants.
     """
-    lc = common.lc if a == common.s else state
-    rc = common.rc if b == common.e else state
-    if a == b:
+    # Exact: a and b come from the cut list seeded with common.s/common.e
+    # verbatim, so these are same-stored-float comparisons.
+    lc = common.lc if a == common.s else state  # modlint: disable=MOD001 see comment above
+    rc = common.rc if b == common.e else state  # modlint: disable=MOD001 see comment above
+    if a == b:  # modlint: disable=MOD001 collapsed piece; matches Interval.is_degenerate
         return interval_at(a)
     return Interval(a, b, lc, rc)
 

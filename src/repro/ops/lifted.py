@@ -24,11 +24,15 @@ from repro.temporal.refinement import refinement_partition
 from repro.temporal.uconst import ConstUnit
 from repro.temporal.ureal import UReal
 
+# The ordering comparators are exact by definition: lifted SQL
+# comparison semantics must agree with the plain comparison at every
+# instant.  Only the equality pair is eps-mediated (root extraction
+# makes exact equality of computed values meaningless).
 _COMPARATORS: dict[str, Callable[[float, float], bool]] = {
-    "<": lambda x, y: x < y,
-    "<=": lambda x, y: x <= y,
-    ">": lambda x, y: x > y,
-    ">=": lambda x, y: x >= y,
+    "<": lambda x, y: x < y,  # modlint: disable=MOD001 see comment above
+    "<=": lambda x, y: x <= y,  # modlint: disable=MOD001 see comment above
+    ">": lambda x, y: x > y,  # modlint: disable=MOD001 see comment above
+    ">=": lambda x, y: x >= y,  # modlint: disable=MOD001 see comment above
     "==": lambda x, y: abs(x - y) <= EPSILON,
     "!=": lambda x, y: abs(x - y) > EPSILON,
 }
@@ -78,8 +82,10 @@ def _unit_compare(u: UReal, op: str, v: UReal) -> List[ConstUnit]:
     if iv.is_degenerate:
         holds = cmp(u.eval(iv.s), v.eval(iv.s))
         return [ConstUnit(iv, BoolVal(holds))]
+    # Exact interior filter: the end points are already cuts, and they
+    # are the same stored floats the roots are compared against.
     interior = sorted(
-        {t for t in u.compare_times(v) if iv.s < t < iv.e}
+        {t for t in u.compare_times(v) if iv.s < t < iv.e}  # modlint: disable=MOD001 see comment above
     )
     cuts = [iv.s] + interior + [iv.e]
     piece_vals = [
@@ -152,7 +158,8 @@ def _unit_pointwise_extreme(u: UReal, v: UReal, take_min: bool) -> List[UReal]:
     if iv.is_degenerate:
         winner = u if (u.eval(iv.s) <= v.eval(iv.s)) == take_min else v
         return [winner.with_interval(iv)]
-    cuts = [iv.s] + [t for t in u.compare_times(v) if iv.s < t < iv.e] + [iv.e]
+    # Same exact interior filter as in _unit_compare.
+    cuts = [iv.s] + [t for t in u.compare_times(v) if iv.s < t < iv.e] + [iv.e]  # modlint: disable=MOD001 see comment above
     cuts = sorted(set(cuts))
     out: List[UReal] = []
     for j, (a, b) in enumerate(zip(cuts, cuts[1:])):

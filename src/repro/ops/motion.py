@@ -13,6 +13,7 @@ from __future__ import annotations
 import math
 from typing import List, Tuple
 
+from repro.config import feq, flt, fzero
 from repro.temporal.mapping import MovingPoint, MovingReal
 from repro.temporal.upoint import UPoint
 from repro.temporal.ureal import UReal
@@ -53,7 +54,7 @@ def heading(mp: MovingPoint) -> MovingReal:
     for u in mp.units:
         assert isinstance(u, UPoint)
         vx, vy = u.motion.velocity
-        if vx == 0.0 and vy == 0.0:
+        if fzero(vx) and fzero(vy):
             continue
         units.append(UReal.constant(u.interval, math.atan2(vy, vx)))
     return MovingReal.normalized(units)
@@ -68,10 +69,15 @@ def turning_points(mp: MovingPoint) -> List[float]:
     out: List[float] = []
     units = [u for u in mp.units if isinstance(u, UPoint)]
     for a, b in zip(units, units[1:]):
-        if not a.interval.adjacent(b.interval) and a.interval.e != b.interval.s:
+        if not a.interval.adjacent(b.interval) and not feq(
+            a.interval.e, b.interval.s
+        ):
             continue
         ax, ay = a.motion.velocity
         bx, by = b.motion.velocity
-        if abs(ax * by - ay * bx) > 1e-12 or (ax * bx + ay * by) < 0:
+        # A turn is a non-parallel or reversed velocity pair; both the
+        # cross and dot products are compared through the eps helpers so
+        # ulp-level drift between units does not report a spurious turn.
+        if not fzero(ax * by - ay * bx) or flt(ax * bx + ay * by, 0.0):
             out.append(b.interval.s)
     return out

@@ -21,6 +21,7 @@ from __future__ import annotations
 
 from typing import Callable, List
 
+from repro.config import EPSILON
 from repro.temporal.mapping import MovingLine, MovingReal, MovingRegion
 from repro.temporal.uline import ULine
 from repro.temporal.unit import Unit, UnitInterval
@@ -30,7 +31,7 @@ from repro.temporal.uregion import URegion
 
 def _snap(value: float, scale: float) -> float:
     """Zero out interpolation noise far below the quantity's magnitude."""
-    if abs(value) <= 1e-9 * max(scale, 1e-300):
+    if abs(value) <= EPSILON * max(scale, 1e-300):
         return 0.0
     return value
 
@@ -42,7 +43,9 @@ def _fit_linear(iv: UnitInterval, f: Callable[[float], float]) -> UReal:
     span = iv.e - iv.s
     t0 = iv.s + 0.25 * span
     t1 = iv.s + 0.75 * span
-    if t1 <= t0:  # span below float resolution at this magnitude
+    # Exact: detects when the 0.25/0.75 sample instants collapse at this
+    # float magnitude; an eps test would reject representable spans.
+    if t1 <= t0:  # modlint: disable=MOD001 see comment above
         return UReal.constant(iv, f(iv.midpoint()))
     v0, v1 = f(t0), f(t1)
     scale = max(abs(v0), abs(v1))
@@ -62,7 +65,8 @@ def _fit_quadratic(iv: UnitInterval, f: Callable[[float], float]) -> UReal:
     t0 = iv.s + 0.25 * span
     t1 = iv.s + 0.50 * span
     t2 = iv.s + 0.75 * span
-    if t1 <= t0 or t2 <= t1:  # span below float resolution
+    # Same exact collapse check as in _fit_linear, for three samples.
+    if t1 <= t0 or t2 <= t1:  # modlint: disable=MOD001 see comment above
         return UReal.constant(iv, f(iv.midpoint()))
     v0, v1, v2 = f(t0), f(t1), f(t2)
     # Divided differences for the Newton form, expanded to monomials.

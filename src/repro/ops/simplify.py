@@ -30,7 +30,9 @@ def _waypoints_of(mp: MovingPoint) -> List[Sample]:
         return samples
     for i, u in enumerate(units):
         assert isinstance(u, UPoint)
-        if i > 0 and units[i - 1].interval.e != u.interval.s:
+        # Exact: the mapping invariant stores adjacent unit end points as
+        # the identical float, so any inequality is a genuine gap.
+        if i > 0 and units[i - 1].interval.e != u.interval.s:  # modlint: disable=MOD001 see comment above
             raise InvalidValue(
                 "simplification requires a gap-free moving point; "
                 "split at gaps with atperiods first"

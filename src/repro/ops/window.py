@@ -12,6 +12,7 @@ from __future__ import annotations
 
 from typing import Dict, Hashable, Iterable, List, Optional, Tuple
 
+from repro.config import feq, fle, fzero
 from repro.index.unitindex import MovingObjectIndex
 from repro.ranges.interval import Interval
 from repro.ranges.rangeset import RangeSet
@@ -22,14 +23,16 @@ from repro.temporal.upoint import UPoint
 
 def _linear_within(c0: float, c1: float, lo: float, hi: float, t0: float, t1: float):
     """Times in [t0, t1] where ``lo <= c0 + c1·t <= hi`` (None = never)."""
-    if c1 == 0.0:
-        return (t0, t1) if lo <= c0 <= hi else None
+    if fzero(c1):
+        return (t0, t1) if fle(lo, c0) and fle(c0, hi) else None
     ta = (lo - c0) / c1
     tb = (hi - c0) / c1
-    if ta > tb:
+    if ta > tb:  # modlint: disable=MOD001 root ordering swap, not a tolerance decision
         ta, tb = tb, ta
     a, b = max(t0, ta), min(t1, tb)
-    if a > b:
+    # Exact comparison: Interval construction requires s <= e exactly,
+    # and a graze within eps was already admitted by the fle bounds.
+    if a > b:  # modlint: disable=MOD001 see comment above
         return None
     return (a, b)
 
@@ -52,11 +55,17 @@ def upoint_within_rect_times(u: UPoint, rect: Rect) -> Optional[Interval]:
         return None
     a = max(x_span[0], y_span[0])
     b = min(x_span[1], y_span[1])
-    if a > b:
+    if a > b:  # modlint: disable=MOD001 Interval requires s <= e exactly; empty window
         return None
-    lc = iv.lc if a == iv.s else True
-    rc = iv.rc if b == iv.e else True
-    if a == b and not (lc and rc):
+    # Closure flags inherit from the unit interval whenever the window
+    # condition reaches its end points within tolerance — the entry
+    # instant is a computed root and may drift by an ulp from the
+    # stored end point.
+    lc = iv.lc if feq(a, iv.s) else True
+    rc = iv.rc if feq(b, iv.e) else True
+    # Exact degenerate check, matching Interval.is_degenerate: a tiny
+    # but genuine interval must stay a real interval.
+    if a == b and not (lc and rc):  # modlint: disable=MOD001 see comment above
         return None
     return Interval(a, b, lc and True, rc and True)
 

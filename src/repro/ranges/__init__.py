@@ -1,5 +1,7 @@
 """Interval and range types (Section 3.2.3) plus the ``intime`` pairs."""
 
+from __future__ import annotations
+
 from repro.ranges.interval import Interval, interval_at, closed, open_interval
 from repro.ranges.rangeset import RangeSet
 from repro.ranges.intime import Intime

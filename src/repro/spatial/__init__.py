@@ -6,6 +6,8 @@ paper defines, with their uniqueness constraints enforced at
 construction.
 """
 
+from __future__ import annotations
+
 from repro.spatial.bbox import Rect, Cube
 from repro.spatial.point import Point
 from repro.spatial.points import Points

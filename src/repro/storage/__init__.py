@@ -17,6 +17,8 @@ Modules:
   attribute values.
 """
 
+from __future__ import annotations
+
 from repro.storage.darray import DatabaseArray, SubArray
 from repro.storage.pages import PageFile
 from repro.storage.buffer import BufferPool

@@ -16,6 +16,8 @@ unit type       unit function                            moving type
 ==============  =======================================  ==================
 """
 
+from __future__ import annotations
+
 from repro.temporal.unit import Unit, UnitInterval, as_interval
 from repro.temporal.uconst import ConstUnit
 from repro.temporal.ureal import UReal

@@ -27,6 +27,8 @@ call, fallback-to-scalar events) and equivalent to the scalar unit-at-a-
 time path — an equivalence the property tests and benchmarks assert.
 """
 
+from __future__ import annotations
+
 from repro.vector.columns import BBoxColumn, UPointColumn, URealColumn
 from repro.vector.fleet import (
     fleet_atinstant,

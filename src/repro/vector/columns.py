@@ -162,7 +162,10 @@ class UPointColumn(UnitColumn):
                 )
                 for j in range(sl.start, sl.stop)
             ]
-            out.append(MovingPoint(units, validate=False))
+            # Units come back in CSR order, which is the validated unit
+            # order they were transcribed in; revalidating every
+            # round-trip would defeat the batch backend's purpose.
+            out.append(MovingPoint(units, validate=False))  # modlint: disable=MOD002 see comment above
         return out
 
     def _unit_records(self) -> np.ndarray:
@@ -272,7 +275,9 @@ class URealColumn(UnitColumn):
                 )
                 for j in range(sl.start, sl.stop)
             ]
-            out.append(MovingReal(units, validate=False))
+            # Same as UPointColumn.to_mappings: CSR order preserves the
+            # validated unit order of the source mappings.
+            out.append(MovingReal(units, validate=False))  # modlint: disable=MOD002 see comment above
         return out
 
     def to_darrays(self) -> Tuple[DatabaseArray, DatabaseArray]:
@@ -350,11 +355,20 @@ class BBoxColumn:
         Empty mappings contribute no entry (they have no bounding cube);
         their keys simply never appear in filter results, matching the
         scalar path, which skips empty operands.
+
+        Raises :class:`InvalidValue` for members that are not sliced
+        mappings, like the other column builders, so backend dispatchers
+        can route mixed fleets through the counted scalar fallback.
         """
         if keys is None:
             keys = list(range(len(mappings)))
         entries: List[Tuple[object, Cube]] = []
         for key, m in zip(keys, mappings):
+            if not isinstance(m, Mapping) or not hasattr(m, "bounding_cube"):
+                raise InvalidValue(
+                    f"BBoxColumn holds mappings with bounding cubes, "
+                    f"got {type(m).__name__}"
+                )
             if not m.units:
                 continue
             if per_unit:

@@ -123,9 +123,13 @@ def fleet_bbox_filter(
     per-object check (window refinement, R-tree descent, ...).
     """
     if _resolve(backend) == "vector":
-        col = BBoxColumn.from_mappings(fleet)
-        mask = bbox_filter_batch(col, cube)
-        return [int(k) for k, hit in zip(col.keys, mask) if hit]
+        try:
+            col = BBoxColumn.from_mappings(fleet)
+        except InvalidValue:
+            _fallback("bbox_column")
+        else:
+            mask = bbox_filter_batch(col, cube)
+            return [int(k) for k, hit in zip(col.keys, mask) if hit]
     return [
         i
         for i, m in enumerate(fleet)

@@ -260,6 +260,7 @@ def on_boundary_batch(
     """
     px, py = _points_to_arrays(points)
     arr = segs if isinstance(segs, np.ndarray) else segs_to_array(segs)
+    _record_rows("on_boundary", len(px))
     if arr.size == 0 or px.size == 0:
         return np.zeros(len(px), dtype=np.bool_)
     x0, y0, x1, y1 = arr[:, 0], arr[:, 1], arr[:, 2], arr[:, 3]

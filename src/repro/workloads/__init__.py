@@ -14,6 +14,8 @@ All generators take an explicit seed; identical seeds reproduce
 identical workloads, which the benchmarks rely on.
 """
 
+from __future__ import annotations
+
 from repro.workloads.trajectories import FlightGenerator, random_flights
 from repro.workloads.regions import StormGenerator, random_storms, regular_polygon
 from repro.workloads.network import RoadNetwork, network_trips

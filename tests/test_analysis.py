@@ -1,0 +1,437 @@
+"""Tests for ``repro-lint`` (:mod:`repro.analysis`).
+
+Each rule gets three fixture snippets: one violating, one clean, and one
+using the ``# modlint: disable=CODE <why>`` escape hatch.  The fixtures
+are written into a miniature ``src/repro`` tree under ``tmp_path`` so
+path-scoped rules see realistic relative paths.  A final test runs the
+linter over the real ``src/`` tree and requires it to be clean — that is
+the acceptance gate the CI step enforces.
+"""
+
+import textwrap
+from pathlib import Path
+
+from repro.analysis import lint_paths, main
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
+
+
+def lint_snippets(tmp_path, files, select=None):
+    """Write ``{relpath: source}`` under tmp_path and lint its src tree."""
+    (tmp_path / "src" / "repro").mkdir(parents=True, exist_ok=True)
+    for rel, text in files.items():
+        p = tmp_path / rel
+        p.parent.mkdir(parents=True, exist_ok=True)
+        p.write_text(textwrap.dedent(text), encoding="utf-8")
+    return lint_paths([tmp_path / "src"], select=select)
+
+
+def codes(violations):
+    return [v.code for v in violations]
+
+
+class TestMOD001EpsDiscipline:
+    def test_raw_float_comparison_flagged(self, tmp_path):
+        out = lint_snippets(tmp_path, {
+            "src/repro/ops/snippet.py": """
+                def f(x, y):
+                    return x == y
+            """,
+        }, select={"MOD001"})
+        assert codes(out) == ["MOD001"]
+        assert "feq" in out[0].message
+
+    def test_mediated_comparison_clean(self, tmp_path):
+        out = lint_snippets(tmp_path, {
+            "src/repro/ops/snippet.py": """
+                EPSILON = 1e-9
+
+                def f(x, y):
+                    return abs(x - y) <= EPSILON
+            """,
+        }, select={"MOD001"})
+        assert out == []
+
+    def test_helper_call_clean(self, tmp_path):
+        out = lint_snippets(tmp_path, {
+            "src/repro/ops/snippet.py": """
+                from repro.config import feq
+
+                def f(x, y):
+                    return feq(x, y)
+            """,
+        }, select={"MOD001"})
+        assert out == []
+
+    def test_justified_disable_suppresses(self, tmp_path):
+        out = lint_snippets(tmp_path, {
+            "src/repro/ops/snippet.py": """
+                def f(x, y):
+                    return x == y  # modlint: disable=MOD001 canonical ordering, not a tolerance
+            """,
+        }, select={"MOD001"})
+        assert out == []
+
+    def test_unjustified_disable_is_mod000(self, tmp_path):
+        out = lint_snippets(tmp_path, {
+            "src/repro/ops/snippet.py": """
+                def f(x, y):
+                    return x == y  # modlint: disable=MOD001
+            """,
+        }, select={"MOD001"})
+        assert codes(out) == ["MOD000"]
+
+    def test_out_of_scope_module_ignored(self, tmp_path):
+        out = lint_snippets(tmp_path, {
+            "src/repro/workloads/snippet.py": """
+                def f(x, y):
+                    return x == y
+            """,
+        }, select={"MOD001"})
+        assert out == []
+
+    def test_standalone_comment_covers_next_line(self, tmp_path):
+        out = lint_snippets(tmp_path, {
+            "src/repro/ops/snippet.py": """
+                def f(x, y):
+                    # modlint: disable=MOD001 exact sentinel membership
+                    return x == y
+            """,
+        }, select={"MOD001"})
+        assert out == []
+
+
+class TestMOD002UnitHygiene:
+    def test_validate_false_outside_owner_flagged(self, tmp_path):
+        out = lint_snippets(tmp_path, {
+            "src/repro/db/snippet.py": """
+                from repro.temporal.mapping import MovingPoint
+
+                def f(units):
+                    return MovingPoint(units, validate=False)
+            """,
+        }, select={"MOD002"})
+        assert codes(out) == ["MOD002"]
+        assert "validate=False" in out[0].message
+
+    def test_validate_false_inside_owner_clean(self, tmp_path):
+        out = lint_snippets(tmp_path, {
+            "src/repro/temporal/snippet.py": """
+                from repro.temporal.mapping import MovingPoint
+
+                def f(units):
+                    return MovingPoint(units, validate=False)
+            """,
+        }, select={"MOD002"})
+        assert out == []
+
+    def test_private_unit_state_access_flagged(self, tmp_path):
+        out = lint_snippets(tmp_path, {
+            "src/repro/ops/snippet.py": """
+                def f(m):
+                    return m._units
+            """,
+        }, select={"MOD002"})
+        assert codes(out) == ["MOD002"]
+
+    def test_justified_disable_suppresses(self, tmp_path):
+        out = lint_snippets(tmp_path, {
+            "src/repro/db/snippet.py": """
+                from repro.temporal.mapping import MovingPoint
+
+                def f(units):
+                    return MovingPoint(units, validate=False)  # modlint: disable=MOD002 units pre-sorted by construction
+            """,
+        }, select={"MOD002"})
+        assert out == []
+
+
+PARITY_OK = """
+    KERNEL_PARITY = {
+        "my_kernel": KernelParity(
+            scalar="repro.temporal.mapping.Mapping.unit_at",
+            test="test_my_kernel_matches_scalar",
+        ),
+    }
+
+    def KernelParity(scalar, test):
+        return (scalar, test)
+"""
+
+KERNELS_ONE = """
+    def my_kernel(col, t):
+        return None
+"""
+
+
+class TestMOD003VectorParity:
+    def test_unregistered_kernel_flagged(self, tmp_path):
+        out = lint_snippets(tmp_path, {
+            "src/repro/vector/kernels.py": KERNELS_ONE,
+            "src/repro/vector/parity.py": "KERNEL_PARITY = {}\n",
+        }, select={"MOD003"})
+        assert codes(out) == ["MOD003"]
+        assert "my_kernel" in out[0].message
+
+    def test_registered_kernel_with_test_clean(self, tmp_path):
+        out = lint_snippets(tmp_path, {
+            "src/repro/vector/kernels.py": KERNELS_ONE,
+            "src/repro/vector/parity.py": PARITY_OK,
+            "tests/test_vector_properties.py": """
+                def test_my_kernel_matches_scalar():
+                    pass
+            """,
+        }, select={"MOD003"})
+        assert out == []
+
+    def test_missing_parity_test_flagged(self, tmp_path):
+        out = lint_snippets(tmp_path, {
+            "src/repro/vector/kernels.py": KERNELS_ONE,
+            "src/repro/vector/parity.py": PARITY_OK,
+            "tests/test_vector_properties.py": """
+                def test_something_else():
+                    pass
+            """,
+        }, select={"MOD003"})
+        assert codes(out) == ["MOD003"]
+        assert "test_my_kernel_matches_scalar" in out[0].message
+
+    def test_stale_registry_entry_flagged(self, tmp_path):
+        out = lint_snippets(tmp_path, {
+            "src/repro/vector/kernels.py": "x = 1\n",
+            "src/repro/vector/parity.py": PARITY_OK,
+            "tests/test_vector_properties.py": """
+                def test_my_kernel_matches_scalar():
+                    pass
+            """,
+        }, select={"MOD003"})
+        assert codes(out) == ["MOD003"]
+        assert "does not match any public kernel" in out[0].message
+
+    def test_disable_on_kernel_def_suppresses(self, tmp_path):
+        out = lint_snippets(tmp_path, {
+            "src/repro/vector/kernels.py": """
+                def my_kernel(col, t):  # modlint: disable=MOD003 experimental, parity test pending
+                    return None
+            """,
+            "src/repro/vector/parity.py": "KERNEL_PARITY = {}\n",
+        }, select={"MOD003"})
+        assert out == []
+
+
+OBS_REGISTRY = """
+    COUNTER_NAMES = frozenset({"mapping.probes"})
+    TIMER_NAMES = frozenset({"inside"})
+    GAUGE_NAMES = frozenset()
+"""
+
+
+class TestMOD004ObsDiscipline:
+    def test_unregistered_counter_flagged(self, tmp_path):
+        out = lint_snippets(tmp_path, {
+            "src/repro/obs.py": OBS_REGISTRY,
+            "src/repro/ops/snippet.py": """
+                from repro import obs
+
+                def f():
+                    obs.counters.add("mystery.counter")
+            """,
+        }, select={"MOD004"})
+        assert codes(out) == ["MOD004"]
+        assert "mystery.counter" in out[0].message
+
+    def test_registered_counter_clean(self, tmp_path):
+        out = lint_snippets(tmp_path, {
+            "src/repro/obs.py": OBS_REGISTRY,
+            "src/repro/ops/snippet.py": """
+                from repro import obs
+
+                def f():
+                    obs.counters.add("mapping.probes")
+            """,
+        }, select={"MOD004"})
+        assert out == []
+
+    def test_non_literal_name_flagged(self, tmp_path):
+        out = lint_snippets(tmp_path, {
+            "src/repro/obs.py": OBS_REGISTRY,
+            "src/repro/ops/snippet.py": """
+                from repro import obs
+
+                def f(name):
+                    obs.counters.add(f"mapping.{name}")
+            """,
+        }, select={"MOD004"})
+        assert codes(out) == ["MOD004"]
+        assert "literal" in out[0].message
+
+    def test_scope_derived_counter_name_checked(self, tmp_path):
+        out = lint_snippets(tmp_path, {
+            "src/repro/obs.py": OBS_REGISTRY,
+            "src/repro/ops/snippet.py": """
+                from repro import obs
+
+                def f():
+                    with obs.scope("inside") as s:
+                        s.add("unit_pairs")
+            """,
+        }, select={"MOD004"})
+        assert codes(out) == ["MOD004"]
+        assert "inside.unit_pairs" in out[0].message
+
+    def test_registered_but_never_written_flagged_on_full_run(self, tmp_path):
+        out = lint_snippets(tmp_path, {
+            "src/repro/obs.py": OBS_REGISTRY,
+            "src/repro/temporal/mapping.py": """
+                from repro import obs
+
+                def f():
+                    obs.counters.add("mapping.probes")
+            """,
+            "src/repro/vector/kernels.py": "x = 1\n",
+        }, select={"MOD004"})
+        assert codes(out) == ["MOD004"]
+        assert "`inside` is never" in out[0].message
+
+    def test_justified_disable_suppresses(self, tmp_path):
+        out = lint_snippets(tmp_path, {
+            "src/repro/obs.py": OBS_REGISTRY,
+            "src/repro/ops/snippet.py": """
+                from repro import obs
+
+                def f():
+                    obs.counters.add("mystery.counter")  # modlint: disable=MOD004 migration shim, registry lands next PR
+            """,
+        }, select={"MOD004"})
+        assert out == []
+
+
+class TestMOD005BackendDispatch:
+    def test_raw_backend_compare_flagged(self, tmp_path):
+        out = lint_snippets(tmp_path, {
+            "src/repro/vector/snippet.py": """
+                def f(fleet, backend=None):
+                    if backend == "vector":
+                        return 1
+                    return 2
+            """,
+        }, select={"MOD005"})
+        assert codes(out) == ["MOD005"]
+        assert "_resolve" in out[0].message
+
+    def test_missing_scalar_arm_flagged(self, tmp_path):
+        out = lint_snippets(tmp_path, {
+            "src/repro/vector/snippet.py": """
+                def f(fleet, backend=None):
+                    if _resolve(backend) == "vector":
+                        return 1
+            """,
+        }, select={"MOD005"})
+        assert codes(out) == ["MOD005"]
+        assert "no scalar arm" in out[0].message
+
+    def test_unguarded_column_construction_flagged(self, tmp_path):
+        out = lint_snippets(tmp_path, {
+            "src/repro/vector/snippet.py": """
+                def f(fleet, backend=None):
+                    if _resolve(backend) == "vector":
+                        col = UPointColumn.from_mappings(fleet)
+                        return col
+                    return 2
+            """,
+        }, select={"MOD005"})
+        assert codes(out) == ["MOD005"]
+        assert "from_mappings" in out[0].message
+
+    def test_handler_without_fallback_flagged(self, tmp_path):
+        out = lint_snippets(tmp_path, {
+            "src/repro/vector/snippet.py": """
+                def f(fleet, backend=None):
+                    if _resolve(backend) == "vector":
+                        try:
+                            col = UPointColumn.from_mappings(fleet)
+                        except InvalidValue:
+                            pass
+                        else:
+                            return col
+                    return 2
+            """,
+        }, select={"MOD005"})
+        assert codes(out) == ["MOD005"]
+        assert "_fallback" in out[0].message
+
+    def test_counted_fallback_dispatch_clean(self, tmp_path):
+        out = lint_snippets(tmp_path, {
+            "src/repro/vector/snippet.py": """
+                def f(fleet, backend=None):
+                    if _resolve(backend) == "vector":
+                        try:
+                            col = UPointColumn.from_mappings(fleet)
+                        except InvalidValue:
+                            _fallback("upoint_column")
+                        else:
+                            return col
+                    return 2
+            """,
+        }, select={"MOD005"})
+        assert out == []
+
+    def test_justified_disable_suppresses(self, tmp_path):
+        out = lint_snippets(tmp_path, {
+            "src/repro/vector/snippet.py": """
+                def f(fleet, backend=None):
+                    if backend == "vector":  # modlint: disable=MOD005 CLI entry point, backend pre-resolved upstream
+                        return 1
+                    return 2
+            """,
+        }, select={"MOD005"})
+        assert out == []
+
+
+class TestSuppressionPolicy:
+    def test_unknown_code_is_mod000(self, tmp_path):
+        out = lint_snippets(tmp_path, {
+            "src/repro/ops/snippet.py": """
+                def f(x, y):
+                    return x == y  # modlint: disable=MOD999 not a real rule
+            """,
+        })
+        assert "MOD000" in codes(out)
+        assert any("unknown rule" in v.message for v in out)
+
+    def test_mod000_cannot_be_silenced(self, tmp_path):
+        out = lint_snippets(tmp_path, {
+            "src/repro/ops/snippet.py": """
+                def f(x, y):
+                    return x == y  # modlint: disable=MOD001,MOD000
+            """,
+        })
+        assert "MOD000" in codes(out)
+
+    def test_syntax_error_reported_not_crashed(self, tmp_path):
+        out = lint_snippets(tmp_path, {
+            "src/repro/ops/snippet.py": "def f(:\n",
+        })
+        assert codes(out) == ["MOD000"]
+        assert "does not parse" in out[0].message
+
+
+class TestRealTree:
+    def test_full_src_tree_is_clean(self):
+        out = lint_paths([REPO_ROOT / "src"])
+        assert out == [], "\n".join(v.format() for v in out)
+
+    def test_cli_exit_codes(self, tmp_path, capsys):
+        assert main([str(REPO_ROOT / "src")]) == 0
+        assert "repro-lint: clean" in capsys.readouterr().out
+        (tmp_path / "src" / "repro" / "ops").mkdir(parents=True)
+        bad = tmp_path / "src" / "repro" / "ops" / "snippet.py"
+        bad.write_text("def f(x, y):\n    return x == y\n", encoding="utf-8")
+        assert main([str(tmp_path / "src")]) == 1
+        assert "MOD001" in capsys.readouterr().out
+
+    def test_list_rules(self, capsys):
+        assert main(["--list-rules"]) == 0
+        listing = capsys.readouterr().out
+        for code in ("MOD001", "MOD002", "MOD003", "MOD004", "MOD005"):
+            assert code in listing

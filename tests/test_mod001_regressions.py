@@ -1,0 +1,96 @@
+"""Regression tests for the genuine MOD001/eps-discipline findings.
+
+Each test pins one bug surfaced by ``repro-lint``'s MOD001 rule: a raw
+float comparison on coordinates/instants that misclassified values
+within an ulp-to-eps neighbourhood of a boundary.  The inputs here sit
+inside that neighbourhood, so each test fails against the pre-lint code.
+"""
+
+from repro.geometry.mergesegs import merge_segs
+from repro.ops.distance import mpoint_line_distance
+from repro.ops.motion import heading, turning_points
+from repro.ops.window import upoint_within_rect_times
+from repro.ranges.interval import Interval
+from repro.spatial.bbox import Rect
+from repro.spatial.line import Line
+from repro.temporal.mapping import MovingPoint
+from repro.temporal.upoint import UPoint
+
+
+class TestWindowEpsDrift:
+    def test_stationary_point_within_eps_of_window_edge_counts(self):
+        # x = -1e-10 is outside [0, 1] by less than EPSILON: the exact
+        # comparison dropped the unit entirely; the eps-mediated bound
+        # keeps it for its whole interval with inherited closures.
+        u = UPoint.between(0.0, (-1e-10, 0.5), 10.0, (-1e-10, 0.5))
+        rect = Rect(0.0, 0.0, 1.0, 1.0)
+        iv = upoint_within_rect_times(u, rect)
+        assert iv == Interval(0.0, 10.0, True, True)
+
+    def test_point_beyond_eps_of_window_edge_still_excluded(self):
+        u = UPoint.between(0.0, (-1e-6, 0.5), 10.0, (-1e-6, 0.5))
+        rect = Rect(0.0, 0.0, 1.0, 1.0)
+        assert upoint_within_rect_times(u, rect) is None
+
+
+class TestDistanceSliverCut:
+    def test_projection_crossing_within_eps_of_start_adds_no_sliver(self):
+        # The projection parameter crosses 0 at t = 1e-12 — inside the
+        # unit interval but within eps of its start.  The exact interior
+        # test cut there, producing a sliver unit of width 1e-12; the
+        # eps-mediated test does not.
+        mp = MovingPoint.from_waypoints(
+            [(0.0, (-1e-12, 1.0)), (10.0, (10.0 - 1e-12, 1.0))]
+        )
+        line = Line([((0.0, 0.0), (10.0, 0.0))])
+        d = mpoint_line_distance(mp, line)
+        assert len(d.units) == 1
+        assert d.units[0].interval == Interval(0.0, 10.0, True, True)
+
+
+class TestMotionEps:
+    def test_sub_eps_velocity_has_no_heading(self):
+        # Net displacement 1e-9 over 10 time units: velocity 1e-10 per
+        # axis is rounding noise, not a direction.
+        mp = MovingPoint.from_waypoints([(0.0, (0.0, 0.0)), (10.0, (1e-9, 0.0))])
+        assert not heading(mp).units
+
+    def test_genuine_velocity_keeps_heading(self):
+        mp = MovingPoint.from_waypoints([(0.0, (0.0, 0.0)), (10.0, (10.0, 0.0))])
+        assert len(heading(mp).units) == 1
+
+    def test_sub_eps_direction_change_is_not_a_turn(self):
+        # Consecutive velocities (1, 1) and (1, 1 + 1e-10): the cross
+        # product 1e-10 is below EPSILON, so no turning point.
+        mp = MovingPoint.from_waypoints(
+            [(0.0, (0.0, 0.0)), (1.0, (1.0, 1.0)), (2.0, (2.0, 2.0 + 1e-10))]
+        )
+        assert turning_points(mp) == []
+
+    def test_genuine_direction_change_is_a_turn(self):
+        mp = MovingPoint.from_waypoints(
+            [(0.0, (0.0, 0.0)), (1.0, (1.0, 1.0)), (2.0, (2.0, 0.0))]
+        )
+        assert turning_points(mp) == [1.0]
+
+
+class TestMergeSegsCarrierScaling:
+    def test_long_carrier_preserves_genuine_gap(self):
+        # On a length-1000 carrier the old fixed parameter tolerance of
+        # 1e-9 equalled a 1e-6 *real-space* gap, silently bridging it.
+        # The carrier-scaled tolerance keeps the two segments apart.
+        segs = [
+            ((0.0, 0.0), (1000.0, 0.0)),
+            ((1000.000001, 0.0), (2000.0, 0.0)),
+        ]
+        merged = merge_segs(segs)
+        assert len(merged) == 2
+
+    def test_truly_adjacent_segments_still_merge(self):
+        segs = [
+            ((0.0, 0.0), (1000.0, 0.0)),
+            ((1000.0, 0.0), (2000.0, 0.0)),
+        ]
+        merged = merge_segs(segs)
+        assert len(merged) == 1
+        assert merged[0] == ((0.0, 0.0), (2000.0, 0.0))

@@ -243,6 +243,35 @@ class TestFleet:
         assert obs.get("vector.fallback_to_scalar") == 1
         assert obs.get("vector.fallback_to_scalar.upoint_column") == 1
 
+    def test_bbox_filter_mixed_fleet_falls_back_and_counts(self):
+        # A duck-typed member the column builder rejects but the scalar
+        # loop handles (it only needs .units and .bounding_cube()): the
+        # vector arm must route through the counted fallback instead of
+        # crashing — and both arms must agree.
+        class TrajectoryLike:
+            def __init__(self, mp):
+                self.units = mp.units
+                self._mp = mp
+
+            def bounding_cube(self):
+                return self._mp.bounding_cube()
+
+        real = MovingPoint.from_waypoints([(0, (0, 0)), (1, (1, 1))])
+        duck = TrajectoryLike(
+            MovingPoint.from_waypoints([(0, (100, 100)), (1, (101, 101))])
+        )
+        fleet = [real, duck]
+        cube = Cube(0, 0, 0, 2, 2, 2)
+        obs.reset()
+        obs.enable()
+        try:
+            out = fleet_bbox_filter(fleet, cube, backend="vector")
+        finally:
+            obs.disable()
+        assert out == fleet_bbox_filter(fleet, cube, backend="scalar") == [0]
+        assert obs.get("vector.fallback_to_scalar") == 1
+        assert obs.get("vector.fallback_to_scalar.bbox_column") == 1
+
 
 @pytest.fixture
 def planes_db():

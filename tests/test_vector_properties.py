@@ -11,16 +11,21 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.geometry.plumbline import crossings_above, point_in_segset
+from repro.geometry.segment import point_on_seg
 from repro.ranges.interval import Interval
+from repro.spatial.bbox import Cube
 from repro.spatial.region import Region
 from repro.temporal.mapping import MovingPoint, MovingReal
 from repro.temporal.upoint import UPoint
 from repro.temporal.ureal import UReal
-from repro.vector.columns import UPointColumn, URealColumn
+from repro.vector.columns import BBoxColumn, UPointColumn, URealColumn
 from repro.vector.kernels import (
     atinstant_batch,
+    bbox_filter_batch,
     crossings_above_batch,
     inside_prefilter,
+    locate_units,
+    on_boundary_batch,
     segs_to_array,
     ureal_atinstant_batch,
 )
@@ -133,10 +138,54 @@ class TestAtinstantEquivalence:
                     assert defined[i], (i, t)
                     assert vs[i] == v.value
 
+    @given(point_fleets_with_instants())
+    @settings(max_examples=150, deadline=None)
+    def test_locate_units_matches_unit_at(self, fleet_and_ts):
+        fleet, instants = fleet_and_ts
+        col = UPointColumn.from_mappings(fleet)
+        for t in instants:
+            unit, defined = locate_units(col, t)
+            for i, m in enumerate(fleet):
+                scalar = m.unit_at(t)
+                if scalar is None:
+                    assert not defined[i], (i, t)
+                else:
+                    assert defined[i], (i, t)
+                    j = int(unit[i])
+                    got = Interval(
+                        float(col.starts[j]), float(col.ends[j]),
+                        bool(col.lc[j]), bool(col.rc[j]),
+                    )
+                    assert got == scalar.interval, (i, t)
+
     @given(st.lists(moving_points(), min_size=1, max_size=6))
     @settings(max_examples=60, deadline=None)
     def test_column_round_trip(self, fleet):
         assert UPointColumn.from_mappings(fleet).to_mappings() == fleet
+
+
+@st.composite
+def cubes(draw):
+    xa, xb = sorted((draw(coord), draw(coord)))
+    ya, yb = sorted((draw(coord), draw(coord)))
+    ts = st.floats(min_value=-80.0, max_value=80.0, allow_nan=False)
+    ta, tb = sorted((draw(ts), draw(ts)))
+    return Cube(xa, ya, ta, xb, yb, tb)
+
+
+class TestBBoxFilterEquivalence:
+    @given(st.lists(moving_points(), min_size=1, max_size=6), cubes())
+    @settings(max_examples=150, deadline=None)
+    def test_bbox_filter_matches_scalar(self, fleet, cube):
+        col = BBoxColumn.from_mappings(fleet)
+        mask = bbox_filter_batch(col, cube)
+        hits = {int(k) for k, hit in zip(col.keys, mask) if hit}
+        expected = {
+            i
+            for i, m in enumerate(fleet)
+            if m.units and m.bounding_cube().intersects(cube)
+        }
+        assert hits == expected
 
 
 @st.composite
@@ -197,6 +246,30 @@ class TestPlumblineEquivalence:
         inside = inside_prefilter(probes, region)
         for p, got in zip(probes, inside):
             assert bool(got) == point_in_segset(p, segs)
+
+    @given(
+        simple_regions(),
+        st.lists(st.tuples(coord, coord), min_size=1, max_size=8),
+    )
+    @settings(max_examples=150, deadline=None)
+    def test_on_boundary_matches_point_on_seg(self, region, pts):
+        segs = list(region.segments())
+        # Include actual vertices: points genuinely on the boundary.
+        probes = [tuple(s[0]) for s in segs][:4] + list(pts)
+        got = on_boundary_batch(probes, segs)
+        for p, g in zip(probes, got):
+            assert bool(g) == any(point_on_seg(p, s) for s in segs), p
+
+    @given(simple_regions())
+    @settings(max_examples=60, deadline=None)
+    def test_segs_to_array_round_trip(self, region):
+        segs = list(region.segments())
+        arr = segs_to_array(segs)
+        assert arr.shape == (len(segs), 4)
+        back = [((r[0], r[1]), (r[2], r[3])) for r in arr.tolist()]
+        assert back == [
+            ((s[0][0], s[0][1]), (s[1][0], s[1][1])) for s in segs
+        ]
 
     @given(st.lists(st.tuples(coord, coord), min_size=1, max_size=6))
     @settings(max_examples=30, deadline=None)
