@@ -2,6 +2,8 @@
 # Scalar-vs-vector benchmarks: runs the repro.vector fleet kernels
 # against their scalar reference loops (equivalence asserted in the same
 # run) and writes the timings to BENCH_vector.json in the repo root.
+# Also measures crash-safe storage (WAL overhead, recovery replay,
+# disarmed-failpoint scans) into BENCH_storage.json.
 #
 # Usage: scripts/bench.sh [fleet_size]  (from the repository root)
 set -euo pipefail
@@ -17,6 +19,14 @@ python -m pytest -q -p no:cacheprovider benchmarks/bench_vector.py
 echo
 echo "== vector backend: timings -> BENCH_vector.json =="
 python benchmarks/bench_vector.py --objects "$OBJECTS" --json BENCH_vector.json
+
+echo
+echo "== crash-safe storage: pytest assertions (recovery equivalence) =="
+python -m pytest -q -p no:cacheprovider benchmarks/bench_storage_faults.py
+
+echo
+echo "== crash-safe storage: timings -> BENCH_storage.json =="
+python benchmarks/bench_storage_faults.py --json BENCH_storage.json
 
 echo
 echo "bench.sh: done"

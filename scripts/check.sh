@@ -21,6 +21,10 @@ echo "== repro-lint (stdlib AST checker, always on) =="
 python -m repro.analysis src
 
 echo
+echo "== crash-matrix smoke (every registered failpoint, fixed seed) =="
+python -m repro crash-matrix --seed 2000
+
+echo
 echo "== lint (ruff, skipped when not installed) =="
 if command -v ruff >/dev/null 2>&1; then
     ruff check src tests benchmarks

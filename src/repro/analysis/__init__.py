@@ -2,7 +2,7 @@
 
 Run as ``python -m repro.analysis [paths...]`` (default: ``src``) or via
 the ``repro-lint`` console script.  See :mod:`repro.analysis.rules` for
-the rule catalogue (MOD001–MOD005) and :mod:`repro.analysis.core` for
+the rule catalogue (MOD001–MOD006) and :mod:`repro.analysis.core` for
 the suppression policy.
 """
 

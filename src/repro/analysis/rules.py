@@ -1,4 +1,4 @@
-"""The paper-specific lint rules (MOD001–MOD005).
+"""The paper-specific lint rules (MOD001–MOD006).
 
 Each rule enforces one *representation invariant* of the discrete model
 (see DESIGN.md, "Static analysis"): these are properties the sliced
@@ -20,6 +20,9 @@ MOD004   obs-counter discipline: counter/timer/gauge names are
 MOD005   backend-dispatch completeness: every ``--backend`` branch
          has a scalar arm and routes failures through the counted
          fallback
+MOD006   failpoint discipline: fault-injection site names are
+         literal and declared in the ``repro.faults`` registry, and
+         every registered failpoint is placed somewhere
 =======  ==========================================================
 """
 
@@ -30,7 +33,9 @@ from typing import Dict, Iterator, List, Optional, Set, Tuple
 
 from repro.analysis.core import Project, SourceModule, Violation
 
-KNOWN_CODES = frozenset({"MOD001", "MOD002", "MOD003", "MOD004", "MOD005"})
+KNOWN_CODES = frozenset(
+    {"MOD001", "MOD002", "MOD003", "MOD004", "MOD005", "MOD006"}
+)
 
 
 class Rule:
@@ -770,10 +775,112 @@ class BackendDispatch(Rule):
                     )
 
 
+# ---------------------------------------------------------------------------
+# MOD006 — failpoint discipline
+# ---------------------------------------------------------------------------
+
+
+class FailpointDiscipline(Rule):
+    """MOD006: every failpoint name is literal and registered, both ways.
+
+    The registry is ``FAILPOINT_NAMES`` in :mod:`repro.faults`.  An
+    injection site (``faults.fail(...)`` / ``faults.should_fire(...)``)
+    using a name outside the registry is a typo that can never be armed;
+    a registered name with no site is dead weight that the crash matrix
+    would still demand a scenario for.  Mirror of the MOD004 obs-name
+    rule.
+    """
+
+    code = "MOD006"
+    name = "failpoint-discipline"
+
+    _FAULTS = "repro/faults.py"
+    #: Module whose presence marks a full-source run (the injection
+    #: sites span the storage package, so the never-placed direction is
+    #: only meaningful when it is in scope).
+    _SITES_ANCHOR = "repro/storage/pages.py"
+    _SITE_CALLS = ("faults.fail", "faults.should_fire")
+
+    def _registry(self, mod: SourceModule) -> Optional[Set[str]]:
+        for node in ast.walk(mod.tree):
+            targets: List[ast.expr] = []
+            if isinstance(node, ast.Assign):
+                targets, value = node.targets, node.value
+            elif isinstance(node, ast.AnnAssign) and node.value is not None:
+                targets, value = [node.target], node.value
+            else:
+                continue
+            if not any(
+                isinstance(t, ast.Name) and t.id == "FAILPOINT_NAMES"
+                for t in targets
+            ):
+                continue
+            names: Set[str] = set()
+            for sub in ast.walk(value):
+                s = _str_const(sub)
+                if s is not None:
+                    names.add(s)
+            return names
+        return None
+
+    def check_project(self, project: Project) -> Iterator[Violation]:
+        faults_mod = project.module(self._FAULTS)
+        if faults_mod is None:
+            return
+        registry = self._registry(faults_mod)
+        if registry is None:
+            yield faults_mod.violation(
+                faults_mod.tree, self.code,
+                "repro.faults must declare the FAILPOINT_NAMES literal "
+                "registry so the failpoint check can read it statically",
+            )
+            return
+
+        placed: Set[str] = set()
+        src_mods = [
+            m for m in project.modules
+            if "repro/" in m.relpath
+            and not m.relpath.endswith(self._FAULTS)
+            and "repro/analysis/" not in m.relpath
+        ]
+        for mod in src_mods:
+            for node in ast.walk(mod.tree):
+                if not isinstance(node, ast.Call):
+                    continue
+                if _dotted(node.func) not in self._SITE_CALLS:
+                    continue
+                name = _str_const(node.args[0]) if node.args else None
+                if name is None:
+                    yield mod.violation(
+                        node, self.code,
+                        "failpoint name must be a literal string so the "
+                        "registry check can see it",
+                    )
+                    continue
+                placed.add(name)
+                if name not in registry:
+                    yield mod.violation(
+                        node, self.code,
+                        f"failpoint `{name}` is not declared in the "
+                        "repro.faults FAILPOINT_NAMES registry; arming "
+                        "it would raise, so the site is dead",
+                    )
+
+        if project.module(self._SITES_ANCHOR) is not None:
+            for name in sorted(registry - placed):
+                yield faults_mod.violation(
+                    faults_mod.tree, self.code,
+                    f"registered failpoint `{name}` is never placed at "
+                    "any fail()/should_fire() site in repro; delete it "
+                    "from the registry or wire it up",
+                )
+
+
 RULES: List[Rule] = [
     EpsDiscipline(),
     UnitHygiene(),
     VectorParity(),
     ObsDiscipline(),
     BackendDispatch(),
+    FailpointDiscipline(),
 ]

@@ -10,11 +10,18 @@ Commands
 ``info``              version, type system, and operation inventory
 ``snapshot``          evaluate a generated fleet at one instant
                       (exercises the ``--backend`` switch fleet-wide)
+``crash-matrix``      run every registered failpoint's crash/recovery
+                      scenario (:mod:`repro.storage.crashmatrix`)
 
 Global flags: ``--profile`` collects the :mod:`repro.obs` counters and
 prints the report even when the command fails; ``--backend`` selects
 the scalar reference loops or the columnar numpy kernels
-(:mod:`repro.vector`).
+(:mod:`repro.vector`); ``--faults`` arms failpoints
+(:mod:`repro.faults`) for the command's duration.
+
+Storage and decode failures (:class:`repro.errors.ReproError`) exit
+non-zero with a one-line diagnostic on stderr; pass ``--debug`` to get
+the full traceback instead.
 """
 
 from __future__ import annotations
@@ -180,6 +187,15 @@ def cmd_snapshot(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_crash_matrix(args: argparse.Namespace) -> int:
+    """Run the arm → crash → recover → verify matrix over all failpoints."""
+    from repro.storage.crashmatrix import format_matrix, run_crash_matrix
+
+    entries = run_crash_matrix(seed=args.seed, only=args.only)
+    print(format_matrix(entries))
+    return 0 if entries and all(e.ok for e in entries) else 1
+
+
 def cmd_info(_args: argparse.Namespace) -> int:
     """Print version, type-system, and operation inventories."""
     import repro
@@ -217,6 +233,20 @@ def main(argv: Optional[List[str]] = None) -> int:
         help="evaluation backend for fleet-level operations: scalar "
         "reference loops or columnar numpy kernels (repro.vector)",
     )
+    parser.add_argument(
+        "--faults",
+        default=None,
+        metavar="SPEC",
+        help="arm failpoints for the command, e.g. "
+        "'wal.sync_crash' or 'pagefile.torn_write=after:2' "
+        "(comma-separated; see repro.faults)",
+    )
+    parser.add_argument(
+        "--debug",
+        action="store_true",
+        help="let repro errors propagate with a full traceback instead "
+        "of the one-line diagnostic",
+    )
     sub = parser.add_subparsers(dest="command", required=True)
     sub.add_parser("demo", help="run the Section-2 example queries").set_defaults(
         fn=cmd_demo
@@ -241,7 +271,37 @@ def main(argv: Optional[List[str]] = None) -> int:
     snap_p.add_argument("--seed", type=int, default=2000,
                         help="fleet generator seed (default 2000)")
     snap_p.set_defaults(fn=cmd_snapshot)
+    matrix_p = sub.add_parser(
+        "crash-matrix",
+        help="run every failpoint's crash/recovery scenario",
+    )
+    matrix_p.add_argument("--seed", type=int, default=2000,
+                          help="workload seed (default 2000)")
+    matrix_p.add_argument("--only", default=None, metavar="FAILPOINT",
+                          help="run a single failpoint's scenario")
+    matrix_p.set_defaults(fn=cmd_crash_matrix)
     args = parser.parse_args(argv)
+
+    from repro.errors import ReproError
+
+    try:
+        return _dispatch(args)
+    except ReproError as exc:
+        # Storage corruption, decode failures, bad fault specs: a
+        # one-line diagnostic and a non-zero exit, no traceback.
+        # Genuine environment errors (missing files, ...) propagate.
+        if args.debug:
+            raise
+        print(f"repro: {type(exc).__name__}: {exc}", file=sys.stderr)
+        return 1
+
+
+def _dispatch(args: argparse.Namespace) -> int:
+    """Arm flags and run the selected command (profiled or not)."""
+    if args.faults:
+        from repro import faults
+
+        faults.arm_spec(args.faults)
     if args.backend is not None:
         from repro.vector.fleet import set_backend
 

@@ -25,8 +25,18 @@ OBS_ENABLED: bool = False
 #: the placement strategy of Dieker & Gueting [DG98].
 INLINE_THRESHOLD: int = 1024
 
-#: Page size, in bytes, of the storage engine's page manager.
+#: Page size, in bytes, of the storage engine's page manager.  Each page
+#: reserves :data:`repro.storage.pages.PAGE_HEADER_SIZE` bytes for the
+#: format/version/checksum header; the rest is payload.
 PAGE_SIZE: int = 4096
+
+#: How many times the buffer pool retries a transient page-read fault
+#: (:class:`repro.errors.TransientIOError`) before giving up.
+BUFFER_RETRY_LIMIT: int = 3
+
+#: Base delay, in seconds, of the buffer pool's exponential retry
+#: backoff (delay doubles per attempt: base, 2·base, 4·base, ...).
+BUFFER_RETRY_BASE_DELAY: float = 0.0005
 
 #: Default evaluation backend for fleet-level operations: ``"scalar"``
 #: (per-object reference loops) or ``"vector"`` (columnar numpy kernels,

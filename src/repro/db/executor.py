@@ -27,14 +27,25 @@ class Operator:
 
 
 class SeqScan(Operator):
-    """Scan one relation, qualifying column names with the alias."""
+    """Scan one relation, qualifying column names with the alias.
 
-    def __init__(self, relation: Relation, alias: Optional[str] = None):
+    ``strict=False`` quarantines tuples whose storage representation
+    fails verification (skipped, counted under ``storage.quarantined``)
+    instead of aborting the whole query.
+    """
+
+    def __init__(
+        self,
+        relation: Relation,
+        alias: Optional[str] = None,
+        strict: bool = True,
+    ):
         self.relation = relation
         self.alias = alias or relation.name
+        self.strict = strict
 
     def rows(self) -> Iterator[Row]:
-        for row in self.relation.scan():
+        for row in self.relation.scan(strict=self.strict):
             yield {f"{self.alias}.{k}": v for k, v in row.items()}
 
 
@@ -51,8 +62,8 @@ class VectorScan(SeqScan):
     """
 
     def __init__(self, relation: Relation, alias: Optional[str] = None,
-                 attr: Optional[str] = None):
-        super().__init__(relation, alias)
+                 attr: Optional[str] = None, strict: bool = True):
+        super().__init__(relation, alias, strict)
         self.attr = attr
         self._rows: Optional[List[Row]] = None
         self._mappings: Optional[List[Any]] = None
@@ -64,7 +75,7 @@ class VectorScan(SeqScan):
         if self._rows is None:
             self._rows = [
                 {f"{self.alias}.{k}": v for k, v in row.items()}
-                for row in self.relation.scan()
+                for row in self.relation.scan(strict=self.strict)
             ]
         return self._rows
 

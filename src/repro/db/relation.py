@@ -18,10 +18,16 @@ from repro.base.values import BaseValue, wrap
 from repro.errors import CatalogError
 from repro.db.schema import Schema
 from repro.storage.tuplestore import TupleStore
+from repro.storage.wal import Wal
 
 
 class Relation:
-    """A named relation with a fixed schema."""
+    """A named relation with a fixed schema.
+
+    With a WAL attached (materialized relations only), tuple inserts
+    are logged under the scope ``rel:<name>`` and survive a crash via
+    :meth:`TupleStore.recover`.
+    """
 
     def __init__(
         self,
@@ -29,6 +35,7 @@ class Relation:
         schema: Schema,
         materialized: bool = False,
         inline_threshold: Optional[int] = None,
+        wal: Optional[Wal] = None,
     ):
         self.name = name
         self.schema = schema
@@ -39,6 +46,8 @@ class Relation:
             self._store = TupleStore(
                 [(a.name, a.type_name) for a in schema],
                 inline_threshold=inline_threshold,
+                wal=wal,
+                wal_scope=f"rel:{name}",
             )
 
     # -- write path -------------------------------------------------------
@@ -97,11 +106,16 @@ class Relation:
             return len(self._store)
         return len(self._rows)
 
-    def scan(self) -> Iterator[Dict[str, Any]]:
-        """Yield rows as name → value dicts."""
+    def scan(self, strict: bool = True) -> Iterator[Dict[str, Any]]:
+        """Yield rows as name → value dicts.
+
+        ``strict=False`` quarantines tuples whose storage representation
+        fails verification (counted under ``storage.quarantined``)
+        instead of raising; see :meth:`TupleStore.scan`.
+        """
         names = self.schema.names
         if self._store is not None:
-            for values in self._store.scan():
+            for values in self._store.scan(strict=strict):
                 yield dict(zip(names, values))
         else:
             for values in self._rows:
@@ -114,6 +128,11 @@ class Relation:
     @property
     def materialized(self) -> bool:
         return self._materialized
+
+    @property
+    def store(self) -> Optional[TupleStore]:
+        """The backing tuple store (materialized relations only)."""
+        return self._store
 
     def storage_stats(self) -> Optional[dict]:
         """Storage-layer statistics (materialized relations only)."""

@@ -347,7 +347,9 @@ def _substitute_aliases(expr: Expr, aliases: dict) -> Expr:
     return expr
 
 
-def _make_scan(db: Database, name: str, alias: Optional[str]) -> Operator:
+def _make_scan(
+    db: Database, name: str, alias: Optional[str], strict: bool = True
+) -> Operator:
     """Build the scan for one relation, honouring the backend switch.
 
     Under the ``vector`` backend, a relation with exactly one
@@ -355,7 +357,8 @@ def _make_scan(db: Database, name: str, alias: Optional[str]) -> Operator:
     VectorScan`, which exposes the attribute columnarly so a selection
     above it can run as one batch kernel; everything else stays a plain
     :class:`SeqScan` (VectorScan degrades to one when no batch path
-    applies, so results never change).
+    applies, so results never change).  ``strict=False`` lets the scan
+    quarantine corrupt tuples instead of aborting.
     """
     relation = db.relation(name)
     from repro.vector.fleet import get_backend
@@ -370,16 +373,19 @@ def _make_scan(db: Database, name: str, alias: Optional[str]) -> Operator:
             if codec_for(a.type_name).type_name == "mpoint"
         ]
         if len(mpoint_attrs) == 1:
-            return VectorScan(relation, alias, attr=mpoint_attrs[0])
-    return SeqScan(relation, alias)
+            return VectorScan(relation, alias, attr=mpoint_attrs[0],
+                              strict=strict)
+    return SeqScan(relation, alias, strict=strict)
 
 
-def _plan_join(plan: Operator, db: Database, join: JoinClause) -> Operator:
+def _plan_join(
+    plan: Operator, db: Database, join: JoinClause, strict: bool = True
+) -> Operator:
     """Attach a JOIN clause: hash join for a simple column equality,
     otherwise a cross product plus a selection."""
     from repro.db.executor import HashJoin
 
-    right = _make_scan(db, join.table, join.alias)
+    right = _make_scan(db, join.table, join.alias, strict=strict)
     cond = join.condition
     if (
         isinstance(cond, Compare)
@@ -402,17 +408,26 @@ def _plan_join(plan: Operator, db: Database, join: JoinClause) -> Operator:
     return Select(CrossProduct(plan, right), cond)
 
 
-def plan_query(db: Database, parsed: ParsedQuery) -> Operator:
-    """Build an executable plan for a parsed query."""
+def plan_query(
+    db: Database, parsed: ParsedQuery, strict: bool = True
+) -> Operator:
+    """Build an executable plan for a parsed query.
+
+    ``strict=False`` plans every scan in quarantine mode: tuples whose
+    storage representation fails verification are skipped and counted
+    (``storage.quarantined``) instead of aborting the query.
+    """
     from repro.db.executor import Aggregate, Sort
 
     if not parsed.tables:
         raise QueryError("query needs at least one relation in FROM")
-    plan: Operator = _make_scan(db, parsed.tables[0][0], parsed.tables[0][1])
+    plan: Operator = _make_scan(
+        db, parsed.tables[0][0], parsed.tables[0][1], strict=strict
+    )
     for name, alias in parsed.tables[1:]:
-        plan = CrossProduct(plan, _make_scan(db, name, alias))
+        plan = CrossProduct(plan, _make_scan(db, name, alias, strict=strict))
     for join in parsed.joins:
-        plan = _plan_join(plan, db, join)
+        plan = _plan_join(plan, db, join, strict=strict)
     if parsed.where is not None:
         plan = Select(plan, parsed.where)
 
@@ -482,9 +497,9 @@ def plan_query(db: Database, parsed: ParsedQuery) -> Operator:
     return plan
 
 
-def run_query(db: Database, sql: str) -> List[dict]:
+def run_query(db: Database, sql: str, strict: bool = True) -> List[dict]:
     """Parse, plan, and execute a query; returns the result rows."""
-    return plan_query(db, parse_query(sql)).execute()
+    return plan_query(db, parse_query(sql), strict=strict).execute()
 
 
 def explain(db: Database, sql: str) -> str:

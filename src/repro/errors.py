@@ -34,6 +34,54 @@ class StorageError(ReproError):
     """A failure in the storage engine (pages, arrays, codecs)."""
 
 
+class CorruptPageError(StorageError):
+    """A page read back from disk failed verification.
+
+    Raised by :meth:`repro.storage.pages.PageFile.read_page` when the
+    page header's magic/version is wrong or the stored CRC does not
+    match the payload — a torn write, a bit flip, or a misdirected
+    write.  The message carries the page number; the page is never
+    returned as data.
+    """
+
+
+class CorruptRecordError(StorageError):
+    """A serialized value failed validation during decoding.
+
+    Raised by the storage codecs (:mod:`repro.storage.records`), the
+    database-array deserializer, and the tuple store when a byte string
+    is shorter than its declared lengths, an embedded checksum does not
+    match, or an offset/index points outside its array.  Decoders raise
+    this instead of surfacing bare ``struct.error``/``IndexError`` — and
+    never silently return a wrong value.
+    """
+
+
+class TransientIOError(StorageError):
+    """A read failed in a way that is worth retrying.
+
+    The buffer pool retries these with bounded backoff
+    (``buffer.retries``); only after the retry budget is exhausted does
+    the error propagate.
+    """
+
+
+class WalError(StorageError):
+    """Misuse of the write-ahead log (not a torn tail, which recovery
+    tolerates by design)."""
+
+
+class SimulatedCrash(ReproError):
+    """A failpoint simulating the process dying mid-operation.
+
+    Raised by armed :mod:`repro.faults` injection points.  Nothing in
+    the library catches it (it is deliberately *not* a
+    :class:`StorageError`, so quarantine/retry paths let it through);
+    the crash-matrix harness catches it at the top, discards all
+    in-memory state, and exercises recovery.
+    """
+
+
 class CatalogError(ReproError):
     """A failure in the database catalog (unknown relation, duplicate name)."""
 

@@ -106,8 +106,18 @@ COUNTER_NAMES: FrozenSet[str] = frozenset({
     "storage.flob_reads",
     "storage.flob_pages_read",
     "storage.darray_reads",
+    "storage.checksum_failures",
+    "storage.quarantined",
     "buffer.hits",
     "buffer.misses",
+    "buffer.retries",
+    # write-ahead log (crash safety)
+    "wal.records",
+    "wal.syncs",
+    "wal.commits",
+    "wal.checkpoints",
+    "wal.recovered",
+    "wal.truncated_tails",
     "rtree.nodes_visited",
     # columnar backend (per-kernel calls/rows via _record_rows)
     "vector.locate_units.calls",

@@ -10,9 +10,11 @@ intervals computed in closed form per unit — no sampling.
 
 from __future__ import annotations
 
-from typing import Dict, Hashable, Iterable, List, Optional, Tuple
+from typing import Callable, Dict, Hashable, Iterable, List, Optional, Tuple
 
+from repro import obs
 from repro.config import feq, fle, fzero
+from repro.errors import StorageError
 from repro.index.unitindex import MovingObjectIndex
 from repro.ranges.interval import Interval
 from repro.ranges.rangeset import RangeSet
@@ -87,17 +89,40 @@ class WindowQueryEngine:
     def __init__(self) -> None:
         self._index = MovingObjectIndex()
         self._objects: Dict[Hashable, MovingPoint] = {}
+        self._loaders: Dict[Hashable, Callable[[], MovingPoint]] = {}
 
     def add(self, key: Hashable, mp: MovingPoint) -> None:
         """Register a moving point under ``key``."""
         self._index.add(key, mp)
         self._objects[key] = mp
 
+    def add_lazy(self, key: Hashable, loader: Callable[[], MovingPoint]) -> None:
+        """Register a storage-resident moving point under ``key``.
+
+        ``loader`` fetches the value from storage; it is called once now
+        to index the bounding cubes and again at refinement time, so a
+        value that rots on disk between indexing and querying surfaces
+        as a :class:`StorageError` the query can quarantine.
+        """
+        self._index.add(key, loader())
+        self._loaders[key] = loader
+
     def __len__(self) -> int:
-        return len(self._objects)
+        return len(self._objects) + len(self._loaders)
+
+    def _resolve(self, key: Hashable) -> MovingPoint:
+        mp = self._objects.get(key)
+        if mp is not None:
+            return mp
+        return self._loaders[key]()
 
     def query(
-        self, rect: Rect, t0: float, t1: float, backend: Optional[str] = None
+        self,
+        rect: Rect,
+        t0: float,
+        t1: float,
+        backend: Optional[str] = None,
+        strict: bool = True,
     ) -> List[Tuple[Hashable, RangeSet[float]]]:
         """Objects inside ``rect`` at some instant of [t0, t1], with the
         exact time sets of their presence (restricted to the window).
@@ -105,6 +130,9 @@ class WindowQueryEngine:
         The filter step is backend-switched: R-tree descent (scalar) or
         the columnar per-unit cube sweep (vector); both yield the same
         candidate set, and the exact per-unit refinement is shared.
+        ``strict=False`` quarantines candidates whose storage
+        representation fails to load (skipped, counted under
+        ``storage.quarantined``) instead of aborting the query.
         """
         window_times = RangeSet([Interval(t0, t1)])
         results: List[Tuple[Hashable, RangeSet[float]]] = []
@@ -112,7 +140,16 @@ class WindowQueryEngine:
         for key in sorted(
             self._index.candidates_in_cube(cube, backend=backend), key=str
         ):
-            times = mpoint_within_rect_times(self._objects[key], rect)
+            if strict:
+                mp = self._resolve(key)
+            else:
+                try:
+                    mp = self._resolve(key)
+                except StorageError:
+                    if obs.enabled:
+                        obs.counters.add("storage.quarantined")
+                    continue
+            times = mpoint_within_rect_times(mp, rect)
             clipped = times.intersection(window_times)
             if clipped:
                 results.append((key, clipped))
@@ -124,8 +161,8 @@ class WindowQueryEngine:
         """The same query without the index filter (the ablation baseline)."""
         window_times = RangeSet([Interval(t0, t1)])
         results: List[Tuple[Hashable, RangeSet[float]]] = []
-        for key in sorted(self._objects, key=str):
-            times = mpoint_within_rect_times(self._objects[key], rect)
+        for key in sorted([*self._objects, *self._loaders], key=str):
+            times = mpoint_within_rect_times(self._resolve(key), rect)
             clipped = times.intersection(window_times)
             if clipped:
                 results.append((key, clipped))

@@ -14,7 +14,10 @@ Modules:
 * :mod:`repro.storage.flob` — inline-or-paged large object placement;
 * :mod:`repro.storage.records` — per-type codecs (pack/unpack);
 * :mod:`repro.storage.tuplestore` — heap files of tuples with embedded
-  attribute values.
+  attribute values;
+* :mod:`repro.storage.wal` — write-ahead log and crash recovery;
+* :mod:`repro.storage.crashmatrix` — the arm → crash → recover → verify
+  harness run over every registered failpoint.
 """
 
 from __future__ import annotations
@@ -23,8 +26,15 @@ from repro.storage.darray import DatabaseArray, SubArray
 from repro.storage.pages import PageFile
 from repro.storage.buffer import BufferPool
 from repro.storage.flob import FlobStore, FlobRef
-from repro.storage.records import StoredValue, codec_for, pack_value, unpack_value
+from repro.storage.records import (
+    StoredValue,
+    codec_for,
+    pack_value,
+    safe_unpack,
+    unpack_value,
+)
 from repro.storage.tuplestore import TupleStore
+from repro.storage.wal import Wal, WalRecord
 
 __all__ = [
     "DatabaseArray",
@@ -36,6 +46,9 @@ __all__ = [
     "StoredValue",
     "codec_for",
     "pack_value",
+    "safe_unpack",
     "unpack_value",
     "TupleStore",
+    "Wal",
+    "WalRecord",
 ]

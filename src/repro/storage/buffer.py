@@ -12,12 +12,14 @@ the global counters (``buffer.hits`` / ``buffer.misses``) so one
 
 from __future__ import annotations
 
+import time
 from collections import OrderedDict
 from dataclasses import dataclass
 from typing import Dict, Optional
 
 from repro import obs
-from repro.errors import StorageError
+from repro.config import BUFFER_RETRY_BASE_DELAY, BUFFER_RETRY_LIMIT
+from repro.errors import StorageError, TransientIOError
 from repro.storage.pages import PageFile
 
 
@@ -42,7 +44,13 @@ class BufferPool:
 
     @property
     def page_size(self) -> int:
-        return self._pf.page_size
+        """Usable bytes per page (the page file's payload size)."""
+        return self._pf.payload_size
+
+    @property
+    def page_count(self) -> int:
+        """Number of pages in the underlying file."""
+        return self._pf.page_count
 
     # -- pin/unpin protocol -------------------------------------------------
 
@@ -59,10 +67,32 @@ class BufferPool:
             if obs.enabled:
                 obs.counters.add("buffer.misses")
             self._evict_if_needed()
-            frame = _Frame(bytearray(self._pf.read_page(page_no)))
+            frame = _Frame(bytearray(self._read_with_retry(page_no)))
             self._frames[page_no] = frame
         frame.pin_count += 1
         return frame.data
+
+    def _read_with_retry(self, page_no: int) -> bytes:
+        """Read a page, retrying transient faults with bounded backoff.
+
+        Only :class:`TransientIOError` is retried; corruption
+        (:class:`CorruptPageError`) propagates immediately — rereading a
+        torn page cannot un-tear it.  No frame entry exists while a read
+        is in flight, so a concurrent eviction pass never sees a
+        half-filled frame.
+        """
+        delay = BUFFER_RETRY_BASE_DELAY
+        for attempt in range(BUFFER_RETRY_LIMIT + 1):
+            try:
+                return self._pf.read_page(page_no)
+            except TransientIOError:
+                if attempt == BUFFER_RETRY_LIMIT:
+                    raise
+                if obs.enabled:
+                    obs.counters.add("buffer.retries")
+                time.sleep(delay)
+                delay *= 2
+        raise AssertionError("unreachable")  # pragma: no cover
 
     def unpin(self, page_no: int, dirty: bool = False) -> None:
         """Release a pin; mark the frame dirty if the caller modified it."""

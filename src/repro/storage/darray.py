@@ -19,7 +19,7 @@ from dataclasses import dataclass
 from typing import Iterable, Iterator, List, Tuple
 
 from repro import obs
-from repro.errors import StorageError
+from repro.errors import CorruptRecordError, StorageError
 
 
 class DatabaseArray:
@@ -115,16 +115,33 @@ class DatabaseArray:
 
     @classmethod
     def from_bytes(cls, data: bytes) -> "DatabaseArray":
-        """Deserialize an array written by :meth:`to_bytes`."""
+        """Deserialize an array written by :meth:`to_bytes`.
+
+        All damage — a truncated header, a record-format descriptor
+        that is not a valid struct format, a payload shorter than the
+        declared count — raises :class:`CorruptRecordError` (a
+        :class:`StorageError`), never a bare ``struct.error``.
+        """
         if len(data) < 6:
-            raise StorageError("truncated database array")
+            raise CorruptRecordError("truncated database array")
         fmt_len, count = struct.unpack("<HI", data[:6])
-        fmt = data[6 : 6 + fmt_len].decode("ascii")
-        arr = cls(fmt)
+        if 6 + fmt_len > len(data):
+            raise CorruptRecordError(
+                "database array format descriptor runs past the payload"
+            )
+        fmt = data[6 : 6 + fmt_len].decode("ascii", errors="replace")
+        try:
+            arr = cls(fmt)
+        except struct.error as exc:
+            raise CorruptRecordError(
+                f"database array has invalid record format {fmt!r}"
+            ) from exc
         payload = data[6 + fmt_len :]
         expected = count * arr.record_size
         if len(payload) < expected:
-            raise StorageError("database array payload shorter than its count")
+            raise CorruptRecordError(
+                "database array payload shorter than its count"
+            )
         arr._buf = bytearray(payload[:expected])
         arr._count = count
         return arr

@@ -11,11 +11,11 @@ from __future__ import annotations
 
 import struct
 from dataclasses import dataclass
-from typing import List, Optional, Tuple
+from typing import List, Tuple
 
-from repro import obs
+from repro import faults, obs
 from repro.config import INLINE_THRESHOLD
-from repro.errors import StorageError
+from repro.errors import CorruptRecordError
 from repro.storage.buffer import BufferPool
 
 
@@ -70,6 +70,15 @@ class FlobStore:
 
     def write(self, data: bytes) -> FlobRef:
         """Write ``data`` to a fresh page chain."""
+        ref, _pages = self.write_chain(data)
+        return ref
+
+    def write_chain(self, data: bytes) -> Tuple[FlobRef, List[int]]:
+        """Write ``data`` to a fresh page chain; also return its pages.
+
+        The page list lets callers (the tuple store's WAL path) log
+        physical redo images for every page the chain touched.
+        """
         chunk = self.payload_per_page
         chunks = [data[i : i + chunk] for i in range(0, len(data), chunk)] or [b""]
         if obs.enabled:
@@ -77,23 +86,41 @@ class FlobStore:
             obs.counters.add("storage.flob_pages_written", len(chunks))
         page_nos = [self._pool.new_page() for _ in chunks]
         for idx, (page_no, piece) in enumerate(zip(page_nos, chunks)):
+            if faults.active:
+                faults.fail("flob.write_crash")
             nxt = page_nos[idx + 1] if idx + 1 < len(page_nos) else -1
             frame = self._pool.pin(page_no)
             frame[: self._HEADER.size] = self._HEADER.pack(nxt)
             frame[self._HEADER.size : self._HEADER.size + len(piece)] = piece
             self._pool.unpin(page_no, dirty=True)
-        return FlobRef(page_nos[0], len(data))
+        return FlobRef(page_nos[0], len(data)), page_nos
 
     def read(self, ref: FlobRef) -> bytes:
-        """Read a page chain back into one byte string."""
+        """Read a page chain back into one byte string.
+
+        Validates the chain as it walks: the declared length must be
+        non-negative, and every next-pointer must land inside the page
+        file (−1 only once the length is satisfied).  A broken chain
+        raises :class:`CorruptRecordError` carrying the FLOB and page
+        context instead of a bare struct/index error.
+        """
+        if ref.length < 0:
+            raise CorruptRecordError(
+                f"FLOB at page {ref.first_page} declares negative length "
+                f"{ref.length}"
+            )
         out = bytearray()
         page_no = ref.first_page
         remaining = ref.length
         if obs.enabled:
             obs.counters.add("storage.flob_reads")
         while remaining > 0:
-            if page_no < 0:
-                raise StorageError("FLOB chain ended before its declared length")
+            if not 0 <= page_no < self._pool.page_count:
+                raise CorruptRecordError(
+                    f"FLOB starting at page {ref.first_page} chains to "
+                    f"page {page_no} outside the file "
+                    f"({remaining} of {ref.length} bytes unread)"
+                )
             if obs.enabled:
                 obs.counters.add("storage.flob_pages_read")
             frame = self._pool.pin(page_no)

@@ -3,28 +3,67 @@
 The unit of transfer between secondary and main memory.  Representations
 of attribute values must "consist of a small number of memory blocks
 that can be moved efficiently" (Section 4); pages are those blocks.
+
+Every on-disk page slot starts with a 16-byte header::
+
+    magic   4s   b"MODB" — format identifier
+    version B    on-disk format version (currently 1)
+    flags   B    reserved (0)
+    _pad    H    reserved (0)
+    page_no I    the slot's own page number (detects misdirected writes)
+    crc     I    CRC-32 over page_no + payload (detects torn writes/rot)
+
+``read_page`` verifies the header and checksum and returns only the
+``payload_size = page_size - 16`` payload bytes; a mismatch raises
+:class:`repro.errors.CorruptPageError` instead of handing back garbage.
+The checksum is ``zlib.crc32`` — the Castagnoli polynomial (CRC-32C) is
+used instead when the optional ``crc32c`` package is importable; both
+detect all single-bit and burst errors a torn page write produces.
 """
 
 from __future__ import annotations
 
 import io
 import os
-from typing import BinaryIO, Optional
+import struct
+import zlib
+from typing import BinaryIO, Callable, Optional
 
-from repro import obs
+from repro import faults, obs
 from repro.config import PAGE_SIZE
-from repro.errors import StorageError
+from repro.errors import CorruptPageError, StorageError, TransientIOError
+
+# Prefer hardware-friendly CRC-32C when the optional package exists;
+# fall back to zlib's CRC-32 (same error-detection class, stdlib-only).
+try:  # pragma: no cover - depends on optional package
+    from crc32c import crc32c as _crc  # type: ignore[import-not-found]
+except ImportError:  # pragma: no cover - exercised in this container
+    _crc: Callable[[bytes], int] = zlib.crc32
+
+#: On-disk page header: magic, version, flags, reserved, page_no, crc.
+PAGE_HEADER = struct.Struct("<4sBBHII")
+PAGE_HEADER_SIZE = PAGE_HEADER.size
+PAGE_MAGIC = b"MODB"
+PAGE_FORMAT_VERSION = 1
 
 
 class PageFile:
     """A sequence of fixed-size pages, addressed by page number.
 
     With ``path=None`` the file lives in memory (handy for tests and
-    benchmarks); otherwise it is backed by a real file.
+    benchmarks); otherwise it is backed by a real file.  ``page_size``
+    is the on-disk slot size; each slot carries a verification header,
+    leaving :attr:`payload_size` bytes of caller data per page.
     """
 
     def __init__(self, path: Optional[str] = None, page_size: int = PAGE_SIZE):
+        if page_size <= PAGE_HEADER_SIZE:
+            raise StorageError(
+                f"page size {page_size} does not fit the "
+                f"{PAGE_HEADER_SIZE}-byte page header"
+            )
         self.page_size = page_size
+        self.payload_size = page_size - PAGE_HEADER_SIZE
         self._path = path
         if path is None:
             self._file: BinaryIO = io.BytesIO()
@@ -63,41 +102,100 @@ class PageFile:
         """(physical reads, physical writes) performed so far."""
         return (self._reads, self._writes)
 
+    def _seal(self, page_no: int, payload: bytes) -> bytes:
+        """Build the full on-disk slot: header + payload, checksummed."""
+        crc = _crc(struct.pack("<I", page_no) + payload) & 0xFFFFFFFF
+        header = PAGE_HEADER.pack(
+            PAGE_MAGIC, PAGE_FORMAT_VERSION, 0, 0, page_no, crc
+        )
+        return header + payload
+
     def allocate(self) -> int:
         """Append a zeroed page; returns its page number."""
         page_no = self._page_count
         self._file.seek(page_no * self.page_size)
-        self._file.write(b"\0" * self.page_size)
+        self._file.write(self._seal(page_no, b"\0" * self.payload_size))
         self._page_count += 1
         self._writes += 1
         return page_no
 
     def read_page(self, page_no: int) -> bytes:
-        """Read one full page."""
+        """Read and verify one page; returns its payload bytes."""
         self._check(page_no)
+        if faults.active:
+            faults.fail("pagefile.read_transient", TransientIOError)
         self._file.seek(page_no * self.page_size)
         data = self._file.read(self.page_size)
         if len(data) != self.page_size:
-            raise StorageError(f"short read on page {page_no}")
+            raise CorruptPageError(f"short read on page {page_no}")
+        if faults.active and faults.should_fire("pagefile.read_bitflip"):
+            # Deterministic single-bit flip in the payload region.
+            idx = PAGE_HEADER_SIZE + page_no % self.payload_size
+            data = data[:idx] + bytes([data[idx] ^ 0x01]) + data[idx + 1 :]
         self._reads += 1
         if obs.enabled:
             obs.counters.add("storage.page_reads")
-        return data
+        return self._verify(page_no, data)
+
+    def _verify(self, page_no: int, data: bytes) -> bytes:
+        """Check a raw slot's header and checksum; return the payload."""
+        magic, version, _flags, _pad, stored_no, crc = PAGE_HEADER.unpack_from(
+            data, 0
+        )
+        payload = data[PAGE_HEADER_SIZE:]
+        ok = (
+            magic == PAGE_MAGIC
+            and version == PAGE_FORMAT_VERSION
+            and stored_no == page_no
+            and crc == (_crc(struct.pack("<I", page_no) + payload) & 0xFFFFFFFF)
+        )
+        if not ok:
+            if obs.enabled:
+                obs.counters.add("storage.checksum_failures")
+            if magic != PAGE_MAGIC or version != PAGE_FORMAT_VERSION:
+                detail = f"bad header magic/version {magic!r}/{version}"
+            elif stored_no != page_no:
+                detail = f"header claims page {stored_no} (misdirected write)"
+            else:
+                detail = "checksum mismatch"
+            raise CorruptPageError(f"page {page_no} failed verification: {detail}")
+        return payload
 
     def write_page(self, page_no: int, data: bytes) -> None:
-        """Overwrite one full page."""
+        """Seal and overwrite one page with ``data`` as its payload."""
         self._check(page_no)
-        if len(data) > self.page_size:
+        if len(data) > self.payload_size:
             raise StorageError(
-                f"page payload of {len(data)} bytes exceeds page size {self.page_size}"
+                f"page payload of {len(data)} bytes exceeds page size "
+                f"{self.payload_size}"
             )
-        if len(data) < self.page_size:
-            data = data + b"\0" * (self.page_size - len(data))
+        if len(data) < self.payload_size:
+            data = data + b"\0" * (self.payload_size - len(data))
+        if faults.active:
+            faults.fail("pagefile.write_crash")
+        slot = self._seal(page_no, data)
         self._file.seek(page_no * self.page_size)
-        self._file.write(data)
+        if faults.active and faults.should_fire("pagefile.torn_write"):
+            # The process "dies" with only the first half of the slot on
+            # disk: the stored CRC no longer matches the payload.
+            self._file.write(slot[: self.page_size // 2])
+            raise_crash = True
+        else:
+            self._file.write(slot)
+            raise_crash = False
         self._writes += 1
         if obs.enabled:
             obs.counters.add("storage.page_writes")
+        if raise_crash:
+            from repro.errors import SimulatedCrash
+
+            raise SimulatedCrash("failpoint pagefile.torn_write fired")
+
+    def verify_all(self) -> int:
+        """Verify every page's checksum; returns the number checked."""
+        for page_no in range(self._page_count):
+            self.read_page(page_no)
+        return self._page_count
 
     def _check(self, page_no: int) -> None:
         if not 0 <= page_no < self._page_count:

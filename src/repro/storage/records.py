@@ -31,12 +31,14 @@ The layouts follow the paper:
 from __future__ import annotations
 
 import struct
+import zlib
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
+from repro import obs
 from repro.base.instant import Instant
 from repro.base.values import MAX_STRING, BoolVal, IntVal, RealVal, StringVal
-from repro.errors import StorageError
+from repro.errors import CorruptRecordError, StorageError
 from repro.geometry.segment import HalfSegment, Seg, halfsegments_of
 from repro.ranges.interval import Interval
 from repro.ranges.intime import Intime
@@ -80,7 +82,13 @@ class StoredValue:
         return len(self.root) + sum(a.nbytes for a in self.arrays)
 
     def to_bytes(self) -> bytes:
-        """Flatten into a single self-describing byte string."""
+        """Flatten into a single self-describing byte string.
+
+        The body is prefixed with a CRC-32 so :meth:`from_bytes` can
+        detect any truncation or bit damage before decoding — a flipped
+        coordinate byte would otherwise round-trip into a silently
+        wrong value.
+        """
         name = self.type_name.encode("ascii")
         out = bytearray()
         out.extend(struct.pack("<H", len(name)))
@@ -92,26 +100,55 @@ class StoredValue:
             blob = arr.to_bytes()
             out.extend(struct.pack("<I", len(blob)))
             out.extend(blob)
-        return bytes(out)
+        crc = zlib.crc32(out) & 0xFFFFFFFF
+        return struct.pack("<I", crc) + bytes(out)
 
     @classmethod
     def from_bytes(cls, data: bytes) -> "StoredValue":
-        """Inverse of :meth:`to_bytes`."""
-        off = 0
+        """Inverse of :meth:`to_bytes`.
+
+        Verifies the CRC prefix and validates every embedded length
+        before slicing; damage raises :class:`CorruptRecordError`
+        rather than a bare ``struct.error`` or a wrong value.
+        """
+        end = len(data)
+
+        def need(off: int, n: int, what: str) -> None:
+            if off + n > end:
+                raise CorruptRecordError(
+                    f"stored value truncated while reading {what} "
+                    f"(need {n} bytes at offset {off} of {end})"
+                )
+
+        need(0, 4, "checksum")
+        (crc,) = struct.unpack_from("<I", data, 0)
+        body = data[4:]
+        if zlib.crc32(body) & 0xFFFFFFFF != crc:
+            if obs.enabled:
+                obs.counters.add("storage.checksum_failures")
+            raise CorruptRecordError("stored value failed its checksum")
+        off = 4
+        need(off, 2, "type-name length")
         (name_len,) = struct.unpack_from("<H", data, off)
         off += 2
-        name = data[off : off + name_len].decode("ascii")
+        need(off, name_len, "type name")
+        name = data[off : off + name_len].decode("ascii", errors="replace")
         off += name_len
+        need(off, 4, "root length")
         (root_len,) = struct.unpack_from("<I", data, off)
         off += 4
+        need(off, root_len, "root record")
         root = data[off : off + root_len]
         off += root_len
+        need(off, 2, "array count")
         (narrays,) = struct.unpack_from("<H", data, off)
         off += 2
         arrays = []
-        for _ in range(narrays):
+        for i in range(narrays):
+            need(off, 4, f"length of array {i}")
             (blob_len,) = struct.unpack_from("<I", data, off)
             off += 4
+            need(off, blob_len, f"array {i}")
             arrays.append(DatabaseArray.from_bytes(data[off : off + blob_len]))
             off += blob_len
         return cls(name, bytes(root), arrays)
@@ -792,6 +829,26 @@ def pack_value(type_name: str, value) -> StoredValue:
     return codec_for(type_name).pack(value)
 
 
+def safe_unpack(stored: StoredValue):
+    """Unpack a stored value, converting decode blowups to typed errors.
+
+    Codecs assume well-formed input; on damaged bytes they raise bare
+    ``struct.error``/``IndexError``/``UnicodeDecodeError``.  This
+    wrapper is the boundary the storage read paths go through: any such
+    failure (and any codec-raised :class:`StorageError`) surfaces as a
+    :class:`CorruptRecordError` naming the value's type.
+    """
+    codec = codec_for(stored.type_name)
+    try:
+        return codec.unpack(stored)
+    except CorruptRecordError:
+        raise
+    except (struct.error, IndexError, ValueError, UnicodeDecodeError) as exc:
+        raise CorruptRecordError(
+            f"value of type {stored.type_name!r} failed to decode: {exc}"
+        ) from exc
+
+
 def unpack_value(stored: StoredValue):
     """Unpack a stored value with the codec its type name designates."""
-    return codec_for(stored.type_name).unpack(stored)
+    return safe_unpack(stored)

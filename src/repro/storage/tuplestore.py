@@ -4,6 +4,14 @@ A tuple is a sequence of attribute values; each value's root record is
 stored inside the tuple, and each of its database arrays goes through
 the FLOB placement decision (inline when small, separate pages when
 large), following [DG98] as described in Section 4.
+
+When a :class:`repro.storage.wal.Wal` is attached, every append is a
+logged transaction — BEGIN, a physical redo image of every FLOB page
+the tuple externalized, the serialized tuple bytes, COMMIT, then one
+fsync barrier — and :meth:`TupleStore.recover` replays the committed
+transactions since the last checkpoint after a crash.  The crash model:
+the page file and the WAL survive; the in-memory tuple directory and
+the buffer pool do not.
 """
 
 from __future__ import annotations
@@ -11,12 +19,17 @@ from __future__ import annotations
 import struct
 from typing import Iterator, List, Optional, Sequence, Tuple
 
-from repro.errors import StorageError
+from repro import faults, obs
+from repro.errors import CorruptRecordError, StorageError
+from repro.storage import wal as walmod
 from repro.storage.buffer import BufferPool
 from repro.storage.darray import DatabaseArray
 from repro.storage.flob import FlobRef, FlobStore
 from repro.storage.pages import PageFile
-from repro.storage.records import StoredValue, codec_for, pack_value
+from repro.storage.records import StoredValue, codec_for, pack_value, safe_unpack
+from repro.storage.wal import Wal
+
+_PAGE_IMG = struct.Struct("<I")  # page number prefix of a PAGE payload
 
 
 class TupleStore:
@@ -27,7 +40,8 @@ class TupleStore:
     reference.  The serialized tuples themselves are kept in an
     in-memory directory of byte strings plus the shared page file for
     externalized arrays — the aspect under study (Section 4) is the
-    *value* representation, not the slotted-page tuple layout.
+    *value* representation, not the slotted-page tuple layout.  The
+    attached WAL (optional) makes the directory itself recoverable.
     """
 
     def __init__(
@@ -36,6 +50,8 @@ class TupleStore:
         pagefile: Optional[PageFile] = None,
         buffer_capacity: int = 64,
         inline_threshold: Optional[int] = None,
+        wal: Optional[Wal] = None,
+        wal_scope: str = "",
     ):
         self.schema = list(schema)
         for _name, type_name in self.schema:
@@ -47,6 +63,8 @@ class TupleStore:
             kwargs["inline_threshold"] = inline_threshold
         self._flobs = FlobStore(self._pool, **kwargs)
         self._tuples: List[bytes] = []
+        self._wal = wal
+        self._wal_scope = wal_scope
         self.inline_arrays = 0
         self.external_arrays = 0
 
@@ -54,20 +72,24 @@ class TupleStore:
     def buffer_pool(self) -> BufferPool:
         return self._pool
 
+    @property
+    def pagefile(self) -> PageFile:
+        return self._pf
+
+    @property
+    def wal(self) -> Optional[Wal]:
+        return self._wal
+
     def __len__(self) -> int:
         return len(self._tuples)
 
     # -- write path -----------------------------------------------------------
 
-    def append(self, values: Sequence) -> int:
-        """Pack and append one tuple; returns its tuple id."""
-        if len(values) != len(self.schema):
-            raise StorageError(
-                f"tuple arity {len(values)} does not match schema "
-                f"arity {len(self.schema)}"
-            )
+    def _serialize(self, values: Sequence) -> Tuple[bytes, List[int]]:
+        """Pack one tuple; returns its bytes and the FLOB pages written."""
         out = bytearray()
-        for (name, type_name), value in zip(self.schema, values):
+        touched: List[int] = []
+        for (_name, type_name), value in zip(self.schema, values):
             if isinstance(value, (bool, int, float, str)):
                 from repro.base.values import wrap
 
@@ -81,61 +103,215 @@ class TupleStore:
             out.extend(struct.pack("<H", len(stored.arrays)))
             for arr in stored.arrays:
                 blob = arr.to_bytes()
-                inline, payload = self._flobs.place(blob)
-                if inline:
+                if len(blob) <= self._flobs.inline_threshold:
                     self.inline_arrays += 1
                     out.extend(struct.pack("<BI", 1, len(blob)))
                     out.extend(blob)
                 else:
                     self.external_arrays += 1
-                    assert isinstance(payload, FlobRef)
+                    ref, pages = self._flobs.write_chain(blob)
+                    touched.extend(pages)
                     out.extend(
-                        struct.pack("<Bqq", 0, payload.first_page, payload.length)
+                        struct.pack("<Bqq", 0, ref.first_page, ref.length)
                     )
-        self._tuples.append(bytes(out))
+        return bytes(out), touched
+
+    def append(self, values: Sequence) -> int:
+        """Pack and append one tuple; returns its tuple id.
+
+        With a WAL attached this is one durable transaction: the FLOB
+        page images and tuple bytes are logged and synced *before* the
+        tuple becomes visible in the directory, so a crash at any point
+        either loses the whole tuple (no COMMIT durable) or recovery
+        resurrects all of it (COMMIT durable).
+        """
+        if len(values) != len(self.schema):
+            raise StorageError(
+                f"tuple arity {len(values)} does not match schema "
+                f"arity {len(self.schema)}"
+            )
+        data, touched = self._serialize(values)
+        if self._wal is not None:
+            self._wal.append(walmod.BEGIN, scope=self._wal_scope)
+            # Physical redo: flush the chain pages, then log their images.
+            self._pool.flush()
+            for page_no in touched:
+                img = self._pf.read_page(page_no)
+                self._wal.append(
+                    walmod.PAGE,
+                    _PAGE_IMG.pack(page_no) + img,
+                    scope=self._wal_scope,
+                )
+            self._wal.append(walmod.TUPLE, data, scope=self._wal_scope)
+            self._wal.append(walmod.COMMIT, scope=self._wal_scope)
+            self._wal.sync()
+            if faults.active:
+                # Crash after the commit is durable but before the
+                # in-memory apply: recovery must resurrect this tuple.
+                faults.fail("tuplestore.commit_crash")
+        self._tuples.append(data)
         return len(self._tuples) - 1
+
+    def checkpoint(self) -> None:
+        """Flush all dirty pages and log a consistent directory snapshot.
+
+        Replay after a crash starts from the latest durable checkpoint
+        instead of the beginning of the log.
+        """
+        if self._wal is None:
+            raise StorageError("checkpoint requires an attached WAL")
+        self._pool.flush()
+        snap = bytearray(struct.pack("<I", len(self._tuples)))
+        for t in self._tuples:
+            snap.extend(struct.pack("<I", len(t)))
+            snap.extend(t)
+        self._wal.append(walmod.CHECKPOINT, bytes(snap), scope=self._wal_scope)
+        self._wal.sync()
+
+    # -- recovery -------------------------------------------------------------
+
+    @classmethod
+    def recover(
+        cls,
+        schema: Sequence[Tuple[str, str]],
+        pagefile: PageFile,
+        wal: Wal,
+        wal_scope: str = "",
+        buffer_capacity: int = 64,
+        inline_threshold: Optional[int] = None,
+    ) -> "TupleStore":
+        """Rebuild a store from its surviving page file and WAL.
+
+        Replays the durable log prefix for ``wal_scope``: the latest
+        CHECKPOINT resets the tuple directory to its snapshot, then
+        every BEGIN..COMMIT transaction after it re-applies its page
+        images and directory appends.  Transactions without a durable
+        COMMIT — including any torn tail — are discarded, so no partial
+        write becomes visible.
+        """
+        store = cls(
+            schema,
+            pagefile,
+            buffer_capacity=buffer_capacity,
+            inline_threshold=inline_threshold,
+            wal=wal,
+            wal_scope=wal_scope,
+        )
+        directory: List[bytes] = []
+        txn: Optional[List[walmod.WalRecord]] = None
+        applied = 0
+        for rec in wal.records():
+            if rec.scope != wal_scope:
+                continue
+            if rec.rec_type == walmod.CHECKPOINT:
+                directory = _decode_snapshot(rec.payload)
+                txn = None
+            elif rec.rec_type == walmod.BEGIN:
+                txn = []
+            elif rec.rec_type == walmod.COMMIT:
+                if txn is not None:
+                    for r in txn:
+                        if r.rec_type == walmod.PAGE:
+                            _apply_page_image(pagefile, r.payload)
+                        elif r.rec_type == walmod.TUPLE:
+                            directory.append(r.payload)
+                    applied += 1
+                txn = None
+            elif txn is not None:
+                txn.append(rec)
+        # Scavenge: a page that fails verification now belonged to an
+        # uncommitted transaction (every committed page write logged a
+        # redo image, which the loop above already re-applied), so it is
+        # provably garbage — re-seal it as a zero page rather than leave
+        # a land mine for later reads.
+        for page_no in range(pagefile.page_count):
+            try:
+                pagefile.read_page(page_no)
+            except StorageError:
+                pagefile.write_page(page_no, b"")
+        store._tuples = directory
+        if obs.enabled and applied:
+            obs.counters.add("wal.recovered", applied)
+        return store
 
     # -- read path ---------------------------------------------------------------
 
     def fetch(self, tuple_id: int) -> List:
-        """Read one tuple back, unpacking every attribute value."""
+        """Read one tuple back, unpacking every attribute value.
+
+        Every length and offset is validated before slicing; a mangled
+        tuple raises :class:`CorruptRecordError` naming the tuple,
+        never a bare ``struct.error`` and never a silently short value.
+        """
         if not 0 <= tuple_id < len(self._tuples):
             raise StorageError(f"tuple id {tuple_id} out of range")
         data = self._tuples[tuple_id]
+        end = len(data)
+
+        def need(off: int, n: int, what: str) -> None:
+            if off + n > end:
+                raise CorruptRecordError(
+                    f"tuple {tuple_id}: truncated while reading {what} "
+                    f"(need {n} bytes at offset {off} of {end})"
+                )
+
         off = 0
         values = []
-        for _name, _type in self.schema:
+        for attr_name, _type in self.schema:
+            need(off, 2, f"type tag of {attr_name!r}")
             (tname_len,) = struct.unpack_from("<H", data, off)
             off += 2
-            tname = data[off : off + tname_len].decode("ascii")
+            need(off, tname_len, f"type name of {attr_name!r}")
+            tname = data[off : off + tname_len].decode("ascii", errors="replace")
             off += tname_len
+            need(off, 4, f"root length of {attr_name!r}")
             (root_len,) = struct.unpack_from("<I", data, off)
             off += 4
+            need(off, root_len, f"root record of {attr_name!r}")
             root = data[off : off + root_len]
             off += root_len
+            need(off, 2, f"array count of {attr_name!r}")
             (narrays,) = struct.unpack_from("<H", data, off)
             off += 2
             arrays = []
             for _ in range(narrays):
+                need(off, 1, f"array placement flag of {attr_name!r}")
                 (inline,) = struct.unpack_from("<B", data, off)
                 if inline:
+                    need(off + 1, 4, f"inline array length of {attr_name!r}")
                     (blob_len,) = struct.unpack_from("<I", data, off + 1)
                     off += 5
+                    need(off, blob_len, f"inline array of {attr_name!r}")
                     blob = data[off : off + blob_len]
                     off += blob_len
                 else:
+                    need(off + 1, 16, f"FLOB reference of {attr_name!r}")
                     first_page, length = struct.unpack_from("<qq", data, off + 1)
                     off += 17
                     blob = self._flobs.read(FlobRef(first_page, length))
                 arrays.append(DatabaseArray.from_bytes(blob))
-            codec = codec_for(tname)
-            values.append(codec.unpack(StoredValue(tname, bytes(root), arrays)))
+            values.append(safe_unpack(StoredValue(tname, bytes(root), arrays)))
         return values
 
-    def scan(self) -> Iterator[List]:
-        """Iterate over all tuples in insertion order."""
+    def scan(self, strict: bool = True) -> Iterator[List]:
+        """Iterate over all tuples in insertion order.
+
+        With ``strict=False`` a tuple whose bytes, FLOB chain, or pages
+        fail verification is *quarantined* — skipped and counted under
+        ``storage.quarantined`` — instead of aborting the scan; with the
+        default ``strict=True`` the :class:`StorageError` propagates.
+        """
         for tid in range(len(self._tuples)):
-            yield self.fetch(tid)
+            if strict:
+                yield self.fetch(tid)
+                continue
+            try:
+                row = self.fetch(tid)
+            except StorageError:
+                if obs.enabled:
+                    obs.counters.add("storage.quarantined")
+                continue
+            yield row
 
     # -- statistics -----------------------------------------------------------------
 
@@ -148,3 +324,37 @@ class TupleStore:
             "external_arrays": self.external_arrays,
             **self._pool.stats(),
         }
+
+
+def _decode_snapshot(payload: bytes) -> List[bytes]:
+    """Decode a CHECKPOINT directory snapshot."""
+    if len(payload) < 4:
+        raise CorruptRecordError("checkpoint snapshot shorter than its header")
+    (count,) = struct.unpack_from("<I", payload, 0)
+    off = 4
+    out: List[bytes] = []
+    for i in range(count):
+        if off + 4 > len(payload):
+            raise CorruptRecordError(
+                f"checkpoint snapshot truncated at tuple {i} of {count}"
+            )
+        (n,) = struct.unpack_from("<I", payload, off)
+        off += 4
+        if off + n > len(payload):
+            raise CorruptRecordError(
+                f"checkpoint snapshot truncated inside tuple {i} of {count}"
+            )
+        out.append(payload[off : off + n])
+        off += n
+    return out
+
+
+def _apply_page_image(pagefile: PageFile, payload: bytes) -> None:
+    """Redo one PAGE record: write its image back into the page file."""
+    if len(payload) < _PAGE_IMG.size:
+        raise CorruptRecordError("PAGE record shorter than its header")
+    (page_no,) = _PAGE_IMG.unpack_from(payload, 0)
+    img = payload[_PAGE_IMG.size :]
+    while pagefile.page_count <= page_no:
+        pagefile.allocate()
+    pagefile.write_page(page_no, img)

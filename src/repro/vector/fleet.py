@@ -21,7 +21,7 @@ from typing import List, Optional, Sequence, Tuple
 import numpy as np
 
 from repro import config, obs
-from repro.errors import InvalidValue
+from repro.errors import InvalidValue, StorageError
 from repro.spatial.bbox import Cube
 from repro.spatial.point import Point
 from repro.spatial.region import Region
@@ -80,7 +80,7 @@ def fleet_atinstant(
     if _resolve(backend) == "vector":
         try:
             col = UPointColumn.from_mappings(fleet)
-        except InvalidValue:
+        except (InvalidValue, StorageError):
             _fallback("upoint_column")
         else:
             xs, ys, defined = atinstant_batch(col, t)
@@ -100,7 +100,7 @@ def fleet_atinstant_real(
     if _resolve(backend) == "vector":
         try:
             col = URealColumn.from_mappings(fleet)
-        except InvalidValue:
+        except (InvalidValue, StorageError):
             _fallback("ureal_column")
         else:
             vs, defined = ureal_atinstant_batch(col, t)
@@ -125,7 +125,7 @@ def fleet_bbox_filter(
     if _resolve(backend) == "vector":
         try:
             col = BBoxColumn.from_mappings(fleet)
-        except InvalidValue:
+        except (InvalidValue, StorageError):
             _fallback("bbox_column")
         else:
             mask = bbox_filter_batch(col, cube)
@@ -152,7 +152,7 @@ def fleet_count_inside(
     if _resolve(backend) == "vector":
         try:
             col = UPointColumn.from_mappings(fleet)
-        except InvalidValue:
+        except (InvalidValue, StorageError):
             _fallback("upoint_column")
         else:
             xs, ys, defined = atinstant_batch(col, t)

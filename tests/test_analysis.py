@@ -388,6 +388,83 @@ class TestMOD005BackendDispatch:
         assert out == []
 
 
+class TestMOD006FailpointDiscipline:
+    REGISTRY = """
+        FAILPOINT_NAMES = frozenset({
+            "pagefile.write_crash",
+        })
+    """
+
+    def test_unregistered_name_flagged(self, tmp_path):
+        out = lint_snippets(tmp_path, {
+            "src/repro/faults.py": self.REGISTRY,
+            "src/repro/storage/snippet.py": """
+                from repro import faults
+
+                def f():
+                    faults.fail("pagefile.wrtie_crash")
+            """,
+        }, select={"MOD006"})
+        assert codes(out) == ["MOD006"]
+        assert "pagefile.wrtie_crash" in out[0].message
+
+    def test_non_literal_name_flagged(self, tmp_path):
+        out = lint_snippets(tmp_path, {
+            "src/repro/faults.py": self.REGISTRY,
+            "src/repro/storage/snippet.py": """
+                from repro import faults
+
+                def f(name):
+                    faults.should_fire(name)
+            """,
+        }, select={"MOD006"})
+        assert codes(out) == ["MOD006"]
+        assert "literal" in out[0].message
+
+    def test_registered_and_placed_clean(self, tmp_path):
+        out = lint_snippets(tmp_path, {
+            "src/repro/faults.py": self.REGISTRY,
+            "src/repro/storage/snippet.py": """
+                from repro import faults
+
+                def f():
+                    faults.fail("pagefile.write_crash")
+            """,
+        }, select={"MOD006"})
+        assert out == []
+
+    def test_never_placed_flagged_on_full_run(self, tmp_path):
+        # The never-placed direction only fires when the storage
+        # package (anchored by pages.py) is in scope.
+        out = lint_snippets(tmp_path, {
+            "src/repro/faults.py": self.REGISTRY,
+            "src/repro/storage/pages.py": """
+                def read_page(n):
+                    return b""
+            """,
+        }, select={"MOD006"})
+        assert codes(out) == ["MOD006"]
+        assert "never placed" in out[0].message
+
+    def test_partial_run_skips_never_placed(self, tmp_path):
+        out = lint_snippets(tmp_path, {
+            "src/repro/faults.py": self.REGISTRY,
+        }, select={"MOD006"})
+        assert out == []
+
+    def test_justified_disable_suppresses(self, tmp_path):
+        out = lint_snippets(tmp_path, {
+            "src/repro/faults.py": self.REGISTRY,
+            "src/repro/storage/snippet.py": """
+                from repro import faults
+
+                def f():
+                    faults.fail("experimental.site")  # modlint: disable=MOD006 staged for the next registry batch
+            """,
+        }, select={"MOD006"})
+        assert out == []
+
+
 class TestSuppressionPolicy:
     def test_unknown_code_is_mod000(self, tmp_path):
         out = lint_snippets(tmp_path, {
@@ -433,5 +510,7 @@ class TestRealTree:
     def test_list_rules(self, capsys):
         assert main(["--list-rules"]) == 0
         listing = capsys.readouterr().out
-        for code in ("MOD001", "MOD002", "MOD003", "MOD004", "MOD005"):
+        for code in (
+            "MOD001", "MOD002", "MOD003", "MOD004", "MOD005", "MOD006",
+        ):
             assert code in listing

@@ -1,0 +1,134 @@
+"""Tests for the deterministic failpoint machinery (:mod:`repro.faults`)."""
+
+import subprocess
+import sys
+
+import pytest
+
+from repro import faults
+from repro.errors import InvalidValue, SimulatedCrash, StorageError, TransientIOError
+
+
+@pytest.fixture(autouse=True)
+def _clean_faults():
+    faults.disarm()
+    faults.reset_fired()
+    yield
+    faults.disarm()
+    faults.reset_fired()
+
+
+class TestPolicies:
+    def test_once_fires_then_disarms(self):
+        faults.arm("wal.sync_crash", "once")
+        assert faults.should_fire("wal.sync_crash")
+        assert not faults.should_fire("wal.sync_crash")
+        assert not faults.active
+        assert faults.fired("wal.sync_crash") == 1
+
+    def test_every_n(self):
+        faults.arm("wal.sync_crash", "every:3")
+        hits = [faults.should_fire("wal.sync_crash") for _ in range(9)]
+        assert hits == [False, False, True] * 3
+        assert faults.active  # every:N stays armed
+        assert faults.fired("wal.sync_crash") == 3
+
+    def test_after_k(self):
+        faults.arm("wal.sync_crash", "after:2")
+        hits = [faults.should_fire("wal.sync_crash") for _ in range(5)]
+        assert hits == [False, False, True, False, False]
+        assert faults.fired("wal.sync_crash") == 1
+
+    def test_prob_deterministic_for_seed(self):
+        def run():
+            faults.arm("wal.sync_crash", "prob:0.5:7")
+            return [faults.should_fire("wal.sync_crash") for _ in range(40)]
+
+        first, second = run(), run()
+        assert first == second
+        assert any(first) and not all(first)
+
+    def test_prob_extremes(self):
+        faults.arm("wal.sync_crash", "prob:0")
+        assert not any(faults.should_fire("wal.sync_crash") for _ in range(10))
+        faults.arm("wal.sync_crash", "prob:1")
+        assert all(faults.should_fire("wal.sync_crash") for _ in range(10))
+
+    @pytest.mark.parametrize(
+        "spec",
+        ["", "sometimes", "every", "every:0", "every:x", "after",
+         "prob", "prob:2", "prob:-0.1", "once:1"],
+    )
+    def test_bad_specs_rejected(self, spec):
+        with pytest.raises(InvalidValue):
+            faults.parse_policy(spec)
+
+
+class TestArming:
+    def test_unregistered_name_rejected(self):
+        with pytest.raises(InvalidValue, match="unknown failpoint"):
+            faults.arm("nonsense.site")
+
+    def test_fail_raises_simulated_crash(self):
+        faults.arm("wal.append_crash")
+        with pytest.raises(SimulatedCrash):
+            faults.fail("wal.append_crash")
+
+    def test_fail_custom_exception(self):
+        faults.arm("pagefile.read_transient")
+        with pytest.raises(TransientIOError):
+            faults.fail("pagefile.read_transient", TransientIOError)
+
+    def test_simulated_crash_is_not_a_storage_error(self):
+        # Quarantine/retry paths catch StorageError; a simulated crash
+        # must never be swallowed by them.
+        assert not issubclass(SimulatedCrash, StorageError)
+
+    def test_disarm_one_of_many(self):
+        faults.arm("wal.sync_crash")
+        faults.arm("wal.append_crash")
+        faults.disarm("wal.sync_crash")
+        assert faults.armed() == {"wal.append_crash": "once"}
+        assert faults.active
+
+    def test_arm_spec_multiple_with_defaults(self):
+        faults.arm_spec("wal.sync_crash=every:3, flob.write_crash")
+        assert faults.armed() == {
+            "wal.sync_crash": "every:3",
+            "flob.write_crash": "once",
+        }
+
+    def test_injected_context_manager(self):
+        with faults.injected("wal.sync_crash"):
+            assert faults.should_fire("wal.sync_crash")
+        assert not faults.active
+        assert faults.fired("wal.sync_crash") == 1
+
+    def test_injected_disarms_on_exception(self):
+        with pytest.raises(RuntimeError):
+            with faults.injected("wal.sync_crash", "every:100"):
+                raise RuntimeError("boom")
+        assert not faults.active
+
+    def test_fired_counts_survive_disarm_until_reset(self):
+        with faults.injected("flob.write_crash"):
+            faults.should_fire("flob.write_crash")
+        assert faults.fired("flob.write_crash") == 1
+        faults.reset_fired()
+        assert faults.fired("flob.write_crash") == 0
+
+
+class TestEnvironmentArming:
+    def test_repro_faults_env_arms_at_import(self):
+        code = (
+            "from repro import faults; "
+            "print(sorted(faults.armed().items()))"
+        )
+        out = subprocess.run(
+            [sys.executable, "-c", code],
+            capture_output=True,
+            text=True,
+            env={"PYTHONPATH": "src", "REPRO_FAULTS": "wal.torn_tail=after:1"},
+            check=True,
+        )
+        assert "('wal.torn_tail', 'after:1')" in out.stdout

@@ -1,0 +1,181 @@
+"""Corruption properties for every storage codec (Section 4 layouts).
+
+The crash-safety contract at the value level: a stored value damaged by
+truncation or bit flips must surface as a typed
+:class:`~repro.errors.CorruptRecordError` (or decode to the original
+value when the damage misses the prefix entirely, which the CRC makes
+impossible) — never as a silently different value and never as a bare
+``struct.error``.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.base.instant import Instant
+from repro.base.values import BoolVal, IntVal, RealVal, StringVal
+from repro.errors import CorruptRecordError, StorageError
+from repro.ranges.interval import Interval, closed
+from repro.ranges.intime import Intime
+from repro.ranges.rangeset import RangeSet
+from repro.spatial.line import Line
+from repro.spatial.point import Point
+from repro.spatial.points import Points
+from repro.spatial.region import Region
+from repro.storage.records import (
+    StoredValue,
+    _CODECS,
+    pack_value,
+    safe_unpack,
+    unpack_value,
+)
+from repro.temporal.mapping import (
+    MovingBool,
+    MovingInt,
+    MovingLine,
+    MovingPoint,
+    MovingPoints,
+    MovingReal,
+    MovingRegion,
+    MovingString,
+)
+from repro.temporal.mseg import MPoint
+from repro.temporal.uconst import ConstUnit
+from repro.temporal.uline import ULine
+from repro.temporal.upoints import UPoints
+from repro.temporal.ureal import UReal
+from repro.temporal.uregion import URegion
+
+
+def _samples():
+    """One representative value per registered codec type name."""
+    return {
+        "int": IntVal(42),
+        "real": RealVal(3.25),
+        "bool": BoolVal(True),
+        "string": StringVal("hello"),
+        "instant": Instant(12.5),
+        "point": Point(1.5, -2.5),
+        "points": Points([(1, 2), (3, 4), (0, 0)]),
+        "line": Line.polyline([(0, 0), (2, 2), (4, 0)]),
+        "region": Region.polygon(
+            [(0, 0), (10, 0), (10, 10), (0, 10)],
+            holes=[[(2, 2), (4, 2), (4, 4), (2, 4)]],
+        ),
+        "range": RangeSet(
+            [closed(0.0, 1.0), Interval(3.0, 4.0, False, True)]
+        ),
+        "intime(real)": Intime(5.0, RealVal(2.5)),
+        "intime(point)": Intime(5.0, Point(1, 2)),
+        "mbool": MovingBool.piecewise(
+            [(closed(0.0, 1.0), True), (Interval(1.0, 2.0, False, True), False)]
+        ),
+        "mint": MovingInt([ConstUnit(closed(0.0, 1.0), IntVal(7))]),
+        "mstring": MovingString([ConstUnit(closed(0.0, 1.0), StringVal("go"))]),
+        "mreal": MovingReal(
+            [
+                UReal(closed(0.0, 1.0), 1, 2, 3),
+                UReal(Interval(1.0, 2.0, False, True), 0, 0, 4, r=True),
+            ]
+        ),
+        "mpoint": MovingPoint.from_waypoints(
+            [(0, (0, 0)), (5, (3, 4)), (9, (0, 0))]
+        ),
+        "mpoints": MovingPoints(
+            [UPoints(closed(0.0, 1.0), [MPoint(0, 1, 0, 0), MPoint(5, 0, 5, 0)])]
+        ),
+        "mline": MovingLine(
+            [
+                ULine.between_lines(
+                    0.0, Line([((0, 0), (1, 0))]), 5.0, Line([((2, 2), (3, 2))])
+                )
+            ]
+        ),
+        "mregion": MovingRegion(
+            [
+                URegion.between_regions(
+                    0.0, Region.box(0, 0, 2, 2), 5.0, Region.box(4, 0, 6, 2)
+                )
+            ]
+        ),
+    }
+
+
+SAMPLES = _samples()
+
+
+def test_samples_cover_every_registered_codec():
+    """A codec added without a corruption sample fails here."""
+    assert set(SAMPLES) == set(_CODECS)
+
+
+@pytest.mark.parametrize("type_name", sorted(SAMPLES))
+def test_clean_roundtrip(type_name):
+    value = SAMPLES[type_name]
+    blob = pack_value(type_name, value).to_bytes()
+    assert unpack_value(StoredValue.from_bytes(blob)) == value
+
+
+@given(data=st.data())
+@settings(max_examples=200, deadline=None)
+def test_bit_flip_never_silent(data):
+    """Any single flipped bit is detected as a typed error.
+
+    The decoded value is never silently different from the original:
+    either :meth:`StoredValue.from_bytes` raises (the CRC prefix
+    catches every one-bit change) or — vacuously — the value decodes
+    back equal.
+    """
+    type_name = data.draw(st.sampled_from(sorted(SAMPLES)), label="type")
+    blob = pack_value(type_name, SAMPLES[type_name]).to_bytes()
+    pos = data.draw(
+        st.integers(min_value=0, max_value=len(blob) - 1), label="byte"
+    )
+    bit = data.draw(st.integers(min_value=0, max_value=7), label="bit")
+    damaged = bytearray(blob)
+    damaged[pos] ^= 1 << bit
+    try:
+        value = unpack_value(StoredValue.from_bytes(bytes(damaged)))
+    except CorruptRecordError:
+        return
+    assert value == SAMPLES[type_name], (
+        f"one-bit flip at byte {pos} bit {bit} of a {type_name} decoded "
+        "to a silently different value"
+    )
+
+
+@given(data=st.data())
+@settings(max_examples=200, deadline=None)
+def test_truncation_always_typed(data):
+    """Every proper prefix of a stored value raises CorruptRecordError."""
+    type_name = data.draw(st.sampled_from(sorted(SAMPLES)), label="type")
+    blob = pack_value(type_name, SAMPLES[type_name]).to_bytes()
+    cut = data.draw(
+        st.integers(min_value=0, max_value=len(blob) - 1), label="cut"
+    )
+    with pytest.raises(CorruptRecordError):
+        unpack_value(StoredValue.from_bytes(blob[:cut]))
+
+
+@given(data=st.data())
+@settings(max_examples=100, deadline=None)
+def test_garbage_never_crashes_untyped(data):
+    """Arbitrary bytes fail with a StorageError, not struct.error."""
+    blob = data.draw(st.binary(max_size=64), label="blob")
+    try:
+        StoredValue.from_bytes(blob)
+    except StorageError:
+        pass
+
+
+def test_safe_unpack_wraps_codec_blowups():
+    """Damage below the CRC layer still surfaces as CorruptRecordError.
+
+    A StoredValue whose arrays were lost (e.g. assembled by hand from a
+    damaged page) makes the codec itself blow up; safe_unpack converts
+    that to a typed error naming the type.
+    """
+    stored = pack_value("mpoint", SAMPLES["mpoint"])
+    bare = StoredValue(stored.type_name, stored.root, [])
+    with pytest.raises(CorruptRecordError, match="mpoint"):
+        safe_unpack(bare)

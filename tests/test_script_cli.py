@@ -117,3 +117,45 @@ class TestCli:
             "figure3_region.svg",
             "figure6_uregion.svg",
         ]
+
+
+class TestCliFaults:
+    def setup_method(self):
+        from repro import faults
+
+        faults.disarm()
+
+    teardown_method = setup_method
+
+    def test_crash_matrix_command(self, capsys):
+        assert cli_main(
+            ["crash-matrix", "--seed", "7", "--only", "wal.sync_crash"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "1/1 failpoints survived" in out
+
+    def test_bad_fault_spec_is_one_line_error(self, capsys):
+        assert cli_main(["--faults", "not.a.failpoint", "info"]) == 1
+        err = capsys.readouterr().err
+        assert err.startswith("repro: InvalidValue:")
+        assert len(err.strip().splitlines()) == 1
+
+    def test_debug_reraises(self):
+        from repro.errors import InvalidValue
+
+        with pytest.raises(InvalidValue):
+            cli_main(["--debug", "--faults", "not.a.failpoint", "info"])
+
+    def test_environment_errors_still_propagate(self):
+        # Only repro's typed errors get the one-line treatment; a
+        # missing script file is the caller's problem, unchanged.
+        with pytest.raises(FileNotFoundError):
+            cli_main(["run", "/nonexistent/file.sql"])
+
+    def test_profile_report_includes_fault_counters(self, tmp_path, capsys):
+        assert cli_main(
+            ["--profile", "crash-matrix", "--only", "wal.torn_tail"]
+        ) == 0
+        out = capsys.readouterr().out
+        assert "wal.records" in out
+        assert "wal.syncs" in out

@@ -7,7 +7,7 @@ from repro.errors import StorageError
 from repro.storage.buffer import BufferPool
 from repro.storage.darray import DatabaseArray, SubArray
 from repro.storage.flob import FlobRef, FlobStore
-from repro.storage.pages import PageFile
+from repro.storage.pages import PAGE_HEADER_SIZE, PageFile
 
 
 class TestDatabaseArray:
@@ -74,7 +74,8 @@ class TestPageFile:
         pf.write_page(n, b"hello")
         data = pf.read_page(n)
         assert data.startswith(b"hello")
-        assert len(data) == pf.page_size
+        assert len(data) == pf.payload_size
+        assert pf.payload_size == pf.page_size - PAGE_HEADER_SIZE
 
     def test_out_of_range(self):
         pf = PageFile()
