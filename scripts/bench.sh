@@ -3,7 +3,9 @@
 # against their scalar reference loops (equivalence asserted in the same
 # run) and writes the timings to BENCH_vector.json in the repo root.
 # Also measures crash-safe storage (WAL overhead, recovery replay,
-# disarmed-failpoint scans) into BENCH_storage.json.
+# disarmed-failpoint scans) into BENCH_storage.json, and the parallel
+# backend (shared-memory chunked pool vs single-process, column cache,
+# STR bulk loading) into BENCH_parallel.json.
 #
 # Usage: scripts/bench.sh [fleet_size]  (from the repository root)
 set -euo pipefail
@@ -27,6 +29,19 @@ python -m pytest -q -p no:cacheprovider benchmarks/bench_storage_faults.py
 echo
 echo "== crash-safe storage: timings -> BENCH_storage.json =="
 python benchmarks/bench_storage_faults.py --json BENCH_storage.json
+
+echo
+echo "== parallel backend: pytest assertions (equivalence + speedups) =="
+python -m pytest -q -p no:cacheprovider benchmarks/bench_parallel.py
+
+echo
+echo "== parallel backend: timings -> BENCH_parallel.json =="
+python benchmarks/bench_parallel.py --objects "$OBJECTS" --json BENCH_parallel.json
+
+echo
+echo "== buffer pool: CLOCK hit rates on looping / hot-cold scans =="
+python -m pytest -q -p no:cacheprovider benchmarks/bench_buffer.py
+python benchmarks/bench_buffer.py
 
 echo
 echo "bench.sh: done"

@@ -17,6 +17,10 @@ echo "== tier-1: counter-assertion smoke (benchmarks, -k counter) =="
 python -m pytest -q -p no:cacheprovider benchmarks/bench_alg_atinstant.py -k counter
 
 echo
+echo "== parallel-backend smoke (2 workers, tiny fleet, equivalence) =="
+python -m pytest -q -p no:cacheprovider benchmarks/bench_parallel.py -k smoke
+
+echo
 echo "== repro-lint (stdlib AST checker, always on) =="
 python -m repro.analysis src
 

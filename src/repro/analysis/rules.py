@@ -425,10 +425,13 @@ class ObsDiscipline(Rule):
     """MOD004: every counter/timer/gauge name is literal and registered.
 
     The registries are ``COUNTER_NAMES`` / ``TIMER_NAMES`` /
-    ``GAUGE_NAMES`` in :mod:`repro.obs`.  Two wrapper functions are
+    ``GAUGE_NAMES`` in :mod:`repro.obs`.  A few wrapper functions are
     allowed to build names dynamically (their call sites are resolved
-    instead): ``_record_rows`` in the vector kernels and ``_fallback``
-    in the fleet dispatcher.
+    instead): ``_record_rows`` in the vector kernels, ``_fallback`` in
+    the fleet dispatcher, ``_parallel_fallback`` in the parallel
+    dispatcher, and ``_merge_counters`` in the pool layer (which folds
+    worker-captured snapshots whose names were validated when the
+    workers wrote them).
     """
 
     code = "MOD004"
@@ -438,6 +441,8 @@ class ObsDiscipline(Rule):
     _WRAPPER_BODIES = {
         ("repro/vector/kernels.py", "_record_rows"),
         ("repro/vector/fleet.py", "_fallback"),
+        ("repro/parallel/exec.py", "_parallel_fallback"),
+        ("repro/parallel/pool.py", "_merge_counters"),
     }
 
     def _registry(
@@ -593,6 +598,20 @@ class ObsDiscipline(Rule):
                                 if v:
                                     yield v
                         continue
+                    if node.func.id == "_parallel_fallback":
+                        if arg0 is None:
+                            v = record(mod, node, "counter", None)
+                            if v:
+                                yield v
+                        else:
+                            for name in (
+                                "parallel.fallback",
+                                f"parallel.fallback.{arg0}",
+                            ):
+                                v = record(mod, node, "counter", name)
+                                if v:
+                                    yield v
+                        continue
 
                 if in_wrapper:
                     continue  # dynamic names allowed inside the wrappers
@@ -658,22 +677,26 @@ class BackendDispatch(Rule):
     """MOD005: backend branches are resolved, two-armed, and fall back.
 
     * comparisons against the backend literals go through
-      ``_resolve``/``get_backend`` (never a raw parameter — a raw
-      compare silently treats ``None`` as scalar);
-    * an ``if backend == "vector":`` must leave a scalar arm (an
-      ``else`` or fall-through code);
-    * exception handlers inside the vector arm must count the event via
-      ``_fallback``;
-    * column construction (``*.from_mappings``) inside a vector arm
-      must be guarded by try/except — it raises ``InvalidValue`` on
+      ``_resolve``/``get_backend`` — directly, or via a local variable
+      assigned from a resolver in the same function (never a raw
+      parameter — a raw compare silently treats ``None`` as scalar);
+    * an ``if backend == "vector":`` (or ``"parallel"``) must leave a
+      scalar arm (an ``else`` or fall-through code);
+    * exception handlers inside a vector/parallel arm must count the
+      event via ``_fallback`` (or ``_parallel_fallback``);
+    * column construction (``*.from_mappings``) inside a vector/parallel
+      arm must be guarded by try/except — it raises ``InvalidValue`` on
       inputs only the scalar path can evaluate.
     """
 
     code = "MOD005"
     name = "backend-dispatch"
 
-    _RESOLVERS = {"_resolve", "get_backend"}
-    _LITERALS = {"scalar", "vector"}
+    _RESOLVERS = {"_resolve", "_resolve_backend", "get_backend"}
+    _LITERALS = {"scalar", "vector", "parallel"}
+    #: Backend literals whose if-arms are the batched (non-scalar) path
+    #: and therefore must satisfy the arm checks.
+    _BATCH_LITERALS = {"vector", "parallel"}
 
     def _backend_compare(self, node: ast.AST) -> Optional[ast.Compare]:
         """The Compare against a backend literal inside ``node``, if any."""
@@ -684,6 +707,21 @@ class BackendDispatch(Rule):
             if any(_str_const(o) in self._LITERALS for o in operands):
                 return sub
         return None
+
+    def _resolver_names(self, scope: ast.AST) -> Set[str]:
+        """Names assigned from a resolver call anywhere in ``scope``."""
+        names: Set[str] = set()
+        for node in ast.walk(scope):
+            if not (
+                isinstance(node, ast.Assign)
+                and isinstance(node.value, ast.Call)
+                and _call_name(node.value) in self._RESOLVERS
+            ):
+                continue
+            for t in node.targets:
+                if isinstance(t, ast.Name):
+                    names.add(t.id)
+        return names
 
     def check(
         self, mod: SourceModule, project: Project
@@ -708,6 +746,17 @@ class BackendDispatch(Rule):
                     for o in operands
                 )
                 if not resolved:
+                    # A Name operand is fine when it was assigned from a
+                    # resolver call in the enclosing function.
+                    scope = mod.enclosing(
+                        node, ast.FunctionDef, ast.AsyncFunctionDef
+                    ) or mod.tree
+                    local = self._resolver_names(scope)
+                    resolved = any(
+                        isinstance(o, ast.Name) and o.id in local
+                        for o in operands
+                    )
+                if not resolved:
                     yield mod.violation(
                         node, self.code,
                         "backend literal compared without going through "
@@ -719,9 +768,9 @@ class BackendDispatch(Rule):
                 if cmp_node is None:
                     continue
                 operands = [cmp_node.left, *cmp_node.comparators]
-                if "vector" not in {
-                    _str_const(o) for o in operands
-                }:
+                if not (
+                    {_str_const(o) for o in operands} & self._BATCH_LITERALS
+                ):
                     continue
                 yield from self._check_vector_arm(mod, node)
 
@@ -749,7 +798,7 @@ class BackendDispatch(Rule):
             if isinstance(sub, ast.ExceptHandler):
                 calls_fallback = any(
                     isinstance(c, ast.Call)
-                    and _call_name(c) == "_fallback"
+                    and _call_name(c) in ("_fallback", "_parallel_fallback")
                     for c in ast.walk(sub)
                 )
                 if not calls_fallback:

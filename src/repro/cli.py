@@ -228,10 +228,20 @@ def main(argv: Optional[List[str]] = None) -> int:
     )
     parser.add_argument(
         "--backend",
-        choices=["scalar", "vector"],
+        choices=["scalar", "vector", "parallel"],
         default=None,
         help="evaluation backend for fleet-level operations: scalar "
-        "reference loops or columnar numpy kernels (repro.vector)",
+        "reference loops, columnar numpy kernels (repro.vector), or "
+        "those kernels chunked over a shared-memory process pool "
+        "(repro.parallel)",
+    )
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=None,
+        metavar="N",
+        help="process-pool size for the parallel backend (0 = one per "
+        "core; default from repro.config.DEFAULT_WORKERS)",
     )
     parser.add_argument(
         "--faults",
@@ -306,6 +316,10 @@ def _dispatch(args: argparse.Namespace) -> int:
         from repro.vector.fleet import set_backend
 
         set_backend(args.backend)
+    if args.workers is not None:
+        from repro.parallel import set_workers
+
+        set_workers(args.workers)
     if not args.profile:
         return args.fn(args)
     from repro import obs

@@ -61,6 +61,10 @@ class VectorScan(SeqScan):
     evaluate it fleet-wide in one call.
     """
 
+    #: Whether batch predicates over this scan should dispatch through
+    #: the chunked shared-memory pool (:mod:`repro.parallel`).
+    parallel = False
+
     def __init__(self, relation: Relation, alias: Optional[str] = None,
                  attr: Optional[str] = None, strict: bool = True):
         super().__init__(relation, alias, strict)
@@ -107,6 +111,25 @@ class VectorScan(SeqScan):
 
     def rows(self) -> Iterator[Row]:
         return iter(self.materialized_rows())
+
+
+class ParallelScan(VectorScan):
+    """A :class:`VectorScan` whose batch predicates run chunked over the
+    shared-memory process pool (:mod:`repro.parallel`).
+
+    Identical row output; only the batch-kernel dispatch differs, and it
+    degrades to the single-process kernels (counted under
+    ``parallel.fallback.*``) whenever the pool is unavailable or the
+    fleet is too small to out-earn dispatch.
+    """
+
+    parallel = True
+
+    def __init__(self, relation: Relation, alias: Optional[str] = None,
+                 attr: Optional[str] = None, strict: bool = True,
+                 workers: Optional[int] = None):
+        super().__init__(relation, alias, attr, strict)
+        self.workers = workers
 
 
 class CrossProduct(Operator):

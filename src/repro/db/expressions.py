@@ -492,6 +492,10 @@ def compile_batch_predicate(
         t = float(t)
 
         def run_present(scan):
+            if getattr(scan, "parallel", False):
+                from repro.parallel import parallel_present
+
+                return parallel_present(scan.column(), t, workers=scan.workers)
             from repro.vector.kernels import locate_units
 
             _unit, defined = locate_units(scan.column(), t)
@@ -511,6 +515,21 @@ def compile_batch_predicate(
 
         def run_window(scan):
             import numpy as np
+
+            if getattr(scan, "parallel", False):
+                from repro.parallel import parallel_window_intervals
+                from repro.spatial.bbox import Rect
+
+                # Fully batched refinement: the chunked window kernel
+                # returns exactly the nonempty clipped intervals, so an
+                # object passes iff it owns at least one returned run.
+                owners, _s, _e, _lc, _rc = parallel_window_intervals(
+                    scan.column(), Rect(xmin, ymin, xmax, ymax), t0, t1,
+                    workers=scan.workers,
+                )
+                mask = np.zeros(len(scan.mappings()), dtype=np.bool_)
+                mask[owners] = True
+                return mask
 
             from repro.ops.window import mpoint_within_rect_times
             from repro.ranges.interval import Interval

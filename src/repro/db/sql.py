@@ -355,7 +355,9 @@ def _make_scan(
     Under the ``vector`` backend, a relation with exactly one
     moving-point attribute is scanned by :class:`~repro.db.executor.
     VectorScan`, which exposes the attribute columnarly so a selection
-    above it can run as one batch kernel; everything else stays a plain
+    above it can run as one batch kernel; the ``parallel`` backend plans
+    a :class:`~repro.db.executor.ParallelScan` (same rows, batch kernels
+    chunked over the shared-memory pool).  Everything else stays a plain
     :class:`SeqScan` (VectorScan degrades to one when no batch path
     applies, so results never change).  ``strict=False`` lets the scan
     quarantine corrupt tuples instead of aborting.
@@ -363,8 +365,8 @@ def _make_scan(
     relation = db.relation(name)
     from repro.vector.fleet import get_backend
 
-    if get_backend() == "vector":
-        from repro.db.executor import VectorScan
+    if get_backend() == "vector" or get_backend() == "parallel":
+        from repro.db.executor import ParallelScan, VectorScan
         from repro.storage.records import codec_for
 
         mpoint_attrs = [
@@ -373,6 +375,9 @@ def _make_scan(
             if codec_for(a.type_name).type_name == "mpoint"
         ]
         if len(mpoint_attrs) == 1:
+            if get_backend() == "parallel":
+                return ParallelScan(relation, alias, attr=mpoint_attrs[0],
+                                    strict=strict)
             return VectorScan(relation, alias, attr=mpoint_attrs[0],
                               strict=strict)
     return SeqScan(relation, alias, strict=strict)
@@ -514,6 +519,7 @@ def explain(db: Database, sql: str) -> str:
             HashJoin,
             IndexFilteredProduct,
             Limit,
+            ParallelScan,
             Project,
             Select,
             SeqScan,
@@ -521,6 +527,11 @@ def explain(db: Database, sql: str) -> str:
             VectorScan,
         )
 
+        if isinstance(node, ParallelScan):
+            return (
+                f"ParallelScan({node.relation.name} AS {node.alias}, "
+                f"attr={node.attr}, workers={node.workers or 'auto'})"
+            )
         if isinstance(node, VectorScan):
             return (
                 f"VectorScan({node.relation.name} AS {node.alias}, "

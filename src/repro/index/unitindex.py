@@ -55,6 +55,32 @@ class MovingObjectIndex:
         self._count += 1
         self._column = None  # stale: rebuilt on the next vector query
 
+    def bulk_load(
+        self,
+        items: Iterable[Tuple[Hashable, Union[MovingPoint, MovingRegion]]],
+    ) -> None:
+        """Index many objects at once via one STR-packed tree build.
+
+        Collects every unit cube of every object and rebuilds the R-tree
+        with :meth:`RTree3D.bulk_load` over the existing *and* new
+        entries — the candidate sets afterwards are exactly those of
+        per-object :meth:`add` calls, at a fraction of the build cost.
+        Later incremental :meth:`add` calls keep working on the packed
+        tree.
+        """
+        added = 0
+        for key, moving in items:
+            for u in moving.units:
+                assert isinstance(u, (UPoint, URegion))
+                self._entries.append((key, u.bounding_cube()))
+            added += 1
+        self._tree = RTree3D.bulk_load(
+            ((cube, key) for key, cube in self._entries),
+            self._tree.max_entries,
+        )
+        self._count += added
+        self._column = None  # stale: rebuilt on the next vector query
+
     def _unit_column(self):
         """The per-unit cube column (lazily built, invalidated by ``add``)."""
         if self._column is None:
@@ -71,7 +97,8 @@ class MovingObjectIndex:
         """Keys of objects with at least one unit cube intersecting ``cube``."""
         from repro.vector.fleet import _resolve
 
-        if _resolve(backend) == "vector":
+        resolved = _resolve(backend)
+        if resolved == "vector" or resolved == "parallel":
             return set(self._unit_column().candidates(cube))
         return set(self._tree.search(cube))
 

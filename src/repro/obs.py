@@ -139,12 +139,30 @@ COUNTER_NAMES: FrozenSet[str] = frozenset({
     "vector.inside_prefilter.rows",
     "vector.batch_select.calls",
     "vector.batch_select.rows",
+    "vector.window_times_batch.calls",
+    "vector.window_times_batch.rows",
+    "vector.window_intervals_batch.calls",
+    "vector.window_intervals_batch.rows",
     # backend dispatch fallbacks (via _fallback(reason))
     "vector.fallback_to_scalar",
     "vector.fallback_to_scalar.upoint_column",
     "vector.fallback_to_scalar.ureal_column",
     "vector.fallback_to_scalar.bbox_column",
     "vector.fallback_to_scalar.predicate",
+    "vector.fallback_to_scalar.window_column",
+    # columnar cache (repro.vector.cache)
+    "colcache.hits",
+    "colcache.misses",
+    "colcache.invalidations",
+    # parallel execution (via _parallel_fallback(reason))
+    "parallel.chunks",
+    "parallel.fallback",
+    "parallel.fallback.workers",
+    "parallel.fallback.small_fleet",
+    "parallel.fallback.no_pool",
+    "parallel.fallback.error",
+    # STR bulk loading (RTree3D.bulk_load)
+    "rtree.bulk_loaded",
 })
 
 #: Every timed-scope name (``obs.scope(name)`` / ``add_time``).
@@ -156,6 +174,7 @@ TIMER_NAMES: FrozenSet[str] = frozenset({
 #: Every high-water gauge name.
 GAUGE_NAMES: FrozenSet[str] = frozenset({
     "vector.rows_per_call",
+    "parallel.workers",
 })
 
 

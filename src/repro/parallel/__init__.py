@@ -1,0 +1,47 @@
+"""Process-pool execution layer over the columnar backend.
+
+The third fleet backend (``--backend parallel``): columns are packed
+into ``multiprocessing.shared_memory`` segments once, pool workers run
+the ordinary batch kernels zero-copy on unit-balanced chunks, and every
+entry point degrades to a *counted* single-process fallback
+(``parallel.fallback.*``) when the pool cannot help — small fleets,
+one-worker configurations, or pool failures.  See DESIGN.md for how a
+chunk maps back to a contiguous run of Section-4 stacked root records.
+"""
+
+from __future__ import annotations
+
+from repro.parallel.exec import (
+    chunk_bounds,
+    group_intervals,
+    parallel_atinstant,
+    parallel_bbox_filter,
+    parallel_count_inside,
+    parallel_present,
+    parallel_window_intervals,
+)
+from repro.parallel.pool import (
+    effective_workers,
+    get_workers,
+    set_workers,
+    shutdown,
+)
+from repro.parallel.shmcol import attach, pack, release_all, shared_descriptor
+
+__all__ = [
+    "attach",
+    "chunk_bounds",
+    "effective_workers",
+    "get_workers",
+    "group_intervals",
+    "pack",
+    "parallel_atinstant",
+    "parallel_bbox_filter",
+    "parallel_count_inside",
+    "parallel_present",
+    "parallel_window_intervals",
+    "release_all",
+    "set_workers",
+    "shared_descriptor",
+    "shutdown",
+]

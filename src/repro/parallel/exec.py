@@ -1,0 +1,248 @@
+"""Chunked parallel execution of the columnar batch kernels.
+
+Each public function here is the ``parallel``-backend twin of one
+single-process kernel: the column is packed into shared memory once
+(:mod:`repro.parallel.shmcol`), split into per-worker chunks balanced by
+*unit* count (objects differ in unit count, so an even object split
+would skew the work), and the ordinary :mod:`repro.vector.kernels`
+batch kernel runs zero-copy on every chunk concurrently.
+
+Fallback discipline (MOD005): every entry point degrades to the exact
+single-process kernel — counted under ``parallel.fallback`` plus a
+per-reason counter — when the resolved worker count is ≤ 1
+(``.workers``), the fleet is below ``config.PARALLEL_MIN_OBJECTS``
+(``.small_fleet``), the pool or segment cannot be created
+(``.no_pool``), or a dispatched task fails for a non-library reason
+(``.error``; library errors such as ``InvalidValue`` re-raise, matching
+the single-process behaviour).  Results are therefore always exactly
+the single-process results, chunked or not.
+"""
+
+from __future__ import annotations
+
+from typing import Any, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro import config, obs
+from repro.errors import ReproError
+from repro.parallel import pool, shmcol
+from repro.spatial.bbox import Cube, Rect
+from repro.spatial.region import Region
+from repro.vector.columns import BBoxColumn, UPointColumn
+from repro.vector.kernels import (
+    atinstant_batch,
+    bbox_filter_batch,
+    inside_prefilter,
+    locate_units,
+    window_intervals_batch,
+)
+
+
+def _parallel_fallback(reason: str) -> None:
+    """Count one degradation to single-process execution."""
+    if obs.enabled:
+        obs.counters.add("parallel.fallback")
+        obs.counters.add(f"parallel.fallback.{reason}")
+
+
+def chunk_bounds(
+    offsets: Optional[np.ndarray], n_items: int, chunks: int
+) -> List[Tuple[int, int]]:
+    """Split ``n_items`` objects into ≤ ``chunks`` ranges, unit-balanced.
+
+    With a CSR ``offsets`` array the cut points aim at equal *unit*
+    counts per chunk (the kernels' real cost driver); without one the
+    split is an even item split.  Empty ranges are dropped.
+    """
+    if chunks <= 1 or n_items <= 1:
+        return [(0, n_items)] if n_items else []
+    if offsets is not None and int(offsets[-1]) > 0:
+        total = int(offsets[-1])
+        targets = [round(i * total / chunks) for i in range(chunks + 1)]
+        cuts = np.searchsorted(offsets, targets, side="left").tolist()
+        cuts[0], cuts[-1] = 0, n_items
+    else:
+        cuts = [round(i * n_items / chunks) for i in range(chunks + 1)]
+    return [(int(a), int(b)) for a, b in zip(cuts[:-1], cuts[1:]) if b > a]
+
+
+def _dispatch(
+    op: str,
+    col: Any,
+    n_items: int,
+    offsets: Optional[np.ndarray],
+    extra: Tuple[Any, ...],
+    workers: Optional[int],
+) -> Optional[List[Any]]:
+    """Run ``op`` chunked over the pool; ``None`` = caller runs in-process.
+
+    The common plumbing behind every ``parallel_*`` entry point:
+    resolves the worker count, applies the counted fallback policy,
+    packs/attaches the shared column, and merges worker counter
+    snapshots when profiling.
+    """
+    n_workers = pool.effective_workers(workers)
+    if n_workers <= 1:
+        _parallel_fallback("workers")
+        return None
+    if n_items < config.PARALLEL_MIN_OBJECTS:
+        _parallel_fallback("small_fleet")
+        return None
+    try:
+        descriptor = shmcol.shared_descriptor(col)
+        worker_pool = pool.get_pool(n_workers)
+    except (OSError, ValueError):
+        _parallel_fallback("no_pool")
+        return None
+    bounds = chunk_bounds(offsets, n_items, n_workers)
+    payloads = [
+        (op, descriptor, lo, hi, extra, obs.enabled) for lo, hi in bounds
+    ]
+    try:
+        results = worker_pool.map(pool.run_task, payloads)
+    except ReproError:
+        raise  # library errors behave exactly as in-process
+    except Exception:
+        pool.shutdown()  # the pool may be wedged; rebuild lazily
+        _parallel_fallback("error")
+        return None
+    if obs.enabled:
+        obs.counters.add("parallel.chunks", len(bounds))
+        for _out, snap in results:
+            if snap is not None:
+                pool._merge_counters(snap)
+    return [out for out, _snap in results]
+
+
+# ---------------------------------------------------------------------------
+# Public entry points: one per batch kernel
+# ---------------------------------------------------------------------------
+
+
+def parallel_atinstant(
+    col: UPointColumn, t: float, workers: Optional[int] = None
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Chunked :func:`repro.vector.kernels.atinstant_batch`."""
+    chunks = _dispatch(
+        "atinstant", col, col.n_objects, col.offsets, (float(t),), workers
+    )
+    if chunks is None:
+        return atinstant_batch(col, t)
+    return (
+        np.concatenate([c[0] for c in chunks]),
+        np.concatenate([c[1] for c in chunks]),
+        np.concatenate([c[2] for c in chunks]),
+    )
+
+
+def parallel_present(
+    col: UPointColumn, t: float, workers: Optional[int] = None
+) -> np.ndarray:
+    """Chunked definedness test (:func:`locate_units`'s ``defined``)."""
+    chunks = _dispatch(
+        "present", col, col.n_objects, col.offsets, (float(t),), workers
+    )
+    if chunks is None:
+        _unit, defined = locate_units(col, t)
+        return defined
+    return np.concatenate(chunks)
+
+
+def parallel_bbox_filter(
+    col: BBoxColumn, cube: Cube, workers: Optional[int] = None
+) -> np.ndarray:
+    """Chunked :func:`repro.vector.kernels.bbox_filter_batch`."""
+    chunks = _dispatch("bbox", col, len(col), None, (cube,), workers)
+    if chunks is None:
+        return bbox_filter_batch(col, cube)
+    return np.concatenate(chunks)
+
+
+def parallel_window_intervals(
+    col: UPointColumn,
+    rect: Rect,
+    t0: float,
+    t1: float,
+    workers: Optional[int] = None,
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    """Chunked :func:`repro.vector.kernels.window_intervals_batch`.
+
+    Chunk boundaries fall *between* objects, and the merged runs of one
+    object never span chunks, so concatenating the per-chunk results
+    (owners rebased worker-side) is exactly the single-process output.
+    """
+    chunks = _dispatch(
+        "window",
+        col,
+        col.n_objects,
+        col.offsets,
+        (rect, float(t0), float(t1)),
+        workers,
+    )
+    if chunks is None:
+        return window_intervals_batch(col, rect, t0, t1)
+    return (
+        np.concatenate([c[0] for c in chunks]),
+        np.concatenate([c[1] for c in chunks]),
+        np.concatenate([c[2] for c in chunks]),
+        np.concatenate([c[3] for c in chunks]),
+        np.concatenate([c[4] for c in chunks]),
+    )
+
+
+def parallel_count_inside(
+    col: UPointColumn,
+    region: Region,
+    t: float,
+    workers: Optional[int] = None,
+) -> int:
+    """Chunked snapshot count: atinstant + plumbline prefilter per chunk."""
+    chunks = _dispatch(
+        "count_inside",
+        col,
+        col.n_objects,
+        col.offsets,
+        (float(t), region),
+        workers,
+    )
+    if chunks is None:
+        x, y, defined = atinstant_batch(col, t)
+        if not bool(defined.any()):
+            return 0
+        pts = np.column_stack([x[defined], y[defined]])
+        return int(np.count_nonzero(inside_prefilter(pts, region)))
+    return int(sum(chunks))
+
+
+def group_intervals(
+    owners: np.ndarray,
+    s: np.ndarray,
+    e: np.ndarray,
+    lc: np.ndarray,
+    rc: np.ndarray,
+    keys: Sequence[Any],
+) -> List[Tuple[Any, Any]]:
+    """Assemble kernel interval rows into ``(key, RangeSet)`` results.
+
+    Rows arrive grouped by owner in canonical time order (see
+    ``window_intervals_batch``), so each owner's slice already satisfies
+    the ``RangeSet`` ordering/disjointness invariants and goes straight
+    through the validating constructor.
+    """
+    from repro.ranges.interval import Interval
+    from repro.ranges.rangeset import RangeSet
+
+    out: List[Tuple[Any, Any]] = []
+    if len(owners) == 0:
+        return out
+    split_at = np.flatnonzero(owners[1:] != owners[:-1]) + 1
+    starts = np.concatenate(([0], split_at))
+    ends = np.concatenate((split_at, [len(owners)]))
+    for a, b in zip(starts, ends):
+        ivs = [
+            Interval(float(s[j]), float(e[j]), bool(lc[j]), bool(rc[j]))
+            for j in range(a, b)
+        ]
+        out.append((keys[int(owners[a])], RangeSet(ivs)))
+    return out

@@ -1,0 +1,208 @@
+"""The worker pool of the ``parallel`` backend.
+
+One lazily created ``fork``-context process pool per parent process.
+Workers receive tiny payloads — a shared-column descriptor plus an
+object range — attach the segment once (a small LRU of attachments is
+kept per worker), take a zero-copy chunk view, and run the ordinary
+batch kernels of :mod:`repro.vector.kernels` on it.
+
+Observability crosses the process boundary explicitly: when the parent
+is profiling, each task runs under ``obs.capture`` and ships its counter
+snapshot back with the result; the parent merges the snapshots so
+``vector.*`` kernel counters stay accurate under ``--backend parallel``.
+"""
+
+from __future__ import annotations
+
+import atexit
+import multiprocessing
+import os
+from collections import OrderedDict
+from typing import Any, Dict, Mapping, Optional, Tuple
+
+from repro import config, obs
+from repro.errors import InvalidValue
+from repro.parallel import shmcol
+
+# ---------------------------------------------------------------------------
+# Worker-count policy
+# ---------------------------------------------------------------------------
+
+_workers_override: Optional[int] = None
+
+
+def set_workers(n: Optional[int]) -> None:
+    """Set this process's default worker count (``None`` = use config).
+
+    ``0`` means "one worker per CPU core".  The CLI's ``--workers`` flag
+    lands here.
+    """
+    global _workers_override
+    if n is not None:
+        n = int(n)
+        if n < 0:
+            raise InvalidValue(f"workers must be >= 0, got {n}")
+    _workers_override = n
+
+
+def get_workers() -> Optional[int]:
+    """The process-wide worker-count override, if any."""
+    return _workers_override
+
+
+def effective_workers(requested: Optional[int] = None) -> int:
+    """Resolve a per-call ``workers=`` value to a concrete pool size."""
+    n = requested if requested is not None else _workers_override
+    if n is None:
+        n = config.DEFAULT_WORKERS
+    n = int(n)
+    if n < 0:
+        raise InvalidValue(f"workers must be >= 0, got {n}")
+    if n == 0:
+        n = os.cpu_count() or 1
+    return n
+
+
+# ---------------------------------------------------------------------------
+# Pool lifecycle
+# ---------------------------------------------------------------------------
+
+_pool: Optional[Any] = None
+_pool_size = 0
+
+
+def get_pool(n: int) -> Any:
+    """The shared pool, (re)created to hold exactly ``n`` workers."""
+    global _pool, _pool_size
+    if _pool is not None and _pool_size != n:
+        shutdown()
+    if _pool is None:
+        if "fork" in multiprocessing.get_all_start_methods():
+            ctx = multiprocessing.get_context("fork")
+        else:  # pragma: no cover - non-POSIX fallback
+            ctx = multiprocessing.get_context()
+        _pool = ctx.Pool(processes=n)
+        _pool_size = n
+        if obs.enabled:
+            obs.counters.high_water("parallel.workers", n)
+    return _pool
+
+
+def shutdown() -> None:
+    """Terminate the pool (idempotent; re-created lazily on next use)."""
+    global _pool, _pool_size
+    if _pool is not None:
+        _pool.terminate()
+        _pool.join()
+    _pool = None
+    _pool_size = 0
+
+
+atexit.register(shutdown)
+
+
+def _merge_counters(snapshot: Mapping[str, Any]) -> None:
+    """Fold one worker's counter snapshot into this process's counters.
+
+    The names are dynamic here by construction — they are whatever the
+    worker-side kernels (whose own call sites the linter *does* check)
+    recorded; counters are merged with ``add``, gauges with
+    ``high_water``.
+    """
+    if not obs.enabled:
+        return
+    for name, value in snapshot.get("counters", {}).items():
+        obs.counters.add(name, int(value))
+    for name, value in snapshot.get("gauges", {}).items():
+        obs.counters.high_water(name, float(value))
+
+
+# ---------------------------------------------------------------------------
+# Worker-side task entry points
+# ---------------------------------------------------------------------------
+
+#: Worker-local LRU of attached shared segments, keyed by segment name.
+_ATTACHED: "OrderedDict[str, shmcol.AttachedColumn]" = OrderedDict()
+_ATTACH_LIMIT = 16
+
+
+def _attached_column(descriptor: shmcol.Descriptor) -> Any:
+    name = descriptor[1]
+    wrapper = _ATTACHED.get(name)
+    if wrapper is None:
+        wrapper = shmcol.attach(descriptor)
+        _ATTACHED[name] = wrapper
+        while len(_ATTACHED) > _ATTACH_LIMIT:
+            _stale, old = _ATTACHED.popitem(last=False)
+            old.close()
+    else:
+        _ATTACHED.move_to_end(name)
+    return wrapper.column
+
+
+def _op_atinstant(col: Any, lo: int, hi: int, extra: Tuple[Any, ...]) -> Any:
+    from repro.vector.kernels import atinstant_batch
+
+    (t,) = extra
+    return atinstant_batch(shmcol.chunk_units(col, lo, hi), t)
+
+
+def _op_present(col: Any, lo: int, hi: int, extra: Tuple[Any, ...]) -> Any:
+    from repro.vector.kernels import locate_units
+
+    (t,) = extra
+    _unit, defined = locate_units(shmcol.chunk_units(col, lo, hi), t)
+    return defined
+
+
+def _op_bbox(col: Any, lo: int, hi: int, extra: Tuple[Any, ...]) -> Any:
+    from repro.vector.kernels import bbox_filter_batch
+
+    (cube,) = extra
+    return bbox_filter_batch(shmcol.chunk_bbox(col, lo, hi), cube)
+
+
+def _op_window(col: Any, lo: int, hi: int, extra: Tuple[Any, ...]) -> Any:
+    from repro.vector.kernels import window_intervals_batch
+
+    rect, t0, t1 = extra
+    owner, s, e, lc, rc = window_intervals_batch(
+        shmcol.chunk_units(col, lo, hi), rect, t0, t1
+    )
+    return owner + lo, s, e, lc, rc  # rebase owners to whole-fleet indices
+
+
+def _op_count_inside(col: Any, lo: int, hi: int, extra: Tuple[Any, ...]) -> Any:
+    import numpy as np
+
+    from repro.vector.kernels import atinstant_batch, inside_prefilter
+
+    t, region = extra
+    x, y, defined = atinstant_batch(shmcol.chunk_units(col, lo, hi), t)
+    if not defined.any():
+        return 0
+    pts = np.column_stack([x[defined], y[defined]])
+    return int(np.count_nonzero(inside_prefilter(pts, region)))
+
+
+_OPS = {
+    "atinstant": _op_atinstant,
+    "present": _op_present,
+    "bbox": _op_bbox,
+    "window": _op_window,
+    "count_inside": _op_count_inside,
+}
+
+
+def run_task(
+    payload: Tuple[str, shmcol.Descriptor, int, int, Tuple[Any, ...], bool]
+) -> Tuple[Any, Optional[Dict[str, Any]]]:
+    """Worker entry point: one op over one chunk of one shared column."""
+    op, descriptor, lo, hi, extra, profiled = payload
+    col = _attached_column(descriptor)
+    if profiled:
+        with obs.capture() as counters:
+            out = _OPS[op](col, lo, hi, extra)
+        snap = counters.snapshot()
+        return out, {"counters": snap["counters"], "gauges": snap["gauges"]}
+    return _OPS[op](col, lo, hi, extra), None

@@ -1,0 +1,207 @@
+"""Shared-memory packing of columnar fleets (zero-copy worker access).
+
+A column is a handful of contiguous numpy arrays (:mod:`repro.vector.
+columns`).  To hand a column to pool workers without pickling megabytes
+per task, the arrays are copied **once** into a ``multiprocessing.
+shared_memory`` segment; what crosses the process boundary afterwards is
+a tiny *descriptor* — ``(kind, segment name, field layout)`` — from
+which a worker reconstructs the column as numpy views over the mapped
+segment.  Workers therefore read the exact bytes the parent packed:
+zero copies, bit-identical kernel inputs.
+
+Lifetime: the parent keeps a registry entry per packed column, tied to
+the column's lifetime with ``weakref.finalize`` — when the column is
+garbage collected (or the interpreter exits) the segment is closed and
+unlinked.  Workers unregister their attachments from multiprocessing's
+resource tracker: the *owner* unlinks, an attaching process must not.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import weakref
+from multiprocessing import resource_tracker, shared_memory
+from typing import Any, Dict, List, Tuple
+
+import numpy as np
+
+from repro.errors import InvalidValue
+from repro.vector.columns import BBoxColumn, UPointColumn, URealColumn
+
+#: Per-kind field order: names of the arrays that make up each column.
+FIELDS: Dict[str, Tuple[str, ...]] = {
+    "upoint": ("offsets", "starts", "ends", "lc", "rc", "x0", "x1", "y0", "y1"),
+    "ureal": ("offsets", "starts", "ends", "lc", "rc", "a", "b", "c", "r"),
+    "bbox": ("xmin", "ymin", "tmin", "xmax", "ymax", "tmax"),
+}
+
+#: A picklable shared-column handle: (kind, segment name, field layout),
+#: the layout being ``(field, dtype, length, byte offset)`` tuples.
+Descriptor = Tuple[str, str, Tuple[Tuple[str, str, int, int], ...]]
+
+
+def _kind_of(col: Any) -> str:
+    if isinstance(col, UPointColumn):
+        return "upoint"
+    if isinstance(col, URealColumn):
+        return "ureal"
+    if isinstance(col, BBoxColumn):
+        return "bbox"
+    raise InvalidValue(f"cannot share a {type(col).__name__}")
+
+
+def _align8(n: int) -> int:
+    return (n + 7) & ~7
+
+
+def pack(col: Any) -> Tuple[Descriptor, shared_memory.SharedMemory]:
+    """Copy ``col``'s arrays into a fresh shared-memory segment.
+
+    Returns the descriptor plus the owning segment handle; the caller is
+    responsible for eventually ``close()`` + ``unlink()`` (see
+    :func:`shared_descriptor` for the registry that automates this).
+    """
+    kind = _kind_of(col)
+    layout: List[Tuple[str, str, int, int]] = []
+    arrays: List[Tuple[int, np.ndarray]] = []
+    offset = 0
+    for field in FIELDS[kind]:
+        arr = np.ascontiguousarray(getattr(col, field))
+        offset = _align8(offset)
+        layout.append((field, arr.dtype.str, len(arr), offset))
+        arrays.append((offset, arr))
+        offset += arr.nbytes
+    shm = shared_memory.SharedMemory(create=True, size=max(offset, 1))
+    for off, arr in arrays:
+        dst = np.frombuffer(shm.buf, dtype=arr.dtype, count=len(arr), offset=off)
+        dst[:] = arr
+    return (kind, shm.name, tuple(layout)), shm
+
+
+class AttachedColumn:
+    """A column whose arrays are views over an attached shared segment."""
+
+    __slots__ = ("shm", "column")
+
+    def __init__(self, shm: shared_memory.SharedMemory, column: Any):
+        self.shm = shm
+        self.column = column
+
+    def close(self) -> None:
+        try:
+            self.shm.close()
+        except OSError:
+            pass
+
+
+def attach(descriptor: Descriptor) -> AttachedColumn:
+    """Open a packed column in this process (typically a pool worker)."""
+    kind, name, layout = descriptor
+    shm = shared_memory.SharedMemory(name=name)
+    # Fork-context pool workers share the parent's resource tracker, so
+    # the attach-side registration is an idempotent no-op there and the
+    # segment stays owned (and eventually unlinked) by the packing
+    # parent.  Under a spawn context each child has its own tracker,
+    # which would unlink the parent's segment at child exit — drop the
+    # child-side registration in that case only.
+    if multiprocessing.get_start_method(allow_none=True) == "spawn":  # pragma: no cover
+        try:
+            resource_tracker.unregister(shm._name, "shared_memory")  # type: ignore[attr-defined]
+        except Exception:
+            pass
+    fields = {
+        field: np.frombuffer(shm.buf, dtype=np.dtype(dt), count=n, offset=off)
+        for field, dt, n, off in layout
+    }
+    if kind == "bbox":
+        column: Any = BBoxColumn(
+            list(range(len(fields["xmin"]))),
+            **{f: fields[f] for f in FIELDS["bbox"]},
+        )
+    elif kind == "ureal":
+        column = URealColumn(*(fields[f] for f in FIELDS["ureal"]))
+    else:
+        column = UPointColumn(*(fields[f] for f in FIELDS["upoint"]))
+    return AttachedColumn(shm, column)
+
+
+# ---------------------------------------------------------------------------
+# Chunk views: the object/entry range a single worker operates on
+# ---------------------------------------------------------------------------
+
+
+def chunk_units(col: Any, lo: int, hi: int) -> Any:
+    """Object-range ``[lo, hi)`` slice of a unit column, (nearly) zero-copy.
+
+    The per-unit arrays are plain views; only the small per-object
+    offsets array is rebased.  Works for ``UPointColumn`` and
+    ``URealColumn`` alike.
+    """
+    kind = _kind_of(col)
+    offsets = col.offsets
+    u0, u1 = int(offsets[lo]), int(offsets[hi])
+    rebased = offsets[lo : hi + 1] - u0
+    fields = [getattr(col, f)[u0:u1] for f in FIELDS[kind][1:]]
+    return type(col)(rebased, *fields)
+
+
+def chunk_bbox(col: BBoxColumn, lo: int, hi: int) -> BBoxColumn:
+    """Entry-range ``[lo, hi)`` slice of a bounding-box column."""
+    return BBoxColumn(
+        col.keys[lo:hi],
+        *(getattr(col, f)[lo:hi] for f in FIELDS["bbox"]),
+    )
+
+
+# ---------------------------------------------------------------------------
+# Parent-side registry: one segment per live column
+# ---------------------------------------------------------------------------
+
+
+class _Segment:
+    __slots__ = ("descriptor", "ref", "finalizer")
+
+    def __init__(
+        self,
+        descriptor: Descriptor,
+        ref: "weakref.ref[Any]",
+        finalizer: weakref.finalize,
+    ):
+        self.descriptor = descriptor
+        self.ref = ref
+        self.finalizer = finalizer
+
+
+_SEGMENTS: Dict[int, _Segment] = {}
+
+
+def _release(key: int, shm: shared_memory.SharedMemory) -> None:
+    _SEGMENTS.pop(key, None)
+    try:
+        shm.close()
+        shm.unlink()
+    except OSError:
+        pass
+
+
+def shared_descriptor(col: Any) -> Descriptor:
+    """The (cached) shared-memory descriptor of ``col``.
+
+    Packs on first call; subsequent calls for the same live column reuse
+    the segment.  The segment is released when the column is collected.
+    """
+    key = id(col)
+    seg = _SEGMENTS.get(key)
+    if seg is not None and seg.ref() is col:
+        return seg.descriptor
+    descriptor, shm = pack(col)
+    finalizer = weakref.finalize(col, _release, key, shm)
+    _SEGMENTS[key] = _Segment(descriptor, weakref.ref(col), finalizer)
+    return descriptor
+
+
+def release_all() -> None:
+    """Unlink every registered segment now (tests, benchmarks)."""
+    for seg in list(_SEGMENTS.values()):
+        seg.finalizer()
+    _SEGMENTS.clear()

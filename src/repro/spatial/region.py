@@ -70,6 +70,15 @@ class Cycle:
     def __setattr__(self, name, value):
         raise AttributeError("Cycle values are immutable")
 
+    def __getstate__(self):
+        return tuple(getattr(self, s) for s in Cycle.__slots__)
+
+    def __setstate__(self, state):
+        # Bypass the immutability guard: pickling must restore slots
+        # directly (the parallel backend ships regions to pool workers).
+        for slot, value in zip(Cycle.__slots__, state):
+            object.__setattr__(self, slot, value)
+
     @classmethod
     def from_vertices(cls, vertices: Sequence[Vec]) -> "Cycle":
         """Build a cycle from a closed vertex ring (first != last)."""
@@ -199,6 +208,13 @@ class Face:
     def __setattr__(self, name, value):
         raise AttributeError("Face values are immutable")
 
+    def __getstate__(self):
+        return tuple(getattr(self, s) for s in Face.__slots__)
+
+    def __setstate__(self, state):
+        for slot, value in zip(Face.__slots__, state):
+            object.__setattr__(self, slot, value)
+
     @property
     def outer(self) -> Cycle:
         return self._outer
@@ -288,6 +304,13 @@ class Region:
 
     def __setattr__(self, name, value):
         raise AttributeError("Region values are immutable")
+
+    def __getstate__(self):
+        return tuple(getattr(self, s) for s in Region.__slots__)
+
+    def __setstate__(self, state):
+        for slot, value in zip(Region.__slots__, state):
+            object.__setattr__(self, slot, value)
 
     # -- constructors ------------------------------------------------------
 

@@ -1,21 +1,28 @@
-"""A buffer pool over a page file: LRU replacement with pin counts.
+"""A buffer pool over a page file: CLOCK replacement with pin counts.
 
 The DBMS "places values under control of the DBMS into memory"
-(Section 4); this pool is that control point.  It exposes hit/miss
-statistics so the benchmarks can report logical vs physical I/O.
-Hit/miss bookkeeping is unified with :mod:`repro.obs`: the pool's own
-``hits``/``misses`` attributes stay authoritative (and always on), and
-when the observability layer is enabled the same events also land in
-the global counters (``buffer.hits`` / ``buffer.misses``) so one
-``--profile`` report covers kernels and I/O alike.
+(Section 4); this pool is that control point.  Replacement is
+second-chance (CLOCK): every frame carries a reference bit, set on
+insertion and on every hit; the eviction hand sweeps the frames in a
+ring, clearing set bits and evicting the first unpinned frame whose bit
+is already clear.  One sweep costs O(1) amortized (against LRU's
+move-to-end per *hit*), approximates LRU closely, and — unlike strict
+LRU — survives looping scans slightly larger than the pool without
+evicting every page on every lap.
+
+It exposes hit/miss statistics so the benchmarks can report logical vs
+physical I/O.  Hit/miss bookkeeping is unified with :mod:`repro.obs`:
+the pool's own ``hits``/``misses`` attributes stay authoritative (and
+always on), and when the observability layer is enabled the same events
+also land in the global counters (``buffer.hits`` / ``buffer.misses``)
+so one ``--profile`` report covers kernels and I/O alike.
 """
 
 from __future__ import annotations
 
 import time
-from collections import OrderedDict
 from dataclasses import dataclass
-from typing import Dict, Optional
+from typing import Dict, List, Optional
 
 from repro import obs
 from repro.config import BUFFER_RETRY_BASE_DELAY, BUFFER_RETRY_LIMIT
@@ -25,9 +32,11 @@ from repro.storage.pages import PageFile
 
 @dataclass
 class _Frame:
+    page_no: int
     data: bytearray
     pin_count: int = 0
     dirty: bool = False
+    ref: bool = True  # second chance: set on insert and on every hit
 
 
 class BufferPool:
@@ -38,7 +47,9 @@ class BufferPool:
             raise StorageError("buffer pool needs capacity >= 1")
         self._pf = pagefile
         self._capacity = capacity
-        self._frames: "OrderedDict[int, _Frame]" = OrderedDict()
+        self._frames: Dict[int, _Frame] = {}
+        self._ring: List[_Frame] = []  # clock order (insertion order)
+        self._hand = 0  # persists across evictions — that is the point
         self.hits = 0
         self.misses = 0
 
@@ -61,14 +72,15 @@ class BufferPool:
             self.hits += 1
             if obs.enabled:
                 obs.counters.add("buffer.hits")
-            self._frames.move_to_end(page_no)
+            frame.ref = True
         else:
             self.misses += 1
             if obs.enabled:
                 obs.counters.add("buffer.misses")
             self._evict_if_needed()
-            frame = _Frame(bytearray(self._read_with_retry(page_no)))
+            frame = _Frame(page_no, bytearray(self._read_with_retry(page_no)))
             self._frames[page_no] = frame
+            self._ring.append(frame)
         frame.pin_count += 1
         return frame.data
 
@@ -109,24 +121,49 @@ class BufferPool:
 
     # -- maintenance --------------------------------------------------------
 
+    def _clock_victim_index(self) -> Optional[int]:
+        """Sweep the ring: clear set reference bits, return the index of
+        the first unpinned frame whose bit is already clear.
+
+        Two full revolutions bound the sweep: the first may only be
+        clearing bits, the second must then find any unpinned frame.
+        Pinned frames are skipped (and keep their bits untouched — a
+        pinned page is in use by definition).  On success the hand is
+        left at the victim's slot, which the removal vacates, so the
+        next sweep resumes with the frame that follows it.
+        """
+        n = len(self._ring)
+        for _ in range(2 * n):
+            p = self._hand % n
+            frame = self._ring[p]
+            if frame.pin_count > 0:
+                self._hand = (p + 1) % n
+                continue
+            if frame.ref:
+                frame.ref = False  # second chance spent
+                self._hand = (p + 1) % n
+                continue
+            self._hand = p
+            return p
+        return None
+
     def _evict_if_needed(self) -> None:
         while len(self._frames) >= self._capacity:
-            victim_no = None
-            for page_no, frame in self._frames.items():  # LRU order
-                if frame.pin_count == 0:
-                    victim_no = page_no
-                    break
-            if victim_no is None:
+            idx = self._clock_victim_index()
+            if idx is None:
                 raise StorageError("buffer pool exhausted: all frames pinned")
-            frame = self._frames.pop(victim_no)
-            if frame.dirty:
-                self._pf.write_page(victim_no, bytes(frame.data))
+            victim = self._ring.pop(idx)
+            if self._ring and self._hand >= len(self._ring):
+                self._hand = 0
+            del self._frames[victim.page_no]
+            if victim.dirty:
+                self._pf.write_page(victim.page_no, bytes(victim.data))
 
     def flush(self) -> None:
         """Write back all dirty frames (keeps them resident)."""
-        for page_no, frame in self._frames.items():
+        for frame in self._ring:
             if frame.dirty:
-                self._pf.write_page(page_no, bytes(frame.data))
+                self._pf.write_page(frame.page_no, bytes(frame.data))
                 frame.dirty = False
 
     @property

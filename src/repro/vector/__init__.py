@@ -19,8 +19,12 @@ columnar-ly, across *many* objects at once:
   R-tree/refinement path), and ``inside_prefilter`` (batched plumbline
   crossing counts for N query points against one region).
 * :mod:`repro.vector.fleet` — the backend switch (``scalar`` |
-  ``vector``) and fleet-level convenience wrappers with automatic,
-  counted fallback to the scalar reference implementations.
+  ``vector`` | ``parallel``) and fleet-level convenience wrappers with
+  automatic, counted fallback to the scalar reference implementations.
+* :mod:`repro.vector.cache` — the columnar cache: versioned
+  :class:`~repro.vector.cache.Fleet` sequences reuse built columns
+  across queries (``colcache.hits``), invalidated by mutation
+  (``colcache.invalidations``).
 
 Every kernel is observable through :mod:`repro.obs` (rows per kernel
 call, fallback-to-scalar events) and equivalent to the scalar unit-at-a-
@@ -29,6 +33,7 @@ time path — an equivalence the property tests and benchmarks assert.
 
 from __future__ import annotations
 
+from repro.vector.cache import ColumnCache, Fleet, clear_cache, column_for
 from repro.vector.columns import BBoxColumn, UPointColumn, URealColumn
 from repro.vector.fleet import (
     fleet_atinstant,
@@ -46,14 +51,20 @@ from repro.vector.kernels import (
     locate_units,
     on_boundary_batch,
     ureal_atinstant_batch,
+    window_intervals_batch,
+    window_times_batch,
 )
 
 __all__ = [
     "BBoxColumn",
+    "ColumnCache",
+    "Fleet",
     "UPointColumn",
     "URealColumn",
     "atinstant_batch",
     "bbox_filter_batch",
+    "clear_cache",
+    "column_for",
     "crossings_above_batch",
     "fleet_atinstant",
     "fleet_atinstant_real",
@@ -65,4 +76,6 @@ __all__ = [
     "on_boundary_batch",
     "set_backend",
     "ureal_atinstant_batch",
+    "window_intervals_batch",
+    "window_times_batch",
 ]

@@ -1,0 +1,172 @@
+"""Columnar cache: built columns keyed by fleet identity + version stamp.
+
+``BENCH_vector.json`` made the economics plain: the batched ``atinstant``
+kernel costs well under a millisecond at 10,000 objects, but building its
+column costs tens of milliseconds — repeated snapshot and window queries
+were paying a ~40× overhead to re-transcribe an unchanged fleet.  The
+cache closes that gap for fleets that opt into mutation tracking:
+
+* :class:`Fleet` is a list-like sequence of moving objects carrying a
+  monotonically increasing *version stamp*, bumped by every mutating
+  operation (``append``/``__setitem__``/``__delitem__``/``insert``/…).
+* :class:`ColumnCache` memoizes built columns under the key
+  ``(id(fleet), kind)`` and revalidates by version: a stamp mismatch is
+  an *invalidation* (the fleet mutated since the column was built) and
+  the column is rebuilt.  A weak reference guards against ``id`` reuse
+  after the original fleet is garbage collected.
+
+Plain sequences (lists, tuples) have no version stamp and bypass the
+cache entirely — they get a fresh column per call, exactly the pre-cache
+behaviour.  Counters: ``colcache.hits`` / ``colcache.misses`` /
+``colcache.invalidations``.
+"""
+
+from __future__ import annotations
+
+import weakref
+from collections import OrderedDict
+from collections.abc import MutableSequence
+from typing import Any, Callable, Dict, Iterable, List, Optional, Tuple
+
+from repro import config, obs
+from repro.errors import InvalidValue
+from repro.vector.columns import BBoxColumn, UPointColumn, URealColumn
+
+
+class Fleet(MutableSequence[Any]):
+    """A mutable sequence of moving objects with a version stamp.
+
+    Behaves like a list for every read, but every mutation bumps
+    :attr:`version`, which is what lets :class:`ColumnCache` decide
+    whether a previously built column still describes the fleet.
+    """
+
+    __slots__ = ("_items", "_version", "__weakref__")
+
+    def __init__(self, items: Iterable[Any] = ()):
+        self._items: List[Any] = list(items)
+        self._version = 0
+
+    @property
+    def version(self) -> int:
+        """Monotonic mutation stamp; changes iff the fleet changed."""
+        return self._version
+
+    def invalidate(self) -> None:
+        """Bump the version without changing contents.
+
+        For callers that mutated a *member* in place (the fleet cannot
+        observe that), so cached columns must be declared stale by hand.
+        """
+        self._version += 1
+
+    # -- MutableSequence core ------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    def __getitem__(self, i: Any) -> Any:
+        return self._items[i]
+
+    def __setitem__(self, i: Any, value: Any) -> None:
+        self._items[i] = value
+        self._version += 1
+
+    def __delitem__(self, i: Any) -> None:
+        del self._items[i]
+        self._version += 1
+
+    def insert(self, i: int, value: Any) -> None:
+        self._items.insert(i, value)
+        self._version += 1
+
+    def __repr__(self) -> str:
+        return f"Fleet({len(self._items)} objects, version={self._version})"
+
+
+#: How each column kind is built from a fleet of mappings.
+_BUILDERS: Dict[str, Callable[[Any], Any]] = {
+    "upoint": UPointColumn.from_mappings,
+    "ureal": URealColumn.from_mappings,
+    "bbox": BBoxColumn.from_mappings,
+}
+
+
+class ColumnCache:
+    """LRU cache of built columns keyed by fleet identity + version."""
+
+    __slots__ = ("_capacity", "_entries")
+
+    def __init__(self, capacity: Optional[int] = None):
+        self._capacity = capacity
+        # (id(fleet), kind) -> (version, weakref-to-fleet, column)
+        self._entries: "OrderedDict[Tuple[int, str], Tuple[int, Any, Any]]" = (
+            OrderedDict()
+        )
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def clear(self) -> None:
+        self._entries.clear()
+
+    def get(self, fleet: Fleet, kind: str) -> Any:
+        """The ``kind`` column of ``fleet``, rebuilt only when stale."""
+        builder = _BUILDERS.get(kind)
+        if builder is None:
+            raise InvalidValue(f"unknown column kind {kind!r}")
+        key = (id(fleet), kind)
+        entry = self._entries.get(key)
+        if entry is not None:
+            version, ref, column = entry
+            if ref() is not fleet:
+                # id() was recycled by a new fleet: a stale stranger's
+                # entry, not an invalidation of *this* fleet's column.
+                del self._entries[key]
+            elif version == fleet.version:
+                if obs.enabled:
+                    obs.counters.add("colcache.hits")
+                self._entries.move_to_end(key)
+                return column
+            else:
+                if obs.enabled:
+                    obs.counters.add("colcache.invalidations")
+                del self._entries[key]
+        if obs.enabled:
+            obs.counters.add("colcache.misses")
+        version = fleet.version
+        column = builder(fleet)
+        self._entries[key] = (version, weakref.ref(fleet), column)
+        capacity = (
+            self._capacity if self._capacity is not None
+            else config.COLCACHE_CAPACITY
+        )
+        while len(self._entries) > max(capacity, 1):
+            self._entries.popitem(last=False)
+        return column
+
+
+#: Process-wide cache used by the fleet helpers and the query engine.
+_CACHE = ColumnCache()
+
+
+def column_for(fleet: Any, kind: str = "upoint") -> Any:
+    """Build (or fetch) the ``kind`` column for ``fleet``.
+
+    Versioned :class:`Fleet` instances go through the process-wide
+    :class:`ColumnCache`; plain sequences are transcribed fresh per call
+    (no identity + version to validate against).  Raises whatever the
+    column builder raises (``InvalidValue`` for non-mapping members), so
+    backend dispatchers keep their counted scalar fallback.
+    """
+    if isinstance(fleet, Fleet):
+        return _CACHE.get(fleet, kind)
+    builder = _BUILDERS.get(kind)
+    if builder is None:
+        raise InvalidValue(f"unknown column kind {kind!r}")
+    return builder(fleet)
+
+
+def clear_cache() -> None:
+    """Drop every cached column (tests, benchmarks)."""
+    _CACHE.clear()

@@ -40,7 +40,9 @@ def _as_offsets(counts: List[int]) -> np.ndarray:
 class UnitColumn:
     """Shared interval columns: ``starts``/``ends``/``lc``/``rc`` + offsets."""
 
-    __slots__ = ("offsets", "starts", "ends", "lc", "rc")
+    # __weakref__ lets the column cache and the shared-memory segment
+    # registry key off column/owner identity without keeping it alive.
+    __slots__ = ("offsets", "starts", "ends", "lc", "rc", "__weakref__")
 
     def __init__(
         self,
@@ -315,7 +317,7 @@ class BBoxColumn:
     records store, exactly what the R-tree indexes).
     """
 
-    __slots__ = ("keys", "xmin", "ymin", "tmin", "xmax", "ymax", "tmax")
+    __slots__ = ("keys", "xmin", "ymin", "tmin", "xmax", "ymax", "tmax", "__weakref__")
 
     def __init__(self, keys, xmin, ymin, tmin, xmax, ymax, tmax):
         self.keys = list(keys)

@@ -1,13 +1,21 @@
-"""Fleet-level evaluation with a scalar/vector backend switch.
+"""Fleet-level evaluation with a scalar/vector/parallel backend switch.
 
 The helpers here are the API the rest of the stack (executor, CLI,
 benchmarks) calls: each takes a *fleet* (a sequence of moving values)
 and evaluates one operation over all of it, either through the batched
-columnar kernels (``vector``) or through the per-object scalar reference
-loop (``scalar``).  The two backends return identical results; when the
-vector path cannot represent the input (mixed unit types, non-mapping
-operands) it falls back to scalar and counts the event
-(``vector.fallback_to_scalar``).
+columnar kernels (``vector``), through those same kernels chunked over a
+shared-memory process pool (``parallel``, :mod:`repro.parallel`), or
+through the per-object scalar reference loop (``scalar``).  All backends
+return identical results; when the columnar paths cannot represent the
+input (mixed unit types, non-mapping operands) they fall back to scalar
+and count the event (``vector.fallback_to_scalar``), and the parallel
+layer additionally degrades to single-process kernels under
+``parallel.fallback.*``.
+
+Column construction is routed through :mod:`repro.vector.cache`:
+versioned :class:`~repro.vector.cache.Fleet` sequences reuse their
+columns across calls (invalidated on mutation), plain sequences are
+transcribed per call.
 
 The process-wide default backend starts at
 ``repro.config.DEFAULT_BACKEND`` and is flipped by ``set_backend`` (the
@@ -26,7 +34,7 @@ from repro.spatial.bbox import Cube
 from repro.spatial.point import Point
 from repro.spatial.region import Region
 from repro.temporal.mapping import MovingPoint, MovingReal
-from repro.vector.columns import BBoxColumn, UPointColumn, URealColumn
+from repro.vector.cache import column_for
 from repro.vector.kernels import (
     atinstant_batch,
     bbox_filter_batch,
@@ -34,13 +42,13 @@ from repro.vector.kernels import (
     ureal_atinstant_batch,
 )
 
-BACKENDS = ("scalar", "vector")
+BACKENDS = ("scalar", "vector", "parallel")
 
 _backend: str = config.DEFAULT_BACKEND
 
 
 def set_backend(name: str) -> None:
-    """Select the process-wide default backend (``scalar`` or ``vector``)."""
+    """Select the process-wide default backend (see :data:`BACKENDS`)."""
     global _backend
     if name not in BACKENDS:
         raise InvalidValue(f"unknown backend {name!r}; choose from {BACKENDS}")
@@ -75,15 +83,22 @@ def fleet_atinstant(
     fleet: Sequence[MovingPoint],
     t: float,
     backend: Optional[str] = None,
+    workers: Optional[int] = None,
 ) -> List[Optional[Point]]:
     """Position of every moving point at instant ``t`` (None where ⊥)."""
-    if _resolve(backend) == "vector":
+    resolved = _resolve(backend)
+    if resolved == "vector" or resolved == "parallel":
         try:
-            col = UPointColumn.from_mappings(fleet)
+            col = column_for(fleet, "upoint")
         except (InvalidValue, StorageError):
             _fallback("upoint_column")
         else:
-            xs, ys, defined = atinstant_batch(col, t)
+            if resolved == "parallel":
+                from repro.parallel import parallel_atinstant
+
+                xs, ys, defined = parallel_atinstant(col, t, workers=workers)
+            else:
+                xs, ys, defined = atinstant_batch(col, t)
             return [
                 Point(float(x), float(y)) if d else None
                 for x, y, d in zip(xs, ys, defined)
@@ -96,10 +111,16 @@ def fleet_atinstant_real(
     t: float,
     backend: Optional[str] = None,
 ) -> List[Optional[float]]:
-    """Value of every moving real at instant ``t`` (None where ⊥)."""
-    if _resolve(backend) == "vector":
+    """Value of every moving real at instant ``t`` (None where ⊥).
+
+    No chunked variant: moving-real fleets in this stack are derived,
+    query-local values, never large enough to out-earn pool dispatch —
+    ``parallel`` therefore runs the single-process kernel.
+    """
+    resolved = _resolve(backend)
+    if resolved == "vector" or resolved == "parallel":
         try:
-            col = URealColumn.from_mappings(fleet)
+            col = column_for(fleet, "ureal")
         except (InvalidValue, StorageError):
             _fallback("ureal_column")
         else:
@@ -116,19 +137,26 @@ def fleet_bbox_filter(
     fleet: Sequence[MovingPoint],
     cube: Cube,
     backend: Optional[str] = None,
+    workers: Optional[int] = None,
 ) -> List[int]:
     """Indices of fleet members whose bounding cube intersects ``cube``.
 
     The filter half of filter-and-refine: survivors still need the exact
     per-object check (window refinement, R-tree descent, ...).
     """
-    if _resolve(backend) == "vector":
+    resolved = _resolve(backend)
+    if resolved == "vector" or resolved == "parallel":
         try:
-            col = BBoxColumn.from_mappings(fleet)
+            col = column_for(fleet, "bbox")
         except (InvalidValue, StorageError):
             _fallback("bbox_column")
         else:
-            mask = bbox_filter_batch(col, cube)
+            if resolved == "parallel":
+                from repro.parallel import parallel_bbox_filter
+
+                mask = parallel_bbox_filter(col, cube, workers=workers)
+            else:
+                mask = bbox_filter_batch(col, cube)
             return [int(k) for k, hit in zip(col.keys, mask) if hit]
     return [
         i
@@ -142,20 +170,28 @@ def fleet_count_inside(
     t: float,
     region: Region,
     backend: Optional[str] = None,
+    workers: Optional[int] = None,
 ) -> Tuple[int, List[bool]]:
     """How many fleet members are inside ``region`` at instant ``t``?
 
-    Returns ``(count, member_mask)``.  The vector path snapshots the
-    whole fleet with one ``atinstant_batch`` call and answers membership
-    with one batched plumbline call over the defined positions.
+    Returns ``(count, member_mask)``.  The columnar paths snapshot the
+    whole fleet with one (possibly chunked) ``atinstant`` and answer
+    membership with one batched plumbline call over the defined
+    positions.
     """
-    if _resolve(backend) == "vector":
+    resolved = _resolve(backend)
+    if resolved == "vector" or resolved == "parallel":
         try:
-            col = UPointColumn.from_mappings(fleet)
+            col = column_for(fleet, "upoint")
         except (InvalidValue, StorageError):
             _fallback("upoint_column")
         else:
-            xs, ys, defined = atinstant_batch(col, t)
+            if resolved == "parallel":
+                from repro.parallel import parallel_atinstant
+
+                xs, ys, defined = parallel_atinstant(col, t, workers=workers)
+            else:
+                xs, ys, defined = atinstant_batch(col, t)
             mask = [False] * len(fleet)
             idx = np.flatnonzero(defined)
             if idx.size:

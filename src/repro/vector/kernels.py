@@ -25,7 +25,7 @@ from repro import obs
 from repro.config import EPSILON
 from repro.errors import InvalidValue
 from repro.geometry.segment import Seg
-from repro.spatial.bbox import Cube
+from repro.spatial.bbox import Cube, Rect
 from repro.spatial.region import Region
 from repro.vector.columns import BBoxColumn, UnitColumn, UPointColumn, URealColumn
 
@@ -304,3 +304,116 @@ def inside_prefilter(
     on = on_boundary_batch(np.column_stack([px, py]), arr, eps)
     _record_rows("inside_prefilter", len(px))
     return np.where(on, boundary_counts, odd)
+
+
+# ---------------------------------------------------------------------------
+# Window refinement, batched: per-unit in-rect spans → merged, clipped runs
+# ---------------------------------------------------------------------------
+
+
+def window_times_batch(
+    col: UPointColumn, rect: Rect
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    """Per-unit time spans inside ``rect``, for a whole fleet at once.
+
+    Vectorized transcription of :func:`repro.ops.window.
+    upoint_within_rect_times`: per axis, a (near-)constant coordinate is
+    inside iff its value is (eps-)within the slab, otherwise the linear
+    motion enters/leaves at the two slab-crossing parameters; the axis
+    spans are intersected with each other and with the unit's interval.
+    Closedness is inherited exactly as the scalar does — the unit's own
+    flag where the span reaches the interval endpoint (eps-compared, via
+    the same ``feq`` tolerance), closed where the rect boundary cuts the
+    interior — and degenerate non-closed spans are dropped with the
+    scalar's *exact* (not eps) equality.
+
+    Returns ``(a, b, lc, rc, ok)`` aligned with the column's unit
+    arrays; lanes are meaningful only where ``ok`` is True.
+    """
+    s, e = col.starts, col.ends
+
+    def axis(
+        c0: np.ndarray, c1: np.ndarray, lo: float, hi: float
+    ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        const = np.abs(c1) <= EPSILON
+        const_ok = (lo <= c0 + EPSILON) & (c0 <= hi + EPSILON)
+        denom = np.where(const, 1.0, c1)
+        ta = (lo - c0) / denom
+        tb = (hi - c0) / denom
+        a = np.maximum(s, np.minimum(ta, tb))
+        b = np.minimum(e, np.maximum(ta, tb))
+        ok = a <= b
+        a = np.where(const, s, a)
+        b = np.where(const, e, b)
+        ok = np.where(const, const_ok, ok)
+        return a, b, ok
+
+    xa, xb, xok = axis(col.x0, col.x1, rect.xmin, rect.xmax)
+    ya, yb, yok = axis(col.y0, col.y1, rect.ymin, rect.ymax)
+    a = np.maximum(xa, ya)
+    b = np.minimum(xb, yb)
+    ok = xok & yok & (a <= b)
+    lc = np.where(np.abs(a - s) <= EPSILON, col.lc, True)
+    rc = np.where(np.abs(b - e) <= EPSILON, col.rc, True)
+    ok &= ~((a == b) & ~(lc & rc))
+    _record_rows("window_times_batch", col.n_units)
+    return a, b, lc, rc, ok
+
+
+def window_intervals_batch(
+    col: UPointColumn, rect: Rect, t0: float, t1: float
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    """Merged, window-clipped in-rect intervals for a whole fleet at once.
+
+    The batch analogue of ``mpoint_within_rect_times(m, rect).
+    normalized(...).intersection(RangeSet([Interval(t0, t1)]))``: the
+    per-unit spans of :func:`window_times_batch` are merged into runs
+    exactly as ``RangeSet.normalized`` would (two spans coalesce iff
+    they share an endpoint — raw float equality, like ``Interval.
+    r_adjacent`` — with at least one touching side closed, and belong to
+    the same object), then clipped against the closed window
+    ``[t0, t1]`` with ``Interval.intersection``'s tie rules (degenerate
+    survivors become closed on both sides).  Because each object's unit
+    spans arrive in validated unit order, the resulting runs are already
+    in canonical ``RangeSet`` order, pairwise disjoint and non-adjacent.
+
+    Returns ``(owner, s, e, lc, rc)`` — one row per surviving interval,
+    ``owner`` being the object's index in the column, grouped by object
+    in ascending time order.
+    """
+    a, b, lc, rc, ok = window_times_batch(col, rect)
+    _record_rows("window_intervals_batch", col.n_units)
+    t0, t1 = float(t0), float(t1)
+    empty = np.empty(0)
+    idx = np.flatnonzero(ok)
+    if idx.size == 0:
+        return (
+            np.empty(0, dtype=np.int64), empty, empty.copy(),
+            np.empty(0, dtype=np.bool_), np.empty(0, dtype=np.bool_),
+        )
+    owner = (np.searchsorted(col.offsets, idx, side="right") - 1).astype(np.int64)
+    av, bv, lv, rv = a[idx], b[idx], lc[idx], rc[idx]
+    link = (bv[:-1] == av[1:]) & (rv[:-1] | lv[1:]) & (owner[:-1] == owner[1:])
+    starts = np.flatnonzero(np.concatenate(([True], ~link)))
+    ends = np.concatenate((starts[1:] - 1, [len(idx) - 1]))
+    run_s, run_e = av[starts], bv[ends]
+    run_lc, run_rc = lv[starts], rv[ends]
+    run_owner = owner[starts]
+    # Clip against the closed window [t0, t1]: Interval.r_disjoint on
+    # either side drops the run; the survivors take the tighter endpoint
+    # and, on the window's side, a closed flag (Interval.intersection tie
+    # rules with lc = rc = True for the window).
+    keep = ~(
+        (run_e < t0)
+        | ((run_e == t0) & ~run_rc)
+        | (t1 < run_s)
+        | ((t1 == run_s) & ~run_lc)
+    )
+    cs = np.maximum(run_s, t0)
+    ce = np.minimum(run_e, t1)
+    clc = np.where(run_s >= t0, run_lc, True)
+    crc = np.where(run_e <= t1, run_rc, True)
+    degenerate = cs == ce  # degenerate intersections are closed points
+    clc = np.where(degenerate, True, clc)
+    crc = np.where(degenerate, True, crc)
+    return run_owner[keep], cs[keep], ce[keep], clc[keep], crc[keep]

@@ -59,4 +59,12 @@ KERNEL_PARITY: Dict[str, KernelParity] = {
         scalar="repro.geometry.plumbline.point_in_segset",
         test="test_inside_matches_point_in_segset",
     ),
+    "window_times_batch": KernelParity(
+        scalar="repro.ops.window.upoint_within_rect_times",
+        test="test_window_times_batch_matches_scalar",
+    ),
+    "window_intervals_batch": KernelParity(
+        scalar="repro.ops.window.mpoint_within_rect_times",
+        test="test_window_intervals_batch_matches_scalar",
+    ),
 }

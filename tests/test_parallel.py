@@ -1,0 +1,452 @@
+"""Parallel execution layer: shared-memory chunking, cache, DB wiring.
+
+Everything here asserts *equivalence first*: the parallel backend must
+return bit-identical results to the vector and scalar backends on every
+path (fleet helpers, window engine, SQL batch predicates), with the
+counted fallbacks engaging exactly when dispatch is not worthwhile.
+"""
+
+import numpy as np
+import pytest
+
+from repro import config, obs
+from repro.db import Database
+from repro.parallel import (
+    attach,
+    chunk_bounds,
+    effective_workers,
+    group_intervals,
+    pack,
+    parallel_atinstant,
+    parallel_bbox_filter,
+    parallel_count_inside,
+    parallel_present,
+    parallel_window_intervals,
+    set_workers,
+)
+from repro.errors import InvalidValue
+from repro.ops.window import WindowQueryEngine, mpoint_within_rect_times
+from repro.ranges.interval import Interval
+from repro.ranges.rangeset import RangeSet
+from repro.spatial.bbox import Cube, Rect
+from repro.temporal.mapping import MovingPoint
+from repro.vector.cache import Fleet, clear_cache, column_for
+from repro.vector.columns import BBoxColumn, UPointColumn
+from repro.vector.fleet import (
+    fleet_atinstant,
+    fleet_bbox_filter,
+    fleet_count_inside,
+    set_backend,
+)
+from repro.vector.kernels import (
+    atinstant_batch,
+    bbox_filter_batch,
+    window_intervals_batch,
+)
+from repro.workloads.regions import regular_polygon
+from repro.workloads.trajectories import random_flights
+
+
+@pytest.fixture(autouse=True)
+def _clean_state():
+    """Scalar default, no worker override, empty column cache."""
+    set_backend("scalar")
+    set_workers(None)
+    clear_cache()
+    yield
+    set_backend("scalar")
+    set_workers(None)
+    clear_cache()
+
+
+@pytest.fixture
+def small_min_objects(monkeypatch):
+    """Let tiny test fleets qualify for pool dispatch."""
+    monkeypatch.setattr(config, "PARALLEL_MIN_OBJECTS", 2)
+
+
+def make_fleet(n=40, seed=7):
+    return random_flights(n, seed=seed)
+
+
+# ---------------------------------------------------------------------------
+# Fleet + ColumnCache
+# ---------------------------------------------------------------------------
+
+
+class TestFleetCache:
+    def test_version_bumps_on_mutation(self):
+        fleet = Fleet(make_fleet(3))
+        v0 = fleet.version
+        fleet.append(MovingPoint([]))
+        assert fleet.version > v0
+        v1 = fleet.version
+        fleet[0] = MovingPoint([])
+        assert fleet.version > v1
+        v2 = fleet.version
+        del fleet[0]
+        assert fleet.version > v2
+        v3 = fleet.version
+        fleet.invalidate()
+        assert fleet.version > v3
+
+    def test_hit_miss_invalidation_counters(self):
+        fleet = Fleet(make_fleet(5))
+        obs.reset()
+        obs.enable()
+        try:
+            c1 = column_for(fleet, "upoint")
+            c2 = column_for(fleet, "upoint")
+            assert c1 is c2  # cached instance reused
+            fleet.append(MovingPoint([]))
+            c3 = column_for(fleet, "upoint")
+            assert c3 is not c1
+        finally:
+            obs.disable()
+        assert obs.get("colcache.misses") == 2
+        assert obs.get("colcache.hits") == 1
+        assert obs.get("colcache.invalidations") == 1
+
+    def test_kinds_cached_independently(self):
+        fleet = Fleet(make_fleet(4))
+        obs.reset()
+        obs.enable()
+        try:
+            column_for(fleet, "upoint")
+            column_for(fleet, "bbox")
+            column_for(fleet, "upoint")
+            column_for(fleet, "bbox")
+        finally:
+            obs.disable()
+        assert obs.get("colcache.misses") == 2
+        assert obs.get("colcache.hits") == 2
+
+    def test_plain_sequences_bypass_cache(self):
+        fleet = make_fleet(4)
+        obs.reset()
+        obs.enable()
+        try:
+            a = column_for(fleet, "upoint")
+            b = column_for(fleet, "upoint")
+        finally:
+            obs.disable()
+        assert a is not b
+        assert obs.get("colcache.hits") == 0
+        assert obs.get("colcache.misses") == 0
+
+    def test_cached_column_equals_fresh(self):
+        mappings = make_fleet(6)
+        fleet = Fleet(mappings)
+        cached = column_for(fleet, "upoint")
+        fresh = UPointColumn.from_mappings(mappings)
+        assert np.array_equal(cached.offsets, fresh.offsets)
+        assert np.array_equal(cached.starts, fresh.starts)
+        assert np.array_equal(cached.x0, fresh.x0)
+
+    def test_unknown_kind_rejected(self):
+        with pytest.raises(InvalidValue):
+            column_for(Fleet(), "matrix")
+
+
+# ---------------------------------------------------------------------------
+# Shared-memory pack/attach + chunking
+# ---------------------------------------------------------------------------
+
+
+def roundtrip_fields(col, fields):
+    """Pack ``col``, attach it back, return owned copies of ``fields``.
+
+    The attached column's arrays are views over the segment, so they
+    must be dropped before the segment can close — hence the copies.
+    """
+    descriptor, shm = pack(col)
+    try:
+        attached = attach(descriptor)
+        copies = {
+            f: np.array(getattr(attached.column, f)) for f in fields
+        }
+        attached.column = None  # release the views over the segment
+        attached.close()
+        return copies
+    finally:
+        shm.close()
+        shm.unlink()
+
+
+class TestSharedMemory:
+    def test_upoint_round_trip(self):
+        col = UPointColumn.from_mappings(make_fleet(10))
+        fields = ("offsets", "starts", "ends", "lc", "rc",
+                  "x0", "x1", "y0", "y1")
+        back = roundtrip_fields(col, fields)
+        for f in fields:
+            assert np.array_equal(back[f], getattr(col, f)), f
+
+    def test_bbox_round_trip(self):
+        col = BBoxColumn.from_mappings(make_fleet(10))
+        fields = ("xmin", "ymin", "tmin", "xmax", "ymax", "tmax")
+        back = roundtrip_fields(col, fields)
+        for f in fields:
+            assert np.array_equal(back[f], getattr(col, f)), f
+
+    def test_chunk_bounds_cover_exactly(self):
+        col = UPointColumn.from_mappings(make_fleet(23))
+        for chunks in (1, 2, 3, 7, 50):
+            bounds = chunk_bounds(col.offsets, col.n_objects, chunks)
+            assert bounds[0][0] == 0
+            assert bounds[-1][1] == col.n_objects
+            for (_, a_hi), (b_lo, _) in zip(bounds, bounds[1:]):
+                assert a_hi == b_lo
+            assert all(hi > lo for lo, hi in bounds)
+
+    def test_chunk_bounds_empty(self):
+        assert chunk_bounds(None, 0, 4) == []
+
+    def test_region_pickle_round_trip(self):
+        # Regions ride the task queue to pool workers; the immutable
+        # Cycle/Face/Region classes must survive pickling despite their
+        # __setattr__ guards.
+        import pickle
+
+        region = regular_polygon((3.0, -2.0), 10.0, 7)
+        back = pickle.loads(pickle.dumps(region))
+        assert back == region
+        assert back.contains_point((3.0, -2.0))
+        assert not back.contains_point((50.0, 50.0))
+
+
+# ---------------------------------------------------------------------------
+# Parallel kernel equivalence (2 workers, tiny dispatch threshold)
+# ---------------------------------------------------------------------------
+
+
+class TestParallelEquivalence:
+    def test_atinstant(self, small_min_objects):
+        fleet = make_fleet(30)
+        col = UPointColumn.from_mappings(fleet)
+        t = 40.0
+        xs, ys, defined = parallel_atinstant(col, t, workers=2)
+        ex, ey, ed = atinstant_batch(col, t)
+        assert np.array_equal(defined, ed)
+        assert np.array_equal(xs[defined], ex[ed])
+        assert np.array_equal(ys[defined], ey[ed])
+
+    def test_present(self, small_min_objects):
+        fleet = make_fleet(30)
+        col = UPointColumn.from_mappings(fleet)
+        got = parallel_present(col, 40.0, workers=2)
+        expected = np.array(
+            [m.value_at(40.0) is not None for m in fleet]
+        )
+        assert np.array_equal(got, expected)
+
+    def test_bbox_filter(self, small_min_objects):
+        fleet = make_fleet(30)
+        col = BBoxColumn.from_mappings(fleet)
+        cube = Cube(-500, -500, 0, 500, 500, 80)
+        got = parallel_bbox_filter(col, cube, workers=2)
+        assert np.array_equal(got, bbox_filter_batch(col, cube))
+
+    def test_window_intervals(self, small_min_objects):
+        fleet = make_fleet(30)
+        col = UPointColumn.from_mappings(fleet)
+        rect = Rect(-800, -800, 800, 800)
+        t0, t1 = 10.0, 60.0
+        got = parallel_window_intervals(col, rect, t0, t1, workers=2)
+        expected = window_intervals_batch(col, rect, t0, t1)
+        for g, e in zip(got, expected):
+            assert np.array_equal(g, e)
+
+    def test_count_inside(self, small_min_objects):
+        fleet = make_fleet(30)
+        col = UPointColumn.from_mappings(fleet)
+        region = regular_polygon((0.0, 0.0), 600.0, 12)
+        got = parallel_count_inside(col, region, 40.0, workers=2)
+        x, y, defined = atinstant_batch(col, 40.0)
+        from repro.vector.kernels import inside_prefilter
+
+        pts = np.column_stack([x[defined], y[defined]])
+        assert got == int(np.count_nonzero(inside_prefilter(pts, region)))
+
+    def test_chunks_counter(self, small_min_objects):
+        col = UPointColumn.from_mappings(make_fleet(30))
+        obs.reset()
+        obs.enable()
+        try:
+            parallel_atinstant(col, 40.0, workers=2)
+        finally:
+            obs.disable()
+        assert obs.get("parallel.chunks") == 2
+        assert obs.get("parallel.fallback") == 0
+
+
+class TestFallbacks:
+    def test_single_worker_falls_back(self, small_min_objects):
+        col = UPointColumn.from_mappings(make_fleet(10))
+        obs.reset()
+        obs.enable()
+        try:
+            xs, ys, defined = parallel_atinstant(col, 40.0, workers=1)
+        finally:
+            obs.disable()
+        ex, ey, ed = atinstant_batch(col, 40.0)
+        assert np.array_equal(defined, ed)
+        assert obs.get("parallel.fallback") == 1
+        assert obs.get("parallel.fallback.workers") == 1
+        assert obs.get("parallel.chunks") == 0
+
+    def test_small_fleet_falls_back(self):
+        # Default PARALLEL_MIN_OBJECTS is far above 10 objects.
+        col = UPointColumn.from_mappings(make_fleet(10))
+        obs.reset()
+        obs.enable()
+        try:
+            parallel_atinstant(col, 40.0, workers=2)
+        finally:
+            obs.disable()
+        assert obs.get("parallel.fallback.small_fleet") == 1
+
+    def test_workers_validation(self):
+        with pytest.raises(InvalidValue):
+            set_workers(-1)
+
+    def test_effective_workers_resolution(self):
+        assert effective_workers(3) == 3
+        set_workers(2)
+        assert effective_workers(None) == 2
+        set_workers(None)
+        assert effective_workers(0) >= 1  # one per core, at least one
+
+
+# ---------------------------------------------------------------------------
+# Fleet helpers and the window engine across backends
+# ---------------------------------------------------------------------------
+
+
+class TestBackendParity:
+    def test_fleet_helpers(self, small_min_objects):
+        fleet = make_fleet(25)
+        region = regular_polygon((0.0, 0.0), 700.0, 10)
+        cube = Cube(-600, -600, 0, 600, 600, 90)
+        t = 35.0
+        scalar = fleet_atinstant(fleet, t, backend="scalar")
+        par = fleet_atinstant(fleet, t, backend="parallel", workers=2)
+        assert par == scalar
+        assert fleet_bbox_filter(
+            fleet, cube, backend="parallel", workers=2
+        ) == fleet_bbox_filter(fleet, cube, backend="scalar")
+        assert fleet_count_inside(
+            fleet, t, region, backend="parallel", workers=2
+        ) == fleet_count_inside(fleet, t, region, backend="scalar")
+
+    def test_window_engine(self, small_min_objects):
+        engine = WindowQueryEngine()
+        for i, mp in enumerate(make_fleet(25)):
+            engine.add(f"f{i}", mp)
+        rect = Rect(-800, -800, 800, 800)
+        scalar = engine.query(rect, 10.0, 60.0, backend="scalar")
+        vector = engine.query(rect, 10.0, 60.0, backend="vector")
+        par = engine.query(rect, 10.0, 60.0, backend="parallel", workers=2)
+        naive = engine.query_naive(rect, 10.0, 60.0)
+        assert par == scalar == vector == naive
+
+    def test_window_engine_add_fleet(self, small_min_objects):
+        items = [(f"f{i}", mp) for i, mp in enumerate(make_fleet(20))]
+        bulk = WindowQueryEngine()
+        bulk.add_fleet(items)
+        incremental = WindowQueryEngine()
+        for key, mp in items:
+            incremental.add(key, mp)
+        rect = Rect(-500, -500, 500, 500)
+        for backend in ("scalar", "vector", "parallel"):
+            assert bulk.query(rect, 0.0, 80.0, backend=backend, workers=2) \
+                == incremental.query(rect, 0.0, 80.0, backend=backend,
+                                     workers=2)
+
+    def test_group_intervals_matches_scalar(self, small_min_objects):
+        fleet = make_fleet(25)
+        col = UPointColumn.from_mappings(fleet)
+        rect = Rect(-800, -800, 800, 800)
+        t0, t1 = 10.0, 60.0
+        rows = parallel_window_intervals(col, rect, t0, t1, workers=2)
+        grouped = dict(
+            group_intervals(*rows, keys=list(range(len(fleet))))
+        )
+        clip = RangeSet([Interval(t0, t1)])
+        for i, m in enumerate(fleet):
+            expected = mpoint_within_rect_times(m, rect).intersection(clip)
+            assert grouped.get(i, RangeSet([])) == expected, i
+
+
+# ---------------------------------------------------------------------------
+# SQL / planner wiring
+# ---------------------------------------------------------------------------
+
+
+@pytest.fixture
+def planes_db():
+    db = Database()
+    planes = db.create_relation(
+        "planes",
+        [("airline", "string"), ("id", "string"), ("flight", "mpoint")],
+    )
+    planes.insert(
+        ["L", "LH1",
+         MovingPoint.from_waypoints([(0, (0, 0)), (100, (6000, 0))])]
+    )
+    planes.insert(
+        ["L", "LH2",
+         MovingPoint.from_waypoints([(0, (0, 10)), (100, (3000, 10))])]
+    )
+    planes.insert(
+        ["A", "AF1",
+         MovingPoint.from_waypoints([(50, (0, 0.2)), (150, (6000, 0.2))])]
+    )
+    return db
+
+
+SQL_QUERIES = [
+    "SELECT id FROM planes WHERE present(flight, 120)",
+    "SELECT id FROM planes WHERE passes_window(flight, 0, 0, 100, 100, 0, 10)",
+    "SELECT id FROM planes WHERE passes_window(flight, 0, 0, 100, 100, 0, 10) "
+    "AND present(flight, 5)",
+]
+
+
+class TestSqlWiring:
+    @pytest.mark.parametrize("sql", SQL_QUERIES)
+    def test_parallel_backend_parity(
+        self, planes_db, sql, small_min_objects
+    ):
+        set_backend("scalar")
+        scalar = sorted(r["id"].value for r in planes_db.query(sql))
+        set_backend("vector")
+        vector = sorted(r["id"].value for r in planes_db.query(sql))
+        set_backend("parallel")
+        set_workers(2)
+        par = sorted(r["id"].value for r in planes_db.query(sql))
+        assert par == vector == scalar
+
+    def test_explain_shows_parallel_scan(self, planes_db):
+        from repro.db.sql import explain
+
+        set_backend("parallel")
+        plan = explain(planes_db, SQL_QUERIES[0])
+        assert "ParallelScan(planes" in plan
+        assert "workers=auto" in plan
+        set_backend("vector")
+        assert "VectorScan(planes" in explain(planes_db, SQL_QUERIES[0])
+
+    def test_small_relation_falls_back_counted(self, planes_db):
+        # 3 rows is far below PARALLEL_MIN_OBJECTS: the ParallelScan
+        # plans, dispatch degrades to the in-process kernel, counted.
+        set_backend("parallel")
+        set_workers(2)
+        obs.reset()
+        obs.enable()
+        try:
+            rows = planes_db.query(SQL_QUERIES[0])
+        finally:
+            obs.disable()
+        assert sorted(r["id"].value for r in rows) == ["AF1"]
+        assert obs.get("parallel.fallback.small_fleet") >= 1

@@ -13,7 +13,7 @@ from hypothesis import strategies as st
 from repro.geometry.plumbline import crossings_above, point_in_segset
 from repro.geometry.segment import point_on_seg
 from repro.ranges.interval import Interval
-from repro.spatial.bbox import Cube
+from repro.spatial.bbox import Cube, Rect
 from repro.spatial.region import Region
 from repro.temporal.mapping import MovingPoint, MovingReal
 from repro.temporal.upoint import UPoint
@@ -28,6 +28,8 @@ from repro.vector.kernels import (
     on_boundary_batch,
     segs_to_array,
     ureal_atinstant_batch,
+    window_intervals_batch,
+    window_times_batch,
 )
 
 coord = st.floats(min_value=-100.0, max_value=100.0, allow_nan=False)
@@ -276,3 +278,67 @@ class TestPlumblineEquivalence:
     def test_empty_segment_set(self, pts):
         counts = crossings_above_batch(pts, segs_to_array([]))
         assert not counts.any()
+
+
+@st.composite
+def rects(draw):
+    x1, x2 = sorted((draw(coord), draw(coord)))
+    y1, y2 = sorted((draw(coord), draw(coord)))
+    return Rect(x1, y1, x2, y2)
+
+
+@st.composite
+def windows(draw):
+    ts = st.floats(min_value=-80.0, max_value=80.0, allow_nan=False)
+    t0, t1 = sorted((draw(ts), draw(ts)))
+    return t0, t1
+
+
+class TestWindowEquivalence:
+    @given(st.lists(moving_points(), min_size=1, max_size=6), rects())
+    @settings(max_examples=150, deadline=None)
+    def test_window_times_batch_matches_scalar(self, fleet, rect):
+        from repro.ops.window import upoint_within_rect_times
+
+        col = UPointColumn.from_mappings(fleet)
+        a, b, lc, rc, ok = window_times_batch(col, rect)
+        units = [u for m in fleet for u in m.units]
+        assert len(units) == col.n_units
+        for j, u in enumerate(units):
+            iv = upoint_within_rect_times(u, rect)
+            if iv is None:
+                assert not ok[j], (j, rect)
+            else:
+                assert ok[j], (j, rect)
+                got = Interval(
+                    float(a[j]), float(b[j]), bool(lc[j]), bool(rc[j])
+                )
+                assert got == iv, (j, rect)
+
+    @given(
+        st.lists(moving_points(), min_size=1, max_size=6),
+        rects(),
+        windows(),
+    )
+    @settings(max_examples=150, deadline=None)
+    def test_window_intervals_batch_matches_scalar(
+        self, fleet, rect, window
+    ):
+        from repro.ops.window import mpoint_within_rect_times
+        from repro.ranges.rangeset import RangeSet
+
+        t0, t1 = window
+        col = UPointColumn.from_mappings(fleet)
+        owners, s, e, lc, rc = window_intervals_batch(col, rect, t0, t1)
+        per_object = {}
+        for k in range(len(owners)):
+            per_object.setdefault(int(owners[k]), []).append(
+                Interval(
+                    float(s[k]), float(e[k]), bool(lc[k]), bool(rc[k])
+                )
+            )
+        clip = RangeSet([Interval(t0, t1)])
+        for i, m in enumerate(fleet):
+            expected = mpoint_within_rect_times(m, rect).intersection(clip)
+            got = RangeSet(per_object.get(i, []))
+            assert got == expected, (i, rect, t0, t1)
