@@ -5,7 +5,9 @@
 # Also measures crash-safe storage (WAL overhead, recovery replay,
 # disarmed-failpoint scans) into BENCH_storage.json, and the parallel
 # backend (shared-memory chunked pool vs single-process, column cache,
-# STR bulk loading) into BENCH_parallel.json.
+# STR bulk loading) into BENCH_parallel.json, and the persistent column
+# store (cold mmap open vs warm vs the killed rebuild path) into
+# BENCH_colstore.json.
 #
 # Usage: scripts/bench.sh [fleet_size]  (from the repository root)
 set -euo pipefail
@@ -37,6 +39,14 @@ python -m pytest -q -p no:cacheprovider benchmarks/bench_parallel.py
 echo
 echo "== parallel backend: timings -> BENCH_parallel.json =="
 python benchmarks/bench_parallel.py --objects "$OBJECTS" --json BENCH_parallel.json
+
+echo
+echo "== column store: pytest assertions (cold-start counters + parity) =="
+python -m pytest -q -p no:cacheprovider benchmarks/bench_colstore.py
+
+echo
+echo "== column store: cold/warm trajectory -> BENCH_colstore.json =="
+python benchmarks/bench_colstore.py --objects "$OBJECTS" --json BENCH_colstore.json
 
 echo
 echo "== buffer pool: CLOCK hit rates on looping / hot-cold scans =="

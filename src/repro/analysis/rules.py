@@ -429,9 +429,9 @@ class ObsDiscipline(Rule):
     allowed to build names dynamically (their call sites are resolved
     instead): ``_record_rows`` in the vector kernels, ``_fallback`` in
     the fleet dispatcher, ``_parallel_fallback`` in the parallel
-    dispatcher, and ``_merge_counters`` in the pool layer (which folds
-    worker-captured snapshots whose names were validated when the
-    workers wrote them).
+    dispatcher, ``_mmap_fallback`` in the shared-column transport, and
+    ``_merge_counters`` in the pool layer (which folds worker-captured
+    snapshots whose names were validated when the workers wrote them).
     """
 
     code = "MOD004"
@@ -442,6 +442,7 @@ class ObsDiscipline(Rule):
         ("repro/vector/kernels.py", "_record_rows"),
         ("repro/vector/fleet.py", "_fallback"),
         ("repro/parallel/exec.py", "_parallel_fallback"),
+        ("repro/parallel/shmcol.py", "_mmap_fallback"),
         ("repro/parallel/pool.py", "_merge_counters"),
     }
 
@@ -612,6 +613,20 @@ class ObsDiscipline(Rule):
                                 if v:
                                     yield v
                         continue
+                    if node.func.id == "_mmap_fallback":
+                        if arg0 is None:
+                            v = record(mod, node, "counter", None)
+                            if v:
+                                yield v
+                        else:
+                            for name in (
+                                "colstore.mmap_fallback",
+                                f"colstore.mmap_fallback.{arg0}",
+                            ):
+                                v = record(mod, node, "counter", name)
+                                if v:
+                                    yield v
+                        continue
 
                 if in_wrapper:
                     continue  # dynamic names allowed inside the wrappers
@@ -683,10 +698,18 @@ class BackendDispatch(Rule):
     * an ``if backend == "vector":`` (or ``"parallel"``) must leave a
       scalar arm (an ``else`` or fall-through code);
     * exception handlers inside a vector/parallel arm must count the
-      event via ``_fallback`` (or ``_parallel_fallback``);
+      event via ``_fallback`` (or ``_parallel_fallback`` /
+      ``_mmap_fallback``);
     * column construction (``*.from_mappings``) inside a vector/parallel
       arm must be guarded by try/except — it raises ``InvalidValue`` on
       inputs only the scalar path can evaluate.
+
+    The same discipline covers the column *transport* dispatch in
+    :mod:`repro.parallel`: descriptor-scheme literals (``"mmap"`` /
+    ``"shm"``) must be compared through ``_scheme_of``, and an
+    ``if scheme == "mmap":`` arm must leave the shm copy path as its
+    fall-through — the mmap transport is an optimisation, never the
+    only arm.
     """
 
     code = "MOD005"
@@ -697,25 +720,58 @@ class BackendDispatch(Rule):
     #: Backend literals whose if-arms are the batched (non-scalar) path
     #: and therefore must satisfy the arm checks.
     _BATCH_LITERALS = {"vector", "parallel"}
+    #: Descriptor-scheme dispatch (mmap-vs-shm transport): same shape,
+    #: scoped to the parallel package where descriptors live.
+    _SCHEME_RESOLVERS = {"_scheme_of"}
+    _SCHEME_LITERALS = {"mmap", "shm"}
+    _SCHEME_FAST = {"mmap"}
+    _SCHEME_SCOPE = "repro/parallel/"
 
-    def _backend_compare(self, node: ast.AST) -> Optional[ast.Compare]:
-        """The Compare against a backend literal inside ``node``, if any."""
+    def _families(
+        self, mod: SourceModule
+    ) -> List[Tuple[Set[str], Set[str], Set[str], str]]:
+        """(literals, resolvers, fast-arm literals, diagnostic) tuples
+        applicable to ``mod``."""
+        fams: List[Tuple[Set[str], Set[str], Set[str], str]] = [
+            (
+                self._LITERALS, self._RESOLVERS, self._BATCH_LITERALS,
+                "backend literal compared without going through "
+                "_resolve()/get_backend(); a raw parameter "
+                "compare misreads backend=None",
+            )
+        ]
+        if self._SCHEME_SCOPE in mod.relpath:
+            fams.append(
+                (
+                    self._SCHEME_LITERALS, self._SCHEME_RESOLVERS,
+                    self._SCHEME_FAST,
+                    "descriptor scheme literal compared without going "
+                    "through _scheme_of(); a raw prefix compare drifts "
+                    "from the descriptor format",
+                )
+            )
+        return fams
+
+    def _family_compare(
+        self, node: ast.AST, literals: Set[str]
+    ) -> Optional[ast.Compare]:
+        """The Compare against one of ``literals`` inside ``node``."""
         for sub in ast.walk(node):
             if not isinstance(sub, ast.Compare):
                 continue
             operands = [sub.left, *sub.comparators]
-            if any(_str_const(o) in self._LITERALS for o in operands):
+            if any(_str_const(o) in literals for o in operands):
                 return sub
         return None
 
-    def _resolver_names(self, scope: ast.AST) -> Set[str]:
+    def _resolver_names(self, scope: ast.AST, resolvers: Set[str]) -> Set[str]:
         """Names assigned from a resolver call anywhere in ``scope``."""
         names: Set[str] = set()
         for node in ast.walk(scope):
             if not (
                 isinstance(node, ast.Assign)
                 and isinstance(node.value, ast.Call)
-                and _call_name(node.value) in self._RESOLVERS
+                and _call_name(node.value) in resolvers
             ):
                 continue
             for t in node.targets:
@@ -728,51 +784,52 @@ class BackendDispatch(Rule):
     ) -> Iterator[Violation]:
         if "repro/analysis/" in mod.relpath:
             return
+        families = self._families(mod)
         for node in ast.walk(mod.tree):
             if isinstance(node, ast.Compare):
-                operands = [node.left, *node.comparators]
-                literal = any(
-                    _str_const(o) in self._LITERALS for o in operands
-                )
-                if not literal:
-                    continue
-                if not all(
-                    isinstance(op, (ast.Eq, ast.NotEq)) for op in node.ops
-                ):
-                    continue
-                resolved = any(
-                    isinstance(o, ast.Call)
-                    and _call_name(o) in self._RESOLVERS
-                    for o in operands
-                )
-                if not resolved:
-                    # A Name operand is fine when it was assigned from a
-                    # resolver call in the enclosing function.
+                for literals, resolvers, _fast, diagnostic in families:
+                    operands = [node.left, *node.comparators]
+                    literal = any(
+                        _str_const(o) in literals for o in operands
+                    )
+                    if not literal:
+                        continue
+                    if not all(
+                        isinstance(op, (ast.Eq, ast.NotEq)) for op in node.ops
+                    ):
+                        continue
                     scope = mod.enclosing(
                         node, ast.FunctionDef, ast.AsyncFunctionDef
                     ) or mod.tree
-                    local = self._resolver_names(scope)
+                    if (
+                        isinstance(scope, ast.FunctionDef)
+                        and scope.name in resolvers
+                    ):
+                        continue  # the resolver's own body
                     resolved = any(
-                        isinstance(o, ast.Name) and o.id in local
+                        isinstance(o, ast.Call)
+                        and _call_name(o) in resolvers
                         for o in operands
                     )
-                if not resolved:
-                    yield mod.violation(
-                        node, self.code,
-                        "backend literal compared without going through "
-                        "_resolve()/get_backend(); a raw parameter "
-                        "compare misreads backend=None",
-                    )
+                    if not resolved:
+                        # A Name operand is fine when it was assigned from
+                        # a resolver call in the enclosing function.
+                        local = self._resolver_names(scope, resolvers)
+                        resolved = any(
+                            isinstance(o, ast.Name) and o.id in local
+                            for o in operands
+                        )
+                    if not resolved:
+                        yield mod.violation(node, self.code, diagnostic)
             if isinstance(node, ast.If):
-                cmp_node = self._backend_compare(node.test)
-                if cmp_node is None:
-                    continue
-                operands = [cmp_node.left, *cmp_node.comparators]
-                if not (
-                    {_str_const(o) for o in operands} & self._BATCH_LITERALS
-                ):
-                    continue
-                yield from self._check_vector_arm(mod, node)
+                for literals, _resolvers, fast, _diagnostic in families:
+                    cmp_node = self._family_compare(node.test, literals)
+                    if cmp_node is None:
+                        continue
+                    operands = [cmp_node.left, *cmp_node.comparators]
+                    if not ({_str_const(o) for o in operands} & fast):
+                        continue
+                    yield from self._check_vector_arm(mod, node)
 
     def _check_vector_arm(
         self, mod: SourceModule, if_node: ast.If
@@ -798,7 +855,9 @@ class BackendDispatch(Rule):
             if isinstance(sub, ast.ExceptHandler):
                 calls_fallback = any(
                     isinstance(c, ast.Call)
-                    and _call_name(c) in ("_fallback", "_parallel_fallback")
+                    and _call_name(c) in (
+                        "_fallback", "_parallel_fallback", "_mmap_fallback",
+                    )
                     for c in ast.walk(sub)
                 )
                 if not calls_fallback:

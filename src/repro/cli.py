@@ -160,12 +160,16 @@ def cmd_snapshot(args: argparse.Namespace) -> int:
     (and one batched point-in-region test) through whichever backend
     ``--backend`` selected.
     """
+    from repro.vector.cache import Fleet
     from repro.vector.fleet import fleet_atinstant, fleet_count_inside, get_backend
+    from repro.vector.store import get_store
     from repro.workloads.regions import regular_polygon
     from repro.workloads.trajectories import FlightGenerator
 
     gen = FlightGenerator(seed=args.seed)
-    fleet = [gen.flight(legs=4) for _ in range(args.objects)]
+    # A versioned Fleet (not a bare list) so the column cache — and the
+    # persistent store behind --colstore — can serve repeated queries.
+    fleet = Fleet(gen.flight(legs=4) for _ in range(args.objects))
     t0 = min(m.deftime().minimum for m in fleet)
     t1 = max(m.deftime().maximum for m in fleet)
     t = args.instant if args.instant is not None else 0.5 * (t0 + t1)
@@ -175,6 +179,9 @@ def cmd_snapshot(args: argparse.Namespace) -> int:
     xs = [p.x for p in defined]
     ys = [p.y for p in defined]
     print(f"backend: {get_backend()}")
+    store = get_store()
+    if store is not None:
+        print(f"colstore: {store.root}")
     print(f"fleet: {len(fleet)} objects over [{t0:g}, {t1:g}]")
     print(f"snapshot at t={t:g}: {len(defined)} defined, "
           f"{len(fleet) - len(defined)} ⊥")
@@ -240,8 +247,17 @@ def main(argv: Optional[List[str]] = None) -> int:
         type=int,
         default=None,
         metavar="N",
-        help="process-pool size for the parallel backend (0 = one per "
-        "core; default from repro.config.DEFAULT_WORKERS)",
+        help="process-pool size for the parallel backend (N >= 1; the "
+        "per-core default comes from repro.config.DEFAULT_WORKERS)",
+    )
+    parser.add_argument(
+        "--colstore",
+        default=None,
+        metavar="DIR",
+        help="persistent column store directory (repro.vector.store): "
+        "fleet columns are memory-mapped from DIR instead of rebuilt "
+        "from scratch on every process start; missing or corrupt files "
+        "are rebuilt and re-persisted",
     )
     parser.add_argument(
         "--faults",
@@ -292,6 +308,27 @@ def main(argv: Optional[List[str]] = None) -> int:
     matrix_p.set_defaults(fn=cmd_crash_matrix)
     args = parser.parse_args(argv)
 
+    # Argument-level validation, kept to the CLI's one-line diagnostic
+    # discipline.  The pool API reserves 0 for "one worker per core"
+    # (repro.config.DEFAULT_WORKERS); on the command line an explicit
+    # count must be a real count — 0 or a negative would previously fall
+    # through to the pool instead of the counted fallback path.
+    if args.workers is not None and args.workers < 1:
+        print(
+            f"repro: InvalidValue: --workers must be >= 1, got {args.workers}",
+            file=sys.stderr,
+        )
+        return 2
+    # Pre-dispatch flag validation: None (no --backend) must warn too,
+    # so the raw argparse value is exactly what we want to inspect.
+    # modlint: disable=MOD005 raw flag value inspected before dispatch, None handled explicitly
+    if args.workers is not None and args.backend != "parallel":
+        print(
+            "repro: warning: --workers only affects --backend parallel; "
+            f"the {args.backend or 'default'} backend ignores it",
+            file=sys.stderr,
+        )
+
     from repro.errors import ReproError
 
     try:
@@ -320,6 +357,10 @@ def _dispatch(args: argparse.Namespace) -> int:
         from repro.parallel import set_workers
 
         set_workers(args.workers)
+    if args.colstore is not None:
+        from repro.vector.store import set_store
+
+        set_store(args.colstore)
     if not args.profile:
         return args.fn(args)
     from repro import obs

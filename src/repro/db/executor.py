@@ -132,6 +132,68 @@ class ParallelScan(VectorScan):
         self.workers = workers
 
 
+class MmapScan(VectorScan):
+    """A :class:`VectorScan` whose columns come from the persistent
+    column store (:mod:`repro.vector.store`) instead of a per-process
+    transcription of the tuple store.
+
+    Row output is identical; only the column acquisition differs: an
+    intact store generation is served as ``np.memmap`` views (the
+    cold-start path this operator exists for, counted under
+    ``colstore.hits``), a missing/corrupt/stale one is rebuilt from the
+    scanned mappings and re-persisted (``colstore.rebuilds``).  With
+    ``parallel=True`` batch predicates dispatch through the pool like a
+    :class:`ParallelScan` — workers then map the same files
+    (``colstore.mmap_direct``) rather than receiving a shm copy.
+    """
+
+    def __init__(self, relation: Relation, alias: Optional[str] = None,
+                 attr: Optional[str] = None, strict: bool = True,
+                 store_root: Optional[str] = None,
+                 parallel: bool = False, workers: Optional[int] = None):
+        super().__init__(relation, alias, attr, strict)
+        self.store_root = store_root
+        self.parallel = parallel
+        self.workers = workers
+
+    def _store_column(self, kind: str) -> Any:
+        from repro.errors import CorruptColumnError, StorageError
+        from repro.vector.store import ColumnStore
+
+        if self.store_root is None:
+            return None
+        store = ColumnStore(self.store_root)
+        # Serve straight from disk when the stored generation matches
+        # the relation's cardinality — without materializing the rows,
+        # which is the whole cold-start saving.  Any mismatch falls
+        # through to the validating load-or-rebuild over the scanned
+        # mappings.
+        try:
+            entry = store.manifest()["columns"].get(kind)
+            if entry is not None and entry.get("n_objects") == len(self.relation):
+                return store.load(kind)
+        except CorruptColumnError:
+            pass
+        try:
+            return store.load_or_rebuild(kind, self.mappings())
+        except (OSError, StorageError):
+            return None  # degraded: in-memory transcription below
+
+    def column(self):
+        if self._column is None:
+            self._column = self._store_column("upoint")
+        if self._column is None:
+            return super().column()
+        return self._column
+
+    def bbox_column(self):
+        if self._bbox_column is None:
+            self._bbox_column = self._store_column("bbox")
+        if self._bbox_column is None:
+            return super().bbox_column()
+        return self._bbox_column
+
+
 class CrossProduct(Operator):
     """Nested-loop cross product of two inputs (the spatio-temporal join
     of Section 2 is a cross product plus a lifted selection)."""

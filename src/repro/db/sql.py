@@ -366,7 +366,7 @@ def _make_scan(
     from repro.vector.fleet import get_backend
 
     if get_backend() == "vector" or get_backend() == "parallel":
-        from repro.db.executor import ParallelScan, VectorScan
+        from repro.db.executor import MmapScan, ParallelScan, VectorScan
         from repro.storage.records import codec_for
 
         mpoint_attrs = [
@@ -375,6 +375,25 @@ def _make_scan(
             if codec_for(a.type_name).type_name == "mpoint"
         ]
         if len(mpoint_attrs) == 1:
+            from repro.vector.store import get_store
+
+            store = get_store()
+            if store is not None:
+                # Persistent column store configured (--colstore): plan
+                # an MmapScan so the columns come from disk instead of a
+                # cold per-process rebuild.  Each relation attribute
+                # gets its own subdirectory (one manifest generation per
+                # source, so two relations never interleave).
+                import os
+
+                root = os.path.join(
+                    store.root, f"{relation.name}.{mpoint_attrs[0]}"
+                )
+                return MmapScan(
+                    relation, alias, attr=mpoint_attrs[0], strict=strict,
+                    store_root=root,
+                    parallel=get_backend() == "parallel",
+                )
             if get_backend() == "parallel":
                 return ParallelScan(relation, alias, attr=mpoint_attrs[0],
                                     strict=strict)
@@ -519,6 +538,7 @@ def explain(db: Database, sql: str) -> str:
             HashJoin,
             IndexFilteredProduct,
             Limit,
+            MmapScan,
             ParallelScan,
             Project,
             Select,
@@ -527,6 +547,12 @@ def explain(db: Database, sql: str) -> str:
             VectorScan,
         )
 
+        if isinstance(node, MmapScan):
+            mode = "parallel" if node.parallel else "vector"
+            return (
+                f"MmapScan({node.relation.name} AS {node.alias}, "
+                f"attr={node.attr}, store={node.store_root}, mode={mode})"
+            )
         if isinstance(node, ParallelScan):
             return (
                 f"ParallelScan({node.relation.name} AS {node.alias}, "

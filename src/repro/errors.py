@@ -57,6 +57,19 @@ class CorruptRecordError(StorageError):
     """
 
 
+class CorruptColumnError(StorageError):
+    """A persistent column file failed validation when opened or verified.
+
+    Raised by :mod:`repro.vector.store` when a column file's header
+    magic/version is wrong, its record count disagrees with the
+    CRC-checked manifest, the stored dtype hash does not match the
+    in-memory struct layout, or a full-CRC verification pass finds the
+    payload bytes corrupted.  The store never serves bytes from a file
+    that failed validation; callers degrade to rebuilding the column
+    from the tuple store (counted under ``colstore.rebuilds``).
+    """
+
+
 class TransientIOError(StorageError):
     """A read failed in a way that is worth retrying.
 

@@ -85,6 +85,11 @@ FAILPOINT_NAMES: FrozenSet[str] = frozenset({
     # tuple store / catalog commit points
     "tuplestore.commit_crash",  # crash after durable commit, pre-apply
     "catalog.create_crash",     # crash before logging a catalog change
+    # persistent column store (repro.vector.store)
+    "colstore.write_crash",     # crash between column-file writes
+    "colstore.manifest_crash",  # crash before the manifest update
+    # shared-memory column packing (repro.parallel.shmcol)
+    "shmcol.pack_crash",        # crash after segment creation, mid-copy
 })
 
 #: Fast-path guard: True iff at least one failpoint is armed.  Sites

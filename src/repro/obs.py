@@ -154,6 +154,16 @@ COUNTER_NAMES: FrozenSet[str] = frozenset({
     "colcache.hits",
     "colcache.misses",
     "colcache.invalidations",
+    # persistent column store (repro.vector.store)
+    "colstore.hits",
+    "colstore.rebuilds",
+    "colstore.validations",
+    "colstore.bytes_mapped",
+    "colstore.mmap_direct",
+    # mmap→shm downgrades (via _mmap_fallback(reason))
+    "colstore.mmap_fallback",
+    "colstore.mmap_fallback.manifest",
+    "colstore.mmap_fallback.stale",
     # parallel execution (via _parallel_fallback(reason))
     "parallel.chunks",
     "parallel.fallback",
@@ -161,6 +171,7 @@ COUNTER_NAMES: FrozenSet[str] = frozenset({
     "parallel.fallback.small_fleet",
     "parallel.fallback.no_pool",
     "parallel.fallback.error",
+    "parallel.shm_reclaimed",
     # STR bulk loading (RTree3D.bulk_load)
     "rtree.bulk_loaded",
 })

@@ -243,6 +243,104 @@ def _catalog_scenario(name: str, seed: int) -> MatrixEntry:
                        "DDL atomic: committed survives, doomed absent")
 
 
+def _colstore_scenario(name: str, seed: int) -> MatrixEntry:
+    """Crash a column-store save mid-generation: the prior generation
+    must stay intact (or be *detectably* torn — never torn bytes served),
+    and ``load_or_rebuild`` must repair to the new fleet."""
+    import shutil
+    import tempfile
+
+    from repro.vector.store import ColumnStore, _BUILDERS
+
+    faults.disarm()
+    mappings = [_track(seed, i) for i in range(4)]
+    grown = mappings + [_track(seed, 4)]
+    root = tempfile.mkdtemp(prefix="crashmatrix_colstore_")
+    try:
+        store = ColumnStore(root)
+        gen1 = _BUILDERS["upoint"](mappings)
+        store.save("upoint", gen1, n_objects=len(mappings))
+        faults.arm(name)
+        crashed = False
+        try:
+            store.save("upoint", _BUILDERS["upoint"](grown),
+                       n_objects=len(grown))
+        except SimulatedCrash:
+            crashed = True
+        finally:
+            faults.disarm()
+        fired = faults.fired(name) > 0
+        if not fired or not crashed:
+            return MatrixEntry(name, fired, False, "failpoint never fired")
+        # Atomicity: either the old generation still verifies and reads
+        # back byte-identical, or the damage is typed — never silent.
+        try:
+            store.verify("upoint")
+            reread = store.load("upoint")
+            if reread.offsets.tobytes() != gen1.offsets.tobytes():
+                return MatrixEntry(name, fired, False,
+                                   "torn save served as clean bytes")
+        except StorageError:
+            pass  # detected — acceptable outcome
+        repaired = store.load_or_rebuild("upoint", grown)
+        if len(repaired.offsets) != len(grown) + 1:
+            return MatrixEntry(name, fired, False,
+                               "rebuild did not repair to the new fleet")
+        store.verify("upoint")
+        return MatrixEntry(name, fired, True,
+                           "old generation safe; rebuild repaired store")
+    finally:
+        faults.disarm()
+        shutil.rmtree(root, ignore_errors=True)
+
+
+def _shmcol_scenario(name: str, seed: int) -> MatrixEntry:
+    """Crash mid-``pack``: the shared-memory segment must be reclaimed
+    from the OS namespace, not leaked, and a repack must serve
+    identical bytes."""
+    import os
+
+    from repro.parallel import shmcol
+    from repro.vector.store import _BUILDERS
+
+    faults.disarm()
+    col = _BUILDERS["upoint"]([_track(seed, i) for i in range(4)])
+    try:
+        before = set(os.listdir("/dev/shm"))
+    except OSError:  # pragma: no cover - non-Linux fallback
+        before = None
+    faults.arm(name)
+    crashed = False
+    try:
+        shmcol.pack(col)
+    except SimulatedCrash:
+        crashed = True
+    finally:
+        faults.disarm()
+    fired = faults.fired(name) > 0
+    if not fired or not crashed:
+        return MatrixEntry(name, fired, False, "failpoint never fired")
+    if shmcol._SEGMENTS:
+        return MatrixEntry(name, fired, False,
+                           "crashed pack left its segment in the registry")
+    if before is not None:
+        leaked = set(os.listdir("/dev/shm")) - before
+        if leaked:
+            return MatrixEntry(name, fired, False,
+                               f"segment leaked into /dev/shm: {leaked}")
+    desc = shmcol.shared_descriptor(col)
+    attached = shmcol.attach(desc)
+    try:
+        same = attached.column.offsets.tobytes() == col.offsets.tobytes()
+    finally:
+        attached.close()
+        shmcol.release_all()
+    if not same:
+        return MatrixEntry(name, fired, False, "repacked bytes differ")
+    return MatrixEntry(name, fired, True,
+                       "segment reclaimed; repack serves identical bytes")
+
+
 #: failpoint name → scenario runner; one entry per registered failpoint.
 SCENARIOS: Dict[str, Callable[[str, int], MatrixEntry]] = {
     "pagefile.write_crash": _write_scenario,
@@ -255,6 +353,9 @@ SCENARIOS: Dict[str, Callable[[str, int], MatrixEntry]] = {
     "wal.torn_tail": _write_scenario,
     "tuplestore.commit_crash": _write_scenario,
     "catalog.create_crash": _catalog_scenario,
+    "colstore.write_crash": _colstore_scenario,
+    "colstore.manifest_crash": _colstore_scenario,
+    "shmcol.pack_crash": _shmcol_scenario,
 }
 
 

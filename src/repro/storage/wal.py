@@ -41,6 +41,7 @@ __all__ = [
     "BEGIN",
     "CATALOG",
     "CHECKPOINT",
+    "COLSTORE",
     "COMMIT",
     "PAGE",
     "TUPLE",
@@ -55,6 +56,10 @@ TUPLE = 3       # logical tuple-directory append (payload: tuple bytes)
 COMMIT = 4      # transaction end; replay applies BEGIN..COMMIT atomically
 CHECKPOINT = 5  # consistent snapshot (payload: store-specific state)
 CATALOG = 6     # catalog operation (payload: JSON document)
+COLSTORE = 7    # column-store checkpoint: ties column files at a store
+                # directory (and their manifest CRC) to this log position,
+                # so recovery knows which persisted columns to validate
+                # against which relation (payload: JSON document)
 
 _NAMES = {
     BEGIN: "BEGIN",
@@ -63,6 +68,7 @@ _NAMES = {
     COMMIT: "COMMIT",
     CHECKPOINT: "CHECKPOINT",
     CATALOG: "CATALOG",
+    COLSTORE: "COLSTORE",
 }
 
 _FRAME = struct.Struct("<IIBH")  # length, crc, type, scope_len

@@ -29,7 +29,7 @@ from collections.abc import MutableSequence
 from typing import Any, Callable, Dict, Iterable, List, Optional, Tuple
 
 from repro import config, obs
-from repro.errors import InvalidValue
+from repro.errors import InvalidValue, StorageError
 from repro.vector.columns import BBoxColumn, UPointColumn, URealColumn
 
 
@@ -93,14 +93,21 @@ _BUILDERS: Dict[str, Callable[[Any], Any]] = {
 
 
 class ColumnCache:
-    """LRU cache of built columns keyed by fleet identity + version."""
+    """LRU cache of built columns keyed by fleet identity + version.
+
+    Entries built from the persistent column store
+    (:mod:`repro.vector.store`) are *pinned*: a memmap-backed column is
+    nearly free to keep resident (the OS owns the pages) but costly to
+    re-open and re-validate, so LRU pressure evicts only ordinary
+    in-memory entries.
+    """
 
     __slots__ = ("_capacity", "_entries")
 
     def __init__(self, capacity: Optional[int] = None):
         self._capacity = capacity
-        # (id(fleet), kind) -> (version, weakref-to-fleet, column)
-        self._entries: "OrderedDict[Tuple[int, str], Tuple[int, Any, Any]]" = (
+        # (id(fleet), kind) -> (version, weakref-to-fleet, column, pinned)
+        self._entries: "OrderedDict[Tuple[int, str], Tuple[int, Any, Any, bool]]" = (
             OrderedDict()
         )
 
@@ -112,13 +119,23 @@ class ColumnCache:
 
     def get(self, fleet: Fleet, kind: str) -> Any:
         """The ``kind`` column of ``fleet``, rebuilt only when stale."""
-        builder = _BUILDERS.get(kind)
-        if builder is None:
+        return self.get_versioned(fleet, kind)[1]
+
+    def get_versioned(self, fleet: Fleet, kind: str) -> Tuple[int, Any]:
+        """``(version, column)`` — the stamp the column was built at.
+
+        Callers that dispatch a kernel *after* obtaining the column
+        compare the returned version against ``fleet.version`` at use
+        time (:func:`revalidate`): a fleet mutated in between — even by
+        its own builder iteration — must not silently feed the kernel a
+        stale column.
+        """
+        if kind not in _BUILDERS:
             raise InvalidValue(f"unknown column kind {kind!r}")
         key = (id(fleet), kind)
         entry = self._entries.get(key)
         if entry is not None:
-            version, ref, column = entry
+            version, ref, column, _pinned = entry
             if ref() is not fleet:
                 # id() was recycled by a new fleet: a stale stranger's
                 # entry, not an invalidation of *this* fleet's column.
@@ -127,7 +144,7 @@ class ColumnCache:
                 if obs.enabled:
                     obs.counters.add("colcache.hits")
                 self._entries.move_to_end(key)
-                return column
+                return version, column
             else:
                 if obs.enabled:
                     obs.counters.add("colcache.invalidations")
@@ -135,15 +152,41 @@ class ColumnCache:
         if obs.enabled:
             obs.counters.add("colcache.misses")
         version = fleet.version
-        column = builder(fleet)
-        self._entries[key] = (version, weakref.ref(fleet), column)
-        capacity = (
+        column, pinned = self._build(fleet, kind, version)
+        self._entries[key] = (version, weakref.ref(fleet), column, pinned)
+        capacity = max(
             self._capacity if self._capacity is not None
-            else config.COLCACHE_CAPACITY
+            else config.COLCACHE_CAPACITY,
+            1,
         )
-        while len(self._entries) > max(capacity, 1):
-            self._entries.popitem(last=False)
-        return column
+        if len(self._entries) > capacity:
+            for k in list(self._entries):
+                if len(self._entries) <= capacity:
+                    break
+                if self._entries[k][3]:
+                    continue  # pinned: memmap-backed, never re-packed
+                del self._entries[k]
+        return version, column
+
+    @staticmethod
+    def _build(fleet: Fleet, kind: str, version: int) -> Tuple[Any, bool]:
+        """Build one column: from the bound persistent store (pinned)
+        when one is configured for this fleet, else in memory."""
+        from repro.vector import store as storemod
+
+        st = storemod.store_for(fleet)
+        if st is not None:
+            try:
+                return (
+                    st.load_or_rebuild(kind, fleet, fleet_version=version),
+                    True,
+                )
+            except (OSError, StorageError):
+                # Store directory unusable (permissions, disk full):
+                # degrade to a plain in-memory build, never fail the
+                # query over a persistence problem.
+                pass
+        return _BUILDERS[kind](fleet), False
 
 
 #: Process-wide cache used by the fleet helpers and the query engine.
@@ -159,12 +202,45 @@ def column_for(fleet: Any, kind: str = "upoint") -> Any:
     column builder raises (``InvalidValue`` for non-mapping members), so
     backend dispatchers keep their counted scalar fallback.
     """
+    return column_for_versioned(fleet, kind)[1]
+
+
+def column_for_versioned(
+    fleet: Any, kind: str = "upoint"
+) -> Tuple[Optional[int], Any]:
+    """Like :func:`column_for`, plus the version stamp the column
+    describes (None for plain sequences, which carry no stamp)."""
     if isinstance(fleet, Fleet):
-        return _CACHE.get(fleet, kind)
+        return _CACHE.get_versioned(fleet, kind)
     builder = _BUILDERS.get(kind)
     if builder is None:
         raise InvalidValue(f"unknown column kind {kind!r}")
-    return builder(fleet)
+    return None, builder(fleet)
+
+
+#: How many get→mutate→re-get rounds :func:`revalidate` tolerates before
+#: accepting the freshest build.  A fleet that mutates on *every* read
+#: (pathological) can never be stably snapshotted by any backend.
+_REVALIDATE_ROUNDS = 3
+
+
+def revalidate(fleet: Any, kind: str, version: Optional[int], column: Any) -> Any:
+    """Use-time validation of a previously obtained ``(version, column)``.
+
+    Closes the TOCTOU window between obtaining a column and dispatching
+    a kernel over it: if the fleet's version moved in between (an
+    in-place mutation, possibly triggered *during* the column build by
+    the fleet's own ``__getitem__``), the stale column is dropped and
+    re-fetched — counted under ``colcache.invalidations`` by the cache.
+    Plain sequences (``version is None``) have no stamp to validate.
+    """
+    if version is None or not isinstance(fleet, Fleet):
+        return column
+    for _ in range(_REVALIDATE_ROUNDS):
+        if fleet.version == version:
+            return column
+        version, column = _CACHE.get_versioned(fleet, kind)
+    return column
 
 
 def clear_cache() -> None:

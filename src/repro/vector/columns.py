@@ -42,7 +42,10 @@ class UnitColumn:
 
     # __weakref__ lets the column cache and the shared-memory segment
     # registry key off column/owner identity without keeping it alive.
-    __slots__ = ("offsets", "starts", "ends", "lc", "rc", "__weakref__")
+    # ``source`` identifies the persistent store a memmap-backed column
+    # was opened from (:mod:`repro.vector.store`), or None for columns
+    # that live purely in process memory.
+    __slots__ = ("offsets", "starts", "ends", "lc", "rc", "source", "__weakref__")
 
     def __init__(
         self,
@@ -57,10 +60,21 @@ class UnitColumn:
         self.ends = np.ascontiguousarray(ends, dtype=np.float64)
         self.lc = np.ascontiguousarray(lc, dtype=np.bool_)
         self.rc = np.ascontiguousarray(rc, dtype=np.bool_)
+        self.source = None
         if self.offsets.ndim != 1 or len(self.offsets) == 0:
             raise InvalidValue("offsets must be a 1-D array of length n+1")
         if int(self.offsets[-1]) != len(self.starts):
             raise InvalidValue("offsets do not cover the unit arrays")
+
+    @staticmethod
+    def _check_offsets(offsets: np.ndarray, n_units: int) -> np.ndarray:
+        """Validate a CSR offsets array against ``n_units`` unit records."""
+        offsets = np.asarray(offsets, dtype=np.int64)
+        if offsets.ndim != 1 or len(offsets) == 0:
+            raise InvalidValue("offsets must be a 1-D array of length n+1")
+        if int(offsets[-1]) != n_units:
+            raise InvalidValue("offsets do not cover the unit arrays")
+        return offsets
 
     @property
     def n_objects(self) -> int:
@@ -178,6 +192,28 @@ class UPointColumn(UnitColumn):
         rec["y0"], rec["y1"] = self.y0, self.y1
         return rec
 
+    @classmethod
+    def from_records(
+        cls, offsets: np.ndarray, rec: np.ndarray
+    ) -> "UPointColumn":
+        """Zero-copy view over structured unit records (e.g. a memmap).
+
+        Unlike the constructor, the strided per-field views of ``rec``
+        are kept as-is — no contiguous copy — so a memory-mapped file
+        stays lazily paged and cold open cost is the mmap, not a
+        column-width materialization.  The batch kernels only ever do
+        comparisons, reductions and fancy indexing, all of which accept
+        strided inputs.
+        """
+        col = object.__new__(cls)
+        col.offsets = cls._check_offsets(offsets, len(rec))
+        col.starts, col.ends = rec["s"], rec["e"]
+        col.lc, col.rc = rec["lc"], rec["rc"]
+        col.x0, col.x1 = rec["x0"], rec["x1"]
+        col.y0, col.y1 = rec["y0"], rec["y1"]
+        col.source = None
+        return col
+
     def to_darrays(self) -> Tuple[DatabaseArray, DatabaseArray]:
         """Serialize as Section-4 database arrays ``(root, units)``.
 
@@ -282,16 +318,36 @@ class URealColumn(UnitColumn):
             out.append(MovingReal(units, validate=False))  # modlint: disable=MOD002 see comment above
         return out
 
-    def to_darrays(self) -> Tuple[DatabaseArray, DatabaseArray]:
-        """Serialize as Section-4 database arrays ``(root, units)``."""
-        root = DatabaseArray(self.ROOT_FORMAT)
-        root.extend_packed(self.offsets.astype("<i8").tobytes(), len(self.offsets))
+    def _unit_records(self) -> np.ndarray:
         rec = np.empty(self.n_units, dtype=self.UNIT_DTYPE)
         rec["s"], rec["e"] = self.starts, self.ends
         rec["lc"], rec["rc"] = self.lc, self.rc
         rec["a"], rec["b"], rec["c"], rec["r"] = self.a, self.b, self.c, self.r
+        return rec
+
+    @classmethod
+    def from_records(
+        cls, offsets: np.ndarray, rec: np.ndarray
+    ) -> "URealColumn":
+        """Zero-copy view over structured unit records (e.g. a memmap).
+
+        See :meth:`UPointColumn.from_records` for why the strided field
+        views are deliberately not copied.
+        """
+        col = object.__new__(cls)
+        col.offsets = cls._check_offsets(offsets, len(rec))
+        col.starts, col.ends = rec["s"], rec["e"]
+        col.lc, col.rc = rec["lc"], rec["rc"]
+        col.a, col.b, col.c, col.r = rec["a"], rec["b"], rec["c"], rec["r"]
+        col.source = None
+        return col
+
+    def to_darrays(self) -> Tuple[DatabaseArray, DatabaseArray]:
+        """Serialize as Section-4 database arrays ``(root, units)``."""
+        root = DatabaseArray(self.ROOT_FORMAT)
+        root.extend_packed(self.offsets.astype("<i8").tobytes(), len(self.offsets))
         units = DatabaseArray(self.UNIT_FORMAT)
-        units.extend_packed(rec.tobytes(), self.n_units)
+        units.extend_packed(self._unit_records().tobytes(), self.n_units)
         return root, units
 
     @classmethod
@@ -317,7 +373,24 @@ class BBoxColumn:
     records store, exactly what the R-tree indexes).
     """
 
-    __slots__ = ("keys", "xmin", "ymin", "tmin", "xmax", "ymax", "tmax", "__weakref__")
+    __slots__ = (
+        "keys", "xmin", "ymin", "tmin", "xmax", "ymax", "tmax",
+        "source", "__weakref__",
+    )
+
+    #: struct layout of one persisted bbox record: integer key + cube.
+    RECORD_FORMAT = "<qdddddd"
+    RECORD_DTYPE = np.dtype(
+        [
+            ("key", "<i8"),
+            ("xmin", "<f8"),
+            ("ymin", "<f8"),
+            ("tmin", "<f8"),
+            ("xmax", "<f8"),
+            ("ymax", "<f8"),
+            ("tmax", "<f8"),
+        ]
+    )
 
     def __init__(self, keys, xmin, ymin, tmin, xmax, ymax, tmax):
         self.keys = list(keys)
@@ -327,6 +400,7 @@ class BBoxColumn:
         self.xmax = np.ascontiguousarray(xmax, dtype=np.float64)
         self.ymax = np.ascontiguousarray(ymax, dtype=np.float64)
         self.tmax = np.ascontiguousarray(tmax, dtype=np.float64)
+        self.source = None
         if len(self.keys) != len(self.xmin):
             raise InvalidValue("BBoxColumn keys and coordinates disagree in length")
 
@@ -379,6 +453,40 @@ class BBoxColumn:
             else:
                 entries.append((key, m.bounding_cube()))
         return cls.from_cubes(entries)
+
+    def _records(self) -> np.ndarray:
+        """Structured ``RECORD_DTYPE`` array for persistence.
+
+        Only integer keys (the fleet positions the default builders
+        assign) can be persisted; columns with opaque keys stay
+        in-memory only.
+        """
+        rec = np.empty(len(self.keys), dtype=self.RECORD_DTYPE)
+        try:
+            rec["key"] = np.asarray(
+                [int(k) for k in self.keys], dtype=np.int64
+            ) if self.keys else np.empty(0, dtype=np.int64)
+        except (TypeError, ValueError) as exc:
+            raise InvalidValue(
+                "BBoxColumn with non-integer keys cannot be persisted"
+            ) from exc
+        rec["xmin"], rec["ymin"], rec["tmin"] = self.xmin, self.ymin, self.tmin
+        rec["xmax"], rec["ymax"], rec["tmax"] = self.xmax, self.ymax, self.tmax
+        return rec
+
+    @classmethod
+    def from_records(cls, rec: np.ndarray) -> "BBoxColumn":
+        """Zero-copy view over structured bbox records (e.g. a memmap).
+
+        Coordinate fields stay strided views of ``rec``; only the keys
+        materialize (they are Python objects in the in-memory layout).
+        """
+        col = object.__new__(cls)
+        col.keys = rec["key"].tolist()
+        col.xmin, col.ymin, col.tmin = rec["xmin"], rec["ymin"], rec["tmin"]
+        col.xmax, col.ymax, col.tmax = rec["xmax"], rec["ymax"], rec["tmax"]
+        col.source = None
+        return col
 
     def __len__(self) -> int:
         return len(self.keys)

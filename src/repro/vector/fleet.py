@@ -34,7 +34,7 @@ from repro.spatial.bbox import Cube
 from repro.spatial.point import Point
 from repro.spatial.region import Region
 from repro.temporal.mapping import MovingPoint, MovingReal
-from repro.vector.cache import column_for
+from repro.vector.cache import column_for_versioned, revalidate
 from repro.vector.kernels import (
     atinstant_batch,
     bbox_filter_batch,
@@ -89,7 +89,8 @@ def fleet_atinstant(
     resolved = _resolve(backend)
     if resolved == "vector" or resolved == "parallel":
         try:
-            col = column_for(fleet, "upoint")
+            version, col = column_for_versioned(fleet, "upoint")
+            col = revalidate(fleet, "upoint", version, col)
         except (InvalidValue, StorageError):
             _fallback("upoint_column")
         else:
@@ -120,7 +121,8 @@ def fleet_atinstant_real(
     resolved = _resolve(backend)
     if resolved == "vector" or resolved == "parallel":
         try:
-            col = column_for(fleet, "ureal")
+            version, col = column_for_versioned(fleet, "ureal")
+            col = revalidate(fleet, "ureal", version, col)
         except (InvalidValue, StorageError):
             _fallback("ureal_column")
         else:
@@ -147,7 +149,8 @@ def fleet_bbox_filter(
     resolved = _resolve(backend)
     if resolved == "vector" or resolved == "parallel":
         try:
-            col = column_for(fleet, "bbox")
+            version, col = column_for_versioned(fleet, "bbox")
+            col = revalidate(fleet, "bbox", version, col)
         except (InvalidValue, StorageError):
             _fallback("bbox_column")
         else:
@@ -182,7 +185,8 @@ def fleet_count_inside(
     resolved = _resolve(backend)
     if resolved == "vector" or resolved == "parallel":
         try:
-            col = column_for(fleet, "upoint")
+            version, col = column_for_versioned(fleet, "upoint")
+            col = revalidate(fleet, "upoint", version, col)
         except (InvalidValue, StorageError):
             _fallback("upoint_column")
         else:
