@@ -7,7 +7,9 @@
 # backend (shared-memory chunked pool vs single-process, column cache,
 # STR bulk loading) into BENCH_parallel.json, and the persistent column
 # store (cold mmap open vs warm vs the killed rebuild path) into
-# BENCH_colstore.json.
+# BENCH_colstore.json, and the always-on query service (sustained qps
+# under concurrent WAL-durable ingest at 4 workers, p50/p99) into
+# BENCH_server.json.
 #
 # Usage: scripts/bench.sh [fleet_size]  (from the repository root)
 set -euo pipefail
@@ -47,6 +49,14 @@ python -m pytest -q -p no:cacheprovider benchmarks/bench_colstore.py
 echo
 echo "== column store: cold/warm trajectory -> BENCH_colstore.json =="
 python benchmarks/bench_colstore.py --objects "$OBJECTS" --json BENCH_colstore.json
+
+echo
+echo "== query service: pytest assertions (lifecycle + concurrent ingest) =="
+python -m pytest -q -p no:cacheprovider benchmarks/bench_server.py
+
+echo
+echo "== query service: sustained qps under ingest -> BENCH_server.json =="
+python benchmarks/bench_server.py --json BENCH_server.json
 
 echo
 echo "== buffer pool: CLOCK hit rates on looping / hot-cold scans =="

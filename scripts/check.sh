@@ -25,6 +25,10 @@ echo "== column-store cold-start smoke (populated store, no rebuild) =="
 python -m pytest -q -p no:cacheprovider benchmarks/bench_colstore.py -k smoke
 
 echo
+echo "== query-service smoke (start -> ingest -> query -> shutdown) =="
+python -m pytest -q -p no:cacheprovider benchmarks/bench_server.py -k smoke
+
+echo
 echo "== repro-lint (stdlib AST checker, always on) =="
 python -m repro.analysis src
 

@@ -12,6 +12,8 @@ Commands
                       (exercises the ``--backend`` switch fleet-wide)
 ``crash-matrix``      run every registered failpoint's crash/recovery
                       scenario (:mod:`repro.storage.crashmatrix`)
+``serve``             run the always-on query service
+                      (:mod:`repro.server`) until SIGINT/SIGTERM
 
 Global flags: ``--profile`` collects the :mod:`repro.obs` counters and
 prints the report even when the command fails; ``--backend`` selects
@@ -195,12 +197,103 @@ def cmd_snapshot(args: argparse.Namespace) -> int:
 
 
 def cmd_crash_matrix(args: argparse.Namespace) -> int:
-    """Run the arm → crash → recover → verify matrix over all failpoints."""
+    """Run the arm → crash → recover → verify matrix over all failpoints.
+
+    SIGINT/SIGTERM stop the run at the next scenario boundary (each
+    scenario cleans up after itself), report what already ran, and exit
+    0 — an interrupted sweep is an answered request, not a failure.
+    """
+    import signal
+
     from repro.storage.crashmatrix import format_matrix, run_crash_matrix
 
-    entries = run_crash_matrix(seed=args.seed, only=args.only)
+    stop_requested = {"flag": False}
+
+    def _request_stop(_signum: int, _frame: object) -> None:
+        stop_requested["flag"] = True
+
+    previous = {}
+    for sig in (signal.SIGINT, signal.SIGTERM):
+        try:
+            previous[sig] = signal.signal(sig, _request_stop)
+        except (ValueError, OSError):  # pragma: no cover - non-main thread
+            pass
+    try:
+        entries = run_crash_matrix(
+            seed=args.seed,
+            only=args.only,
+            should_stop=lambda: stop_requested["flag"],
+        )
+    finally:
+        for sig, handler in previous.items():
+            signal.signal(sig, handler)
     print(format_matrix(entries))
+    if stop_requested["flag"]:
+        print(
+            f"crash-matrix: interrupted — {len(entries)} scenario(s) "
+            "completed, state cleaned up"
+        )
+        return 0
     return 0 if entries and all(e.ok for e in entries) else 1
+
+
+def cmd_serve(args: argparse.Namespace) -> int:
+    """Run the query service until SIGINT/SIGTERM, then drain and exit.
+
+    Boots a generated fleet, replays any existing WAL (so ingest
+    survives restarts), serves the line protocol, and on a termination
+    signal drains in-flight requests, commits everything the group
+    committer already queued, syncs the WAL, and exits 0 with a
+    one-line summary.
+    """
+    import asyncio
+    import signal
+
+    from repro.server.executor import FleetExecutor
+    from repro.server.ingest import replay_ingest
+    from repro.server.session import QueryServer
+    from repro.storage.wal import Wal
+    from repro.workloads.trajectories import FlightGenerator
+
+    gen = FlightGenerator(seed=args.seed)
+    mappings = [gen.flight(legs=4) for _ in range(args.objects)]
+    executor = FleetExecutor()
+    executor.register_fleet(args.fleet, mappings)
+    wal = Wal(args.wal) if args.wal else None
+    replayed = replay_ingest(wal, executor) if wal is not None else 0
+
+    async def _serve() -> None:
+        server = QueryServer(
+            executor, wal=wal, host=args.host, port=args.port
+        )
+        await server.start()
+        stop = asyncio.Event()
+        loop = asyncio.get_running_loop()
+        for sig in (signal.SIGINT, signal.SIGTERM):
+            try:
+                loop.add_signal_handler(sig, stop.set)
+            except NotImplementedError:  # pragma: no cover - non-POSIX
+                signal.signal(sig, lambda *_: stop.set())
+        boot = f"repro serve: listening on {args.host}:{server.port}, " \
+               f"fleet {args.fleet!r} with {len(mappings)} objects"
+        if replayed:
+            boot += f" ({replayed} ingested unit(s) replayed from WAL)"
+        print(boot, flush=True)
+        await stop.wait()
+        await server.stop()
+
+    asyncio.run(_serve())
+    stats = executor.stats()
+    units = stats.get(f"fleet.{args.fleet}.units", 0)
+    version = stats.get(f"fleet.{args.fleet}.version", 0)
+    if wal is not None:
+        wal.close()
+    print(
+        f"repro serve: drained cleanly — fleet {args.fleet!r} at "
+        f"version {version} with {units} units"
+        + (", WAL synced" if args.wal else "")
+    )
+    return 0
 
 
 def cmd_info(_args: argparse.Namespace) -> int:
@@ -306,6 +399,24 @@ def main(argv: Optional[List[str]] = None) -> int:
     matrix_p.add_argument("--only", default=None, metavar="FAILPOINT",
                           help="run a single failpoint's scenario")
     matrix_p.set_defaults(fn=cmd_crash_matrix)
+    serve_p = sub.add_parser(
+        "serve", help="run the always-on query service"
+    )
+    serve_p.add_argument("--host", default="127.0.0.1",
+                         help="listen address (default 127.0.0.1)")
+    serve_p.add_argument("--port", type=int, default=0,
+                         help="listen port (default 0: OS-assigned, "
+                         "printed at startup)")
+    serve_p.add_argument("--objects", type=int, default=64,
+                         help="boot-time fleet size (default 64)")
+    serve_p.add_argument("--seed", type=int, default=2000,
+                         help="fleet generator seed (default 2000)")
+    serve_p.add_argument("--fleet", default="fleet",
+                         help="name of the served fleet (default 'fleet')")
+    serve_p.add_argument("--wal", default=None, metavar="PATH",
+                         help="WAL file for durable ingest; replayed on "
+                         "start, synced on shutdown (default: memory-only)")
+    serve_p.set_defaults(fn=cmd_serve)
     args = parser.parse_args(argv)
 
     # Argument-level validation, kept to the CLI's one-line diagnostic

@@ -103,6 +103,16 @@ class QueryError(ReproError):
     """A failure while parsing, planning, or executing a query."""
 
 
+class ProtocolError(ReproError):
+    """A malformed request on the query-service line protocol.
+
+    Raised by :mod:`repro.server.protocol` when a request line names an
+    unknown command or carries the wrong number / type of arguments.
+    The session layer answers with a single ``ERR`` line and keeps the
+    connection open; it never tears the session down for a bad request.
+    """
+
+
 class NotClosed(ReproError):
     """An operation of the abstract model is not closed in the discrete model.
 

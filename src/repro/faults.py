@@ -90,6 +90,9 @@ FAILPOINT_NAMES: FrozenSet[str] = frozenset({
     "colstore.manifest_crash",  # crash before the manifest update
     # shared-memory column packing (repro.parallel.shmcol)
     "shmcol.pack_crash",        # crash after segment creation, mid-copy
+    # query service ingest path (repro.server.ingest)
+    "wal.group_commit_crash",   # crash at the group-commit sync barrier
+    "server.ingest_crash",      # crash after durable sync, pre-apply
 })
 
 #: Fast-path guard: True iff at least one failpoint is armed.  Sites

@@ -174,6 +174,17 @@ COUNTER_NAMES: FrozenSet[str] = frozenset({
     "parallel.shm_reclaimed",
     # STR bulk loading (RTree3D.bulk_load)
     "rtree.bulk_loaded",
+    # incremental column maintenance (live ingest)
+    "colcache.extended",
+    "colstore.extends",
+    "colstore.rewrites",
+    # query service (repro.server)
+    "server.sessions",
+    "server.queries",
+    "server.errors",
+    "ingest.units",
+    "ingest.group_commits",
+    "ingest.replayed",
 })
 
 #: Every timed-scope name (``obs.scope(name)`` / ``add_time``).
@@ -186,6 +197,8 @@ TIMER_NAMES: FrozenSet[str] = frozenset({
 GAUGE_NAMES: FrozenSet[str] = frozenset({
     "vector.rows_per_call",
     "parallel.workers",
+    "server.query_p50_ms",
+    "server.query_p99_ms",
 })
 
 

@@ -1,0 +1,149 @@
+"""A small blocking client for the query-service line protocol.
+
+For tests, benchmarks, and shell scripting — one socket, synchronous
+request/response, responses returned as parsed :class:`Reply` values.
+Not an ORM: rows come back as the ``key=value`` dictionaries the wire
+carries.
+"""
+
+from __future__ import annotations
+
+import socket
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.errors import ProtocolError, ReproError
+
+__all__ = ["Reply", "ServerClient", "ServerError"]
+
+
+class ServerError(ReproError):
+    """The server answered ``ERR``; carries the remote type and text."""
+
+    def __init__(self, remote_type: str, message: str):
+        super().__init__(message)
+        self.remote_type = remote_type
+
+
+@dataclass
+class Reply:
+    """One parsed response: the OK header fields plus the data lines."""
+
+    fields: Dict[str, str] = field(default_factory=dict)
+    rows: List[Dict[str, str]] = field(default_factory=list)
+    lines: List[str] = field(default_factory=list)  # PLAN / MSG / STAT text
+
+    def stat(self, name: str) -> Optional[str]:
+        """The value of a ``STAT <name> <value>`` line, if present."""
+        prefix = f"STAT {name} "
+        for line in self.lines:
+            if line.startswith(prefix):
+                return line[len(prefix):]
+        return None
+
+
+def _parse_kv(text: str, sep: str) -> Dict[str, str]:
+    out: Dict[str, str] = {}
+    for part in text.split(sep):
+        key, eq, value = part.partition("=")
+        if eq:
+            out[key] = value
+    return out
+
+
+class ServerClient:
+    """A synchronous connection to a running :class:`QueryServer`."""
+
+    def __init__(self, host: str, port: int, timeout: float = 10.0):
+        self._sock = socket.create_connection((host, port), timeout=timeout)
+        self._file = self._sock.makefile("rwb")
+
+    def close(self) -> None:
+        """End the session politely (``CLOSE`` → ``BYE``), then hang up."""
+        try:
+            self._file.write(b"CLOSE\n")
+            self._file.flush()
+            self._file.readline()  # BYE
+        except (OSError, ValueError):
+            pass
+        finally:
+            self._file.close()
+            self._sock.close()
+
+    def __enter__(self) -> "ServerClient":
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self.close()
+
+    # -- the wire ----------------------------------------------------------
+
+    def request(self, line: str) -> Reply:
+        """Send one raw request line, read one framed response.
+
+        Raises :class:`ServerError` for ``ERR`` responses and
+        :class:`ProtocolError` if the server's framing is unreadable.
+        """
+        self._file.write(line.rstrip("\n").encode("utf-8") + b"\n")
+        self._file.flush()
+        reply = Reply()
+        first = True
+        while True:
+            raw = self._file.readline()
+            if not raw:
+                raise ProtocolError("connection closed mid-response")
+            text = raw.decode("utf-8").rstrip("\n")
+            if first:
+                first = False
+                if text.startswith("ERR "):
+                    _, _, detail = text.partition(" ")
+                    rtype, _, message = detail.partition(" ")
+                    raise ServerError(rtype, message)
+                if text == "BYE":
+                    reply.lines.append(text)
+                    return reply
+                if text == "OK" or text.startswith("OK "):
+                    reply.fields = _parse_kv(text[3:], " ")
+                    continue
+                raise ProtocolError(f"unexpected response header {text!r}")
+            if text == "END":
+                return reply
+            if text.startswith("ROW "):
+                reply.rows.append(_parse_kv(text[4:], "\t"))
+            else:
+                reply.lines.append(text)
+
+    # -- command helpers ---------------------------------------------------
+
+    def query(self, sql: str) -> Reply:
+        return self.request(f"QUERY {sql}")
+
+    def explain(self, sql: str) -> Reply:
+        return self.request(f"EXPLAIN {sql}")
+
+    def ingest(
+        self,
+        fleet: str,
+        obj: int,
+        unit: Tuple[float, float, float, float, float, float],
+    ) -> int:
+        """Append one unit slice; returns the object's new unit count."""
+        t0, x0, y0, t1, x1, y1 = unit
+        reply = self.request(
+            f"INGEST {fleet} {obj} {t0!r} {x0!r} {y0!r} {t1!r} {x1!r} {y1!r}"
+        )
+        return int(reply.fields.get("units", "0"))
+
+    def snapshot(
+        self,
+        fleet: str,
+        t: float,
+        window: Optional[Tuple[float, float, float, float]] = None,
+    ) -> Reply:
+        line = f"SNAPSHOT {fleet} {t!r}"
+        if window is not None:
+            line += " " + " ".join(repr(v) for v in window)
+        return self.request(line)
+
+    def stats(self) -> Reply:
+        return self.request("STATS")

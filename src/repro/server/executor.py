@@ -1,0 +1,326 @@
+"""Execution state of the query service: fleets, indexes, snapshots.
+
+The executor owns everything the protocol layer must never touch
+directly: the live :class:`~repro.vector.cache.Fleet` containers, their
+STR-bulk-loaded R-tree indexes, the SQL database, and the mutation lock
+that serializes ingest against column builds.  Sessions hand it parsed
+requests and get plain Python values back.
+
+Snapshot isolation
+------------------
+Every read pins a :class:`Snapshot` at start: the fleet's version stamp
+plus an immutable tuple of its members.  Ingest never mutates a
+``Mapping`` in place — it *replaces* the member with a new mapping that
+shares the old unit slices (:meth:`repro.temporal.mapping.Mapping.
+appended`) — so a pinned tuple keeps describing exactly the pre-ingest
+fleet no matter how far the live fleet moves on.  Columns are pinned by
+version: a cached column whose stamp equals the pin is served as-is;
+otherwise the column is rebuilt from the pinned members, never from the
+moved-on fleet.
+"""
+
+from __future__ import annotations
+
+import threading
+from collections import deque
+from typing import Any, Deque, Dict, List, Optional, Sequence, Tuple
+
+from repro import faults, obs
+from repro.db.catalog import Database
+from repro.db.script import StatementResult, run_script
+from repro.errors import InvalidValue, QueryError, StorageError
+from repro.index.rtree import RTree3D
+from repro.spatial.bbox import Cube
+from repro.temporal.mapping import MovingPoint
+from repro.temporal.upoint import UPoint
+from repro.vector.cache import _BUILDERS, Fleet, column_for_versioned
+from repro.vector.kernels import atinstant_batch
+
+__all__ = ["FleetExecutor", "Snapshot"]
+
+#: Latency samples kept for the p50/p99 gauges (a sliding window).
+_LATENCY_WINDOW = 512
+
+
+class Snapshot:
+    """An immutable read view of one fleet, pinned at a version stamp."""
+
+    __slots__ = ("version", "items", "_columns")
+
+    def __init__(self, fleet: Fleet):
+        self.version = fleet.version
+        self.items: Tuple[Any, ...] = tuple(fleet)
+        self._columns: Dict[str, Any] = {}
+
+    def __len__(self) -> int:
+        return len(self.items)
+
+
+class FleetExecutor:
+    """Owns fleets, indexes, and the SQL database; executes requests.
+
+    Thread-safe: sessions call in from worker threads while the ingest
+    committer applies batches — every state access runs under one
+    re-entrant lock, and the computed results (snapshots, columns,
+    statement rows) are immutable once returned.
+    """
+
+    def __init__(self, db: Optional[Database] = None):
+        self._lock = threading.RLock()
+        self._fleets: Dict[str, Fleet] = {}
+        self._indexes: Dict[str, RTree3D] = {}
+        self._db = db if db is not None else Database("server")
+        self._latencies: Deque[float] = deque(maxlen=_LATENCY_WINDOW)
+
+    @property
+    def db(self) -> Database:
+        return self._db
+
+    # -- fleet registry ---------------------------------------------------
+
+    def register_fleet(
+        self,
+        name: str,
+        mappings: Sequence[MovingPoint],
+        index: bool = True,
+    ) -> Fleet:
+        """Adopt ``mappings`` as the live fleet ``name``.
+
+        Builds the per-unit R-tree via STR bulk loading (the cheap path
+        for the initial load; later ingest maintains it with per-batch
+        inserts).  Re-registering a name replaces the fleet.
+        """
+        fleet = Fleet(mappings)
+        with self._lock:
+            self._fleets[name] = fleet
+            if index:
+                entries = [
+                    (u.bounding_cube(), i)
+                    for i, m in enumerate(fleet)
+                    for u in m.units
+                ]
+                self._indexes[name] = RTree3D.bulk_load(entries)
+            else:
+                self._indexes.pop(name, None)
+        return fleet
+
+    def fleet_names(self) -> List[str]:
+        with self._lock:
+            return sorted(self._fleets)
+
+    def _fleet(self, name: str) -> Fleet:
+        fleet = self._fleets.get(name)
+        if fleet is None:
+            raise QueryError(f"no fleet named {name!r}")
+        return fleet
+
+    def fleet(self, name: str) -> Fleet:
+        with self._lock:
+            return self._fleet(name)
+
+    # -- snapshot-isolated reads ------------------------------------------
+
+    def snapshot(self, name: str) -> Snapshot:
+        """Pin an immutable view of fleet ``name`` at its current version."""
+        with self._lock:
+            return Snapshot(self._fleet(name))
+
+    def _pinned_column(
+        self, fleet: Fleet, snap: Snapshot, kind: str
+    ) -> Optional[Any]:
+        """The ``kind`` column describing exactly ``snap``, or None when
+        only the scalar path can evaluate the pinned members.
+
+        Must run under the lock: the shared column cache may build here,
+        and a build that interleaved with an ingest apply could pair the
+        pinned stamp with post-ingest bytes.
+        """
+        if kind in snap._columns:
+            return snap._columns[kind]
+        col: Optional[Any] = None
+        try:
+            version, candidate = column_for_versioned(fleet, kind)
+            if version == snap.version:
+                col = candidate
+            else:
+                # The fleet moved on past the pin: build from the pinned
+                # members themselves (immutable, so always consistent).
+                col = _BUILDERS[kind](snap.items)
+        except (InvalidValue, StorageError):
+            col = None
+        snap._columns[kind] = col
+        return col
+
+    def snapshot_rows(
+        self,
+        name: str,
+        t: float,
+        window: Optional[Tuple[float, float, float, float]] = None,
+    ) -> Tuple[Snapshot, List[Tuple[int, float, float]]]:
+        """Defined positions of fleet ``name`` at instant ``t``.
+
+        Returns ``(snapshot, rows)`` with one ``(object index, x, y)``
+        row per member defined at ``t`` — filtered to ``window`` (an
+        ``xmin ymin xmax ymax`` rectangle) when given, using the live
+        R-tree as a candidate prefilter.  The rows describe the pinned
+        snapshot exactly: ingest applied after the pin is invisible.
+        """
+        with self._lock:
+            fleet = self._fleet(name)
+            snap = Snapshot(fleet)
+            col = self._pinned_column(fleet, snap, "upoint")
+            candidates = self._window_candidates(name, t, window, len(snap))
+        rows: List[Tuple[int, float, float]] = []
+        if col is not None:
+            xs, ys, defined = atinstant_batch(col, t)
+            for i in range(len(snap)):
+                if defined[i]:
+                    rows.append((i, float(xs[i]), float(ys[i])))
+        else:
+            for i, m in enumerate(snap.items):
+                p = m.value_at(t)
+                if p is not None:
+                    rows.append((i, p.x, p.y))
+        if window is not None:
+            xmin, ymin, xmax, ymax = window
+            rows = [
+                (i, x, y)
+                for i, x, y in rows
+                if (candidates is None or i in candidates)
+                and xmin <= x <= xmax
+                and ymin <= y <= ymax
+            ]
+        return snap, rows
+
+    def _window_candidates(
+        self,
+        name: str,
+        t: float,
+        window: Optional[Tuple[float, float, float, float]],
+        n: int,
+    ) -> Optional[set]:
+        """Index candidates for a window query, or None (no prefilter).
+
+        The live index is a *superset* of any pinned snapshot (units are
+        only ever added), so pruning with it never drops a true hit;
+        exactness comes from the per-position refinement above.
+        """
+        if window is None:
+            return None
+        tree = self._indexes.get(name)
+        if tree is None:
+            return None
+        xmin, ymin, xmax, ymax = window
+        cube = Cube(xmin, ymin, t, xmax, ymax, t)
+        return {int(k) for k in tree.search(cube) if int(k) < n}
+
+    # -- SQL --------------------------------------------------------------
+
+    def query_sql(self, sql: str) -> List[StatementResult]:
+        """Run a SQL script against the server's database."""
+        with self._lock:
+            return run_script(self._db, sql)
+
+    def explain_sql(self, sql: str) -> str:
+        """The plan for a SELECT (EXPLAIN is prepended when missing)."""
+        stmt = sql.strip()
+        if not stmt.lower().startswith("explain"):
+            stmt = f"EXPLAIN {stmt}"
+        results = self.query_sql(stmt)
+        return results[-1].message if results else ""
+
+    # -- ingest apply ------------------------------------------------------
+
+    def apply_units(self, requests: Sequence[Any]) -> List[Any]:
+        """Apply one durable ingest batch to the live fleets, in order.
+
+        Each element of ``requests`` is an
+        :class:`repro.server.ingest.IngestRequest`; the result list
+        carries, positionally, the appended object's new unit count or
+        the :class:`InvalidValue` that rejected it (a rejection is
+        deterministic, so recovery replay re-derives it).  The
+        ``server.ingest_crash`` failpoint fires *inside* the apply loop
+        — after the WAL barrier — so the crash matrix can prove that
+        recovery resurrects a durable batch the process died applying.
+        """
+        out: List[Any] = []
+        with self._lock:
+            for req in requests:
+                if faults.active:
+                    faults.fail("server.ingest_crash")
+                try:
+                    out.append(self._apply_one(req))
+                except InvalidValue as exc:
+                    out.append(exc)
+        return out
+
+    def _apply_one(self, req: Any) -> int:
+        fleet = self._fleet(req.fleet)
+        t0, x0, y0, t1, x1, y1 = req.unit
+        obj = req.obj
+        if obj > len(fleet):
+            raise InvalidValue(
+                f"object index {obj} past the end of fleet "
+                f"{req.fleet!r} ({len(fleet)} objects)"
+            )
+        prior = fleet[obj] if obj < len(fleet) else None
+        lc = True
+        if prior is not None and prior.units:
+            last = prior.units[-1].interval
+            if last.rc and t0 <= last.e:
+                # Streaming continuation: the previous slice owns the
+                # shared boundary instant, so the new one opens left.
+                lc = False
+        unit = UPoint.between(t0, (x0, y0), t1, (x1, y1), lc=lc, rc=True)
+        if prior is None:
+            grown: MovingPoint = MovingPoint([unit])
+            fleet.append(grown)
+        else:
+            grown = prior.appended(unit)
+            fleet[obj] = grown
+        tree = self._indexes.get(req.fleet)
+        if tree is not None:
+            tree.insert(unit.bounding_cube(), obj)
+        if obs.enabled:
+            obs.add("ingest.units")
+        return len(grown.units)
+
+    # -- latency + stats ---------------------------------------------------
+
+    def record_latency(self, ms: float) -> None:
+        """Record one query's wall time (milliseconds)."""
+        self._latencies.append(ms)
+
+    def latency_percentiles(self) -> Tuple[float, float]:
+        """``(p50, p99)`` over the sliding window, in milliseconds."""
+        lat = sorted(self._latencies)
+        if not lat:
+            return 0.0, 0.0
+        p50 = lat[int(0.50 * (len(lat) - 1))]
+        p99 = lat[int(0.99 * (len(lat) - 1))]
+        if obs.enabled:
+            obs.high_water("server.query_p50_ms", p50)
+            obs.high_water("server.query_p99_ms", p99)
+        return p50, p99
+
+    def stats(self) -> Dict[str, object]:
+        """A flat name → value map for the STATS response."""
+        out: Dict[str, object] = {}
+        with self._lock:
+            for name in sorted(self._fleets):
+                fleet = self._fleets[name]
+                out[f"fleet.{name}.objects"] = len(fleet)
+                out[f"fleet.{name}.units"] = sum(
+                    len(m.units) for m in fleet
+                )
+                out[f"fleet.{name}.version"] = fleet.version
+        p50, p99 = self.latency_percentiles()
+        out["query_p50_ms"] = round(p50, 3)
+        out["query_p99_ms"] = round(p99, 3)
+        if obs.enabled:
+            counts = obs.snapshot()["counters"]
+            for key in sorted(counts):
+                if key.startswith(("server.", "ingest.", "colcache.",
+                                   "colstore.", "wal.")):
+                    out[key] = counts[key]
+        return out

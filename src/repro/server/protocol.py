@@ -1,0 +1,157 @@
+"""The query-service line protocol: parsing and response framing.
+
+One request per line, UTF-8, ``\\n``-terminated::
+
+    QUERY <sql ...>                          run a SQL script statement(s)
+    EXPLAIN <select ...>                     show the plan for a query
+    INGEST <fleet> <obj> <t0> <x0> <y0> <t1> <x1> <y1>
+                                             append one unit slice
+    SNAPSHOT <fleet> <t> [<xmin> <ymin> <xmax> <ymax>]
+                                             fleet positions at instant t,
+                                             optionally window-filtered
+    STATS                                    server + store counters
+    CLOSE                                    end the session
+
+Responses are line-framed as well: a single ``OK key=value ...`` header,
+zero or more data lines (``ROW``/``PLAN``/``MSG``/``STAT``), and a bare
+``END`` terminator.  Errors are a single ``ERR <Type> <message>`` line
+(no terminator — the line *is* the whole response) and never tear the
+session down; ``CLOSE`` answers with a single ``BYE``.
+
+This module is pure string work: it never touches fleets, sockets, or
+execution state — the session layer feeds it lines and writes back
+whatever it returns.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from repro.errors import ProtocolError
+
+__all__ = [
+    "BYE",
+    "END",
+    "Request",
+    "err_line",
+    "ok_line",
+    "parse_request",
+    "row_line",
+    "stat_line",
+]
+
+END = "END"
+BYE = "BYE"
+
+#: Commands and the argument counts ``parse_request`` enforces.
+COMMANDS = ("QUERY", "EXPLAIN", "INGEST", "SNAPSHOT", "STATS", "CLOSE")
+
+
+@dataclass(frozen=True)
+class Request:
+    """One parsed request line."""
+
+    command: str
+    sql: str = ""
+    fleet: str = ""
+    obj: int = -1
+    unit: Tuple[float, float, float, float, float, float] = (
+        0.0, 0.0, 0.0, 0.0, 0.0, 0.0,
+    )  # t0 x0 y0 t1 x1 y1
+    t: float = 0.0
+    window: Optional[Tuple[float, float, float, float]] = None
+
+
+def _floats(parts: List[str], what: str) -> List[float]:
+    out: List[float] = []
+    for p in parts:
+        try:
+            out.append(float(p))
+        except ValueError:
+            raise ProtocolError(
+                f"{what}: expected a number, got {p!r}"
+            ) from None
+    return out
+
+
+def parse_request(line: str) -> Request:
+    """Parse one request line; raises :class:`ProtocolError` on misuse."""
+    stripped = line.strip()
+    if not stripped:
+        raise ProtocolError("empty request line")
+    head, _, rest = stripped.partition(" ")
+    command = head.upper()
+    rest = rest.strip()
+    if command not in COMMANDS:
+        raise ProtocolError(
+            f"unknown command {head!r}; expected one of {', '.join(COMMANDS)}"
+        )
+    if command in ("STATS", "CLOSE"):
+        if rest:
+            raise ProtocolError(f"{command} takes no arguments")
+        return Request(command)
+    if command in ("QUERY", "EXPLAIN"):
+        if not rest:
+            raise ProtocolError(f"{command} needs a SQL statement")
+        return Request(command, sql=rest)
+    parts = rest.split()
+    if command == "INGEST":
+        if len(parts) != 8:
+            raise ProtocolError(
+                "INGEST needs <fleet> <obj> <t0> <x0> <y0> <t1> <x1> <y1>"
+            )
+        fleet = parts[0]
+        try:
+            obj = int(parts[1])
+        except ValueError:
+            raise ProtocolError(
+                f"INGEST: object index must be an integer, got {parts[1]!r}"
+            ) from None
+        if obj < 0:
+            raise ProtocolError("INGEST: object index must be >= 0")
+        t0, x0, y0, t1, x1, y1 = _floats(parts[2:], "INGEST")
+        return Request(
+            "INGEST", fleet=fleet, obj=obj, unit=(t0, x0, y0, t1, x1, y1)
+        )
+    # SNAPSHOT <fleet> <t> [<xmin> <ymin> <xmax> <ymax>]
+    if len(parts) not in (2, 6):
+        raise ProtocolError(
+            "SNAPSHOT needs <fleet> <t> [<xmin> <ymin> <xmax> <ymax>]"
+        )
+    fleet = parts[0]
+    values = _floats(parts[1:], "SNAPSHOT")
+    window: Optional[Tuple[float, float, float, float]] = None
+    if len(values) == 5:
+        xmin, ymin, xmax, ymax = values[1:]
+        if xmin > xmax or ymin > ymax:
+            raise ProtocolError("SNAPSHOT: malformed window rectangle")
+        window = (xmin, ymin, xmax, ymax)
+    return Request("SNAPSHOT", fleet=fleet, t=values[0], window=window)
+
+
+def _clean(text: str) -> str:
+    """One-line form of arbitrary message text (the framing is per-line)."""
+    return " ".join(str(text).split())
+
+
+def ok_line(**fields: object) -> str:
+    """The ``OK key=value ...`` response header."""
+    if not fields:
+        return "OK"
+    return "OK " + " ".join(f"{k}={_clean(str(v))}" for k, v in fields.items())
+
+
+def err_line(exc: BaseException) -> str:
+    """The single-line error response: ``ERR <Type> <message>``."""
+    return f"ERR {type(exc).__name__} {_clean(str(exc)) or '(no detail)'}"
+
+
+def row_line(**fields: object) -> str:
+    """One ``ROW`` data line; fields are tab-separated ``key=value``."""
+    return "ROW " + "\t".join(f"{k}={_clean(str(v))}" for k, v in fields.items())
+
+
+def stat_line(name: str, value: object) -> str:
+    """One ``STAT`` data line."""
+    return f"STAT {name} {_clean(str(value))}"

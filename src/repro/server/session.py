@@ -1,0 +1,296 @@
+"""The asyncio session layer: sockets in, protocol lines out.
+
+One task per connection reads request lines, parses them with
+:mod:`repro.server.protocol`, and dispatches to the executor (reads run
+in worker threads so the loop stays responsive) or the group committer
+(ingest).  The session layer holds **no** execution state of its own —
+a malformed or failing request answers with a single ``ERR`` line and
+the session keeps going.
+
+Graceful shutdown: :meth:`QueryServer.stop` closes the listener, lets
+in-flight requests drain (bounded), cancels sessions idling in
+``readline``, stops the committer (which commits everything already
+queued), and syncs the WAL one last time.  Nothing durable is lost by a
+polite shutdown; everything durable survives an impolite one.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import threading
+import time
+from typing import Any, Dict, List, Optional
+
+from repro import obs
+from repro.errors import ProtocolError, ReproError
+from repro.server import protocol
+from repro.server.executor import FleetExecutor
+from repro.server.ingest import GroupCommitter, IngestRequest
+from repro.storage.wal import Wal
+
+__all__ = ["QueryServer", "RunningServer", "serve_in_thread"]
+
+#: How long ``stop()`` waits for in-flight requests before cancelling.
+_DRAIN_DEADLINE = 5.0
+
+
+class QueryServer:
+    """The always-on query service: one listener, many sessions."""
+
+    def __init__(
+        self,
+        executor: FleetExecutor,
+        wal: Optional[Wal] = None,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        max_batch: int = 64,
+        max_delay: float = 0.002,
+    ):
+        self._executor = executor
+        self._wal = wal
+        self._host = host
+        self._requested_port = port
+        self._committer = GroupCommitter(wal, executor, max_batch, max_delay)
+        self._server: Optional[asyncio.AbstractServer] = None
+        self._sessions: set = set()
+        self._inflight = 0
+        self._stopping = False
+
+    @property
+    def port(self) -> int:
+        """The bound port (useful with ``port=0`` — ask the OS)."""
+        assert self._server is not None, "server not started"
+        return self._server.sockets[0].getsockname()[1]
+
+    @property
+    def executor(self) -> FleetExecutor:
+        return self._executor
+
+    async def start(self) -> None:
+        self._committer.start()
+        self._server = await asyncio.start_server(
+            self._handle_session, self._host, self._requested_port
+        )
+
+    async def stop(self) -> None:
+        """Drain and shut down; durable state is synced, never torn."""
+        self._stopping = True
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+        loop = asyncio.get_running_loop()
+        deadline = loop.time() + _DRAIN_DEADLINE
+        while self._inflight and loop.time() < deadline:
+            await asyncio.sleep(0.01)
+        for task in list(self._sessions):
+            task.cancel()
+        if self._sessions:
+            await asyncio.gather(*self._sessions, return_exceptions=True)
+        await self._committer.stop()
+        if self._wal is not None:
+            self._wal.sync()
+
+    # -- per-session loop --------------------------------------------------
+
+    async def _handle_session(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        if obs.enabled:
+            obs.add("server.sessions")
+        task = asyncio.current_task()
+        if task is not None:
+            self._sessions.add(task)
+        try:
+            while not self._stopping:
+                raw = await reader.readline()
+                if not raw:
+                    break
+                line = raw.decode("utf-8", "replace")
+                self._inflight += 1
+                try:
+                    closing = await self._serve_line(line, writer)
+                finally:
+                    self._inflight -= 1
+                await writer.drain()
+                if closing:
+                    break
+        except (asyncio.CancelledError, ConnectionResetError):
+            pass
+        finally:
+            if task is not None:
+                self._sessions.discard(task)
+            writer.close()
+            try:
+                await writer.wait_closed()
+            except (ConnectionResetError, OSError):
+                pass
+
+    async def _serve_line(
+        self, line: str, writer: asyncio.StreamWriter
+    ) -> bool:
+        """Answer one request line; True when the session should end."""
+        try:
+            request = protocol.parse_request(line)
+            if request.command == "CLOSE":
+                _write(writer, [protocol.BYE])
+                return True
+            lines = await self._dispatch(request)
+        except asyncio.CancelledError:
+            raise
+        except Exception as exc:  # ERR answers; the session survives
+            if obs.enabled:
+                obs.add("server.errors")
+            _write(writer, [protocol.err_line(exc)])
+            return False
+        _write(writer, lines)
+        return False
+
+    async def _dispatch(self, request: protocol.Request) -> List[str]:
+        command = request.command
+        if command == "INGEST":
+            units = await self._committer.submit(
+                IngestRequest(request.fleet, request.obj, request.unit)
+            )
+            return [protocol.ok_line(units=units), protocol.END]
+        if command == "STATS":
+            stats = await asyncio.to_thread(self._executor.stats)
+            lines = [protocol.ok_line(stats=len(stats))]
+            lines.extend(
+                protocol.stat_line(name, stats[name]) for name in stats
+            )
+            lines.append(protocol.END)
+            return lines
+        # The read commands: timed, counted, snapshot-isolated.
+        started = time.perf_counter()
+        if command == "QUERY":
+            results = await asyncio.to_thread(
+                self._executor.query_sql, request.sql
+            )
+            lines = [protocol.ok_line(statements=len(results))]
+            for res in results:
+                if res.rows is None:
+                    lines.append(f"MSG {protocol._clean(res.message)}")
+                    continue
+                for row in res.rows:
+                    lines.append(protocol.row_line(
+                        **{k: _format_field(v) for k, v in row.items()}
+                    ))
+        elif command == "EXPLAIN":
+            plan = await asyncio.to_thread(
+                self._executor.explain_sql, request.sql
+            )
+            lines = [protocol.ok_line()]
+            lines.extend(f"PLAN {pl}" for pl in plan.splitlines() if pl)
+        else:  # SNAPSHOT
+            snap, rows = await asyncio.to_thread(
+                self._executor.snapshot_rows,
+                request.fleet,
+                request.t,
+                request.window,
+            )
+            lines = [
+                protocol.ok_line(
+                    version=snap.version, objects=len(snap), rows=len(rows)
+                )
+            ]
+            lines.extend(
+                protocol.row_line(obj=i, x=repr(x), y=repr(y))
+                for i, x, y in rows
+            )
+        lines.append(protocol.END)
+        self._executor.record_latency(
+            (time.perf_counter() - started) * 1000.0
+        )
+        if obs.enabled:
+            obs.add("server.queries")
+        return lines
+
+
+def _format_field(value: object) -> str:
+    """Unwrap query-result values the way the CLI's tables do."""
+    from repro.base.instant import Instant
+    from repro.base.values import BaseValue
+
+    if isinstance(value, BaseValue):
+        return str(value.value) if value.defined else "⊥"
+    if isinstance(value, Instant):
+        return f"{value.value:g}" if value.defined else "⊥"
+    if isinstance(value, float):
+        return f"{value:g}"
+    return str(value)
+
+
+def _write(writer: asyncio.StreamWriter, lines: List[str]) -> None:
+    writer.write(("\n".join(lines) + "\n").encode("utf-8"))
+
+
+# -- running the server off-thread (tests, benchmarks, the CLI) -----------
+
+
+class RunningServer:
+    """Handle on a :class:`QueryServer` running in a background thread."""
+
+    def __init__(self, holder: Dict[str, Any], thread: threading.Thread):
+        self._holder = holder
+        self._thread = thread
+
+    @property
+    def port(self) -> int:
+        return self._holder["server"].port
+
+    @property
+    def server(self) -> QueryServer:
+        return self._holder["server"]
+
+    def stop(self, timeout: float = 10.0) -> None:
+        """Graceful shutdown; returns once the thread has exited."""
+        loop = self._holder.get("loop")
+        stopper = self._holder.get("stopper")
+        if loop is not None and stopper is not None and self._thread.is_alive():
+            loop.call_soon_threadsafe(stopper.set)
+        self._thread.join(timeout)
+
+
+def serve_in_thread(
+    executor: FleetExecutor,
+    wal: Optional[Wal] = None,
+    host: str = "127.0.0.1",
+    port: int = 0,
+    **kwargs: Any,
+) -> RunningServer:
+    """Start a :class:`QueryServer` on a daemon thread with its own loop.
+
+    Blocks until the listener is bound, so ``.port`` is valid on return.
+    Call :meth:`RunningServer.stop` for a graceful drain + shutdown.
+    """
+    holder: Dict[str, Any] = {}
+    ready = threading.Event()
+
+    def runner() -> None:
+        async def main() -> None:
+            server = QueryServer(
+                executor, wal=wal, host=host, port=port, **kwargs
+            )
+            await server.start()
+            holder["server"] = server
+            holder["loop"] = asyncio.get_running_loop()
+            holder["stopper"] = asyncio.Event()
+            ready.set()
+            await holder["stopper"].wait()
+            await server.stop()
+
+        try:
+            asyncio.run(main())
+        except BaseException as exc:
+            holder["error"] = exc
+        finally:
+            ready.set()
+
+    thread = threading.Thread(target=runner, name="repro-server", daemon=True)
+    thread.start()
+    ready.wait(10.0)
+    if "error" in holder:
+        raise holder["error"]
+    if "server" not in holder:
+        raise RuntimeError("query server failed to start within 10s")
+    return RunningServer(holder, thread)

@@ -341,6 +341,87 @@ def _shmcol_scenario(name: str, seed: int) -> MatrixEntry:
                        "segment reclaimed; repack serves identical bytes")
 
 
+def _ingest_scenario(name: str, seed: int) -> MatrixEntry:
+    """Crash the query service's group-commit path, then recover.
+
+    The two failpoints prove the two sides of the durability barrier:
+    ``wal.group_commit_crash`` fires *before* the batched ``sync()``, so
+    the crashed batch must be absent after replay; ``server.ingest_crash``
+    fires *after* it (mid-apply), so replay must resurrect the batch —
+    the ingest-path analog of ``tuplestore.commit_crash``.  Either way
+    the columns served after recovery must match a from-scratch build:
+    no torn columns."""
+    import shutil
+    import tempfile
+
+    from repro.server.executor import FleetExecutor
+    from repro.server.ingest import IngestRequest, commit, replay_ingest
+    from repro.vector.cache import clear_cache, column_for_versioned
+    from repro.vector.store import _BUILDERS, clear_store, set_store
+
+    faults.disarm()
+    baseline = [_track(seed, i) for i in range(4)]
+    root = tempfile.mkdtemp(prefix="crashmatrix_ingest_")
+    wal = Wal()
+    try:
+        clear_cache()
+        set_store(root)
+        ex = FleetExecutor()
+        fleet = ex.register_fleet("fleet", baseline)
+        column_for_versioned(fleet, "upoint")  # persist the baseline column
+        first = IngestRequest("fleet", 0, (100.0, 0.0, 0.0, 101.5, 1.0, 1.0))
+        commit(wal, ex, [first])
+        column_for_versioned(fleet, "upoint")  # extend the stored column
+        faults.arm(name)
+        crashed = False
+        second = IngestRequest("fleet", 1, (200.0, 5.0, 5.0, 201.5, 6.0, 6.0))
+        try:
+            commit(wal, ex, [second])
+        except SimulatedCrash:
+            crashed = True
+        finally:
+            faults.disarm()
+        wal.crash()  # whatever was buffered dies with the process
+        fired = faults.fired(name) > 0
+        if not fired or not crashed:
+            return MatrixEntry(name, fired, False, "failpoint never fired")
+        # "Restart": drop every live object, rebind the store directory,
+        # rebuild the boot-time fleet, and replay the durable WAL prefix.
+        del ex, fleet
+        clear_cache()
+        set_store(root)
+        ex2 = FleetExecutor()
+        fleet2 = ex2.register_fleet("fleet", baseline)
+        replayed = replay_ingest(wal, ex2)
+        counts = [len(m.units) for m in fleet2]
+        expected = [len(m.units) for m in baseline]
+        expected[0] += 1  # the first batch was durable before the crash
+        durable = name == "server.ingest_crash"
+        if durable:
+            expected[1] += 1  # synced pre-apply: replay must resurrect it
+        if counts != expected:
+            return MatrixEntry(
+                name, fired, False,
+                f"replayed unit counts {counts!r} != expected {expected!r}",
+            )
+        _, col = column_for_versioned(fleet2, "upoint")
+        ref = _BUILDERS["upoint"](list(fleet2))
+        if (col.offsets.tobytes() != ref.offsets.tobytes()
+                or col.x0.tobytes() != ref.x0.tobytes()):
+            return MatrixEntry(name, fired, False,
+                               "post-recovery column differs from rebuild")
+        detail = ("durable batch resurrected by replay" if durable
+                  else "unsynced batch absent after replay")
+        return MatrixEntry(name, fired, True,
+                           f"{replayed} unit(s) replayed; {detail}")
+    finally:
+        faults.disarm()
+        clear_store()
+        clear_cache()
+        wal.close()
+        shutil.rmtree(root, ignore_errors=True)
+
+
 #: failpoint name → scenario runner; one entry per registered failpoint.
 SCENARIOS: Dict[str, Callable[[str, int], MatrixEntry]] = {
     "pagefile.write_crash": _write_scenario,
@@ -356,16 +437,23 @@ SCENARIOS: Dict[str, Callable[[str, int], MatrixEntry]] = {
     "colstore.write_crash": _colstore_scenario,
     "colstore.manifest_crash": _colstore_scenario,
     "shmcol.pack_crash": _shmcol_scenario,
+    "wal.group_commit_crash": _ingest_scenario,
+    "server.ingest_crash": _ingest_scenario,
 }
 
 
-def run_crash_matrix(seed: int = 2000,
-                     only: Optional[str] = None) -> List[MatrixEntry]:
+def run_crash_matrix(
+    seed: int = 2000,
+    only: Optional[str] = None,
+    should_stop: Optional[Callable[[], bool]] = None,
+) -> List[MatrixEntry]:
     """Run every registered failpoint's scenario; returns the outcomes.
 
     Raises :class:`ReproError` if a failpoint has no scenario (the
     matrix must cover the whole registry — MOD006 keeps the registry
-    honest, this check keeps the matrix honest).
+    honest, this check keeps the matrix honest).  ``should_stop`` is
+    polled *between* scenarios — a signal handler can set it to stop
+    early at a clean boundary, with everything already run reported.
     """
     missing = faults.FAILPOINT_NAMES - set(SCENARIOS)
     if missing:
@@ -377,6 +465,8 @@ def run_crash_matrix(seed: int = 2000,
     faults.disarm()
     try:
         for name in sorted(SCENARIOS):
+            if should_stop is not None and should_stop():
+                break
             if only is not None and name != only:
                 continue
             entries.append(SCENARIOS[name](name, seed))

@@ -43,6 +43,7 @@ __all__ = [
     "CHECKPOINT",
     "COLSTORE",
     "COMMIT",
+    "INGEST",
     "PAGE",
     "TUPLE",
     "Wal",
@@ -60,6 +61,9 @@ COLSTORE = 7    # column-store checkpoint: ties column files at a store
                 # directory (and their manifest CRC) to this log position,
                 # so recovery knows which persisted columns to validate
                 # against which relation (payload: JSON document)
+INGEST = 8      # one unit appended to a live fleet; scope "fleet:<name>",
+                # payload a JSON document naming the object and the unit's
+                # interval endpoints — replay re-appends the slice
 
 _NAMES = {
     BEGIN: "BEGIN",
@@ -69,6 +73,7 @@ _NAMES = {
     CHECKPOINT: "CHECKPOINT",
     CATALOG: "CATALOG",
     COLSTORE: "COLSTORE",
+    INGEST: "INGEST",
 }
 
 _FRAME = struct.Struct("<IIBH")  # length, crc, type, scope_len

@@ -121,6 +121,28 @@ class Mapping(Generic[V]):
                 merged.append(u)
         return cls(merged)
 
+    def appended(self, unit: Unit[V]) -> "Mapping[V]":
+        """A new mapping with ``unit`` appended as the latest slice.
+
+        The live-ingest primitive: Section 4's sliced representation
+        grows an evolving history by appending unit records, never by
+        mutating existing slices, so this returns a *new* immutable
+        mapping sharing every existing unit.  Appending past the end
+        only needs the boundary pair checked (O(1) amortized, vs the
+        full-scan constructor); a unit that sorts before the current
+        last slice falls back to full construction + validation.
+        Raises :class:`InvalidValue` exactly where the constructor
+        would — overlapping intervals, a mergeable adjacent unit, a
+        foreign unit type.
+        """
+        if self._units and unit.sort_key() < self._units[-1].sort_key():
+            return type(self)([*self._units, unit])
+        self._check_invariants([*self._units[-1:], unit])
+        m = type(self).__new__(type(self))
+        object.__setattr__(m, "_units", (*self._units, unit))
+        object.__setattr__(m, "_starts", [*self._starts, unit.interval.s])
+        return m
+
     # -- container protocol ------------------------------------------------
 
     @property

@@ -23,14 +23,20 @@ behaviour.  Counters: ``colcache.hits`` / ``colcache.misses`` /
 
 from __future__ import annotations
 
+import threading
 import weakref
 from collections import OrderedDict
 from collections.abc import MutableSequence
-from typing import Any, Callable, Dict, Iterable, List, Optional, Tuple
+from typing import Any, Callable, Dict, Iterable, List, Optional, Set, Tuple
 
 from repro import config, obs
 from repro.errors import InvalidValue, StorageError
 from repro.vector.columns import BBoxColumn, UPointColumn, URealColumn
+
+#: Changelog entries kept per fleet.  Past the cap the oldest half is
+#: trimmed and versions at or below the trim point become unknowable
+#: (``changes_since`` answers None → callers fall back to a rebuild).
+_CHANGELOG_CAP = 4096
 
 
 class Fleet(MutableSequence[Any]):
@@ -38,27 +44,65 @@ class Fleet(MutableSequence[Any]):
 
     Behaves like a list for every read, but every mutation bumps
     :attr:`version`, which is what lets :class:`ColumnCache` decide
-    whether a previously built column still describes the fleet.
+    whether a previously built column still describes the fleet.  A
+    bounded changelog additionally records *which* object each version
+    bump touched, so the cache can splice stale columns forward
+    (:meth:`changes_since`) instead of rebuilding from scratch —
+    structural mutations (deletions, mid-sequence inserts, slice
+    assignment, :meth:`invalidate`) shift indices and poison the log
+    back to a full rebuild.
     """
 
-    __slots__ = ("_items", "_version", "__weakref__")
+    __slots__ = ("_items", "_version", "_changes", "_floor", "__weakref__")
 
     def __init__(self, items: Iterable[Any] = ()):
         self._items: List[Any] = list(items)
         self._version = 0
+        # (version, object index) per mutation; index -1 = structural.
+        self._changes: List[Tuple[int, int]] = []
+        self._floor = 0
 
     @property
     def version(self) -> int:
         """Monotonic mutation stamp; changes iff the fleet changed."""
         return self._version
 
+    def _record(self, idx: int) -> None:
+        self._version += 1
+        self._changes.append((self._version, idx))
+        if len(self._changes) > _CHANGELOG_CAP:
+            drop = len(self._changes) - _CHANGELOG_CAP // 2
+            self._floor = self._changes[drop - 1][0]
+            del self._changes[:drop]
+
+    def changes_since(self, version: int) -> Optional[Set[int]]:
+        """Object indices mutated after ``version``, or None when the
+        change set is unknowable — a structural mutation happened, the
+        changelog was trimmed past ``version``, or the stamp is not one
+        this fleet ever issued.  An empty set means "nothing changed"
+        (the stamp is current)."""
+        if version == self._version:
+            return set()
+        if version < self._floor or version > self._version:
+            return None
+        out: Set[int] = set()
+        for v, idx in reversed(self._changes):
+            if v <= version:
+                break
+            if idx < 0:
+                return None
+            out.add(idx)
+        return out
+
     def invalidate(self) -> None:
         """Bump the version without changing contents.
 
         For callers that mutated a *member* in place (the fleet cannot
         observe that), so cached columns must be declared stale by hand.
+        The mutated object is unknown, so this also poisons the
+        changelog: the next cache access is a full rebuild.
         """
-        self._version += 1
+        self._record(-1)
 
     # -- MutableSequence core ------------------------------------------------
 
@@ -70,15 +114,19 @@ class Fleet(MutableSequence[Any]):
 
     def __setitem__(self, i: Any, value: Any) -> None:
         self._items[i] = value
-        self._version += 1
+        if isinstance(i, int):
+            self._record(i if i >= 0 else len(self._items) + i)
+        else:
+            self._record(-1)
 
     def __delitem__(self, i: Any) -> None:
         del self._items[i]
-        self._version += 1
+        self._record(-1)
 
     def insert(self, i: int, value: Any) -> None:
+        tail = i >= len(self._items)
         self._items.insert(i, value)
-        self._version += 1
+        self._record(len(self._items) - 1 if tail else -1)
 
     def __repr__(self) -> str:
         return f"Fleet({len(self._items)} objects, version={self._version})"
@@ -102,7 +150,7 @@ class ColumnCache:
     in-memory entries.
     """
 
-    __slots__ = ("_capacity", "_entries")
+    __slots__ = ("_capacity", "_entries", "_lock")
 
     def __init__(self, capacity: Optional[int] = None):
         self._capacity = capacity
@@ -110,12 +158,19 @@ class ColumnCache:
         self._entries: "OrderedDict[Tuple[int, str], Tuple[int, Any, Any, bool]]" = (
             OrderedDict()
         )
+        # The query service reads columns from executor threads while
+        # the ingest path mutates fleets; every cache operation that
+        # touches the entry table runs under this lock.  Re-entrant
+        # because a column build may re-enter the cache via the fleet's
+        # own __getitem__.
+        self._lock = threading.RLock()
 
     def __len__(self) -> int:
         return len(self._entries)
 
     def clear(self) -> None:
-        self._entries.clear()
+        with self._lock:
+            self._entries.clear()
 
     def get(self, fleet: Fleet, kind: str) -> Any:
         """The ``kind`` column of ``fleet``, rebuilt only when stale."""
@@ -132,10 +187,14 @@ class ColumnCache:
         """
         if kind not in _BUILDERS:
             raise InvalidValue(f"unknown column kind {kind!r}")
+        with self._lock:
+            return self._get_versioned_locked(fleet, kind)
+
+    def _get_versioned_locked(self, fleet: Fleet, kind: str) -> Tuple[int, Any]:
         key = (id(fleet), kind)
         entry = self._entries.get(key)
         if entry is not None:
-            version, ref, column, _pinned = entry
+            version, ref, column, pinned = entry
             if ref() is not fleet:
                 # id() was recycled by a new fleet: a stale stranger's
                 # entry, not an invalidation of *this* fleet's column.
@@ -146,6 +205,22 @@ class ColumnCache:
                 self._entries.move_to_end(key)
                 return version, column
             else:
+                # Stale: splice the changed objects into the existing
+                # column when the fleet's changelog pins exactly which
+                # ones they are — O(changed) instead of a full rebuild.
+                new_version = fleet.version
+                spliced = self._try_extend(
+                    fleet, kind, version, column, pinned
+                )
+                if spliced is not None and fleet.version == new_version:
+                    column, pinned = spliced
+                    if obs.enabled:
+                        obs.counters.add("colcache.extended")
+                    self._entries[key] = (
+                        new_version, ref, column, pinned,
+                    )
+                    self._entries.move_to_end(key)
+                    return new_version, column
                 if obs.enabled:
                     obs.counters.add("colcache.invalidations")
                 del self._entries[key]
@@ -167,6 +242,35 @@ class ColumnCache:
                     continue  # pinned: memmap-backed, never re-packed
                 del self._entries[k]
         return version, column
+
+    @staticmethod
+    def _try_extend(
+        fleet: Fleet, kind: str, old_version: int, column: Any, pinned: bool
+    ) -> Optional[Tuple[Any, bool]]:
+        """``(column, pinned)`` spliced forward to ``fleet.version``, or
+        None when only a full rebuild is sound (structural mutation,
+        trimmed changelog, splice-incompatible column)."""
+        changed = fleet.changes_since(old_version)
+        if not changed:
+            return None
+        items = list(fleet)
+        try:
+            newcol = column.extended(items, changed)
+        except (InvalidValue, IndexError):
+            return None
+        from repro.vector import store as storemod
+
+        st = storemod.store_for(fleet)
+        if st is not None and pinned:
+            try:
+                newcol = st.extend_or_save(
+                    kind, newcol, min(changed),
+                    fleet_version=fleet.version, n_objects=len(items),
+                )
+                return newcol, newcol.source is not None
+            except (OSError, StorageError):
+                pass  # store unusable: keep the in-memory splice
+        return newcol, False
 
     @staticmethod
     def _build(fleet: Fleet, kind: str, version: int) -> Tuple[Any, bool]:

@@ -47,6 +47,10 @@ class UnitColumn:
     # that live purely in process memory.
     __slots__ = ("offsets", "starts", "ends", "lc", "rc", "source", "__weakref__")
 
+    #: Per-subclass unit fields beyond the shared interval quadruple;
+    #: in constructor order, so splicing can rebuild via ``cls(...)``.
+    EXTRA_FIELDS: Tuple[str, ...] = ()
+
     def __init__(
         self,
         offsets: np.ndarray,
@@ -93,6 +97,75 @@ class UnitColumn:
     def __len__(self) -> int:
         return self.n_objects
 
+    def extended(self, mappings: Sequence[Mapping], changed: Sequence[int]):
+        """Splice an updated fleet into a new column without retranscribing.
+
+        ``mappings`` is the fleet's current contents and ``changed`` the
+        object indices whose mappings differ from (or did not exist in)
+        this column's build input.  Only the changed objects go through
+        the Python-level ``from_mappings`` transcription; every
+        unchanged object's unit rows are copied as whole array slices,
+        so the result is bit-identical to ``from_mappings(mappings)`` at
+        a cost of O(changed units) transcription + one memcopy.
+
+        Raises :class:`InvalidValue` when ``changed`` is inconsistent
+        with the new fleet (an index out of range, an appended object
+        not marked changed, a shrunk fleet) — callers degrade to a full
+        rebuild.
+        """
+        n_new = len(mappings)
+        n_old = self.n_objects
+        if n_new < n_old:
+            raise InvalidValue("column extension cannot shrink the fleet")
+        changed_sorted = sorted({int(i) for i in changed})
+        changed_set = set(changed_sorted)
+        if changed_sorted and (
+            changed_sorted[0] < 0 or changed_sorted[-1] >= n_new
+        ):
+            raise InvalidValue("changed object index out of range")
+        for i in range(n_old, n_new):
+            if i not in changed_set:
+                raise InvalidValue(
+                    f"appended object {i} missing from the change set"
+                )
+        cls = type(self)
+        sub = cls.from_mappings([mappings[i] for i in changed_sorted])
+        rank = {obj: k for k, obj in enumerate(changed_sorted)}
+
+        counts = np.empty(n_new, dtype=np.int64)
+        old_counts = np.diff(self.offsets)
+        sub_counts = np.diff(sub.offsets)
+        for i in range(n_new):
+            k = rank.get(i)
+            counts[i] = sub_counts[k] if k is not None else old_counts[i]
+        offsets = _as_offsets(list(counts))
+
+        # Maximal runs of consecutive same-source objects become single
+        # array-slice pieces; a pure tail append is just two pieces.
+        pieces: List[Tuple[UnitColumn, slice]] = []
+        i = 0
+        while i < n_new:
+            src: UnitColumn = sub if i in changed_set else self
+            j = i
+            while j < n_new and (j in changed_set) is (src is sub):
+                j += 1
+            if src is sub:
+                lo, hi = rank[i], rank[j - 1] + 1
+                pieces.append((sub, slice(int(sub.offsets[lo]),
+                                          int(sub.offsets[hi]))))
+            else:
+                pieces.append((self, slice(int(self.offsets[i]),
+                                           int(self.offsets[j]))))
+            i = j
+
+        fields = ("starts", "ends", "lc", "rc") + cls.EXTRA_FIELDS
+        spliced = [
+            np.concatenate([getattr(src, f)[sl] for src, sl in pieces])
+            if pieces else getattr(self, f)[:0]
+            for f in fields
+        ]
+        return cls(offsets, *spliced)
+
 
 class UPointColumn(UnitColumn):
     """Columnar ``mapping(upoint)`` fleet: motion coefficients per unit.
@@ -121,6 +194,8 @@ class UPointColumn(UnitColumn):
     )
     #: struct layout of one root record (a unit-count offset).
     ROOT_FORMAT = "<q"
+
+    EXTRA_FIELDS = ("x0", "x1", "y0", "y1")
 
     def __init__(self, offsets, starts, ends, lc, rc, x0, x1, y0, y1):
         super().__init__(offsets, starts, ends, lc, rc)
@@ -261,6 +336,8 @@ class URealColumn(UnitColumn):
         ]
     )
     ROOT_FORMAT = "<q"
+
+    EXTRA_FIELDS = ("a", "b", "c", "r")
 
     def __init__(self, offsets, starts, ends, lc, rc, a, b, c, r):
         super().__init__(offsets, starts, ends, lc, rc)
@@ -490,6 +567,59 @@ class BBoxColumn:
 
     def __len__(self) -> int:
         return len(self.keys)
+
+    def extended(
+        self, mappings: Sequence[Mapping], changed: Sequence[int]
+    ) -> "BBoxColumn":
+        """Splice an updated fleet into a new per-object bbox column.
+
+        Mirror of :meth:`UnitColumn.extended` for the default
+        ``from_mappings(mappings)`` build (one box per object, keys =
+        fleet positions, empty mappings skipped): only changed objects
+        have their bounding cubes recomputed; everything else is merged
+        back in key order.  Raises :class:`InvalidValue` for columns
+        whose keys are not the ascending integer positions the default
+        builder assigns (per-unit or custom-keyed columns), or when
+        ``changed`` is inconsistent with the fleet — callers degrade to
+        a full rebuild.
+        """
+        n_new = len(mappings)
+        try:
+            old_keys = [int(k) for k in self.keys]
+        except (TypeError, ValueError) as exc:
+            raise InvalidValue(
+                "BBoxColumn with non-integer keys cannot be extended"
+            ) from exc
+        if old_keys != sorted(set(old_keys)):
+            raise InvalidValue(
+                "BBoxColumn extension needs ascending unique keys "
+                "(the default per-object build)"
+            )
+        changed_sorted = sorted({int(i) for i in changed})
+        changed_set = set(changed_sorted)
+        if changed_sorted and (
+            changed_sorted[0] < 0 or changed_sorted[-1] >= n_new
+        ):
+            raise InvalidValue("changed object index out of range")
+        if any(k >= n_new for k in old_keys):
+            raise InvalidValue("column extension cannot shrink the fleet")
+        sub = BBoxColumn.from_mappings(
+            [mappings[i] for i in changed_sorted], keys=changed_sorted
+        )
+        keep = [j for j, k in enumerate(old_keys) if k not in changed_set]
+        merged_keys = np.concatenate([
+            np.asarray([old_keys[j] for j in keep], dtype=np.int64),
+            np.asarray([int(k) for k in sub.keys], dtype=np.int64),
+        ])
+        order = np.argsort(merged_keys, kind="stable")
+        fields = ("xmin", "ymin", "tmin", "xmax", "ymax", "tmax")
+        merged = [
+            np.concatenate(
+                [getattr(self, f)[keep], getattr(sub, f)]
+            )[order]
+            for f in fields
+        ]
+        return BBoxColumn(merged_keys[order].tolist(), *merged)
 
     def overlap_mask(self, cube: Cube) -> np.ndarray:
         """Boolean mask of entries whose box intersects ``cube``.

@@ -301,6 +301,150 @@ class ColumnStore:
             faults.fail("colstore.manifest_crash")
         self._write_manifest(payload)
 
+    def _rewrite_points(self, kind: str, min_changed: int, entry: dict) -> List[int]:
+        """Per-file record index from which the stored bytes change when
+        every object below ``min_changed`` kept its exact unit rows.
+
+        Objects are contiguous in fleet order in every file, so the
+        records of objects ``< min_changed`` are a byte-identical prefix
+        of the new file: units files change from the first changed
+        object's CSR offset, offsets files from entry ``min_changed+1``
+        (the entries up to and including ``min_changed`` are sums over
+        unchanged objects), and the bbox file from the first record
+        whose key is a changed object.
+        """
+        if kind == "bbox":
+            rec = self._open_file("bbox.bin", BBoxColumn.RECORD_DTYPE,
+                                  entry["files"]["bbox.bin"])
+            return [int(np.searchsorted(rec["key"], min_changed))]
+        offsets_name = _LAYOUT[kind][1][0]
+        offs = self._open_file(offsets_name, np.dtype("<i8"),
+                               entry["files"][offsets_name])
+        old_n = len(offs) - 1
+        i = min(min_changed, old_n)
+        return [int(offs[i]), min(min_changed + 1, old_n + 1)]
+
+    def extend_or_save(
+        self,
+        kind: str,
+        column,
+        min_changed: int,
+        fleet_version: Optional[int] = None,
+        n_objects: Optional[int] = None,
+    ):
+        """Grow the stored files in place so they describe ``column``.
+
+        ``column`` is the fleet's current (already spliced) column and
+        ``min_changed`` the lowest object index whose mapping changed
+        since the stored generation — everything below it is a verified
+        byte-identical file prefix, so only the tail from the per-file
+        rewrite point is written (payload CRCs updated incrementally
+        from the unchanged prefix, counted ``colstore.extends``).  When
+        the store holds no usable generation, the fleet shrank, or the
+        tail write fails, this degrades to a full :meth:`save` (counted
+        ``colstore.rewrites``).  Like :meth:`load_or_rebuild`, the
+        result is re-opened from disk so the caller gets a memmap-backed
+        column with ``source`` set, or ``column`` itself if even the
+        re-open fails.
+
+        Crash safety matches :meth:`save`: per-file writes first
+        (``colstore.write_crash`` between files, ``colstore.
+        manifest_crash`` before the manifest), CRC manifest last, so a
+        torn extension leaves a file whose size or header count
+        disagrees with the durable manifest and every reader rejects it
+        as :class:`CorruptColumnError` instead of serving torn records.
+
+        Memmap safety: live queries may still hold ``np.memmap`` views
+        of the *current* files (pinned snapshots), so stored bytes are
+        never mutated in place — a file is either purely appended to
+        (existing record range untouched; the old fixed-shape views
+        cannot see past their count) or rewritten whole to a temporary
+        and renamed over (the old views keep the old inode).
+        """
+        if kind not in _LAYOUT:
+            raise InvalidValue(
+                f"unknown column kind {kind!r}; expected one of "
+                f"{', '.join(COLUMN_KINDS)}"
+            )
+        arrays = _column_records(kind, column)
+        try:
+            done = self._extend_files(kind, arrays, min_changed)
+        except (CorruptColumnError, OSError, KeyError, TypeError, ValueError):
+            done = None
+        if done is None:
+            if obs.enabled:
+                obs.add("colstore.rewrites")
+            self.save(kind, column, fleet_version, n_objects=n_objects)
+        else:
+            if obs.enabled:
+                obs.add("colstore.extends")
+            payload, files = done
+            entry: Dict[str, object] = {"files": files}
+            if fleet_version is not None:
+                entry["fleet_version"] = int(fleet_version)
+            if n_objects is not None:
+                entry["n_objects"] = int(n_objects)
+            payload["columns"][kind] = entry
+            if faults.active:
+                faults.fail("colstore.manifest_crash")
+            self._write_manifest(payload)
+        try:
+            return self._load(kind)
+        except CorruptColumnError:
+            return column
+
+    def _extend_files(
+        self, kind: str, arrays: Sequence[np.ndarray], min_changed: int
+    ) -> Optional[Tuple[dict, Dict[str, dict]]]:
+        """Tail-write every file of ``kind``; None ⇒ not extendable."""
+        payload, _crc = self._manifest()
+        entry = payload["columns"].get(kind)
+        if entry is None:
+            return None
+        points = self._rewrite_points(kind, min_changed, entry)
+        files: Dict[str, dict] = {}
+        for (name, dtype), rec, k in zip(_LAYOUT[kind], arrays, points):
+            finfo = entry["files"][name]
+            old_count, old_crc = int(finfo["count"]), int(finfo["crc32"])
+            if int(finfo["dtype_crc32"]) != _dtype_hash(dtype):
+                return None
+            rec = np.ascontiguousarray(rec, dtype=dtype)
+            if len(rec) < old_count or k > old_count:
+                return None  # shrunk or inconsistent: full save instead
+            if faults.active:
+                faults.fail("colstore.write_crash")
+            if k == old_count:
+                # Pure append: grow the file past the record range any
+                # live memmap view covers, then bump the header count.
+                tail = rec[k:].tobytes()
+                crc = zlib.crc32(tail, old_crc)
+                with open(self.path(name), "r+b") as fh:
+                    fh.seek(HEADER.size + k * dtype.itemsize)
+                    fh.write(tail)
+                    fh.truncate(HEADER.size + len(rec) * dtype.itemsize)
+                    fh.seek(0)
+                    fh.write(HEADER.pack(MAGIC, FORMAT_VERSION, 0, len(rec)))
+                    fh.flush()
+                    os.fsync(fh.fileno())
+            else:
+                # Records before old_count changed: whole-file rewrite
+                # to a fresh inode so pinned views keep their old bytes.
+                body = rec.tobytes()
+                crc = zlib.crc32(body)
+                tmp = self.path(name + ".tmp")
+                with open(tmp, "wb") as fh:
+                    fh.write(HEADER.pack(MAGIC, FORMAT_VERSION, 0, len(rec)))
+                    fh.write(body)
+                    fh.flush()
+                    os.fsync(fh.fileno())
+                os.replace(tmp, self.path(name))
+            files[name] = {
+                "count": len(rec),
+                "crc32": crc,
+                "dtype_crc32": _dtype_hash(dtype),
+            }
+        return payload, files
+
     # -- reading ----------------------------------------------------------
 
     def _open_file(self, name: str, dtype: np.dtype, finfo: dict) -> np.ndarray:

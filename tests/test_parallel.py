@@ -101,10 +101,18 @@ class TestFleetCache:
             fleet.append(MovingPoint([]))
             c3 = column_for(fleet, "upoint")
             assert c3 is not c1
+            # A structural rewrite (slice assignment) defeats the
+            # changelog, so the stale entry is a full invalidation.
+            fleet[:] = list(fleet)[:4]
+            c4 = column_for(fleet, "upoint")
+            assert c4 is not c3
         finally:
             obs.disable()
         assert obs.get("colcache.misses") == 2
         assert obs.get("colcache.hits") == 1
+        # The tail append splices the cached column forward instead of
+        # rebuilding it — that is the live-ingest fast path.
+        assert obs.get("colcache.extended") == 1
         assert obs.get("colcache.invalidations") == 1
 
     def test_kinds_cached_independently(self):

@@ -134,7 +134,11 @@ class TestCacheUseTimeValidation:
         fleet.append(flights[5])  # the TOCTOU window
         fresh = revalidate(fleet, "upoint", version, col)
         assert len(fresh.offsets) == len(fleet) + 1
-        assert counters()["colcache.invalidations"] >= 1
+        # The stale column was caught either way: a tail append takes
+        # the splice-forward path, anything else a full invalidation.
+        counts = counters()
+        assert (counts.get("colcache.extended", 0)
+                + counts.get("colcache.invalidations", 0)) >= 1
 
     def test_unchanged_fleet_keeps_column(self):
         fleet = Fleet(random_flights(4, seed=5))
