@@ -13,6 +13,13 @@ echo "== tier-1: test suite =="
 python -m pytest -x -q
 
 echo
+echo "== dynlock witness: full suite with the lock-order graph armed =="
+# REPRO_DYNLOCK=1 swaps every dynlock.rlock() site for an instrumented
+# lock; any lock-order inversion witnessed anywhere in the suite raises
+# LockOrderError at the offending acquire (see repro.analysis.dynlock).
+REPRO_DYNLOCK=1 python -m pytest -x -q -p no:cacheprovider
+
+echo
 echo "== tier-1: counter-assertion smoke (benchmarks, -k counter) =="
 python -m pytest -q -p no:cacheprovider benchmarks/bench_alg_atinstant.py -k counter
 
@@ -31,6 +38,12 @@ python -m pytest -q -p no:cacheprovider benchmarks/bench_server.py -k smoke
 echo
 echo "== repro-lint (stdlib AST checker, always on) =="
 python -m repro.analysis src
+
+echo
+echo "== repro-lint: concurrency & durability family (MOD007-MOD010) =="
+# Redundant with the full run above, but kept as an explicit gate so a
+# future rule-selection change can never silently drop the family.
+python -m repro.analysis --select MOD007,MOD008,MOD009,MOD010 src
 
 echo
 echo "== crash-matrix smoke (every registered failpoint, fixed seed) =="

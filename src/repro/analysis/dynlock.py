@@ -1,0 +1,207 @@
+"""Dynamic lock-order witness: catch inversions before they deadlock.
+
+The static rules (MOD007) prove every access holds *its* lock; they say
+nothing about the order locks nest in.  Two threads acquiring the same
+two locks in opposite orders deadlock only under an unlucky
+interleaving — the kind a test suite almost never hits but production
+eventually does.  This module makes the order itself the observable:
+
+* Production lock-creation sites call :func:`rlock(name)`.  Normally
+  that returns a plain ``threading.RLock`` — zero overhead, nothing
+  imported beyond this module.
+* Under ``REPRO_DYNLOCK=1`` (or after :func:`enable`) it returns a
+  :class:`TrackedRLock` instead, which records a *global* edge
+  ``held → acquired`` for every nested acquisition and checks, before
+  acquiring, whether the new edge closes a cycle in the recorded
+  order graph.  A cycle means some interleaving of the witnessed call
+  paths deadlocks; :class:`LockOrderError` is raised *without taking
+  the lock*, so the failure is loud and the suite keeps running.
+
+Edges are keyed by lock *name*, not instance, so every
+``FleetExecutor`` contributes to one ``server.executor`` node — the
+discipline is per-role, which is what a reviewer reasons about.
+``scripts/check.sh`` runs the whole test suite with the witness armed;
+zero cycles over the suite is the acceptance bar.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+from typing import Dict, FrozenSet, List, Optional, Tuple, Union
+
+from repro import obs
+
+__all__ = [
+    "LockOrderError",
+    "TrackedRLock",
+    "active",
+    "disable",
+    "edges",
+    "enable",
+    "reset",
+    "rlock",
+]
+
+
+class LockOrderError(AssertionError):
+    """Two tracked locks were witnessed nesting in inconsistent orders."""
+
+
+#: Guards the edge graph.  A plain leaf lock: it is held only for the
+#: duration of a dict probe/insert and never while any tracked lock is
+#: being acquired, so it can never participate in a cycle itself.
+_GRAPH_LOCK = threading.Lock()
+
+#: ``(held, acquired) → witnessing thread name`` — the order graph.
+_EDGES: Dict[Tuple[str, str], str] = {}
+
+#: Per-thread stack of tracked lock names currently held.
+_HELD = threading.local()
+
+#: Tri-state override: ``None`` defers to the environment.
+_FORCED: Optional[bool] = None
+
+
+def active() -> bool:
+    """Whether new :func:`rlock` locks are tracked."""
+    if _FORCED is not None:
+        return _FORCED
+    return os.environ.get("REPRO_DYNLOCK", "") not in ("", "0")
+
+
+def enable() -> None:
+    """Force tracking on (tests); :func:`disable` reverts to the env."""
+    global _FORCED
+    _FORCED = True
+
+
+def disable() -> None:
+    """Drop the :func:`enable` override; the env decides again."""
+    global _FORCED
+    _FORCED = None
+
+
+def reset() -> None:
+    """Forget all recorded edges and this thread's held stack."""
+    with _GRAPH_LOCK:
+        _EDGES.clear()
+    _HELD.__dict__.pop("stack", None)
+
+
+def edges() -> FrozenSet[Tuple[str, str]]:
+    """The recorded acquisition-order edges, ``(held, acquired)``."""
+    with _GRAPH_LOCK:
+        return frozenset(_EDGES)
+
+
+def rlock(name: str) -> Union["TrackedRLock", "threading.RLock"]:
+    """A re-entrant lock for GUARDED_BY state.
+
+    Tracked (order-witnessed) when the witness is :func:`active` at
+    creation time, a plain ``threading.RLock`` otherwise.  Call it at
+    every production lock-creation site so ``REPRO_DYNLOCK=1`` arms the
+    whole process at once.
+    """
+    if active():
+        return TrackedRLock(name)
+    return threading.RLock()
+
+
+def _stack() -> List[str]:
+    st = getattr(_HELD, "stack", None)
+    if st is None:
+        st = []
+        _HELD.stack = st
+    return st
+
+
+def _path(src: str, dst: str) -> Optional[List[str]]:
+    """A path ``src → … → dst`` in the edge graph, or None.
+
+    Caller holds ``_GRAPH_LOCK``.  Iterative DFS: the graph has one
+    node per lock *role*, so it stays tiny.
+    """
+    adjacency: Dict[str, List[str]] = {}
+    for a, b in _EDGES:
+        adjacency.setdefault(a, []).append(b)
+    stack: List[Tuple[str, List[str]]] = [(src, [src])]
+    seen = set()
+    while stack:
+        node, path = stack.pop()
+        if node == dst:
+            return path
+        if node in seen:
+            continue
+        seen.add(node)
+        for nxt in adjacency.get(node, ()):
+            stack.append((nxt, path + [nxt]))
+    return None
+
+
+class TrackedRLock:
+    """A named re-entrant lock that witnesses acquisition order.
+
+    Drop-in for the ``acquire``/``release``/context-manager surface of
+    ``threading.RLock``.  Re-acquiring a lock already on this thread's
+    held stack records no edge (re-entrancy is not nesting).  The cycle
+    check runs *before* the underlying acquire, so a detected inversion
+    raises with the lock untaken — no poisoned lock left behind.
+    """
+
+    __slots__ = ("name", "_lock")
+
+    def __init__(self, name: str):
+        self.name = name
+        self._lock = threading.RLock()
+
+    def acquire(self, blocking: bool = True, timeout: float = -1) -> bool:
+        held = _stack()
+        if self.name not in held:
+            self._witness(held)
+        got = self._lock.acquire(blocking, timeout)
+        if got:
+            held.append(self.name)
+            if obs.enabled:
+                obs.add("dynlock.acquisitions")
+        return got
+
+    def release(self) -> None:
+        self._lock.release()
+        held = _stack()
+        for i in range(len(held) - 1, -1, -1):
+            if held[i] == self.name:
+                del held[i]
+                break
+
+    def __enter__(self) -> "TrackedRLock":
+        self.acquire()
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self.release()
+
+    def _witness(self, held: List[str]) -> None:
+        fresh = [
+            (h, self.name)
+            for h in dict.fromkeys(held)
+            if h != self.name and (h, self.name) not in _EDGES
+        ]
+        if not fresh:
+            return
+        with _GRAPH_LOCK:
+            for a, b in fresh:
+                if (a, b) in _EDGES:
+                    continue
+                cycle = _path(b, a)
+                if cycle is not None:
+                    order = " -> ".join(cycle + [b])
+                    raise LockOrderError(
+                        f"lock-order inversion: acquiring {b!r} while "
+                        f"holding {a!r}, but the recorded order already "
+                        f"requires {order}; some interleaving of these "
+                        "call paths deadlocks"
+                    )
+                _EDGES[(a, b)] = threading.current_thread().name
+                if obs.enabled:
+                    obs.add("dynlock.edges")

@@ -1,9 +1,13 @@
-"""The paper-specific lint rules (MOD001–MOD006).
+"""The paper-specific lint rules (MOD001–MOD010).
 
 Each rule enforces one *representation invariant* of the discrete model
 (see DESIGN.md, "Static analysis"): these are properties the sliced
 representation must hold structurally for the algebra's closure
-arguments to go through, not style preferences.
+arguments to go through, not style preferences.  MOD007–MOD010 extend
+the family to the concurrency and durability invariants the query
+service leans on: the snapshot-isolation story only works if guarded
+state really is guarded, the event loop really never blocks, and
+durable files really are replaced atomically.
 
 =======  ==========================================================
 code     invariant
@@ -23,18 +27,34 @@ MOD005   backend-dispatch completeness: every ``--backend`` branch
 MOD006   failpoint discipline: fault-injection site names are
          literal and declared in the ``repro.faults`` registry, and
          every registered failpoint is placed somewhere
+MOD007   lock discipline: attributes in the ``GUARDED_BY`` registry
+         are only touched under their declared lock, by a registered
+         owner method, or (for loop-confined state) from a coroutine
+MOD008   asyncio hygiene: coroutine bodies in ``repro/server/`` never
+         call blocking primitives (sleeps, sync file I/O, fsync
+         barriers, lock-taking executor methods) directly
+MOD009   atomic persistence: writable ``open()`` under the storage
+         and column-store paths goes tmp+rename; in-place writes are
+         reserved for the registered journal owners
+MOD010   shm/fork lifecycle: every ``SharedMemory(create=True)``
+         pairs with an unlink/finalize, and ``repro.parallel`` stays
+         lock/thread-free below the fork boundary
 =======  ==========================================================
 """
 
 from __future__ import annotations
 
 import ast
+from dataclasses import dataclass
 from typing import Dict, Iterator, List, Optional, Set, Tuple
 
 from repro.analysis.core import Project, SourceModule, Violation
 
 KNOWN_CODES = frozenset(
-    {"MOD001", "MOD002", "MOD003", "MOD004", "MOD005", "MOD006"}
+    {
+        "MOD001", "MOD002", "MOD003", "MOD004", "MOD005", "MOD006",
+        "MOD007", "MOD008", "MOD009", "MOD010",
+    }
 )
 
 
@@ -544,7 +564,13 @@ class ObsDiscipline(Rule):
             m for m in project.modules
             if "repro/" in m.relpath
             and not m.relpath.endswith(self._OBS)
-            and "repro/analysis/" not in m.relpath
+            and (
+                "repro/analysis/" not in m.relpath
+                # dynlock is production-adjacent instrumentation: its
+                # counters are registered, so its write sites must be
+                # visible to the never-written half of this check.
+                or m.relpath.endswith("repro/analysis/dynlock.py")
+            )
         ]
         for mod in src_mods:
             wrapper_bodies = {
@@ -984,6 +1010,450 @@ class FailpointDiscipline(Rule):
                 )
 
 
+# ---------------------------------------------------------------------------
+# MOD007 — lock discipline (the GUARDED_BY registry)
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Guard:
+    """One guarded-state declaration: which lock covers which attrs.
+
+    ``lock`` names the ``self.<lock>`` attribute that must be held
+    (via ``with self.<lock>:``) around every access.  ``lock=None``
+    declares the attributes *event-loop confined* — legal only from
+    coroutine methods (which all run on the owning loop) or from the
+    listed owners.  ``owners`` are methods allowed to touch the
+    attributes bare: the constructor, and helpers whose documented
+    contract is "caller holds the lock".
+    """
+
+    lock: Optional[str]
+    attrs: Tuple[str, ...]
+    owners: Tuple[str, ...]
+
+
+#: The lock-discipline registry: ``(module suffix, class)`` → guards.
+#: This is the source of truth MOD007 checks the tree against; adding
+#: concurrent state without registering it here is itself the bug the
+#: rule exists to catch, so keep the registry next to the rule.
+GUARDED_BY: Dict[Tuple[str, str], Tuple[Guard, ...]] = {
+    ("repro/server/executor.py", "FleetExecutor"): (
+        Guard(
+            lock="_lock",
+            attrs=("_fleets", "_indexes"),
+            owners=(
+                # _fleet/_apply_one/_pinned_column/_window_candidates
+                # document "caller holds the lock" and are only reached
+                # from public methods that take it.
+                "__init__", "_fleet", "_apply_one", "_pinned_column",
+                "_window_candidates",
+            ),
+        ),
+        Guard(lock="_lat_lock", attrs=("_latencies",), owners=("__init__",)),
+    ),
+    ("repro/vector/cache.py", "ColumnCache"): (
+        Guard(
+            lock="_lock",
+            attrs=("_entries",),
+            owners=("__init__", "_get_versioned_locked"),
+        ),
+    ),
+    ("repro/server/ingest.py", "GroupCommitter"): (
+        Guard(
+            lock=None,
+            attrs=("_task", "_queue"),
+            # start() is sync so the server can call it before the
+            # listener exists, but it only ever runs on the loop thread
+            # (QueryServer.start / GroupCommitter.submit call it).
+            owners=("__init__", "start"),
+        ),
+    ),
+    ("repro/server/session.py", "QueryServer"): (
+        Guard(
+            lock=None,
+            attrs=("_sessions", "_inflight", "_stopping"),
+            owners=("__init__",),
+        ),
+    ),
+}
+
+#: Guarded attribute names that are unambiguous across the whole tree:
+#: an access through *any* receiver outside the owning module leaks
+#: guarded state past its lock.  (Names like ``_entries`` or ``_lock``
+#: recur in unrelated classes — the index package has its own
+#: ``_entries`` — so those are only checked inside their own module.)
+_CROSS_MODULE_ATTRS: Dict[str, str] = {
+    "_fleets": "repro/server/executor.py",
+    "_indexes": "repro/server/executor.py",
+    "_latencies": "repro/server/executor.py",
+}
+
+
+class LockDiscipline(Rule):
+    """MOD007: guarded state is only touched under its declared lock.
+
+    The check is deliberately syntactic: an access to a registered
+    attribute counts as guarded only when it sits *lexically* inside a
+    ``with self.<lock>:`` block of the same function, or the enclosing
+    method is a registered owner.  That under-approximates dynamic
+    reachability (a helper called under the lock must be registered,
+    with its "caller holds the lock" contract written down), which is
+    exactly the documentation the rule wants to force.
+    """
+
+    code = "MOD007"
+    name = "lock-discipline"
+
+    def check(
+        self, mod: SourceModule, project: Project
+    ) -> Iterator[Violation]:
+        if "repro/analysis/" in mod.relpath:
+            return
+        yield from self._check_cross_module(mod)
+        for (suffix, cls_name), guards in GUARDED_BY.items():
+            if not mod.relpath.endswith(suffix):
+                continue
+            for node in ast.walk(mod.tree):
+                if isinstance(node, ast.ClassDef) and node.name == cls_name:
+                    yield from self._check_class(mod, node, guards)
+
+    def _check_cross_module(self, mod: SourceModule) -> Iterator[Violation]:
+        for node in ast.walk(mod.tree):
+            if not isinstance(node, ast.Attribute):
+                continue
+            owner = _CROSS_MODULE_ATTRS.get(node.attr)
+            if owner is None or mod.relpath.endswith(owner):
+                continue
+            yield mod.violation(
+                node, self.code,
+                f"`.{node.attr}` is guarded state of {owner} (see the "
+                "GUARDED_BY registry); reaching it from another module "
+                "bypasses its lock — go through the owning class's "
+                "public methods",
+            )
+
+    def _check_class(
+        self, mod: SourceModule, cls: ast.ClassDef, guards: Tuple[Guard, ...]
+    ) -> Iterator[Violation]:
+        guard_of: Dict[str, Guard] = {}
+        for guard in guards:
+            for attr in guard.attrs:
+                guard_of[attr] = guard
+        for node in ast.walk(cls):
+            if not isinstance(node, ast.Attribute):
+                continue
+            if not (
+                isinstance(node.value, ast.Name) and node.value.id == "self"
+            ):
+                continue
+            guard = guard_of.get(node.attr)
+            if guard is None:
+                continue
+            held, fn = self._held_locks(mod, node)
+            method = fn.name if fn is not None else "<module>"
+            if method in guard.owners:
+                continue
+            if guard.lock is not None:
+                if guard.lock in held:
+                    continue
+                yield mod.violation(
+                    node, self.code,
+                    f"`self.{node.attr}` is guarded by `self.{guard.lock}` "
+                    f"(GUARDED_BY) but `{method}` touches it outside a "
+                    f"`with self.{guard.lock}:` block; hold the lock or "
+                    "register the method as an owner with its contract "
+                    "written down",
+                )
+            elif not isinstance(fn, ast.AsyncFunctionDef):
+                yield mod.violation(
+                    node, self.code,
+                    f"`self.{node.attr}` is event-loop confined "
+                    f"(GUARDED_BY) but `{method}` is a sync method; only "
+                    "coroutines running on the owning loop (or registered "
+                    "owners) may touch it",
+                )
+
+    @staticmethod
+    def _held_locks(
+        mod: SourceModule, node: ast.AST
+    ) -> Tuple[Set[str], Optional[ast.AST]]:
+        """(self-attr locks held via ``with`` at node, enclosing function).
+
+        The climb stops at the nearest function boundary: a lock held
+        by an *outer* function is not statically known to be held when
+        a nested function body eventually runs.
+        """
+        held: Set[str] = set()
+        parents = mod.parents()
+        cur = parents.get(node)
+        while cur is not None and not isinstance(
+            cur, (ast.FunctionDef, ast.AsyncFunctionDef)
+        ):
+            if isinstance(cur, ast.With):
+                for item in cur.items:
+                    ctx = item.context_expr
+                    if (
+                        isinstance(ctx, ast.Attribute)
+                        and isinstance(ctx.value, ast.Name)
+                        and ctx.value.id == "self"
+                    ):
+                        held.add(ctx.attr)
+            cur = parents.get(cur)
+        return held, cur
+
+
+# ---------------------------------------------------------------------------
+# MOD008 — asyncio hygiene
+# ---------------------------------------------------------------------------
+
+
+class AsyncioHygiene(Rule):
+    """MOD008: coroutine bodies in ``repro/server/`` never block the loop.
+
+    A blocking call in a coroutine stalls *every* session, not just the
+    caller — the whole point of the group committer running ``commit``
+    via ``asyncio.to_thread`` is that fsync never parks the loop.  The
+    rule flags the blocking primitives this codebase actually has:
+    sleeps, sync file I/O, fsync-class barriers (``wal.sync``), and the
+    lock-taking ``FleetExecutor`` methods.  Passing a bound method *by
+    reference* to ``asyncio.to_thread(...)`` is naturally clean — only
+    direct calls are flagged.
+    """
+
+    code = "MOD008"
+    name = "asyncio-hygiene"
+
+    _SCOPE = "repro/server/"
+    #: Dotted calls that block: sleeps and file-barrier syscalls.
+    _BLOCKING_DOTTED = {
+        "time.sleep", "os.fsync", "os.fdatasync", "os.replace",
+        "os.rename", "shutil.rmtree", "socket.create_connection",
+    }
+    #: FleetExecutor methods that take the executor lock / do real
+    #: work; called directly from a coroutine they stall the loop
+    #: behind whatever ingest apply already holds the lock.
+    #: (``record_latency`` is exempt: O(1) append under a dedicated
+    #: micro-lock that is never held across real work.)
+    _EXECUTOR_METHODS = {
+        "query_sql", "explain_sql", "snapshot_rows", "snapshot", "stats",
+        "apply_units", "register_fleet", "fleet", "fleet_names",
+    }
+
+    def check(
+        self, mod: SourceModule, project: Project
+    ) -> Iterator[Violation]:
+        if self._SCOPE not in mod.relpath:
+            return
+        for node in ast.walk(mod.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            fn = mod.enclosing(node, ast.FunctionDef, ast.AsyncFunctionDef)
+            if not isinstance(fn, ast.AsyncFunctionDef):
+                continue
+            reason = self._blocking_reason(node)
+            if reason is not None:
+                yield mod.violation(
+                    node, self.code,
+                    reason + "; route it through asyncio.to_thread / "
+                    "run_in_executor so the event loop stays responsive",
+                )
+
+    def _blocking_reason(self, node: ast.Call) -> Optional[str]:
+        func = node.func
+        dotted = _dotted(func)
+        if dotted in self._BLOCKING_DOTTED:
+            return f"`{dotted}` blocks the event loop"
+        if isinstance(func, ast.Name):
+            if func.id == "open":
+                return "sync file I/O (`open`) blocks the event loop"
+            if func.id == "sleep":
+                return "bare `sleep` (time.sleep) blocks the event loop"
+        if isinstance(func, ast.Attribute):
+            recv = _dotted(func.value)
+            if func.attr == "sync" and "wal" in recv.lower():
+                return f"`{recv}.sync()` is an fsync barrier"
+            if (
+                func.attr in self._EXECUTOR_METHODS
+                and "executor" in recv.lower()
+            ):
+                return (
+                    f"`{recv}.{func.attr}()` runs under the executor lock"
+                )
+        return None
+
+
+# ---------------------------------------------------------------------------
+# MOD009 — atomic-persistence discipline
+# ---------------------------------------------------------------------------
+
+
+class AtomicPersistence(Rule):
+    """MOD009: durable paths are written tmp+rename, never in place.
+
+    A crash mid-``write`` on the real file tears it; writing a ``.tmp``
+    sibling and ``os.replace()``-ing it into place makes every save
+    all-or-nothing (and keeps pinned memmap views of the old bytes
+    valid — POSIX rename leaves open maps alone).  The WAL and the page
+    file are the deliberate exceptions: they *are* the journal — their
+    durability comes from CRC record framing and page checksums, not
+    from atomic replacement — so their constructors are registered as
+    journal owners below.
+    """
+
+    code = "MOD009"
+    name = "atomic-persistence"
+
+    _SCOPE = ("repro/storage/", "repro/vector/store.py")
+    #: ``(module suffix, function)`` whose writable ``open`` *is* the
+    #: journal; tmp+rename does not apply to an append-framed log.
+    _JOURNAL_OWNERS = {
+        ("repro/storage/wal.py", "__init__"),
+        ("repro/storage/pages.py", "__init__"),
+    }
+
+    def check(
+        self, mod: SourceModule, project: Project
+    ) -> Iterator[Violation]:
+        if not any(s in mod.relpath for s in self._SCOPE):
+            return
+        for node in ast.walk(mod.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            if not (
+                isinstance(node.func, ast.Name) and node.func.id == "open"
+            ):
+                continue
+            if not self._writable(node):
+                continue
+            fn = mod.enclosing(node, ast.FunctionDef, ast.AsyncFunctionDef)
+            fn_name = fn.name if fn is not None else "<module>"
+            if any(
+                mod.relpath.endswith(suffix) and fn_name == owner
+                for suffix, owner in self._JOURNAL_OWNERS
+            ):
+                continue
+            if node.args and self._tmp_path(node.args[0]):
+                continue
+            yield mod.violation(
+                node, self.code,
+                "writable `open()` on a durable path writes in place — a "
+                "crash mid-write tears the file; write a `.tmp` sibling "
+                "and `os.replace()` it into place (see ColumnStore.save), "
+                "register a journal owner, or justify the site",
+            )
+
+    @staticmethod
+    def _writable(node: ast.Call) -> bool:
+        mode: Optional[ast.AST] = None
+        if len(node.args) >= 2:
+            mode = node.args[1]
+        for kw in node.keywords:
+            if kw.arg == "mode":
+                mode = kw.value
+        if mode is None:
+            return False  # defaults to "r"
+        literal = _str_const(mode)
+        if literal is None:
+            return True  # computed mode: assume the worst
+        return any(ch in literal for ch in "wa+x")
+
+    @staticmethod
+    def _tmp_path(path: ast.AST) -> bool:
+        for sub in ast.walk(path):
+            if isinstance(sub, ast.Name) and "tmp" in sub.id.lower():
+                return True
+            s = _str_const(sub)
+            if s is not None and "tmp" in s.lower():
+                return True
+        return False
+
+
+# ---------------------------------------------------------------------------
+# MOD010 — shm/fork lifecycle
+# ---------------------------------------------------------------------------
+
+
+class ShmForkLifecycle(Rule):
+    """MOD010: shm creates pair with unlink; the fork path stays lock-free.
+
+    Two hazards with the same root (the fork boundary): a
+    ``SharedMemory(create=True)`` whose name never reaches ``unlink``
+    outlives every process that knew it (POSIX shm has kernel
+    lifetime), and a lock created on the parent side of ``fork()`` is
+    inherited *in its instantaneous state* — forked while held, it
+    stays held in the child forever.  The unlink check is per-function:
+    the creating function must contain an ``.unlink()`` call or a
+    ``weakref.finalize`` registration on some path.
+    """
+
+    code = "MOD010"
+    name = "shm-fork-lifecycle"
+
+    _PARALLEL = "repro/parallel/"
+    _THREAD_FACTORIES = {
+        "threading.Thread", "threading.Lock", "threading.RLock",
+        "threading.Condition", "threading.Semaphore",
+        "threading.BoundedSemaphore", "threading.Event",
+        "threading.Timer", "threading.Barrier", "dynlock.rlock",
+    }
+
+    def check(
+        self, mod: SourceModule, project: Project
+    ) -> Iterator[Violation]:
+        if "repro/analysis/" in mod.relpath:
+            return
+        for node in ast.walk(mod.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            if self._is_shm_create(node):
+                scope = mod.enclosing(
+                    node, ast.FunctionDef, ast.AsyncFunctionDef
+                ) or mod.tree
+                if not self._has_reclaim(scope):
+                    yield mod.violation(
+                        node, self.code,
+                        "SharedMemory(create=True) with no `.unlink()` or "
+                        "`weakref.finalize` on any path in this function "
+                        "leaks the segment past process exit; pair every "
+                        "create with an unlink (see shmcol.pack)",
+                    )
+            if (
+                self._PARALLEL in mod.relpath
+                and _dotted(node.func) in self._THREAD_FACTORIES
+            ):
+                yield mod.violation(
+                    node, self.code,
+                    f"`{_dotted(node.func)}` in repro.parallel creates "
+                    "lock/thread state on the parent side of fork(); a "
+                    "child forked while a lock is held inherits it held "
+                    "forever — keep the pack path lock-free or justify "
+                    "the site",
+                )
+
+    @staticmethod
+    def _is_shm_create(node: ast.Call) -> bool:
+        if _call_name(node) != "SharedMemory":
+            return False
+        for kw in node.keywords:
+            if kw.arg == "create":
+                val = kw.value
+                return isinstance(val, ast.Constant) and val.value is True
+        return False
+
+    @staticmethod
+    def _has_reclaim(scope: ast.AST) -> bool:
+        for sub in ast.walk(scope):
+            if isinstance(sub, ast.Attribute) and sub.attr == "unlink":
+                return True
+            if (
+                isinstance(sub, ast.Call)
+                and _dotted(sub.func) == "weakref.finalize"
+            ):
+                return True
+        return False
+
+
 RULES: List[Rule] = [
     EpsDiscipline(),
     UnitHygiene(),
@@ -991,4 +1461,8 @@ RULES: List[Rule] = [
     ObsDiscipline(),
     BackendDispatch(),
     FailpointDiscipline(),
+    LockDiscipline(),
+    AsyncioHygiene(),
+    AtomicPersistence(),
+    ShmForkLifecycle(),
 ]

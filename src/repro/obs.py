@@ -185,6 +185,9 @@ COUNTER_NAMES: FrozenSet[str] = frozenset({
     "ingest.units",
     "ingest.group_commits",
     "ingest.replayed",
+    # lock-order witness (repro.analysis.dynlock)
+    "dynlock.acquisitions",
+    "dynlock.edges",
 })
 
 #: Every timed-scope name (``obs.scope(name)`` / ``add_time``).

@@ -21,6 +21,7 @@ from collections import OrderedDict
 from typing import Any, Dict, Mapping, Optional, Tuple
 
 from repro import config, obs
+from repro.analysis import dynlock
 from repro.errors import InvalidValue
 from repro.parallel import shmcol
 
@@ -70,32 +71,44 @@ def effective_workers(requested: Optional[int] = None) -> int:
 _pool: Optional[Any] = None
 _pool_size = 0
 
+# Serializes pool (re)creation and shutdown.  The query service reaches
+# get_pool() from several asyncio.to_thread workers at once; unguarded,
+# two racing creators would each fork a pool and the loser's processes
+# leak.  Safe across fork(): the lock is only ever held by the parent's
+# control path — worker children never touch this module's lifecycle
+# functions, and they exit via os._exit (no atexit), so a copy
+# inherited held is inert.
+# modlint: disable=MOD010 parent-side control lock, never held by worker code; a fork-inherited held copy is unreachable in the child
+_POOL_LOCK = dynlock.rlock("parallel.pool")
+
 
 def get_pool(n: int) -> Any:
     """The shared pool, (re)created to hold exactly ``n`` workers."""
     global _pool, _pool_size
-    if _pool is not None and _pool_size != n:
-        shutdown()
-    if _pool is None:
-        if "fork" in multiprocessing.get_all_start_methods():
-            ctx = multiprocessing.get_context("fork")
-        else:  # pragma: no cover - non-POSIX fallback
-            ctx = multiprocessing.get_context()
-        _pool = ctx.Pool(processes=n)
-        _pool_size = n
-        if obs.enabled:
-            obs.counters.high_water("parallel.workers", n)
-    return _pool
+    with _POOL_LOCK:
+        if _pool is not None and _pool_size != n:
+            shutdown()
+        if _pool is None:
+            if "fork" in multiprocessing.get_all_start_methods():
+                ctx = multiprocessing.get_context("fork")
+            else:  # pragma: no cover - non-POSIX fallback
+                ctx = multiprocessing.get_context()
+            _pool = ctx.Pool(processes=n)
+            _pool_size = n
+            if obs.enabled:
+                obs.counters.high_water("parallel.workers", n)
+        return _pool
 
 
 def shutdown() -> None:
     """Terminate the pool (idempotent; re-created lazily on next use)."""
     global _pool, _pool_size
-    if _pool is not None:
-        _pool.terminate()
-        _pool.join()
-    _pool = None
-    _pool_size = 0
+    with _POOL_LOCK:
+        if _pool is not None:
+            _pool.terminate()
+            _pool.join()
+        _pool = None
+        _pool_size = 0
 
 
 atexit.register(shutdown)

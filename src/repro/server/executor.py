@@ -21,11 +21,11 @@ moved-on fleet.
 
 from __future__ import annotations
 
-import threading
 from collections import deque
 from typing import Any, Deque, Dict, List, Optional, Sequence, Tuple
 
 from repro import faults, obs
+from repro.analysis import dynlock
 from repro.db.catalog import Database
 from repro.db.script import StatementResult, run_script
 from repro.errors import InvalidValue, QueryError, StorageError
@@ -62,11 +62,16 @@ class FleetExecutor:
     Thread-safe: sessions call in from worker threads while the ingest
     committer applies batches — every state access runs under one
     re-entrant lock, and the computed results (snapshots, columns,
-    statement rows) are immutable once returned.
+    statement rows) are immutable once returned.  The lock discipline
+    is declared in the ``GUARDED_BY`` registry (repro.analysis.rules)
+    and enforced by lint rule MOD007; ``_latencies`` sits under its own
+    micro-lock so recording a sample from the event loop never waits
+    behind an ingest apply holding the main lock.
     """
 
     def __init__(self, db: Optional[Database] = None):
-        self._lock = threading.RLock()
+        self._lock = dynlock.rlock("server.executor")
+        self._lat_lock = dynlock.rlock("server.executor.latency")
         self._fleets: Dict[str, Fleet] = {}
         self._indexes: Dict[str, RTree3D] = {}
         self._db = db if db is not None else Database("server")
@@ -288,12 +293,23 @@ class FleetExecutor:
     # -- latency + stats ---------------------------------------------------
 
     def record_latency(self, ms: float) -> None:
-        """Record one query's wall time (milliseconds)."""
-        self._latencies.append(ms)
+        """Record one query's wall time (milliseconds).
+
+        Cheap enough to call straight from the event loop: an O(1)
+        append under a dedicated lock that is never held across real
+        work.  (Bare ``deque.append`` + ``sorted(self._latencies)``
+        happens to be safe on today's CPython only because both run as
+        single C calls under the GIL with float elements — an
+        implementation detail, not a contract; the lock makes the
+        invariant explicit and survives free-threaded builds.)
+        """
+        with self._lat_lock:
+            self._latencies.append(ms)
 
     def latency_percentiles(self) -> Tuple[float, float]:
         """``(p50, p99)`` over the sliding window, in milliseconds."""
-        lat = sorted(self._latencies)
+        with self._lat_lock:
+            lat = sorted(self._latencies)
         if not lat:
             return 0.0, 0.0
         p50 = lat[int(0.50 * (len(lat) - 1))]

@@ -88,7 +88,8 @@ class QueryServer:
             await asyncio.gather(*self._sessions, return_exceptions=True)
         await self._committer.stop()
         if self._wal is not None:
-            self._wal.sync()
+            # fsync is a blocking barrier; never run it on the loop.
+            await asyncio.to_thread(self._wal.sync)
 
     # -- per-session loop --------------------------------------------------
 
@@ -111,7 +112,6 @@ class QueryServer:
                     closing = await self._serve_line(line, writer)
                 finally:
                     self._inflight -= 1
-                await writer.drain()
                 if closing:
                     break
         except (asyncio.CancelledError, ConnectionResetError):
@@ -132,7 +132,7 @@ class QueryServer:
         try:
             request = protocol.parse_request(line)
             if request.command == "CLOSE":
-                _write(writer, [protocol.BYE])
+                await _write(writer, [protocol.BYE])
                 return True
             lines = await self._dispatch(request)
         except asyncio.CancelledError:
@@ -140,9 +140,9 @@ class QueryServer:
         except Exception as exc:  # ERR answers; the session survives
             if obs.enabled:
                 obs.add("server.errors")
-            _write(writer, [protocol.err_line(exc)])
+            await _write(writer, [protocol.err_line(exc)])
             return False
-        _write(writer, lines)
+        await _write(writer, lines)
         return False
 
     async def _dispatch(self, request: protocol.Request) -> List[str]:
@@ -220,8 +220,25 @@ def _format_field(value: object) -> str:
     return str(value)
 
 
-def _write(writer: asyncio.StreamWriter, lines: List[str]) -> None:
-    writer.write(("\n".join(lines) + "\n").encode("utf-8"))
+#: Response lines buffered between ``drain()`` calls.  Small enough
+#: that a slow reader bounds the per-session buffer at a few KB, large
+#: enough that short responses pay a single drain.
+_WRITE_CHUNK = 256
+
+
+async def _write(writer: asyncio.StreamWriter, lines: List[str]) -> None:
+    """Write response lines with backpressure.
+
+    ``StreamWriter.write`` only buffers; without ``drain()`` a client
+    that stops reading lets a big SNAPSHOT/QUERY response grow the
+    transport buffer without bound.  Draining every ``_WRITE_CHUNK``
+    lines parks *this* session (and only this session) until the peer
+    catches up.
+    """
+    for start in range(0, len(lines), _WRITE_CHUNK):
+        chunk = lines[start:start + _WRITE_CHUNK]
+        writer.write(("\n".join(chunk) + "\n").encode("utf-8"))
+        await writer.drain()
 
 
 # -- running the server off-thread (tests, benchmarks, the CLI) -----------

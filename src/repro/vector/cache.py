@@ -23,13 +23,13 @@ behaviour.  Counters: ``colcache.hits`` / ``colcache.misses`` /
 
 from __future__ import annotations
 
-import threading
 import weakref
 from collections import OrderedDict
 from collections.abc import MutableSequence
 from typing import Any, Callable, Dict, Iterable, List, Optional, Set, Tuple
 
 from repro import config, obs
+from repro.analysis import dynlock
 from repro.errors import InvalidValue, StorageError
 from repro.vector.columns import BBoxColumn, UPointColumn, URealColumn
 
@@ -163,10 +163,11 @@ class ColumnCache:
         # touches the entry table runs under this lock.  Re-entrant
         # because a column build may re-enter the cache via the fleet's
         # own __getitem__.
-        self._lock = threading.RLock()
+        self._lock = dynlock.rlock("vector.colcache")
 
     def __len__(self) -> int:
-        return len(self._entries)
+        with self._lock:
+            return len(self._entries)
 
     def clear(self) -> None:
         with self._lock:

@@ -418,6 +418,7 @@ class ColumnStore:
                 # live memmap view covers, then bump the header count.
                 tail = rec[k:].tobytes()
                 crc = zlib.crc32(tail, old_crc)
+                # modlint: disable=MOD009 deliberate in-place append: only bytes past every pinned view's record range are written, readers are gated by the header count + manifest CRC (fsynced below), and a rename here would orphan live memmaps
                 with open(self.path(name), "r+b") as fh:
                     fh.seek(HEADER.size + k * dtype.itemsize)
                     fh.write(tail)

@@ -558,6 +558,432 @@ class TestMOD006FailpointDiscipline:
         assert out == []
 
 
+class TestMOD007LockDiscipline:
+    def test_unlocked_access_flagged(self, tmp_path):
+        out = lint_snippets(tmp_path, {
+            "src/repro/server/executor.py": """
+                import threading
+
+                class FleetExecutor:
+                    def __init__(self):
+                        self._lock = threading.RLock()
+                        self._fleets = {}
+
+                    def fleet_names(self):
+                        return sorted(self._fleets)
+            """,
+        }, select={"MOD007"})
+        assert codes(out) == ["MOD007"]
+        assert "with self._lock" in out[0].message
+
+    def test_locked_access_clean(self, tmp_path):
+        out = lint_snippets(tmp_path, {
+            "src/repro/server/executor.py": """
+                import threading
+
+                class FleetExecutor:
+                    def __init__(self):
+                        self._lock = threading.RLock()
+                        self._fleets = {}
+
+                    def fleet_names(self):
+                        with self._lock:
+                            return sorted(self._fleets)
+            """,
+        }, select={"MOD007"})
+        assert out == []
+
+    def test_registered_owner_clean(self, tmp_path):
+        # _fleet documents "caller holds the lock" and is registered.
+        out = lint_snippets(tmp_path, {
+            "src/repro/server/executor.py": """
+                import threading
+
+                class FleetExecutor:
+                    def __init__(self):
+                        self._lock = threading.RLock()
+                        self._fleets = {}
+
+                    def _fleet(self, name):
+                        return self._fleets[name]
+            """,
+        }, select={"MOD007"})
+        assert out == []
+
+    def test_loop_confined_sync_method_flagged(self, tmp_path):
+        out = lint_snippets(tmp_path, {
+            "src/repro/server/ingest.py": """
+                class GroupCommitter:
+                    def __init__(self):
+                        self._task = None
+
+                    def cancel(self):
+                        self._task = None
+            """,
+        }, select={"MOD007"})
+        assert codes(out) == ["MOD007"]
+        assert "event-loop confined" in out[0].message
+
+    def test_loop_confined_coroutine_clean(self, tmp_path):
+        out = lint_snippets(tmp_path, {
+            "src/repro/server/ingest.py": """
+                class GroupCommitter:
+                    def __init__(self):
+                        self._task = None
+
+                    async def stop(self):
+                        self._task = None
+            """,
+        }, select={"MOD007"})
+        assert out == []
+
+    def test_cross_module_reach_in_flagged(self, tmp_path):
+        out = lint_snippets(tmp_path, {
+            "src/repro/db/snippet.py": """
+                def peek(executor):
+                    return executor._fleets
+            """,
+        }, select={"MOD007"})
+        assert codes(out) == ["MOD007"]
+        assert "another module" in out[0].message
+
+    def test_suppression_with_reason_accepted(self, tmp_path):
+        out = lint_snippets(tmp_path, {
+            "src/repro/server/executor.py": """
+                import threading
+
+                class FleetExecutor:
+                    def __init__(self):
+                        self._lock = threading.RLock()
+                        self._fleets = {}
+
+                    def debug_dump(self):
+                        return dict(self._fleets)  # modlint: disable=MOD007 racy-read debug hook, documented unsafe
+            """,
+        }, select={"MOD007"})
+        assert out == []
+
+
+class TestMOD008AsyncioHygiene:
+    def test_blocking_calls_in_coroutine_flagged(self, tmp_path):
+        out = lint_snippets(tmp_path, {
+            "src/repro/server/snippet.py": """
+                import time
+
+                async def handler(executor, wal, path):
+                    time.sleep(0.1)
+                    wal.sync()
+                    open(path)
+                    return executor.stats()
+            """,
+        }, select={"MOD008"})
+        assert codes(out) == ["MOD008"] * 4
+        assert any("fsync barrier" in v.message for v in out)
+        assert any("executor lock" in v.message for v in out)
+
+    def test_offloaded_and_sync_context_clean(self, tmp_path):
+        out = lint_snippets(tmp_path, {
+            "src/repro/server/snippet.py": """
+                import asyncio
+
+                async def handler(executor, wal):
+                    # By-reference offload: the blocking call happens on
+                    # a worker thread, not the loop.
+                    stats = await asyncio.to_thread(executor.stats)
+                    await asyncio.to_thread(wal.sync)
+                    await asyncio.sleep(0.01)
+                    return stats
+
+                def sync_helper(wal):
+                    wal.sync()
+            """,
+        }, select={"MOD008"})
+        assert out == []
+
+    def test_outside_server_package_not_in_scope(self, tmp_path):
+        out = lint_snippets(tmp_path, {
+            "src/repro/db/snippet.py": """
+                import time
+
+                async def handler():
+                    time.sleep(0.1)
+            """,
+        }, select={"MOD008"})
+        assert out == []
+
+    def test_suppression_with_reason_accepted(self, tmp_path):
+        out = lint_snippets(tmp_path, {
+            "src/repro/server/snippet.py": """
+                import time
+
+                async def handler():
+                    time.sleep(0.0)  # modlint: disable=MOD008 zero-sleep yield shim for a legacy test hook
+            """,
+        }, select={"MOD008"})
+        assert out == []
+
+
+class TestMOD009AtomicPersistence:
+    def test_in_place_write_flagged(self, tmp_path):
+        out = lint_snippets(tmp_path, {
+            "src/repro/storage/snippet.py": """
+                def save(path, data):
+                    with open(path, "wb") as fh:
+                        fh.write(data)
+            """,
+        }, select={"MOD009"})
+        assert codes(out) == ["MOD009"]
+        assert "os.replace" in out[0].message
+
+    def test_computed_mode_flagged(self, tmp_path):
+        out = lint_snippets(tmp_path, {
+            "src/repro/storage/snippet.py": """
+                def touch(path, mode):
+                    with open(path, mode) as fh:
+                        return fh
+            """,
+        }, select={"MOD009"})
+        assert codes(out) == ["MOD009"]
+
+    def test_tmp_rename_clean(self, tmp_path):
+        out = lint_snippets(tmp_path, {
+            "src/repro/storage/snippet.py": """
+                import os
+
+                def save(path, data):
+                    tmp = path + ".tmp"
+                    with open(tmp, "wb") as fh:
+                        fh.write(data)
+                        os.fsync(fh.fileno())
+                    os.replace(tmp, path)
+
+                def load(path):
+                    with open(path, "rb") as fh:
+                        return fh.read()
+            """,
+        }, select={"MOD009"})
+        assert out == []
+
+    def test_journal_owner_clean(self, tmp_path):
+        # The WAL constructor's writable open *is* the journal.
+        out = lint_snippets(tmp_path, {
+            "src/repro/storage/wal.py": """
+                import os
+
+                class Wal:
+                    def __init__(self, path):
+                        mode = "r+b" if os.path.exists(path) else "w+b"
+                        self._fh = open(path, mode)
+            """,
+        }, select={"MOD009"})
+        assert out == []
+
+    def test_suppression_with_reason_accepted(self, tmp_path):
+        out = lint_snippets(tmp_path, {
+            "src/repro/storage/snippet.py": """
+                def append(path, data):
+                    # modlint: disable=MOD009 append-only tail write gated by a framed header
+                    with open(path, "ab") as fh:
+                        fh.write(data)
+            """,
+        }, select={"MOD009"})
+        assert out == []
+
+
+class TestMOD010ShmForkLifecycle:
+    def test_create_without_unlink_flagged(self, tmp_path):
+        out = lint_snippets(tmp_path, {
+            "src/repro/parallel/snippet.py": """
+                from multiprocessing import shared_memory
+
+                def pack(n):
+                    return shared_memory.SharedMemory(create=True, size=n)
+            """,
+        }, select={"MOD010"})
+        assert codes(out) == ["MOD010"]
+        assert "unlink" in out[0].message
+
+    def test_create_with_unlink_on_error_path_clean(self, tmp_path):
+        out = lint_snippets(tmp_path, {
+            "src/repro/storage/snippet.py": """
+                from multiprocessing import shared_memory
+
+                def pack(n, fill):
+                    shm = shared_memory.SharedMemory(create=True, size=n)
+                    try:
+                        fill(shm)
+                    except BaseException:
+                        shm.close()
+                        shm.unlink()
+                        raise
+                    return shm
+            """,
+        }, select={"MOD010"})
+        assert out == []
+
+    def test_create_with_finalizer_clean(self, tmp_path):
+        out = lint_snippets(tmp_path, {
+            "src/repro/storage/snippet.py": """
+                import weakref
+                from multiprocessing import shared_memory
+
+                def pack(n, owner, release):
+                    shm = shared_memory.SharedMemory(create=True, size=n)
+                    weakref.finalize(owner, release, shm)
+                    return shm
+            """,
+        }, select={"MOD010"})
+        assert out == []
+
+    def test_lock_in_parallel_package_flagged(self, tmp_path):
+        out = lint_snippets(tmp_path, {
+            "src/repro/parallel/snippet.py": """
+                import threading
+
+                LOCK = threading.Lock()
+            """,
+        }, select={"MOD010"})
+        assert codes(out) == ["MOD010"]
+        assert "fork" in out[0].message
+
+    def test_lock_outside_parallel_package_clean(self, tmp_path):
+        out = lint_snippets(tmp_path, {
+            "src/repro/server/snippet.py": """
+                import threading
+
+                LOCK = threading.Lock()
+            """,
+        }, select={"MOD010"})
+        assert out == []
+
+    def test_suppression_with_reason_accepted(self, tmp_path):
+        out = lint_snippets(tmp_path, {
+            "src/repro/parallel/snippet.py": """
+                import threading
+
+                # modlint: disable=MOD010 parent-side control lock, never held by worker code
+                LOCK = threading.Lock()
+            """,
+        }, select={"MOD010"})
+        assert out == []
+
+
+class TestDynlock:
+    """The runtime half: the lock-order witness catches real cycles."""
+
+    def setup_method(self):
+        from repro.analysis import dynlock
+
+        dynlock.enable()
+        dynlock.reset()
+
+    def teardown_method(self):
+        from repro.analysis import dynlock
+
+        dynlock.reset()
+        dynlock.disable()
+
+    def test_factory_returns_plain_lock_when_inactive(self, monkeypatch):
+        import threading
+
+        from repro.analysis import dynlock
+
+        monkeypatch.delenv("REPRO_DYNLOCK", raising=False)
+        dynlock.disable()
+        lk = dynlock.rlock("x")
+        assert not isinstance(lk, dynlock.TrackedRLock)
+        assert isinstance(lk, type(threading.RLock()))
+
+    def test_factory_returns_tracked_lock_when_enabled(self):
+        from repro.analysis import dynlock
+
+        assert isinstance(dynlock.rlock("x"), dynlock.TrackedRLock)
+
+    def test_nesting_records_an_edge(self):
+        from repro.analysis import dynlock
+
+        a, b = dynlock.rlock("A"), dynlock.rlock("B")
+        with a:
+            with b:
+                pass
+        assert ("A", "B") in dynlock.edges()
+
+    def test_reentrancy_is_not_an_edge(self):
+        from repro.analysis import dynlock
+
+        a = dynlock.rlock("A")
+        with a:
+            with a:
+                pass
+        assert dynlock.edges() == frozenset()
+
+    def test_seeded_inversion_raises_without_deadlock(self):
+        import pytest
+
+        from repro.analysis import dynlock
+
+        a, b = dynlock.rlock("A"), dynlock.rlock("B")
+        with a:
+            with b:
+                pass
+        with pytest.raises(dynlock.LockOrderError, match="inversion"):
+            with b:
+                with a:
+                    pass
+        # The offending acquire never took the lock: A is free again.
+        with a:
+            pass
+
+    def test_transitive_cycle_detected(self):
+        import pytest
+
+        from repro.analysis import dynlock
+
+        a, b, c = dynlock.rlock("A"), dynlock.rlock("B"), dynlock.rlock("C")
+        with a:
+            with b:
+                pass
+        with b:
+            with c:
+                pass
+        with pytest.raises(dynlock.LockOrderError):
+            with c:
+                with a:
+                    pass
+
+    def test_acquisitions_counted(self):
+        from repro import obs
+        from repro.analysis import dynlock
+
+        a = dynlock.rlock("A")
+        with obs.capture() as counters:
+            with a:
+                pass
+        assert counters.get("dynlock.acquisitions") == 1
+
+    def test_real_server_locks_witness_their_order(self, monkeypatch):
+        # Integration: a snapshot read on a real executor nests the
+        # executor lock over the column cache lock — the witness must
+        # see that edge and no inverse.
+        from repro.analysis import dynlock
+        from repro.server.executor import FleetExecutor
+        from repro.temporal.mapping import MovingPoint
+        from repro.temporal.upoint import UPoint
+        from repro.vector import cache as cachemod
+
+        # The module-global cache predates enable(); swap in one whose
+        # lock was created with the witness armed.
+        monkeypatch.setattr(cachemod, "_CACHE", cachemod.ColumnCache())
+        ex = FleetExecutor()
+        ex.register_fleet("f", [
+            MovingPoint([UPoint.between(0.0, (0.0, 0.0), 1.0, (1.0, 1.0))])
+        ])
+        ex.snapshot_rows("f", 0.5)
+        recorded = dynlock.edges()
+        assert ("server.executor", "vector.colcache") in recorded
+        assert ("vector.colcache", "server.executor") not in recorded
+
+
 class TestSuppressionPolicy:
     def test_unknown_code_is_mod000(self, tmp_path):
         out = lint_snippets(tmp_path, {
@@ -605,5 +1031,6 @@ class TestRealTree:
         listing = capsys.readouterr().out
         for code in (
             "MOD001", "MOD002", "MOD003", "MOD004", "MOD005", "MOD006",
+            "MOD007", "MOD008", "MOD009", "MOD010",
         ):
             assert code in listing
