@@ -50,6 +50,10 @@ echo "== crash-matrix smoke (every registered failpoint, fixed seed) =="
 python -m repro crash-matrix --seed 2000
 
 echo
+echo "== chaos-matrix smoke (live faults: drops, stalls, kills, dups) =="
+python -m repro chaos-matrix --quick --seed 2026
+
+echo
 echo "== lint (ruff, skipped when not installed) =="
 if command -v ruff >/dev/null 2>&1; then
     ruff check src tests benchmarks

@@ -1041,13 +1041,13 @@ GUARDED_BY: Dict[Tuple[str, str], Tuple[Guard, ...]] = {
     ("repro/server/executor.py", "FleetExecutor"): (
         Guard(
             lock="_lock",
-            attrs=("_fleets", "_indexes"),
+            attrs=("_fleets", "_indexes", "_dedup"),
             owners=(
-                # _fleet/_apply_one/_pinned_column/_window_candidates
-                # document "caller holds the lock" and are only reached
-                # from public methods that take it.
-                "__init__", "_fleet", "_apply_one", "_pinned_column",
-                "_window_candidates",
+                # _fleet/_apply_one/_append_unit/_pinned_column/
+                # _window_candidates document "caller holds the lock"
+                # and are only reached from public methods that take it.
+                "__init__", "_fleet", "_apply_one", "_append_unit",
+                "_pinned_column", "_window_candidates",
             ),
         ),
         Guard(lock="_lat_lock", attrs=("_latencies",), owners=("__init__",)),
@@ -1066,14 +1066,18 @@ GUARDED_BY: Dict[Tuple[str, str], Tuple[Guard, ...]] = {
             # start() is sync so the server can call it before the
             # listener exists, but it only ever runs on the loop thread
             # (QueryServer.start / GroupCommitter.submit call it).
-            owners=("__init__", "start"),
+            # depth() is the admission controller's backlog read — sync,
+            # but only reached from QueryServer._admit on the loop.
+            owners=("__init__", "start", "depth"),
         ),
     ),
     ("repro/server/session.py", "QueryServer"): (
         Guard(
             lock=None,
             attrs=("_sessions", "_inflight", "_stopping"),
-            owners=("__init__",),
+            # _admit is sync (raising Overloaded needs no await) but is
+            # only reached from the _serve_line coroutine on the loop.
+            owners=("__init__", "_admit"),
         ),
     ),
 }

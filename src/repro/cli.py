@@ -12,6 +12,10 @@ Commands
                       (exercises the ``--backend`` switch fleet-wide)
 ``crash-matrix``      run every registered failpoint's crash/recovery
                       scenario (:mod:`repro.storage.crashmatrix`)
+``chaos-matrix``      degrade a *live* query service — dropped
+                      connections, stalled peers, SIGKILLed workers,
+                      duplicate ingest — and verify it recovers
+                      (:mod:`repro.server.chaos`)
 ``serve``             run the always-on query service
                       (:mod:`repro.server`) until SIGINT/SIGTERM
 
@@ -237,6 +241,50 @@ def cmd_crash_matrix(args: argparse.Namespace) -> int:
     return 0 if entries and all(e.ok for e in entries) else 1
 
 
+def cmd_chaos_matrix(args: argparse.Namespace) -> int:
+    """Run the live degradation matrix against a running query service.
+
+    The live twin of ``crash-matrix``: concurrent query + ingest
+    traffic over a real socket while connections drop, sessions stall,
+    fork workers are SIGKILLed, and ingests are delivered twice.  Same
+    interrupt contract: SIGINT/SIGTERM stop at the next scenario
+    boundary and report what already ran.
+    """
+    import signal
+
+    from repro.server.chaos import format_matrix, run_chaos_matrix
+
+    stop_requested = {"flag": False}
+
+    def _request_stop(_signum: int, _frame: object) -> None:
+        stop_requested["flag"] = True
+
+    previous = {}
+    for sig in (signal.SIGINT, signal.SIGTERM):
+        try:
+            previous[sig] = signal.signal(sig, _request_stop)
+        except (ValueError, OSError):  # pragma: no cover - non-main thread
+            pass
+    try:
+        entries = run_chaos_matrix(
+            seed=args.seed,
+            quick=args.quick,
+            only=args.only,
+            should_stop=lambda: stop_requested["flag"],
+        )
+    finally:
+        for sig, handler in previous.items():
+            signal.signal(sig, handler)
+    print(format_matrix(entries))
+    if stop_requested["flag"]:
+        print(
+            f"chaos-matrix: interrupted — {len(entries)} scenario(s) "
+            "completed, state cleaned up"
+        )
+        return 0
+    return 0 if entries and all(e.ok for e in entries) else 1
+
+
 def cmd_serve(args: argparse.Namespace) -> int:
     """Run the query service until SIGINT/SIGTERM, then drain and exit.
 
@@ -399,6 +447,19 @@ def main(argv: Optional[List[str]] = None) -> int:
     matrix_p.add_argument("--only", default=None, metavar="FAILPOINT",
                           help="run a single failpoint's scenario")
     matrix_p.set_defaults(fn=cmd_crash_matrix)
+    chaos_p = sub.add_parser(
+        "chaos-matrix",
+        help="degrade a live query service and verify it recovers",
+    )
+    chaos_p.add_argument("--seed", type=int, default=2026,
+                         help="workload seed (default 2026)")
+    chaos_p.add_argument("--quick", action="store_true",
+                         help="smoke scale: fewer clients and ops per "
+                         "scenario (same assertions)")
+    chaos_p.add_argument("--only", default=None, metavar="SCENARIO",
+                         help="run a single scenario (failpoint name or "
+                         "server.overload)")
+    chaos_p.set_defaults(fn=cmd_chaos_matrix)
     serve_p = sub.add_parser(
         "serve", help="run the always-on query service"
     )

@@ -103,6 +103,35 @@ class QueryError(ReproError):
     """A failure while parsing, planning, or executing a query."""
 
 
+class DeadlineExceeded(ReproError):
+    """A request's deadline expired before the work completed.
+
+    Carried by :class:`repro.deadline.Deadline.check` when a budget set
+    with the query service's ``DEADLINE=<ms>`` request attribute runs
+    out.  Executors check at chunk boundaries, the parallel dispatcher
+    checks between chunk polls, and the session layer enforces a
+    wall-clock backstop — all three surface as this one type, answered
+    on the wire as a single ``ERR DeadlineExceeded`` line and counted
+    under ``server.timeouts``.
+    """
+
+
+class Overloaded(ReproError):
+    """The query service shed a request instead of queueing it.
+
+    Raised by the session layer's admission control when the number of
+    in-flight requests is past its bound (or the ingest queue is past
+    its watermark).  Carries ``retry_after_ms``, a backoff hint derived
+    from the current latency window and queue excess; the hint is also
+    embedded in the error text so it crosses the wire inside the
+    ``ERR Overloaded`` line.
+    """
+
+    def __init__(self, message: str, retry_after_ms: int = 0):
+        super().__init__(message)
+        self.retry_after_ms = retry_after_ms
+
+
 class ProtocolError(ReproError):
     """A malformed request on the query-service line protocol.
 

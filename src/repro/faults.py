@@ -93,6 +93,15 @@ FAILPOINT_NAMES: FrozenSet[str] = frozenset({
     # query service ingest path (repro.server.ingest)
     "wal.group_commit_crash",   # crash at the group-commit sync barrier
     "server.ingest_crash",      # crash after durable sync, pre-apply
+    # live degradation (chaos matrix, repro.server.chaos)
+    "server.conn_drop",         # drop the connection after the work,
+                                # before the response reaches the wire
+    "server.slow_client",       # stall one session's response writes
+                                # (a peer that stops reading)
+    "parallel.worker_kill",     # SIGKILL the fork worker handed the
+                                # marked chunk, mid-query
+    "ingest.dup_send",          # client re-sends an acked INGEST with
+                                # the same sequence token
 })
 
 #: Fast-path guard: True iff at least one failpoint is armed.  Sites

@@ -172,6 +172,10 @@ COUNTER_NAMES: FrozenSet[str] = frozenset({
     "parallel.fallback.no_pool",
     "parallel.fallback.error",
     "parallel.shm_reclaimed",
+    # worker-failure recovery (repro.parallel.pool.run_tasks)
+    "parallel.worker_deaths",
+    "parallel.chunk_retries",
+    "parallel.fallback.pool_broken",
     # STR bulk loading (RTree3D.bulk_load)
     "rtree.bulk_loaded",
     # incremental column maintenance (live ingest)
@@ -185,6 +189,12 @@ COUNTER_NAMES: FrozenSet[str] = frozenset({
     "ingest.units",
     "ingest.group_commits",
     "ingest.replayed",
+    # resilience: deadlines, admission control, idempotent retries
+    "server.timeouts",
+    "server.shed",
+    "ingest.dedup_hits",
+    "client.retries",
+    "client.timeouts",
     # lock-order witness (repro.analysis.dynlock)
     "dynlock.acquisitions",
     "dynlock.edges",
@@ -202,6 +212,7 @@ GAUGE_NAMES: FrozenSet[str] = frozenset({
     "parallel.workers",
     "server.query_p50_ms",
     "server.query_p99_ms",
+    "server.inflight",
 })
 
 

@@ -91,7 +91,7 @@ def _dispatch(
         return None
     try:
         descriptor = shmcol.shared_descriptor(col)
-        worker_pool = pool.get_pool(n_workers)
+        pool.get_pool(n_workers)
     except (OSError, ValueError):
         _parallel_fallback("no_pool")
         return None
@@ -100,9 +100,14 @@ def _dispatch(
         (op, descriptor, lo, hi, extra, obs.enabled) for lo, hi in bounds
     ]
     try:
-        results = worker_pool.map(pool.run_task, payloads)
+        results = pool.run_tasks(n_workers, payloads)
     except ReproError:
         raise  # library errors behave exactly as in-process
+    except pool.PoolBroken:
+        # Workers kept dying after a full respawn: stop betting on the
+        # pool and finish the query in-process (correct, just slower).
+        _parallel_fallback("pool_broken")
+        return None
     except Exception:
         pool.shutdown()  # the pool may be wedged; rebuild lazily
         _parallel_fallback("error")

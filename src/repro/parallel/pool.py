@@ -17,12 +17,14 @@ from __future__ import annotations
 import atexit
 import multiprocessing
 import os
+import signal
 from collections import OrderedDict
-from typing import Any, Dict, Mapping, Optional, Tuple
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple
 
-from repro import config, obs
+from repro import config, faults, obs
+from repro import deadline as deadline_mod
 from repro.analysis import dynlock
-from repro.errors import InvalidValue
+from repro.errors import InvalidValue, ReproError
 from repro.parallel import shmcol
 
 # ---------------------------------------------------------------------------
@@ -112,6 +114,130 @@ def shutdown() -> None:
 
 
 atexit.register(shutdown)
+
+
+class PoolBroken(Exception):
+    """The pool lost workers twice dispatching one batch.
+
+    An internal control signal for the dispatcher, deliberately *not* a
+    :class:`~repro.errors.ReproError`: the executors re-raise library
+    errors verbatim but must catch this one and fall back in-process,
+    so it needs to be distinguishable from both.
+    """
+
+
+#: How long one ``AsyncResult`` wait runs before the dispatcher checks
+#: worker liveness (and the active deadline).  A dead worker's chunk
+#: never completes — ``multiprocessing.Pool`` silently repopulates the
+#: pool but abandons the in-flight task — so this poll is the *only*
+#: thing standing between a SIGKILL and an infinite hang.
+_POLL_S = 0.05
+
+
+def run_tasks(
+    n_workers: int,
+    payloads: Sequence[Tuple[Any, ...]],
+    deadline: Optional[Any] = None,
+) -> List[Any]:
+    """Dispatch ``payloads`` to the pool, surviving worker deaths.
+
+    The resilient replacement for a bare ``Pool.map``: each chunk is
+    dispatched as its own ``AsyncResult`` and the dispatcher polls with
+    a bounded wait, comparing the worker processes captured *at
+    dispatch* against their exit codes.  A worker death (OOM-killed,
+    SIGKILLed by the chaos matrix, segfaulted C extension) is detected
+    within ``_POLL_S``; completed chunks are harvested, the pool is
+    torn down and respawned once, and only the lost chunks re-run
+    (``parallel.worker_deaths``/``parallel.chunk_retries``).  A second
+    death raises :class:`PoolBroken` — the caller's cue to finish the
+    query in-process rather than chase a dying machine.
+
+    Results are returned in payload order.  ``deadline`` (or the
+    thread-local active deadline) is checked at every poll, so an
+    expired budget cancels the wait instead of riding it out.
+    """
+    if deadline is None:
+        deadline = deadline_mod.current()
+    payloads = list(payloads)
+    results: Dict[int, Any] = {}
+    pending: List[int] = list(range(len(payloads)))
+    respawned = False
+    while pending:
+        worker_pool = get_pool(n_workers)
+        # The liveness probe must watch *this* attempt's workers: Pool
+        # quietly replaces dead processes, so a stale capture would see
+        # a past generation's corpses and cry wolf forever.
+        procs = list(getattr(worker_pool, "_pool", None) or [])
+        kill_idx = -1
+        if faults.active and should_kill_worker():
+            kill_idx = pending[0]
+        inflight = [
+            (
+                idx,
+                worker_pool.apply_async(
+                    run_task, (tuple(payloads[idx]) + ((idx == kill_idx),),)
+                ),
+            )
+            for idx in pending
+        ]
+        died = False
+        queue = list(inflight)
+        while queue:
+            idx, ar = queue[0]
+            try:
+                results[idx] = ar.get(timeout=_POLL_S)
+                queue.pop(0)
+                continue
+            except multiprocessing.TimeoutError:
+                pass
+            except ReproError:
+                raise  # library errors behave exactly as in-process
+            if deadline is not None:
+                deadline.check()
+            if any(p.exitcode is not None for p in procs):
+                died = True
+                break
+        if not died:
+            return [results[i] for i in range(len(payloads))]
+        # Harvest everything that finished before the death, then
+        # retry only the chunks the dead worker took down with it.
+        still_pending: List[int] = []
+        for idx, ar in inflight:
+            if idx in results:
+                continue
+            if ar.ready():
+                try:
+                    results[idx] = ar.get(timeout=0)
+                    continue
+                except ReproError:
+                    raise
+                except Exception:
+                    pass
+            still_pending.append(idx)
+        dead = sum(1 for p in procs if p.exitcode is not None)
+        if obs.enabled:
+            obs.counters.add("parallel.worker_deaths", dead)
+            obs.counters.add("parallel.chunk_retries", len(still_pending))
+        shutdown()
+        if respawned:
+            raise PoolBroken(
+                f"pool lost {dead} worker(s) twice dispatching one batch"
+            )
+        respawned = True
+        pending = still_pending
+    return [results[i] for i in range(len(payloads))]
+
+
+def should_kill_worker() -> bool:
+    """Parent-side consult of the ``parallel.worker_kill`` failpoint.
+
+    The policy lives in the *parent*: forked workers inherit a copy of
+    the armed state, so a worker-side consult of a ``once`` policy
+    would fire once in **every** worker.  Instead the dispatcher asks
+    here, per dispatch attempt, and marks exactly one chunk payload;
+    the worker that receives the mark SIGKILLs itself.
+    """
+    return faults.should_fire("parallel.worker_kill")
 
 
 def _merge_counters(snapshot: Mapping[str, Any]) -> None:
@@ -208,10 +334,18 @@ _OPS = {
 
 
 def run_task(
-    payload: Tuple[str, shmcol.Descriptor, int, int, Tuple[Any, ...], bool]
+    payload: Tuple[Any, ...]
 ) -> Tuple[Any, Optional[Dict[str, Any]]]:
-    """Worker entry point: one op over one chunk of one shared column."""
-    op, descriptor, lo, hi, extra, profiled = payload
+    """Worker entry point: one op over one chunk of one shared column.
+
+    The optional seventh payload element is the dispatcher's worker-kill
+    mark (see :func:`should_kill_worker`): the marked worker dies by
+    SIGKILL *before* touching the column, simulating an external kill —
+    no cleanup, no exception, just a corpse for the dispatcher to find.
+    """
+    op, descriptor, lo, hi, extra, profiled = payload[:6]
+    if len(payload) > 6 and payload[6]:
+        os.kill(os.getpid(), signal.SIGKILL)
     col = _attached_column(descriptor)
     if profiled:
         with obs.capture() as counters:

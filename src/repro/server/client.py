@@ -4,17 +4,45 @@ For tests, benchmarks, and shell scripting — one socket, synchronous
 request/response, responses returned as parsed :class:`Reply` values.
 Not an ORM: rows come back as the ``key=value`` dictionaries the wire
 carries.
+
+Resilience
+----------
+The client owns the retry half of the service's overload contract:
+
+* Every read is bounded by a per-request socket deadline; a server
+  that stops answering surfaces as the typed :class:`ClientTimeout`
+  (counted ``client.timeouts``) rather than a hang.
+* ``ERR Overloaded`` answers carry a ``retry_after_ms`` hint; the
+  client honours it, padded with capped jittered exponential backoff
+  (:func:`jittered_backoff`) so a thundering herd decorrelates.
+  Shed requests did no work, so they retry unconditionally.
+* Timeouts and dropped connections are retried only for *idempotent*
+  requests.  :meth:`ingest` is always idempotent: the client stamps
+  each unit with a ``SEQ=<client_id>:<n>`` token, and the server's
+  dedup table makes a retry of an applied-but-unacked ingest
+  exactly-once.
 """
 
 from __future__ import annotations
 
+import itertools
+import os
 import socket
+import time
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
+from repro import faults, obs
 from repro.errors import ProtocolError, ReproError
 
-__all__ = ["Reply", "ServerClient", "ServerError"]
+__all__ = [
+    "ClientTimeout",
+    "ConnectionLost",
+    "Reply",
+    "ServerClient",
+    "ServerError",
+    "jittered_backoff",
+]
 
 
 class ServerError(ReproError):
@@ -23,6 +51,44 @@ class ServerError(ReproError):
     def __init__(self, remote_type: str, message: str):
         super().__init__(message)
         self.remote_type = remote_type
+
+    def retry_after_ms(self) -> Optional[int]:
+        """The backoff hint of an ``Overloaded`` answer, if present."""
+        for part in str(self).split():
+            if part.startswith("retry_after_ms="):
+                try:
+                    return int(part.partition("=")[2])
+                except ValueError:
+                    return None
+        return None
+
+
+class ClientTimeout(ReproError):
+    """The per-request socket deadline expired waiting on the server."""
+
+
+class ConnectionLost(ProtocolError):
+    """The connection died mid-response (EOF or reset)."""
+
+
+def jittered_backoff(
+    attempt: int,
+    base_ms: float = 25.0,
+    cap_ms: float = 1000.0,
+    factor: float = 0.5,
+    u: float = 0.5,
+) -> float:
+    """The capped, jittered exponential backoff for retry ``attempt``.
+
+    Pure so the property tests can pin it down: with ``ideal =
+    min(cap_ms, base_ms * 2**attempt)`` the result lies in
+    ``[ideal * (1 - factor), min(cap_ms, ideal * (1 + factor))]`` —
+    never past the cap, never more than ``factor`` away from the ideal
+    curve.  ``u`` is the caller's uniform sample in ``[0, 1)``.
+    """
+    ideal = min(cap_ms, base_ms * (2.0 ** attempt))
+    jittered = ideal * (1.0 - factor + 2.0 * factor * u)
+    return min(cap_ms, jittered)
 
 
 @dataclass
@@ -51,12 +117,62 @@ def _parse_kv(text: str, sep: str) -> Dict[str, str]:
     return out
 
 
-class ServerClient:
-    """A synchronous connection to a running :class:`QueryServer`."""
+#: Distinguishes clients within a process for seq-token namespacing.
+_CLIENT_IDS = itertools.count(1)
 
-    def __init__(self, host: str, port: int, timeout: float = 10.0):
-        self._sock = socket.create_connection((host, port), timeout=timeout)
+
+class ServerClient:
+    """A synchronous connection to a running :class:`QueryServer`.
+
+    ``timeout`` bounds the initial connect *and* is the default
+    per-request read deadline; ``request_timeout`` overrides the latter.
+    ``max_retries`` bounds the retry loop (0 disables retrying).
+    """
+
+    def __init__(
+        self,
+        host: str,
+        port: int,
+        timeout: float = 10.0,
+        request_timeout: Optional[float] = None,
+        max_retries: int = 5,
+        backoff_base_ms: float = 25.0,
+        backoff_cap_ms: float = 1000.0,
+        client_id: Optional[str] = None,
+    ):
+        self._host = host
+        self._port = port
+        self._connect_timeout = timeout
+        self._request_timeout = (
+            request_timeout if request_timeout is not None else timeout
+        )
+        self._max_retries = max(0, int(max_retries))
+        self._backoff_base_ms = backoff_base_ms
+        self._backoff_cap_ms = backoff_cap_ms
+        # Seq tokens must be unique per logical client across its own
+        # reconnects, so the namespace is pid + client ordinal, not the
+        # socket.
+        self.client_id = (
+            client_id
+            if client_id is not None
+            else f"c{os.getpid()}-{next(_CLIENT_IDS)}"
+        )
+        self._seq_n = itertools.count(1)
+        self._connect()
+
+    def _connect(self) -> None:
+        self._sock = socket.create_connection(
+            (self._host, self._port), timeout=self._connect_timeout
+        )
         self._file = self._sock.makefile("rwb")
+
+    def _reconnect(self) -> None:
+        try:
+            self._file.close()
+            self._sock.close()
+        except OSError:
+            pass
+        self._connect()
 
     def close(self) -> None:
         """End the session politely (``CLOSE`` → ``BYE``), then hang up."""
@@ -78,20 +194,81 @@ class ServerClient:
 
     # -- the wire ----------------------------------------------------------
 
-    def request(self, line: str) -> Reply:
-        """Send one raw request line, read one framed response.
+    def request(
+        self,
+        line: str,
+        idempotent: bool = False,
+        timeout: Optional[float] = None,
+    ) -> Reply:
+        """Send one request line with retries; read one framed response.
 
-        Raises :class:`ServerError` for ``ERR`` responses and
-        :class:`ProtocolError` if the server's framing is unreadable.
+        Raises :class:`ServerError` for ``ERR`` responses the retry
+        budget cannot absorb, :class:`ClientTimeout` when the read
+        deadline expires, and :class:`ConnectionLost` /
+        :class:`ProtocolError` when the framing dies.  ``Overloaded``
+        answers always retry (the server did no work); timeouts and
+        lost connections retry only when ``idempotent`` — a non-
+        idempotent request that may already have applied must surface
+        to the caller instead of silently applying twice.
         """
-        self._file.write(line.rstrip("\n").encode("utf-8") + b"\n")
-        self._file.flush()
+        attempt = 0
+        while True:
+            try:
+                return self._request_once(line, timeout)
+            except ServerError as exc:
+                if (
+                    exc.remote_type != "Overloaded"
+                    or attempt >= self._max_retries
+                ):
+                    raise
+                hint_ms = exc.retry_after_ms() or 0
+                delay_ms = max(hint_ms, self._backoff_ms(attempt))
+            except (ClientTimeout, ConnectionLost) as exc:
+                if not idempotent or attempt >= self._max_retries:
+                    raise
+                delay_ms = self._backoff_ms(attempt)
+                try:
+                    self._reconnect()
+                except OSError:
+                    raise exc from None
+            if obs.enabled:
+                obs.add("client.retries")
+            time.sleep(delay_ms / 1000.0)
+            attempt += 1
+
+    def _backoff_ms(self, attempt: int) -> float:
+        # int.from_bytes(os.urandom) rather than the random module: the
+        # decorrelation must survive forked benchmark workers that
+        # inherit identical RNG state.
+        u = int.from_bytes(os.urandom(4), "big") / 2.0 ** 32
+        return jittered_backoff(
+            attempt, self._backoff_base_ms, self._backoff_cap_ms, u=u
+        )
+
+    def _request_once(self, line: str, timeout: Optional[float]) -> Reply:
+        self._sock.settimeout(
+            timeout if timeout is not None else self._request_timeout
+        )
+        try:
+            self._file.write(line.rstrip("\n").encode("utf-8") + b"\n")
+            self._file.flush()
+            return self._read_reply()
+        except socket.timeout:
+            if obs.enabled:
+                obs.add("client.timeouts")
+            raise ClientTimeout(
+                f"no response within the read deadline for {line.split()[0]}"
+            ) from None
+        except (ConnectionResetError, BrokenPipeError) as exc:
+            raise ConnectionLost(f"connection lost mid-request: {exc}") from None
+
+    def _read_reply(self) -> Reply:
         reply = Reply()
         first = True
         while True:
             raw = self._file.readline()
             if not raw:
-                raise ProtocolError("connection closed mid-response")
+                raise ConnectionLost("connection closed mid-response")
             text = raw.decode("utf-8").rstrip("\n")
             if first:
                 first = False
@@ -115,23 +292,52 @@ class ServerClient:
 
     # -- command helpers ---------------------------------------------------
 
-    def query(self, sql: str) -> Reply:
-        return self.request(f"QUERY {sql}")
+    @staticmethod
+    def _attrs(deadline_ms: Optional[float], seq: str = "") -> str:
+        parts = []
+        if deadline_ms is not None:
+            parts.append(f"DEADLINE={deadline_ms:g}")
+        if seq:
+            parts.append(f"SEQ={seq}")
+        return (" ".join(parts) + " ") if parts else ""
 
-    def explain(self, sql: str) -> Reply:
-        return self.request(f"EXPLAIN {sql}")
+    def query(self, sql: str, deadline_ms: Optional[float] = None) -> Reply:
+        return self.request(
+            f"QUERY {self._attrs(deadline_ms)}{sql}", idempotent=True
+        )
+
+    def explain(self, sql: str, deadline_ms: Optional[float] = None) -> Reply:
+        return self.request(
+            f"EXPLAIN {self._attrs(deadline_ms)}{sql}", idempotent=True
+        )
 
     def ingest(
         self,
         fleet: str,
         obj: int,
         unit: Tuple[float, float, float, float, float, float],
+        deadline_ms: Optional[float] = None,
+        seq: Optional[str] = None,
     ) -> int:
-        """Append one unit slice; returns the object's new unit count."""
+        """Append one unit slice; returns the object's new unit count.
+
+        Idempotent: each call is stamped with a fresh
+        ``<client_id>:<n>`` sequence token (or the caller's ``seq``),
+        so a retry after a lost ack lands exactly once.
+        """
+        if seq is None:
+            seq = f"{self.client_id}:{next(self._seq_n)}"
         t0, x0, y0, t1, x1, y1 = unit
-        reply = self.request(
-            f"INGEST {fleet} {obj} {t0!r} {x0!r} {y0!r} {t1!r} {x1!r} {y1!r}"
+        line = (
+            f"INGEST {self._attrs(deadline_ms, seq)}{fleet} {obj} "
+            f"{t0!r} {x0!r} {y0!r} {t1!r} {x1!r} {y1!r}"
         )
+        reply = self.request(line, idempotent=True)
+        if faults.active and faults.should_fire("ingest.dup_send"):
+            # The chaos matrix's duplicate-delivery fault: re-send the
+            # acked request verbatim.  The dedup table must answer the
+            # copy without appending a second slice.
+            reply = self.request(line, idempotent=True)
         return int(reply.fields.get("units", "0"))
 
     def snapshot(
@@ -139,11 +345,12 @@ class ServerClient:
         fleet: str,
         t: float,
         window: Optional[Tuple[float, float, float, float]] = None,
+        deadline_ms: Optional[float] = None,
     ) -> Reply:
-        line = f"SNAPSHOT {fleet} {t!r}"
+        line = f"SNAPSHOT {self._attrs(deadline_ms)}{fleet} {t!r}"
         if window is not None:
             line += " " + " ".join(repr(v) for v in window)
-        return self.request(line)
+        return self.request(line, idempotent=True)
 
     def stats(self) -> Reply:
-        return self.request("STATS")
+        return self.request("STATS", idempotent=True)

@@ -21,11 +21,13 @@ moved-on fleet.
 
 from __future__ import annotations
 
-from collections import deque
+from collections import OrderedDict, deque
 from typing import Any, Deque, Dict, List, Optional, Sequence, Tuple
 
+from repro import deadline as deadline_mod
 from repro import faults, obs
 from repro.analysis import dynlock
+from repro.deadline import Deadline
 from repro.db.catalog import Database
 from repro.db.script import StatementResult, run_script
 from repro.errors import InvalidValue, QueryError, StorageError
@@ -40,6 +42,14 @@ __all__ = ["FleetExecutor", "Snapshot"]
 
 #: Latency samples kept for the p50/p99 gauges (a sliding window).
 _LATENCY_WINDOW = 512
+
+#: Idempotency tokens remembered per executor.  Bounded FIFO: a token
+#: older than the most recent 64k ingests can no longer collide with a
+#: live retry (retries are bounded in time), so evicting it is safe.
+_DEDUP_CAPACITY = 65536
+
+#: Rows assembled between deadline checks in ``snapshot_rows``.
+_DEADLINE_STRIDE = 4096
 
 
 class Snapshot:
@@ -76,6 +86,10 @@ class FleetExecutor:
         self._indexes: Dict[str, RTree3D] = {}
         self._db = db if db is not None else Database("server")
         self._latencies: Deque[float] = deque(maxlen=_LATENCY_WINDOW)
+        # Idempotency table: seq token -> the unit count the original
+        # apply returned.  Replay repopulates it (tokens ride in the WAL
+        # record), so dedup survives restarts.
+        self._dedup: "OrderedDict[str, int]" = OrderedDict()
 
     @property
     def db(self) -> Database:
@@ -161,6 +175,7 @@ class FleetExecutor:
         name: str,
         t: float,
         window: Optional[Tuple[float, float, float, float]] = None,
+        deadline: Optional[Deadline] = None,
     ) -> Tuple[Snapshot, List[Tuple[int, float, float]]]:
         """Defined positions of fleet ``name`` at instant ``t``.
 
@@ -169,7 +184,14 @@ class FleetExecutor:
         ``xmin ymin xmax ymax`` rectangle) when given, using the live
         R-tree as a candidate prefilter.  The rows describe the pinned
         snapshot exactly: ingest applied after the pin is invisible.
+
+        ``deadline`` is checked before pinning and again every
+        ``_DEADLINE_STRIDE`` rows of assembly, so an expired budget
+        surfaces as :class:`~repro.errors.DeadlineExceeded` instead of
+        a late answer.
         """
+        if deadline is not None:
+            deadline.check()
         with self._lock:
             fleet = self._fleet(name)
             snap = Snapshot(fleet)
@@ -181,11 +203,15 @@ class FleetExecutor:
             for i in range(len(snap)):
                 if defined[i]:
                     rows.append((i, float(xs[i]), float(ys[i])))
+                if deadline is not None and i % _DEADLINE_STRIDE == 0:
+                    deadline.check()
         else:
             for i, m in enumerate(snap.items):
                 p = m.value_at(t)
                 if p is not None:
                     rows.append((i, p.x, p.y))
+                if deadline is not None and i % _DEADLINE_STRIDE == 0:
+                    deadline.check()
         if window is not None:
             xmin, ymin, xmax, ymax = window
             rows = [
@@ -221,17 +247,30 @@ class FleetExecutor:
 
     # -- SQL --------------------------------------------------------------
 
-    def query_sql(self, sql: str) -> List[StatementResult]:
-        """Run a SQL script against the server's database."""
-        with self._lock:
-            return run_script(self._db, sql)
+    def query_sql(
+        self, sql: str, deadline: Optional[Deadline] = None
+    ) -> List[StatementResult]:
+        """Run a SQL script against the server's database.
 
-    def explain_sql(self, sql: str) -> str:
+        When a ``deadline`` is given it is checked on entry and bound
+        thread-locally for the duration, so nested layers (the planner's
+        parallel dispatch in particular) inherit the budget without the
+        SQL machinery growing a parameter.
+        """
+        if deadline is not None:
+            deadline.check()
+        with self._lock:
+            with deadline_mod.active(deadline):
+                return run_script(self._db, sql)
+
+    def explain_sql(
+        self, sql: str, deadline: Optional[Deadline] = None
+    ) -> str:
         """The plan for a SELECT (EXPLAIN is prepended when missing)."""
         stmt = sql.strip()
         if not stmt.lower().startswith("explain"):
             stmt = f"EXPLAIN {stmt}"
-        results = self.query_sql(stmt)
+        results = self.query_sql(stmt, deadline=deadline)
         return results[-1].message if results else ""
 
     # -- ingest apply ------------------------------------------------------
@@ -260,6 +299,24 @@ class FleetExecutor:
         return out
 
     def _apply_one(self, req: Any) -> int:
+        seq = getattr(req, "seq", "")
+        if seq:
+            cached = self._dedup.get(seq)
+            if cached is not None:
+                # A retry of an ingest that already applied (the ack was
+                # lost, or the WAL record replayed twice): answer from
+                # the table instead of appending a duplicate slice.
+                if obs.enabled:
+                    obs.add("ingest.dedup_hits")
+                return cached
+        count = self._append_unit(req)
+        if seq:
+            self._dedup[seq] = count
+            while len(self._dedup) > _DEDUP_CAPACITY:
+                self._dedup.popitem(last=False)
+        return count
+
+    def _append_unit(self, req: Any) -> int:
         fleet = self._fleet(req.fleet)
         t0, x0, y0, t1, x1, y1 = req.unit
         obj = req.obj
@@ -337,6 +394,6 @@ class FleetExecutor:
             counts = obs.snapshot()["counters"]
             for key in sorted(counts):
                 if key.startswith(("server.", "ingest.", "colcache.",
-                                   "colstore.", "wal.")):
+                                   "colstore.", "wal.", "parallel.")):
                     out[key] = counts[key]
         return out

@@ -40,19 +40,27 @@ _SCOPE_PREFIX = "fleet:"
 
 @dataclass(frozen=True)
 class IngestRequest:
-    """One unit slice bound for object ``obj`` of fleet ``fleet``."""
+    """One unit slice bound for object ``obj`` of fleet ``fleet``.
+
+    ``seq`` is the client's idempotency token (empty when the client
+    did not supply one).  It rides in the WAL record, so the executor's
+    dedup table is rebuilt by replay and a retry deduplicates across a
+    restart just as it does live.
+    """
 
     fleet: str
     obj: int
     unit: Tuple[float, float, float, float, float, float]  # t0 x0 y0 t1 x1 y1
+    seq: str = ""
 
 
 def encode_record(req: IngestRequest) -> Tuple[str, bytes]:
     """``(scope, payload)`` of the WAL record logging ``req``."""
     scope = _SCOPE_PREFIX + req.fleet
-    payload = json.dumps(
-        {"obj": req.obj, "unit": list(req.unit)}, separators=(",", ":")
-    ).encode("utf-8")
+    doc = {"obj": req.obj, "unit": list(req.unit)}
+    if req.seq:
+        doc["seq"] = req.seq
+    payload = json.dumps(doc, separators=(",", ":")).encode("utf-8")
     return scope, payload
 
 
@@ -68,7 +76,10 @@ def decode_record(rec: WalRecord) -> IngestRequest:
         _SCOPE_PREFIX
     ) else rec.scope
     t0, x0, y0, t1, x1, y1 = (float(v) for v in doc["unit"])
-    return IngestRequest(fleet, int(doc["obj"]), (t0, x0, y0, t1, x1, y1))
+    return IngestRequest(
+        fleet, int(doc["obj"]), (t0, x0, y0, t1, x1, y1),
+        seq=str(doc.get("seq", "")),
+    )
 
 
 def commit(
@@ -152,6 +163,12 @@ class GroupCommitter:
     def start(self) -> None:
         if self._task is None:
             self._task = asyncio.get_running_loop().create_task(self._run())
+
+    def depth(self) -> int:
+        """Requests queued but not yet batched (the backlog gauge the
+        admission controller reads; ``asyncio.Queue.qsize`` is a plain
+        loop-confined read, safe to call synchronously)."""
+        return self._queue.qsize()
 
     async def submit(self, request: IngestRequest) -> int:
         """Enqueue one request; resolves once its batch is durable and

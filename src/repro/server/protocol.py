@@ -12,6 +12,18 @@ One request per line, UTF-8, ``\\n``-terminated::
     STATS                                    server + store counters
     CLOSE                                    end the session
 
+Requests that do work (everything but STATS/CLOSE) accept *attributes*
+— ``KEY=value`` tokens between the command and its arguments::
+
+    DEADLINE=<ms>   per-request budget; past it the server answers a
+                    typed ``ERR DeadlineExceeded`` (counted
+                    ``server.timeouts``) instead of finishing late
+    SEQ=<token>     INGEST only: a client-supplied idempotency token.
+                    Retrying an INGEST with the same token is
+                    exactly-once — a duplicate is answered from the
+                    dedup table (``ingest.dedup_hits``), on live retry
+                    and across WAL-replay restarts alike.
+
 Responses are line-framed as well: a single ``OK key=value ...`` header,
 zero or more data lines (``ROW``/``PLAN``/``MSG``/``STAT``), and a bare
 ``END`` terminator.  Errors are a single ``ERR <Type> <message>`` line
@@ -61,6 +73,44 @@ class Request:
     )  # t0 x0 y0 t1 x1 y1
     t: float = 0.0
     window: Optional[Tuple[float, float, float, float]] = None
+    deadline_ms: Optional[float] = None  # DEADLINE=<ms> attribute
+    seq: str = ""                        # SEQ=<token> attribute (INGEST)
+
+
+#: Attribute keys ``parse_request`` understands (KEY=value tokens
+#: between the command and its arguments).
+_ATTR_KEYS = ("DEADLINE", "SEQ")
+
+
+def _split_attrs(rest: str) -> Tuple[Optional[float], str, str]:
+    """Strip leading ``KEY=value`` attribute tokens off a request tail.
+
+    Returns ``(deadline_ms, seq, remainder)``.  Only *leading* tokens
+    are consumed, so attribute-shaped text inside a SQL statement is
+    never touched.
+    """
+    deadline_ms: Optional[float] = None
+    seq = ""
+    while rest:
+        head, _, tail = rest.partition(" ")
+        key, eq, value = head.partition("=")
+        if not eq or key.upper() not in _ATTR_KEYS:
+            break
+        if key.upper() == "DEADLINE":
+            try:
+                deadline_ms = float(value)
+            except ValueError:
+                raise ProtocolError(
+                    f"DEADLINE: expected milliseconds, got {value!r}"
+                ) from None
+            if deadline_ms <= 0:
+                raise ProtocolError("DEADLINE must be > 0 milliseconds")
+        else:  # SEQ
+            if not value:
+                raise ProtocolError("SEQ token must be non-empty")
+            seq = value
+        rest = tail.strip()
+    return deadline_ms, seq, rest
 
 
 def _floats(parts: List[str], what: str) -> List[float]:
@@ -91,10 +141,13 @@ def parse_request(line: str) -> Request:
         if rest:
             raise ProtocolError(f"{command} takes no arguments")
         return Request(command)
+    deadline_ms, seq, rest = _split_attrs(rest)
+    if seq and command != "INGEST":
+        raise ProtocolError("SEQ only applies to INGEST")
     if command in ("QUERY", "EXPLAIN"):
         if not rest:
             raise ProtocolError(f"{command} needs a SQL statement")
-        return Request(command, sql=rest)
+        return Request(command, sql=rest, deadline_ms=deadline_ms)
     parts = rest.split()
     if command == "INGEST":
         if len(parts) != 8:
@@ -112,7 +165,8 @@ def parse_request(line: str) -> Request:
             raise ProtocolError("INGEST: object index must be >= 0")
         t0, x0, y0, t1, x1, y1 = _floats(parts[2:], "INGEST")
         return Request(
-            "INGEST", fleet=fleet, obj=obj, unit=(t0, x0, y0, t1, x1, y1)
+            "INGEST", fleet=fleet, obj=obj, unit=(t0, x0, y0, t1, x1, y1),
+            deadline_ms=deadline_ms, seq=seq,
         )
     # SNAPSHOT <fleet> <t> [<xmin> <ymin> <xmax> <ymax>]
     if len(parts) not in (2, 6):
@@ -127,7 +181,10 @@ def parse_request(line: str) -> Request:
         if xmin > xmax or ymin > ymax:
             raise ProtocolError("SNAPSHOT: malformed window rectangle")
         window = (xmin, ymin, xmax, ymax)
-    return Request("SNAPSHOT", fleet=fleet, t=values[0], window=window)
+    return Request(
+        "SNAPSHOT", fleet=fleet, t=values[0], window=window,
+        deadline_ms=deadline_ms,
+    )
 
 
 def _clean(text: str) -> str:

@@ -12,6 +12,21 @@ in-flight requests drain (bounded), cancels sessions idling in
 ``readline``, stops the committer (which commits everything already
 queued), and syncs the WAL one last time.  Nothing durable is lost by a
 polite shutdown; everything durable survives an impolite one.
+
+Overload and deadlines
+----------------------
+The session layer is also the admission controller.  Requests that do
+work are counted in-flight; past ``max_inflight`` (or past the ingest
+queue watermark) the server answers ``ERR Overloaded`` with a
+``retry_after_ms`` hint instead of queueing without bound — shedding
+early keeps the p99 of admitted requests flat while clients back off.
+A request carrying ``DEADLINE=<ms>`` gets a monotonic
+:class:`~repro.deadline.Deadline`: the executor checks it at chunk
+boundaries (cooperative) and the session wraps the await in
+``asyncio.wait_for`` (wall-clock backstop), so the client always hears
+``ERR DeadlineExceeded`` near the budget even when the work is stuck
+somewhere non-cooperative.  STATS and CLOSE bypass admission so an
+operator can always inspect an overloaded server.
 """
 
 from __future__ import annotations
@@ -19,19 +34,32 @@ from __future__ import annotations
 import asyncio
 import threading
 import time
-from typing import Any, Dict, List, Optional
+from typing import Any, Awaitable, Dict, List, Optional, TypeVar
 
-from repro import obs
-from repro.errors import ProtocolError, ReproError
+from repro import faults, obs
+from repro.deadline import Deadline
+from repro.errors import DeadlineExceeded, Overloaded, ProtocolError, ReproError
 from repro.server import protocol
 from repro.server.executor import FleetExecutor
 from repro.server.ingest import GroupCommitter, IngestRequest
 from repro.storage.wal import Wal
 
+_T = TypeVar("_T")
+
 __all__ = ["QueryServer", "RunningServer", "serve_in_thread"]
 
 #: How long ``stop()`` waits for in-flight requests before cancelling.
 _DRAIN_DEADLINE = 5.0
+
+#: Ceiling on the ``retry_after_ms`` backoff hint handed to shed
+#: clients — the hint scales with observed latency and queue excess,
+#: but a wild p99 sample must not park clients for seconds.
+_RETRY_AFTER_CAP_MS = 2000
+
+#: How long one ``server.slow_client`` firing stalls a response write
+#: (seconds) — long enough to overlap concurrent traffic, short enough
+#: to keep the chaos matrix quick.
+_SLOW_CLIENT_STALL_S = 0.05
 
 
 class QueryServer:
@@ -45,6 +73,8 @@ class QueryServer:
         port: int = 0,
         max_batch: int = 64,
         max_delay: float = 0.002,
+        max_inflight: int = 64,
+        ingest_watermark: int = 1024,
     ):
         self._executor = executor
         self._wal = wal
@@ -53,7 +83,11 @@ class QueryServer:
         self._committer = GroupCommitter(wal, executor, max_batch, max_delay)
         self._server: Optional[asyncio.AbstractServer] = None
         self._sessions: set = set()
+        # Loop-confined admission state: only event-loop callbacks read
+        # or write these, so no lock is needed (or wanted — MOD008).
         self._inflight = 0
+        self._max_inflight = max(1, int(max_inflight))
+        self._ingest_watermark = max(1, int(ingest_watermark))
         self._stopping = False
 
     @property
@@ -108,6 +142,8 @@ class QueryServer:
                     break
                 line = raw.decode("utf-8", "replace")
                 self._inflight += 1
+                if obs.enabled:
+                    obs.high_water("server.inflight", float(self._inflight))
                 try:
                     closing = await self._serve_line(line, writer)
                 finally:
@@ -134,22 +170,77 @@ class QueryServer:
             if request.command == "CLOSE":
                 await _write(writer, [protocol.BYE])
                 return True
-            lines = await self._dispatch(request)
+            self._admit(request)
+            deadline = (
+                Deadline.after(request.deadline_ms)
+                if request.deadline_ms is not None
+                else None
+            )
+            lines = await self._dispatch(request, deadline)
         except asyncio.CancelledError:
             raise
         except Exception as exc:  # ERR answers; the session survives
             if obs.enabled:
-                obs.add("server.errors")
+                if isinstance(exc, DeadlineExceeded):
+                    obs.add("server.timeouts")
+                elif not isinstance(exc, Overloaded):
+                    # shed requests were already counted by _admit
+                    obs.add("server.errors")
             await _write(writer, [protocol.err_line(exc)])
             return False
+        if faults.active and faults.should_fire("server.conn_drop"):
+            # The degraded path the chaos matrix drives: the work is
+            # done (an INGEST may already be durable) but the response
+            # never reaches the wire.  A client retry of that INGEST is
+            # what the seq-token dedup table must absorb.
+            writer.close()
+            return True
         await _write(writer, lines)
         return False
 
-    async def _dispatch(self, request: protocol.Request) -> List[str]:
+    def _admit(self, request: protocol.Request) -> None:
+        """Admission control: shed instead of queueing without bound.
+
+        ``_inflight`` already counts this request, so the comparison is
+        against ``max_inflight`` admitted peers *plus* this one.  INGEST
+        is additionally shed when the committer's backlog is past the
+        watermark — queries and ingest saturate different resources.
+        The ``retry_after_ms`` hint scales with the observed p50 and
+        how far past the limit we are, so backoff tracks actual drain
+        speed rather than a magic constant.
+        """
+        if request.command in ("STATS", "CLOSE"):
+            return
+        excess = self._inflight - self._max_inflight - 1
+        if request.command == "INGEST":
+            excess = max(
+                excess, self._committer.depth() - self._ingest_watermark
+            )
+        if excess < 0:
+            return
+        if obs.enabled:
+            obs.add("server.shed")
+        p50, _ = self._executor.latency_percentiles()
+        hint = min(
+            _RETRY_AFTER_CAP_MS, max(1, int(max(p50, 1.0) * (excess + 1)))
+        )
+        raise Overloaded(
+            f"server overloaded retry_after_ms={hint}", retry_after_ms=hint
+        )
+
+    async def _dispatch(
+        self, request: protocol.Request, deadline: Optional[Deadline] = None
+    ) -> List[str]:
         command = request.command
         if command == "INGEST":
-            units = await self._committer.submit(
-                IngestRequest(request.fleet, request.obj, request.unit)
+            units = await _bounded(
+                self._committer.submit(
+                    IngestRequest(
+                        request.fleet, request.obj, request.unit,
+                        seq=request.seq,
+                    )
+                ),
+                deadline,
             )
             return [protocol.ok_line(units=units), protocol.END]
         if command == "STATS":
@@ -163,8 +254,11 @@ class QueryServer:
         # The read commands: timed, counted, snapshot-isolated.
         started = time.perf_counter()
         if command == "QUERY":
-            results = await asyncio.to_thread(
-                self._executor.query_sql, request.sql
+            results = await _bounded(
+                asyncio.to_thread(
+                    self._executor.query_sql, request.sql, deadline
+                ),
+                deadline,
             )
             lines = [protocol.ok_line(statements=len(results))]
             for res in results:
@@ -176,17 +270,24 @@ class QueryServer:
                         **{k: _format_field(v) for k, v in row.items()}
                     ))
         elif command == "EXPLAIN":
-            plan = await asyncio.to_thread(
-                self._executor.explain_sql, request.sql
+            plan = await _bounded(
+                asyncio.to_thread(
+                    self._executor.explain_sql, request.sql, deadline
+                ),
+                deadline,
             )
             lines = [protocol.ok_line()]
             lines.extend(f"PLAN {pl}" for pl in plan.splitlines() if pl)
         else:  # SNAPSHOT
-            snap, rows = await asyncio.to_thread(
-                self._executor.snapshot_rows,
-                request.fleet,
-                request.t,
-                request.window,
+            snap, rows = await _bounded(
+                asyncio.to_thread(
+                    self._executor.snapshot_rows,
+                    request.fleet,
+                    request.t,
+                    request.window,
+                    deadline,
+                ),
+                deadline,
             )
             lines = [
                 protocol.ok_line(
@@ -204,6 +305,25 @@ class QueryServer:
         if obs.enabled:
             obs.add("server.queries")
         return lines
+
+
+async def _bounded(aw: Awaitable[_T], deadline: Optional[Deadline]) -> _T:
+    """Await ``aw`` under the request deadline (wall-clock backstop).
+
+    The executor's cooperative checks normally fire first; this wrapper
+    catches the cases they cannot — work parked in a queue, or stuck in
+    a chunk between checks.  Cancelling a ``to_thread`` future does not
+    stop the thread, but the abandoned work still holds a thread-local
+    deadline that is already expired, so its own next check aborts it.
+    """
+    if deadline is None:
+        return await aw
+    try:
+        return await asyncio.wait_for(aw, timeout=deadline.remaining_s())
+    except asyncio.TimeoutError:
+        raise DeadlineExceeded(
+            f"request deadline of {deadline.budget_ms:g}ms exceeded"
+        ) from None
 
 
 def _format_field(value: object) -> str:
@@ -236,6 +356,12 @@ async def _write(writer: asyncio.StreamWriter, lines: List[str]) -> None:
     catches up.
     """
     for start in range(0, len(lines), _WRITE_CHUNK):
+        if faults.active and faults.should_fire("server.slow_client"):
+            # A peer that stops reading: park this session mid-response
+            # the way a full transport buffer would.  Only this session
+            # stalls — the chaos matrix asserts concurrent sessions
+            # keep answering.
+            await asyncio.sleep(_SLOW_CLIENT_STALL_S)
         chunk = lines[start:start + _WRITE_CHUNK]
         writer.write(("\n".join(chunk) + "\n").encode("utf-8"))
         await writer.drain()

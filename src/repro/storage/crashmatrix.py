@@ -422,6 +422,20 @@ def _ingest_scenario(name: str, seed: int) -> MatrixEntry:
         shutil.rmtree(root, ignore_errors=True)
 
 
+def _chaos_scenario(name: str, seed: int) -> MatrixEntry:
+    """Delegate a live-degradation failpoint to the chaos matrix.
+
+    The four service failpoints need a running server (or a live fork
+    pool), not a store-and-recover cycle; their scenarios live in
+    :mod:`repro.server.chaos`.  The matrix still owns registry coverage
+    — every registered failpoint must resolve to *some* scenario — so
+    this shim runs the chaos scenario at smoke scale.
+    """
+    from repro.server.chaos import SCENARIOS as CHAOS_SCENARIOS
+
+    return CHAOS_SCENARIOS[name](name, seed, True)
+
+
 #: failpoint name → scenario runner; one entry per registered failpoint.
 SCENARIOS: Dict[str, Callable[[str, int], MatrixEntry]] = {
     "pagefile.write_crash": _write_scenario,
@@ -439,6 +453,10 @@ SCENARIOS: Dict[str, Callable[[str, int], MatrixEntry]] = {
     "shmcol.pack_crash": _shmcol_scenario,
     "wal.group_commit_crash": _ingest_scenario,
     "server.ingest_crash": _ingest_scenario,
+    "server.conn_drop": _chaos_scenario,
+    "server.slow_client": _chaos_scenario,
+    "parallel.worker_kill": _chaos_scenario,
+    "ingest.dup_send": _chaos_scenario,
 }
 
 
