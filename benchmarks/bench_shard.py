@@ -1,0 +1,245 @@
+"""V10: sharded fleets under a memory budget (repro.shard).
+
+Claim under test: hash-partitioned shards with per-shard column stores,
+shard-level bbox pruning, and candidate sub-column gather answer a
+window query over 1M objects / 4M units in under 100 ms *cold* — with a
+resident-byte budget smaller than the fleet's total column bytes, so
+the CLOCK policy is actively evicting shards throughout — while
+returning results bit-identical to the unsharded vector kernel
+(mismatch count asserted at zero, eviction churn and the
+``shard.resident_bytes`` high-water counter-asserted against the
+budget).
+
+Runs both as pytest (a quick 2-shard equivalence ``smoke`` is wired
+into scripts/check.sh) and as a script producing the scaling curve::
+
+    python benchmarks/bench_shard.py --json BENCH_shard.json
+"""
+
+import argparse
+import json
+import random
+import sys
+import tempfile
+import time
+
+import numpy as np
+
+from repro import obs
+from repro.shard import ShardManager, ShardedFleet, sharded_window_intervals
+from repro.spatial.bbox import Rect
+from repro.temporal.mapping import MovingPoint
+from repro.vector.cache import clear_cache
+from repro.vector.store import _BUILDERS
+
+FLEET_SIZE = 1_000_000
+LEGS = 4  # units per object: 1M objects x 4 legs = 4M units
+SHARDS = 16
+#: Budget as a fraction of the fleet's total upoint bytes — small
+#: enough that a full scatter cannot hold every shard resident.
+BUDGET_DIVISOR = 4
+#: The query window: selective in space and time, so the candidate
+#: gather (not the fleet size) sets the kernel cost.
+RECT = Rect(4000.0, 4000.0, 4500.0, 4500.0)
+WINDOW = (20.0, 25.0)
+BUDGET_MS = 100.0
+
+
+def build_fleet(count: int = FLEET_SIZE, legs: int = LEGS, seed: int = 2000):
+    """Deterministic local trajectories over a 10k x 10k world.
+
+    Short ±50 legs keep per-object bounding boxes tight, the regime the
+    Section-4 sliced representation targets (many objects, each small
+    against the observed space).
+    """
+    rng = random.Random(seed)
+    fleet = []
+    for _ in range(count):
+        t = rng.uniform(0.0, 50.0)
+        x, y = rng.uniform(0.0, 10000.0), rng.uniform(0.0, 10000.0)
+        wps = [(t, (x, y))]
+        for _leg in range(legs):
+            t += rng.uniform(5.0, 30.0)
+            x += rng.uniform(-50.0, 50.0)
+            y += rng.uniform(-50.0, 50.0)
+            wps.append((t, (x, y)))
+        fleet.append(MovingPoint.from_waypoints(wps))
+    return fleet
+
+
+def _mismatches(got, want) -> int:
+    """Arrays that differ bit for bit (NaN-exact, dtype-exact)."""
+    bad = 0
+    for g, w in zip(got, want):
+        if g.dtype != w.dtype or g.tobytes() != w.tobytes():
+            bad += 1
+    return bad
+
+
+def measure_sharded(mappings, shards: int = SHARDS, root=None) -> dict:
+    """Stage per-shard stores, then time cold and warm budgeted scatters.
+
+    Cold means: nothing resident (``evict_all`` + process cache clear),
+    columns mapped from the per-shard mmap stores during the query, with
+    the budget forcing evictions as the scatter sweeps the shards.
+    """
+    if root is None:
+        root = tempfile.mkdtemp(prefix="bench_shard_")
+    fleet = ShardedFleet(mappings, shards)
+    staging = ShardManager(fleet, root=root)
+    tic = time.perf_counter()
+    staging.persist(kinds=("upoint", "bbox"))
+    persist_s = time.perf_counter() - tic
+    total_bytes = staging.total_column_bytes()
+    budget = total_bytes // BUDGET_DIVISOR
+    manager = ShardManager(fleet, root=root, budget=budget)
+
+    rect, (t0, t1) = RECT, WINDOW
+    obs.reset()
+    obs.enable()
+    try:
+        manager.evict_all()
+        clear_cache()
+        tic = time.perf_counter()
+        got = sharded_window_intervals(manager, rect, t0, t1)
+        cold_s = time.perf_counter() - tic
+        tic = time.perf_counter()
+        warm = sharded_window_intervals(manager, rect, t0, t1)
+        warm_s = time.perf_counter() - tic
+        evictions = obs.get("shard.evictions")
+        pruned = obs.get("shard.pruned")
+        resident_high = obs.snapshot()["gauges"].get(
+            "shard.resident_bytes", 0.0
+        )
+    finally:
+        obs.disable()
+
+    reference = window_intervals_batch_reference(mappings, rect, t0, t1)
+    mismatches = _mismatches(got, reference) + _mismatches(warm, reference)
+    return {
+        "objects": len(mappings),
+        "units": int(sum(len(m.units) for m in mappings)),
+        "shards": shards,
+        "total_column_bytes": int(total_bytes),
+        "memory_budget_bytes": int(budget),
+        "resident_bytes_high_water": float(resident_high),
+        "persist_s": persist_s,
+        "cold_window_ms": cold_s * 1000.0,
+        "warm_window_ms": warm_s * 1000.0,
+        "rows": int(len(got[0])),
+        "evictions": int(evictions),
+        "shards_pruned": int(pruned),
+        "mismatches": int(mismatches),
+    }
+
+
+def window_intervals_batch_reference(mappings, rect, t0, t1):
+    """The unsharded kernel over one flat column (the oracle)."""
+    from repro.vector.kernels import window_intervals_batch
+
+    return window_intervals_batch(_BUILDERS["upoint"](mappings), rect, t0, t1)
+
+
+def assert_result(result: dict) -> None:
+    assert result["mismatches"] == 0, (
+        f"{result['mismatches']} gathered arrays differ from the "
+        "unsharded kernel"
+    )
+    assert result["rows"] > 0, "window query matched nothing; rect too small"
+    assert result["memory_budget_bytes"] < result["total_column_bytes"], (
+        "budget must be smaller than the fleet's column bytes"
+    )
+    assert (
+        result["resident_bytes_high_water"] <= result["memory_budget_bytes"]
+    ), (
+        f"resident high-water {result['resident_bytes_high_water']} "
+        f"exceeded the budget {result['memory_budget_bytes']}"
+    )
+    assert result["evictions"] >= 1, (
+        "a budget below the column total must evict at least once"
+    )
+
+
+# ---------------------------------------------------------------------------
+# pytest entry points (scripts/check.sh runs -k smoke)
+# ---------------------------------------------------------------------------
+
+
+def test_v10_smoke_shard_bench():
+    """2 shards, 2k objects, tiny budget: the full measurement protocol
+    (stage -> evict -> cold scatter -> counters) with zero mismatches."""
+    mappings = build_fleet(2_000, seed=2000)
+    result = measure_sharded(mappings, shards=2)
+    assert_result(result)
+
+
+def test_v10_counter_assertions():
+    """Budgeted residency really churns: evictions and the high-water
+    gauge move, and pruning rules shards out without mapping them."""
+    mappings = build_fleet(4_000, seed=2001)
+    result = measure_sharded(mappings, shards=8)
+    assert_result(result)
+    assert result["resident_bytes_high_water"] > 0.0
+
+
+# ---------------------------------------------------------------------------
+# script entry point
+# ---------------------------------------------------------------------------
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--json", default=None, help="write results to this file")
+    parser.add_argument("--objects", type=int, default=FLEET_SIZE)
+    parser.add_argument("--shards", type=int, default=SHARDS)
+    args = parser.parse_args()
+
+    print(f"building {args.objects} objects x {LEGS} legs ...", flush=True)
+    tic = time.perf_counter()
+    mappings = build_fleet(args.objects)
+    print(f"  built in {time.perf_counter() - tic:.1f}s", flush=True)
+
+    scales = sorted({args.objects // 10, 3 * args.objects // 10, args.objects})
+    curve = []
+    for n in scales:
+        print(f"measuring {n} objects / {n * LEGS} units ...", flush=True)
+        result = measure_sharded(mappings[:n], shards=args.shards)
+        assert_result(result)
+        print(
+            f"  cold {result['cold_window_ms']:.1f} ms, "
+            f"warm {result['warm_window_ms']:.1f} ms, "
+            f"{result['rows']} rows, {result['evictions']} evictions, "
+            f"budget {result['memory_budget_bytes'] / 1e6:.0f}MB of "
+            f"{result['total_column_bytes'] / 1e6:.0f}MB",
+            flush=True,
+        )
+        curve.append(result)
+
+    final = curve[-1]
+    ok = final["cold_window_ms"] < BUDGET_MS
+    doc = {
+        "benchmark": "sharded scatter-gather under memory budget",
+        "claim_cold_window_ms_under": BUDGET_MS,
+        "claim_met": bool(ok),
+        "scaling": curve,
+    }
+    if args.json:
+        with open(args.json, "w") as fh:
+            json.dump(doc, fh, indent=2, sort_keys=True)
+        print(f"wrote {args.json}")
+    if not ok:
+        print(
+            f"FAIL: cold window query took {final['cold_window_ms']:.1f} ms "
+            f"(budget {BUDGET_MS} ms)",
+            file=sys.stderr,
+        )
+        return 1
+    print(
+        f"ok: {final['objects']} objects / {final['units']} units cold in "
+        f"{final['cold_window_ms']:.1f} ms, 0 mismatches"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -9,7 +9,9 @@
 # store (cold mmap open vs warm vs the killed rebuild path) into
 # BENCH_colstore.json, and the always-on query service (sustained qps
 # under concurrent WAL-durable ingest at 4 workers, p50/p99) into
-# BENCH_server.json.
+# BENCH_server.json, and the sharded backend (cold budgeted window
+# query scaling 100k -> 1M objects, evictions + resident high-water
+# counter-asserted) into BENCH_shard.json.
 #
 # Usage: scripts/bench.sh [fleet_size]  (from the repository root)
 set -euo pipefail
@@ -57,6 +59,14 @@ python -m pytest -q -p no:cacheprovider benchmarks/bench_server.py
 echo
 echo "== query service: sustained qps under ingest -> BENCH_server.json =="
 python benchmarks/bench_server.py --json BENCH_server.json
+
+echo
+echo "== sharded backend: pytest assertions (budget + equivalence) =="
+python -m pytest -q -p no:cacheprovider benchmarks/bench_shard.py
+
+echo
+echo "== sharded backend: cold budgeted scaling -> BENCH_shard.json =="
+python benchmarks/bench_shard.py --json BENCH_shard.json
 
 echo
 echo "== buffer pool: CLOCK hit rates on looping / hot-cold scans =="

@@ -36,6 +36,11 @@ echo "== query-service smoke (start -> ingest -> query -> shutdown) =="
 python -m pytest -q -p no:cacheprovider benchmarks/bench_server.py -k smoke
 
 echo
+echo "== sharded-backend smoke (2 shards, tiny budget, equivalence) =="
+python -m pytest -q -p no:cacheprovider benchmarks/bench_shard.py -k smoke
+python -m pytest -q -p no:cacheprovider tests/test_shard.py -k smoke
+
+echo
 echo "== repro-lint (stdlib AST checker, always on) =="
 python -m repro.analysis src
 

@@ -449,7 +449,8 @@ class ObsDiscipline(Rule):
     allowed to build names dynamically (their call sites are resolved
     instead): ``_record_rows`` in the vector kernels, ``_fallback`` in
     the fleet dispatcher, ``_parallel_fallback`` in the parallel
-    dispatcher, ``_mmap_fallback`` in the shared-column transport, and
+    dispatcher, ``_mmap_fallback`` in the shared-column transport,
+    ``_shard_fallback`` in the scatter-gather executor, and
     ``_merge_counters`` in the pool layer (which folds worker-captured
     snapshots whose names were validated when the workers wrote them).
     """
@@ -464,6 +465,7 @@ class ObsDiscipline(Rule):
         ("repro/parallel/exec.py", "_parallel_fallback"),
         ("repro/parallel/shmcol.py", "_mmap_fallback"),
         ("repro/parallel/pool.py", "_merge_counters"),
+        ("repro/shard/exec.py", "_shard_fallback"),
     }
 
     def _registry(
@@ -639,6 +641,20 @@ class ObsDiscipline(Rule):
                                 if v:
                                     yield v
                         continue
+                    if node.func.id == "_shard_fallback":
+                        if arg0 is None:
+                            v = record(mod, node, "counter", None)
+                            if v:
+                                yield v
+                        else:
+                            for name in (
+                                "shard.fallback",
+                                f"shard.fallback.{arg0}",
+                            ):
+                                v = record(mod, node, "counter", name)
+                                if v:
+                                    yield v
+                        continue
                     if node.func.id == "_mmap_fallback":
                         if arg0 is None:
                             v = record(mod, node, "counter", None)
@@ -721,11 +737,12 @@ class BackendDispatch(Rule):
       ``_resolve``/``get_backend`` — directly, or via a local variable
       assigned from a resolver in the same function (never a raw
       parameter — a raw compare silently treats ``None`` as scalar);
-    * an ``if backend == "vector":`` (or ``"parallel"``) must leave a
-      scalar arm (an ``else`` or fall-through code);
-    * exception handlers inside a vector/parallel arm must count the
-      event via ``_fallback`` (or ``_parallel_fallback`` /
-      ``_mmap_fallback``);
+    * an ``if backend == "vector":`` (or ``"parallel"`` /
+      ``"sharded"``) must leave a scalar arm (an ``else`` or
+      fall-through code);
+    * exception handlers inside a vector/parallel/sharded arm must
+      count the event via ``_fallback`` (or ``_parallel_fallback`` /
+      ``_mmap_fallback`` / ``_shard_fallback``);
     * column construction (``*.from_mappings``) inside a vector/parallel
       arm must be guarded by try/except — it raises ``InvalidValue`` on
       inputs only the scalar path can evaluate.
@@ -742,10 +759,10 @@ class BackendDispatch(Rule):
     name = "backend-dispatch"
 
     _RESOLVERS = {"_resolve", "_resolve_backend", "get_backend"}
-    _LITERALS = {"scalar", "vector", "parallel"}
+    _LITERALS = {"scalar", "vector", "parallel", "sharded"}
     #: Backend literals whose if-arms are the batched (non-scalar) path
     #: and therefore must satisfy the arm checks.
-    _BATCH_LITERALS = {"vector", "parallel"}
+    _BATCH_LITERALS = {"vector", "parallel", "sharded"}
     #: Descriptor-scheme dispatch (mmap-vs-shm transport): same shape,
     #: scoped to the parallel package where descriptors live.
     _SCHEME_RESOLVERS = {"_scheme_of"}
@@ -883,6 +900,7 @@ class BackendDispatch(Rule):
                     isinstance(c, ast.Call)
                     and _call_name(c) in (
                         "_fallback", "_parallel_fallback", "_mmap_fallback",
+                        "_shard_fallback",
                     )
                     for c in ast.walk(sub)
                 )
@@ -1041,13 +1059,15 @@ GUARDED_BY: Dict[Tuple[str, str], Tuple[Guard, ...]] = {
     ("repro/server/executor.py", "FleetExecutor"): (
         Guard(
             lock="_lock",
-            attrs=("_fleets", "_indexes", "_dedup"),
+            attrs=("_fleets", "_indexes", "_shards", "_dedup"),
             owners=(
                 # _fleet/_apply_one/_append_unit/_pinned_column/
-                # _window_candidates document "caller holds the lock"
-                # and are only reached from public methods that take it.
+                # _pinned_shard_columns/_window_candidates document
+                # "caller holds the lock" and are only reached from
+                # public methods that take it.
                 "__init__", "_fleet", "_apply_one", "_append_unit",
-                "_pinned_column", "_window_candidates",
+                "_pinned_column", "_pinned_shard_columns",
+                "_window_candidates",
             ),
         ),
         Guard(lock="_lat_lock", attrs=("_latencies",), owners=("__init__",)),
@@ -1055,8 +1075,25 @@ GUARDED_BY: Dict[Tuple[str, str], Tuple[Guard, ...]] = {
     ("repro/vector/cache.py", "ColumnCache"): (
         Guard(
             lock="_lock",
-            attrs=("_entries",),
-            owners=("__init__", "_get_versioned_locked"),
+            attrs=("_entries", "_bytes"),
+            owners=(
+                # _drop/_store_entry/_evict_over_budget are "caller
+                # holds the lock" helpers of the locked get path.
+                "__init__", "_get_versioned_locked", "_drop",
+                "_store_entry", "_evict_over_budget",
+            ),
+        ),
+    ),
+    ("repro/shard/manager.py", "ShardManager"): (
+        Guard(
+            lock="_lock",
+            attrs=("_resident", "_ring", "_hand"),
+            owners=(
+                # _map_column/_evict_over_budget/_evict_one document
+                # "caller holds the lock".
+                "__init__", "_map_column", "_evict_over_budget",
+                "_evict_one",
+            ),
         ),
     ),
     ("repro/server/ingest.py", "GroupCommitter"): (
@@ -1091,6 +1128,7 @@ _CROSS_MODULE_ATTRS: Dict[str, str] = {
     "_fleets": "repro/server/executor.py",
     "_indexes": "repro/server/executor.py",
     "_latencies": "repro/server/executor.py",
+    "_resident": "repro/shard/manager.py",
 }
 
 

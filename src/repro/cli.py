@@ -363,6 +363,19 @@ def cmd_info(_args: argparse.Namespace) -> int:
     return 0
 
 
+def _parse_bytes(spec: str) -> int:
+    """A positive byte count, accepting k/m/g binary suffixes."""
+    text = spec.strip().lower()
+    mult = 1
+    if text and text[-1] in "kmg":
+        mult = {"k": 1024, "m": 1024 ** 2, "g": 1024 ** 3}[text[-1]]
+        text = text[:-1]
+    value = int(text) * mult
+    if value < 1:
+        raise ValueError(spec)
+    return value
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     """CLI entry point; returns the process exit code."""
     parser = argparse.ArgumentParser(
@@ -376,12 +389,13 @@ def main(argv: Optional[List[str]] = None) -> int:
     )
     parser.add_argument(
         "--backend",
-        choices=["scalar", "vector", "parallel"],
+        choices=["scalar", "vector", "parallel", "sharded"],
         default=None,
         help="evaluation backend for fleet-level operations: scalar "
-        "reference loops, columnar numpy kernels (repro.vector), or "
+        "reference loops, columnar numpy kernels (repro.vector), "
         "those kernels chunked over a shared-memory process pool "
-        "(repro.parallel)",
+        "(repro.parallel), or hash-partitioned shards with "
+        "scatter-gather execution (repro.shard)",
     )
     parser.add_argument(
         "--workers",
@@ -390,6 +404,23 @@ def main(argv: Optional[List[str]] = None) -> int:
         metavar="N",
         help="process-pool size for the parallel backend (N >= 1; the "
         "per-core default comes from repro.config.DEFAULT_WORKERS)",
+    )
+    parser.add_argument(
+        "--shards",
+        type=int,
+        default=None,
+        metavar="N",
+        help="hash-partition fleets into N shards by object id "
+        "(N >= 1; 1 keeps fleets unsharded, the default); each shard "
+        "owns its own columns, store directory, and R-tree",
+    )
+    parser.add_argument(
+        "--memory-budget",
+        default=None,
+        metavar="BYTES",
+        help="resident-byte budget for sharded column residency, with "
+        "an optional k/m/g suffix (e.g. 64m); cold shards are "
+        "CLOCK-evicted to stay under it (default: unbounded)",
     )
     parser.add_argument(
         "--colstore",
@@ -491,10 +522,28 @@ def main(argv: Optional[List[str]] = None) -> int:
             file=sys.stderr,
         )
         return 2
+    if args.shards is not None and args.shards < 1:
+        print(
+            f"repro: InvalidValue: --shards must be >= 1, got {args.shards}",
+            file=sys.stderr,
+        )
+        return 2
+    memory_budget = None
+    if args.memory_budget is not None:
+        try:
+            memory_budget = _parse_bytes(args.memory_budget)
+        except ValueError:
+            print(
+                "repro: InvalidValue: --memory-budget must be a positive "
+                f"byte count (k/m/g suffix ok), got {args.memory_budget!r}",
+                file=sys.stderr,
+            )
+            return 2
+    args.memory_budget_bytes = memory_budget
     # Pre-dispatch flag validation: None (no --backend) must warn too,
     # so the raw argparse value is exactly what we want to inspect.
     # modlint: disable=MOD005 raw flag value inspected before dispatch, None handled explicitly
-    if args.workers is not None and args.backend != "parallel":
+    if args.workers is not None and args.backend not in ("parallel", "sharded"):
         print(
             "repro: warning: --workers only affects --backend parallel; "
             f"the {args.backend or 'default'} backend ignores it",
@@ -529,6 +578,14 @@ def _dispatch(args: argparse.Namespace) -> int:
         from repro.parallel import set_workers
 
         set_workers(args.workers)
+    if args.shards is not None:
+        from repro import shard
+
+        shard.set_shards(args.shards)
+    if getattr(args, "memory_budget_bytes", None) is not None:
+        from repro import shard
+
+        shard.set_memory_budget(args.memory_budget_bytes)
     if args.colstore is not None:
         from repro.vector.store import set_store
 

@@ -492,6 +492,9 @@ def compile_batch_predicate(
         t = float(t)
 
         def run_present(scan):
+            if getattr(scan, "sharded", False):
+                # Scatter-gather definedness over the scan's shards.
+                return scan.present_mask(t)
             if getattr(scan, "parallel", False):
                 from repro.parallel import parallel_present
 
@@ -516,6 +519,13 @@ def compile_batch_predicate(
         def run_window(scan):
             import numpy as np
 
+            if getattr(scan, "sharded", False):
+                from repro.spatial.bbox import Rect
+
+                # Shard-level bounds prune whole shards before any
+                # column is mapped; the gathered owners are exactly the
+                # unsharded kernel's.
+                return scan.window_mask(Rect(xmin, ymin, xmax, ymax), t0, t1)
             if getattr(scan, "parallel", False):
                 from repro.parallel import parallel_window_intervals
                 from repro.spatial.bbox import Rect

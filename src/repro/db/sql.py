@@ -357,7 +357,10 @@ def _make_scan(
     VectorScan`, which exposes the attribute columnarly so a selection
     above it can run as one batch kernel; the ``parallel`` backend plans
     a :class:`~repro.db.executor.ParallelScan` (same rows, batch kernels
-    chunked over the shared-memory pool).  Everything else stays a plain
+    chunked over the shared-memory pool); the ``sharded`` backend plans
+    a :class:`~repro.db.executor.ShardedScan` (same rows, batch kernels
+    scattered over hash-partitioned shards under a byte-budgeted shard
+    manager).  Everything else stays a plain
     :class:`SeqScan` (VectorScan degrades to one when no batch path
     applies, so results never change).  ``strict=False`` lets the scan
     quarantine corrupt tuples instead of aborting.
@@ -365,8 +368,14 @@ def _make_scan(
     relation = db.relation(name)
     from repro.vector.fleet import get_backend
 
-    if get_backend() == "vector" or get_backend() == "parallel":
-        from repro.db.executor import MmapScan, ParallelScan, VectorScan
+    if (
+        get_backend() == "vector"
+        or get_backend() == "parallel"
+        or get_backend() == "sharded"
+    ):
+        from repro.db.executor import (
+            MmapScan, ParallelScan, ShardedScan, VectorScan,
+        )
         from repro.storage.records import codec_for
 
         mpoint_attrs = [
@@ -375,6 +384,17 @@ def _make_scan(
             if codec_for(a.type_name).type_name == "mpoint"
         ]
         if len(mpoint_attrs) == 1:
+            if get_backend() == "sharded":
+                # Hash-partitioned scan: batch predicates scatter over
+                # the process-wide shard count under the process-wide
+                # memory budget (the CLI's --shards/--memory-budget).
+                from repro import shard as shardmod
+
+                return ShardedScan(
+                    relation, alias, attr=mpoint_attrs[0], strict=strict,
+                    shards=shardmod.get_shards(),
+                    memory_budget=shardmod.get_memory_budget(),
+                )
             from repro.vector.store import get_store
 
             store = get_store()
@@ -543,10 +563,18 @@ def explain(db: Database, sql: str) -> str:
             Project,
             Select,
             SeqScan,
+            ShardedScan,
             Sort,
             VectorScan,
         )
 
+        if isinstance(node, ShardedScan):
+            budget = node.memory_budget
+            return (
+                f"ShardedScan({node.relation.name} AS {node.alias}, "
+                f"attr={node.attr}, shards={node.n_shards}, "
+                f"budget={'unbounded' if budget is None else budget})"
+            )
         if isinstance(node, MmapScan):
             mode = "parallel" if node.parallel else "vector"
             return (

@@ -102,6 +102,8 @@ FAILPOINT_NAMES: FrozenSet[str] = frozenset({
                                 # marked chunk, mid-query
     "ingest.dup_send",          # client re-sends an acked INGEST with
                                 # the same sequence token
+    "shard.evict_during_query", # evict every resident shard between
+                                # per-shard kernel runs, mid-scatter
 })
 
 #: Fast-path guard: True iff at least one failpoint is armed.  Sites

@@ -198,6 +198,17 @@ COUNTER_NAMES: FrozenSet[str] = frozenset({
     # lock-order witness (repro.analysis.dynlock)
     "dynlock.acquisitions",
     "dynlock.edges",
+    # sharded execution (repro.shard: scatter-gather + residency)
+    "shard.scatters",
+    "shard.hits",
+    "shard.maps",
+    "shard.evictions",
+    "shard.pruned",
+    "shard.rebuilds",
+    "shard.ingest_routed",
+    # sharded degradation (via _shard_fallback(reason))
+    "shard.fallback",
+    "shard.fallback.column",
 })
 
 #: Every timed-scope name (``obs.scope(name)`` / ``add_time``).
@@ -213,6 +224,9 @@ GAUGE_NAMES: FrozenSet[str] = frozenset({
     "server.query_p50_ms",
     "server.query_p99_ms",
     "server.inflight",
+    # resident-byte high-water marks of the two byte-budgeted caches
+    "colcache.bytes",
+    "shard.resident_bytes",
 })
 
 

@@ -84,6 +84,21 @@ _pool_size = 0
 _POOL_LOCK = dynlock.rlock("parallel.pool")
 
 
+def _worker_reset_signals() -> None:
+    """Restore default signal dispositions in freshly forked workers.
+
+    Fork workers inherit the parent's Python-level handlers — and the
+    CLI matrix commands install drain handlers that *catch* SIGTERM and
+    merely set a flag.  A worker blocked on the shared task-queue
+    semaphore would then "catch" ``Pool.terminate()``'s SIGTERM, return
+    from the handler, and resume waiting: unkillable, hanging the
+    terminate-side ``join()`` forever.  SIGTERM must kill a worker;
+    SIGINT stays parent-side (the dispatcher drains and retries).
+    """
+    signal.signal(signal.SIGTERM, signal.SIG_DFL)
+    signal.signal(signal.SIGINT, signal.SIG_IGN)
+
+
 def get_pool(n: int) -> Any:
     """The shared pool, (re)created to hold exactly ``n`` workers."""
     global _pool, _pool_size
@@ -95,7 +110,7 @@ def get_pool(n: int) -> Any:
                 ctx = multiprocessing.get_context("fork")
             else:  # pragma: no cover - non-POSIX fallback
                 ctx = multiprocessing.get_context()
-            _pool = ctx.Pool(processes=n)
+            _pool = ctx.Pool(processes=n, initializer=_worker_reset_signals)
             _pool_size = n
             if obs.enabled:
                 obs.counters.high_water("parallel.workers", n)

@@ -365,6 +365,63 @@ def _worker_kill_scenario(name: str, seed: int, quick: bool) -> MatrixEntry:
     )
 
 
+def _shard_evict_scenario(name: str, seed: int, quick: bool) -> MatrixEntry:
+    """Evict every resident shard mid-scatter: columns already handed to
+    the query must stay readable (eviction drops references, not bytes),
+    so a budget-squeezed scatter is still bit-identical to the
+    single-process kernel — zero torn reads."""
+    import numpy as np
+
+    from repro.shard import ShardManager, ShardedFleet, sharded_window_intervals
+    from repro.spatial.bbox import Rect
+    from repro.vector.kernels import window_intervals_batch
+    from repro.vector.store import _BUILDERS
+
+    faults.disarm()
+    n = 96 if quick else 256
+    mappings = [_track(seed, i) for i in range(n)]
+    rect = Rect(0.0, 0.0, 60.0, 60.0)
+    reference = window_intervals_batch(
+        _BUILDERS["upoint"](mappings), rect, 0.0, 12.0
+    )
+    with obs.capture():
+        fleet = ShardedFleet(mappings, 4)
+        manager = ShardManager(fleet, budget=1)
+        # every:2 → the hook between shard s and s+1 alternates, so the
+        # scatter crosses live evictions several times per query.
+        faults.arm(name, "every:2")
+        try:
+            first = sharded_window_intervals(manager, rect, 0.0, 12.0)
+            second = sharded_window_intervals(manager, rect, 0.0, 12.0)
+        finally:
+            faults.disarm()
+        fired = faults.fired(name) > 0
+        if not fired:
+            return MatrixEntry(name, False, False, "failpoint never fired")
+        evictions = obs.get("shard.evictions")
+        if evictions < 1:
+            return MatrixEntry(
+                name, fired, False,
+                "failpoint fired but no shard was ever evicted",
+            )
+        torn = 0
+        for result in (first, second):
+            for got, want in zip(result, reference):
+                if got.tobytes() != want.tobytes():
+                    torn += 1
+        if torn:
+            return MatrixEntry(
+                name, fired, False,
+                f"{torn} result array(s) differ from the single-process "
+                "kernel (torn read through a mid-scatter eviction)",
+            )
+    return MatrixEntry(
+        name, fired, True,
+        f"{evictions} mid-scatter eviction(s), 2 probes bit-identical "
+        "to the unsharded kernel",
+    )
+
+
 #: scenario label → runner.  The four failpoint-keyed entries are what
 #: the storage crash matrix delegates to for registry coverage; the
 #: ``server.overload`` row is chaos-only (no failpoint — saturation is
@@ -375,6 +432,7 @@ SCENARIOS: Dict[str, Callable[[str, int, bool], MatrixEntry]] = {
     "parallel.worker_kill": _worker_kill_scenario,
     "ingest.dup_send": _dup_send_scenario,
     "server.overload": _overload_scenario,
+    "shard.evict_during_query": _shard_evict_scenario,
 }
 
 

@@ -17,6 +17,14 @@ fleet no matter how far the live fleet moves on.  Columns are pinned by
 version: a cached column whose stamp equals the pin is served as-is;
 otherwise the column is rebuilt from the pinned members, never from the
 moved-on fleet.
+
+Sharded fleets (``register_fleet(..., shards=N)`` or the process-wide
+``--shards`` default) pin a shard *vector* of versions: the snapshot's
+``version`` is the tuple of per-shard stamps, and an ingest bumps only
+the one shard it routes to — so a pinned read over a 16-shard fleet
+stays column-served on 15 shards while the 16th rebuilds.  Each sharded
+fleet's columns and per-shard R-trees live under a byte-budgeted
+:class:`~repro.shard.manager.ShardManager` held in ``_shards``.
 """
 
 from __future__ import annotations
@@ -32,6 +40,8 @@ from repro.db.catalog import Database
 from repro.db.script import StatementResult, run_script
 from repro.errors import InvalidValue, QueryError, StorageError
 from repro.index.rtree import RTree3D
+from repro.shard.fleet import ShardedFleet, shard_of
+from repro.shard.manager import ShardManager
 from repro.spatial.bbox import Cube
 from repro.temporal.mapping import MovingPoint
 from repro.temporal.upoint import UPoint
@@ -53,11 +63,16 @@ _DEADLINE_STRIDE = 4096
 
 
 class Snapshot:
-    """An immutable read view of one fleet, pinned at a version stamp."""
+    """An immutable read view of one fleet, pinned at a version stamp.
+
+    For a :class:`~repro.shard.fleet.ShardedFleet` the stamp is the
+    shard *vector* of versions — ingest into one shard moves exactly
+    one coordinate, leaving the pins of every sibling shard valid.
+    """
 
     __slots__ = ("version", "items", "_columns")
 
-    def __init__(self, fleet: Fleet):
+    def __init__(self, fleet: Any):
         self.version = fleet.version
         self.items: Tuple[Any, ...] = tuple(fleet)
         self._columns: Dict[str, Any] = {}
@@ -82,8 +97,9 @@ class FleetExecutor:
     def __init__(self, db: Optional[Database] = None):
         self._lock = dynlock.rlock("server.executor")
         self._lat_lock = dynlock.rlock("server.executor.latency")
-        self._fleets: Dict[str, Fleet] = {}
+        self._fleets: Dict[str, Any] = {}
         self._indexes: Dict[str, RTree3D] = {}
+        self._shards: Dict[str, ShardManager] = {}
         self._db = db if db is not None else Database("server")
         self._latencies: Deque[float] = deque(maxlen=_LATENCY_WINDOW)
         # Idempotency table: seq token -> the unit count the original
@@ -102,16 +118,38 @@ class FleetExecutor:
         name: str,
         mappings: Sequence[MovingPoint],
         index: bool = True,
-    ) -> Fleet:
+        shards: Optional[int] = None,
+    ) -> Any:
         """Adopt ``mappings`` as the live fleet ``name``.
 
         Builds the per-unit R-tree via STR bulk loading (the cheap path
         for the initial load; later ingest maintains it with per-batch
         inserts).  Re-registering a name replaces the fleet.
+
+        ``shards`` > 1 partitions the fleet (defaulting to the
+        process-wide ``repro.shard.get_shards()``, itself 1 unless the
+        CLI's ``--shards`` raised it): columns and per-shard R-trees
+        then live under a :class:`ShardManager` with the process-wide
+        memory budget, the R-trees STR-bulk-loaded lazily per shard.
         """
-        fleet = Fleet(mappings)
+        from repro import shard as shardmod
+
+        n_shards = shardmod.get_shards() if shards is None else int(shards)
+        fleet: Any = (
+            ShardedFleet(mappings, n_shards) if n_shards > 1
+            else Fleet(mappings)
+        )
         with self._lock:
             self._fleets[name] = fleet
+            if isinstance(fleet, ShardedFleet):
+                self._indexes.pop(name, None)
+                self._shards[name] = ShardManager(
+                    fleet,
+                    budget=shardmod.get_memory_budget(),
+                    indexed=index,
+                )
+                return fleet
+            self._shards.pop(name, None)
             if index:
                 entries = [
                     (u.bounding_cube(), i)
@@ -127,13 +165,13 @@ class FleetExecutor:
         with self._lock:
             return sorted(self._fleets)
 
-    def _fleet(self, name: str) -> Fleet:
+    def _fleet(self, name: str) -> Any:
         fleet = self._fleets.get(name)
         if fleet is None:
             raise QueryError(f"no fleet named {name!r}")
         return fleet
 
-    def fleet(self, name: str) -> Fleet:
+    def fleet(self, name: str) -> Any:
         with self._lock:
             return self._fleet(name)
 
@@ -195,10 +233,32 @@ class FleetExecutor:
         with self._lock:
             fleet = self._fleet(name)
             snap = Snapshot(fleet)
-            col = self._pinned_column(fleet, snap, "upoint")
+            manager = self._shards.get(name)
+            shard_cols = col = None
+            if manager is not None:
+                shard_cols = self._pinned_shard_columns(manager, snap)
+            else:
+                col = self._pinned_column(fleet, snap, "upoint")
             candidates = self._window_candidates(name, t, window, len(snap))
         rows: List[Tuple[int, float, float]] = []
-        if col is not None:
+        if shard_cols is not None:
+            # Scatter: one kernel run per pinned shard column, global
+            # ids mapped back through the shard's id array; gather is a
+            # sort into global order (per-shard ids ascend, so this is a
+            # merge of sorted runs).
+            done = 0
+            for gids, scol in shard_cols:
+                xs, ys, defined = atinstant_batch(scol, t)
+                for j in range(len(gids)):
+                    if defined[j]:
+                        rows.append(
+                            (int(gids[j]), float(xs[j]), float(ys[j]))
+                        )
+                    done += 1
+                    if deadline is not None and done % _DEADLINE_STRIDE == 0:
+                        deadline.check()
+            rows.sort()
+        elif col is not None:
             xs, ys, defined = atinstant_batch(col, t)
             for i in range(len(snap)):
                 if defined[i]:
@@ -223,6 +283,31 @@ class FleetExecutor:
             ]
         return snap, rows
 
+    def _pinned_shard_columns(
+        self, manager: ShardManager, snap: Snapshot
+    ) -> Optional[List[Tuple[Any, Any]]]:
+        """Per-shard ``(global ids, column)`` pairs pinned at ``snap``'s
+        shard version vector, or None when only the scalar path can
+        evaluate the pinned members.
+
+        Must run under the lock for the same reason as
+        :meth:`_pinned_column`; the lock also freezes the shard version
+        vector, so every mapped column matches its pin coordinate.
+        """
+        out: List[Tuple[Any, Any]] = []
+        fleet = manager.fleet
+        for s in range(fleet.n_shards):
+            if len(fleet.shards[s]) == 0:
+                continue
+            try:
+                scol = manager.column(s, "upoint")
+            except (InvalidValue, StorageError):
+                return None
+            if fleet.shards[s].version != snap.version[s]:
+                return None  # cannot serve the pin from live columns
+            out.append((fleet.globals_of(s), scol))
+        return out
+
     def _window_candidates(
         self,
         name: str,
@@ -234,15 +319,21 @@ class FleetExecutor:
 
         The live index is a *superset* of any pinned snapshot (units are
         only ever added), so pruning with it never drops a true hit;
-        exactness comes from the per-position refinement above.
+        exactness comes from the per-position refinement above.  Sharded
+        fleets prune shard-first through the manager's per-shard trees.
         """
         if window is None:
             return None
-        tree = self._indexes.get(name)
-        if tree is None:
-            return None
         xmin, ymin, xmax, ymax = window
         cube = Cube(xmin, ymin, t, xmax, ymax, t)
+        tree = self._indexes.get(name)
+        if tree is None:
+            manager = self._shards.get(name)
+            if manager is not None and manager.indexed:
+                return {
+                    k for k in manager.window_candidates(cube) if k < n
+                }
+            return None
         return {int(k) for k in tree.search(cube) if int(k) < n}
 
     # -- SQL --------------------------------------------------------------
@@ -343,6 +434,15 @@ class FleetExecutor:
         tree = self._indexes.get(req.fleet)
         if tree is not None:
             tree.insert(unit.bounding_cube(), obj)
+        manager = self._shards.get(req.fleet)
+        if manager is not None:
+            # Ingest touches exactly one shard: the object's home shard
+            # gets the tree insert; every other shard's pin stays valid.
+            manager.note_insert(
+                shard_of(obj, manager.fleet.n_shards),
+                unit.bounding_cube(),
+                obj,
+            )
         if obs.enabled:
             obs.add("ingest.units")
         return len(grown.units)
@@ -386,7 +486,14 @@ class FleetExecutor:
                 out[f"fleet.{name}.units"] = sum(
                     len(m.units) for m in fleet
                 )
-                out[f"fleet.{name}.version"] = fleet.version
+                version = fleet.version
+                if isinstance(version, tuple):
+                    # Sharded: report the vector's sum (one ingest still
+                    # moves it by exactly one) plus the shard count.
+                    out[f"fleet.{name}.version"] = sum(version)
+                    out[f"fleet.{name}.shards"] = fleet.n_shards
+                else:
+                    out[f"fleet.{name}.version"] = version
         p50, p99 = self.latency_percentiles()
         out["query_p50_ms"] = round(p50, 3)
         out["query_p99_ms"] = round(p99, 3)
@@ -394,6 +501,7 @@ class FleetExecutor:
             counts = obs.snapshot()["counters"]
             for key in sorted(counts):
                 if key.startswith(("server.", "ingest.", "colcache.",
-                                   "colstore.", "wal.", "parallel.")):
+                                   "colstore.", "wal.", "parallel.",
+                                   "shard.")):
                     out[key] = counts[key]
         return out

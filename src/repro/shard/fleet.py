@@ -1,0 +1,188 @@
+"""Hash-partitioned fleets: Section-4 root records split by object id.
+
+The paper's sliced representation keeps one *root record* per moving
+object and an array of fixed-size unit records per slice; nothing in
+that layout requires all root records to live in one array.  A
+:class:`ShardedFleet` partitions them by a multiplicative hash of the
+object id into ``n_shards`` independent :class:`repro.vector.cache.Fleet`
+sequences — each with its own version stamp, its own columns, and (under
+a :class:`repro.shard.manager.ShardManager`) its own column-store
+directory and R-tree — while still presenting the global fleet as one
+sequence in insertion order.
+
+Two invariants make scatter-gather exact rather than approximate:
+
+* **Stable global ids.**  An object's global id is its append position,
+  forever; ``globals_of(s)`` maps a shard's local positions back to
+  ascending global ids.  Because appends receive increasing ids, every
+  shard's global-id array is sorted — so per-shard kernel output, owner
+  columns rebased through ``globals_of``, concatenated in shard order
+  and stably sorted by owner, is *identical* to the unsharded kernel's
+  output (see :mod:`repro.shard.exec`).
+* **Single-shard writes.**  ``append``/``__setitem__`` route to exactly
+  one shard (counted: ``shard.ingest_routed``) and bump exactly one
+  shard version, so the version *vector* (:attr:`version`) moves in one
+  coordinate per ingest — the unit of snapshot isolation in the server.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, Iterator, List, Optional, Tuple
+
+import numpy as np
+
+from repro import obs
+from repro.errors import InvalidValue
+from repro.spatial.bbox import Cube
+from repro.vector.cache import Fleet
+
+#: Knuth's multiplicative constant (2^32 / φ): spreads consecutive ids
+#: across shards while staying a pure function of the id alone.
+_HASH_MULT = 2654435761
+
+
+def shard_of(obj_id: int, n_shards: int) -> int:
+    """Shard owning global object id ``obj_id`` (deterministic hash)."""
+    if n_shards < 1:
+        raise InvalidValue(f"shard count must be >= 1, got {n_shards}")
+    return ((obj_id * _HASH_MULT) & 0xFFFFFFFF) % n_shards
+
+
+class ShardedFleet:
+    """A fleet of moving objects hash-partitioned into shard fleets.
+
+    Sequence-like in *global* order (``len``/``[]``/iteration match the
+    equivalent unsharded fleet member for member), with all storage held
+    by the per-shard :class:`Fleet` instances in :attr:`shards`.  Shard
+    membership is ``shard_of(global_id, n_shards)`` — never rebalanced,
+    so a mapping's shard (and its position within it) is stable for the
+    fleet's lifetime.
+    """
+
+    __slots__ = (
+        "n_shards", "shards", "_locate", "_globals", "_garr", "_bounds",
+        "_poisoned", "__weakref__",
+    )
+
+    def __init__(self, mappings: Iterable[Any] = (), n_shards: int = 2):
+        if n_shards < 1:
+            raise InvalidValue(f"shard count must be >= 1, got {n_shards}")
+        self.n_shards = n_shards
+        self.shards: List[Fleet] = [Fleet() for _ in range(n_shards)]
+        # global id -> (shard, local position)
+        self._locate: List[Tuple[int, int]] = []
+        # shard -> ascending global ids of its members
+        self._globals: List[List[int]] = [[] for _ in range(n_shards)]
+        self._garr: List[Optional[np.ndarray]] = [None] * n_shards
+        # shard -> union of member bounding cubes (None until the first
+        # bounded member arrives); a conservative superset, grown on
+        # every write, consulted by ShardManager.prune *before* any
+        # column of the shard is mapped.
+        self._bounds: List[Optional[Cube]] = [None] * n_shards
+        # Sticky: a member without a bounding cube makes its shard
+        # un-prunable for good (later bounded appends must not revive
+        # a bound that excludes the unbounded member).
+        self._poisoned: List[bool] = [False] * n_shards
+        for m in mappings:
+            self.append(m)
+        # Prebuild the global-id arrays: bulk construction would
+        # otherwise defer an O(objects) list conversion into the first
+        # query's (timed, cold) scatter.
+        for s in range(n_shards):
+            self.globals_of(s)
+
+    # -- versioning ---------------------------------------------------------
+
+    @property
+    def version(self) -> Tuple[int, ...]:
+        """The shard *vector* of version stamps.
+
+        Equality of vectors means "nothing anywhere changed", exactly as
+        an unsharded fleet's scalar stamp — but an ingest moves only its
+        own shard's coordinate, so snapshots over sibling shards stay
+        valid.
+        """
+        return tuple(f.version for f in self.shards)
+
+    def invalidate(self) -> None:
+        """Declare every shard's cached columns stale (member mutated in
+        place; the fleet cannot observe which one)."""
+        for f in self.shards:
+            f.invalidate()
+
+    # -- sequence protocol (global order) -----------------------------------
+
+    def __len__(self) -> int:
+        return len(self._locate)
+
+    def __getitem__(self, i: int) -> Any:
+        s, j = self._locate[i]
+        return self.shards[s][j]
+
+    def __setitem__(self, i: int, value: Any) -> None:
+        s, j = self._locate[i]
+        self.shards[s][j] = value
+        self._grow_bounds(s, value)
+        if obs.enabled:
+            obs.counters.add("shard.ingest_routed")
+
+    def append(self, value: Any) -> None:
+        gid = len(self._locate)
+        s = shard_of(gid, self.n_shards)
+        shard = self.shards[s]
+        shard.append(value)
+        self._locate.append((s, len(shard) - 1))
+        self._globals[s].append(gid)
+        self._grow_bounds(s, value)
+        if obs.enabled:
+            obs.counters.add("shard.ingest_routed")
+
+    def __iter__(self) -> Iterator[Any]:
+        for s, j in self._locate:
+            yield self.shards[s][j]
+
+    def __repr__(self) -> str:
+        return (
+            f"ShardedFleet({len(self)} objects over {self.n_shards} shards, "
+            f"version={self.version})"
+        )
+
+    # -- shard views --------------------------------------------------------
+
+    def globals_of(self, s: int) -> np.ndarray:
+        """Ascending global ids of shard ``s``'s members (int64)."""
+        arr = self._garr[s]
+        gids = self._globals[s]
+        if arr is None:
+            arr = np.asarray(gids, dtype=np.int64)
+            self._garr[s] = arr
+        elif len(arr) != len(gids):
+            # Ids only ever append, so extend the cached array with the
+            # tail instead of reconverting the whole shard.
+            tail = np.asarray(gids[len(arr):], dtype=np.int64)
+            arr = np.concatenate([arr, tail])
+            self._garr[s] = arr
+        return arr
+
+    def bounds(self, s: int) -> Optional[Cube]:
+        """Conservative bounding cube of shard ``s`` (None: unknown —
+        the shard is empty or holds members without bounding cubes and
+        must never be pruned)."""
+        return self._bounds[s]
+
+    def _grow_bounds(self, s: int, value: Any) -> None:
+        if self._poisoned[s]:
+            return
+        try:
+            cube = value.bounding_cube() if value.units else None
+        except AttributeError:
+            # Not a sliced mapping: no cube to grow by.  A bound that
+            # excludes this member would prune rows it should produce,
+            # so the shard becomes un-prunable for good.
+            self._poisoned[s] = True
+            self._bounds[s] = None
+            return
+        if cube is None:
+            return
+        current = self._bounds[s]
+        self._bounds[s] = cube if current is None else current.union(cube)

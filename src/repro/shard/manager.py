@@ -1,0 +1,371 @@
+"""Byte-budgeted shard residency: CLOCK eviction over mapped columns.
+
+A :class:`ShardManager` owns the physical side of a
+:class:`~repro.shard.fleet.ShardedFleet`: one column-store directory
+(``<root>/shard_NNN``), one column set, and one STR-bulk-loaded R-tree
+per shard.  Columns are mapped lazily — a query maps only the shards
+its window survives :meth:`prune` — and stay resident until the memory
+budget forces them out.
+
+Eviction is the buffer pool's CLOCK idiom (``repro.storage.buffer``):
+every resident shard carries a reference bit, set on insertion and on
+every hit; when the mapped bytes exceed the budget the hand sweeps the
+residency ring, clearing set bits and evicting the first shard whose
+bit is already clear.  Eviction drops *references* — the manager's and
+the process column cache's — never bytes under a live reader: columns
+are immutable, so a scatter that obtained a column before the eviction
+keeps reading consistent data (the ``shard.evict_during_query`` chaos
+scenario pins exactly this).
+
+Recovery is per shard: each shard directory has its own CRC'd manifest,
+so :meth:`verify_and_repair` rebuilds a corrupt shard alone
+(``shard.rebuilds``) while its siblings' files are untouched.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Any, Dict, List, Optional, Set, Tuple
+
+import numpy as np
+
+from repro import config, obs
+from repro.analysis import dynlock
+from repro.errors import CorruptColumnError, InvalidValue, StorageError
+from repro.index.rtree import RTree3D
+from repro.shard.fleet import ShardedFleet
+from repro.spatial.bbox import Cube
+from repro.vector.cache import column_for_versioned, column_nbytes, evict_columns
+from repro.vector.store import _BUILDERS, ColumnStore
+
+
+class _Resident:
+    """One shard's mapped state: columns by kind, byte total, CLOCK bit."""
+
+    __slots__ = ("columns", "nbytes", "ref", "tree")
+
+    def __init__(self) -> None:
+        # kind -> (version vector entry, column)
+        self.columns: Dict[str, Tuple[Any, Any]] = {}
+        self.nbytes = 0
+        self.ref = True  # second chance: set on insert and on every hit
+        self.tree: Optional[RTree3D] = None
+
+
+#: Rough per-entry heap cost charged for a resident R-tree (cube + node
+#: bookkeeping); the trees are pure-python, this is an estimate, but an
+#: estimate inside the budget beats an exact figure outside it.
+_TREE_ENTRY_BYTES = 200
+
+
+class ShardManager:
+    """Residency, pruning, indexing, and recovery for one sharded fleet.
+
+    ``root`` selects persistent per-shard column stores (None keeps
+    everything in memory through the process column cache).  ``budget``
+    bounds the resident bytes (None falls back to the process-wide
+    ``repro.shard.get_memory_budget()``, itself defaulting to
+    ``config.SHARD_MEMORY_BUDGET``); the high-water mark of the mapped
+    bytes is the ``shard.resident_bytes`` gauge.
+    """
+
+    def __init__(
+        self,
+        fleet: ShardedFleet,
+        root: Optional[str] = None,
+        budget: Optional[int] = None,
+        indexed: bool = True,
+    ):
+        self.fleet = fleet
+        self.root = os.fspath(root) if root is not None else None
+        self._budget = budget
+        #: Whether callers should consult the per-shard R-trees for
+        #: candidate pruning (the server's ``index=False`` opt-out).
+        self.indexed = bool(indexed)
+        self._lock = dynlock.rlock("shard.manager")
+        self._resident: Dict[int, _Resident] = {}
+        self._ring: List[int] = []  # clock order (insertion order)
+        self._hand = 0  # persists across evictions — that is the point
+        self._stores: Dict[int, ColumnStore] = {}
+
+    # -- configuration ------------------------------------------------------
+
+    def _effective_budget(self) -> Optional[int]:
+        if self._budget is not None:
+            return self._budget
+        from repro import shard as shardmod
+
+        return shardmod.get_memory_budget()
+
+    def _store(self, s: int) -> Optional[ColumnStore]:
+        if self.root is None:
+            return None
+        st = self._stores.get(s)
+        if st is None:
+            st = ColumnStore(os.path.join(self.root, f"shard_{s:03d}"))
+            self._stores[s] = st
+        return st
+
+    @property
+    def resident_bytes(self) -> int:
+        with self._lock:
+            return sum(r.nbytes for r in self._resident.values())
+
+    def resident_shards(self) -> List[int]:
+        with self._lock:
+            return sorted(self._resident)
+
+    # -- column residency ---------------------------------------------------
+
+    def column(self, s: int, kind: str) -> Any:
+        """The ``kind`` column of shard ``s``, mapping it if cold.
+
+        Hits (``shard.hits``) set the CLOCK reference bit; misses map or
+        build the column (``shard.maps``), charge its bytes, and evict
+        cold shards until the budget fits again.
+        """
+        with self._lock:
+            shard = self.fleet.shards[s]
+            res = self._resident.get(s)
+            if res is not None:
+                held = res.columns.get(kind)
+                if held is not None and held[0] == shard.version:
+                    res.ref = True
+                    if obs.enabled:
+                        obs.counters.add("shard.hits")
+                    return held[1]
+            version, col = self._map_column(s, kind)
+            if res is None:
+                res = _Resident()
+                self._resident[s] = res
+                self._ring.append(s)
+            old = res.columns.get(kind)
+            if old is not None:
+                res.nbytes -= column_nbytes(old[1])
+            res.columns[kind] = (version, col)
+            res.nbytes += column_nbytes(col)
+            res.ref = True
+            if obs.enabled:
+                obs.counters.add("shard.maps")
+            self._evict_over_budget()
+            return col
+
+    def bbox_keys(self, s: int) -> Tuple[Any, np.ndarray]:
+        """``(bbox column, int64 key array)`` for shard ``s``.
+
+        The array rides the column itself (:meth:`BBoxColumn.keys_int64`
+        is a zero-copy record view for store-backed columns), so a cold
+        scatter never pays an O(objects) key conversion.
+        """
+        with self._lock:
+            col = self.column(s, "bbox")
+        return col, col.keys_int64()
+
+    def _map_column(self, s: int, kind: str) -> Tuple[Any, Any]:
+        """``(version, column)`` for one shard, preferring its store.
+        Caller holds the lock."""
+        shard = self.fleet.shards[s]
+        st = self._store(s)
+        if st is not None:
+            try:
+                col = st.load_or_rebuild(
+                    kind, shard, fleet_version=shard.version
+                )
+                return shard.version, col
+            except (OSError, StorageError):
+                pass  # store unusable: degrade to the in-memory build
+        return column_for_versioned(shard, kind)
+
+    def _evict_over_budget(self) -> None:
+        """CLOCK sweep until the resident bytes fit the budget.  Caller
+        holds the lock."""
+        budget = self._effective_budget()
+        total = sum(r.nbytes for r in self._resident.values())
+        if budget is not None:
+            # Two sweeps suffice: the first clears every set bit, the
+            # second must then evict (mirrors BufferPool._evict).
+            guard = 2 * len(self._ring) + 1
+            while total > budget and self._ring and guard > 0:
+                guard -= 1
+                p = self._hand % len(self._ring)
+                victim = self._ring[p]
+                res = self._resident[victim]
+                if res.ref:
+                    res.ref = False  # second chance spent
+                    self._hand = p + 1
+                    continue
+                total -= res.nbytes
+                self._evict_one(victim, p)
+        if obs.enabled:
+            obs.counters.high_water("shard.resident_bytes", float(total))
+
+    def _evict_one(self, s: int, ring_pos: int) -> None:
+        """Drop shard ``s`` from residency (and from the process column
+        cache, so its bytes actually leave).  Caller holds the lock."""
+        del self._resident[s]
+        self._ring.pop(ring_pos)
+        if self._ring and self._hand >= len(self._ring):
+            self._hand = 0
+        evict_columns(self.fleet.shards[s])
+        if obs.enabled:
+            obs.counters.add("shard.evictions")
+
+    def evict_all(self) -> int:
+        """Evict every resident shard (chaos: ``shard.evict_during_query``).
+
+        Returns how many shards were dropped.  Columns already handed to
+        callers stay valid — eviction is reference-dropping only.
+        """
+        with self._lock:
+            dropped = 0
+            while self._ring:
+                self._evict_one(self._ring[0], 0)
+                dropped += 1
+            if obs.enabled:
+                obs.counters.high_water("shard.resident_bytes", 0.0)
+            return dropped
+
+    # -- pruning ------------------------------------------------------------
+
+    def prune(self, cube: Cube) -> List[int]:
+        """Shards that may intersect ``cube``, by shard-level bounds.
+
+        Consults only the fleet's per-shard bounding cubes — O(shards),
+        no column is mapped — and counts every shard it rules out
+        (``shard.pruned``).  Empty shards are skipped for free; shards
+        with unknowable bounds are always kept.
+        """
+        keep: List[int] = []
+        ruled_out = 0
+        for s in range(self.fleet.n_shards):
+            if len(self.fleet.shards[s]) == 0:
+                continue
+            bound = self.fleet.bounds(s)
+            if bound is not None and not bound.intersects(cube):
+                ruled_out += 1
+                continue
+            keep.append(s)
+        if obs.enabled and ruled_out:
+            obs.counters.add("shard.pruned", ruled_out)
+        return keep
+
+    # -- per-shard R-trees --------------------------------------------------
+
+    def rtree(self, s: int) -> RTree3D:
+        """Shard ``s``'s unit R-tree, STR-bulk-loaded on first use.
+
+        Entries are keyed by *global* object id, so candidate sets union
+        across shards without translation.  The tree rides the shard's
+        residency entry: evicting the shard drops it too.
+        """
+        with self._lock:
+            res = self._resident.get(s)
+            if res is not None and res.tree is not None:
+                res.ref = True
+                return res.tree
+            gids = self.fleet.globals_of(s)
+            shard = self.fleet.shards[s]
+            entries = [
+                (u.bounding_cube(), int(gids[j]))
+                for j, m in enumerate(shard)
+                for u in m.units
+            ]
+            tree = RTree3D.bulk_load(entries)
+            if res is None:
+                res = _Resident()
+                self._resident[s] = res
+                self._ring.append(s)
+            res.tree = tree
+            res.nbytes += _TREE_ENTRY_BYTES * len(entries)
+            res.ref = True
+            self._evict_over_budget()
+            return tree
+
+    def note_insert(self, s: int, cube: Cube, gid: int) -> None:
+        """Keep a resident shard tree current after a unit ingest (cold
+        trees pick the unit up when they are next bulk-loaded)."""
+        with self._lock:
+            res = self._resident.get(s)
+            if res is not None and res.tree is not None:
+                res.tree.insert(cube, gid)
+                res.nbytes += _TREE_ENTRY_BYTES
+
+    def window_candidates(self, cube: Cube) -> Set[int]:
+        """Global ids of objects whose units may intersect ``cube``:
+        shard-level pruning first, then each surviving shard's R-tree."""
+        out: Set[int] = set()
+        for s in self.prune(cube):
+            for gid in self.rtree(s).search(cube):
+                out.add(int(gid))
+        return out
+
+    # -- persistence & recovery ---------------------------------------------
+
+    def persist(self, kinds: Tuple[str, ...] = ("upoint",)) -> None:
+        """Write every shard's columns to its store directory (no-op
+        without a root).  Used to stage a cold fleet for budgeted runs."""
+        if self.root is None:
+            return
+        for s in range(self.fleet.n_shards):
+            st = self._store(s)
+            assert st is not None
+            shard = self.fleet.shards[s]
+            for kind in kinds:
+                st.load_or_rebuild(kind, shard, fleet_version=shard.version)
+
+    def verify_and_repair(self, kinds: Tuple[str, ...] = ("upoint",)) -> List[int]:
+        """Verify every shard store's payload CRCs; rebuild corrupt ones.
+
+        A shard that fails deep verification is rebuilt *alone* from its
+        shard fleet (``shard.rebuilds``) — sibling directories are never
+        touched, let alone invalidated.  Returns the rebuilt shard ids.
+        """
+        rebuilt: List[int] = []
+        with self._lock:
+            for s in range(self.fleet.n_shards):
+                st = self._store(s)
+                if st is None or not st.exists():
+                    continue
+                try:
+                    st.verify()
+                    continue
+                except (CorruptColumnError, StorageError, OSError):
+                    pass
+                shard = self.fleet.shards[s]
+                for kind in kinds:
+                    st.save(
+                        kind,
+                        _BUILDERS[kind](shard),
+                        fleet_version=shard.version,
+                        n_objects=len(shard),
+                    )
+                # The rebuilt files replace whatever the resident entry
+                # was mapped over; drop it so the next map is clean.
+                if s in self._resident:
+                    self._evict_one(s, self._ring.index(s))
+                rebuilt.append(s)
+                if obs.enabled:
+                    obs.counters.add("shard.rebuilds")
+        return rebuilt
+
+    # -- introspection ------------------------------------------------------
+
+    def total_column_bytes(self, kind: str = "upoint") -> int:
+        """Bytes the full fleet's ``kind`` columns would occupy if every
+        shard were mapped at once (the budget's comparison point)."""
+        total = 0
+        for s in range(self.fleet.n_shards):
+            shard = self.fleet.shards[s]
+            n_units = sum(len(m.units) for m in shard)
+            if kind == "upoint":
+                from repro.vector.columns import UPointColumn
+
+                total += n_units * UPointColumn.UNIT_DTYPE.itemsize
+                total += (len(shard) + 1) * 8  # CSR offsets
+            else:
+                version, col = column_for_versioned(shard, kind)
+                total += column_nbytes(col)
+        return total
+
+    def globals_of(self, s: int) -> np.ndarray:
+        return self.fleet.globals_of(s)

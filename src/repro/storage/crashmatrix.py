@@ -457,6 +457,7 @@ SCENARIOS: Dict[str, Callable[[str, int], MatrixEntry]] = {
     "server.slow_client": _chaos_scenario,
     "parallel.worker_kill": _chaos_scenario,
     "ingest.dup_send": _chaos_scenario,
+    "shard.evict_during_query": _chaos_scenario,
 }
 
 

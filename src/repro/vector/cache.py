@@ -139,23 +139,56 @@ _BUILDERS: Dict[str, Callable[[Any], Any]] = {
     "bbox": BBoxColumn.from_mappings,
 }
 
+#: Array attributes that carry a column's payload, across all kinds.
+_ARRAY_FIELDS = (
+    "offsets", "starts", "ends", "lc", "rc",
+    "xmin", "ymin", "tmin", "xmax", "ymax", "tmax",
+)
+
+
+def column_nbytes(column: Any) -> int:
+    """Resident bytes of a built column: the sum of its array payloads.
+
+    Counts every numpy field the column carries (CSR offsets, interval
+    arrays, motion coefficients, bbox coordinates); non-array attributes
+    (``keys`` lists, sources) are bookkeeping, not payload, and are not
+    charged.  This is the unit of account for both the column cache's
+    byte budget and the shard manager's residency budget.
+    """
+    total = 0
+    for name in _ARRAY_FIELDS + tuple(getattr(type(column), "EXTRA_FIELDS", ())):
+        nbytes = getattr(getattr(column, name, None), "nbytes", None)
+        if nbytes is not None:
+            total += int(nbytes)
+    return total
+
 
 class ColumnCache:
-    """LRU cache of built columns keyed by fleet identity + version.
+    """Byte-budgeted cache of built columns keyed by fleet identity.
 
-    Entries built from the persistent column store
-    (:mod:`repro.vector.store`) are *pinned*: a memmap-backed column is
-    nearly free to keep resident (the OS owns the pages) but costly to
-    re-open and re-validate, so LRU pressure evicts only ordinary
-    in-memory entries.
+    Eviction is by resident *bytes*, not entry count: an entry-count LRU
+    could hold N huge columns while evicting small ones, so pressure is
+    measured in :func:`column_nbytes` and least-recently-used entries
+    are dropped until the unpinned total fits the budget
+    (``config.COLCACHE_BYTES`` unless overridden per instance).  Entries
+    built from the persistent column store (:mod:`repro.vector.store`)
+    are *pinned* and exempt: a memmap-backed column is nearly free to
+    keep resident (the OS owns the pages) but costly to re-open and
+    re-validate.  The unpinned high-water mark is tracked as the
+    ``colcache.bytes`` gauge.  An explicit ``capacity`` (entry count)
+    is still honoured as an additional cap for callers that want one.
     """
 
-    __slots__ = ("_capacity", "_entries", "_lock")
+    __slots__ = ("_budget", "_bytes", "_capacity", "_entries", "_lock")
 
-    def __init__(self, capacity: Optional[int] = None):
+    def __init__(
+        self, capacity: Optional[int] = None, budget: Optional[int] = None
+    ):
         self._capacity = capacity
-        # (id(fleet), kind) -> (version, weakref-to-fleet, column, pinned)
-        self._entries: "OrderedDict[Tuple[int, str], Tuple[int, Any, Any, bool]]" = (
+        self._budget = budget
+        self._bytes = 0  # resident bytes of unpinned entries
+        # (id(fleet), kind) -> (version, weakref, column, pinned, nbytes)
+        self._entries: "OrderedDict[Tuple[int, str], Tuple[int, Any, Any, bool, int]]" = (
             OrderedDict()
         )
         # The query service reads columns from executor threads while
@@ -169,9 +202,34 @@ class ColumnCache:
         with self._lock:
             return len(self._entries)
 
+    @property
+    def resident_bytes(self) -> int:
+        """Current unpinned resident bytes (the budgeted quantity)."""
+        with self._lock:
+            return self._bytes
+
     def clear(self) -> None:
         with self._lock:
             self._entries.clear()
+            self._bytes = 0
+
+    def drop_fleet(self, fleet: Any) -> None:
+        """Forget every cached column of ``fleet`` (all kinds).
+
+        Used by the shard manager when it evicts a shard: dropping only
+        its own reference would leave the bytes resident here.
+        """
+        with self._lock:
+            fid = id(fleet)
+            for key in [k for k in self._entries if k[0] == fid]:
+                self._drop(key)
+
+    def _drop(self, key: Tuple[int, str]) -> None:
+        """Remove one entry, keeping the byte account. Caller holds the
+        lock (or is the locked get path itself)."""
+        entry = self._entries.pop(key, None)
+        if entry is not None and not entry[3]:
+            self._bytes -= entry[4]
 
     def get(self, fleet: Fleet, kind: str) -> Any:
         """The ``kind`` column of ``fleet``, rebuilt only when stale."""
@@ -195,11 +253,11 @@ class ColumnCache:
         key = (id(fleet), kind)
         entry = self._entries.get(key)
         if entry is not None:
-            version, ref, column, pinned = entry
+            version, ref, column, pinned, _nbytes = entry
             if ref() is not fleet:
                 # id() was recycled by a new fleet: a stale stranger's
                 # entry, not an invalidation of *this* fleet's column.
-                del self._entries[key]
+                self._drop(key)
             elif version == fleet.version:
                 if obs.enabled:
                     obs.counters.add("colcache.hits")
@@ -217,32 +275,50 @@ class ColumnCache:
                     column, pinned = spliced
                     if obs.enabled:
                         obs.counters.add("colcache.extended")
-                    self._entries[key] = (
-                        new_version, ref, column, pinned,
-                    )
+                    self._store_entry(key, new_version, ref, column, pinned)
                     self._entries.move_to_end(key)
                     return new_version, column
                 if obs.enabled:
                     obs.counters.add("colcache.invalidations")
-                del self._entries[key]
+                self._drop(key)
         if obs.enabled:
             obs.counters.add("colcache.misses")
         version = fleet.version
         column, pinned = self._build(fleet, kind, version)
-        self._entries[key] = (version, weakref.ref(fleet), column, pinned)
-        capacity = max(
-            self._capacity if self._capacity is not None
-            else config.COLCACHE_CAPACITY,
-            1,
-        )
-        if len(self._entries) > capacity:
-            for k in list(self._entries):
-                if len(self._entries) <= capacity:
-                    break
-                if self._entries[k][3]:
-                    continue  # pinned: memmap-backed, never re-packed
-                del self._entries[k]
+        self._store_entry(key, version, weakref.ref(fleet), column, pinned)
+        self._evict_over_budget()
         return version, column
+
+    def _store_entry(
+        self, key: Tuple[int, str], version: int, ref: Any,
+        column: Any, pinned: bool,
+    ) -> None:
+        """Insert or replace one entry, keeping the byte account and the
+        ``colcache.bytes`` high-water gauge.  Caller holds the lock."""
+        self._drop(key)
+        nbytes = column_nbytes(column)
+        self._entries[key] = (version, ref, column, pinned, nbytes)
+        if not pinned:
+            self._bytes += nbytes
+            if obs.enabled:
+                obs.counters.high_water("colcache.bytes", float(self._bytes))
+
+    def _evict_over_budget(self) -> None:
+        """Drop LRU unpinned entries until the resident bytes fit the
+        budget (and, when a capacity was configured, the entry count
+        fits it too).  Caller holds the lock."""
+        budget = self._budget if self._budget is not None else config.COLCACHE_BYTES
+        for k in list(self._entries):
+            over_bytes = self._bytes > max(budget, 0)
+            over_count = (
+                self._capacity is not None
+                and len(self._entries) > max(self._capacity, 1)
+            )
+            if not (over_bytes or over_count):
+                break
+            if self._entries[k][3]:
+                continue  # pinned: memmap-backed, exempt from the budget
+            self._drop(k)
 
     @staticmethod
     def _try_extend(
@@ -351,3 +427,12 @@ def revalidate(fleet: Any, kind: str, version: Optional[int], column: Any) -> An
 def clear_cache() -> None:
     """Drop every cached column (tests, benchmarks)."""
     _CACHE.clear()
+
+
+def evict_columns(fleet: Any) -> None:
+    """Drop the process-cached columns of one fleet (all kinds).
+
+    The shard manager calls this when it evicts a shard, so the shard's
+    bytes actually leave the process instead of lingering here.
+    """
+    _CACHE.drop_fleet(fleet)

@@ -451,7 +451,7 @@ class BBoxColumn:
     """
 
     __slots__ = (
-        "keys", "xmin", "ymin", "tmin", "xmax", "ymax", "tmax",
+        "_keys", "_keys_i64", "xmin", "ymin", "tmin", "xmax", "ymax", "tmax",
         "source", "__weakref__",
     )
 
@@ -470,7 +470,8 @@ class BBoxColumn:
     )
 
     def __init__(self, keys, xmin, ymin, tmin, xmax, ymax, tmax):
-        self.keys = list(keys)
+        self._keys: Optional[List[object]] = list(keys)
+        self._keys_i64: Optional[np.ndarray] = None
         self.xmin = np.ascontiguousarray(xmin, dtype=np.float64)
         self.ymin = np.ascontiguousarray(ymin, dtype=np.float64)
         self.tmin = np.ascontiguousarray(tmin, dtype=np.float64)
@@ -478,8 +479,36 @@ class BBoxColumn:
         self.ymax = np.ascontiguousarray(ymax, dtype=np.float64)
         self.tmax = np.ascontiguousarray(tmax, dtype=np.float64)
         self.source = None
-        if len(self.keys) != len(self.xmin):
+        if len(self._keys) != len(self.xmin):
             raise InvalidValue("BBoxColumn keys and coordinates disagree in length")
+
+    @property
+    def keys(self) -> List[object]:
+        """Entry keys as a list (materialized lazily for record-backed
+        columns, where only the int64 array exists until asked for)."""
+        if self._keys is None:
+            assert self._keys_i64 is not None
+            self._keys = self._keys_i64.tolist()
+        return self._keys
+
+    def keys_int64(self) -> np.ndarray:
+        """Entry keys as an int64 array, cached on the column.
+
+        For record-backed columns this is a zero-copy view of the
+        persisted records — O(1), the fast path shard pruning relies on.
+        Raises :class:`InvalidValue` for columns with non-integer keys.
+        """
+        if self._keys_i64 is None:
+            assert self._keys is not None
+            try:
+                self._keys_i64 = np.asarray(
+                    [int(k) for k in self._keys], dtype=np.int64
+                )
+            except (TypeError, ValueError) as exc:
+                raise InvalidValue(
+                    "BBoxColumn with non-integer keys has no int64 view"
+                ) from exc
+        return self._keys_i64
 
     @classmethod
     def from_cubes(cls, entries: Sequence[Tuple[object, Cube]]) -> "BBoxColumn":
@@ -538,12 +567,10 @@ class BBoxColumn:
         assign) can be persisted; columns with opaque keys stay
         in-memory only.
         """
-        rec = np.empty(len(self.keys), dtype=self.RECORD_DTYPE)
+        rec = np.empty(len(self), dtype=self.RECORD_DTYPE)
         try:
-            rec["key"] = np.asarray(
-                [int(k) for k in self.keys], dtype=np.int64
-            ) if self.keys else np.empty(0, dtype=np.int64)
-        except (TypeError, ValueError) as exc:
+            rec["key"] = self.keys_int64()
+        except InvalidValue as exc:
             raise InvalidValue(
                 "BBoxColumn with non-integer keys cannot be persisted"
             ) from exc
@@ -555,18 +582,20 @@ class BBoxColumn:
     def from_records(cls, rec: np.ndarray) -> "BBoxColumn":
         """Zero-copy view over structured bbox records (e.g. a memmap).
 
-        Coordinate fields stay strided views of ``rec``; only the keys
-        materialize (they are Python objects in the in-memory layout).
+        Every field — keys included — stays a strided view of ``rec``;
+        the Python key *list* materializes only if :attr:`keys` is
+        actually read, so a cold mmap load costs O(1), not O(entries).
         """
         col = object.__new__(cls)
-        col.keys = rec["key"].tolist()
+        col._keys = None
+        col._keys_i64 = rec["key"]
         col.xmin, col.ymin, col.tmin = rec["xmin"], rec["ymin"], rec["tmin"]
         col.xmax, col.ymax, col.tmax = rec["xmax"], rec["ymax"], rec["tmax"]
         col.source = None
         return col
 
     def __len__(self) -> int:
-        return len(self.keys)
+        return len(self.xmin)
 
     def extended(
         self, mappings: Sequence[Mapping], changed: Sequence[int]

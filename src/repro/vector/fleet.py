@@ -19,7 +19,11 @@ transcribed per call.
 
 The process-wide default backend starts at
 ``repro.config.DEFAULT_BACKEND`` and is flipped by ``set_backend`` (the
-CLI's ``--backend`` flag ends up here).
+CLI's ``--backend`` flag ends up here).  The fourth backend name,
+``"sharded"``, belongs to :mod:`repro.shard` (hash-partitioned fleets
+with scatter-gather execution); for the plain-sequence helpers here it
+evaluates through the single-process vector kernels — partitioning an
+un-partitioned fleet per call would only add copies.
 """
 
 from __future__ import annotations
@@ -42,7 +46,7 @@ from repro.vector.kernels import (
     ureal_atinstant_batch,
 )
 
-BACKENDS = ("scalar", "vector", "parallel")
+BACKENDS = ("scalar", "vector", "parallel", "sharded")
 
 _backend: str = config.DEFAULT_BACKEND
 
@@ -87,7 +91,7 @@ def fleet_atinstant(
 ) -> List[Optional[Point]]:
     """Position of every moving point at instant ``t`` (None where ⊥)."""
     resolved = _resolve(backend)
-    if resolved == "vector" or resolved == "parallel":
+    if resolved == "vector" or resolved == "parallel" or resolved == "sharded":
         try:
             version, col = column_for_versioned(fleet, "upoint")
             col = revalidate(fleet, "upoint", version, col)
@@ -119,7 +123,7 @@ def fleet_atinstant_real(
     ``parallel`` therefore runs the single-process kernel.
     """
     resolved = _resolve(backend)
-    if resolved == "vector" or resolved == "parallel":
+    if resolved == "vector" or resolved == "parallel" or resolved == "sharded":
         try:
             version, col = column_for_versioned(fleet, "ureal")
             col = revalidate(fleet, "ureal", version, col)
@@ -147,7 +151,7 @@ def fleet_bbox_filter(
     per-object check (window refinement, R-tree descent, ...).
     """
     resolved = _resolve(backend)
-    if resolved == "vector" or resolved == "parallel":
+    if resolved == "vector" or resolved == "parallel" or resolved == "sharded":
         try:
             version, col = column_for_versioned(fleet, "bbox")
             col = revalidate(fleet, "bbox", version, col)
@@ -183,7 +187,7 @@ def fleet_count_inside(
     positions.
     """
     resolved = _resolve(backend)
-    if resolved == "vector" or resolved == "parallel":
+    if resolved == "vector" or resolved == "parallel" or resolved == "sharded":
         try:
             version, col = column_for_versioned(fleet, "upoint")
             col = revalidate(fleet, "upoint", version, col)

@@ -530,6 +530,16 @@ def _window_column(n: int):
     return _BUILDERS["upoint"]([_track(i) for i in range(n)])
 
 
+def _worker_signal_dispositions():
+    """Runs inside a pool worker: report SIGTERM/SIGINT dispositions."""
+    term = signal.getsignal(signal.SIGTERM)
+    intr = signal.getsignal(signal.SIGINT)
+    return (
+        "default" if term is signal.SIG_DFL else "caught",
+        "ignored" if intr is signal.SIG_IGN else "caught",
+    )
+
+
 @pytest.mark.skipif(
     "fork" not in __import__("multiprocessing").get_all_start_methods(),
     reason="fork start method required",
@@ -585,6 +595,22 @@ class TestWorkerFailure:
         for got, want in zip(result, reference):
             assert np.array_equal(got, want)
 
+    def test_workers_reset_inherited_signal_handlers(self):
+        """Fork workers must drop the parent's Python-level SIGTERM
+        handler (the matrix CLIs install drain handlers that merely set
+        a flag).  A worker that inherits one can "catch" the SIGTERM of
+        ``Pool.terminate()`` while blocked on the task queue and resume
+        waiting — unkillable, hanging shutdown's join forever."""
+        previous = signal.signal(signal.SIGTERM, lambda *_: None)
+        try:
+            pool.shutdown()
+            p = pool.get_pool(2)
+            dispositions = p.apply(_worker_signal_dispositions)
+            assert dispositions == ("default", "ignored")
+        finally:
+            signal.signal(signal.SIGTERM, previous)
+            pool.shutdown()
+
     def test_run_tasks_checks_the_active_deadline(self):
         """An expired deadline aborts the dispatch wait instead of
         riding out a poll loop."""
@@ -615,7 +641,7 @@ class TestChaosMatrix:
         from repro.server.chaos import run_chaos_matrix
 
         entries = run_chaos_matrix(seed=2026, quick=True)
-        assert len(entries) == 5
+        assert len(entries) == 6
         failures = [e for e in entries if not e.ok]
         assert not failures, "\n".join(
             f"{e.failpoint}: {e.detail}" for e in failures
@@ -626,5 +652,6 @@ class TestChaosMatrix:
         from repro.storage.crashmatrix import SCENARIOS
 
         for name in ("server.conn_drop", "server.slow_client",
-                     "parallel.worker_kill", "ingest.dup_send"):
+                     "parallel.worker_kill", "ingest.dup_send",
+                     "shard.evict_during_query"):
             assert name in SCENARIOS

@@ -1,0 +1,160 @@
+"""Property: hash-partition → scatter → gather is a permutation-free identity.
+
+Over randomly generated fleets — ⊥/gap lanes, open/closed unit
+boundaries, query instants biased onto the boundaries themselves — the
+sharded execution path must return *bit-identical* arrays to the
+unsharded vector kernels: same dtypes, same order, same NaN payloads,
+same closedness flags.  A separate property keeps the identity alive
+under concurrent ingest (appends and in-place replacements between
+queries), which is exactly the server's life.
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.shard import (
+    ShardManager,
+    ShardedFleet,
+    sharded_atinstant,
+    sharded_window_intervals,
+)
+from repro.spatial.bbox import Rect
+from repro.temporal.mapping import MovingPoint
+from repro.temporal.upoint import UPoint
+from repro.vector.kernels import atinstant_batch, window_intervals_batch
+from repro.vector.store import _BUILDERS
+
+coord = st.floats(min_value=-60.0, max_value=60.0, allow_nan=False)
+
+
+@st.composite
+def moving_points(draw, max_units=4):
+    """A sliced moving point: gapped intervals, random closedness."""
+    n = draw(st.integers(min_value=0, max_value=max_units))
+    t = draw(st.floats(min_value=-40.0, max_value=40.0, allow_nan=False))
+    units = []
+    for _ in range(n):
+        t += draw(st.floats(min_value=0.1, max_value=8.0, allow_nan=False))
+        s = t
+        t += draw(st.floats(min_value=0.1, max_value=8.0, allow_nan=False))
+        units.append(
+            UPoint.between(
+                s, (draw(coord), draw(coord)),
+                t, (draw(coord), draw(coord)),
+                lc=draw(st.booleans()), rc=draw(st.booleans()),
+            )
+        )
+    return MovingPoint(units)
+
+
+@st.composite
+def fleets(draw, min_size=1, max_size=12):
+    return draw(
+        st.lists(moving_points(), min_size=min_size, max_size=max_size)
+    )
+
+
+def _boundary_instant(draw, mappings):
+    """A query instant, biased onto an actual unit boundary."""
+    boundaries = [
+        b
+        for m in mappings
+        for u in m.units
+        for b in (u.interval.s, u.interval.e)
+    ]
+    if boundaries and draw(st.booleans()):
+        return draw(st.sampled_from(boundaries))
+    return draw(st.floats(min_value=-60.0, max_value=80.0, allow_nan=False))
+
+
+@st.composite
+def fleet_and_instant(draw):
+    mappings = draw(fleets())
+    return mappings, _boundary_instant(draw, mappings)
+
+
+@st.composite
+def fleet_and_window(draw):
+    mappings = draw(fleets())
+    t0 = _boundary_instant(draw, mappings)
+    t1 = t0 + draw(st.floats(min_value=0.0, max_value=30.0, allow_nan=False))
+    x0, y0 = draw(coord), draw(coord)
+    rect = Rect(
+        x0, y0,
+        x0 + draw(st.floats(min_value=0.0, max_value=80.0, allow_nan=False)),
+        y0 + draw(st.floats(min_value=0.0, max_value=80.0, allow_nan=False)),
+    )
+    return mappings, rect, t0, t1
+
+
+def _assert_bit_identical(got, want):
+    for g, w in zip(got, want):
+        assert g.dtype == w.dtype
+        assert g.shape == w.shape
+        # tobytes() equality is NaN-exact: np.array_equal would pass a
+        # ⊥ lane holding the wrong payload and fail a correct one.
+        assert g.tobytes() == w.tobytes()
+
+
+@given(fw=fleet_and_window(), n_shards=st.integers(min_value=1, max_value=5))
+@settings(max_examples=60, deadline=None)
+def test_window_scatter_gather_identity(fw, n_shards):
+    mappings, rect, t0, t1 = fw
+    manager = ShardManager(ShardedFleet(mappings, n_shards))
+    want = window_intervals_batch(
+        _BUILDERS["upoint"](mappings), rect, t0, t1
+    )
+    _assert_bit_identical(sharded_window_intervals(manager, rect, t0, t1), want)
+
+
+@given(fw=fleet_and_window(), n_shards=st.integers(min_value=1, max_value=5))
+@settings(max_examples=30, deadline=None)
+def test_window_identity_under_budget_pressure(fw, n_shards):
+    mappings, rect, t0, t1 = fw
+    manager = ShardManager(ShardedFleet(mappings, n_shards), budget=1)
+    want = window_intervals_batch(
+        _BUILDERS["upoint"](mappings), rect, t0, t1
+    )
+    _assert_bit_identical(sharded_window_intervals(manager, rect, t0, t1), want)
+
+
+@given(fi=fleet_and_instant(), n_shards=st.integers(min_value=1, max_value=5))
+@settings(max_examples=60, deadline=None)
+def test_atinstant_scatter_gather_identity(fi, n_shards):
+    mappings, t = fi
+    manager = ShardManager(ShardedFleet(mappings, n_shards))
+    want = atinstant_batch(_BUILDERS["upoint"](mappings), t)
+    _assert_bit_identical(sharded_atinstant(manager, t), want)
+
+
+@given(
+    fw=fleet_and_window(),
+    extra=fleets(min_size=1, max_size=4),
+    n_shards=st.integers(min_value=2, max_value=4),
+    replace_first=st.booleans(),
+)
+@settings(max_examples=40, deadline=None)
+def test_identity_survives_concurrent_ingest(fw, extra, n_shards, replace_first):
+    """Queries interleaved with appends/replacements stay bit-identical
+    to an unsharded kernel over the same (mutated) member list."""
+    mappings, rect, t0, t1 = fw
+    fleet = ShardedFleet(mappings, n_shards)
+    manager = ShardManager(fleet)
+    live = list(mappings)
+
+    def check():
+        want = window_intervals_batch(_BUILDERS["upoint"](live), rect, t0, t1)
+        _assert_bit_identical(
+            sharded_window_intervals(manager, rect, t0, t1), want
+        )
+
+    check()
+    for m in extra:
+        fleet.append(m)
+        live.append(m)
+        check()
+    if replace_first:
+        fleet[0] = extra[-1]
+        live[0] = extra[-1]
+        check()
